@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_eN_*`` module regenerates one experiment from DESIGN.md's
+per-experiment index.  The paper (PODS 1990 theory) prints no tables of
+its own, so every experiment is named after the claim it demonstrates;
+the measured rows are stored in ``benchmark.extra_info`` and summarised
+in EXPERIMENTS.md.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+
+def record(benchmark, **info) -> None:
+    """Attach claim-relevant measurements to the benchmark record."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value

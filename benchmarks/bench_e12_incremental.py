@@ -1,0 +1,77 @@
+"""E12 — incremental maintenance vs recompute-from-scratch.
+
+Extension experiment: for definite (monotone) rulesets, inserting a
+fact is a semi-naive continuation over the existing window model.  The
+win grows with the size of the already-computed model relative to the
+insertion's consequences.
+
+Rows: graph size vs (a) recompute-after-insert and (b) incremental
+insert, with the period re-detected in both paths.
+"""
+
+import pytest
+
+from _util import record
+
+from repro.lang.atoms import Fact
+from repro.temporal import (IncrementalModel, TemporalDatabase,
+                            bt_evaluate)
+from repro.workloads import (bounded_path_program, graph_database,
+                             random_digraph)
+
+SIZES = [60, 150, 300]
+
+
+def _database(n_edges):
+    n_nodes = max(8, n_edges // 4)
+    return graph_database(random_digraph(n_nodes, n_edges,
+                                         seed=n_edges))
+
+
+NEW_EDGE = [Fact("edge", None, ("v0", "v3")),
+            Fact("edge", None, ("v2", "v5"))]
+
+
+@pytest.mark.parametrize("n_edges", SIZES)
+def test_recompute_baseline(benchmark, n_edges):
+    rules = bounded_path_program()
+    base = _database(n_edges)
+
+    def recompute():
+        db = TemporalDatabase(base)
+        for fact in NEW_EDGE:
+            db.add_fact(fact)
+        return bt_evaluate(rules, db)
+
+    result = benchmark(recompute)
+    record(benchmark, n_edges=n_edges, mode="recompute",
+           facts=len(result.store))
+
+
+@pytest.mark.parametrize("n_edges", SIZES)
+def test_incremental_insert(benchmark, n_edges):
+    rules = bounded_path_program()
+    base = _database(n_edges)
+
+    def insert_only():
+        # setup outside timing is not possible per-round with plain
+        # benchmark(); use pedantic mode with a fresh model per round.
+        model = IncrementalModel(rules, TemporalDatabase(base))
+        return model
+
+    def timed(model):
+        model.insert(NEW_EDGE)
+        return model
+
+    model = benchmark.pedantic(
+        timed, setup=lambda: ((insert_only(),), {}), rounds=5)
+    assert model.stats["incremental"] >= 1
+    # Equivalence with the recomputed model.
+    db = TemporalDatabase(base)
+    for fact in NEW_EDGE:
+        db.add_fact(fact)
+    fresh = bt_evaluate(rules, db)
+    assert (model.period.b, model.period.p) == \
+        (fresh.period.b, fresh.period.p)
+    record(benchmark, n_edges=n_edges, mode="incremental",
+           facts=len(model.result.store))

@@ -1,0 +1,89 @@
+"""E13 — Section 7: why Theorem 4.1 fails for functional DDBs.
+
+The paper: "In [6], we studied a generalization of TDDs where more than
+one function symbol is allowed.  Unfortunately, for this class of rules
+the proof of Theorem 4.1 does not go through and no tractable
+subclasses have been identified."
+
+This experiment makes the obstacle quantitative.  Evaluate the same
+"tick every step" program in two guises:
+
+* TDD — one successor: the window model grows *linearly* with the
+  depth bound and collapses to a 2-element specification;
+* FDDB — two function symbols: the depth-bounded model and its
+  word-state map grow *exponentially* with the same bound, so no
+  polynomial finite representation in the style of Section 3.3 exists.
+
+Rows: depth bound d vs model facts and distinct (word-)states for both.
+"""
+
+import pytest
+
+from _util import record
+
+from repro.functional import FAtom, FFact, FRule, ffixpoint, fvar, \
+    word_states
+from repro.lang import parse_program
+from repro.temporal import TemporalDatabase, fixpoint
+from repro.temporal.periodicity import range_of
+
+DEPTHS = [4, 8, 12]
+
+
+def fddb_rules():
+    return [
+        FRule(FAtom("p", fvar("X", (symbol,))),
+              (FAtom("p", fvar("X")),))
+        for symbol in ("a", "b")
+    ]
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_tdd_grows_linearly(benchmark, depth):
+    program = parse_program("p(T+1) :- p(T).\np(0).")
+    db = TemporalDatabase(program.facts)
+
+    store = benchmark(fixpoint, program.rules, db, depth)
+
+    states = range_of(store.states(0, depth))
+    assert len(store) == depth + 1          # linear
+    assert states == 1                      # a 1-periodic single state
+    record(benchmark, depth=depth, facts=len(store),
+           distinct_states=states, flavour="tdd")
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_fddb_grows_exponentially(benchmark, depth):
+    rules = fddb_rules()
+
+    model = benchmark(ffixpoint, rules, [FFact("p", ())], depth)
+
+    states = word_states(model)
+    assert len(model) == 2 ** (depth + 1) - 1   # exponential
+    assert len(states) == len(model)
+    record(benchmark, depth=depth, facts=len(model),
+           distinct_word_states=len(states), flavour="fddb")
+
+
+def test_growth_ratio(benchmark):
+    """The head-to-head: same depths, diverging representation sizes."""
+    def run():
+        rows = []
+        program = parse_program("p(T+1) :- p(T).\np(0).")
+        db = TemporalDatabase(program.facts)
+        for depth in DEPTHS:
+            tdd_facts = len(fixpoint(program.rules, db, depth))
+            fddb_facts = len(ffixpoint(fddb_rules(),
+                                       [FFact("p", ())], depth))
+            rows.append((depth, tdd_facts, fddb_facts))
+        return rows
+
+    rows = benchmark(run)
+    # The ratio must itself grow: exponential vs linear.
+    ratios = [fddb / tdd for _, tdd, fddb in rows]
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > 8 * ratios[0] / (DEPTHS[-1] / DEPTHS[0])
+    record(benchmark, rows=[
+        {"depth": d, "tdd_facts": t, "fddb_facts": f}
+        for d, t, f in rows
+    ])

@@ -1,0 +1,83 @@
+"""E14 — the engine triad: bottom-up vs magic sets vs tabled top-down.
+
+Extension experiment completing E11: all three evaluation strategies
+answering the same single ground goal, across growing graphs.  The
+expected shape: full bottom-up pays for the whole model; both
+goal-directed strategies pay only for the goal's relevant region, with
+magic (bottom-up over rewritten rules, with indexes) typically ahead of
+the sweep-based tabled engine.
+
+Rows: graph size vs wall time per engine, and subgoal/fact counters.
+"""
+
+import pytest
+
+from _util import record
+
+from repro.core import magic_ask
+from repro.lang.atoms import Fact
+from repro.temporal import (TemporalDatabase, TopDownEngine,
+                            bt_evaluate, topdown_ask)
+from repro.workloads import (bounded_path_program, graph_database,
+                             random_digraph)
+
+SIZES = [40, 120]
+
+
+def _setup(n_edges):
+    rules = bounded_path_program()
+    n_nodes = max(8, n_edges // 4)
+    db = TemporalDatabase(graph_database(
+        random_digraph(n_nodes, n_edges, seed=n_edges)))
+    goal = Fact("path", 3, ("v0", "v1"))
+    return rules, db, goal
+
+
+@pytest.mark.parametrize("n_edges", SIZES)
+def test_full_bottom_up(benchmark, n_edges):
+    rules, db, goal = _setup(n_edges)
+    verdict = benchmark(lambda: bt_evaluate(rules, db).holds(goal))
+    record(benchmark, n_edges=n_edges, engine="bottom-up",
+           verdict=verdict)
+
+
+@pytest.mark.parametrize("n_edges", SIZES)
+def test_magic(benchmark, n_edges):
+    rules, db, goal = _setup(n_edges)
+    verdict = benchmark(magic_ask, rules, db, goal)
+    assert verdict == bt_evaluate(rules, db).holds(goal)
+    record(benchmark, n_edges=n_edges, engine="magic",
+           verdict=verdict)
+
+
+@pytest.mark.parametrize("n_edges", SIZES)
+def test_tabled_top_down(benchmark, n_edges):
+    rules, db, goal = _setup(n_edges)
+    verdict = benchmark(topdown_ask, rules, db, goal)
+    assert verdict == bt_evaluate(rules, db).holds(goal)
+    record(benchmark, n_edges=n_edges, engine="top-down",
+           verdict=verdict)
+
+
+def test_goal_directedness_counters(benchmark):
+    """Subgoal tables vs full-model facts: the pruning in numbers."""
+    def run():
+        rows = []
+        for n_edges in SIZES:
+            rules, db, goal = _setup(n_edges)
+            full = bt_evaluate(rules, db)
+            engine = TopDownEngine(rules, db, horizon=4)
+            engine.ask(goal)
+            rows.append((n_edges, len(full.store),
+                         engine.stats["answers"],
+                         engine.stats["subgoals"]))
+        return rows
+
+    rows = benchmark(run)
+    for n_edges, full_facts, answers, subgoals in rows:
+        assert answers < full_facts
+    record(benchmark, rows=[
+        {"n_edges": n, "full_facts": f, "tabled_answers": a,
+         "subgoals": s}
+        for n, f, a, s in rows
+    ])

@@ -1,0 +1,76 @@
+"""E15 — interval coalescing vs slice-at-a-time evaluation.
+
+Extension experiment: the interval engine represents each tuple's
+timepoints as coalesced intervals and fires rules with set algebra.
+The trade-off it exposes is real and worth quantifying honestly:
+
+* workloads whose tuples hold over *runs* (recurring service windows)
+  favour intervals — one algebra operation replaces a run of slice
+  operations;
+* workloads whose tuples are *sparse* (the travel flights land on
+  isolated days) fragment the interval sets into singletons and the
+  slice engine's semi-naive deltas win.
+
+Rows: horizon sweeps for both workload shapes under both engines, with
+equality asserted throughout.
+"""
+
+import pytest
+
+from _util import record
+
+from repro.lang import parse_program
+from repro.temporal import TemporalDatabase, fixpoint, interval_fixpoint
+from repro.workloads import paper_travel_database, travel_agent_program
+
+WINDOWS_TEXT = """
+open(T+100, X) :- open(T, X), site(X).
+open(0..49, hq).
+open(20..69, lab).
+site(hq).
+site(lab).
+"""
+
+HORIZONS_RUNS = [5000, 20000]
+HORIZONS_SPARSE = [800, 2000]
+
+
+def _windows():
+    program = parse_program(WINDOWS_TEXT)
+    return program.rules, TemporalDatabase(program.facts)
+
+
+@pytest.mark.parametrize("horizon", HORIZONS_RUNS)
+def test_runs_slices(benchmark, horizon):
+    rules, db = _windows()
+    store = benchmark(fixpoint, rules, db, horizon)
+    record(benchmark, horizon=horizon, engine="slices",
+           workload="runs", facts=len(store))
+
+
+@pytest.mark.parametrize("horizon", HORIZONS_RUNS)
+def test_runs_intervals(benchmark, horizon):
+    rules, db = _windows()
+    store = benchmark(interval_fixpoint, rules, db, horizon)
+    assert store == fixpoint(rules, db, horizon)
+    record(benchmark, horizon=horizon, engine="intervals",
+           workload="runs", facts=len(store))
+
+
+@pytest.mark.parametrize("horizon", HORIZONS_SPARSE)
+def test_sparse_slices(benchmark, horizon):
+    rules = travel_agent_program()
+    db = TemporalDatabase(paper_travel_database())
+    store = benchmark(fixpoint, rules, db, horizon)
+    record(benchmark, horizon=horizon, engine="slices",
+           workload="sparse", facts=len(store))
+
+
+@pytest.mark.parametrize("horizon", HORIZONS_SPARSE)
+def test_sparse_intervals(benchmark, horizon):
+    rules = travel_agent_program()
+    db = TemporalDatabase(paper_travel_database())
+    store = benchmark(interval_fixpoint, rules, db, horizon)
+    assert store == fixpoint(rules, db, horizon)
+    record(benchmark, horizon=horizon, engine="intervals",
+           workload="sparse", facts=len(store))

@@ -1,0 +1,77 @@
+"""E2 — Theorems 6.3/6.5: multi-separable rulesets are 1-periodic.
+
+Claim: the travel-agent ruleset (multi-separable) has a database-
+INDEPENDENT period: growing the database by orders of magnitude changes
+the workload size but not the period length, and specification
+computation stays polynomial (here: roughly linear) in the database.
+
+Rows: resorts n vs wall time, measured period p (must be constant
+across rows), specification size.
+"""
+
+import pytest
+
+from _util import record
+
+from repro.core import compute_specification
+from repro.temporal import TemporalDatabase, bt_evaluate
+from repro.workloads import scaled_travel_database, travel_agent_program
+
+YEAR = 60  # compressed year keeps rounds quick; the claim is unaffected
+SIZES = [1, 10, 50, 200]
+
+_RULES = travel_agent_program(year_length=YEAR)
+_PERIODS = {}
+
+
+@pytest.mark.parametrize("n_resorts", SIZES)
+def test_spec_time_scales_with_db_but_period_does_not(benchmark,
+                                                      n_resorts):
+    db = TemporalDatabase(scaled_travel_database(
+        n_resorts, year_length=YEAR, n_holidays=4, seed=n_resorts))
+
+    spec = benchmark(compute_specification, _RULES, db)
+
+    assert spec.p % YEAR == 0, "period must be a multiple of the year"
+    _PERIODS[n_resorts] = spec.p
+    record(benchmark, n_resorts=n_resorts, db_facts=db.n,
+           period_b=spec.b, period_p=spec.p, spec_size=spec.size)
+
+
+def test_period_is_database_independent(benchmark):
+    """The defining property of 1-periodicity (Section 6)."""
+    def run():
+        periods = set()
+        for n_resorts in (1, 25, 100):
+            db = TemporalDatabase(scaled_travel_database(
+                n_resorts, year_length=YEAR, n_holidays=4,
+                seed=7 * n_resorts))
+            result = bt_evaluate(_RULES, db)
+            periods.add(result.period.p)
+        return periods
+
+    periods = benchmark(run)
+    assert len(periods) == 1, \
+        f"1-periodic ruleset must have one period, got {periods}"
+    record(benchmark, distinct_periods=sorted(periods))
+
+
+def test_contrast_non_multiseparable_period_grows(benchmark):
+    """Contrast: the inflationary path program is NOT 1-periodic — its
+    threshold grows with the database (the paper's Section 2 remark)."""
+    from repro.workloads import (bounded_path_program, graph_database,
+                                 line_graph)
+
+    rules = bounded_path_program()
+
+    def run():
+        thresholds = []
+        for n in (6, 12, 24):
+            db = TemporalDatabase(graph_database(line_graph(n)))
+            thresholds.append(bt_evaluate(rules, db).period.b)
+        return thresholds
+
+    thresholds = benchmark(run)
+    assert thresholds == sorted(thresholds)
+    assert thresholds[-1] > thresholds[0]
+    record(benchmark, thresholds=thresholds)

@@ -1,0 +1,58 @@
+"""E3 — Theorems 3.1/3.3: periods and specifications can blow up.
+
+Claim: over a FAMILY of rulesets, the worst-case period (hence the
+specification size) grows super-polynomially in the (linear-size) input:
+k coprime counters have period lcm(p1..pk) — the primorial, which is
+exponential in the total database+program size.
+
+Rows: k vs measured period (must equal the primorial), specification
+size, and wall time.  The shape: every quantity explodes while the per-
+ruleset behaviour stays 1-periodic (each member is multi-separable) —
+exactly the tension Section 4 resolves by fixing the ruleset.
+"""
+
+import pytest
+
+from _util import record
+
+from repro.core import compute_specification
+from repro.temporal import TemporalDatabase, bt_evaluate
+from repro.workloads import (coprime_cycles_database,
+                             coprime_cycles_program, expected_period,
+                             first_primes)
+
+KS = [1, 2, 3, 4, 5]
+
+
+@pytest.mark.parametrize("k", KS)
+def test_period_equals_primorial(benchmark, k):
+    primes = first_primes(k)
+    rules = coprime_cycles_program(primes)
+    db = TemporalDatabase(coprime_cycles_database(primes))
+
+    result = benchmark(bt_evaluate, rules, db)
+
+    lcm = expected_period(primes)
+    assert result.period.p == lcm, \
+        f"period must be the primorial lcm{tuple(primes)} = {lcm}"
+    record(benchmark, k=k, primes=primes, expected_lcm=lcm,
+           measured_p=result.period.p, db_size=db.n + len(rules))
+
+
+def test_spec_size_grows_superpolynomially(benchmark):
+    """|S| tracks b + p: linear input growth, exponential output."""
+    def run():
+        rows = []
+        for k in (1, 2, 3, 4):
+            primes = first_primes(k)
+            rules = coprime_cycles_program(primes)
+            db = TemporalDatabase(coprime_cycles_database(primes))
+            spec = compute_specification(rules, db)
+            rows.append((k, spec.size))
+        return rows
+
+    rows = benchmark(run)
+    sizes = [size for _, size in rows]
+    # Super-polynomial: each prime multiplies the period.
+    assert sizes[-1] / sizes[0] > (4 / 1) ** 2
+    record(benchmark, rows=[{"k": k, "spec_size": s} for k, s in rows])

@@ -1,0 +1,73 @@
+"""E4 — Theorem 4.1: spec size and spec computation time are linked.
+
+Claim: ``S(Z∧D)`` is polynomial-size iff it is polynomial-time
+computable.  Empirically: across heterogeneous workloads (inflationary
+graphs, multi-separable schedules, coprime counters), computation time
+is governed by specification size — plot time against |S| and the
+points line up regardless of which family they came from.
+
+Rows: workload label, |S|, wall time.  The claim's shape: time grows
+with size, and no workload computes a big spec quickly or a small spec
+slowly (beyond constant factors).
+"""
+
+import time
+
+from _util import record
+
+from repro.core import compute_specification
+from repro.temporal import TemporalDatabase
+from repro.workloads import (bounded_path_program,
+                             coprime_cycles_database,
+                             coprime_cycles_program, first_primes,
+                             graph_database, random_digraph,
+                             scaled_travel_database,
+                             travel_agent_program)
+
+
+def _workloads():
+    yield ("graph-small", bounded_path_program(),
+           graph_database(random_digraph(10, 20, seed=1)))
+    yield ("graph-large", bounded_path_program(),
+           graph_database(random_digraph(25, 80, seed=2)))
+    travel = travel_agent_program(year_length=40)
+    yield ("travel-small", travel,
+           scaled_travel_database(2, year_length=40, seed=3))
+    yield ("travel-large", travel,
+           scaled_travel_database(40, year_length=40, seed=4))
+    for k in (2, 4):
+        primes = first_primes(k)
+        yield (f"cycles-{k}", coprime_cycles_program(primes),
+               coprime_cycles_database(primes))
+
+
+def test_time_tracks_spec_size(benchmark):
+    def run():
+        rows = []
+        for label, rules, facts in _workloads():
+            db = TemporalDatabase(facts)
+            start = time.perf_counter()
+            spec = compute_specification(rules, db)
+            elapsed = time.perf_counter() - start
+            rows.append((label, spec.size, elapsed))
+        return rows
+
+    rows = benchmark(run)
+    record(benchmark, rows=[
+        {"workload": label, "spec_size": size,
+         "seconds": round(elapsed, 4)}
+        for label, size, elapsed in rows
+    ])
+    # Shape check: order workloads by size; time must grow within each
+    # family (cross-family constant factors differ by join width).
+    by_family = {}
+    for label, size, elapsed in rows:
+        by_family.setdefault(label.rsplit("-", 1)[0], []).append(
+            (size, elapsed))
+    for family, points in by_family.items():
+        points.sort()
+        sizes = [s for s, _ in points]
+        times = [t for _, t in points]
+        assert sizes == sorted(sizes)
+        assert times == sorted(times), \
+            f"{family}: larger spec must not be faster ({points})"

@@ -1,0 +1,59 @@
+"""E5 — Theorem 5.2: deciding inflationariness is effective and cheap.
+
+Claim: the decision procedure (one single-fact test database per derived
+temporal predicate) runs in time polynomial in the ruleset — in contrast
+with 1-periodicity, which Theorem 6.2 proves undecidable.
+
+Rows: number of derived predicates vs decision wall time, for both
+inflationary and non-inflationary rulesets (the negative case may exit
+early at the first witness).
+"""
+
+import pytest
+
+from _util import record
+
+from repro.core import inflationary_witness, is_inflationary
+from repro.lang import parse_rules
+from repro.workloads import bounded_path_program
+
+SIZES = [2, 8, 32]
+
+
+def chain_ruleset(n_predicates: int, inflationary: bool):
+    """A pipeline of n predicates; with persistence rules it is
+    inflationary, without them it is not."""
+    lines = []
+    for i in range(n_predicates - 1):
+        lines.append(f"s{i + 1}(T+1, X) :- s{i}(T, X).")
+        if inflationary:
+            lines.append(f"s{i + 1}(T+1, X) :- s{i + 1}(T, X).")
+    if inflationary:
+        lines.append("s0(T+1, X) :- s0(T, X).")
+    return parse_rules("\n".join(lines))
+
+
+@pytest.mark.parametrize("n_preds", SIZES)
+@pytest.mark.parametrize("positive", [True, False],
+                         ids=["inflationary", "not-inflationary"])
+def test_decision_scales_with_ruleset(benchmark, n_preds, positive):
+    rules = chain_ruleset(n_preds, inflationary=positive)
+
+    verdict = benchmark(is_inflationary, rules)
+
+    assert verdict is positive
+    record(benchmark, n_predicates=n_preds, verdict=verdict)
+
+
+def test_witness_identifies_failing_predicate(benchmark):
+    rules = bounded_path_program()
+    assert is_inflationary(rules)
+
+    broken = list(rules[:-1])  # drop the persistence rule
+
+    witness = benchmark(inflationary_witness, broken)
+
+    assert witness is not None
+    pred, missing = witness
+    assert pred == "path" and missing.time == 1
+    record(benchmark, witness_predicate=pred)

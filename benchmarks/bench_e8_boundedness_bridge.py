@@ -1,0 +1,66 @@
+"""E8 — Theorem 6.2: the boundedness ↔ 1-periodicity reduction.
+
+Claim: for the temporalized program S', the period threshold of the
+least model equals the naive iteration count of the original Datalog
+program S on the same database.  Bounded S (constant iterations on
+every database) yields a constant threshold; unbounded S (transitive
+closure) yields a threshold growing with the data — so no
+database-independent period exists, which is how the undecidability of
+1-periodicity is inherited from boundedness.
+
+Rows: chain length n vs Datalog iterations vs temporal threshold b
+(must match), plus timings of the temporalized evaluation.
+"""
+
+import pytest
+
+from _util import record
+
+from repro.core import temporalize
+from repro.datalog import iterations_to_fixpoint
+from repro.lang import parse_program
+from repro.temporal import TemporalDatabase, bt_evaluate
+
+TC = """
+tc(X, Y) :- edge(X, Y).
+tc(X, Z) :- edge(X, Y), tc(Y, Z).
+"""
+
+BOUNDED = """
+hop(X, Z) :- edge(X, Y), edge(Y, Z).
+out(X) :- hop(X, Y).
+"""
+
+
+def chain(n):
+    return "\n".join(f"edge(v{i}, v{i + 1})." for i in range(n))
+
+
+@pytest.mark.parametrize("n", [4, 8, 16, 32])
+def test_unbounded_threshold_tracks_data(benchmark, n):
+    program = parse_program(TC + chain(n))
+    iterations = iterations_to_fixpoint(program.rules, program.facts)
+    rules, facts = temporalize(program.rules, program.facts)
+    db = TemporalDatabase(facts)
+
+    result = benchmark(bt_evaluate, rules, db)
+
+    assert result.period.p == 1
+    assert result.period.b == iterations, \
+        "temporal threshold must equal the Datalog iteration count"
+    record(benchmark, chain=n, datalog_iterations=iterations,
+           temporal_threshold=result.period.b)
+
+
+@pytest.mark.parametrize("n", [4, 16, 64])
+def test_bounded_threshold_is_constant(benchmark, n):
+    program = parse_program(BOUNDED + chain(n))
+    rules, facts = temporalize(program.rules, program.facts)
+    db = TemporalDatabase(facts)
+
+    result = benchmark(bt_evaluate, rules, db)
+
+    assert result.period.p == 1
+    assert result.period.b <= 2, \
+        "a bounded program's temporalization has a constant threshold"
+    record(benchmark, chain=n, temporal_threshold=result.period.b)

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Theorem 6.2 live: Datalog boundedness as temporal periodicity.
+
+The paper proves 1-periodicity undecidable by reduction from strong
+k-boundedness of Datalog programs: temporalize a program so each rule
+*counts iterations* (head at T+1, body at T, a copy rule per predicate,
+facts stamped with 0).  Then the original program reaches its fixpoint in
+k steps on a database exactly when the temporal model's states stop
+changing at time k — period (k, 1).
+
+This script runs the construction on two programs:
+
+* a bounded one (a projection pipeline — fixpoint in a constant number
+  of steps on every database), and
+* an unbounded one (transitive closure — the iteration count grows with
+  the chain length, so no database-independent period exists),
+
+showing the iteration-counting semantics and the exact correspondence
+between naive-evaluation stages and temporal slices.
+
+Run:  python examples/boundedness_bridge.py
+"""
+
+from repro.core import temporalize
+from repro.datalog import iterations_to_fixpoint, stage_sequence
+from repro.lang import parse_program
+from repro.temporal import TemporalDatabase, bt_evaluate
+
+BOUNDED = """
+reachable_one(X) :- edge(X, Y).
+flagged(X) :- reachable_one(X).
+edge(a, b). edge(b, c). edge(c, d).
+"""
+
+UNBOUNDED_TEMPLATE = """
+tc(X, Y) :- edge(X, Y).
+tc(X, Z) :- edge(X, Y), tc(Y, Z).
+"""
+
+
+def chain_facts(n: int) -> str:
+    return "\n".join(
+        f"edge(v{i}, v{i + 1})." for i in range(n)
+    )
+
+
+def show(name: str, text: str) -> None:
+    program = parse_program(text)
+    print(f"== {name} ==")
+    for rule in program.rules:
+        print("  rule:", rule)
+
+    k = iterations_to_fixpoint(program.rules, program.facts)
+    print(f"  naive Datalog evaluation reaches its fixpoint in {k} "
+          "iterations")
+
+    temporal_rules, temporal_facts = temporalize(program.rules,
+                                                 program.facts)
+    db = TemporalDatabase(temporal_facts)
+    result = bt_evaluate(temporal_rules, db)
+    print(f"  temporalized model period: (b={result.period.b}, "
+          f"p={result.period.p})")
+
+    # Slice t of the temporal model == naive stage t of the original
+    # (stage 0 is the database, which the temporalization stamps at 0).
+    stages = stage_sequence(program.rules, program.facts)
+    agree = all(
+        {(pred, args) for pred, args in result.store.state(t)}
+        == {(f.pred, f.args)
+            for f in stages[min(t, len(stages) - 1)].facts()}
+        for t in range(min(result.horizon, len(stages) + 3))
+    )
+    print(f"  slice t == naive stage t, checked on the window: {agree}")
+    print()
+
+
+def main() -> None:
+    show("Bounded program (projection pipeline)", BOUNDED)
+
+    print("Transitive closure is UNBOUNDED: the period threshold of the")
+    print("temporalized program tracks the chain length — no database-")
+    print("independent period can exist (this is the reduction's point).\n")
+
+    print(f"  {'chain length':>12} | {'datalog iterations':>18} | "
+          f"{'temporal threshold b':>20}")
+    print("  " + "-" * 58)
+    for n in (2, 4, 8, 16):
+        text = UNBOUNDED_TEMPLATE + chain_facts(n)
+        program = parse_program(text)
+        k = iterations_to_fixpoint(program.rules, program.facts)
+        rules, facts = temporalize(program.rules, program.facts)
+        result = bt_evaluate(rules, TemporalDatabase(facts))
+        print(f"  {n:>12} | {k:>18} | {result.period.b:>20}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Live network reachability — incremental maintenance in action.
+
+An operations view over a changing network: links come up and go down,
+and after every change we need fresh answers to "which nodes can the
+monitor reach within K hops?" — without re-running the whole bottom-up
+evaluation.  This drives :class:`repro.temporal.IncrementalModel`:
+
+* link up   -> semi-naive *continuation* (only the new consequences),
+* link down -> *DRed* (overdelete + rederive),
+* after each edit the period is re-detected, so deep "within 10^9
+  hops" queries keep working.
+
+The model is the paper's inflationary bounded-path program, so every
+intermediate state is guaranteed tractable (Theorem 5.1).
+
+Run:  python examples/live_network.py
+"""
+
+from repro.lang.atoms import Fact
+from repro.temporal import IncrementalModel, TemporalDatabase
+from repro.workloads import bounded_path_program, graph_database
+
+
+def reachable(model: IncrementalModel, source: str,
+              nodes: list[str]) -> list[str]:
+    bound = model.period.b  # beyond this, reachability is settled
+    return [n for n in nodes
+            if model.holds(Fact("path", bound, (source, n)))]
+
+
+def show(model: IncrementalModel, nodes: list[str], event: str) -> None:
+    reach = reachable(model, "monitor", nodes)
+    stats = model.stats
+    print(f"{event:<34} reach={','.join(reach):<24} "
+          f"(incremental={stats['incremental']}, "
+          f"deletes={stats.get('deletes', 0)}, "
+          f"recomputed={stats['recomputed']})")
+
+
+def main() -> None:
+    nodes = ["monitor", "core1", "core2", "edge1", "edge2", "edge3"]
+    links = [("monitor", "core1"), ("core1", "edge1"),
+             ("core1", "edge2")]
+    model = IncrementalModel(bounded_path_program(),
+                             TemporalDatabase(graph_database(links)))
+    for node in nodes:
+        model.insert(Fact("node", None, (node,)))
+
+    print("== Event log ==")
+    show(model, nodes, "initial topology")
+
+    model.insert(Fact("edge", None, ("monitor", "core2")))
+    model.insert(Fact("edge", None, ("core2", "edge3")))
+    show(model, nodes, "link up: monitor-core2, core2-edge3")
+
+    model.delete(Fact("edge", None, ("core1", "edge1")))
+    show(model, nodes, "link DOWN: core1-edge1")
+
+    model.insert(Fact("edge", None, ("core2", "edge1")))
+    show(model, nodes, "link up: core2-edge1 (reroute)")
+
+    model.delete(Fact("edge", None, ("monitor", "core1")))
+    show(model, nodes, "link DOWN: monitor-core1")
+
+    print("\n== Deep query after all edits ==")
+    print("  monitor reaches edge2 within 10^9 hops?",
+          model.holds(Fact("path", 10 ** 9, ("monitor", "edge2"))))
+    print("  monitor reaches edge1 within 10^9 hops?",
+          model.holds(Fact("path", 10 ** 9, ("monitor", "edge1"))))
+
+    print("\n== Why this was cheap ==")
+    print(f"  {model.stats['inserts']} insert batches, "
+          f"{model.stats.get('deletes', 0)} deletions, "
+          f"{model.stats['recomputed']} full recomputations, "
+          f"{model.stats['facts_added']} facts added incrementally")
+
+
+if __name__ == "__main__":
+    main()

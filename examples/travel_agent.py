@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""The paper's travel-agent scenario (Section 2, first example).
+
+An airline specifies: "flights to ski resorts are scheduled every seventh
+day during off-season, every second day during the winter and every day
+during winter holidays".  The ruleset is multi-separable — the paper's
+showcase of a 1-periodic, tractable TDD — but neither separable nor
+inflationary.
+
+The script answers the two queries the paper poses (does a plane leave on
+a given day? on which days does a plane leave — an infinite answer set),
+prints a season-aware departure calendar, and shows the period that makes
+it all finite.
+
+Run:  python examples/travel_agent.py
+"""
+
+from repro import TDD
+from repro.workloads import paper_travel_database, travel_agent_program
+
+
+def season_of(tdd: TDD, day: int) -> str:
+    if tdd.ask(f"holiday({day})"):
+        return "holiday"
+    if tdd.ask(f"winter({day})"):
+        return "winter"
+    if tdd.ask(f"offseason({day})"):
+        return "off-season"
+    return "-"
+
+
+def main() -> None:
+    tdd = TDD(travel_agent_program(), paper_travel_database())
+
+    print("== Rules (from the airline's specification) ==")
+    for rule in tdd.rules:
+        print(" ", rule)
+
+    print("\n== Classification (Section 6) ==")
+    cls = tdd.classification()
+    print(f"  multi-separable: {cls.multi_separable}   "
+          f"separable: {cls.separable}   inflationary: {cls.inflationary}")
+    print(f"  per-predicate kinds: {cls.report.predicate_kinds}")
+
+    period = tdd.period()
+    print(f"\n== Period ==\n  (b={period.b}, p={period.p}) — the schedule "
+          f"repeats yearly once the transient settles")
+
+    print("\n== Does a plane leave to Hunter on day t0? ==")
+    for day in (11, 12, 13, 14, 20, 100, 365 * 50 + 200):
+        verdict = tdd.ask(f"plane({day}, hunter)")
+        print(f"  day {day:>6} [{season_of(tdd, day % 365):>10}]:"
+              f" {'YES' if verdict else 'no'}")
+
+    print("\n== All days a plane leaves to Hunter (infinite answer) ==")
+    answers = tdd.answers("plane(T, hunter)")
+    print(f"  canonical answers: {len(answers)}, "
+          f"infinite: {answers.is_infinite}")
+    print(f"  rewrite rule: {answers.rewrites}")
+    days = sorted(s["T"] for s in answers.expand(80))
+    print(f"  departures in the first 80 days: {days}")
+
+    print("\n== Departure calendar, first 30 days ==")
+    for day in range(31):
+        flies = tdd.ask(f"plane({day}, hunter)")
+        mark = "✈" if flies else "."
+        print(f"  day {day:>3} [{season_of(tdd, day):>10}] {mark}")
+
+    print("\n== Compound queries ==")
+    queries = [
+        "exists T: plane(T, hunter) and offseason(T)",
+        "forall X: resort(X) implies exists T: plane(T, X)",
+        "exists T: plane(T, hunter) and plane(T+1, hunter)",
+    ]
+    for text in queries:
+        print(f"  {text}\n    -> {tdd.ask(text)}")
+
+
+if __name__ == "__main__":
+    main()

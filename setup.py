@@ -1,0 +1,22 @@
+"""Legacy setup shim.
+
+This repository targets offline environments without the ``wheel``
+package, where PEP 517 editable installs fail; with this shim,
+``pip install -e .`` falls back to ``setup.py develop``.  Metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Temporal deductive databases with polynomial-time query "
+        "processing (reproduction of Chomicki, PODS 1990)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

@@ -1,0 +1,48 @@
+"""repro — temporal deductive databases with polynomial-time queries.
+
+A complete, faithful reproduction of Jan Chomicki, *Polynomial Time Query
+Processing in Temporal Deductive Databases*, PODS 1990.
+
+Quick start::
+
+    from repro import TDD
+
+    tdd = TDD.from_text('''
+        plane(T+7, X) :- plane(T, X), resort(X), offseason(T).
+        offseason(T+365) :- offseason(T).
+        plane(12, hunter).
+        resort(hunter).
+        offseason(90..272).
+    ''')
+    tdd.ask("exists T: plane(T, hunter)")
+    tdd.answers("plane(T, hunter)").expand(1000)
+
+The public surface is re-exported here; subpackages:
+
+* :mod:`repro.lang`     — terms, atoms, rules, parser;
+* :mod:`repro.datalog`  — classical function-free Datalog substrate;
+* :mod:`repro.temporal` — temporal stores, algorithm BT, periodicity;
+* :mod:`repro.rewrite`  — ground temporal rewrite systems;
+* :mod:`repro.core`     — specifications, queries, tractable classes;
+* :mod:`repro.workloads` — synthetic workload generators for the benchmarks.
+"""
+
+from .core import (AnswerSet, Classification, RelationalSpec, TDD,
+                   compute_specification, is_inflationary,
+                   is_multi_separable, is_separable, one_period_bound,
+                   parse_query, temporalize)
+from .lang import Atom, Fact, Rule, parse_program
+from .temporal import Period, TemporalDatabase, bt_evaluate, bt_verbatim
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TDD", "Classification", "RelationalSpec", "AnswerSet",
+    "TemporalDatabase", "Period",
+    "Atom", "Fact", "Rule",
+    "parse_program", "parse_query",
+    "bt_evaluate", "bt_verbatim", "compute_specification",
+    "is_inflationary", "is_multi_separable", "is_separable",
+    "one_period_bound", "temporalize",
+    "__version__",
+]

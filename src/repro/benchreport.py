@@ -1,0 +1,104 @@
+"""Benchmark report generator: pytest-benchmark JSON → markdown tables.
+
+The harness stores claim-relevant measurements in each benchmark's
+``extra_info`` (see ``benchmarks/_util.py``).  This module groups a
+``--benchmark-json`` dump by experiment module and renders one markdown
+table per experiment — the mechanical part of refreshing
+EXPERIMENTS.md after an engine change:
+
+    pytest benchmarks/ --benchmark-only --benchmark-json=bench.json
+    python -m repro.benchreport bench.json > report.md
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import TextIO, Union
+
+
+def _experiment_of(fullname: str) -> str:
+    """``benchmarks/bench_e3_exponential.py::test_x[2]`` → ``e3``."""
+    module = fullname.split("::")[0]
+    stem = Path(module).stem
+    if stem.startswith("bench_"):
+        return stem[len("bench_"):]
+    return stem
+
+
+def _fmt_time(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} µs"
+    if seconds < 1:
+        return f"{seconds * 1e3:.1f} ms"
+    return f"{seconds:.2f} s"
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, (list, dict)):
+        return json.dumps(value)
+    return str(value)
+
+
+def load_rows(data: dict) -> dict[str, list[dict]]:
+    """Group benchmark records by experiment, sorted by test name."""
+    by_experiment: dict[str, list[dict]] = {}
+    for bench in data.get("benchmarks", []):
+        experiment = _experiment_of(bench["fullname"])
+        row = {
+            "test": bench["name"],
+            "mean": bench["stats"]["mean"],
+            "rounds": bench["stats"]["rounds"],
+        }
+        row.update(bench.get("extra_info", {}))
+        by_experiment.setdefault(experiment, []).append(row)
+    for rows in by_experiment.values():
+        rows.sort(key=lambda r: r["test"])
+    return by_experiment
+
+
+def render(data: dict, out: TextIO) -> None:
+    """Write the markdown report for one benchmark JSON dump."""
+    machine = data.get("machine_info", {})
+    print("# Benchmark report", file=out)
+    if machine:
+        print(f"\nPython {machine.get('python_version', '?')} on "
+              f"{machine.get('system', '?')} "
+              f"({machine.get('cpu', {}).get('brand_raw', '')})".rstrip(),
+              file=out)
+    for experiment, rows in sorted(load_rows(data).items()):
+        print(f"\n## {experiment}\n", file=out)
+        # Column set: the union of extra-info keys, stable order.
+        keys: list[str] = []
+        for row in rows:
+            for key in row:
+                if key not in ("test", "mean", "rounds") and \
+                        key not in keys:
+                    keys.append(key)
+        header = ["test", "mean"] + keys
+        print("| " + " | ".join(header) + " |", file=out)
+        print("|" + "|".join("---" for _ in header) + "|", file=out)
+        for row in rows:
+            cells = [row["test"], _fmt_time(row["mean"])]
+            cells.extend(_fmt_value(row.get(key, "")) for key in keys)
+            print("| " + " | ".join(cells) + " |", file=out)
+
+
+def main(argv: Union[list, None] = None,
+         out: Union[TextIO, None] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    stream = out if out is not None else sys.stdout
+    if len(argv) != 1:
+        print("usage: python -m repro.benchreport BENCH.json",
+              file=sys.stderr)
+        return 2
+    data = json.loads(Path(argv[0]).read_text())
+    render(data, stream)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

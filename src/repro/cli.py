@@ -1,0 +1,283 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+
+``run FILE``
+    Parse and evaluate a TDD program file; print the period, the
+    specification summary and the classification.
+``ask FILE QUERY``
+    Answer a yes/no query against the program's least model.
+``answers FILE QUERY [--expand N]``
+    Print the finite representation of an open query's answers,
+    optionally expanded up to timepoint N.
+``classify FILE``
+    Report membership in the paper's tractable classes.
+``spec FILE [--save OUT.json]``
+    Print (and optionally persist) the relational specification.
+``repl FILE``
+    Interactive query loop; ``:period``, ``:spec``, ``:classify``,
+    ``:quit`` are built in.
+
+Program files use the paper's rule syntax (see README).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence, TextIO, Union
+
+from .core.serialize import save_spec
+from .core.tdd import TDD
+from .lang.errors import ReproError
+
+
+def _load(path: str) -> TDD:
+    text = Path(path).read_text()
+    return TDD.from_text(text)
+
+
+def _print_period(tdd: TDD, out: TextIO) -> None:
+    period = tdd.period()
+    certified = "certified" if period.certified else "verified"
+    print(f"period: (b={period.b}, p={period.p})  [{certified}]",
+          file=out)
+
+
+def _print_spec(tdd: TDD, out: TextIO) -> None:
+    spec = tdd.specification()
+    print(f"representatives: 0..{len(spec.representatives) - 1} "
+          f"({len(spec.representatives)} terms)", file=out)
+    print(f"rewrite system:  {spec.rewrites}", file=out)
+    print(f"primary database: {len(spec.primary)} facts", file=out)
+    print(f"specification size: {spec.size}", file=out)
+
+
+def _print_classification(tdd: TDD, out: TextIO) -> None:
+    cls = tdd.classification()
+    inflationary = ("n/a (outside the Thm 5.2 assumptions)"
+                    if cls.inflationary is None else cls.inflationary)
+    print(f"inflationary (Thm 5.2 test): {inflationary}", file=out)
+    print(f"multi-separable (Thm 6.5):   {cls.multi_separable}",
+          file=out)
+    print(f"separable ([7]):             {cls.separable}", file=out)
+    print(f"forward:                     {cls.forward}", file=out)
+    print(f"provably tractable:          {cls.provably_tractable}",
+          file=out)
+    if cls.report.predicate_kinds:
+        print("recursive predicate kinds:", file=out)
+        for pred, kind in sorted(cls.report.predicate_kinds.items()):
+            print(f"  {pred}: {kind}", file=out)
+
+
+def cmd_run(args, out: TextIO) -> int:
+    tdd = _load(args.file)
+    print(f"rules: {len(tdd.rules)}   database: n={tdd.database.n}, "
+          f"c={tdd.database.c}", file=out)
+    _print_period(tdd, out)
+    _print_spec(tdd, out)
+    _print_classification(tdd, out)
+    return 0
+
+
+def cmd_ask(args, out: TextIO) -> int:
+    tdd = _load(args.file)
+    verdict = tdd.ask(args.query)
+    print("yes" if verdict else "no", file=out)
+    return 0 if verdict else 1
+
+
+def cmd_answers(args, out: TextIO) -> int:
+    tdd = _load(args.file)
+    answers = tdd.answers(args.query)
+    names = [name for name, _ in answers.variables]
+    print(f"variables: {', '.join(names) if names else '(closed)'}",
+          file=out)
+    print(f"canonical answers: {len(answers)}"
+          f"{'  (infinite set)' if answers.is_infinite else ''}",
+          file=out)
+    print(f"rewrite system: {answers.rewrites}", file=out)
+    shown = args.expand
+    if shown is not None:
+        print(f"answers with timepoints <= {shown}:", file=out)
+        for substitution in answers.expand(shown):
+            rendered = ", ".join(f"{k}={substitution[k]}" for k in names)
+            print(f"  {rendered}", file=out)
+    else:
+        for substitution in answers:
+            rendered = ", ".join(f"{k}={substitution[k]}" for k in names)
+            print(f"  {rendered}", file=out)
+    return 0
+
+
+def cmd_classify(args, out: TextIO) -> int:
+    tdd = _load(args.file)
+    _print_classification(tdd, out)
+    return 0
+
+
+def cmd_spec(args, out: TextIO) -> int:
+    tdd = _load(args.file)
+    _print_spec(tdd, out)
+    if args.save:
+        save_spec(tdd.specification(), args.save)
+        print(f"saved to {args.save}", file=out)
+    return 0
+
+
+def cmd_analyze(args, out: TextIO) -> int:
+    tdd = _load(args.file)
+    from .core.analysis import analyze
+    report = analyze(tdd.rules, tdd.database.facts())
+    print(report.render(), file=out)
+    return 0 if not report.warnings else 1
+
+
+def cmd_timeline(args, out: TextIO) -> int:
+    tdd = _load(args.file)
+    from .temporal.intervals import timeline
+    result = tdd.evaluate()
+    predicates = (args.predicates.split(",") if args.predicates
+                  else sorted(result.store.temporal_predicates()))
+    until = min(args.until, result.horizon)
+    print(timeline(result.store, predicates, until), file=out)
+    period = result.period
+    if period is not None:
+        print(f"\nperiod: (b={period.b}, p={period.p}) — the pattern "
+              f"repeats every {period.p} from {period.b}", file=out)
+    return 0
+
+
+def cmd_repl(args, out: TextIO,
+             input_stream: Union[TextIO, None] = None) -> int:
+    tdd = _load(args.file)
+    stream = input_stream if input_stream is not None else sys.stdin
+    print(f"loaded {args.file}; enter queries, :help for commands",
+          file=out)
+    for line in stream:
+        line = line.strip()
+        if not line:
+            continue
+        if line in (":quit", ":q", ":exit"):
+            break
+        if line == ":help":
+            print(":period :spec :classify :timeline [N] "
+                  ":explain FACT :quit — or any query", file=out)
+            continue
+        if line == ":period":
+            _print_period(tdd, out)
+            continue
+        if line == ":spec":
+            _print_spec(tdd, out)
+            continue
+        if line == ":classify":
+            _print_classification(tdd, out)
+            continue
+        if line.startswith(":timeline"):
+            parts = line.split()
+            until = int(parts[1]) if len(parts) > 1 else 40
+            print(tdd.timeline(until=min(until,
+                                         tdd.evaluate().horizon)),
+                  file=out)
+            continue
+        if line.startswith(":explain "):
+            try:
+                from .core.queries import AtomQ, parse_query
+                query = parse_query(line[len(":explain "):],
+                                    tdd.temporal_preds)
+                if not isinstance(query, AtomQ) or \
+                        not query.atom.is_ground:
+                    print("error: :explain needs a ground atom",
+                          file=out)
+                    continue
+                print(tdd.explain(query.atom).render(), file=out)
+            except ReproError as exc:
+                print(f"error: {exc}", file=out)
+            continue
+        try:
+            from .core.queries import free_variables
+            query = tdd._coerce_query(line)
+            if free_variables(query):
+                answers = tdd.answers(query)
+                print(f"{len(answers)} canonical answers"
+                      f"{' (infinite set)' if answers.is_infinite else ''}:",
+                      file=out)
+                for substitution in answers:
+                    print(f"  {substitution}", file=out)
+            else:
+                print("yes" if tdd.ask(query) else "no", file=out)
+        except ReproError as exc:
+            print(f"error: {exc}", file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Temporal deductive databases (Chomicki, PODS 1990)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="evaluate a program file")
+    run.add_argument("file")
+    run.set_defaults(func=cmd_run)
+
+    ask = sub.add_parser("ask", help="yes/no query")
+    ask.add_argument("file")
+    ask.add_argument("query")
+    ask.set_defaults(func=cmd_ask)
+
+    answers = sub.add_parser("answers", help="open query answers")
+    answers.add_argument("file")
+    answers.add_argument("query")
+    answers.add_argument("--expand", type=int, default=None,
+                         metavar="N",
+                         help="expand temporal answers up to timepoint N")
+    answers.set_defaults(func=cmd_answers)
+
+    classify = sub.add_parser("classify",
+                              help="tractable-class membership")
+    classify.add_argument("file")
+    classify.set_defaults(func=cmd_classify)
+
+    spec = sub.add_parser("spec", help="relational specification")
+    spec.add_argument("file")
+    spec.add_argument("--save", metavar="OUT.json", default=None)
+    spec.set_defaults(func=cmd_spec)
+
+    analyze = sub.add_parser("analyze",
+                             help="static analysis and lints")
+    analyze.add_argument("file")
+    analyze.set_defaults(func=cmd_analyze)
+
+    timeline = sub.add_parser("timeline",
+                              help="ASCII timeline of the model")
+    timeline.add_argument("file")
+    timeline.add_argument("--until", type=int, default=40)
+    timeline.add_argument("--predicates", default=None,
+                          help="comma-separated predicate filter")
+    timeline.set_defaults(func=cmd_timeline)
+
+    repl = sub.add_parser("repl", help="interactive query loop")
+    repl.add_argument("file")
+    repl.set_defaults(func=cmd_repl)
+
+    return parser
+
+
+def main(argv: Union[Sequence[str], None] = None,
+         out: Union[TextIO, None] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    stream = out if out is not None else sys.stdout
+    try:
+        return args.func(args, stream)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,53 @@
+"""Core contribution: tractable query processing for TDDs.
+
+Relational specifications (Section 3.3), first-order temporal queries and
+their spec-based evaluation (Proposition 3.1), the tractable-class
+machinery of Sections 5 and 6 (inflationary decision procedure,
+multi-separability, the Theorem 6.3 one-period construction), the
+Theorem 6.2/6.4 transformations, and the :class:`TDD` facade.
+"""
+
+from .analysis import (Diagnostic, ProgramReport, analyze,
+                       join_plans, lint)
+from .answers import DATA, TIME, AnswerSet
+from .classify import (SeparabilityReport, classify_ruleset,
+                       estimate_one_period, is_data_only_rule,
+                       is_multi_separable, is_recursive_rule,
+                       is_reduced_rule, is_reduced_time_only,
+                       is_separable, is_time_only_rule, one_period_bound,
+                       reduce_time_only_rules)
+from .magic import (MagicProgram, magic_ask, magic_evaluate,
+                    magic_transform)
+from .inflationary import (derived_temporal_predicates,
+                           inflationary_period_bound,
+                           inflationary_witness, is_inflationary,
+                           is_inflationary_on)
+from .queries import (And, AtomQ, DataEq, Exists, Forall, Implies, Not,
+                      Or, Query, TimeEq, answers, evaluate,
+                      evaluate_on_model, free_variables, parse_query)
+from .serialize import (load_spec, save_spec, spec_from_dict,
+                        spec_to_dict)
+from .spec import RelationalSpec, compute_specification, spec_from_result
+from .tdd import TDD, Classification
+from .transform import copy_rules, temporalize, to_time_only
+
+__all__ = [
+    "TDD", "Classification",
+    "RelationalSpec", "compute_specification", "spec_from_result",
+    "AnswerSet", "TIME", "DATA",
+    "Query", "AtomQ", "Not", "And", "Or", "Implies", "Exists", "Forall",
+    "TimeEq", "DataEq",
+    "parse_query", "evaluate", "evaluate_on_model", "answers",
+    "free_variables",
+    "is_inflationary", "inflationary_witness", "is_inflationary_on",
+    "inflationary_period_bound", "derived_temporal_predicates",
+    "classify_ruleset", "SeparabilityReport",
+    "is_time_only_rule", "is_data_only_rule", "is_reduced_rule",
+    "is_recursive_rule", "is_reduced_time_only",
+    "is_multi_separable", "is_separable",
+    "reduce_time_only_rules", "one_period_bound", "estimate_one_period",
+    "temporalize", "to_time_only", "copy_rules",
+    "magic_transform", "magic_evaluate", "magic_ask", "MagicProgram",
+    "spec_to_dict", "spec_from_dict", "save_spec", "load_spec",
+    "analyze", "lint", "join_plans", "ProgramReport", "Diagnostic",
+]

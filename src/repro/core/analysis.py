@@ -1,0 +1,223 @@
+"""Static program analysis and linting for TDD programs.
+
+A production deductive database should tell the user *why* a program
+will (or won't) evaluate well before any evaluation runs.
+:func:`analyze` produces a structural report — predicate inventory,
+recursion components, strata, forwardness, temporal depth — and
+:func:`lint` derives actionable diagnostics from it:
+
+* rules that can never fire (a body predicate with no facts and no
+  rules),
+* predicates that are defined but never used,
+* non-forward rules (periods will be verified, not certified),
+* non-normal rules (deeper than 1: relevant when comparing with the
+  paper's normal-form statements),
+* tractability status per Sections 5 and 6 with the failing rules
+  when outside both classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence, Union
+
+from ..datalog.depgraph import (dependency_graph, derived_predicates,
+                                is_stratifiable, recursive_predicates,
+                                stratification)
+from ..lang.atoms import Fact
+from ..lang.errors import ClassificationError
+from ..lang.rules import Rule
+from ..temporal.periodicity import forward_lookback
+from .classify import classify_ruleset
+from .inflationary import is_inflationary
+
+
+@dataclass
+class Diagnostic:
+    """One lint finding: a severity, a code, and a message."""
+
+    severity: str  # "info" | "warning"
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.code}: {self.message}"
+
+
+@dataclass
+class ProgramReport:
+    """The structural analysis of a ruleset (+ optional database)."""
+
+    predicates: dict[str, dict] = field(default_factory=dict)
+    recursive: set[str] = field(default_factory=set)
+    strata: dict[str, int] = field(default_factory=dict)
+    stratifiable: bool = True
+    forward: bool = True
+    lookback: Union[int, None] = None
+    temporal_depth: int = 0
+    inflationary: Union[bool, None] = None
+    multi_separable: bool = False
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    def render(self) -> str:
+        lines = ["predicates:"]
+        for pred in sorted(self.predicates):
+            info = self.predicates[pred]
+            flavour = "temporal" if info["temporal"] else "non-temporal"
+            role = info["role"]
+            stratum = self.strata.get(pred)
+            extra = f", stratum {stratum}" if stratum else ""
+            lines.append(
+                f"  {pred}/{info['arity']} ({flavour}, {role}{extra})")
+        lines.append(f"recursive predicates: "
+                     f"{sorted(self.recursive) or 'none'}")
+        lines.append(f"forward: {self.forward}"
+                     + (f" (lookback {self.lookback})"
+                        if self.forward else ""))
+        lines.append(f"max temporal depth g: {self.temporal_depth}")
+        lines.append(f"inflationary: {self.inflationary}")
+        lines.append(f"multi-separable: {self.multi_separable}")
+        for diagnostic in self.diagnostics:
+            lines.append(str(diagnostic))
+        return "\n".join(lines)
+
+
+def analyze(rules: Sequence[Rule],
+            facts: Iterable[Fact] = ()) -> ProgramReport:
+    """Build the structural report for a ruleset (+ optional database)."""
+    proper = [r for r in rules if not r.is_fact]
+    fact_list = list(facts) + [r.head.to_fact() for r in rules
+                               if r.is_fact]
+    report = ProgramReport()
+
+    derived = derived_predicates(proper)
+    extensional = {f.pred for f in fact_list}
+    for rule in proper:
+        for atom in rule.atoms():
+            info = report.predicates.setdefault(atom.pred, {
+                "temporal": atom.is_temporal,
+                "arity": atom.arity,
+                "role": "edb",
+            })
+            if atom.pred in derived:
+                info["role"] = ("idb+edb" if atom.pred in extensional
+                                else "idb")
+    for fact in fact_list:
+        report.predicates.setdefault(fact.pred, {
+            "temporal": fact.time is not None,
+            "arity": len(fact.args),
+            "role": "edb",
+        })
+
+    report.recursive = recursive_predicates(proper)
+    report.stratifiable = is_stratifiable(proper)
+    if report.stratifiable:
+        report.strata = stratification(proper)
+    report.lookback = forward_lookback(proper)
+    report.forward = report.lookback is not None
+    report.temporal_depth = max(
+        (r.temporal_depth for r in proper), default=0)
+    try:
+        report.inflationary = is_inflationary(proper)
+    except ClassificationError:
+        report.inflationary = None
+    classification = classify_ruleset(proper)
+    report.multi_separable = classification.is_multi_separable
+
+    _lint_into(report, proper, extensional, derived, classification)
+    return report
+
+
+def _lint_into(report: ProgramReport, rules: Sequence[Rule],
+               extensional: set[str], derived: set[str],
+               classification) -> None:
+    diagnostics = report.diagnostics
+    graph = dependency_graph(rules)
+
+    # Predicates with no possible facts: neither extensional nor
+    # (transitively) derivable from extensional ones.
+    supported: set[str] = set(extensional)
+    changed = True
+    while changed:
+        changed = False
+        for rule in rules:
+            if rule.head.pred in supported:
+                continue
+            if all(atom.pred in supported for atom in rule.body):
+                supported.add(rule.head.pred)
+                changed = True
+    for rule in rules:
+        dead = [atom.pred for atom in rule.body
+                if atom.pred not in supported]
+        if dead:
+            diagnostics.append(Diagnostic(
+                "warning", "dead-rule",
+                f"rule '{rule}' can never fire: no facts can exist for "
+                f"{sorted(set(dead))}"))
+
+    # Defined but never used (except as a query target, which we cannot
+    # see — hence only info severity).
+    used = {atom.pred for rule in rules
+            for atom in (*rule.body, *rule.negative)}
+    for pred in sorted(derived - used):
+        diagnostics.append(Diagnostic(
+            "info", "unused-predicate",
+            f"predicate {pred} is derived but never used in a body "
+            "(fine if it is the query target)"))
+
+    if not report.stratifiable:
+        diagnostics.append(Diagnostic(
+            "warning", "not-stratifiable",
+            "recursion through negation: the program has no stratified "
+            "model and evaluation will be rejected"))
+
+    if not report.forward:
+        backward = [r for r in rules if not r.is_forward]
+        diagnostics.append(Diagnostic(
+            "warning", "non-forward",
+            f"{len(backward)} rule(s) look forward in time; detected "
+            "periods will be verified at finite horizons, not "
+            "certified"))
+
+    if report.temporal_depth > 1:
+        diagnostics.append(Diagnostic(
+            "info", "non-normal",
+            f"max temporal depth is {report.temporal_depth} > 1; "
+            "the paper's normal-form statements apply after "
+            "to_normal()"))
+
+    if report.inflationary is False and not report.multi_separable:
+        offenders = ", ".join(str(r) for r in
+                              classification.offending_rules[:3])
+        diagnostics.append(Diagnostic(
+            "warning", "no-tractability-guarantee",
+            "outside both tractable classes (Sections 5 and 6); "
+            "evaluation may need exponential windows"
+            + (f"; offending rules: {offenders}" if offenders else "")))
+
+
+def lint(rules: Sequence[Rule],
+         facts: Iterable[Fact] = ()) -> list[Diagnostic]:
+    """Just the diagnostics of :func:`analyze`."""
+    return analyze(rules, facts).diagnostics
+
+
+def join_plans(rules: Sequence[Rule]) -> dict[str, list[str]]:
+    """The engine's join order per rule (EXPLAIN-style observability).
+
+    Maps each rule's text to its body atoms in the order the greedy
+    planner would evaluate them (most-bound-first, as used by the
+    semi-naive engine's non-delta joins).
+    """
+    from ..datalog.engine import plan_order
+    plans: dict[str, list[str]] = {}
+    for rule in rules:
+        if rule.is_fact:
+            continue
+        order = plan_order(rule.body)
+        plans[str(rule)] = [str(rule.body[i]) for i in order]
+    return plans

@@ -1,0 +1,438 @@
+"""Syntactic rule classes of Section 6: time-only, data-only,
+multi-separable, separable — and the Theorem 6.3 one-period construction.
+
+Definitions from the paper:
+
+* a temporal rule is **time-only** if it is recursive and the
+  non-temporal arguments of all occurrences of the recursive predicate
+  are identical;
+* a time-only rule is **reduced** if every non-temporal argument of its
+  body also appears in its head;
+* a temporal rule is **data-only** if it is recursive and the temporal
+  argument of all its temporal literals is identical;
+* a ruleset is **multi-separable** if it is mutual-recursion-free and all
+  the rules defining a recursive predicate are either time-only or
+  data-only.  Since time-only/data-only are properties of *recursive*
+  rules, we read this as constraining the recursive rules of each
+  recursive predicate — uniformly time-only or uniformly data-only per
+  predicate (what the level-by-level induction of Theorem 6.5 uses) —
+  while non-recursive rules (bases, inter-stratum links) are
+  unconstrained, as the induction across levels requires;
+* **separable** rulesets ([7]) additionally restrict recursive time-only
+  rules to at most one temporal literal in the body.  The paper's travel
+  example is multi-separable but not separable.
+
+Theorem 6.5: multi-separable ⇒ 1-periodic ⇒ tractable.  Theorem 6.3's
+constructive proof (skeleton databases) is implemented in
+:func:`one_period_bound` for predicates of data arity ≤ 1, which covers
+both of the paper's running examples; higher arities raise
+:class:`ClassificationError` with an explanation (the construction is
+doubly exponential in the predicate count even at arity 1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from itertools import combinations, product
+from typing import Sequence
+
+from ..datalog.depgraph import (is_mutual_recursion_free,
+                                recursive_predicates)
+from ..lang.atoms import Atom, Fact
+from ..lang.errors import ClassificationError
+from ..lang.rules import Rule
+from ..lang.terms import TimeTerm, Var
+from ..temporal.bt import bt_evaluate
+from ..temporal.database import TemporalDatabase
+
+
+# ---------------------------------------------------------------------------
+# Per-rule classification
+# ---------------------------------------------------------------------------
+
+def is_recursive_rule(rule: Rule) -> bool:
+    """The rule's head predicate occurs in its own body.
+
+    For mutual-recursion-free rulesets (the context of every Section 6
+    definition) this is the only form of recursion.
+    """
+    return any(atom.pred == rule.head.pred for atom in rule.body)
+
+
+def is_time_only_rule(rule: Rule) -> bool:
+    """Recursive, with identical non-temporal arguments in all
+    occurrences of the recursive predicate."""
+    if not is_recursive_rule(rule):
+        return False
+    occurrences = [rule.head] + [a for a in rule.body
+                                 if a.pred == rule.head.pred]
+    reference = occurrences[0].args
+    return all(atom.args == reference for atom in occurrences)
+
+
+def is_reduced_rule(rule: Rule) -> bool:
+    """Time-only with every body data variable appearing in the head."""
+    if not is_time_only_rule(rule):
+        return False
+    return rule.body_data_variables() <= rule.head_data_variables()
+
+
+def is_data_only_rule(rule: Rule) -> bool:
+    """Recursive, with the same temporal term in every temporal literal."""
+    if not is_recursive_rule(rule):
+        return False
+    times = [atom.time for atom in rule.atoms() if atom.time is not None]
+    if not times:
+        return False
+    return all(t == times[0] for t in times)
+
+
+# ---------------------------------------------------------------------------
+# Ruleset classification
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SeparabilityReport:
+    """Detailed outcome of the multi-separability check."""
+
+    mutual_recursion_free: bool
+    #: recursive predicate -> "time-only" | "data-only" | "mixed" | "other"
+    predicate_kinds: dict[str, str] = field(default_factory=dict)
+    offending_rules: list[Rule] = field(default_factory=list)
+
+    @property
+    def is_multi_separable(self) -> bool:
+        return (self.mutual_recursion_free
+                and not self.offending_rules
+                and all(kind in ("time-only", "data-only")
+                        for kind in self.predicate_kinds.values()))
+
+
+def classify_ruleset(rules: Sequence[Rule]) -> SeparabilityReport:
+    """Classify every recursive predicate of a ruleset (Section 6)."""
+    proper = [r for r in rules if not r.is_fact]
+    report = SeparabilityReport(
+        mutual_recursion_free=is_mutual_recursion_free(proper)
+    )
+    recursive = recursive_predicates(proper)
+    for pred in sorted(recursive):
+        defining = [r for r in proper
+                    if r.head.pred == pred and is_recursive_rule(r)]
+        kinds: set[str] = set()
+        for rule in defining:
+            if not rule.is_definite:
+                # The Section 6 theorems are proved for the paper's
+                # definite rules; the stratified extension is outside
+                # their guarantee.
+                kinds.add("other")
+                report.offending_rules.append(rule)
+            elif is_time_only_rule(rule):
+                kinds.add("time-only")
+            elif is_data_only_rule(rule):
+                kinds.add("data-only")
+            else:
+                kinds.add("other")
+                report.offending_rules.append(rule)
+        if kinds == {"time-only"}:
+            report.predicate_kinds[pred] = "time-only"
+        elif kinds == {"data-only"}:
+            report.predicate_kinds[pred] = "data-only"
+        elif "other" in kinds:
+            report.predicate_kinds[pred] = "other"
+        else:
+            report.predicate_kinds[pred] = "mixed"
+    return report
+
+
+def is_multi_separable(rules: Sequence[Rule]) -> bool:
+    """Multi-separability check (Section 6 / Theorem 6.5)."""
+    return classify_ruleset(rules).is_multi_separable
+
+
+def is_separable(rules: Sequence[Rule]) -> bool:
+    """Separability in the sense of [7]: multi-separable, and recursive
+    time-only rules carry at most one temporal literal in the body."""
+    report = classify_ruleset(rules)
+    if not report.is_multi_separable:
+        return False
+    for rule in rules:
+        if rule.is_fact or not is_time_only_rule(rule):
+            continue
+        temporal_literals = sum(
+            1 for atom in rule.body if atom.time is not None
+        )
+        if temporal_literals > 1:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Reduction to reduced form (preamble of Theorem 6.3)
+# ---------------------------------------------------------------------------
+
+def _clusters(atoms: list[Atom], head_vars: set[str]) -> list[list[Atom]]:
+    """Group atoms connected through variables outside ``head_vars``."""
+    parent = list(range(len(atoms)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        parent[find(i)] = find(j)
+
+    by_var: dict[str, list[int]] = {}
+    for i, atom in enumerate(atoms):
+        for var in atom.data_variables():
+            if var.name not in head_vars:
+                by_var.setdefault(var.name, []).append(i)
+    for indices in by_var.values():
+        for i in indices[1:]:
+            union(indices[0], i)
+
+    groups: dict[int, list[Atom]] = {}
+    for i, atom in enumerate(atoms):
+        groups.setdefault(find(i), []).append(atom)
+    return list(groups.values())
+
+
+def reduce_time_only_rules(rules: Sequence[Rule]) -> list[Rule]:
+    """Rewrite time-only rules into reduced form.
+
+    Body atoms carrying data variables absent from the head are folded
+    into fresh auxiliary predicates projecting those variables away (one
+    aux per connected cluster of such atoms), exactly the "introduction
+    of additional predicates and additional non-recursive rules" the
+    paper appeals to before Theorem 6.3.  The transformation preserves
+    multi-separability and the least model on original predicates.
+    """
+    out: list[Rule] = []
+    counter = 0
+    existing = {atom.pred for rule in rules for atom in rule.atoms()}
+    stem = "_red"
+    while any(p.startswith(stem) for p in existing):
+        stem += "_"
+    for rule in rules:
+        if rule.is_fact or not is_time_only_rule(rule) \
+                or is_reduced_rule(rule):
+            out.append(rule)
+            continue
+        head_vars = rule.head_data_variables()
+        recursive_atoms = [a for a in rule.body
+                           if a.pred == rule.head.pred]
+        others = [a for a in rule.body if a.pred != rule.head.pred]
+        new_body: list[Atom] = list(recursive_atoms)
+        for cluster in _clusters(others, head_vars):
+            cluster_vars = {v.name for a in cluster
+                            for v in a.data_variables()}
+            extra = cluster_vars - head_vars
+            if not extra:
+                new_body.extend(cluster)
+                continue
+            shared = sorted(cluster_vars & head_vars)
+            tvar = rule.head.temporal_variable()
+            cluster_temporal = any(a.time is not None for a in cluster)
+            aux_pred = f"{stem}{counter}"
+            counter += 1
+            time = TimeTerm(tvar, 0) if cluster_temporal and tvar else None
+            aux_atom = Atom(aux_pred, time,
+                            tuple(Var(v) for v in shared))
+            out.append(Rule(aux_atom, tuple(cluster)))
+            new_body.append(aux_atom)
+        out.append(Rule(rule.head, tuple(new_body)))
+    return out
+
+
+def is_reduced_time_only(rules: Sequence[Rule]) -> bool:
+    """Every recursive rule in the set is reduced time-only."""
+    proper = [r for r in rules if not r.is_fact]
+    return all(
+        is_reduced_rule(r) for r in proper if is_recursive_rule(r)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Theorem 6.3: the skeleton-database 1-period construction
+# ---------------------------------------------------------------------------
+
+def _predicate_signature(rules: Sequence[Rule]
+                         ) -> tuple[list[str], list[str]]:
+    """Split predicates into global bits (data arity 0) and unary bits
+    (data arity 1).  Raises for data arity ≥ 2."""
+    global_bits: list[str] = []
+    unary_bits: list[str] = []
+    seen: dict[str, tuple[bool, int]] = {}
+    for rule in rules:
+        for atom in rule.atoms():
+            seen[atom.pred] = (atom.is_temporal, atom.arity)
+    for pred in sorted(seen):
+        _, arity = seen[pred]
+        if arity == 0:
+            global_bits.append(pred)
+        elif arity == 1:
+            unary_bits.append(pred)
+        else:
+            raise ClassificationError(
+                f"one_period_bound implements the Theorem 6.3 "
+                f"construction for data arity <= 1; predicate {pred} "
+                f"has data arity {arity} (the general construction is "
+                "over vectors of constants and doubly exponential)"
+            )
+    return global_bits, unary_bits
+
+
+def _skeleton_databases(global_bits: list[str], unary_bits: list[str],
+                        temporal: dict[str, bool],
+                        max_skeletons: int):
+    """Enumerate the skeleton databases of the Theorem 6.3 proof.
+
+    A skeleton pairs (i) a truth assignment to the arity-0 predicates
+    with (ii) a set of equivalence classes, each realised by one
+    delegate constant whose class is the set of arity-1 predicates true
+    of it at time 0.  Temporal facts are placed at timepoint 0.
+    """
+    n_classes = 1 << len(unary_bits)
+    total = (1 << len(global_bits)) * (1 << n_classes)
+    if total > max_skeletons:
+        raise ClassificationError(
+            f"the skeleton enumeration would need {total} databases "
+            f"(> max_skeletons={max_skeletons}); reduce the predicate "
+            "count or raise the cap"
+        )
+    class_masks = list(range(n_classes))
+    for global_mask in range(1 << len(global_bits)):
+        base: list[Fact] = []
+        for i, pred in enumerate(global_bits):
+            if global_mask >> i & 1:
+                time = 0 if temporal[pred] else None
+                base.append(Fact(pred, time, ()))
+        for size in range(n_classes + 1):
+            for chosen in combinations(class_masks, size):
+                facts = list(base)
+                for j, mask in enumerate(chosen):
+                    constant = f"_sk{j}"
+                    for i, pred in enumerate(unary_bits):
+                        if mask >> i & 1:
+                            time = 0 if temporal[pred] else None
+                            facts.append(Fact(pred, time, (constant,)))
+                yield TemporalDatabase(facts)
+
+
+def one_period_bound(rules: Sequence[Rule],
+                     max_skeletons: int = 4096,
+                     max_window: int = 1 << 18,
+                     auto_reduce: bool = True) -> tuple[int, int]:
+    """A 1-period ``(b0, p0)`` of a multi-separable ruleset, via the
+    Theorem 6.3 skeleton-database construction.
+
+    The returned pair is database-independent: for every temporal
+    database ``D`` (maximum temporal depth ``c``), ``(c + b0, p0)`` is a
+    period of ``M(Z∧D)`` (the paper defines periods relative to the
+    biggest temporal term of ``D``).  Combination across skeletons is
+    ``(max bᵢ, lcm pᵢ)`` as in the proof.
+
+    Following the proof's fine print, skeleton databases with facts at
+    timepoint 0 only suffice when the rules are *normal*; semi-normal
+    rules are normalized first (Section 3.1), which grows the predicate
+    set by the chain predicates and can push the doubly-exponential
+    skeleton count past ``max_skeletons`` — the construction is
+    feasibility-bounded by design (the paper only needs it to be
+    database-size-independent).  Use :func:`estimate_one_period` for
+    programs beyond the cap.
+
+    Requires a multi-separable ruleset with predicates of data arity
+    ≤ 1; non-reduced time-only rules are reduced first when
+    ``auto_reduce`` is set.
+    """
+    from ..temporal.normalize import to_normal
+
+    proper = [r for r in rules if not r.is_fact]
+    if not is_multi_separable(proper):
+        raise ClassificationError(
+            "one_period_bound requires a multi-separable ruleset "
+            "(Theorem 6.5); run classify_ruleset for details"
+        )
+    if auto_reduce and not is_reduced_time_only(proper):
+        proper = [r for r in reduce_time_only_rules(proper)
+                  if not r.is_fact]
+    normalized = [r for r in to_normal(proper) if not r.is_fact]
+    global_bits, unary_bits = _predicate_signature(normalized)
+    temporal = {}
+    for rule in normalized:
+        for atom in rule.atoms():
+            temporal[atom.pred] = atom.is_temporal
+
+    b0 = 0
+    p0 = 1
+    for skeleton in _skeleton_databases(global_bits, unary_bits,
+                                        temporal, max_skeletons):
+        result = bt_evaluate(normalized, skeleton, max_window=max_window)
+        if result.period is None:
+            raise ClassificationError(
+                "no period found for a skeleton database — the ruleset "
+                "is not 1-periodic in practice"
+            )
+        b0 = max(b0, result.period.b)
+        p0 = math.lcm(p0, result.period.p)
+    return (b0, p0)
+
+
+def estimate_one_period(rules: Sequence[Rule], trials: int = 24,
+                        seed: int = 0, n_constants: int = 2,
+                        max_window: int = 1 << 18,
+                        margin: bool = True) -> tuple[int, int]:
+    """An empirical 1-period estimate from random phase-shifted databases.
+
+    The literal Theorem 6.3 construction is doubly exponential in the
+    predicate count; this estimator instead samples ``trials`` random
+    databases (facts of every predicate at random phases within one
+    rule-depth window, over ``n_constants`` constants), measures each
+    minimal period with algorithm BT, and combines them as
+    ``(max bᵢ - cᵢ, lcm pᵢ)``.
+
+    Because any ``b' ≥ b`` starts a valid period whenever ``b`` does,
+    overshooting the threshold is sound; with ``margin`` (default) the
+    estimate adds ``p0 + g`` to the observed maximum to absorb the
+    phase-alignment transient that databases outside the sample can
+    exhibit (a plane seed can spend up to one season cycle plus one hop
+    locking onto the periodic pattern).  The result remains an
+    *estimate*: exact on the sampled databases, and in practice valid
+    for the paper's examples — the benchmarks re-verify it against
+    fresh databases with :func:`repro.temporal.verify_period`.
+    """
+    import random as _random
+
+    proper = [r for r in rules if not r.is_fact]
+    rng = _random.Random(seed)
+    g = max((r.temporal_depth for r in proper), default=1)
+    phase_span = max(2 * g, 4)
+    signature: dict[str, tuple[bool, int]] = {}
+    for rule in proper:
+        for atom in rule.atoms():
+            signature[atom.pred] = (atom.is_temporal, atom.arity)
+    constants = [f"_est{i}" for i in range(n_constants)]
+
+    b0 = 0
+    p0 = 1
+    for _ in range(trials):
+        facts: list[Fact] = []
+        for pred, (temporal, arity) in signature.items():
+            for args in product(constants, repeat=arity):
+                if rng.random() < 0.5:
+                    continue
+                time = rng.randrange(phase_span) if temporal else None
+                facts.append(Fact(pred, time, tuple(args)))
+        database = TemporalDatabase(facts)
+        result = bt_evaluate(proper, database, max_window=max_window)
+        if result.period is None:
+            raise ClassificationError(
+                "no period found for a sampled database"
+            )
+        b0 = max(b0, result.period.b - database.c)
+        p0 = math.lcm(p0, result.period.p)
+    if margin:
+        b0 += p0 + g
+    return (b0, p0)

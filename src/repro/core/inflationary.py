@@ -1,0 +1,139 @@
+"""Inflationary temporal rules (Section 5 of the paper).
+
+A set of temporal rules ``Z`` is *inflationary* when, for every database
+``D``, every ground time ``t``, every constant vector ``x`` and every
+temporal predicate ``P`` derived by ``Z``::
+
+    M(Z∧D) |= P(t, x)   implies   M(Z∧D) |= P(t+1, x)
+
+Theorem 5.1: inflationary rulesets are polynomially periodic — the least
+model has period ``(poly(n)+1, 1)`` — hence tractable.
+
+Theorem 5.2: inflationariness is decidable for domain-independent
+(range-restricted) rules.  The decision procedure implemented here is the
+paper's: for each derived temporal predicate ``P_i`` of data arity
+``l_i``, build the one-fact test database ``D_i = {P_i(0, ā)}`` with
+pairwise-distinct fresh constants and check ``P_i(1, ā) ∈ M(Z ∧ D_i)``.
+The paper's sufficiency proof maps the fresh constants onto arbitrary
+ones, which requires rules without ground (constant) terms — the checker
+enforces that precondition.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from ..datalog.depgraph import derived_predicates
+from ..lang.atoms import Fact
+from ..lang.errors import ClassificationError
+from ..lang.rules import Rule
+from ..lang.terms import Const
+from ..temporal.bt import BTResult, bt_evaluate
+from ..temporal.database import TemporalDatabase
+
+
+def _temporal_arities(rules: Sequence[Rule]) -> dict[str, int]:
+    """Data arity of each temporal predicate occurring in the rules."""
+    arities: dict[str, int] = {}
+    for rule in rules:
+        for atom in rule.atoms():
+            if atom.time is not None:
+                arities[atom.pred] = atom.arity
+    return arities
+
+
+def _has_data_constants(rules: Sequence[Rule]) -> bool:
+    return any(
+        isinstance(arg, Const)
+        for rule in rules
+        if not rule.is_fact
+        for atom in rule.atoms()
+        for arg in atom.args
+    )
+
+
+def derived_temporal_predicates(rules: Sequence[Rule]) -> dict[str, int]:
+    """Derived temporal predicates of a ruleset, with data arities."""
+    arities = _temporal_arities(rules)
+    derived = derived_predicates(r for r in rules if not r.is_fact)
+    return {pred: arities[pred] for pred in sorted(derived)
+            if pred in arities}
+
+
+def inflationary_witness(rules: Sequence[Rule]
+                         ) -> Union[tuple[str, Fact], None]:
+    """The first derived temporal predicate failing the Theorem 5.2 test.
+
+    Returns ``(predicate, missing_fact)`` where ``missing_fact`` is the
+    ``P(1, ā)`` atom that is *not* implied by ``Z ∧ {P(0, ā)}``, or None
+    when the ruleset is inflationary.
+    """
+    proper = [r for r in rules if not r.is_fact]
+    if any(not r.is_definite for r in proper):
+        raise ClassificationError(
+            "the Theorem 5.2 decision procedure is proved for definite "
+            "(Horn) rules; this ruleset uses the stratified-negation "
+            "extension"
+        )
+    if _has_data_constants(proper):
+        raise ClassificationError(
+            "the Theorem 5.2 decision procedure requires rules without "
+            "ground (constant) terms, as the paper assumes in Section 3.1"
+        )
+    for pred, arity in derived_temporal_predicates(proper).items():
+        constants = tuple(f"_infl_{i}" for i in range(arity))
+        test_db = TemporalDatabase([Fact(pred, 0, constants)])
+        result = bt_evaluate(proper, test_db)
+        target = Fact(pred, 1, constants)
+        if not result.holds(target):
+            return (pred, target)
+    return None
+
+
+def is_inflationary(rules: Sequence[Rule]) -> bool:
+    """Decide whether a ruleset is inflationary (Theorem 5.2)."""
+    return inflationary_witness(rules) is None
+
+
+def is_inflationary_on(rules: Sequence[Rule], database: TemporalDatabase,
+                       result: Union[BTResult, None] = None) -> bool:
+    """Semantic spot-check of the inflationary property on one database.
+
+    Verifies ``P(t,x) ⇒ P(t+1,x)`` for every derived temporal predicate
+    over the computed window (minus its last timepoint).  Used by the
+    property tests to confront the Theorem 5.2 decision procedure with
+    the semantic definition on random databases.
+    """
+    proper = [r for r in rules if not r.is_fact]
+    derived = set(derived_temporal_predicates(proper))
+    if result is None:
+        result = bt_evaluate(proper, database)
+    for fact in result.store.temporal_facts():
+        if fact.pred not in derived:
+            continue
+        if fact.time >= result.horizon:
+            continue
+        if not result.holds(fact.shifted(1)):
+            return False
+    return True
+
+
+def inflationary_period_bound(rules: Sequence[Rule],
+                              database: TemporalDatabase) -> tuple[int, int]:
+    """The Theorem 5.1 period bound ``(P1(n)+1, 1)`` for a database.
+
+    ``P1(n)`` bounds the size of any state: at most
+    ``Σ_P n_active^{arity(P)}`` over the temporal predicates, where
+    ``n_active`` counts the constants in the database.  The returned
+    ``b`` is ``c + P1(n) + 2`` (the paper's threshold is relative to the
+    database horizon ``c``); the period length is always 1.
+    """
+    constants: set = set()
+    for fact in database.facts():
+        constants.update(fact.args)
+    n_active = max(len(constants), 1)
+    state_bound = sum(
+        n_active ** arity
+        for arity in _temporal_arities(rules).values()
+    )
+    return (database.c + state_bound + 2, 1)

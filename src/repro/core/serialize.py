@@ -1,0 +1,77 @@
+"""JSON (de)serialization of relational specifications.
+
+A specification is the reusable product of all-answers query processing
+(Theorem 4.1): computing it costs a full BT run, while answering queries
+against it is cheap.  Persisting specs lets that cost be paid once per
+database version — the workflow benchmark E6 motivates.
+
+The format is plain JSON: representatives, the period data, the rewrite
+rules, and the primary database's facts.  Constant values keep their
+Python types (str or int); tuples become lists and are restored.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..lang.atoms import Fact
+from ..rewrite.system import RewriteRule, RewriteSystem
+from ..temporal.store import TemporalStore
+from .spec import RelationalSpec
+
+FORMAT_VERSION = 1
+
+
+def spec_to_dict(spec: RelationalSpec) -> dict:
+    """A JSON-serializable dictionary for a specification."""
+    return {
+        "format": FORMAT_VERSION,
+        "b": spec.b,
+        "p": spec.p,
+        "c": spec.c,
+        "certified": spec.certified,
+        "representatives": list(spec.representatives),
+        "rewrites": [[rule.lhs, rule.rhs]
+                     for rule in spec.rewrites.rules],
+        "facts": [
+            [fact.pred, fact.time, list(fact.args)]
+            for fact in sorted(
+                spec.primary.facts(),
+                key=lambda f: (f.pred, f.time if f.time is not None
+                               else -1, tuple(map(str, f.args))))
+        ],
+    }
+
+
+def spec_from_dict(data: dict) -> RelationalSpec:
+    """Rebuild a specification from :func:`spec_to_dict` output."""
+    if data.get("format") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported specification format {data.get('format')!r}"
+        )
+    primary = TemporalStore(
+        Fact(pred, time, tuple(args))
+        for pred, time, args in data["facts"]
+    )
+    return RelationalSpec(
+        representatives=tuple(data["representatives"]),
+        primary=primary,
+        rewrites=RewriteSystem([RewriteRule(lhs, rhs)
+                                for lhs, rhs in data["rewrites"]]),
+        b=data["b"],
+        p=data["p"],
+        c=data["c"],
+        certified=data["certified"],
+    )
+
+
+def save_spec(spec: RelationalSpec, path: Union[str, Path]) -> None:
+    """Write a specification to a JSON file."""
+    Path(path).write_text(json.dumps(spec_to_dict(spec), indent=1))
+
+
+def load_spec(path: Union[str, Path]) -> RelationalSpec:
+    """Read a specification back from :func:`save_spec` output."""
+    return spec_from_dict(json.loads(Path(path).read_text()))

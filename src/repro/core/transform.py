@@ -1,0 +1,131 @@
+"""Program transformations of Section 6: Theorems 6.2 and 6.4.
+
+* :func:`temporalize` — the reduction behind Theorem 6.2's
+  undecidability proof: a function-free Datalog program ``S`` becomes a
+  temporal program ``S'`` that *counts the iterations* of ``S`` (every
+  rule gets a temporal argument stepping by one, every predicate gets a
+  copy rule, every database fact is stamped with timepoint 0).  ``S`` is
+  strongly k-bounded iff ``S'`` is 1-periodic with 1-period ``(k, 1)`` —
+  exercised empirically by experiment E8.
+
+* :func:`to_time_only` — Theorem 6.4's converse construction: every
+  1-periodic ruleset ``Z`` is matched by a set ``Z1`` of reduced
+  time-only copy rules ``P(T+p, x̄) :- P(T, x̄)`` plus a database ``D1``
+  holding a prefix of the least model, such that the least models agree.
+  Note the fine print (recorded in DESIGN.md): copy rules regenerate the
+  periodic part exactly, but also re-copy *pre-periodic* facts ``p``
+  steps forward, so the models provably agree from the period threshold
+  ``b`` onwards (and everywhere when the model has no pre-periodic
+  exceptions); :func:`to_time_only` reports the agreement threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+from ..lang.atoms import Atom, Fact
+from ..lang.errors import ClassificationError
+from ..lang.rules import Rule
+from ..lang.terms import TimeTerm, Var
+from ..temporal.bt import bt_evaluate
+from ..temporal.database import TemporalDatabase
+
+#: The temporal variable introduced by temporalize; fresh w.r.t. data
+#: variables because sorts are disjoint.
+_TVAR = "T"
+
+
+def _stamp(atom: Atom, offset: int) -> Atom:
+    """Attach temporal argument ``T+offset`` to a non-temporal atom."""
+    if atom.time is not None:
+        raise ClassificationError(
+            f"temporalize expects function-free rules; {atom} is "
+            "already temporal"
+        )
+    return Atom(atom.pred, TimeTerm(_TVAR, offset), atom.args)
+
+
+def temporalize(rules: Sequence[Rule],
+                facts: Iterable[Fact] = ()) -> tuple[list[Rule],
+                                                     list[Fact]]:
+    """The Theorem 6.2 reduction: count iterations of a Datalog program.
+
+    Each rule ``a(X̄) :- b1(Ȳ1), ..., bk(Ȳk)`` becomes
+    ``a(T+1, X̄) :- b1(T, Ȳ1), ..., bk(T, Ȳk)``; every predicate gets a
+    copy rule ``p(T+1, X̄) :- p(T, X̄)``; every database fact is stamped
+    with timepoint 0.  In the least model of the result,
+    ``p(k, x̄)`` holds iff ``x̄ ∈ T_{S∧D}^{k+1}(∅)`` — the k-th naive
+    iteration stage of the original program.
+    """
+    out: list[Rule] = []
+    predicates: dict[str, int] = {}
+    for rule in rules:
+        for atom in rule.atoms():
+            predicates[atom.pred] = atom.arity
+    for rule in rules:
+        if rule.is_fact:
+            out.append(Rule(_stamp(rule.head, 0)))
+            continue
+        head = _stamp(rule.head, 1)
+        body = tuple(_stamp(a, 0) for a in rule.body)
+        out.append(Rule(head, body))
+    for pred in sorted(predicates):
+        args = tuple(Var(f"X{i}") for i in range(predicates[pred]))
+        out.append(Rule(
+            Atom(pred, TimeTerm(_TVAR, 1), args),
+            (Atom(pred, TimeTerm(_TVAR, 0), args),),
+        ))
+    stamped = [Fact(f.pred, 0, f.args) for f in facts]
+    return out, stamped
+
+
+def copy_rules(predicates: dict[str, int], p: int) -> list[Rule]:
+    """Reduced time-only copy rules ``P(T+p, x̄) :- P(T, x̄)``."""
+    rules: list[Rule] = []
+    for pred in sorted(predicates):
+        args = tuple(Var(f"X{i}") for i in range(predicates[pred]))
+        rules.append(Rule(
+            Atom(pred, TimeTerm(_TVAR, p), args),
+            (Atom(pred, TimeTerm(_TVAR, 0), args),),
+        ))
+    return rules
+
+
+def to_time_only(rules: Sequence[Rule], database: TemporalDatabase,
+                 b: Union[int, None] = None,
+                 p: Union[int, None] = None
+                 ) -> tuple[list[Rule], TemporalDatabase, int]:
+    """Theorem 6.4: replace a (1-)periodic TDD by copy rules + a prefix.
+
+    Returns ``(Z1, D1, threshold)`` where ``Z1`` is the set of reduced
+    time-only copy rules with step ``p``, ``D1`` holds every least-model
+    fact with timepoint ≤ ``b + p - 1`` (plus the non-temporal part),
+    and the least models of ``Z∧D`` and ``Z1∧D1`` agree on all
+    timepoints ≥ ``threshold`` (= the period start ``b``); below the
+    threshold ``M(Z1∧D1)`` may be a superset, because copy rules also
+    push pre-periodic facts forward.
+
+    ``b``/``p`` default to the minimal period found by algorithm BT.
+    """
+    if b is None or p is None:
+        result = bt_evaluate(rules, database)
+        if result.period is None:
+            raise ClassificationError("no period found; cannot apply the "
+                                      "Theorem 6.4 construction")
+        b, p = result.period.b, result.period.p
+        store = result.store
+    else:
+        result = bt_evaluate(rules, database, window=b + 2 * p)
+        store = result.store
+
+    predicates: dict[str, int] = {}
+    for fact in store.temporal_facts():
+        predicates[fact.pred] = len(fact.args)
+    for rule in rules:
+        for atom in rule.atoms():
+            if atom.time is not None:
+                predicates[atom.pred] = atom.arity
+
+    prefix = store.truncate(b + p - 1)
+    d1 = TemporalDatabase(prefix.facts())
+    return copy_rules(predicates, p), d1, b

@@ -1,0 +1,60 @@
+"""Boundedness utilities for Datalog programs.
+
+Theorem 6.2 of the paper reduces *strong k-boundedness* of function-free
+rules (``LFP(S, D) = T_{S∧D}^k(∅)`` for every database ``D``, shown
+undecidable by Gaifman/Sagiv/Mairson/Vardi 1987) to 1-periodicity of
+temporal rules.  Boundedness itself is undecidable, but for a *fixed*
+database the number of naive iterations to fixpoint is computable; these
+helpers expose it so the reduction can be exercised empirically
+(experiment E8).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..lang.atoms import Fact
+from ..lang.rules import Rule
+from .engine import check_datalog, immediate_consequences
+from .facts import FactStore
+
+
+def stage_sequence(rules: Sequence[Rule], edb: Iterable[Fact],
+                   max_stages: int = 10_000) -> list[FactStore]:
+    """The naive evaluation stages ``D, T(D), T²(D), ...`` up to fixpoint.
+
+    Each stage includes the database (the paper's operator unions ``D``
+    in).  The returned list ends with the first repeated store, i.e. the
+    least fixpoint.  Raises ``RuntimeError`` past ``max_stages``.
+    """
+    check_datalog(rules)
+    current = FactStore(edb)
+    stages = [current]
+    for _ in range(max_stages):
+        derived = immediate_consequences(rules, current)
+        nxt = current.copy()
+        for fact in derived.facts():
+            nxt.add(fact.pred, fact.args)
+        if nxt == current:
+            return stages
+        stages.append(nxt)
+        current = nxt
+    raise RuntimeError(f"no fixpoint within {max_stages} stages")
+
+
+def iterations_to_fixpoint(rules: Sequence[Rule],
+                           edb: Iterable[Fact]) -> int:
+    """Number of naive iterations until ``T`` adds nothing new."""
+    return len(stage_sequence(rules, edb)) - 1
+
+
+def is_k_bounded_on(rules: Sequence[Rule], edb: Iterable[Fact],
+                    k: int) -> bool:
+    """Does naive evaluation on this particular database converge within
+    ``k`` iterations?
+
+    Strong k-boundedness quantifies over *all* databases and is
+    undecidable; this is the per-database check used to study the
+    Theorem 6.2 correspondence on concrete instances.
+    """
+    return iterations_to_fixpoint(rules, edb) <= k

@@ -1,0 +1,228 @@
+"""Predicate dependency graphs, strongly connected components, recursion.
+
+The paper's syntactic classes of Section 6 are defined in terms of the
+dependency structure of a ruleset: *mutual-recursion-free* rulesets have
+no two distinct predicates that depend on each other, and Theorem 6.5's
+proof assigns a *level number* to every predicate of such a ruleset.  This
+module provides those notions for any ruleset (temporal or not): the
+dependency graph, Tarjan SCCs, recursive predicates/rules, and topological
+levels.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..lang.rules import Rule
+
+
+def dependency_graph(rules: Iterable[Rule]) -> dict[str, set[str]]:
+    """Map each head predicate to the set of predicates it depends on.
+
+    Both positive and negative body literals induce dependencies.  Every
+    predicate occurring anywhere in the rules appears as a key (EDB
+    predicates map to an empty set).
+    """
+    graph: dict[str, set[str]] = {}
+    for rule in rules:
+        deps = graph.setdefault(rule.head.pred, set())
+        for atom in rule.body:
+            deps.add(atom.pred)
+            graph.setdefault(atom.pred, set())
+        for atom in rule.negative:
+            deps.add(atom.pred)
+            graph.setdefault(atom.pred, set())
+    return graph
+
+
+def negative_edges(rules: Iterable[Rule]) -> set[tuple[str, str]]:
+    """Dependency edges induced by negative literals: (head, negated)."""
+    return {
+        (rule.head.pred, atom.pred)
+        for rule in rules
+        for atom in rule.negative
+    }
+
+
+def strongly_connected_components(
+        graph: dict[str, set[str]]) -> list[set[str]]:
+    """Tarjan's algorithm, iterative; components in reverse topological
+    order (callees before callers)."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    components: list[set[str]] = []
+    counter = 0
+
+    for root in graph:
+        if root in index:
+            continue
+        work: list[tuple[str, "list[str]"]] = [(root, list(graph[root]))]
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, pending = work[-1]
+            if pending:
+                succ = pending.pop()
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, list(graph[succ])))
+                elif succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            else:
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component: set[str] = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.add(member)
+                        if member == node:
+                            break
+                    components.append(component)
+    return components
+
+
+def derived_predicates(rules: Iterable[Rule]) -> set[str]:
+    """Predicates appearing in the head of some rule (Section 5)."""
+    return {rule.head.pred for rule in rules}
+
+
+def recursive_predicates(rules: Sequence[Rule]) -> set[str]:
+    """Predicates involved in recursion (a cycle in the dependency graph).
+
+    This includes directly recursive predicates (self-loop) and members of
+    larger cycles (mutual recursion).
+    """
+    graph = dependency_graph(rules)
+    recursive: set[str] = set()
+    for component in strongly_connected_components(graph):
+        if len(component) > 1:
+            recursive.update(component)
+        else:
+            (pred,) = component
+            if pred in graph[pred]:
+                recursive.add(pred)
+    return recursive
+
+
+def is_mutual_recursion_free(rules: Sequence[Rule]) -> bool:
+    """True when no dependency cycle involves two distinct predicates."""
+    graph = dependency_graph(rules)
+    return all(
+        len(component) == 1
+        for component in strongly_connected_components(graph)
+    )
+
+
+def is_recursive_rule(rule: Rule, recursive: set[str]) -> bool:
+    """A rule is recursive when its head predicate is recursive and the
+    body mentions a predicate from the head's recursion component.
+
+    For mutual-recursion-free rulesets (the only place the paper needs
+    rule-level recursion), this reduces to the head predicate occurring in
+    its own body.
+    """
+    if rule.head.pred not in recursive:
+        return False
+    return any(atom.pred == rule.head.pred for atom in rule.body)
+
+
+def predicate_levels(rules: Sequence[Rule]) -> dict[str, int]:
+    """Assign a level number to every predicate (Theorem 6.5's proof).
+
+    EDB predicates get level 0; a derived predicate's level is one more
+    than the maximum level of the distinct predicates it depends on.
+    Requires a mutual-recursion-free ruleset (raises ValueError
+    otherwise); self-recursion is ignored for the level computation.
+    """
+    graph = dependency_graph(rules)
+    components = strongly_connected_components(graph)
+    if any(len(c) > 1 for c in components):
+        raise ValueError("levels are defined for mutual-recursion-free "
+                         "rulesets only")
+    levels: dict[str, int] = {}
+    # Components arrive callees-first, so one pass suffices.
+    for component in components:
+        (pred,) = component
+        deps = [levels[q] + 1 for q in graph[pred] if q != pred]
+        levels[pred] = max(deps, default=0)
+    return levels
+
+
+def stratification(rules: Sequence[Rule]) -> dict[str, int]:
+    """Assign each predicate a stratum for stratified negation.
+
+    A program is *stratifiable* when no dependency cycle passes through
+    a negative edge.  Strata are the smallest numbers satisfying
+    ``stratum(head) ≥ stratum(dep)`` for positive dependencies and
+    ``stratum(head) > stratum(neg_dep)`` for negative ones; EDB
+    predicates sit at stratum 0.  Raises ValueError for
+    non-stratifiable programs (e.g. ``p :- not p``).
+
+    Negation is an extension beyond the paper's definite rules; see
+    :mod:`repro.temporal.stratified`.
+    """
+    graph = dependency_graph(rules)
+    negatives = negative_edges(rules)
+    components = strongly_connected_components(graph)
+    component_of: dict[str, int] = {}
+    for i, component in enumerate(components):
+        for pred in component:
+            component_of[pred] = i
+    for head, dep in negatives:
+        if component_of[head] == component_of[dep]:
+            raise ValueError(
+                f"not stratifiable: predicates {head} and {dep} are "
+                "mutually recursive through negation"
+            )
+    # Components arrive callees-first; one pass computes strata.
+    component_stratum = [0] * len(components)
+    for i, component in enumerate(components):
+        level = 0
+        for pred in component:
+            for dep in graph[pred]:
+                j = component_of[dep]
+                if j == i:
+                    continue
+                bump = 1 if (pred, dep) in negatives else 0
+                level = max(level, component_stratum[j] + bump)
+        component_stratum[i] = level
+    return {pred: component_stratum[component_of[pred]]
+            for pred in graph}
+
+
+def is_stratifiable(rules: Sequence[Rule]) -> bool:
+    """True when :func:`stratification` succeeds."""
+    try:
+        stratification(rules)
+    except ValueError:
+        return False
+    return True
+
+
+def strata_of_rules(rules: Sequence[Rule]) -> "list[list[Rule]]":
+    """Group rules by the stratum of their head, ascending.
+
+    The groups partition the (non-fact) rules; evaluating them in order,
+    each with the previous strata's model as extensional input, yields
+    the standard stratified (perfect) model.
+    """
+    proper = [r for r in rules if not r.is_fact]
+    strata = stratification(proper)
+    if not proper:
+        return []
+    top = max(strata[r.head.pred] for r in proper)
+    groups: list[list[Rule]] = [[] for _ in range(top + 1)]
+    for rule in proper:
+        groups[strata[rule.head.pred]].append(rule)
+    return [group for group in groups if group]

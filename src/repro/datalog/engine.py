@@ -1,0 +1,299 @@
+"""Bottom-up evaluation of function-free Datalog (the classical substrate).
+
+Two engines over :class:`~repro.datalog.facts.FactStore`:
+
+* :func:`naive_evaluate` — iterate the full immediate-consequence operator
+  ``T_S`` to fixpoint; the reference implementation used in tests and in
+  the boundedness utilities (Theorem 6.2 talks about ``T_S^k(∅)``).
+* :func:`seminaive_evaluate` — standard semi-naive evaluation with delta
+  relations and greedy join ordering; the production path.
+
+Joins order body atoms greedily by boundness and probe lazily-built hash
+indexes on the bound positions (see :class:`FactStore`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Union
+
+from ..lang.atoms import Fact
+from ..lang.errors import ValidationError
+from ..lang.rules import Rule
+from ..lang.terms import Const, Var
+from .facts import ArgTuple, FactStore
+
+Binding = dict[str, Union[str, int]]
+
+
+def check_datalog(rules: Sequence[Rule]) -> None:
+    """Ensure the rules are plain Datalog: no temporal atoms anywhere."""
+    for rule in rules:
+        for atom in rule.atoms():
+            if atom.time is not None:
+                raise ValidationError(
+                    f"rule {rule} contains temporal atom {atom}; "
+                    "the Datalog engine is function-free"
+                )
+        if not rule.is_fact and not rule.is_range_restricted:
+            raise ValidationError(f"rule {rule} is not range-restricted")
+        if not rule.is_safe:
+            raise ValidationError(
+                f"rule {rule} is not safe: negative literals must be "
+                "bound by positive ones"
+            )
+
+
+def _negatives_absent(rule: Rule, binding: Binding,
+                      store: FactStore) -> bool:
+    """Check the rule's negative literals against ``store`` — sound
+    when the negated predicates are frozen (stratified scheduling)."""
+    for atom in rule.negative:
+        pred, args = _head_fact(atom, binding)
+        if store.contains(pred, args):
+            return False
+    return True
+
+
+def plan_order(body: Sequence, first: Union[int, None] = None) -> list[int]:
+    """Greedy join order over body atoms.
+
+    Returns indexes into ``body``.  When ``first`` is given, that atom
+    leads (used by semi-naive evaluation to put the delta atom first).
+    At each step, the atom sharing the most already-bound variables (plus
+    constants) is chosen; ties break towards textual order.
+    """
+    remaining = set(range(len(body)))
+    order: list[int] = []
+    bound: set[str] = set()
+
+    def bind(i: int) -> None:
+        order.append(i)
+        remaining.discard(i)
+        for arg in body[i].args:
+            if isinstance(arg, Var):
+                bound.add(arg.name)
+        tvar = body[i].temporal_variable()
+        if tvar is not None:
+            bound.add(tvar)
+
+    if first is not None:
+        bind(first)
+    while remaining:
+        def score(i: int) -> tuple[int, int]:
+            atom = body[i]
+            hits = sum(
+                1 for arg in atom.args
+                if isinstance(arg, Const)
+                or (isinstance(arg, Var) and arg.name in bound)
+            )
+            tvar = atom.temporal_variable()
+            if tvar is not None and tvar in bound:
+                hits += 1
+            if atom.time is not None and atom.time.is_ground:
+                hits += 1
+            return (hits, -i)
+        bind(max(remaining, key=score))
+    return order
+
+
+def _extend_binding(atom, args: ArgTuple,
+                    binding: Binding) -> Union[Binding, None]:
+    """Extend ``binding`` so that ``atom``'s data args match ``args``."""
+    new: Union[Binding, None] = None
+    for pattern, value in zip(atom.args, args):
+        if isinstance(pattern, Const):
+            if pattern.value != value:
+                return None
+        else:
+            source = new if new is not None else binding
+            bound = source.get(pattern.name)
+            if bound is None:
+                if new is None:
+                    new = dict(binding)
+                new[pattern.name] = value
+            elif bound != value:
+                return None
+    return new if new is not None else binding
+
+
+def _candidates(atom, store: FactStore,
+                binding: Binding) -> Iterator[ArgTuple]:
+    positions: list[int] = []
+    key: list[Union[str, int]] = []
+    for i, arg in enumerate(atom.args):
+        if isinstance(arg, Const):
+            positions.append(i)
+            key.append(arg.value)
+        elif arg.name in binding:
+            positions.append(i)
+            key.append(binding[arg.name])
+    yield from store.lookup(atom.pred, tuple(positions), tuple(key))
+
+
+def join(body: Sequence, order: Sequence[int], stores: Sequence[FactStore],
+         binding: Union[Binding, None] = None) -> Iterator[Binding]:
+    """Enumerate bindings satisfying all body atoms.
+
+    ``stores[k]`` supplies the facts for the atom at ``order[k]`` —
+    passing the delta store for position 0 and the full store elsewhere
+    yields the semi-naive rule firing.
+    """
+    if binding is None:
+        binding = {}
+
+    def recurse(step: int, binding: Binding) -> Iterator[Binding]:
+        if step == len(order):
+            yield binding
+            return
+        atom = body[order[step]]
+        store = stores[step]
+        for args in _candidates(atom, store, binding):
+            extended = _extend_binding(atom, args, binding)
+            if extended is not None:
+                yield from recurse(step + 1, extended)
+
+    return recurse(0, binding)
+
+
+def _head_fact(head, binding: Binding) -> tuple[str, ArgTuple]:
+    args = tuple(
+        binding[a.name] if isinstance(a, Var) else a.value
+        for a in head.args
+    )
+    return head.pred, args
+
+
+def immediate_consequences(rules: Sequence[Rule],
+                           store: FactStore) -> FactStore:
+    """One application of the immediate-consequence operator ``T_S``.
+
+    Returns ``T_S(store)`` *including* the facts re-derivable from rules
+    with empty bodies; the caller unions in the EDB as the paper's
+    operator definition does.
+    """
+    out = FactStore()
+    for rule in rules:
+        if rule.is_fact:
+            out.add(*_head_fact(rule.head, {}))
+            continue
+        order = plan_order(rule.body)
+        stores = [store] * len(order)
+        for binding in join(rule.body, order, stores):
+            if rule.negative and not _negatives_absent(rule, binding,
+                                                       store):
+                continue
+            out.add(*_head_fact(rule.head, binding))
+    return out
+
+
+def _naive_group(rules: Sequence[Rule], store: FactStore,
+                 max_iterations: Union[int, None] = None) -> None:
+    """Naive iteration of one (stratum's) rule group, in place."""
+    iterations = 0
+    while True:
+        iterations += 1
+        if max_iterations is not None and iterations > max_iterations:
+            break
+        derived = immediate_consequences(rules, store)
+        changed = False
+        for fact in derived.facts():
+            if store.add(fact.pred, fact.args):
+                changed = True
+        if not changed:
+            break
+
+
+def _strata(rules: Sequence[Rule]) -> "list[list[Rule]]":
+    """One group for definite programs; stratified groups otherwise."""
+    if all(rule.is_definite for rule in rules):
+        return [list(rules)] if rules else []
+    from .depgraph import strata_of_rules
+    try:
+        groups = strata_of_rules(rules)
+    except ValueError as exc:
+        raise ValidationError(str(exc)) from exc
+    facts = [r for r in rules if r.is_fact]
+    if facts and groups:
+        groups[0] = facts + groups[0]
+    elif facts:
+        groups = [facts]
+    return groups
+
+
+def naive_evaluate(rules: Sequence[Rule], edb: Iterable[Fact],
+                   max_iterations: Union[int, None] = None) -> FactStore:
+    """The (perfect) model by naive iteration, stratum by stratum.
+
+    For definite programs this is the least fixpoint ``⋃ T_S^i(∅) ∪ D``;
+    programs with (stratifiable) negation get the standard perfect-model
+    semantics.
+    """
+    check_datalog(rules)
+    store = FactStore(edb)
+    for group in _strata(rules):
+        _naive_group(group, store, max_iterations)
+    return store
+
+
+def _seminaive_group(rules: Sequence[Rule], store: FactStore) -> None:
+    """Semi-naive iteration of one (stratum's) rule group, in place."""
+    # Round 0 below joins against the full store, so the initial delta
+    # only needs the facts it introduces.
+    delta = FactStore()
+    for rule in rules:
+        if rule.is_fact:
+            pred, args = _head_fact(rule.head, {})
+            if store.add(pred, args):
+                delta.add(pred, args)
+    for rule in rules:
+        if rule.is_fact:
+            continue
+        order = plan_order(rule.body)
+        for binding in join(rule.body, order, [store] * len(order)):
+            if rule.negative and not _negatives_absent(rule, binding,
+                                                       store):
+                continue
+            pred, args = _head_fact(rule.head, binding)
+            if store.add(pred, args):
+                delta.add(pred, args)
+
+    # Precompute, per rule, the plans that lead with each body position.
+    plans: list[tuple[Rule, list[tuple[int, list[int]]]]] = []
+    for rule in rules:
+        if rule.is_fact:
+            continue
+        leads = [(i, plan_order(rule.body, first=i))
+                 for i in range(len(rule.body))]
+        plans.append((rule, leads))
+
+    while len(delta):
+        new_delta = FactStore()
+        delta_preds = delta.predicates()
+        for rule, leads in plans:
+            for i, order in leads:
+                if rule.body[i].pred not in delta_preds:
+                    continue
+                stores = [delta] + [store] * (len(order) - 1)
+                for binding in join(rule.body, order, stores):
+                    if rule.negative and not _negatives_absent(
+                            rule, binding, store):
+                        continue
+                    pred, args = _head_fact(rule.head, binding)
+                    if store.add(pred, args):
+                        new_delta.add(pred, args)
+        delta = new_delta
+
+
+def seminaive_evaluate(rules: Sequence[Rule],
+                       edb: Iterable[Fact]) -> FactStore:
+    """The (perfect) model by semi-naive iteration with delta relations.
+
+    Matches :func:`naive_evaluate` (property-tested); programs with
+    stratifiable negation are scheduled stratum by stratum so the
+    negation checks stay stable within each fixpoint.
+    """
+    check_datalog(rules)
+    store = FactStore(edb)
+    for group in _strata(rules):
+        _seminaive_group(group, store)
+    return store

@@ -1,0 +1,22 @@
+"""Functional deductive databases — the Section 7 generalization.
+
+TDDs with several unary function symbols in the distinguished argument.
+The paper reports (via reference [6]) that relational specifications
+still exist for this class but the Theorem 4.1 tractability equivalence
+fails and no tractable subclasses are known; this package makes those
+observations executable (experiment E13): a depth-bounded evaluator, the
+word-level state map whose domain explodes, and word rewrite systems —
+the general form of a specification's ``W``.
+"""
+
+from .engine import FAtom, FFact, FRule, ffixpoint, word_states
+from .rewrite import WordRewriteSystem, WordRule
+from .spec import WordSpec, infer_word_spec
+from .terms import FTerm, Word, fvar, ground
+
+__all__ = [
+    "FTerm", "Word", "ground", "fvar",
+    "FAtom", "FFact", "FRule", "ffixpoint", "word_states",
+    "WordRule", "WordRewriteSystem",
+    "WordSpec", "infer_word_spec",
+]

@@ -1,0 +1,102 @@
+"""Word rewrite systems: the ``W`` of an FDDB relational specification.
+
+Section 3.3 defines relational specifications for *functional* deductive
+databases in general: ``W`` is a finite set of ground rewrite rules
+whose both sides are terms of the distinguished sort.  With several
+unary symbols, ground terms are words (outermost symbol first) and a
+subterm is a *suffix* of the word; a rule ``l → r`` applies to ``w``
+when ``w = u·l``, producing ``u·r``.
+
+For the single-symbol TDD case this degenerates to
+:class:`repro.rewrite.RewriteSystem` (words of one repeated letter are
+unary numerals).  Termination is guaranteed for length-decreasing
+systems; :meth:`normalize` additionally guards against divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..lang.errors import EvaluationError
+from .terms import Word
+
+
+@dataclass(frozen=True)
+class WordRule:
+    """A ground word rewrite rule ``lhs → rhs`` (applied to suffixes)."""
+
+    lhs: Word
+    rhs: Word
+
+    @property
+    def is_decreasing(self) -> bool:
+        return len(self.rhs) < len(self.lhs)
+
+    def applies_to(self, word: Word) -> bool:
+        k = len(self.lhs)
+        return k <= len(word) and word[len(word) - k:] == self.lhs
+
+    def apply(self, word: Word) -> Word:
+        return word[:len(word) - len(self.lhs)] + self.rhs
+
+    def __str__(self) -> str:
+        def render(w: Word) -> str:
+            return "".join(w) + "·0" if w else "0"
+        return f"{render(self.lhs)} -> {render(self.rhs)}"
+
+
+class WordRewriteSystem:
+    """A finite set of ground word rewrite rules."""
+
+    def __init__(self, rules: Sequence[WordRule]):
+        self.rules = tuple(sorted(set(rules),
+                                  key=lambda r: (r.lhs, r.rhs)))
+
+    @property
+    def is_terminating(self) -> bool:
+        """Length-decreasing rules ⇒ terminating (sufficient check)."""
+        return all(rule.is_decreasing for rule in self.rules)
+
+    def step(self, word: Word) -> Word | None:
+        for rule in self.rules:
+            if rule.applies_to(word):
+                return rule.apply(word)
+        return None
+
+    def normalize(self, word: Word, max_steps: int = 100_000) -> Word:
+        current = tuple(word)
+        for _ in range(max_steps):
+            nxt = self.step(current)
+            if nxt is None:
+                return current
+            current = nxt
+        raise EvaluationError(
+            f"rewriting of {word} did not terminate in {max_steps} steps"
+        )
+
+    def is_canonical(self, word: Word) -> bool:
+        return self.step(tuple(word)) is None
+
+    def canonical_forms(self, alphabet: Sequence[str],
+                        max_depth: int) -> list[Word]:
+        """All canonical words up to ``max_depth`` — the representative
+        set ``T`` a specification over this system would need.
+
+        Exponential in ``max_depth`` in the worst case: exactly the
+        Section 7 obstacle.
+        """
+        out: list[Word] = []
+        frontier: list[Word] = [()]
+        for _ in range(max_depth + 1):
+            next_frontier: list[Word] = []
+            for word in frontier:
+                if self.is_canonical(word):
+                    out.append(word)
+                for symbol in alphabet:
+                    next_frontier.append((symbol,) + word)
+            frontier = next_frontier
+        return out
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(r) for r in self.rules) + "}"

@@ -1,0 +1,139 @@
+"""Specification inference for functional DDBs: word congruences.
+
+Section 3.3 defines relational specifications for functional deductive
+databases in general; the paper's reference [6] computes them in
+PSPACE.  This module implements the observable core of that idea for
+models produced by the depth-bounded evaluator: a Myhill–Nerode-style
+*word congruence*.
+
+Two canonical words ``u ≡ v`` when every extension behaves identically:
+``state(e·u) = state(e·v)`` for all extension words ``e`` (checked up
+to the available depth — the congruence is *observed*, like the period
+detection of the temporal engine, and exact whenever the model really
+is congruence-finite within the window).  The inferred specification is
+
+* ``T`` — one representative per congruence class (BFS-least),
+* ``W`` — word rewrite rules ``s·r' → r`` collapsing each one-symbol
+  extension of a representative onto its class representative,
+* ``B`` — the model facts at representative words,
+
+which answers membership for arbitrarily deep words exactly as the TDD
+specification does — when the congruence is finite.  The single-symbol
+case degenerates to the temporal period construction; branching
+alphabets may have *no* finite congruence (then inference reports
+failure), which is the Section 7 obstacle made concrete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
+
+from ..lang.errors import EvaluationError
+from .engine import FFact, word_states
+from .rewrite import WordRewriteSystem, WordRule
+from .terms import Word
+
+
+@dataclass(frozen=True)
+class WordSpec:
+    """An inferred (T, B, W) for a functional DDB model."""
+
+    representatives: tuple[Word, ...]
+    primary: frozenset[FFact]
+    rewrites: WordRewriteSystem
+    observed_depth: int
+
+    def holds(self, fact: FFact) -> bool:
+        """Membership for arbitrarily deep words, via canonicalisation."""
+        if fact.word is None:
+            return fact in self.primary
+        canonical = self.rewrites.normalize(fact.word)
+        return FFact(fact.pred, canonical, fact.args) in self.primary
+
+    @property
+    def size(self) -> int:
+        return (len(self.representatives) + len(self.primary)
+                + len(self.rewrites.rules))
+
+
+def _state_map(model: Iterable[FFact], alphabet: Sequence[str],
+               depth: int) -> dict[Word, frozenset]:
+    states = word_states(model)
+    complete: dict[Word, frozenset] = {}
+    frontier: list[Word] = [()]
+    for _ in range(depth + 1):
+        next_frontier = []
+        for word in frontier:
+            complete[word] = states.get(word, frozenset())
+            next_frontier.extend((s,) + word for s in alphabet)
+        frontier = next_frontier
+    return complete
+
+
+def infer_word_spec(model: Iterable[FFact], alphabet: Sequence[str],
+                    depth: int,
+                    evidence: int = 2) -> Union[WordSpec, None]:
+    """Infer a finite specification from a depth-bounded model.
+
+    ``depth`` is the model's evaluation bound; ``evidence`` reserves
+    that many levels of extensions for congruence checking (words
+    longer than ``depth - evidence`` are not classified, only used as
+    witnesses).  Returns None when the observed congruence does not
+    close — either genuinely infinite (Section 7) or needing a larger
+    depth.
+    """
+    model = list(model)
+    states = _state_map(model, alphabet, depth)
+    classify_depth = depth - evidence
+    if classify_depth < 0:
+        raise EvaluationError("depth too small for the evidence margin")
+
+    def signature(word: Word) -> tuple:
+        """Observable behaviour: states of all extensions up to the
+        evidence budget.  The budget is fixed (not maximal) so words of
+        different lengths have comparable signatures — e.g. ``f(f(0))``
+        must be comparable with ``0`` in the even example."""
+        rows = []
+        frontier: list[Word] = [()]
+        for _ in range(evidence + 1):
+            rows.extend(states[e + word] for e in frontier)
+            frontier = [(s,) + e for e in frontier for s in alphabet]
+        return tuple(rows)
+
+    # BFS over words; first member of each signature class represents it.
+    representatives: list[Word] = []
+    rep_of: dict[tuple, Word] = {}
+    rules: list[WordRule] = []
+    frontier = [()]
+    closed = True
+    for level in range(classify_depth + 1):
+        next_frontier = []
+        for word in frontier:
+            sig = signature(word)
+            known = rep_of.get(sig)
+            if known is not None:
+                rules.append(WordRule(word, known))
+                continue
+            rep_of[sig] = word
+            representatives.append(word)
+            next_frontier.extend((s,) + word for s in alphabet)
+        if level == classify_depth and next_frontier:
+            # Unclassified representatives still spawn extensions: the
+            # congruence did not close within the window.
+            closed = False
+        frontier = next_frontier
+    if not closed:
+        return None
+
+    system = WordRewriteSystem(rules)
+    primary = frozenset(
+        fact for fact in model
+        if fact.word is None or fact.word in set(representatives)
+    )
+    return WordSpec(
+        representatives=tuple(representatives),
+        primary=primary,
+        rewrites=system,
+        observed_depth=depth,
+    )

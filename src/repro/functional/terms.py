@@ -1,0 +1,82 @@
+"""Terms of functional deductive databases (Section 7 / reference [6]).
+
+FDDBs generalise TDDs: instead of the single successor ``+1``, the
+distinguished argument ranges over terms built from ``0`` with *several*
+unary function symbols, e.g. ``f(g(f(0)))``.  A ground functional term
+is therefore a **word** over the function alphabet (outermost symbol
+first), and a non-ground term is a word applied on top of a variable.
+
+The paper's Section 7 observes that the relational-specification
+machinery still *defines* finite representations for FDDBs, but the
+Theorem 4.1 equivalence (polynomial size ⇔ polynomial time) breaks and
+no tractable subclasses are known; the ``repro.functional`` package
+exists to make those observations executable (see experiment E13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+#: A word over the function alphabet, outermost symbol first.
+Word = tuple[str, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class FTerm:
+    """A functional term ``word(var)`` or the ground ``word(0)``.
+
+    ``FTerm(None, ("f", "g"))`` is ``f(g(0))``; ``FTerm("X", ("f",))``
+    is ``f(X)``.
+    """
+
+    var: Union[str, None]
+    word: Word = ()
+
+    @property
+    def is_ground(self) -> bool:
+        return self.var is None
+
+    @property
+    def depth(self) -> int:
+        return len(self.word)
+
+    def apply(self, symbol: str) -> "FTerm":
+        """Wrap one more function application around this term."""
+        return FTerm(self.var, (symbol,) + self.word)
+
+    def instantiate(self, word: Word) -> Word:
+        """Ground the term by substituting ``word(0)`` for the variable."""
+        if self.var is None:
+            return self.word
+        return self.word + word
+
+    def matches(self, ground: Word) -> tuple[bool, Union[Word, None]]:
+        """Match against a ground word.
+
+        Returns ``(matched, binding)``: ``f(X)`` matches ``f(g(0))``
+        with binding ``("g",)``; a ground pattern matches only itself,
+        with binding None.
+        """
+        if self.var is None:
+            return (self.word == ground, None)
+        k = len(self.word)
+        if len(ground) >= k and ground[:k] == self.word:
+            return (True, ground[k:])
+        return (False, None)
+
+    def __str__(self) -> str:
+        inner = self.var if self.var is not None else "0"
+        for symbol in reversed(self.word):
+            inner = f"{symbol}({inner})"
+        return inner
+
+
+def ground(word: Word) -> FTerm:
+    """The ground functional term ``word(0)``."""
+    return FTerm(None, tuple(word))
+
+
+def fvar(name: str, word: Word = ()) -> FTerm:
+    """The functional term ``word(name)`` over a variable."""
+    return FTerm(name, tuple(word))

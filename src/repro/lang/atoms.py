@@ -1,0 +1,121 @@
+"""Atoms of the temporal deductive database language.
+
+Following Section 3.1 of the paper, an atom is either
+
+* a **temporal atom** ``P(v, x1, ..., xn)`` where ``v`` is a temporal term
+  and the ``xi`` are data terms, or
+* a **non-temporal atom** ``R(x1, ..., xn)`` with only data terms.
+
+Both are represented by :class:`Atom`; the distinction is whether the
+``time`` field is ``None``.  Ground temporal facts are represented by
+:class:`Fact`, an interned, lightweight ``(pred, timepoint, args)`` triple
+used by the evaluation engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from .terms import Const, DataTerm, TimeTerm, Var
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """A temporal or non-temporal atom.
+
+    ``time is None`` means the predicate is non-temporal.  ``args`` holds
+    only the non-temporal arguments; the temporal argument is always the
+    distinguished first argument and lives in ``time``.
+    """
+
+    pred: str
+    time: Union[TimeTerm, None]
+    args: tuple[DataTerm, ...]
+
+    @property
+    def is_temporal(self) -> bool:
+        """True if this atom has a temporal argument."""
+        return self.time is not None
+
+    @property
+    def arity(self) -> int:
+        """Number of non-temporal arguments."""
+        return len(self.args)
+
+    @property
+    def is_ground(self) -> bool:
+        """True when the atom contains no variables of either sort."""
+        if self.time is not None and not self.time.is_ground:
+            return False
+        return all(isinstance(a, Const) for a in self.args)
+
+    def data_variables(self) -> Iterator[Var]:
+        """Yield the data variables of the atom, with repetitions."""
+        for arg in self.args:
+            if isinstance(arg, Var):
+                yield arg
+
+    def temporal_variable(self) -> Union[str, None]:
+        """Name of the temporal variable, or None if absent/ground."""
+        if self.time is not None:
+            return self.time.var
+        return None
+
+    def to_fact(self) -> "Fact":
+        """Convert a ground atom to a :class:`Fact`.
+
+        Raises :class:`ValueError` if the atom is not ground.
+        """
+        if not self.is_ground:
+            raise ValueError(f"atom {self} is not ground")
+        args = tuple(a.value for a in self.args)  # type: ignore[union-attr]
+        timepoint = self.time.offset if self.time is not None else None
+        return Fact(self.pred, timepoint, args)
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        if self.time is not None:
+            parts.append(str(self.time))
+        parts.extend(str(a) for a in self.args)
+        if not parts:
+            return self.pred
+        return f"{self.pred}({', '.join(parts)})"
+
+
+@dataclass(frozen=True, slots=True)
+class Fact:
+    """A ground fact: predicate, optional timepoint, constant arguments.
+
+    ``time is None`` encodes a non-temporal fact.  Argument values are the
+    raw constant values (strings or ints), not :class:`Const` wrappers, to
+    keep the evaluation engines allocation-light.
+    """
+
+    pred: str
+    time: Union[int, None]
+    args: tuple[Union[str, int], ...]
+
+    @property
+    def is_temporal(self) -> bool:
+        return self.time is not None
+
+    def shifted(self, delta: int) -> "Fact":
+        """Return this fact moved ``delta`` steps forward in time."""
+        if self.time is None:
+            raise ValueError(f"cannot shift non-temporal fact {self}")
+        return Fact(self.pred, self.time + delta, self.args)
+
+    def to_atom(self) -> Atom:
+        """Convert back to a ground :class:`Atom`."""
+        time = TimeTerm(None, self.time) if self.time is not None else None
+        return Atom(self.pred, time, tuple(Const(v) for v in self.args))
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        if self.time is not None:
+            parts.append(str(self.time))
+        parts.extend(str(a) for a in self.args)
+        if not parts:
+            return self.pred
+        return f"{self.pred}({', '.join(parts)})"

@@ -1,0 +1,68 @@
+"""Calendar-date convenience, after the paper's footnote 1.
+
+The paper's travel database is written with dates — ``plane(01/01/90)``,
+``winter(<12/20/89, 03/20/90>)`` — and footnote 1 explains they
+abbreviate temporal terms ``(...((0+1)+1)...+1)`` relative to some
+epoch.  These helpers perform that expansion so databases can be
+authored with calendar dates:
+
+>>> day_number("01/01/90", epoch="12/20/89")
+12
+>>> day_range("12/20/89", "12/25/89", epoch="12/20/89")
+(0, 5)
+>>> date_of(12, epoch="12/20/89")
+'01/01/90'
+
+Dates use the paper's US ``MM/DD/YY`` spelling with a 1900s/2000s pivot
+(two-digit years < 70 are 20xx), or ISO ``YYYY-MM-DD``.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+_PIVOT = 70
+
+
+def _parse(text: str) -> datetime.date:
+    text = text.strip()
+    if "-" in text:
+        return datetime.date.fromisoformat(text)
+    month, day, year = text.split("/")
+    y = int(year)
+    if y < 100:
+        y += 1900 if y >= _PIVOT else 2000
+    return datetime.date(y, int(month), int(day))
+
+
+def day_number(date: str, epoch: str) -> int:
+    """The temporal term (day offset) a date abbreviates.
+
+    Raises :class:`ValueError` for dates before the epoch: temporal
+    terms are non-negative.
+    """
+    delta = (_parse(date) - _parse(epoch)).days
+    if delta < 0:
+        raise ValueError(
+            f"{date} is before the epoch {epoch}; temporal terms are "
+            "non-negative"
+        )
+    return delta
+
+
+def day_range(start: str, end: str, epoch: str) -> tuple[int, int]:
+    """The inclusive interval a date pair abbreviates (footnote 1's
+    ``<12/20/89, 03/20/90>`` notation)."""
+    lo = day_number(start, epoch)
+    hi = day_number(end, epoch)
+    if hi < lo:
+        raise ValueError(f"empty interval {start}..{end}")
+    return (lo, hi)
+
+
+def date_of(day: int, epoch: str, iso: bool = False) -> str:
+    """The calendar date a timepoint denotes (for display)."""
+    date = _parse(epoch) + datetime.timedelta(days=day)
+    if iso:
+        return date.isoformat()
+    return f"{date.month:02d}/{date.day:02d}/{date.year % 100:02d}"

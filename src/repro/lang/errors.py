@@ -1,0 +1,62 @@
+"""Exception hierarchy for the repro library.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class.  Each subclass corresponds to one phase of processing: parsing,
+sort inference, static validation, or evaluation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParseError(ReproError):
+    """Raised when program text cannot be parsed.
+
+    Carries the 1-based line and column of the offending token when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"line {line}" + (
+                f", column {column}" if column is not None else ""
+            ) + f": {message}"
+        super().__init__(message)
+
+
+class SortError(ReproError):
+    """Raised when predicate/variable temporal sorts cannot be reconciled.
+
+    Examples: a variable used both as a temporal and a data argument, or a
+    predicate used with inconsistent arity or temporality.
+    """
+
+
+class ValidationError(ReproError):
+    """Raised when a rule or database violates the paper's restrictions.
+
+    The main restrictions (Section 3.1 of the paper) are: rules must be
+    range-restricted, temporal terms may appear only in the distinguished
+    temporal argument, and database facts must be ground.
+    """
+
+
+class EvaluationError(ReproError):
+    """Raised when bottom-up evaluation cannot complete.
+
+    Typical causes: an explicit horizon too small to certify a period, or a
+    resource cap (maximum horizon / fact count) being exceeded.
+    """
+
+
+class ClassificationError(ReproError):
+    """Raised when a classifier's preconditions are not met.
+
+    Example: asking for the Theorem 6.3 one-period bound of a ruleset that
+    is not reduced time-only, or exceeding the skeleton-database cap.
+    """

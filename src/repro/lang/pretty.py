@@ -1,0 +1,53 @@
+"""Pretty-printing of programs back to parseable text.
+
+``str()`` on terms, atoms, rules and facts already produces the concrete
+syntax; this module adds whole-program formatting with stable ordering so
+that round-tripping through :func:`repro.lang.parse_program` is exact (up
+to whitespace and fact/rule ordering).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .atoms import Fact
+from .rules import Rule
+
+
+def format_rules(rules: Iterable[Rule]) -> str:
+    """Render rules one per line, in the given order."""
+    return "\n".join(str(rule) for rule in rules)
+
+
+def format_facts(facts: Iterable[Fact], sort: bool = True) -> str:
+    """Render facts one per line.
+
+    With ``sort`` (default) facts are ordered by predicate, then time,
+    then arguments, for reproducible output.
+    """
+    items = list(facts)
+    if sort:
+        items.sort(key=lambda f: (f.pred, f.time if f.time is not None else -1,
+                                  tuple(str(a) for a in f.args)))
+    return "\n".join(f"{fact}." for fact in items)
+
+
+def format_program(rules: Iterable[Rule], facts: Iterable[Fact],
+                   temporal_preds: Iterable[str] = ()) -> str:
+    """Render a full program: declarations, then rules, then facts.
+
+    Declarations are emitted for every temporal predicate so the rendered
+    text parses back with identical sorts even if some predicate's
+    temporality is not inferrable from the remaining text.
+    """
+    sections: list[str] = []
+    decls = sorted(set(temporal_preds))
+    if decls:
+        sections.append("\n".join(f"@temporal {p}." for p in decls))
+    rule_text = format_rules(rules)
+    if rule_text:
+        sections.append(rule_text)
+    fact_text = format_facts(facts)
+    if fact_text:
+        sections.append(fact_text)
+    return "\n\n".join(sections) + ("\n" if sections else "")

@@ -1,0 +1,257 @@
+"""Temporal Horn rules and their syntactic properties.
+
+A temporal rule (Section 3.1) is a Horn clause ``A0 :- A1, ..., Ak`` built
+from temporal and non-temporal atoms.  This module defines :class:`Rule`
+plus the syntactic predicates the paper relies on:
+
+* **range-restricted** — every variable in the head appears in the body
+  (assumed throughout the paper, Section 3.3);
+* **semi-normal** — at most one temporal variable, appearing only as the
+  temporal argument of literals;
+* **normal** — semi-normal with non-ground temporal terms of depth ≤ 1;
+* **forward** — the head's temporal offset is ≥ every body offset, so
+  facts propagate forward in time only (all the paper's examples are
+  forward; this property is what lets us certify detected periods).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from .atoms import Atom
+from .errors import ValidationError
+from .terms import Var
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """A temporal rule ``head :- body, not negative``.
+
+    ``body`` holds the positive literals, ``negative`` the negated ones
+    (empty for the paper's definite Horn rules — negation is this
+    library's stratified-semantics extension, see
+    :mod:`repro.temporal.stratified`).  A rule with an empty body and no
+    negative literals is a fact.
+    """
+
+    head: Atom
+    body: tuple[Atom, ...] = ()
+    negative: tuple[Atom, ...] = ()
+
+    @property
+    def is_fact(self) -> bool:
+        return not self.body and not self.negative
+
+    @property
+    def is_definite(self) -> bool:
+        """True for pure Horn rules (no negative literals)."""
+        return not self.negative
+
+    def atoms(self) -> Iterator[Atom]:
+        """Yield the head, the positive body, then the negative body."""
+        yield self.head
+        yield from self.body
+        yield from self.negative
+
+    def data_variables(self) -> set[str]:
+        """All data variable names appearing in the rule."""
+        return {v.name for atom in self.atoms() for v in atom.data_variables()}
+
+    def temporal_variables(self) -> set[str]:
+        """All temporal variable names appearing in the rule."""
+        names = set()
+        for atom in self.atoms():
+            var = atom.temporal_variable()
+            if var is not None:
+                names.add(var)
+        return names
+
+    def head_data_variables(self) -> set[str]:
+        return {v.name for v in self.head.data_variables()}
+
+    def body_data_variables(self) -> set[str]:
+        """Data variables of the *positive* body (the binding source)."""
+        return {v.name for atom in self.body for v in atom.data_variables()}
+
+    def negative_data_variables(self) -> set[str]:
+        return {v.name for atom in self.negative
+                for v in atom.data_variables()}
+
+    @property
+    def is_safe(self) -> bool:
+        """Every variable of a negative literal is bound positively.
+
+        Vacuously true for definite rules; required for negation to be
+        evaluated by checking absence under a complete binding.
+        """
+        if not self.negative:
+            return True
+        if not self.negative_data_variables() <= \
+                self.body_data_variables():
+            return False
+        positive_tvs = {a.temporal_variable() for a in self.body}
+        for atom in self.negative:
+            tvar = atom.temporal_variable()
+            if tvar is not None and tvar not in positive_tvs:
+                return False
+        return True
+
+    @property
+    def is_range_restricted(self) -> bool:
+        """Every head variable (of either sort) also appears in the body.
+
+        Facts are range-restricted when they are ground.
+        """
+        if self.is_fact:
+            return self.head.is_ground
+        if not self.head_data_variables() <= self.body_data_variables():
+            return False
+        head_tv = self.head.temporal_variable()
+        if head_tv is not None:
+            body_tvs = {a.temporal_variable() for a in self.body}
+            if head_tv not in body_tvs:
+                return False
+        return True
+
+    @property
+    def is_semi_normal(self) -> bool:
+        """At most one temporal variable in the rule (Section 3.1)."""
+        return len(self.temporal_variables()) <= 1
+
+    @property
+    def is_normal(self) -> bool:
+        """Semi-normal with non-ground temporal terms of depth at most 1."""
+        if not self.is_semi_normal:
+            return False
+        for atom in self.atoms():
+            if atom.time is not None and not atom.time.is_ground:
+                if atom.time.offset > 1:
+                    return False
+        return True
+
+    @property
+    def has_ground_temporal_terms(self) -> bool:
+        """True if any temporal argument in the rule is ground.
+
+        The paper assumes rules contain no ground terms (end of
+        Section 3.1); the validator enforces this for rules with bodies.
+        """
+        return any(
+            atom.time is not None and atom.time.is_ground
+            for atom in self.atoms()
+        )
+
+    @property
+    def head_offset(self) -> Union[int, None]:
+        """Temporal offset of the head, or None for a non-temporal head."""
+        if self.head.time is None:
+            return None
+        return self.head.time.offset
+
+    def body_offsets(self) -> list[int]:
+        """Temporal offsets of the non-ground temporal body literals
+        (positive and negative: forwardness must account for both)."""
+        return [
+            atom.time.offset
+            for atom in (*self.body, *self.negative)
+            if atom.time is not None and not atom.time.is_ground
+        ]
+
+    @property
+    def is_forward(self) -> bool:
+        """Head offset is at least every body offset.
+
+        A set of forward rules only propagates information forward along
+        the time axis, which makes period detection certifiable (see
+        ``repro.temporal.periodicity``).  Rules with a non-temporal head
+        and a temporal body are *not* forward: they feed information from
+        arbitrary timepoints back into the time-independent part.
+        """
+        offsets = self.body_offsets()
+        if self.head.time is None:
+            return not offsets
+        if self.head.time.is_ground:
+            return not offsets
+        return all(self.head.time.offset >= k for k in offsets)
+
+    @property
+    def temporal_depth(self) -> int:
+        """Maximum depth of a non-ground temporal term in the rule (``g``)."""
+        depths = [
+            atom.time.offset
+            for atom in self.atoms()
+            if atom.time is not None and not atom.time.is_ground
+        ]
+        return max(depths, default=0)
+
+    def rename(self, mapping: dict[str, str]) -> "Rule":
+        """Rename variables (both sorts) according to ``mapping``."""
+        def rename_atom(atom: Atom) -> Atom:
+            time = atom.time
+            if time is not None and time.var is not None:
+                time = time.__class__(mapping.get(time.var, time.var),
+                                      time.offset)
+            args = tuple(
+                Var(mapping.get(a.name, a.name)) if isinstance(a, Var) else a
+                for a in atom.args
+            )
+            return Atom(atom.pred, time, args)
+
+        return Rule(rename_atom(self.head),
+                    tuple(rename_atom(a) for a in self.body),
+                    tuple(rename_atom(a) for a in self.negative))
+
+    def __str__(self) -> str:
+        if self.is_fact:
+            return f"{self.head}."
+        literals = [str(a) for a in self.body]
+        literals.extend(f"not {a}" for a in self.negative)
+        return f"{self.head} :- {', '.join(literals)}."
+
+
+def validate_rule(rule: Rule, require_semi_normal: bool = False,
+                  allow_ground_times: bool = False) -> None:
+    """Check one rule against the paper's static restrictions.
+
+    Raises :class:`ValidationError` on the first violation.  ``facts``
+    (empty-body rules) must be ground; proper rules must be
+    range-restricted and, unless ``allow_ground_times``, free of ground
+    temporal terms.
+    """
+    if rule.is_fact:
+        if not rule.head.is_ground:
+            raise ValidationError(f"fact {rule} is not ground")
+        return
+    if not rule.is_range_restricted:
+        raise ValidationError(f"rule {rule} is not range-restricted")
+    if not allow_ground_times and rule.has_ground_temporal_terms:
+        raise ValidationError(
+            f"rule {rule} contains ground temporal terms; the paper "
+            "assumes rules without ground terms (Section 3.1)"
+        )
+    if not rule.is_safe:
+        raise ValidationError(
+            f"rule {rule} is not safe: every variable of a negative "
+            "literal must occur in a positive body literal"
+        )
+    if require_semi_normal and not rule.is_semi_normal:
+        raise ValidationError(f"rule {rule} is not semi-normal")
+    # Temporal variables must not leak into data positions and vice versa.
+    tvars = rule.temporal_variables()
+    dvars = rule.data_variables()
+    clash = tvars & dvars
+    if clash:
+        raise ValidationError(
+            f"rule {rule}: variables {sorted(clash)} are used both as "
+            "temporal and as data arguments"
+        )
+
+
+def validate_rules(rules: "list[Rule] | tuple[Rule, ...]",
+                   require_semi_normal: bool = False,
+                   allow_ground_times: bool = False) -> None:
+    """Validate every rule in a ruleset; see :func:`validate_rule`."""
+    for rule in rules:
+        validate_rule(rule, require_semi_normal=require_semi_normal,
+                      allow_ground_times=allow_ground_times)

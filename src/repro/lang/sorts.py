@@ -1,0 +1,274 @@
+"""Sort resolution: deciding which predicates and variables are temporal.
+
+The paper's language partitions predicates, constants and variables into
+temporal and non-temporal sorts (Section 3.1).  The concrete syntax does
+not annotate sorts, so we infer them:
+
+1. a predicate used with a ``Var+k`` or interval expression in its first
+   argument is temporal;
+2. if a predicate is temporal, the variable in its first argument is a
+   temporal variable *within that clause*;
+3. any predicate whose first argument is a clause's temporal variable is
+   itself temporal.
+
+Rules 2–3 iterate to a fixpoint over the whole program, which resolves
+programs such as the paper's bounded-path example, where ``null(K)``
+becomes temporal because ``K`` is the temporal argument of ``path``.
+Explicit ``@temporal p.`` / ``@nontemporal p.`` declarations seed or
+override the inference; contradictions raise :class:`SortError`.
+
+Bare integer first arguments (e.g. a fact ``p(5).`` for a predicate never
+used with ``+``) are *not* taken as temporal evidence — an integer is a
+perfectly good data constant — so such predicates need a declaration if
+they are meant to be temporal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .atoms import Atom, Fact
+from .errors import SortError, ValidationError
+from .parse import (RawAtom, RawClause, RawProgram, is_variable_name,
+                    parse_raw)
+from .rules import Rule, validate_rules
+from .terms import Const, DataTerm, TimeTerm, Var
+
+
+@dataclass(frozen=True)
+class ParsedProgram:
+    """The result of parsing: rules, database facts, and inferred sorts."""
+
+    rules: tuple[Rule, ...]
+    facts: tuple[Fact, ...]
+    temporal_preds: frozenset[str]
+
+    @property
+    def predicates(self) -> frozenset[str]:
+        preds = {r.head.pred for r in self.rules}
+        preds.update(a.pred for r in self.rules for a in r.body)
+        preds.update(f.pred for f in self.facts)
+        return frozenset(preds)
+
+
+def infer_temporal_predicates(raw: RawProgram) -> frozenset[str]:
+    """Run the sort-inference fixpoint described in the module docstring."""
+    temporal: set[str] = set(raw.temporal_decls)
+
+    def atoms() -> list[RawAtom]:
+        out: list[RawAtom] = []
+        for clause in raw.clauses:
+            out.append(clause.head)
+            out.extend(clause.body)
+        return out
+
+    for atom in atoms():
+        if atom.terms and atom.terms[0].kind in ("plus", "interval"):
+            temporal.add(atom.pred)
+
+    changed = True
+    while changed:
+        changed = False
+        for clause in raw.clauses:
+            clause_atoms = (clause.head,) + clause.body
+            temporal_vars: set[str] = set()
+            for atom in clause_atoms:
+                if not atom.terms:
+                    continue
+                first = atom.terms[0]
+                if first.kind == "plus":
+                    name = first.value[0]  # type: ignore[index]
+                    if is_variable_name(name):
+                        temporal_vars.add(name)
+                elif (first.kind == "name" and atom.pred in temporal
+                        and is_variable_name(first.value)):  # type: ignore[arg-type]
+                    temporal_vars.add(first.value)  # type: ignore[arg-type]
+            if not temporal_vars:
+                continue
+            for atom in clause_atoms:
+                if not atom.terms:
+                    continue
+                first = atom.terms[0]
+                if (first.kind == "name" and first.value in temporal_vars
+                        and atom.pred not in temporal):
+                    temporal.add(atom.pred)
+                    changed = True
+
+    conflict = temporal & raw.nontemporal_decls
+    if conflict:
+        raise SortError(
+            f"predicates {sorted(conflict)} declared @nontemporal but "
+            "used with temporal first arguments"
+        )
+    return frozenset(temporal)
+
+
+def _check_arities(raw: RawProgram) -> None:
+    arities: dict[str, int] = {}
+    for clause in raw.clauses:
+        for atom in (clause.head,) + clause.body:
+            seen = arities.setdefault(atom.pred, len(atom.terms))
+            if seen != len(atom.terms):
+                raise SortError(
+                    f"predicate {atom.pred} used with both {seen} and "
+                    f"{len(atom.terms)} arguments (line {atom.line})"
+                )
+
+
+def _convert_data_term(term, pred: str, temporal_vars: set[str]) -> DataTerm:
+    if term.kind == "int":
+        return Const(term.value)
+    if term.kind == "string":
+        return Const(term.value)
+    if term.kind == "name":
+        name = term.value
+        if is_variable_name(name):
+            if name in temporal_vars:
+                raise SortError(
+                    f"temporal variable {name} used as a data argument of "
+                    f"{pred} (line {term.line})"
+                )
+            return Var(name)
+        return Const(name)
+    raise SortError(
+        f"term of kind {term.kind!r} not allowed in a data position of "
+        f"{pred} (line {term.line})"
+    )
+
+
+def _convert_atom(atom: RawAtom, temporal: frozenset[str],
+                  temporal_vars: set[str],
+                  allow_interval: bool) -> "list[Atom]":
+    """Convert a raw atom; intervals expand to several atoms."""
+    if atom.pred not in temporal:
+        args = tuple(
+            _convert_data_term(t, atom.pred, temporal_vars)
+            for t in atom.terms
+        )
+        return [Atom(atom.pred, None, args)]
+
+    if not atom.terms:
+        raise SortError(
+            f"temporal predicate {atom.pred} used without a temporal "
+            f"argument (line {atom.line})"
+        )
+    first, rest = atom.terms[0], atom.terms[1:]
+    args = tuple(
+        _convert_data_term(t, atom.pred, temporal_vars) for t in rest
+    )
+    if first.kind == "int":
+        return [Atom(atom.pred, TimeTerm(None, first.value), args)]
+    if first.kind == "plus":
+        name, k = first.value
+        if not is_variable_name(name):
+            raise SortError(
+                f"{name}+{k}: temporal terms must be built on a variable "
+                f"or on 0 (line {first.line})"
+            )
+        return [Atom(atom.pred, TimeTerm(name, k), args)]
+    if first.kind == "name":
+        name = first.value
+        if not is_variable_name(name):
+            raise SortError(
+                f"constant {name!r} used as the temporal argument of "
+                f"{atom.pred} (line {first.line}); only the constant 0 "
+                "and variables are temporal terms"
+            )
+        return [Atom(atom.pred, TimeTerm(name, 0), args)]
+    if first.kind == "interval":
+        if not allow_interval:
+            raise SortError(
+                f"interval temporal terms are only allowed in facts "
+                f"(line {first.line})"
+            )
+        lo, hi = first.value
+        return [
+            Atom(atom.pred, TimeTerm(None, t), args)
+            for t in range(lo, hi + 1)
+        ]
+    raise SortError(
+        f"term of kind {first.kind!r} not allowed as a temporal argument "
+        f"(line {first.line})"
+    )
+
+
+def _clause_temporal_vars(clause: RawClause,
+                          temporal: frozenset[str]) -> set[str]:
+    tvars: set[str] = set()
+    for atom in (clause.head,) + clause.body:
+        if not atom.terms:
+            continue
+        first = atom.terms[0]
+        if first.kind == "plus" and is_variable_name(first.value[0]):
+            tvars.add(first.value[0])
+        elif (first.kind == "name" and atom.pred in temporal
+                and is_variable_name(first.value)):
+            tvars.add(first.value)
+    return tvars
+
+
+def resolve(raw: RawProgram) -> ParsedProgram:
+    """Resolve sorts and convert a raw program to rules and facts."""
+    _check_arities(raw)
+    temporal = infer_temporal_predicates(raw)
+
+    rules: list[Rule] = []
+    facts: list[Fact] = []
+    for clause in raw.clauses:
+        temporal_vars = _clause_temporal_vars(clause, temporal)
+        heads = _convert_atom(clause.head, temporal, temporal_vars,
+                              allow_interval=clause.is_fact)
+        if clause.is_fact:
+            for head in heads:
+                if not head.is_ground:
+                    raise ValidationError(
+                        f"fact {head} (line {clause.line}) is not ground"
+                    )
+                facts.append(head.to_fact())
+            continue
+        body: list[Atom] = []
+        negative: list[Atom] = []
+        for raw_atom in clause.body:
+            converted = _convert_atom(raw_atom, temporal, temporal_vars,
+                                      allow_interval=False)
+            if raw_atom.negated:
+                negative.extend(converted)
+            else:
+                body.extend(converted)
+        assert len(heads) == 1
+        rules.append(Rule(heads[0], tuple(body), tuple(negative)))
+
+    return ParsedProgram(tuple(rules), tuple(facts), temporal)
+
+
+def parse_program(text: str, validate: bool = True) -> ParsedProgram:
+    """Parse program text into rules and database facts.
+
+    When ``validate`` is true (the default), the rules are checked against
+    the paper's static restrictions (range-restriction, no ground temporal
+    terms in rules, sort discipline).
+    """
+    program = resolve(parse_raw(text))
+    if validate:
+        validate_rules(program.rules)
+    return program
+
+
+def parse_rules(text: str, validate: bool = True) -> tuple[Rule, ...]:
+    """Parse text expected to contain only rules (no facts)."""
+    program = parse_program(text, validate=validate)
+    if program.facts:
+        raise ValidationError(
+            f"expected rules only, found facts: {program.facts[:3]}"
+        )
+    return program.rules
+
+
+def parse_facts(text: str) -> tuple[Fact, ...]:
+    """Parse text expected to contain only ground facts."""
+    program = parse_program(text, validate=False)
+    if program.rules:
+        raise ValidationError(
+            f"expected facts only, found rules: {program.rules[:3]}"
+        )
+    return program.facts

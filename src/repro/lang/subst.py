@@ -1,0 +1,109 @@
+"""Substitutions and matching for bottom-up evaluation.
+
+Bottom-up evaluation only needs one-sided *matching* of a rule-body atom
+against ground facts (no full unification): a binding environment maps data
+variables to constant values and the rule's temporal variable (there is at
+most one in a semi-normal rule, but we support several) to an integer
+timepoint.
+
+Bindings are plain dicts ``{var_name: value}`` shared between both sorts;
+the validator guarantees sort disjointness, and temporal bindings are the
+only int-typed entries produced by temporal positions.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Union
+
+from .atoms import Atom, Fact
+from .terms import Const, TimeTerm, Var
+
+Binding = dict[str, Union[str, int]]
+
+
+def match_atom(atom: Atom, fact: Fact,
+               binding: Binding) -> Union[Binding, None]:
+    """Match ``atom`` against ground ``fact``, extending ``binding``.
+
+    Returns the extended binding (a new dict; the input is not mutated) or
+    ``None`` when the match fails.  Temporal terms ``T+k`` match timepoint
+    ``t`` only when ``t >= k`` (the language has no negative timepoints).
+    """
+    if atom.pred != fact.pred or len(atom.args) != len(fact.args):
+        return None
+    new: Union[Binding, None] = None
+
+    if (atom.time is None) != (fact.time is None):
+        return None
+    if atom.time is not None:
+        assert fact.time is not None
+        tt = atom.time
+        if tt.var is None:
+            if tt.offset != fact.time:
+                return None
+        else:
+            base = fact.time - tt.offset
+            if base < 0:
+                return None
+            bound = binding.get(tt.var)
+            if bound is None:
+                new = dict(binding)
+                new[tt.var] = base
+            elif bound != base:
+                return None
+
+    for pattern, value in zip(atom.args, fact.args):
+        if isinstance(pattern, Const):
+            if pattern.value != value:
+                return None
+        else:
+            source = new if new is not None else binding
+            bound = source.get(pattern.name)
+            if bound is None:
+                if new is None:
+                    new = dict(binding)
+                new[pattern.name] = value
+            elif bound != value:
+                return None
+    if new is None:
+        new = dict(binding)
+    return new
+
+
+def apply_to_atom(atom: Atom, binding: Mapping[str, Union[str, int]]) -> Atom:
+    """Apply a binding to an atom, grounding the bound variables."""
+    time = atom.time
+    if time is not None and time.var is not None and time.var in binding:
+        timepoint = binding[time.var]
+        assert isinstance(timepoint, int)
+        time = TimeTerm(None, timepoint + time.offset)
+    args = tuple(
+        Const(binding[a.name])
+        if isinstance(a, Var) and a.name in binding else a
+        for a in atom.args
+    )
+    return Atom(atom.pred, time, args)
+
+
+def instantiate_head(atom: Atom,
+                     binding: Mapping[str, Union[str, int]]) -> Fact:
+    """Ground a (range-restricted) head atom under a complete binding.
+
+    Faster than ``apply_to_atom(...).to_fact()``: builds the
+    :class:`Fact` directly.  Raises :class:`KeyError` if a head variable
+    is unbound, which would indicate a non-range-restricted rule.
+    """
+    time: Union[int, None]
+    if atom.time is None:
+        time = None
+    elif atom.time.var is None:
+        time = atom.time.offset
+    else:
+        base = binding[atom.time.var]
+        assert isinstance(base, int)
+        time = base + atom.time.offset
+    args = tuple(
+        binding[a.name] if isinstance(a, Var) else a.value
+        for a in atom.args
+    )
+    return Fact(atom.pred, time, args)

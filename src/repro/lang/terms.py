@@ -1,0 +1,112 @@
+"""Terms of the temporal deductive database language.
+
+The paper (Section 3.1) distinguishes two disjoint sorts of terms:
+
+* **Non-temporal (data) terms** — constants and variables, with no function
+  symbols (the Datalog restriction).  Represented by :class:`Const` and
+  :class:`Var`.
+* **Temporal terms** — built from the single temporal constant ``0`` and
+  the unary postfix function symbol ``+1``.  A ground temporal term
+  ``((0+1)+1)...+1`` (k applications) is abbreviated ``k``; a non-ground
+  temporal term contains exactly one temporal variable and is abbreviated
+  ``T+k``.  Represented by :class:`TimeTerm`, a pair ``(var, offset)``
+  where ``var is None`` encodes a ground term of depth ``offset``.
+
+Timepoints are plain Python ints throughout the library, which matches the
+paper's convention of encoding temporal terms in unary when measuring
+database size (Section 4: the size of a database is ``max(n, c)`` where
+``c`` is the maximum temporal depth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, slots=True)
+class Const:
+    """A non-temporal constant (a standard database constant).
+
+    Values are strings or ints; ints in data positions are ordinary
+    constants with no arithmetic meaning.
+    """
+
+    value: Union[str, int]
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class Var:
+    """A non-temporal (data) variable."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: A data term is a constant or a variable.
+DataTerm = Union[Const, Var]
+
+
+@dataclass(frozen=True, slots=True)
+class TimeTerm:
+    """A temporal term ``var + offset`` (or the ground term ``offset``).
+
+    ``TimeTerm(None, 5)`` is the ground temporal term ``5`` (i.e. the
+    constant 0 with five applications of ``+1``); ``TimeTerm("T", 2)`` is
+    the term ``T+2``.  Offsets are always non-negative: the language has no
+    ``-1`` function symbol.
+    """
+
+    var: Union[str, None]
+    offset: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise ValueError(
+                f"temporal offsets must be non-negative, got {self.offset}"
+            )
+
+    @property
+    def is_ground(self) -> bool:
+        """True for ground temporal terms (no variable)."""
+        return self.var is None
+
+    @property
+    def depth(self) -> int:
+        """The depth of the term: number of ``+1`` applications."""
+        return self.offset
+
+    def shift(self, delta: int) -> "TimeTerm":
+        """Return this term with ``delta`` added to its offset."""
+        return TimeTerm(self.var, self.offset + delta)
+
+    def instantiate(self, timepoint: int) -> int:
+        """Ground this term by binding its variable to ``timepoint``.
+
+        For a ground term the variable binding is ignored.
+        """
+        if self.var is None:
+            return self.offset
+        return timepoint + self.offset
+
+    def __str__(self) -> str:
+        if self.var is None:
+            return str(self.offset)
+        if self.offset == 0:
+            return self.var
+        return f"{self.var}+{self.offset}"
+
+
+def ground_time(timepoint: int) -> TimeTerm:
+    """Build the ground temporal term for an integer timepoint."""
+    return TimeTerm(None, timepoint)
+
+
+def time_var(name: str, offset: int = 0) -> TimeTerm:
+    """Build the temporal term ``name + offset``."""
+    return TimeTerm(name, offset)

@@ -1,0 +1,5 @@
+"""Ground term rewriting over temporal terms (the ``W`` of a spec)."""
+
+from .system import RewriteRule, RewriteSystem
+
+__all__ = ["RewriteRule", "RewriteSystem"]

@@ -1,0 +1,159 @@
+"""Ground rewrite systems over temporal terms.
+
+A relational specification (Section 3.3) carries a finite set ``W`` of
+ground rewrite rules whose both sides are temporal terms; a ground term
+``t`` is *canonicalised* by rewriting until no rule applies, written
+``t ⇝ t0``.  Because the language has a single unary function symbol,
+ground temporal terms are just depths (ints) and a subterm of ``t`` is any
+``s ≤ t``; rewriting the subterm ``lhs`` of ``t`` to ``rhs`` yields
+``t - lhs + rhs``.
+
+For TDDs the computed specification has exactly one rule
+``(b + c + p) → (b + c)`` (the paper, Section 3.3), for which
+canonicalisation collapses to arithmetic; the general multi-rule machinery
+is retained because the specification notion is defined for the wider
+class of functional deductive databases and the tests exercise it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..lang.errors import EvaluationError
+
+
+@dataclass(frozen=True)
+class RewriteRule:
+    """A ground rewrite rule ``lhs → rhs`` between temporal terms."""
+
+    lhs: int
+    rhs: int
+
+    def __post_init__(self) -> None:
+        if self.lhs < 0 or self.rhs < 0:
+            raise ValueError("temporal terms are non-negative")
+
+    @property
+    def is_decreasing(self) -> bool:
+        return self.rhs < self.lhs
+
+    def applies_to(self, term: int) -> bool:
+        """The rule applies when ``lhs`` occurs as a subterm of ``term``."""
+        return term >= self.lhs
+
+    def apply(self, term: int) -> int:
+        return term - self.lhs + self.rhs
+
+    def __str__(self) -> str:
+        return f"{self.lhs} -> {self.rhs}"
+
+
+class RewriteSystem:
+    """A finite set of ground rewrite rules with canonicalisation."""
+
+    def __init__(self, rules: Sequence[RewriteRule]):
+        self.rules = tuple(sorted(set(rules),
+                                  key=lambda r: (r.lhs, r.rhs)))
+
+    @property
+    def is_terminating(self) -> bool:
+        """Every rule strictly decreases term depth ⇒ terminating.
+
+        This sufficient condition holds for every specification the
+        library computes; non-decreasing systems are still usable but
+        canonicalisation guards against divergence.
+        """
+        return all(rule.is_decreasing for rule in self.rules)
+
+    def step(self, term: int) -> int | None:
+        """One rewrite step (first applicable rule), or None."""
+        for rule in self.rules:
+            if rule.applies_to(term):
+                return rule.apply(term)
+        return None
+
+    def normalize(self, term: int, max_steps: int = 1_000_000) -> int:
+        """The canonical form ``t0`` of ``term`` (``term ⇝ t0``)."""
+        if term < 0:
+            raise ValueError("temporal terms are non-negative")
+        if len(self.rules) == 1:
+            # The TDD fast path: one decreasing rule is modular reduction.
+            rule = self.rules[0]
+            if rule.is_decreasing and term >= rule.lhs:
+                span = rule.lhs - rule.rhs
+                return rule.rhs + (term - rule.lhs) % span
+            if not rule.is_decreasing and rule.applies_to(term):
+                raise EvaluationError(
+                    f"non-terminating rewrite of {term} by {rule}"
+                )
+            return term
+        current = term
+        for _ in range(max_steps):
+            nxt = self.step(current)
+            if nxt is None:
+                return current
+            current = nxt
+        raise EvaluationError(
+            f"rewriting of {term} did not terminate in {max_steps} steps"
+        )
+
+    def is_canonical(self, term: int) -> bool:
+        return self.step(term) is None
+
+    def preimages(self, canonical: int,
+                  limit: int | None = None) -> Iterator[int]:
+        """Enumerate ground terms whose canonical form is ``canonical``.
+
+        Yields in increasing order, starting with ``canonical`` itself;
+        nothing is yielded when ``canonical`` is not in canonical form.
+        ``limit`` bounds the number of yielded terms (None = unbounded;
+        for the single-rule systems the library produces, sets are
+        infinite exactly when ``canonical ≥ rhs``).  Multi-rule systems
+        require an explicit ``limit`` because the enumeration has no
+        closed form; they are scanned by brute force.
+        """
+        if not self.is_terminating:
+            raise EvaluationError("preimages need a terminating system")
+        if not self.is_canonical(canonical):
+            return
+        if len(self.rules) == 1:
+            rule = self.rules[0]
+            span = rule.lhs - rule.rhs
+            yield canonical
+            if canonical < rule.rhs:
+                return  # never the image of a reduction: unique preimage
+            count = 1
+            term = canonical + span
+            while term < rule.lhs:
+                term += span
+            while limit is None or count < limit:
+                yield term
+                count += 1
+                term += span
+            return
+        if limit is None:
+            raise EvaluationError(
+                "multi-rule preimage enumeration requires a limit"
+            )
+        count = 0
+        term = canonical
+        # Brute-force scan; sound because normalize is total on ints.
+        max_scan = canonical + (limit + 1) * max(
+            r.lhs for r in self.rules) + 1
+        while count < limit and term <= max_scan:
+            if self.normalize(term) == canonical:
+                yield term
+                count += 1
+            term += 1
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RewriteSystem):
+            return NotImplemented
+        return self.rules == other.rules
+
+    def __hash__(self) -> int:
+        return hash(self.rules)
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(r) for r in self.rules) + "}"

@@ -1,0 +1,9 @@
+"""Durable storage for temporal databases (SQLite, stdlib-only)."""
+
+from .sqlite_store import (append_facts, fact_count, iter_facts,
+                           load_database, save_database)
+
+__all__ = [
+    "save_database", "load_database", "append_facts", "iter_facts",
+    "fact_count",
+]

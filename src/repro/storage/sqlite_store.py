@@ -1,0 +1,140 @@
+"""SQLite persistence for temporal databases (stdlib only).
+
+A production deductive database needs its extensional data to live
+somewhere durable.  This module stores temporal databases in a SQLite
+file with a simple two-table schema:
+
+* ``facts(pred TEXT, time INTEGER NULL, args TEXT)`` — one row per
+  fact, arguments JSON-encoded to keep int/str constants typed;
+* ``meta(key TEXT PRIMARY KEY, value TEXT)`` — format version.
+
+The API is deliberately small: save, load, append, and a streaming
+iterator for databases too large to hold twice.  Programs (rules) are
+text — version them next to the data with
+:func:`repro.lang.format_program`.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from ..lang.atoms import Fact
+from ..temporal.database import TemporalDatabase
+
+FORMAT_VERSION = "1"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS facts (
+    pred TEXT NOT NULL,
+    time INTEGER,
+    args TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS facts_pred_time ON facts (pred, time);
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+
+def _connect(path: Union[str, Path]) -> sqlite3.Connection:
+    connection = sqlite3.connect(str(path))
+    connection.executescript(_SCHEMA)
+    row = connection.execute(
+        "SELECT value FROM meta WHERE key = 'format'").fetchone()
+    if row is None:
+        connection.execute(
+            "INSERT INTO meta (key, value) VALUES ('format', ?)",
+            (FORMAT_VERSION,))
+        connection.commit()
+    elif row[0] != FORMAT_VERSION:
+        connection.close()
+        raise ValueError(f"unsupported storage format {row[0]!r}")
+    return connection
+
+
+def save_database(database: Union[TemporalDatabase, Iterable[Fact]],
+                  path: Union[str, Path]) -> int:
+    """Write all facts to ``path``, replacing existing contents.
+
+    Returns the number of rows written.
+    """
+    facts = (database.facts()
+             if isinstance(database, TemporalDatabase) else database)
+    with _connect(path) as connection:
+        connection.execute("DELETE FROM facts")
+        count = 0
+        for fact in facts:
+            connection.execute(
+                "INSERT INTO facts (pred, time, args) VALUES (?, ?, ?)",
+                (fact.pred, fact.time, json.dumps(list(fact.args))))
+            count += 1
+    return count
+
+
+def append_facts(facts: Iterable[Fact],
+                 path: Union[str, Path]) -> int:
+    """Append facts to an existing (or fresh) store; returns the count.
+
+    Duplicates are tolerated in the file and collapse on load (facts
+    are set-valued).
+    """
+    with _connect(path) as connection:
+        count = 0
+        for fact in facts:
+            connection.execute(
+                "INSERT INTO facts (pred, time, args) VALUES (?, ?, ?)",
+                (fact.pred, fact.time, json.dumps(list(fact.args))))
+            count += 1
+    return count
+
+
+def iter_facts(path: Union[str, Path],
+               pred: Union[str, None] = None,
+               time_range: Union[tuple[int, int], None] = None
+               ) -> Iterator[Fact]:
+    """Stream facts from a store, optionally filtered.
+
+    ``pred`` restricts to one predicate; ``time_range = (lo, hi)``
+    restricts temporal facts to the inclusive range (non-temporal facts
+    are excluded by a time filter).
+    """
+    query = "SELECT pred, time, args FROM facts"
+    clauses, params = [], []
+    if pred is not None:
+        clauses.append("pred = ?")
+        params.append(pred)
+    if time_range is not None:
+        clauses.append("time BETWEEN ? AND ?")
+        params.extend(time_range)
+    if clauses:
+        query += " WHERE " + " AND ".join(clauses)
+    connection = _connect(path)
+    try:
+        for row_pred, time, args in connection.execute(query, params):
+            yield Fact(row_pred, time, tuple(json.loads(args)))
+    finally:
+        connection.close()
+
+
+def load_database(path: Union[str, Path],
+                  pred: Union[str, None] = None,
+                  time_range: Union[tuple[int, int], None] = None
+                  ) -> TemporalDatabase:
+    """Load (a filtered view of) a stored database."""
+    return TemporalDatabase(iter_facts(path, pred=pred,
+                                       time_range=time_range))
+
+
+def fact_count(path: Union[str, Path]) -> int:
+    """Number of fact rows in a store (duplicates counted)."""
+    connection = _connect(path)
+    try:
+        (count,) = connection.execute(
+            "SELECT COUNT(*) FROM facts").fetchone()
+        return count
+    finally:
+        connection.close()

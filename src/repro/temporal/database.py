@@ -1,0 +1,45 @@
+"""Temporal databases: the finite extensional part of a TDD.
+
+A temporal database ``D`` (Section 3.1) is a finite set of ground temporal
+and non-temporal tuples.  :class:`TemporalDatabase` is a
+:class:`~repro.temporal.store.TemporalStore` with the paper's size
+metrics attached:
+
+* ``n`` — the number of tuples;
+* ``c`` — the maximum depth of a temporal term in ``D``;
+* ``size`` — ``max(n, c)``, the paper's database-size measure under the
+  unary encoding of temporal terms (Section 4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..lang.atoms import Fact
+from .store import TemporalStore
+
+
+class TemporalDatabase(TemporalStore):
+    """A finite temporal database with the paper's size measures."""
+
+    @property
+    def n(self) -> int:
+        """Number of tuples in the database."""
+        return len(self)
+
+    @property
+    def c(self) -> int:
+        """Maximum depth of a temporal term in the database (0 if none)."""
+        return max(self.max_time(), 0)
+
+    @property
+    def size(self) -> int:
+        """The paper's database size: ``max(n, c)``."""
+        return max(self.n, self.c)
+
+    @classmethod
+    def from_facts(cls, facts: Iterable[Fact]) -> "TemporalDatabase":
+        return cls(facts)
+
+    def __repr__(self) -> str:
+        return f"TemporalDatabase(n={self.n}, c={self.c})"

@@ -1,0 +1,129 @@
+"""Interval compression and timeline rendering for temporal stores.
+
+The paper's footnote 1 already anticipates interval notation: *"we
+could provide an abbreviation for intervals and represent winter and
+offseason as single tuples winter(<12/20/89,03/20/90>)"*.  The parser
+accepts interval facts (``winter(0..91).``); this module provides the
+output direction — compressing a store's per-tuple timepoints into
+maximal closed intervals, and rendering predicate timelines — plus a
+periodic description combining the intervals of one period with the
+period itself, which is the human-readable face of a relational
+specification.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+from ..datalog.facts import ArgTuple
+from ..lang.atoms import Fact
+from .store import TemporalStore
+
+#: A closed interval of timepoints.
+Interval = tuple[int, int]
+
+
+def to_intervals(timepoints: Iterable[int]) -> list[Interval]:
+    """Compress sorted-or-not timepoints into maximal closed intervals."""
+    ordered = sorted(set(timepoints))
+    if not ordered:
+        return []
+    out: list[Interval] = []
+    start = previous = ordered[0]
+    for t in ordered[1:]:
+        if t == previous + 1:
+            previous = t
+            continue
+        out.append((start, previous))
+        start = previous = t
+    out.append((start, previous))
+    return out
+
+
+def from_intervals(pred: str, args: ArgTuple,
+                   intervals: Sequence[Interval]) -> list[Fact]:
+    """Expand intervals back into facts (the parser's ``a..b`` facts)."""
+    return [
+        Fact(pred, t, args)
+        for lo, hi in intervals
+        for t in range(lo, hi + 1)
+    ]
+
+
+def compress(store: TemporalStore,
+             predicates: Union[Iterable[str], None] = None
+             ) -> dict[str, dict[ArgTuple, list[Interval]]]:
+    """Per-predicate, per-tuple interval view of a temporal store."""
+    wanted = set(predicates) if predicates is not None else None
+    by_tuple: dict[str, dict[ArgTuple, list[int]]] = {}
+    for fact in store.temporal_facts():
+        if wanted is not None and fact.pred not in wanted:
+            continue
+        by_tuple.setdefault(fact.pred, {}).setdefault(
+            fact.args, []).append(fact.time)
+    return {
+        pred: {args: to_intervals(times)
+               for args, times in tuples.items()}
+        for pred, tuples in by_tuple.items()
+    }
+
+
+def format_intervals(intervals: Sequence[Interval]) -> str:
+    """``0..3, 7, 9..12`` — single points render without dots."""
+    parts = [
+        f"{lo}..{hi}" if hi > lo else str(lo)
+        for lo, hi in intervals
+    ]
+    return ", ".join(parts)
+
+
+def describe_periodic(store: TemporalStore, b: int, p: int
+                      ) -> dict[str, dict[ArgTuple, str]]:
+    """A finite, human-readable description of the infinite model.
+
+    For each tuple: the pre-periodic timepoints (< b) as intervals, plus
+    the periodic residues in ``[b, b+p)`` rendered as ``t, t+p, t+2p,
+    ...``.  Requires the store to cover ``[0, b+p-1]``.
+    """
+    out: dict[str, dict[ArgTuple, str]] = {}
+    compressed = compress(store.truncate(b + p - 1))
+    for pred, tuples in compressed.items():
+        rendered: dict[ArgTuple, str] = {}
+        for args, intervals in tuples.items():
+            times = [t for lo, hi in intervals
+                     for t in range(lo, hi + 1)]
+            prefix = [t for t in times if t < b]
+            residues = [t for t in times if t >= b]
+            parts = []
+            if prefix:
+                parts.append(format_intervals(to_intervals(prefix)))
+            parts.extend(f"{t}+{p}k" for t in residues)
+            rendered[args] = ", ".join(parts) if parts else "(never)"
+        out[pred] = rendered
+    return out
+
+
+def timeline(store: TemporalStore, predicates: Sequence[str],
+             until: int, mark: str = "x", gap: str = ".") -> str:
+    """An ASCII timeline: one row per (predicate, tuple), one column
+    per timepoint ``0..until``."""
+    rows: list[str] = []
+    header = "  ".ljust(24) + "".join(
+        str(t % 10) for t in range(until + 1))
+    rows.append(header)
+    for pred in predicates:
+        tuples: dict[ArgTuple, set[int]] = {}
+        for t in store.times(pred):
+            if t > until:
+                continue
+            for args in store.lookup_at(pred, t, (), ()):
+                tuples.setdefault(args, set()).add(t)
+        for args in sorted(tuples, key=str):
+            label = f"{pred}({', '.join(map(str, args))})" if args \
+                else pred
+            cells = "".join(
+                mark if t in tuples[args] else gap
+                for t in range(until + 1)
+            )
+            rows.append(label.ljust(24)[:24] + cells)
+    return "\n".join(rows)

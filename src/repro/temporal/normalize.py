@@ -1,0 +1,162 @@
+"""Normalization of temporal rules (Section 3.1).
+
+The paper works with *normal* rules — at most one temporal variable, and
+non-ground temporal terms of depth at most 1 — and notes that every
+ruleset has equivalent semi-normal and normal forms obtained by
+introducing additional predicates and rules (the construction is from the
+author's thesis [5]).  This module implements both transformations; the
+introduced predicates start with ``_`` and the transforms are exactly
+model-preserving on the original predicates (property-tested):
+
+* :func:`to_semi_normal` — a rule with several temporal variables has
+  each secondary variable's atoms folded into a fresh non-temporal
+  predicate that projects the temporal argument away (the secondary
+  variable is existential, so the projection is exact).
+* :func:`to_normal` — depth is reduced to 1 by (a) replacing a body atom
+  ``p(T+k)`` with ``k ≥ 2`` by a *next-chain* predicate ``_next·k·p``
+  satisfying ``_next·j·p(t) ⇔ p(t+j)``, and (b) lowering a head
+  ``H(T+K)`` with ``K ≥ 2`` through a *copy chain* of fresh predicates
+  stepping one timepoint at a time (this preserves the implicit ``t ≥ K``
+  lower bound on derived head times, which a naive re-anchoring of the
+  rule would not).
+
+As the paper remarks at the start of Section 6, normalization can destroy
+the syntactic shape that the Section 6 classes rely on (next-chains are
+backward rules), which is why multi-separability is defined on
+semi-normal rules; callers that need Section 6 classification should
+normalize only to semi-normal form.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..lang.atoms import Atom
+from ..lang.rules import Rule
+from ..lang.terms import TimeTerm, Var
+
+
+def _fresh_base(rules: Sequence[Rule], stem: str) -> str:
+    """A predicate-name stem not colliding with any existing predicate."""
+    existing = {atom.pred for rule in rules for atom in rule.atoms()}
+    candidate = stem
+    suffix = 0
+    while any(p == candidate or p.startswith(candidate + "_")
+              for p in existing):
+        suffix += 1
+        candidate = f"{stem}{suffix}"
+    return candidate
+
+
+def to_semi_normal(rules: Sequence[Rule]) -> list[Rule]:
+    """Equivalent semi-normal ruleset (≤ 1 temporal variable per rule)."""
+    stem = _fresh_base(rules, "_sn")
+    out: list[Rule] = []
+    counter = 0
+    for rule in rules:
+        tvars = rule.temporal_variables()
+        if len(tvars) <= 1:
+            out.append(rule)
+            continue
+        head_tvar = rule.head.temporal_variable()
+        if head_tvar is not None:
+            keep = head_tvar
+        else:
+            keep = sorted(tvars)[0]
+        body = list(rule.body)
+        for tvar in sorted(tvars - {keep}):
+            group = [a for a in body
+                     if a.temporal_variable() == tvar]
+            rest = [a for a in body
+                    if a.temporal_variable() != tvar]
+            group_vars = {v.name for a in group for v in a.data_variables()}
+            outside_vars = set(rule.head_data_variables())
+            for atom in rest:
+                outside_vars.update(v.name for v in atom.data_variables())
+            shared = sorted(group_vars & outside_vars)
+            aux_pred = f"{stem}_{counter}"
+            counter += 1
+            aux_head = Atom(aux_pred, None, tuple(Var(v) for v in shared))
+            out.append(Rule(aux_head, tuple(group)))
+            body = rest + [aux_head]
+        out.append(Rule(rule.head, tuple(body)))
+    return out
+
+
+def to_normal(rules: Sequence[Rule]) -> list[Rule]:
+    """Equivalent normal ruleset (semi-normal, temporal depth ≤ 1)."""
+    semi = to_semi_normal(rules)
+    stem = _fresh_base(semi, "_nm")
+    out: list[Rule] = []
+    next_chains: dict[tuple[str, int], str] = {}
+    counter = 0
+
+    def next_pred(pred: str, arity: int, k: int) -> str:
+        """``_next·k·pred(t) ⇔ pred(t+k)``; builds missing chain rules."""
+        for j in range(1, k + 1):
+            if (pred, j) in next_chains:
+                continue
+            name = f"{stem}_nx{j}_{pred}"
+            next_chains[(pred, j)] = name
+            args = tuple(Var(f"X{i}") for i in range(arity))
+            prev = pred if j == 1 else next_chains[(pred, j - 1)]
+            out.append(Rule(
+                Atom(name, TimeTerm("T", 0), args),
+                (Atom(prev, TimeTerm("T", 1), args),),
+            ))
+        return next_chains[(pred, k)]
+
+    for rule in semi:
+        if rule.temporal_depth <= 1:
+            out.append(rule)
+            continue
+        # (a) deep body atoms -> next-chain predicates at depth 0.
+        body: list[Atom] = []
+        for atom in rule.body:
+            if (atom.time is not None and not atom.time.is_ground
+                    and atom.time.offset >= 2):
+                pred = next_pred(atom.pred, atom.arity, atom.time.offset)
+                body.append(Atom(pred, TimeTerm(atom.time.var, 0),
+                                 atom.args))
+            else:
+                body.append(atom)
+        head = rule.head
+        if (head.time is None or head.time.is_ground
+                or head.time.offset <= 1):
+            out.append(Rule(head, tuple(body)))
+            continue
+        # (b) deep head -> copy chain stepping one timepoint at a time.
+        big_k = head.time.offset
+        tvar = head.time.var
+        assert tvar is not None
+        head_vars = []
+        seen: set[str] = set()
+        for var in head.data_variables():
+            if var.name not in seen:
+                seen.add(var.name)
+                head_vars.append(var)
+        carry = tuple(head_vars)
+        first = Atom(f"{stem}_cp{counter}_1", TimeTerm(tvar, 1), carry)
+        counter += 1
+        out.append(Rule(first, tuple(body)))
+        prev = first
+        for j in range(2, big_k):
+            link = Atom(f"{prev.pred[:prev.pred.rfind('_')]}_{j}",
+                        TimeTerm(tvar, 1), carry)
+            out.append(Rule(link, (Atom(prev.pred, TimeTerm(tvar, 0),
+                                        carry),)))
+            prev = link
+        final_head = Atom(head.pred, TimeTerm(tvar, 1), head.args)
+        out.append(Rule(final_head, (Atom(prev.pred, TimeTerm(tvar, 0),
+                                          carry),)))
+    return out
+
+
+def is_semi_normal(rules: Sequence[Rule]) -> bool:
+    """Every rule has at most one temporal variable (Section 3.1)."""
+    return all(rule.is_semi_normal for rule in rules)
+
+
+def is_normal(rules: Sequence[Rule]) -> bool:
+    """Semi-normal with temporal depth at most 1 (Section 3.1)."""
+    return all(rule.is_normal for rule in rules)

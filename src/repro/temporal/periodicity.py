@@ -1,0 +1,182 @@
+"""Period detection for least models of temporal rules.
+
+A model ``M`` of ``Z ∧ D`` (with ``c`` the maximum temporal depth in
+``D``) is *periodic with period* ``(b, p)`` when ``M[t] = M[t+p]`` for all
+``t ≥ b`` (Section 3.2; the paper writes the period as ``(k - c, p)`` —
+we carry the absolute threshold ``b``).  For semi-normal rules with
+maximum non-ground temporal depth ``g``, single-state equality is replaced
+by equality of ``g`` subsequent states; detecting ``M[t] = M[t+p]`` for
+every ``t`` in a long enough suffix subsumes both readings.
+
+Theorem 3.1 guarantees a period with ``b + p`` at most exponential in the
+database size; the tractable classes of Sections 5 and 6 bound it
+polynomially.  :func:`find_minimal_period` recovers the minimal period of
+a computed window of states, and :func:`forward_lookback` provides the
+soundness certificate: for *forward* rulesets, the slice at ``t`` (beyond
+the database horizon) is a function of the ``g`` preceding slices and the
+stabilised non-temporal part, so an observed repetition of a ``g``-block
+proves true periodicity of the infinite least model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from ..lang.rules import Rule
+from .store import State
+
+
+@dataclass(frozen=True)
+class Period:
+    """A period ``(b, p)``: states repeat with period ``p`` from time ``b``.
+
+    ``certified`` is True when the ruleset is forward, in which case the
+    period provably extends to the infinite least model; otherwise it has
+    only been *verified* up to ``verified_horizon``.
+    """
+
+    b: int
+    p: int
+    certified: bool = False
+    verified_horizon: int = 0
+
+    def fold(self, t: int) -> int:
+        """Map timepoint ``t`` to its equivalent within the first period.
+
+        For ``t < b`` the timepoint is its own representative; beyond,
+        states repeat, so ``t`` collapses to ``b + (t - b) mod p``.
+        """
+        if t < self.b:
+            return t
+        return self.b + (t - self.b) % self.p
+
+
+def state_ids(states: Sequence[State]) -> list[int]:
+    """Intern states as small integers for cheap equality scans."""
+    seen: dict[State, int] = {}
+    ids: list[int] = []
+    for state in states:
+        ident = seen.setdefault(state, len(seen))
+        ids.append(ident)
+    return ids
+
+
+def _z_function(seq: Sequence[int]) -> list[int]:
+    """Z-array: ``z[i]`` = length of the longest common prefix of ``seq``
+    and ``seq[i:]`` (with ``z[0] = len(seq)``)."""
+    n = len(seq)
+    z = [0] * n
+    if n == 0:
+        return z
+    z[0] = n
+    left = right = 0
+    for i in range(1, n):
+        if i < right:
+            z[i] = min(right - i, z[i - left])
+        while i + z[i] < n and seq[z[i]] == seq[i + z[i]]:
+            z[i] += 1
+        if i + z[i] > right:
+            left, right = i, i + z[i]
+    return z
+
+
+def find_minimal_period(states: Sequence[State], floor: int,
+                        g: int = 1,
+                        evidence: int = 2) -> Union[tuple[int, int], None]:
+    """Minimal ``(b, p)`` such that ``states[t] == states[t+p]`` for every
+    ``t`` in ``[b, m-p]``, with ``b ≥ floor``.
+
+    ``states`` covers timepoints ``0..m``.  ``g`` is the block size of the
+    semi-normal periodicity definition and ``evidence`` the number of full
+    period repetitions that must be visible inside the window
+    (``b + evidence*p + g - 1 ≤ m``); a candidate without that much
+    corroboration is rejected, which makes the search robust under the
+    iterative-deepening driver.  Periods are minimal in ``p`` first, then
+    in ``b``, matching the paper's minimal-period convention.
+
+    Runs in O(m) via a Z-function over the reversed state-id sequence:
+    suffix periodicity of the state sequence is prefix periodicity of its
+    reversal, and the Z-array yields, for each candidate ``p``, the least
+    admissible start ``b_p = max(floor, m - p - z[p] + 1)`` directly.
+    """
+    m = len(states) - 1
+    if m < floor:
+        return None
+    ids = state_ids(states)
+    rev = ids[::-1]
+    z = _z_function(rev)
+    max_p = (m - floor - g + 1) // max(evidence, 1)
+    best: Union[tuple[int, int], None] = None
+    for p in range(1, min(max_p, m) + 1):
+        b = max(floor, m - p - z[p] + 1)
+        if b + evidence * p + g - 1 <= m:
+            best = (b, p)
+            break
+    return best
+
+
+def find_period_by_recurrence(states: Sequence[State],
+                              floor: int) -> Union[tuple[int, int], None]:
+    """Detect the period from the first repeated state at/after ``floor``.
+
+    For *forward* programs with lookback 1 (normal rules), the slice at
+    ``t > c`` is a deterministic function of the slice at ``t-1``, so
+    the state sequence beyond the database horizon is rho-shaped: a
+    transient tail followed by a cycle.  The first state that recurs
+    marks the cycle: ``(first occurrence, gap)`` is then an exact period
+    of the infinite least model — this is how the specification
+    procedure the paper imports from [6] gets away with the window
+    ``m = max(c, h) + range(Z∧D)``, which is far too short for the
+    evidence-based detector of :func:`find_minimal_period`.
+
+    Only sound under the lookback-1 forwardness precondition (the
+    caller checks it); returns None when no recurrence lies within the
+    window.
+    """
+    seen: dict[int, int] = {}
+    ids = state_ids(states)
+    for t in range(floor, len(states)):
+        first = seen.get(ids[t])
+        if first is not None:
+            return (first, t - first)
+        seen[ids[t]] = t
+    return None
+
+
+def holds_with_period(states: Sequence[State], b: int, p: int) -> bool:
+    """Check that ``states[t] == states[t+p]`` for all ``t`` in
+    ``[b, m-p]`` (used to re-verify a candidate at a larger horizon)."""
+    m = len(states) - 1
+    if p <= 0 or b < 0:
+        return False
+    ids = state_ids(states)
+    return all(ids[t] == ids[t + p] for t in range(b, m - p + 1))
+
+
+def forward_lookback(rules: Sequence[Rule]) -> Union[int, None]:
+    """The certification lookback ``g`` of a forward ruleset, else None.
+
+    For a forward ruleset, every derivation moves weakly forward in time,
+    so the slice at ``t`` beyond the database horizon is a function of the
+    preceding ``g`` slices (``g`` = the largest head-to-body offset gap)
+    and the non-temporal part.  Equality of two ``g``-blocks of states
+    then certifies periodicity of the infinite least model.  Returns at
+    least 1; returns None when some rule is not forward.
+    """
+    lookback = 1
+    for rule in rules:
+        if rule.is_fact:
+            continue
+        if not rule.is_forward:
+            return None
+        if rule.head.time is not None and not rule.head.time.is_ground:
+            head_offset = rule.head.time.offset
+            for k in rule.body_offsets():
+                lookback = max(lookback, head_offset - k)
+    return lookback
+
+
+def range_of(states: Sequence[State]) -> int:
+    """Number of distinct states in the window (``range(Z ∧ D)``)."""
+    return len(set(states))

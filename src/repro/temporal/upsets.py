@@ -1,0 +1,302 @@
+"""Ultimately periodic sets — the [7] "infinite objects" representation.
+
+Section 7 of the paper contrasts its relational specifications with the
+earlier approach of Chomicki/Imielinski PODS 1988 ([7]): represent each
+tuple's *infinite* set of timepoints directly by a finite object.  In
+one dimension those objects are exactly the **ultimately periodic
+sets**
+
+    S = prefix ∪ { t ≥ b : (t - b) mod p ∈ residues }
+
+(1-D semilinear sets), closed under union, intersection and shifting —
+the full algebra is implemented on :class:`UPSet`, canonicalised after
+every operation so equal sets have equal representations.
+
+A note on evaluation strategy, mirroring the paper's history: firing
+rules *directly* on UP sets does not by itself reach the infinite least
+model — a self-recursive rule adds one shifted copy per application, so
+the naive algebra iteration approaches the model only in the limit (an
+acceleration step per recursive rule is what [7] needed separability
+for).  This library therefore derives the infinite-objects view *from*
+the computed model and its certified period: :func:`infinite_objects`
+runs algorithm BT once and converts, giving a :class:`UPStore` whose
+``holds`` answers membership at any temporal depth with no folding and
+whose per-tuple sets print as the paper's answer shape ("12+365k").
+The UPSet algebra then supports exact reasoning over those infinite
+answers — intersections of schedules, shifted joins, complements of
+finite parts — without ever materialising timepoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import lcm
+from typing import Iterable, Iterator, Sequence, Union
+
+from ..datalog.facts import ArgTuple, FactStore
+from ..lang.atoms import Fact
+from ..lang.errors import EvaluationError
+from ..lang.rules import Rule
+from .database import TemporalDatabase
+from .store import TemporalStore
+
+
+@dataclass(frozen=True)
+class UPSet:
+    """An ultimately periodic set of non-negative timepoints.
+
+    ``prefix`` holds the explicit members below ``b``; from ``b`` on,
+    membership is ``(t - b) % p in residues``.  The canonical empty set
+    is ``UPSet(frozenset(), 0, 1, frozenset())``.
+    """
+
+    prefix: frozenset[int]
+    b: int
+    p: int
+    residues: frozenset[int]
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "UPSet":
+        return cls(frozenset(), 0, 1, frozenset())
+
+    @classmethod
+    def finite(cls, points: Iterable[int]) -> "UPSet":
+        points = frozenset(points)
+        b = max(points, default=-1) + 1
+        return cls(points, b, 1, frozenset()).canonical()
+
+    @classmethod
+    def periodic(cls, start: int, period: int,
+                 residues: Iterable[int] = (0,)) -> "UPSet":
+        """``{start + r + k·period : k ≥ 0, r ∈ residues}``."""
+        residues = frozenset(r % period for r in residues)
+        return cls(frozenset(), start, period, residues).canonical()
+
+    # -- membership / iteration --------------------------------------------
+
+    def __contains__(self, t: int) -> bool:
+        if t < self.b:
+            return t in self.prefix
+        return (t - self.b) % self.p in self.residues
+
+    def __bool__(self) -> bool:
+        return bool(self.prefix) or bool(self.residues)
+
+    @property
+    def is_finite(self) -> bool:
+        return not self.residues
+
+    def points(self, until: int) -> Iterator[int]:
+        """Members ≤ ``until`` in increasing order."""
+        for t in range(until + 1):
+            if t in self:
+                yield t
+
+    # -- canonical form ------------------------------------------------------
+
+    def canonical(self) -> "UPSet":
+        """The unique minimal representation of the same set.
+
+        Minimises the period to the smallest divisor consistent with
+        the residues, then lowers the threshold while the prefix keeps
+        continuing the periodic pattern, then drops out-of-range
+        prefix points into the pattern region.
+        """
+        prefix = frozenset(t for t in self.prefix if t < self.b)
+        b, p, residues = self.b, self.p, self.residues
+        if not residues:
+            # Finite set: normalise to b = max+1, p = 1.
+            b = max(prefix, default=-1) + 1
+            return UPSet(prefix, b, 1, frozenset())
+        # Minimal period: smallest divisor d of p with residues
+        # invariant under +d (mod p).
+        for d in sorted(_divisors(p)):
+            shifted = frozenset((r + d) % p for r in residues)
+            if shifted == residues:
+                residues = frozenset(r % d for r in residues)
+                p = d
+                break
+        # Lower the threshold while the point below it continues the
+        # pattern.  Anchoring at b-1 rotates the residues by +1
+        # (so the set is unchanged); the point b-1 then belongs to the
+        # pattern iff p-1 is a residue of the current anchoring.
+        while b > 0:
+            t = b - 1
+            would_be_member = (p - 1) % p in residues
+            if (t in prefix) != would_be_member:
+                break
+            prefix = prefix - {t}
+            residues = frozenset((r + 1) % p for r in residues)
+            b = t
+        return UPSet(prefix, b, p, residues)
+
+    # -- algebra ------------------------------------------------------------
+
+    def _aligned(self, other: "UPSet") -> tuple[int, int, "UPSet",
+                                                "UPSet"]:
+        b = max(self.b, other.b)
+        p = lcm(self.p, other.p)
+        return b, p, self._rebase(b, p), other._rebase(b, p)
+
+    def _rebase(self, b: int, p: int) -> "UPSet":
+        """An equivalent (non-canonical) representation at (b, p)."""
+        assert b >= self.b and p % self.p == 0
+        prefix = frozenset(t for t in range(b) if t in self)
+        residues = frozenset(
+            r for r in range(p)
+            if (b + r) in self
+        ) if self.residues else frozenset()
+        return UPSet(prefix, b, p, residues)
+
+    def union(self, other: "UPSet") -> "UPSet":
+        b, p, left, right = self._aligned(other)
+        return UPSet(left.prefix | right.prefix, b, p,
+                     left.residues | right.residues).canonical()
+
+    def intersect(self, other: "UPSet") -> "UPSet":
+        b, p, left, right = self._aligned(other)
+        return UPSet(left.prefix & right.prefix, b, p,
+                     left.residues & right.residues).canonical()
+
+    def shift(self, delta: int) -> "UPSet":
+        """``{t + delta : t ∈ S, t + delta ≥ 0}`` for any int delta."""
+        if delta == 0:
+            return self
+        if delta > 0:
+            prefix = frozenset(t + delta for t in self.prefix)
+            return UPSet(prefix, self.b + delta, self.p,
+                         self.residues).canonical()
+        # Negative shift: clip at zero.
+        b = max(self.b + delta, 0)
+        prefix = frozenset(t + delta for t in self.prefix
+                           if t + delta >= 0 and t + delta < b)
+        if self.residues:
+            residues = frozenset(
+                r for r in range(self.p)
+                if (b + r - delta - self.b) % self.p in self.residues
+            )
+        else:
+            residues = frozenset()
+        return UPSet(prefix, b, self.p, residues).canonical()
+
+    def size_measure(self) -> int:
+        """Representation size: prefix points + threshold + period."""
+        return len(self.prefix) + self.b + self.p
+
+    def __str__(self) -> str:
+        parts = [str(t) for t in sorted(self.prefix)]
+        if self.residues:
+            parts.extend(f"{self.b + r}+{self.p}k"
+                         for r in sorted(self.residues))
+        return "{" + ", ".join(parts) + "}" if parts else "{}"
+
+
+def _divisors(n: int) -> list[int]:
+    out = []
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            out.append(d)
+            if d != n // d:
+                out.append(n // d)
+        d += 1
+    return out
+
+
+
+
+# ---------------------------------------------------------------------------
+# The infinite-objects view of a computed model
+# ---------------------------------------------------------------------------
+
+class UPStore:
+    """Per-(predicate, tuple) ultimately periodic sets + non-temporal.
+
+    The [7]-style representation of an infinite least model: every
+    ground atomic query is a direct membership test, with no period
+    folding and no window.
+    """
+
+    def __init__(self) -> None:
+        self._temporal: dict[str, dict[ArgTuple, UPSet]] = {}
+        self.nt = FactStore()
+
+    def times(self, pred: str, args: ArgTuple) -> UPSet:
+        """The (possibly infinite) set of timepoints of one tuple."""
+        return self._temporal.get(pred, {}).get(args, UPSet.empty())
+
+    def tuples(self, pred: str) -> dict[ArgTuple, UPSet]:
+        return self._temporal.get(pred, {})
+
+    def set_times(self, pred: str, args: ArgTuple,
+                  times: UPSet) -> None:
+        if times:
+            self._temporal.setdefault(pred, {})[args] = times
+
+    def holds(self, fact: Fact) -> bool:
+        """Membership in the infinite model."""
+        if fact.time is None:
+            return self.nt.contains(fact.pred, fact.args)
+        return fact.time in self.times(fact.pred, fact.args)
+
+    def to_store(self, horizon: int) -> TemporalStore:
+        """Materialise a window of the infinite model into slices."""
+        store = TemporalStore()
+        for pred, table in self._temporal.items():
+            for args, times in table.items():
+                for t in times.points(horizon):
+                    store.add(pred, t, args)
+        for fact in self.nt.facts():
+            store.add_fact(fact)
+        return store
+
+    def describe(self) -> dict[str, dict[ArgTuple, str]]:
+        """Human-readable per-tuple rendering ("5, 12+365k")."""
+        return {
+            pred: {args: str(times) for args, times in table.items()}
+            for pred, table in self._temporal.items()
+        }
+
+    def __repr__(self) -> str:
+        tuples = sum(len(t) for t in self._temporal.values())
+        return (f"UPStore({tuples} temporal tuples, "
+                f"{len(self.nt)} non-temporal facts)")
+
+
+def infinite_objects(rules: Sequence[Rule],
+                     database: TemporalDatabase,
+                     **bt_kwargs) -> UPStore:
+    """The [7] infinite-objects view of a TDD's least model.
+
+    Runs algorithm BT once (period detection included) and converts the
+    windowed model plus its period ``(b, p)`` into per-tuple
+    :class:`UPSet` values: explicit points below ``b``, residues from
+    the first full period at and beyond it.  Raises
+    :class:`EvaluationError` when BT finds no period (pass ``window=``
+    or other :func:`~repro.temporal.bt.bt_evaluate` keywords through).
+    """
+    from .bt import bt_evaluate
+
+    result = bt_evaluate(rules, database, **bt_kwargs)
+    if result.period is None:
+        raise EvaluationError(
+            "no period detected; the infinite-objects view needs one"
+        )
+    b, p = result.period.b, result.period.p
+    out = UPStore()
+    by_tuple: dict[tuple[str, ArgTuple], list[int]] = {}
+    for fact in result.store.truncate(b + p - 1).temporal_facts():
+        by_tuple.setdefault((fact.pred, fact.args),
+                            []).append(fact.time)
+    for (pred, args), times in by_tuple.items():
+        prefix = [t for t in times if t < b]
+        residues = [(t - b) % p for t in times if t >= b]
+        up = UPSet.finite(prefix)
+        if residues:
+            up = up.union(UPSet.periodic(b, p, residues))
+        out.set_times(pred, args, up)
+    for fact in result.store.nt.facts():
+        out.nt.add(fact.pred, fact.args)
+    return out

@@ -1,0 +1,29 @@
+"""Synthetic workload generators for the benchmark harness.
+
+The paper (a 1990 theory paper) ships no datasets; these generators
+expose the growth parameters its complexity claims quantify over —
+database size ``n``, maximum temporal depth ``c``, predicate count — for
+the three rule families the experiments use: inflationary graph search,
+multi-separable schedules, and coprime-cycle counters.
+"""
+
+from .cycles import (coprime_cycles_database, coprime_cycles_program,
+                     copy_chain_database, copy_chain_program,
+                     expected_period, first_primes,
+                     single_counter_program)
+from .graphs import (bounded_path_program, complete_graph, cycle_graph,
+                     graph_database, line_graph, random_digraph)
+from .protocols import ring_database, token_ring_program
+from .schedules import (paper_travel_database, scaled_travel_database,
+                        travel_agent_program)
+
+__all__ = [
+    "bounded_path_program", "graph_database", "random_digraph",
+    "line_graph", "cycle_graph", "complete_graph",
+    "travel_agent_program", "paper_travel_database",
+    "scaled_travel_database",
+    "coprime_cycles_program", "coprime_cycles_database",
+    "expected_period", "first_primes", "single_counter_program",
+    "copy_chain_program", "copy_chain_database",
+    "token_ring_program", "ring_database",
+]

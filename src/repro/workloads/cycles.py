@@ -1,0 +1,86 @@
+"""Cycle-family workloads for the worst-case experiments (E3, E4).
+
+Theorem 3.1 bounds ``b + p`` only exponentially in the database size,
+and Theorem 3.3 exhibits exponential-size specifications.  The standard
+witness family is a set of independent counters with pairwise coprime
+cycle lengths::
+
+    tick1(T+2) :- tick1(T).      tick1(0).
+    tick2(T+3) :- tick2(T).      tick2(0).
+    tick3(T+5) :- tick3(T).      tick3(0).
+    ...
+
+The least model's period is ``lcm(2, 3, 5, ...)`` — the primorial, which
+grows as ``e^{(1+o(1)) k ln k}`` with the number of counters ``k``, i.e.
+super-polynomially in the (linear-size) database.  Each family member is
+multi-separable (so 1-periodic!), showing that 1-periodicity caps the
+period per *ruleset* while the worst case over growing rulesets is still
+exponential — exactly the landscape Sections 4–6 describe.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..lang.atoms import Fact
+from ..lang.rules import Rule
+from ..lang.sorts import parse_rules
+
+_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37]
+
+
+def first_primes(k: int) -> list[int]:
+    """The first ``k`` primes (k ≤ 12 precomputed, then sieved)."""
+    if k <= len(_PRIMES):
+        return _PRIMES[:k]
+    primes = list(_PRIMES)
+    candidate = primes[-1] + 2
+    while len(primes) < k:
+        if all(candidate % p for p in primes
+               if p * p <= candidate):
+            primes.append(candidate)
+        candidate += 2
+    return primes
+
+
+def coprime_cycles_program(periods: Sequence[int]) -> tuple[Rule, ...]:
+    """One independent counter rule per requested cycle length."""
+    lines = [
+        f"tick{i}(T+{p}) :- tick{i}(T)."
+        for i, p in enumerate(periods)
+    ]
+    return parse_rules("\n".join(lines))
+
+
+def coprime_cycles_database(periods: Sequence[int]) -> list[Fact]:
+    """One seed fact ``tick_i(0)`` per counter."""
+    return [Fact(f"tick{i}", 0, ()) for i in range(len(periods))]
+
+
+def expected_period(periods: Sequence[int]) -> int:
+    """The least model's period length: lcm of the cycle lengths."""
+    return math.lcm(*periods) if periods else 1
+
+
+def single_counter_program(p: int) -> tuple[Rule, ...]:
+    """The paper's even/odd example generalised to step ``p``."""
+    return parse_rules(f"tick0(T+{p}) :- tick0(T).")
+
+
+def copy_chain_program(length: int) -> tuple[Rule, ...]:
+    """A linear chain of copies: stage_{i+1} lags stage_i by one step.
+
+    Inflationary-free, 1-periodic with threshold growing linearly in the
+    chain length; used to vary the period start ``b`` independently of
+    the period length ``p``.
+    """
+    lines = [f"stage{i + 1}(T+1, X) :- stage{i}(T, X)."
+             for i in range(length)]
+    lines.append(f"stage{length}(T+1, X) :- stage{length}(T, X).")
+    return parse_rules("\n".join(lines))
+
+
+def copy_chain_database(n_items: int) -> list[Fact]:
+    """Seed items at stage 0 of the copy chain."""
+    return [Fact("stage0", 0, (f"item{i}",)) for i in range(n_items)]

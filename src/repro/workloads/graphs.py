@@ -1,0 +1,75 @@
+"""Graph workloads for the inflationary experiments (E1, E5).
+
+The paper's second worked example (Section 2): bounded path search in a
+directed graph, expressed by an inflationary ruleset whose third rule
+makes every derived fact persist::
+
+    path(K, X, X)   :- node(X), null(K).
+    path(K+1, X, Z) :- edge(X, Y), path(K, Y, Z).
+    path(K+1, X, Y) :- path(K, X, Y).
+
+``path(K, X, Y)`` reads "there is a path of length at most K from X to
+Y".  The ruleset is inflationary (Theorem 5.1 ⇒ tractable) but not
+1-periodic, because path lengths are unbounded over all graphs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..lang.atoms import Fact
+from ..lang.rules import Rule
+from ..lang.sorts import parse_rules
+
+_PATH_RULES = """
+path(K, X, X) :- node(X), null(K).
+path(K+1, X, Z) :- edge(X, Y), path(K, Y, Z).
+path(K+1, X, Y) :- path(K, X, Y).
+"""
+
+
+def bounded_path_program() -> tuple[Rule, ...]:
+    """The paper's bounded-path ruleset, verbatim."""
+    return parse_rules(_PATH_RULES)
+
+
+def graph_database(edges: Sequence[tuple[str, str]]) -> list[Fact]:
+    """Database facts for a digraph: node/1, edge/2 and null(0)."""
+    nodes = sorted({v for edge in edges for v in edge})
+    facts = [Fact("null", 0, ())]
+    facts.extend(Fact("node", None, (v,)) for v in nodes)
+    facts.extend(Fact("edge", None, (u, v)) for u, v in edges)
+    return facts
+
+
+def random_digraph(n_nodes: int, n_edges: int,
+                   seed: int = 0) -> list[tuple[str, str]]:
+    """A random simple digraph with exactly ``n_edges`` distinct edges."""
+    rng = random.Random(seed)
+    names = [f"v{i}" for i in range(n_nodes)]
+    possible = n_nodes * (n_nodes - 1)
+    if n_edges > possible:
+        raise ValueError(f"at most {possible} edges on {n_nodes} nodes")
+    edges: set[tuple[str, str]] = set()
+    while len(edges) < n_edges:
+        u, v = rng.sample(names, 2)
+        edges.add((u, v))
+    return sorted(edges)
+
+
+def line_graph(n_nodes: int) -> list[tuple[str, str]]:
+    """The path graph v0 -> v1 -> ... -> v(n-1): the diameter-maximising
+    family (period threshold grows linearly with n)."""
+    return [(f"v{i}", f"v{i + 1}") for i in range(n_nodes - 1)]
+
+
+def cycle_graph(n_nodes: int) -> list[tuple[str, str]]:
+    """The directed cycle on ``n_nodes`` nodes."""
+    return [(f"v{i}", f"v{(i + 1) % n_nodes}") for i in range(n_nodes)]
+
+
+def complete_graph(n_nodes: int) -> list[tuple[str, str]]:
+    """The complete digraph (diameter 1, densest slice states)."""
+    names = [f"v{i}" for i in range(n_nodes)]
+    return [(u, v) for u in names for v in names if u != v]

@@ -1,0 +1,52 @@
+"""Protocol workloads: the token ring (Section 8's open question).
+
+The paper closes with: "Other useful tractable classes should exist as
+well."  The token-ring protocol is a crisp witness: a token circulates
+around ``n`` processes, one hop per tick::
+
+    token(T+1, Y) :- token(T, X), next(X, Y).
+
+Its least model has period exactly ``n`` — *polynomially* periodic, so
+tractable by Theorem 4.1 — yet the ruleset is
+
+* **not inflationary** (the token leaves each process), and
+* **not multi-separable** (the recursive rule changes both the time and
+  the data argument, so it is neither time-only nor data-only).
+
+Both sufficient criteria of Sections 5 and 6 miss it; algorithm BT
+still handles it comfortably because the period is small.  Experiment
+coverage: the `token_ring` tests and ``examples/token_ring.py``.
+"""
+
+from __future__ import annotations
+
+from ..lang.atoms import Fact
+from ..lang.rules import Rule
+from ..lang.sorts import parse_rules
+
+_TOKEN_RULES = """
+token(T+1, Y) :- token(T, X), next(X, Y).
+served(T+1, X) :- token(T, X).
+served(T+1, X) :- served(T, X).
+"""
+
+
+def token_ring_program() -> tuple[Rule, ...]:
+    """Token circulation plus an inflationary 'served' ledger."""
+    return parse_rules(_TOKEN_RULES)
+
+
+def ring_database(n_processes: int, start: int = 0) -> list[Fact]:
+    """A ring of ``n_processes`` with the token seeded at ``proc0``.
+
+    ``start`` places the seed at a later timepoint to exercise non-zero
+    database depths.
+    """
+    if n_processes < 1:
+        raise ValueError("a ring needs at least one process")
+    facts = [Fact("token", start, ("proc0",))]
+    facts.extend(
+        Fact("next", None, (f"proc{i}", f"proc{(i + 1) % n_processes}"))
+        for i in range(n_processes)
+    )
+    return facts

@@ -1,0 +1,79 @@
+"""Airline-schedule workloads for the multi-separable experiments (E2).
+
+The paper's first worked example (Section 2): a travel agent's seasonal
+flight schedule.  The ruleset is multi-separable (but not separable, and
+not inflationary), hence 1-periodic with a database-independent period;
+E2 verifies that the measured period stays constant while the database
+grows by orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..lang.atoms import Fact
+from ..lang.rules import Rule
+from ..lang.sorts import parse_rules
+
+_TRAVEL_RULES = """
+plane(T+7, X) :- plane(T, X), resort(X), offseason(T).
+plane(T+2, X) :- plane(T, X), resort(X), winter(T).
+plane(T+1, X) :- plane(T, X), resort(X), holiday(T).
+offseason(T+365) :- offseason(T).
+winter(T+365) :- winter(T).
+holiday(T+365) :- holiday(T).
+"""
+
+
+def travel_agent_program(year_length: int = 365) -> tuple[Rule, ...]:
+    """The paper's travel-agent ruleset (year length parameterised)."""
+    text = _TRAVEL_RULES.replace("365", str(year_length))
+    return parse_rules(text)
+
+
+def paper_travel_database() -> list[Fact]:
+    """The database from the paper's example, dates mapped to integers.
+
+    Footnote 1: dates abbreviate temporal terms ``0+1+...+1``.  Day 0
+    is 1989-12-20, the start of ``winter(<12/20/89, 03/20/90>)`` = days
+    0..90; ``offseason(<03/21/90, 12/19/90>)`` = days 91..364; holidays
+    are 1989-12-25 (day 5) and 1990-01-01 (day 12, also the first plane
+    departure).  The next winter arrives through the ``+365`` rules.
+    The mapping is verified in ``tests/test_dates.py``.
+    """
+    facts = [
+        Fact("plane", 12, ("hunter",)),
+        Fact("resort", None, ("hunter",)),
+    ]
+    facts.extend(Fact("winter", t, ()) for t in range(0, 91))
+    facts.extend(Fact("offseason", t, ()) for t in range(91, 365))
+    facts.append(Fact("holiday", 5, ()))
+    facts.append(Fact("holiday", 12, ()))
+    return facts
+
+
+def scaled_travel_database(n_resorts: int, year_length: int = 365,
+                           n_holidays: int = 8,
+                           seed: int = 0) -> list[Fact]:
+    """A travel database with ``n_resorts`` resorts and random seasons.
+
+    Database size grows linearly with ``n_resorts`` (one plane seed and
+    one resort fact each) while the rules stay fixed — the E2 workload
+    demonstrating that the period is database-independent.
+    """
+    rng = random.Random(seed)
+    facts: list[Fact] = []
+    winter_end = year_length // 4
+    offseason_end = 3 * year_length // 4
+    facts.extend(Fact("winter", t, ()) for t in range(0, winter_end))
+    facts.extend(Fact("offseason", t, ())
+                 for t in range(winter_end, offseason_end))
+    facts.extend(Fact("winter", t, ())
+                 for t in range(offseason_end, year_length))
+    for _ in range(n_holidays):
+        facts.append(Fact("holiday", rng.randrange(year_length), ()))
+    for i in range(n_resorts):
+        name = f"resort{i}"
+        facts.append(Fact("resort", None, (name,)))
+        facts.append(Fact("plane", rng.randrange(year_length), (name,)))
+    return facts

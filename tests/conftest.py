@@ -1,0 +1,69 @@
+"""Shared fixtures: the paper's worked examples and test strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import parse_program
+from repro.temporal import TemporalDatabase
+
+EVEN_TEXT = """
+even(T+2) :- even(T).
+even(0).
+"""
+
+TRAVEL_TEXT = """
+plane(T+7, X) :- plane(T, X), resort(X), offseason(T).
+plane(T+2, X) :- plane(T, X), resort(X), winter(T).
+plane(T+1, X) :- plane(T, X), resort(X), holiday(T).
+offseason(T+365) :- offseason(T).
+winter(T+365) :- winter(T).
+holiday(T+365) :- holiday(T).
+
+plane(12, hunter).
+resort(hunter).
+winter(0..90).
+offseason(91..364).
+holiday(5).
+holiday(12).
+"""
+
+PATH_TEXT = """
+path(K, X, X) :- node(X), null(K).
+path(K+1, X, Z) :- edge(X, Y), path(K, Y, Z).
+path(K+1, X, Y) :- path(K, X, Y).
+
+null(0).
+node(a). node(b). node(c). node(d).
+edge(a, b). edge(b, c). edge(c, d).
+"""
+
+
+@pytest.fixture(scope="session")
+def even_program():
+    return parse_program(EVEN_TEXT)
+
+
+@pytest.fixture(scope="session")
+def travel_program():
+    return parse_program(TRAVEL_TEXT)
+
+
+@pytest.fixture(scope="session")
+def path_program():
+    return parse_program(PATH_TEXT)
+
+
+@pytest.fixture()
+def even_db(even_program):
+    return TemporalDatabase(even_program.facts)
+
+
+@pytest.fixture()
+def travel_db(travel_program):
+    return TemporalDatabase(travel_program.facts)
+
+
+@pytest.fixture()
+def path_db(path_program):
+    return TemporalDatabase(path_program.facts)

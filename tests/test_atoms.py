@@ -1,0 +1,77 @@
+"""Unit tests for repro.lang.atoms."""
+
+import pytest
+
+from repro.lang.atoms import Atom, Fact
+from repro.lang.terms import Const, TimeTerm, Var
+
+
+def temporal_atom(pred="p", var="T", offset=0, *args):
+    return Atom(pred, TimeTerm(var, offset), tuple(args))
+
+
+class TestAtom:
+    def test_temporal_flag(self):
+        assert Atom("p", TimeTerm("T", 0), ()).is_temporal
+        assert not Atom("r", None, (Const("a"),)).is_temporal
+
+    def test_arity_excludes_temporal_argument(self):
+        atom = Atom("p", TimeTerm("T", 1), (Var("X"), Const("a")))
+        assert atom.arity == 2
+
+    def test_groundness(self):
+        assert Atom("p", TimeTerm(None, 3), (Const("a"),)).is_ground
+        assert not Atom("p", TimeTerm("T", 0), (Const("a"),)).is_ground
+        assert not Atom("p", TimeTerm(None, 3), (Var("X"),)).is_ground
+        assert Atom("r", None, (Const("a"),)).is_ground
+
+    def test_data_variables(self):
+        atom = Atom("p", TimeTerm("T", 0), (Var("X"), Const("a"), Var("X")))
+        assert [v.name for v in atom.data_variables()] == ["X", "X"]
+
+    def test_temporal_variable(self):
+        assert Atom("p", TimeTerm("T", 2), ()).temporal_variable() == "T"
+        assert Atom("p", TimeTerm(None, 2), ()).temporal_variable() is None
+        assert Atom("r", None, ()).temporal_variable() is None
+
+    def test_to_fact_ground(self):
+        atom = Atom("p", TimeTerm(None, 3), (Const("a"), Const(2)))
+        assert atom.to_fact() == Fact("p", 3, ("a", 2))
+
+    def test_to_fact_non_temporal(self):
+        atom = Atom("r", None, (Const("a"),))
+        assert atom.to_fact() == Fact("r", None, ("a",))
+
+    def test_to_fact_rejects_non_ground(self):
+        with pytest.raises(ValueError):
+            Atom("p", TimeTerm("T", 0), ()).to_fact()
+
+    def test_str(self):
+        assert str(Atom("p", TimeTerm("T", 1), (Var("X"),))) == "p(T+1, X)"
+        assert str(Atom("r", None, ())) == "r"
+        assert str(Atom("q", TimeTerm(None, 0), ())) == "q(0)"
+
+
+class TestFact:
+    def test_shifted(self):
+        assert Fact("p", 3, ("a",)).shifted(2) == Fact("p", 5, ("a",))
+
+    def test_shift_non_temporal_rejected(self):
+        with pytest.raises(ValueError):
+            Fact("r", None, ("a",)).shifted(1)
+
+    def test_roundtrip_atom(self):
+        fact = Fact("p", 4, ("a", 7))
+        assert fact.to_atom().to_fact() == fact
+
+    def test_roundtrip_non_temporal(self):
+        fact = Fact("r", None, ("a",))
+        assert fact.to_atom().to_fact() == fact
+
+    def test_str(self):
+        assert str(Fact("p", 2, ("a",))) == "p(2, a)"
+        assert str(Fact("r", None, ())) == "r"
+
+    def test_hashable_in_sets(self):
+        facts = {Fact("p", 1, ()), Fact("p", 1, ()), Fact("p", 2, ())}
+        assert len(facts) == 2

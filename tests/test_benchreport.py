@@ -1,0 +1,69 @@
+"""Tests for the benchmark report generator."""
+
+import io
+import json
+
+from repro.benchreport import load_rows, main, render
+
+SAMPLE = {
+    "machine_info": {"python_version": "3.11.7", "system": "Linux",
+                     "cpu": {"brand_raw": "TestCPU"}},
+    "benchmarks": [
+        {
+            "fullname": "benchmarks/bench_e3_exponential.py::test_a[2]",
+            "name": "test_a[2]",
+            "stats": {"mean": 0.000245, "rounds": 100},
+            "extra_info": {"k": 2, "expected_lcm": 6},
+        },
+        {
+            "fullname": "benchmarks/bench_e3_exponential.py::test_a[1]",
+            "name": "test_a[1]",
+            "stats": {"mean": 0.25, "rounds": 5},
+            "extra_info": {"k": 1, "expected_lcm": 2},
+        },
+        {
+            "fullname": "benchmarks/bench_e1_inflationary.py::test_b",
+            "name": "test_b",
+            "stats": {"mean": 2.5, "rounds": 5},
+            "extra_info": {},
+        },
+    ],
+}
+
+
+class TestLoadRows:
+    def test_grouping_by_experiment(self):
+        rows = load_rows(SAMPLE)
+        assert set(rows) == {"e3_exponential", "e1_inflationary"}
+        assert len(rows["e3_exponential"]) == 2
+
+    def test_rows_sorted_by_test_name(self):
+        rows = load_rows(SAMPLE)["e3_exponential"]
+        assert [r["test"] for r in rows] == ["test_a[1]", "test_a[2]"]
+
+    def test_extra_info_merged(self):
+        rows = load_rows(SAMPLE)["e3_exponential"]
+        assert rows[1]["expected_lcm"] == 6
+
+
+class TestRender:
+    def test_markdown_tables(self):
+        out = io.StringIO()
+        render(SAMPLE, out)
+        text = out.getvalue()
+        assert "# Benchmark report" in text
+        assert "## e3_exponential" in text
+        assert "| test | mean | k | expected_lcm |" in text
+        assert "245.0 µs" in text
+        assert "250.0 ms" in text
+        assert "2.50 s" in text
+
+    def test_main_end_to_end(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(SAMPLE))
+        out = io.StringIO()
+        assert main([str(path)], out=out) == 0
+        assert "e1_inflationary" in out.getvalue()
+
+    def test_usage_error(self):
+        assert main([], out=io.StringIO()) == 2

@@ -1,0 +1,171 @@
+"""Tests for algorithm BT (Figure 1): verbatim, semi-naive, adaptive."""
+
+import pytest
+
+from repro.lang import parse_program
+from repro.lang.atoms import Fact
+from repro.lang.errors import EvaluationError
+from repro.temporal import (TemporalDatabase, bt_evaluate, bt_verbatim,
+                            fixpoint, verify_period)
+
+
+class TestVerbatimBT:
+    def test_matches_seminaive_fixpoint(self, even_program, even_db):
+        for window in (0, 1, 5, 10):
+            verbatim = bt_verbatim(even_program.rules, even_db, window)
+            semi = fixpoint(even_program.rules, even_db, window)
+            assert verbatim.store.segment(0, window) == \
+                semi.segment(0, window)
+            assert verbatim.store.nt == semi.nt
+
+    def test_matches_on_travel_example(self, travel_program, travel_db):
+        window = 30
+        verbatim = bt_verbatim(travel_program.rules, travel_db, window)
+        semi = fixpoint(travel_program.rules, travel_db, window)
+        assert verbatim.store.segment(0, window) == semi.segment(0, window)
+
+    def test_matches_on_backward_rules(self):
+        program = parse_program(
+            "@temporal q.\nq(T) :- p(T+1).\np(T+1) :- p(T).\np(0).")
+        db = TemporalDatabase(program.facts)
+        window = 8
+        verbatim = bt_verbatim(program.rules, db, window)
+        semi = fixpoint(program.rules, db, window)
+        assert verbatim.store.segment(0, window) == semi.segment(0, window)
+
+    def test_round_count_reported(self, even_db, even_program):
+        result = bt_verbatim(even_program.rules, even_db, 6)
+        assert result.rounds >= 4  # even(0)..even(6) need 4 derivations
+
+
+class TestAdaptiveBT:
+    def test_even_minimal_period(self, even_program, even_db):
+        result = bt_evaluate(even_program.rules, even_db)
+        assert (result.period.b, result.period.p) == (0, 2)
+        assert result.period.certified
+
+    def test_even_membership_beyond_window(self, even_program, even_db):
+        result = bt_evaluate(even_program.rules, even_db)
+        assert result.holds(Fact("even", 10 ** 15, ()))
+        assert not result.holds(Fact("even", 10 ** 15 + 1, ()))
+
+    def test_travel_period_is_year(self, travel_program, travel_db):
+        result = bt_evaluate(travel_program.rules, travel_db)
+        assert result.period.p == 365
+        assert result.period.certified
+
+    def test_path_period_one(self, path_program, path_db):
+        result = bt_evaluate(path_program.rules, path_db)
+        assert result.period.p == 1
+        # threshold: diameter of the 4-node line is 3, plus seeding.
+        assert result.period.b <= 5
+
+    def test_backward_rules_verified_not_certified(self):
+        program = parse_program(
+            "@temporal q.\nq(T) :- p(T+1).\np(T+1) :- p(T).\np(3).")
+        db = TemporalDatabase(program.facts)
+        result = bt_evaluate(program.rules, db)
+        assert not result.period.certified
+        assert result.holds(Fact("q", 2, ()))
+        assert not result.holds(Fact("q", 1, ()))
+        assert result.holds(Fact("q", 10 ** 9, ()))
+
+    def test_no_rules_empty_period(self):
+        db = TemporalDatabase([Fact("p", 3, ())])
+        result = bt_evaluate([], db)
+        assert result.period.p == 1
+        assert not result.holds(Fact("p", 4, ()))
+        assert result.holds(Fact("p", 3, ()))
+
+    def test_non_temporal_query(self, path_program, path_db):
+        result = bt_evaluate(path_program.rules, path_db)
+        assert result.holds(Fact("edge", None, ("a", "b")))
+        assert not result.holds(Fact("edge", None, ("b", "a")))
+
+    def test_max_window_exceeded_raises(self):
+        program = parse_program("tick(T+97) :- tick(T).\ntick(0).")
+        db = TemporalDatabase(program.facts)
+        with pytest.raises(EvaluationError):
+            bt_evaluate(program.rules, db, max_window=64)
+
+
+class TestPaperModeWindow:
+    def test_explicit_window(self, even_program, even_db):
+        result = bt_evaluate(even_program.rules, even_db, window=11)
+        assert result.horizon == 11
+        assert result.period is not None
+
+    def test_range_bound_mode(self, even_program, even_db):
+        # m = max(c, h) + range; the even example has range 2.
+        result = bt_evaluate(even_program.rules, even_db,
+                             query_depth=6, range_bound=2)
+        assert result.horizon == 8
+        assert result.holds(Fact("even", 6, ()))
+
+    def test_window_too_small_for_period(self, even_program, even_db):
+        result = bt_evaluate(even_program.rules, even_db, window=2)
+        assert result.period is None
+        with pytest.raises(EvaluationError):
+            result.holds(Fact("even", 100, ()))
+
+    def test_range_property(self, even_program, even_db):
+        result = bt_evaluate(even_program.rules, even_db)
+        assert result.range == 2  # {even}, {}
+
+
+class TestVerifyPeriod:
+    def test_true_period_verifies(self, even_program, even_db):
+        assert verify_period(even_program.rules, even_db, b=0, p=2,
+                             horizon=40)
+        assert verify_period(even_program.rules, even_db, b=0, p=4,
+                             horizon=40)
+
+    def test_false_period_fails(self, even_program, even_db):
+        assert not verify_period(even_program.rules, even_db, b=0, p=3,
+                                 horizon=40)
+
+
+class TestPaperWindowFormula:
+    """Fidelity check: the Theorem 4.1 window m = max(c, h) + range."""
+
+    def test_exact_range_bound_recovers_period(self):
+        # The paper's window works with NORMAL rules (g = 1), where a
+        # single state recurrence proves the period — so normalize the
+        # travel program first, exactly as Section 3.1 prescribes.
+        from repro.temporal import to_normal
+        from repro.workloads import (scaled_travel_database,
+                                     travel_agent_program)
+        normal = to_normal(travel_agent_program(year_length=30))
+        db = TemporalDatabase(scaled_travel_database(
+            2, year_length=30, n_holidays=2, seed=1))
+        adaptive = bt_evaluate(normal, db)
+        true_range = adaptive.range
+        paper = bt_evaluate(normal, db, query_depth=0,
+                            range_bound=true_range)
+        assert paper.period is not None
+        assert paper.period.certified
+        assert paper.period.p == adaptive.period.p
+        # And the paper window is much shorter than the adaptive one.
+        assert paper.horizon < adaptive.horizon
+
+    def test_recurrence_detector_on_even(self, even_program, even_db):
+        # Even has g=2; normalize to g=1 and use the short window.
+        from repro.temporal import to_normal
+        normal = to_normal(even_program.rules)
+        paper = bt_evaluate(normal, even_db, range_bound=4)
+        assert paper.period is not None
+        assert paper.period.p == 2
+
+    def test_query_depth_extends_window(self, even_program, even_db):
+        h = 123
+        result = bt_evaluate(even_program.rules, even_db,
+                             query_depth=h, range_bound=2)
+        assert result.horizon == h + 2
+        assert result.store.contains("even", 122, ())
+
+    def test_range_counts_distinct_states(self, travel_program,
+                                          travel_db):
+        result = bt_evaluate(travel_program.rules, travel_db)
+        # At most one state per timepoint in the first period, plus the
+        # transient; far less than the window length.
+        assert 2 <= result.range <= result.period.b + result.period.p + 1

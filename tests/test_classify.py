@@ -1,0 +1,199 @@
+"""Tests for Section 6 syntax: time-only/data-only/multi-separable,
+reduced-form transformation, and the Theorem 6.3 one-period bound."""
+
+import pytest
+
+from repro.core import (classify_ruleset, estimate_one_period,
+                        is_data_only_rule, is_multi_separable,
+                        is_recursive_rule, is_reduced_rule,
+                        is_reduced_time_only, is_separable,
+                        is_time_only_rule, one_period_bound,
+                        reduce_time_only_rules)
+from repro.lang import parse_program, parse_rules
+from repro.lang.errors import ClassificationError
+from repro.temporal import TemporalDatabase, bt_evaluate, verify_period
+from repro.workloads import (scaled_travel_database,
+                             travel_agent_program)
+
+
+def rule_of(text):
+    (rule,) = parse_rules(text)
+    return rule
+
+
+class TestRuleKinds:
+    def test_paper_time_only_example(self):
+        # From the paper: near is time-only and reduced.
+        rule = rule_of("near(T+1, X, Y) :- near(T, X, Y), idle(T, X), "
+                       "idle(T, Y).")
+        assert is_time_only_rule(rule)
+        assert is_reduced_rule(rule)
+
+    def test_paper_data_only_example(self):
+        rule = rule_of("@temporal happy.\n"
+                       "happy(T, X) :- happy(T, Y), friend(X, Y).")
+        assert is_data_only_rule(rule)
+        assert not is_time_only_rule(rule)
+
+    def test_non_recursive_rule_is_neither(self):
+        rule = rule_of("q(T+1, X) :- p(T, X).")
+        assert not is_recursive_rule(rule)
+        assert not is_time_only_rule(rule)
+        assert not is_data_only_rule(rule)
+
+    def test_time_only_requires_identical_data_args(self):
+        rule = rule_of("p(T+1, X, Y) :- p(T, Y, X).")
+        assert is_recursive_rule(rule)
+        assert not is_time_only_rule(rule)
+
+    def test_path_append_rule_is_neither(self, path_program):
+        append = path_program.rules[1]  # path(K+1,X,Z):-edge,path(K,Y,Z)
+        assert is_recursive_rule(append)
+        assert not is_time_only_rule(append)
+        assert not is_data_only_rule(append)
+
+    def test_not_reduced_with_extra_body_variable(self):
+        rule = rule_of("near(T+1, X) :- near(T, X), idle(T, X, Z).")
+        assert is_time_only_rule(rule)
+        assert not is_reduced_rule(rule)
+
+    def test_data_only_head_must_share_time(self):
+        rule = rule_of("happy(T+1, X) :- happy(T, Y), friend(X, Y).")
+        assert not is_data_only_rule(rule)
+
+
+class TestRulesetClassification:
+    def test_travel_is_multi_separable_not_separable(self,
+                                                     travel_program):
+        assert is_multi_separable(travel_program.rules)
+        assert not is_separable(travel_program.rules)
+
+    def test_even_is_separable(self, even_program):
+        assert is_separable(even_program.rules)
+        assert is_multi_separable(even_program.rules)
+
+    def test_path_is_not_multi_separable(self, path_program):
+        assert not is_multi_separable(path_program.rules)
+
+    def test_mutual_recursion_blocks(self):
+        rules = parse_rules("p(T+1, X) :- q(T, X).\n"
+                            "q(T+1, X) :- p(T, X).")
+        report = classify_ruleset(rules)
+        assert not report.mutual_recursion_free
+        assert not report.is_multi_separable
+
+    def test_mixed_kinds_per_predicate_rejected(self):
+        rules = parse_rules(
+            "p(T+1, X) :- p(T, X).\n"           # time-only
+            "p(T, X) :- p(T, Y), link(X, Y).")  # data-only
+        report = classify_ruleset(rules)
+        assert report.predicate_kinds["p"] == "mixed"
+        assert not report.is_multi_separable
+
+    def test_report_collects_offenders(self, path_program):
+        report = classify_ruleset(path_program.rules)
+        assert report.offending_rules
+        assert report.predicate_kinds["path"] == "other"
+
+    def test_data_only_ruleset_is_multi_separable(self):
+        rules = parse_rules(
+            "@temporal happy.\n"
+            "happy(T, X) :- happy(T, Y), friend(X, Y).")
+        assert is_multi_separable(rules)
+
+
+class TestReduceTransformation:
+    def test_already_reduced_untouched(self, travel_program):
+        assert reduce_time_only_rules(travel_program.rules) == \
+            list(travel_program.rules)
+
+    def test_projection_aux_introduced(self):
+        rules = parse_rules(
+            "near(T+1, X) :- near(T, X), idle(T, X, Z).")
+        reduced = reduce_time_only_rules(rules)
+        assert is_reduced_time_only(reduced)
+        assert len(reduced) == 2
+
+    def test_cluster_of_connected_atoms(self):
+        rules = parse_rules(
+            "p(T+1, X) :- p(T, X), q(T, X, Z), r(T, Z, W).")
+        reduced = reduce_time_only_rules(rules)
+        assert is_reduced_time_only(reduced)
+        # q and r share Z: they must fold into ONE auxiliary.
+        aux_rules = [r for r in reduced if r.head.pred.startswith("_red")]
+        assert len(aux_rules) == 1
+        assert len(aux_rules[0].body) == 2
+
+    def test_model_preserved(self):
+        program = parse_program(
+            "near(T+1, X) :- near(T, X), idle(T, X, Z).\n"
+            "near(0, a).\nidle(0, a, z1). idle(1, a, z2).\n"
+            "@temporal idle.")
+        reduced = reduce_time_only_rules(program.rules)
+        db = TemporalDatabase(program.facts)
+        from repro.temporal import fixpoint
+        direct = fixpoint(program.rules, db, 6)
+        via = fixpoint(reduced, db, 6)
+        assert ({f for f in direct.facts() if f.pred == "near"}
+                == {f for f in via.facts() if f.pred == "near"})
+
+    def test_nontemporal_cluster(self):
+        rules = parse_rules(
+            "p(T+1, X) :- p(T, X), owner(X, Z).")
+        reduced = reduce_time_only_rules(rules)
+        assert is_reduced_time_only(reduced)
+        aux = [r for r in reduced if r.head.pred.startswith("_red")][0]
+        assert aux.head.time is None  # purely non-temporal cluster
+
+
+class TestOnePeriodBound:
+    def test_even_counter(self, even_program):
+        b0, p0 = one_period_bound(even_program.rules)
+        assert p0 == 2
+
+    def test_estimate_valid_across_travel_databases(self):
+        # The literal construction is infeasible for the travel rules
+        # (normalization yields ~40 predicates); the sampling estimator
+        # must still produce a pair valid on fresh databases.
+        rules = travel_agent_program(year_length=10)
+        b0, p0 = estimate_one_period(rules, trials=16, seed=5)
+        assert p0 % 10 == 0
+        for n_resorts, seed in [(1, 0), (3, 1), (6, 2)]:
+            facts = scaled_travel_database(n_resorts, year_length=10,
+                                           n_holidays=3, seed=seed)
+            db = TemporalDatabase(facts)
+            horizon = db.c + b0 + 3 * p0
+            assert verify_period(rules, db, db.c + b0, p0, horizon), \
+                (n_resorts, seed, b0, p0)
+
+    def test_bound_valid_across_counter_databases(self):
+        # Normal-izable toy where the literal construction is feasible.
+        rules = parse_rules("a(T+2) :- a(T).\nb(T+3) :- b(T).")
+        b0, p0 = one_period_bound(rules)
+        assert p0 == 6
+        from repro.lang.atoms import Fact
+        for phases in [(0, 0), (1, 4), (5, 2)]:
+            db = TemporalDatabase([Fact("a", phases[0], ()),
+                                   Fact("b", phases[1], ())])
+            horizon = db.c + b0 + 3 * p0
+            assert verify_period(rules, db, db.c + b0, p0, horizon), \
+                (phases, b0, p0)
+
+    def test_non_multi_separable_rejected(self, path_program):
+        with pytest.raises(ClassificationError):
+            one_period_bound(path_program.rules)
+
+    def test_arity_two_rejected(self):
+        rules = parse_rules("near(T+1, X, Y) :- near(T, X, Y).")
+        with pytest.raises(ClassificationError):
+            one_period_bound(rules)
+
+    def test_skeleton_cap_enforced(self, even_program):
+        with pytest.raises(ClassificationError):
+            one_period_bound(even_program.rules, max_skeletons=1)
+
+    def test_coprime_counters_lcm(self):
+        rules = parse_rules(
+            "a(T+2) :- a(T).\nb(T+3) :- b(T).")
+        b0, p0 = one_period_bound(rules)
+        assert p0 == 6

@@ -1,0 +1,227 @@
+"""Tests for the command-line interface."""
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+EVEN = "even(T+2) :- even(T).\neven(0).\n"
+
+TRAVEL = """
+plane(T+7, X) :- plane(T, X), resort(X), offseason(T).
+offseason(T+10) :- offseason(T).
+plane(1, hunter).
+resort(hunter).
+offseason(0..9).
+"""
+
+
+@pytest.fixture()
+def even_file(tmp_path):
+    path = tmp_path / "even.tdd"
+    path.write_text(EVEN)
+    return str(path)
+
+
+@pytest.fixture()
+def travel_file(tmp_path):
+    path = tmp_path / "travel.tdd"
+    path.write_text(TRAVEL)
+    return str(path)
+
+
+def run_cli(argv, stdin_text=None):
+    out = io.StringIO()
+    if stdin_text is not None:
+        from repro.cli import build_parser, cmd_repl
+        args = build_parser().parse_args(argv)
+        code = cmd_repl(args, out, input_stream=io.StringIO(stdin_text))
+    else:
+        code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestRun:
+    def test_reports_period_and_classification(self, even_file):
+        code, output = run_cli(["run", even_file])
+        assert code == 0
+        assert "period: (b=0, p=2)" in output
+        assert "multi-separable (Thm 6.5):   True" in output
+
+    def test_missing_file(self):
+        code, _ = run_cli(["run", "/nonexistent/x.tdd"])
+        assert code == 2
+
+
+class TestAsk:
+    def test_yes(self, even_file):
+        code, output = run_cli(["ask", even_file, "even(4)"])
+        assert code == 0
+        assert output.strip() == "yes"
+
+    def test_no_sets_exit_code(self, even_file):
+        code, output = run_cli(["ask", even_file, "even(5)"])
+        assert code == 1
+        assert output.strip() == "no"
+
+    def test_quantified(self, travel_file):
+        code, output = run_cli(
+            ["ask", travel_file, "exists T: plane(T, hunter)"])
+        assert code == 0
+
+    def test_bad_query_reports_error(self, even_file):
+        code, _ = run_cli(["ask", even_file, "even(4"])
+        assert code == 2
+
+
+class TestAnswers:
+    def test_canonical_listing(self, even_file):
+        code, output = run_cli(["answers", even_file, "even(X)"])
+        assert code == 0
+        assert "canonical answers: 1  (infinite set)" in output
+        assert "X=0" in output
+
+    def test_expansion(self, even_file):
+        code, output = run_cli(
+            ["answers", even_file, "even(X)", "--expand", "6"])
+        assert code == 0
+        for t in (0, 2, 4, 6):
+            assert f"X={t}" in output
+        assert "X=8" not in output
+
+
+class TestSpec:
+    def test_print(self, even_file):
+        code, output = run_cli(["spec", even_file])
+        assert code == 0
+        assert "{2 -> 0}" in output
+
+    def test_save(self, even_file, tmp_path):
+        target = tmp_path / "spec.json"
+        code, output = run_cli(["spec", even_file, "--save",
+                                str(target)])
+        assert code == 0
+        data = json.loads(target.read_text())
+        assert data["p"] == 2
+
+
+class TestClassify:
+    def test_travel(self, travel_file):
+        code, output = run_cli(["classify", travel_file])
+        assert code == 0
+        assert "multi-separable (Thm 6.5):   True" in output
+        assert "plane: time-only" in output
+
+
+class TestRepl:
+    def test_session(self, even_file):
+        code, output = run_cli(
+            ["repl", even_file],
+            stdin_text=":period\neven(6)\neven(7)\neven(X)\n:quit\n")
+        assert code == 0
+        assert "period: (b=0, p=2)" in output
+        assert "yes" in output and "no" in output
+        assert "'X': 0" in output
+
+    def test_error_recovery(self, even_file):
+        code, output = run_cli(
+            ["repl", even_file],
+            stdin_text="even(4\neven(4)\n:quit\n")
+        assert code == 0
+        assert "error:" in output
+        assert "yes" in output
+
+
+class TestAnalyze:
+    def test_clean_program(self, travel_file):
+        code, output = run_cli(["analyze", travel_file])
+        assert code == 0
+        assert "recursive predicates" in output
+
+    def test_warnings_set_exit_code(self, tmp_path):
+        path = tmp_path / "dead.tdd"
+        path.write_text(
+            "q(T+1, X) :- ghost(T, X).\n@temporal ghost. @temporal q.\n")
+        code, output = run_cli(["analyze", str(path)])
+        assert code == 1
+        assert "dead-rule" in output
+
+
+class TestTimeline:
+    def test_renders_marks(self, even_file):
+        code, output = run_cli(["timeline", even_file, "--until", "8"])
+        assert code == 0
+        assert "x.x.x.x.x" in output
+        assert "period: (b=0, p=2)" in output
+
+    def test_predicate_filter(self, travel_file):
+        code, output = run_cli(
+            ["timeline", travel_file, "--until", "12",
+             "--predicates", "plane"])
+        assert code == 0
+        assert "plane(hunter)" in output
+        assert "offseason" not in output
+
+
+class TestReplExtras:
+    def test_explain_command(self, even_file):
+        code, output = run_cli(
+            ["repl", even_file],
+            stdin_text=":explain even(4)\n:quit\n")
+        assert code == 0
+        assert "[database]" in output
+        assert "[by " in output
+
+    def test_explain_rejects_open_atoms(self, even_file):
+        code, output = run_cli(
+            ["repl", even_file],
+            stdin_text=":explain even(X)\n:quit\n")
+        assert "ground atom" in output
+
+    def test_timeline_command(self, even_file):
+        code, output = run_cli(
+            ["repl", even_file],
+            stdin_text=":timeline 8\n:quit\n")
+        assert "x.x.x.x.x" in output
+
+    def test_help_lists_commands(self, even_file):
+        code, output = run_cli(
+            ["repl", even_file], stdin_text=":help\n:quit\n")
+        assert ":explain" in output
+
+
+class TestShippedPrograms:
+    """The .tdd files under examples/programs/ must keep working."""
+
+    PROGRAMS = Path(__file__).resolve().parent.parent / "examples" \
+        / "programs"
+
+    def test_travel_program(self):
+        path = str(self.PROGRAMS / "travel.tdd")
+        code, output = run_cli(["run", path])
+        assert code == 0
+        assert "period: (b=11, p=365)  [certified]" in output
+        code, output = run_cli(["ask", path, "plane(12, hunter)"])
+        assert code == 0 and output.strip() == "yes"
+
+    def test_bounded_path_program(self):
+        path = str(self.PROGRAMS / "bounded_path.tdd")
+        code, output = run_cli(["classify", path])
+        assert code == 0
+        assert "inflationary (Thm 5.2 test): True" in output
+        code, _ = run_cli(["ask", path, "exists K: path(K, a, e)"])
+        assert code == 0
+
+    def test_oncall_program(self):
+        path = str(self.PROGRAMS / "oncall.tdd")
+        code, output = run_cli(["run", path])
+        assert code == 0
+        assert "p=84" in output  # lcm(21, 28)
+        # bo is on call on day 9 but on leave: not pageable.
+        code, _ = run_cli(["ask", path, "pageable(9, bo)"])
+        assert code == 1
+        code, _ = run_cli(["ask", path, "pageable(8, bo)"])
+        assert code == 0

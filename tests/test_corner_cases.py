@@ -1,0 +1,199 @@
+"""Corner-case tests across modules: error paths, small APIs, edges."""
+
+import pytest
+
+from repro.core import (answers, compute_specification, magic_ask,
+                        magic_transform, parse_query)
+from repro.core.magic import MagicProgram
+from repro.datalog import stage_sequence
+from repro.lang import parse_program, parse_rules
+from repro.lang.atoms import Atom, Fact
+from repro.lang.errors import EvaluationError
+from repro.lang.terms import Const, TimeTerm
+from repro.temporal import (IncrementalModel, TemporalDatabase,
+                            TemporalStore, bt_evaluate, fixpoint, step,
+                            stratified_fixpoint)
+
+
+class TestOperatorEdges:
+    def test_step_checks_negatives_against_input(self):
+        program = parse_program(
+            "out(T) :- slot(T), not jam(T).\nslot(3). jam(3). slot(5).\n"
+            "@temporal jam.")
+        db = TemporalDatabase(program.facts)
+        once = step(program.rules, db, db)
+        assert Fact("out", 5, ()) in once
+        assert Fact("out", 3, ()) not in once
+
+    def test_fixpoint_guard_on_unstratified_group(self):
+        program = parse_program(
+            "@temporal p. @temporal q.\n"
+            "p(T) :- q(T), not p(T).\nq(0).")
+        db = TemporalDatabase(program.facts)
+        with pytest.raises(EvaluationError):
+            fixpoint(program.rules, db, 5)
+
+    def test_stratified_fixpoint_on_definite_program(self, even_program,
+                                                     even_db):
+        # Degenerates to the ordinary fixpoint.
+        direct = fixpoint(even_program.rules, even_db, 8)
+        via = stratified_fixpoint(even_program.rules, even_db, 8)
+        assert direct == via
+
+    def test_empty_horizon_zero(self, even_program, even_db):
+        store = fixpoint(even_program.rules, even_db, 0)
+        assert sorted(store.times("even")) == [0]
+
+
+class TestBTResultEdges:
+    def test_states_accessor(self, even_program, even_db):
+        result = bt_evaluate(even_program.rules, even_db)
+        states = result.states(0, 3)
+        assert len(states) == 4
+        assert states[0] and not states[1]
+
+    def test_non_temporal_fact_beyond_window_irrelevant(self,
+                                                        path_program,
+                                                        path_db):
+        result = bt_evaluate(path_program.rules, path_db)
+        assert result.holds(Fact("node", None, ("a",)))
+
+
+class TestMagicEdges:
+    def test_propositional_temporal_query(self):
+        rules = parse_rules("q(T+3) :- q(T).")
+        db = TemporalDatabase([Fact("q", 1, ())])
+        full = bt_evaluate(rules, db)
+        for t in (0, 1, 4, 7, 9):
+            goal = Fact("q", t, ())
+            assert magic_ask(rules, db, goal) == full.holds(goal), t
+
+    def test_transform_returns_program_object(self, path_program):
+        goal = Atom("path", TimeTerm(None, 2),
+                    (Const("a"), Const("b")))
+        program = magic_transform(path_program.rules, goal)
+        assert isinstance(program, MagicProgram)
+        assert program.original_pred == "path"
+        assert program.all_rules() == program.rules
+
+    def test_same_predicate_two_adornments(self):
+        # path appears with tbb (from the goal) and tfb would appear if
+        # a rule swapped arguments; here check tbb + bridge only once.
+        rules = parse_rules(
+            "p(T+1, X) :- p(T, X).\nmirror(T, X) :- p(T, X).")
+        goal = Atom("mirror", TimeTerm(None, 3), (Const("a"),))
+        program = magic_transform(rules, goal)
+        names = {r.head.pred for r in program.rules}
+        assert any(n.startswith("p@") for n in names)
+        assert any(n.startswith("mirror@") for n in names)
+
+
+class TestAnswerSetEdges:
+    def test_iteration_is_deterministic(self, travel_program,
+                                        travel_db):
+        spec = compute_specification(travel_program.rules, travel_db)
+        q = parse_query("plane(T, hunter)", travel_program.temporal_preds)
+        first = list(answers(q, spec))
+        second = list(answers(q, spec))
+        assert first == second
+
+    def test_expand_with_pure_data_variables(self, path_program,
+                                             path_db):
+        spec = compute_specification(path_program.rules, path_db)
+        q = parse_query("edge(X, Y)", frozenset())
+        result = answers(q, spec)
+        assert not result.is_infinite
+        expanded = list(result.expand(100))
+        assert len(expanded) == len(result)
+
+    def test_contains_rejects_bad_sorts(self, even_program, even_db):
+        spec = compute_specification(even_program.rules, even_db)
+        q = parse_query("even(X)", frozenset({"even"}))
+        result = answers(q, spec)
+        assert not result.contains({"X": "not-a-time"})
+        assert not result.contains({"X": -3})
+        assert not result.contains({})
+
+
+class TestStoreEdges:
+    def test_discard_then_lookup_consistent(self):
+        store = TemporalStore([Fact("p", 1, ("a",)),
+                               Fact("p", 1, ("b",))])
+        assert store.lookup_at("p", 1, (0,), ("a",)) == [("a",)]
+        assert store.discard("p", 1, ("a",))
+        assert store.lookup_at("p", 1, (0,), ("a",)) == []
+        assert not store.discard("p", 1, ("a",))
+        assert len(store) == 1
+
+    def test_discard_non_temporal(self):
+        store = TemporalStore([Fact("r", None, ("a",))])
+        assert store.discard("r", None, ("a",))
+        assert len(store) == 0
+
+    def test_discard_missing_predicate(self):
+        assert not TemporalStore().discard("zz", 0, ())
+
+
+class TestDatalogEdges:
+    def test_stage_limit_exceeded(self):
+        program = parse_program(
+            "tc(X, Z) :- edge(X, Y), tc(Y, Z).\n"
+            "tc(X, Y) :- edge(X, Y).\n"
+            + "\n".join(f"edge(v{i}, v{i + 1})." for i in range(30)))
+        with pytest.raises(RuntimeError):
+            stage_sequence(program.rules, program.facts, max_stages=3)
+
+
+class TestIncrementalEdges:
+    def test_delete_accepts_single_fact(self, even_program):
+        model = IncrementalModel(even_program.rules,
+                                 TemporalDatabase(even_program.facts))
+        model.delete(Fact("even", 0, ()))
+        assert len(model) == 0
+
+    def test_lookback_greater_than_one(self):
+        # Head offset 3: window extension must seed a 3-slice frontier.
+        rules = parse_rules("s(T+3, X) :- s(T, X), keep(X).")
+        model = IncrementalModel(rules, TemporalDatabase([
+            Fact("s", 0, ("a",)), Fact("keep", None, ("a",))]))
+        horizon = model.result.horizon
+        model.insert(Fact("s", horizon - 1, ("b",)))
+        model.insert(Fact("keep", None, ("b",)))
+        fresh = bt_evaluate(list(rules), model.database)
+        h = min(model.result.horizon, fresh.horizon)
+        assert model.result.store.states(0, h) == \
+            fresh.store.states(0, h)
+
+
+class TestResourceGuards:
+    def test_max_facts_guard_trips(self):
+        # A dense cartesian blowup trips the guard.
+        program = parse_program(
+            "pair(T+1, X, Y) :- tick(T), left(X), right(Y).\n"
+            "tick(T+1) :- tick(T).\ntick(0).\n"
+            + "\n".join(f"left(l{i})." for i in range(10))
+            + "\n"
+            + "\n".join(f"right(r{i})." for i in range(10)))
+        db = TemporalDatabase(program.facts)
+        with pytest.raises(EvaluationError):
+            fixpoint(program.rules, db, horizon=50, max_facts=200)
+
+    def test_max_facts_not_tripped_when_large_enough(self, even_program,
+                                                     even_db):
+        store = fixpoint(even_program.rules, even_db, 10,
+                         max_facts=10_000)
+        assert len(store) == 6
+
+
+class TestTopDownOnDatalog:
+    def test_pure_datalog_program(self):
+        # The temporal top-down engine handles function-free programs.
+        program = parse_program(
+            "tc(X, Y) :- edge(X, Y).\n"
+            "tc(X, Z) :- edge(X, Y), tc(Y, Z).\n"
+            "edge(a, b). edge(b, c).")
+        from repro.temporal import TopDownEngine
+        db = TemporalDatabase(program.facts)
+        engine = TopDownEngine(program.rules, db, horizon=0)
+        assert engine.ask(Fact("tc", None, ("a", "c")))
+        assert not engine.ask(Fact("tc", None, ("c", "a")))

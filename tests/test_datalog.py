@@ -1,0 +1,200 @@
+"""Unit tests for the function-free Datalog substrate."""
+
+import pytest
+
+from repro.datalog import (FactStore, dependency_graph,
+                           immediate_consequences, is_k_bounded_on,
+                           is_mutual_recursion_free,
+                           iterations_to_fixpoint, naive_evaluate,
+                           plan_order, predicate_levels,
+                           recursive_predicates, seminaive_evaluate,
+                           stage_sequence, strongly_connected_components)
+from repro.lang import ValidationError, parse_program
+from repro.lang.atoms import Fact
+
+TC_TEXT = """
+tc(X, Y) :- edge(X, Y).
+tc(X, Z) :- edge(X, Y), tc(Y, Z).
+edge(a, b). edge(b, c). edge(c, d).
+"""
+
+
+@pytest.fixture()
+def tc():
+    return parse_program(TC_TEXT)
+
+
+class TestFactStore:
+    def test_add_and_contains(self):
+        store = FactStore()
+        assert store.add("p", ("a",))
+        assert not store.add("p", ("a",))
+        assert store.contains("p", ("a",))
+        assert not store.contains("p", ("b",))
+
+    def test_len_counts_all_predicates(self):
+        store = FactStore()
+        store.add("p", ("a",))
+        store.add("q", ("a", "b"))
+        assert len(store) == 2
+
+    def test_lookup_unindexed_returns_relation(self):
+        store = FactStore()
+        store.add("p", ("a", "b"))
+        store.add("p", ("a", "c"))
+        assert len(store.lookup("p", (), ())) == 2
+
+    def test_lookup_builds_and_maintains_index(self):
+        store = FactStore()
+        store.add("p", ("a", "b"))
+        assert store.lookup("p", (0,), ("a",)) == [("a", "b")]
+        # Insertions after index creation must land in the index.
+        store.add("p", ("a", "c"))
+        assert sorted(store.lookup("p", (0,), ("a",))) == [
+            ("a", "b"), ("a", "c")]
+        assert store.lookup("p", (0,), ("z",)) == []
+
+    def test_multi_position_index(self):
+        store = FactStore()
+        store.add("p", ("a", "b", "c"))
+        store.add("p", ("a", "x", "c"))
+        assert sorted(store.lookup("p", (0, 2), ("a", "c"))) == [
+            ("a", "b", "c"), ("a", "x", "c")]
+        assert store.lookup("p", (0, 1), ("a", "b")) == [("a", "b", "c")]
+
+    def test_equality_ignores_empty_relations(self):
+        left, right = FactStore(), FactStore()
+        left.add("p", ("a",))
+        right.add("p", ("a",))
+        right.lookup("q", (), ())  # touches nothing
+        assert left == right
+
+    def test_copy_is_independent(self):
+        store = FactStore()
+        store.add("p", ("a",))
+        clone = store.copy()
+        clone.add("p", ("b",))
+        assert len(store) == 1 and len(clone) == 2
+
+    def test_temporal_fact_rejected(self):
+        with pytest.raises(ValueError):
+            FactStore().add_fact(Fact("p", 3, ()))
+
+
+class TestEngines:
+    def test_transitive_closure_naive(self, tc):
+        store = naive_evaluate(tc.rules, tc.facts)
+        assert store.contains("tc", ("a", "d"))
+        assert not store.contains("tc", ("d", "a"))
+        assert len(store.relation("tc")) == 6
+
+    def test_transitive_closure_seminaive(self, tc):
+        assert (seminaive_evaluate(tc.rules, tc.facts)
+                == naive_evaluate(tc.rules, tc.facts))
+
+    def test_fact_rules_fire(self):
+        program = parse_program("base(a).\nout(X) :- base(X).")
+        rules = program.rules + tuple()
+        store = seminaive_evaluate(rules, program.facts)
+        assert store.contains("out", ("a",))
+
+    def test_temporal_rules_rejected(self, even_program):
+        with pytest.raises(ValidationError):
+            naive_evaluate(even_program.rules, [])
+
+    def test_immediate_consequences_single_step(self, tc):
+        store = FactStore(tc.facts)
+        once = immediate_consequences(tc.rules, store)
+        assert once.contains("tc", ("a", "b"))
+        assert not once.contains("tc", ("a", "c"))
+
+    def test_constants_in_rules(self):
+        program = parse_program(
+            "special(X) :- edge(X, c).\nedge(a, c). edge(a, b).")
+        store = seminaive_evaluate(program.rules, program.facts)
+        assert store.relation("special") == {("a",)}
+
+    def test_cartesian_product_rule(self):
+        program = parse_program(
+            "pair(X, Y) :- left(X), right(Y).\n"
+            "left(a). left(b). right(c).")
+        store = seminaive_evaluate(program.rules, program.facts)
+        assert len(store.relation("pair")) == 2
+
+    def test_repeated_variable_join(self):
+        program = parse_program(
+            "loop(X) :- edge(X, X).\nedge(a, a). edge(a, b).")
+        store = seminaive_evaluate(program.rules, program.facts)
+        assert store.relation("loop") == {("a",)}
+
+
+class TestPlanOrder:
+    def test_leads_with_requested_atom(self, tc):
+        rule = tc.rules[1]
+        order = plan_order(rule.body, first=1)
+        assert order[0] == 1
+
+    def test_all_atoms_planned_once(self, tc):
+        rule = tc.rules[1]
+        assert sorted(plan_order(rule.body)) == [0, 1]
+
+
+class TestDependencyGraph:
+    def test_graph_edges(self, tc):
+        graph = dependency_graph(tc.rules)
+        assert graph["tc"] == {"edge", "tc"}
+        assert graph["edge"] == set()
+
+    def test_sccs_topological_order(self):
+        program = parse_program("a(X) :- b(X).\nb(X) :- c(X).\nc(a0).")
+        graph = dependency_graph(program.rules)
+        components = strongly_connected_components(graph)
+        order = [next(iter(c)) for c in components]
+        assert order.index("c") < order.index("b") < order.index("a")
+
+    def test_recursive_predicates(self, tc):
+        assert recursive_predicates(list(tc.rules)) == {"tc"}
+
+    def test_mutual_recursion_detected(self):
+        program = parse_program("a(X) :- b(X).\nb(X) :- a(X).")
+        assert not is_mutual_recursion_free(program.rules)
+        assert recursive_predicates(list(program.rules)) == {"a", "b"}
+
+    def test_self_recursion_is_fine(self, tc):
+        assert is_mutual_recursion_free(tc.rules)
+
+    def test_levels(self):
+        program = parse_program("a(X) :- b(X).\nb(X) :- c(X), c(X).")
+        levels = predicate_levels(program.rules)
+        assert levels["c"] == 0
+        assert levels["b"] == 1
+        assert levels["a"] == 2
+
+    def test_levels_ignore_self_loops(self, tc):
+        levels = predicate_levels(tc.rules)
+        assert levels["tc"] == levels["edge"] + 1
+
+    def test_levels_reject_mutual_recursion(self):
+        program = parse_program("a(X) :- b(X).\nb(X) :- a(X).")
+        with pytest.raises(ValueError):
+            predicate_levels(program.rules)
+
+
+class TestBoundedness:
+    def test_stage_sequence_grows_to_fixpoint(self, tc):
+        stages = stage_sequence(tc.rules, tc.facts)
+        sizes = [len(s) for s in stages]
+        assert sizes == sorted(sizes)
+        assert stages[-1].contains("tc", ("a", "d"))
+
+    def test_iterations_scale_with_chain_length(self, tc):
+        base = iterations_to_fixpoint(tc.rules, tc.facts)
+        longer = parse_program(
+            TC_TEXT + "edge(d, e). edge(e, f). edge(f, g).")
+        assert iterations_to_fixpoint(longer.rules, longer.facts) > base
+
+    def test_k_boundedness_on_database(self):
+        # A non-recursive projection is 2-bounded on every database.
+        program = parse_program("out(X) :- edge(X, Y).\nedge(a, b).")
+        assert is_k_bounded_on(program.rules, program.facts, 2)
+        assert not is_k_bounded_on(program.rules, program.facts, 0)

@@ -1,0 +1,56 @@
+"""Tests for the footnote-1 date helpers — including reproducing the
+paper's own travel database dates."""
+
+import pytest
+
+from repro.lang import date_of, day_number, day_range
+
+#: Day 0 of the paper's example: the first day of winter.
+EPOCH = "12/20/89"
+
+
+class TestPaperDates:
+    """The exact dates of the paper's Section 2 database."""
+
+    def test_first_departure_is_new_years_day(self):
+        # plane(01/01/90) — the fixture databases use timepoint 12.
+        assert day_number("01/01/90", EPOCH) == 12
+
+    def test_christmas_holiday(self):
+        assert day_number("12/25/89", EPOCH) == 5
+
+    def test_winter_interval(self):
+        # winter(<12/20/89, 03/20/90>)
+        assert day_range("12/20/89", "03/20/90", EPOCH) == (0, 90)
+
+    def test_offseason_interval(self):
+        # offseason(<03/21/90, 12/19/90>)
+        lo, hi = day_range("03/21/90", "12/19/90", EPOCH)
+        assert lo == 91
+        assert hi == 364  # the year wraps exactly: period 365
+
+    def test_yearly_period_in_days(self):
+        assert day_number("12/20/90", EPOCH) == 365
+
+
+class TestMechanics:
+    def test_iso_dates(self):
+        assert day_number("1990-01-01", "1989-12-20") == 12
+
+    def test_two_digit_year_pivot(self):
+        assert day_number("01/01/05", "12/31/99") > 0  # 2005 vs 1999
+
+    def test_before_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            day_number("12/19/89", EPOCH)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            day_range("03/20/90", "12/20/89", EPOCH)
+
+    def test_date_of_roundtrip(self):
+        for day in (0, 5, 12, 365, 1000):
+            assert day_number(date_of(day, EPOCH), EPOCH) == day
+
+    def test_date_of_iso(self):
+        assert date_of(12, EPOCH, iso=True) == "1990-01-01"

@@ -1,0 +1,20 @@
+"""Run the doctests embedded in module docstrings.
+
+Docstring examples are documentation users copy; they must execute.
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.tdd
+
+MODULES = [repro.core.tdd]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest(s) failed"
+    assert results.attempted > 0, "expected at least one doctest"

@@ -1,0 +1,73 @@
+"""Golden-output tests: every example script must run and say the
+right things.  These guard the examples against API drift."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": [
+        "minimal period:   (b=0, p=2)",
+        "W (rewrite rules):   {2 -> 0}",
+        "even(1000000000000000000)? True",
+        "infinite?          True",
+    ],
+    "travel_agent.py": [
+        "multi-separable: True   separable: False   inflationary: False",
+        "(b=11, p=365)",
+        "day     12 [   holiday]: YES",
+    ],
+    "graph_reachability.py": [
+        "inflationary:    True",
+        "p=1",
+    ],
+    "maintenance_windows.py": [
+        "multi-separable: True",
+        "p=210",
+        "web degraded on day 1000000000?",
+    ],
+    "boundedness_bridge.py": [
+        "slice t == naive stage t, checked on the window: True",
+        "16 |                 16 |                   16",
+    ],
+    "blackout_scheduling.py": [
+        "(b=0, p=15), certified=True",
+        "alarms exist:  True",
+    ],
+    "token_ring.py": [
+        "provably tractable by the paper's criteria: False",
+        "p equals the ring size 7",
+        "at most one token holder at any time: True",
+    ],
+    "live_network.py": [
+        "0 full recomputations",
+        "monitor reaches edge1 within 10^9 hops? True",
+        "monitor reaches edge2 within 10^9 hops? False",
+    ],
+}
+
+
+@pytest.mark.parametrize("script", sorted(CASES))
+def test_example_runs_and_prints_expected_lines(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for needle in CASES[script]:
+        assert needle in result.stdout, (
+            f"{script}: expected {needle!r} in output;\n"
+            f"stdout tail:\n{result.stdout[-1500:]}"
+        )
+
+
+def test_every_example_is_covered():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == set(CASES), (
+        "examples and golden cases out of sync: "
+        f"{scripts ^ set(CASES)}"
+    )

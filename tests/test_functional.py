@@ -1,0 +1,202 @@
+"""Tests for the functional-DDB generalization (Section 7)."""
+
+import pytest
+
+from repro.functional import (FAtom, FFact, FRule, FTerm,
+                              WordRewriteSystem, WordRule, ffixpoint,
+                              fvar, ground, infer_word_spec,
+                              word_states)
+from repro.lang.errors import EvaluationError
+from repro.lang.terms import Var
+
+
+class TestFTerm:
+    def test_str_rendering(self):
+        assert str(ground(("f", "g"))) == "f(g(0))"
+        assert str(fvar("X", ("f",))) == "f(X)"
+        assert str(ground(())) == "0"
+
+    def test_apply_wraps_outermost(self):
+        assert ground(("g",)).apply("f") == ground(("f", "g"))
+
+    def test_instantiate(self):
+        assert fvar("X", ("f",)).instantiate(("g",)) == ("f", "g")
+        assert ground(("f",)).instantiate(("zzz",)) == ("f",)
+
+    def test_matching(self):
+        matched, binding = fvar("X", ("f",)).matches(("f", "g"))
+        assert matched and binding == ("g",)
+        matched, _ = fvar("X", ("f",)).matches(("g", "f"))
+        assert not matched
+        matched, binding = ground(("f",)).matches(("f",))
+        assert matched and binding is None
+
+    def test_variable_matches_zero(self):
+        matched, binding = fvar("X").matches(())
+        assert matched and binding == ()
+
+
+class TestEngine:
+    def test_single_symbol_mirrors_tdd(self):
+        # p(f(f(X))) :- p(X): the even example with f = +1 twice.
+        rule = FRule(FAtom("p", fvar("X", ("f", "f"))),
+                     (FAtom("p", fvar("X")),))
+        model = ffixpoint([rule], [FFact("p", ())], max_depth=8)
+        depths = sorted(len(f.word) for f in model)
+        assert depths == [0, 2, 4, 6, 8]
+
+    def test_two_symbols_branch(self):
+        # every word over {a, b} becomes reachable.
+        rules = [
+            FRule(FAtom("p", fvar("X", ("a",))),
+                  (FAtom("p", fvar("X")),)),
+            FRule(FAtom("p", fvar("X", ("b",))),
+                  (FAtom("p", fvar("X")),)),
+        ]
+        model = ffixpoint(rules, [FFact("p", ())], max_depth=4)
+        assert len(model) == 2 ** 5 - 1  # all words of length 0..4
+
+    def test_depth_bound_respected(self):
+        rule = FRule(FAtom("p", fvar("X", ("f",))),
+                     (FAtom("p", fvar("X")),))
+        model = ffixpoint([rule], [FFact("p", ())], max_depth=3)
+        assert max(len(f.word) for f in model) == 3
+
+    def test_data_arguments_join(self):
+        rules = [
+            FRule(FAtom("q", fvar("X", ("f",)), (Var("Y"),)),
+                  (FAtom("p", fvar("X"), (Var("Y"),)),
+                   FAtom("ok", None, (Var("Y"),)))),
+        ]
+        facts = [FFact("p", (), ("m",)), FFact("p", (), ("n",)),
+                 FFact("ok", None, ("m",))]
+        model = ffixpoint(rules, facts, max_depth=3)
+        assert FFact("q", ("f",), ("m",)) in model
+        assert FFact("q", ("f",), ("n",)) not in model
+
+    def test_word_states_domain_explodes(self):
+        rules = [
+            FRule(FAtom("p", fvar("X", (s,))), (FAtom("p", fvar("X")),))
+            for s in ("a", "b")
+        ]
+        model = ffixpoint(rules, [FFact("p", ())], max_depth=6)
+        states = word_states(model)
+        # 2^0 + ... + 2^6 distinct inhabited words: exponential in depth,
+        # the Section 7 obstacle to Theorem 4.1.
+        assert len(states) == 2 ** 7 - 1
+
+    def test_fact_rules(self):
+        rule = FRule(FAtom("p", FTerm(None, ("f",))))
+        model = ffixpoint([rule], [], max_depth=2)
+        assert FFact("p", ("f",)) in model
+
+
+class TestWordRewriting:
+    def test_single_symbol_degenerates_to_modular(self):
+        # f·f -> 0 is exactly the even-example rule 2 -> 0.
+        system = WordRewriteSystem([WordRule(("f", "f"), ())])
+        assert system.normalize(("f",) * 6) == ()
+        assert system.normalize(("f",) * 7) == ("f",)
+
+    def test_suffix_application(self):
+        # g(f(f(0))) has the subterm f(f(0)): rewriting is allowed.
+        system = WordRewriteSystem([WordRule(("f", "f"), ())])
+        assert system.normalize(("g", "f", "f")) == ("g",)
+        # but f(g(0)) does not contain f(f(0)).
+        assert system.normalize(("f", "g")) == ("f", "g")
+
+    def test_multi_symbol_rules(self):
+        system = WordRewriteSystem([
+            WordRule(("a", "a"), ("b",)),
+            WordRule(("b", "b"), ()),
+        ])
+        assert system.is_terminating
+        canonical = system.normalize(("a", "a", "a", "a"))
+        assert system.is_canonical(canonical)
+
+    def test_non_terminating_guard(self):
+        system = WordRewriteSystem([WordRule(("a",), ("a", "a"))])
+        assert not system.is_terminating
+        with pytest.raises(EvaluationError):
+            system.normalize(("a",), max_steps=10)
+
+    def test_non_decreasing_but_terminating_run(self):
+        # a -> bb grows once and then stops; normalize still succeeds
+        # even though the sufficient termination check is conservative.
+        system = WordRewriteSystem([WordRule(("a",), ("b", "b"))])
+        assert not system.is_terminating
+        assert system.normalize(("a",)) == ("b", "b")
+
+    def test_canonical_forms_exponential(self):
+        # With no applicable rules over {a, b}, every word is canonical:
+        # the representative set T must be exponential in the depth.
+        system = WordRewriteSystem([WordRule(("a", "a", "a", "a"), ())])
+        forms = system.canonical_forms(("a", "b"), max_depth=5)
+        assert len(forms) > 2 ** 5
+
+
+class TestWordSpecInference:
+    """Myhill–Nerode-style specification inference (the [6] idea)."""
+
+    def test_even_fddb_recovers_tdd_spec(self):
+        rule = FRule(FAtom("p", fvar("X", ("f", "f"))),
+                     (FAtom("p", fvar("X")),))
+        model = ffixpoint([rule], [FFact("p", ())], max_depth=10)
+        spec = infer_word_spec(model, ("f",), depth=10)
+        assert spec is not None
+        # Exactly the paper's even example: T={0, f(0)}, W={f(f(0))->0}.
+        assert set(spec.representatives) == {(), ("f",)}
+        assert str(spec.rewrites) == "{ff·0 -> 0}"
+        assert spec.holds(FFact("p", ("f",) * 100))
+        assert not spec.holds(FFact("p", ("f",) * 101))
+
+    def test_branching_uniform_model_collapses(self):
+        rules = [
+            FRule(FAtom("p", fvar("X", (s,))), (FAtom("p", fvar("X")),))
+            for s in ("a", "b")
+        ]
+        model = ffixpoint(rules, [FFact("p", ())], max_depth=6)
+        spec = infer_word_spec(model, ("a", "b"), depth=6)
+        assert spec is not None
+        assert len(spec.representatives) == 1
+        assert spec.holds(FFact("p", ("a", "b") * 40))
+
+    def test_dead_class_for_unreachable_words(self):
+        rules = [FRule(FAtom("p", fvar("X", ("a",))),
+                       (FAtom("p", fvar("X")),))]
+        model = ffixpoint(rules, [FFact("p", ())], max_depth=6)
+        spec = infer_word_spec(model, ("a", "b"), depth=6)
+        assert spec is not None
+        assert spec.holds(FFact("p", ("a",) * 50))
+        assert not spec.holds(FFact("p", ("a", "b", "a")))
+
+    def test_open_congruence_reports_none(self):
+        # With classify_depth 0 (depth == evidence), only the empty word
+        # is classified while its extensions spawn unclassified words:
+        # the congruence cannot demonstrate closure and must say so.
+        rules = [FRule(FAtom("p", fvar("X", ("a", "a"))),
+                       (FAtom("p", fvar("X")),))]
+        model = ffixpoint(rules, [FFact("p", ())], max_depth=2)
+        assert infer_word_spec(model, ("a",), depth=2,
+                               evidence=2) is None
+
+    def test_depth_too_small_raises(self):
+        with pytest.raises(EvaluationError):
+            infer_word_spec([], ("a",), depth=1, evidence=3)
+
+    def test_non_temporal_facts_kept_in_primary(self):
+        rules = [FRule(FAtom("p", fvar("X", ("a",))),
+                       (FAtom("p", fvar("X")),
+                        FAtom("ok", None, ())))]
+        model = ffixpoint(rules, [FFact("p", ()),
+                                  FFact("ok", None, ())], max_depth=6)
+        spec = infer_word_spec(model, ("a",), depth=6)
+        assert spec is not None
+        assert spec.holds(FFact("ok", None, ()))
+
+    def test_size_accounting(self):
+        rule = FRule(FAtom("p", fvar("X", ("f", "f"))),
+                     (FAtom("p", fvar("X")),))
+        model = ffixpoint([rule], [FFact("p", ())], max_depth=10)
+        spec = infer_word_spec(model, ("f",), depth=10)
+        assert spec.size == 2 + 1 + 1

@@ -1,0 +1,184 @@
+"""Tests for incremental model maintenance under insertions."""
+
+import pytest
+
+from repro.lang import parse_program, parse_rules
+from repro.lang.atoms import Fact
+from repro.temporal import IncrementalModel, TemporalDatabase, bt_evaluate
+from repro.workloads import (bounded_path_program, graph_database,
+                             line_graph)
+
+
+def assert_matches_recompute(model: IncrementalModel):
+    """The incremental model must equal a from-scratch evaluation."""
+    fresh = bt_evaluate(model.rules, model.database)
+    horizon = min(model.result.horizon, fresh.horizon)
+    assert model.result.store.states(0, horizon) == \
+        fresh.store.states(0, horizon)
+    assert model.result.store.nt == fresh.store.nt
+    assert (model.period.b, model.period.p) == \
+        (fresh.period.b, fresh.period.p)
+
+
+class TestInsertions:
+    def test_initial_state_matches_bt(self, even_program):
+        model = IncrementalModel(even_program.rules,
+                                 TemporalDatabase(even_program.facts))
+        assert model.holds(Fact("even", 10 ** 9, ()))
+        assert (model.period.b, model.period.p) == (0, 2)
+
+    def test_insert_extends_model(self, even_program):
+        model = IncrementalModel(even_program.rules,
+                                 TemporalDatabase(even_program.facts))
+        assert not model.holds(Fact("even", 1, ()))
+        model.insert(Fact("even", 1, ()))
+        assert model.holds(Fact("even", 1, ()))
+        assert model.holds(Fact("even", 10 ** 9 + 1, ()))
+        assert model.period.p == 1  # both parities now
+        assert_matches_recompute(model)
+
+    def test_edge_insertion_into_graph(self):
+        rules = bounded_path_program()
+        db = TemporalDatabase(graph_database(line_graph(5)))
+        model = IncrementalModel(rules, db)
+        assert not model.holds(Fact("path", 10, ("v4", "v0")))
+        model.insert([Fact("edge", None, ("v4", "v0")),
+                      Fact("node", None, ("v4",))])
+        assert model.holds(Fact("path", 10, ("v4", "v0")))
+        assert_matches_recompute(model)
+
+    def test_incremental_path_taken_for_definite_forward(self):
+        rules = bounded_path_program()
+        db = TemporalDatabase(graph_database(line_graph(4)))
+        model = IncrementalModel(rules, db)
+        model.insert(Fact("edge", None, ("v0", "v2")))
+        assert model.stats["incremental"] == 1
+        assert model.stats["recomputed"] == 0
+
+    def test_sequence_of_insertions(self):
+        rules = bounded_path_program()
+        db = TemporalDatabase(graph_database([("a", "b")]))
+        model = IncrementalModel(rules, db)
+        for edge in [("b", "c"), ("c", "d"), ("d", "e")]:
+            for node in edge:
+                model.insert(Fact("node", None, (node,)))
+            model.insert(Fact("edge", None, edge))
+        assert model.holds(Fact("path", 4, ("a", "e")))
+        assert_matches_recompute(model)
+
+    def test_window_extension_on_threshold_growth(self):
+        # Each inserted chain link pushes the period threshold out; the
+        # model must extend its window to keep the certificate.
+        rules = parse_rules("s(T+1, X) :- s(T, X), link(X).")
+        model = IncrementalModel(rules, TemporalDatabase(
+            [Fact("s", 0, ("a",)), Fact("link", None, ("a",))]))
+        before = model.result.horizon
+        model.insert(Fact("s", before - 2, ("b",)))
+        model.insert(Fact("link", None, ("b",)))
+        assert model.holds(Fact("s", before + 5, ("b",)))
+        assert_matches_recompute(model)
+
+    def test_insert_beyond_window_recomputes(self, even_program):
+        model = IncrementalModel(even_program.rules,
+                                 TemporalDatabase(even_program.facts))
+        far = model.result.horizon + 50
+        model.insert(Fact("even", far, ()))
+        assert model.stats["recomputed"] == 1
+        assert model.holds(Fact("even", far + 2, ()))
+        assert_matches_recompute(model)
+
+    def test_stratified_program_recomputes(self):
+        program = parse_program(
+            "on(T+1, X) :- boot(T, X).\n"
+            "idle(T+1, X) :- on(T, X), not boot(T, X).\n"
+            "boot(0, m).")
+        model = IncrementalModel(program.rules,
+                                 TemporalDatabase(program.facts))
+        model.insert(Fact("boot", 1, ("m",)))
+        assert model.stats["recomputed"] == 1
+        assert model.holds(Fact("on", 2, ("m",)))
+
+    def test_stats_track_added_facts(self):
+        rules = bounded_path_program()
+        db = TemporalDatabase(graph_database(line_graph(3)))
+        model = IncrementalModel(rules, db)
+        model.insert(Fact("edge", None, ("v2", "v0")))
+        assert model.stats["facts_added"] > 0
+
+    def test_single_fact_argument_form(self, even_program):
+        model = IncrementalModel(even_program.rules,
+                                 TemporalDatabase(even_program.facts))
+        model.insert(Fact("even", 1, ()))  # not wrapped in a list
+        assert model.holds(Fact("even", 3, ()))
+
+
+class TestDeletions:
+    def test_delete_edge_removes_paths(self):
+        rules = bounded_path_program()
+        db = TemporalDatabase(graph_database(line_graph(5)))
+        model = IncrementalModel(rules, db)
+        assert model.holds(Fact("path", 4, ("v0", "v4")))
+        model.delete(Fact("edge", None, ("v2", "v3")))
+        assert not model.holds(Fact("path", 10, ("v0", "v4")))
+        assert model.holds(Fact("path", 2, ("v0", "v2")))
+        assert_matches_recompute(model)
+
+    def test_rederivation_through_alternative_support(self):
+        # Two parallel routes a->b; deleting one keeps reachability.
+        rules = bounded_path_program()
+        db = TemporalDatabase(graph_database(
+            [("a", "b"), ("a", "m"), ("m", "b")]))
+        model = IncrementalModel(rules, db)
+        model.delete(Fact("edge", None, ("a", "b")))
+        assert model.holds(Fact("path", 2, ("a", "b")))
+        assert not model.holds(Fact("path", 1, ("a", "b")))
+        assert_matches_recompute(model)
+
+    def test_deleting_absent_fact_is_noop(self, even_program):
+        model = IncrementalModel(even_program.rules,
+                                 TemporalDatabase(even_program.facts))
+        before = len(model)
+        model.delete(Fact("even", 77, ()))
+        assert len(model) == before
+
+    def test_delete_then_insert_roundtrip(self):
+        rules = bounded_path_program()
+        facts = graph_database(line_graph(4))
+        model = IncrementalModel(rules, TemporalDatabase(list(facts)))
+        reference_states = model.result.store.states(0, 6)
+        edge = Fact("edge", None, ("v1", "v2"))
+        model.delete(edge)
+        model.insert(edge)
+        assert model.result.store.states(0, 6) == reference_states
+        assert_matches_recompute(model)
+
+    def test_delete_temporal_seed(self, even_program):
+        model = IncrementalModel(even_program.rules,
+                                 TemporalDatabase(even_program.facts))
+        model.delete(Fact("even", 0, ()))
+        assert not model.holds(Fact("even", 2, ()))
+        assert len(model) == 0
+
+    def test_duplicate_database_fact_survives(self):
+        # A derived fact equal to a *remaining* database fact must be
+        # rederived extensionally after overdeletion.
+        rules = bounded_path_program()
+        facts = graph_database([("a", "b")])
+        facts.append(Fact("path", 1, ("a", "b")))  # also seeded in D
+        model = IncrementalModel(rules, TemporalDatabase(facts))
+        model.delete(Fact("edge", None, ("a", "b")))
+        # edge-based support is gone, but the seed remains in D.
+        assert model.holds(Fact("path", 1, ("a", "b")))
+        assert model.holds(Fact("path", 5, ("a", "b")))
+        assert_matches_recompute(model)
+
+    def test_stratified_deletion_recomputes(self):
+        program = parse_program(
+            "out(T) :- slot(T), not jam(T).\n"
+            "slot(T+2) :- slot(T).\nslot(0).\njam(2).")
+        model = IncrementalModel(program.rules,
+                                 TemporalDatabase(program.facts))
+        assert not model.holds(Fact("out", 2, ()))
+        model.delete(Fact("jam", 2, ()))
+        assert model.stats["recomputed"] >= 1
+        assert model.holds(Fact("out", 2, ()))

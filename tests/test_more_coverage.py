@@ -1,0 +1,147 @@
+"""Additional depth coverage: thinner paths across modules."""
+
+import pytest
+
+from repro.core import evaluate_on_model, parse_query
+from repro.lang import (date_of, day_number, parse_program,
+                        parse_rules)
+from repro.lang.atoms import Fact
+from repro.lang.errors import EvaluationError
+from repro.temporal import (TemporalDatabase, bt_evaluate, explain,
+                            to_normal)
+from repro.workloads import travel_agent_program
+
+
+class TestQueryEvaluationEdges:
+    def test_evaluate_on_model_respects_time_bound(self, even_program,
+                                                   even_db):
+        result = bt_evaluate(even_program.rules, even_db, window=40)
+        q = parse_query("exists T: even(T) and even(T+2)",
+                        frozenset({"even"}))
+        assert evaluate_on_model(q, result, time_bound=10)
+        # Bound 0 restricts the temporal domain to the single point 0.
+        q2 = parse_query("exists T: even(T)", frozenset({"even"}))
+        assert evaluate_on_model(q2, result, time_bound=0)
+        q3 = parse_query("exists T: not even(T)", frozenset({"even"}))
+        assert not evaluate_on_model(q3, result, time_bound=0)
+        assert evaluate_on_model(q3, result, time_bound=1)
+
+    def test_implies_with_free_variables(self, travel_program,
+                                         travel_db):
+        from repro.core import answers, compute_specification
+        spec = compute_specification(travel_program.rules, travel_db)
+        q = parse_query("resort(X) implies exists T: plane(T, X)",
+                        travel_program.temporal_preds)
+        result = answers(q, spec)
+        # Implication is true for every non-resort constant too: the
+        # answer set covers the whole active domain.
+        assert len(result) == len(spec.active_domain())
+
+    def test_forall_auto_sort_data(self, path_program, path_db):
+        from repro.core import compute_specification, evaluate
+        spec = compute_specification(path_program.rules, path_db)
+        q = parse_query("forall N: node(N) implies path(0, N, N)",
+                        path_program.temporal_preds)
+        assert evaluate(q, spec)
+
+
+class TestNormalizeEdges:
+    def test_shared_next_chains_across_rules(self):
+        # Two rules referencing p(T+3) must share one chain family.
+        rules = parse_rules(
+            "@temporal a. @temporal b. @temporal p.\n"
+            "a(T) :- p(T+3).\nb(T) :- p(T+3).")
+        normal = to_normal(rules)
+        chain_heads = [r.head.pred for r in normal
+                       if "_nx" in r.head.pred]
+        assert len(chain_heads) == len(set(chain_heads)), \
+            "chain rules must not be duplicated"
+
+    def test_travel_normal_form_is_big_but_correct(self,
+                                                   travel_program):
+        normal = to_normal(travel_program.rules)
+        assert len(normal) > len(travel_program.rules)
+        assert all(r.is_normal for r in normal)
+
+
+class TestExplainEdges:
+    def test_budget_exhaustion_raises(self, path_program, path_db):
+        result = bt_evaluate(path_program.rules, path_db)
+        deep = Fact("path", 4, ("a", "d"))
+        assert result.holds(deep)
+        with pytest.raises(EvaluationError):
+            explain(path_program.rules, path_db, result.store, deep,
+                    max_nodes=1)
+
+    def test_memoisation_shares_subtrees(self, even_program, even_db):
+        result = bt_evaluate(even_program.rules, even_db)
+        tree = explain(even_program.rules, even_db, result.store,
+                       Fact("even", 8, ()))
+        assert tree.depth == 5
+
+
+class TestDatesIntegration:
+    def test_departure_dates_render(self, travel_program, travel_db):
+        from repro import TDD
+        tdd = TDD(travel_program.rules, travel_db)
+        departures = sorted(
+            s["T"] for s in tdd.answers("plane(T, hunter)").expand(20))
+        rendered = [date_of(t, "12/20/89") for t in departures]
+        assert rendered[0] == "01/01/90"
+
+    def test_paper_database_from_dates(self):
+        # Rebuild the paper database using the date helpers and compare
+        # with the canonical workload generator.
+        from repro.workloads import paper_travel_database
+        epoch = "12/20/89"
+        facts = [Fact("plane", day_number("01/01/90", epoch),
+                      ("hunter",)),
+                 Fact("resort", None, ("hunter",)),
+                 Fact("holiday", day_number("12/25/89", epoch), ()),
+                 Fact("holiday", day_number("01/01/90", epoch), ())]
+        facts.extend(Fact("winter", t, ()) for t in range(
+            day_number("12/20/89", epoch),
+            day_number("03/20/90", epoch) + 1))
+        facts.extend(Fact("offseason", t, ()) for t in range(
+            day_number("03/21/90", epoch),
+            day_number("12/19/90", epoch) + 1))
+        assert set(facts) == set(paper_travel_database())
+
+
+class TestParserMoreEdges:
+    def test_interval_in_rule_body_rejected(self):
+        from repro.lang.errors import SortError
+        with pytest.raises(SortError):
+            parse_program("p(T+1) :- q(1..3).")
+
+    def test_zero_arity_temporal_predicate(self):
+        program = parse_program("tick(T+1) :- tick(T).\ntick(0).")
+        assert program.temporal_preds == {"tick"}
+        (fact,) = program.facts
+        assert fact.args == ()
+
+    def test_quoted_constants_roundtrip(self):
+        program = parse_program("resort('Hunter Mtn').")
+        assert program.facts[0].args == ("Hunter Mtn",)
+
+    def test_underscore_variables(self):
+        (rule,) = parse_rules("seen(T+1, X) :- seen(T, X), log(X, _E).")
+        assert "_E" in rule.data_variables()
+
+
+class TestBenchreportFormatting:
+    def test_value_formats(self):
+        from repro.benchreport import _fmt_time, _fmt_value
+        assert _fmt_time(5e-7) == "0.5 µs"
+        assert _fmt_value(3.14159) == "3.142"
+        assert _fmt_value([1, 2]) == "[1, 2]"
+        assert _fmt_value("x") == "x"
+
+
+class TestYearLengthParameter:
+    def test_compressed_years_scale_periods(self):
+        for year in (6, 10, 14):
+            rules = travel_agent_program(year_length=year)
+            offsets = {r.head.time.offset for r in rules
+                       if r.head.pred != "plane"}
+            assert offsets == {year}

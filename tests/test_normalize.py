@@ -1,0 +1,126 @@
+"""Tests for semi-normal/normal transformations (Section 3.1).
+
+The key property: the transforms preserve the least model on the
+*original* predicates (introduced predicates start with '_').
+"""
+
+from repro.lang import parse_program, parse_rules
+from repro.lang.rules import Rule
+from repro.lang.atoms import Atom
+from repro.lang.terms import TimeTerm, Var
+from repro.temporal import (TemporalDatabase, fixpoint, is_normal,
+                            is_semi_normal, to_normal, to_semi_normal)
+
+
+def original_facts(store, predicates):
+    return {f for f in store.facts() if f.pred in predicates}
+
+
+def models_agree(rules_a, rules_b, facts, horizon):
+    db = TemporalDatabase(facts)
+    preds = {a.pred for r in rules_a for a in r.atoms()}
+    preds.update(f.pred for f in facts)
+    left = fixpoint(rules_a, db, horizon)
+    right = fixpoint(rules_b, db, horizon)
+    return (original_facts(left, preds) == original_facts(right, preds))
+
+
+class TestSemiNormal:
+    def test_already_semi_normal_untouched(self, travel_program):
+        assert to_semi_normal(travel_program.rules) == \
+            list(travel_program.rules)
+
+    def test_two_temporal_variables_split(self):
+        # p holds whenever q holds now and r held at *some* time.
+        rule = Rule(
+            Atom("p", TimeTerm("T", 1), (Var("X"),)),
+            (Atom("q", TimeTerm("T", 0), (Var("X"),)),
+             Atom("r", TimeTerm("S", 0), (Var("X"),))),
+        )
+        transformed = to_semi_normal([rule])
+        assert is_semi_normal(transformed)
+        assert len(transformed) == 2
+
+    def test_two_temporal_variables_model_preserved(self):
+        rule = Rule(
+            Atom("p", TimeTerm("T", 1), (Var("X"),)),
+            (Atom("q", TimeTerm("T", 0), (Var("X"),)),
+             Atom("r", TimeTerm("S", 0), (Var("X"),))),
+        )
+        program = parse_program("q(2, a). q(3, b). r(7, a).\n"
+                                "@temporal q. @temporal r. @temporal p.")
+        transformed = to_semi_normal([rule])
+        db = TemporalDatabase(program.facts)
+        direct = fixpoint([rule], db, 10)
+        indirect = fixpoint(transformed, db, 10)
+        want = {f for f in direct.facts() if f.pred == "p"}
+        got = {f for f in indirect.facts() if f.pred == "p"}
+        assert want == got
+        # r(7, a) makes p(3, a) derivable; b never satisfies r.
+        assert ("p", 3, ("a",)) in {(f.pred, f.time, f.args) for f in got}
+        assert all(f.args != ("b",) for f in got)
+
+
+class TestNormal:
+    def test_travel_rules_normalized(self, travel_program):
+        normal = to_normal(travel_program.rules)
+        assert is_normal(normal)
+
+    def test_depth_one_untouched(self, even_program):
+        # even(T+2) has depth 2; a depth-1 program stays as-is.
+        rules = parse_rules("p(T+1) :- p(T).")
+        assert to_normal(rules) == list(rules)
+
+    def test_even_model_preserved(self, even_program):
+        normal = to_normal(even_program.rules)
+        assert is_normal(normal)
+        assert models_agree(even_program.rules, normal,
+                            even_program.facts, horizon=20)
+
+    def test_travel_model_preserved(self, travel_program):
+        normal = to_normal(travel_program.rules)
+        assert models_agree(travel_program.rules, normal,
+                            travel_program.facts, horizon=50)
+
+    def test_head_lower_bound_preserved(self):
+        # p(T+3) :- q(T) derives p only at times >= 3; the copy-chain
+        # normalization must not create earlier derivations.
+        program = parse_program("p(T+3) :- q(T).\nq(0). q(5).\n"
+                                "@temporal p. @temporal q.")
+        normal = to_normal(program.rules)
+        assert is_normal(normal)
+        db = TemporalDatabase(program.facts)
+        store = fixpoint(normal, db, 12)
+        p_times = sorted(store.times("p"))
+        assert p_times == [3, 8]
+
+    def test_deep_body_atom_next_chain(self):
+        # q(T) :- p(T+2): a backward rule with depth 2.
+        program = parse_program(
+            "@temporal q.\nq(T) :- p(T+2).\np(4). p(7).")
+        normal = to_normal(program.rules)
+        assert is_normal(normal)
+        db = TemporalDatabase(program.facts)
+        direct = fixpoint(program.rules, db, 12)
+        via_normal = fixpoint(normal, db, 12)
+        assert sorted(direct.times("q")) == sorted(via_normal.times("q"))
+        assert sorted(direct.times("q")) == [2, 5]
+
+    def test_mixed_offsets_forward_rule(self):
+        program = parse_program(
+            "p(T+4, X) :- p(T, X), q(T+1, X).\n"
+            "p(0, a).\nq(1..9, a).\n@temporal q.")
+        normal = to_normal(program.rules)
+        assert is_normal(normal)
+        assert models_agree(program.rules, normal, program.facts,
+                            horizon=16)
+
+    def test_data_variables_carried_through_chain(self):
+        program = parse_program(
+            "p(T+3, X, Y) :- q(T, X, Y).\nq(1, a, b).\n"
+            "@temporal p. @temporal q.")
+        normal = to_normal(program.rules)
+        db = TemporalDatabase(program.facts)
+        store = fixpoint(normal, db, 8)
+        from repro.lang.atoms import Fact
+        assert Fact("p", 4, ("a", "b")) in store

@@ -1,0 +1,100 @@
+"""Unit tests for the temporal immediate-consequence operator."""
+
+from repro.lang import parse_program
+from repro.lang.atoms import Fact
+from repro.temporal import TemporalDatabase, TemporalStore, fixpoint, step
+
+
+class TestStep:
+    def test_single_application(self, even_program):
+        db = TemporalDatabase(even_program.facts)
+        once = step(even_program.rules, db, db)
+        assert Fact("even", 2, ()) in once
+        assert Fact("even", 4, ()) not in once
+
+    def test_database_always_included(self, even_program):
+        db = TemporalDatabase(even_program.facts)
+        empty = TemporalStore()
+        out = step(even_program.rules, empty, db)
+        assert Fact("even", 0, ()) in out
+
+    def test_step_without_database(self, even_program):
+        db = TemporalDatabase(even_program.facts)
+        out = step(even_program.rules, db)
+        # T(I) without D contains only rule consequences.
+        assert Fact("even", 0, ()) not in out
+        assert Fact("even", 2, ()) in out
+
+    def test_non_temporal_rules_fire(self):
+        program = parse_program(
+            "reach(X) :- source(X).\n"
+            "reach(Y) :- reach(X), link(X, Y).\n"
+            "source(a). link(a, b).")
+        db = TemporalDatabase(program.facts)
+        once = step(program.rules, db, db)
+        assert Fact("reach", None, ("a",)) in once
+
+    def test_mixed_time_join(self, travel_program):
+        db = TemporalDatabase(travel_program.facts)
+        once = step(travel_program.rules, db, db)
+        # plane(12) + holiday(12) => plane(13); winter(12) => plane(14).
+        assert Fact("plane", 13, ("hunter",)) in once
+        assert Fact("plane", 14, ("hunter",)) in once
+        assert Fact("plane", 19, ("hunter",)) not in once  # not offseason
+
+
+class TestFixpoint:
+    def test_window_truncation(self, even_program):
+        db = TemporalDatabase(even_program.facts)
+        store = fixpoint(even_program.rules, db, horizon=9)
+        times = sorted(store.times("even"))
+        assert times == [0, 2, 4, 6, 8]
+
+    def test_exactly_window_boundary(self, even_program):
+        db = TemporalDatabase(even_program.facts)
+        store = fixpoint(even_program.rules, db, horizon=8)
+        assert Fact("even", 8, ()) in store
+
+    def test_database_beyond_window_dropped(self):
+        program = parse_program("p(T+1) :- p(T).\np(0). p(50).")
+        db = TemporalDatabase(program.facts)
+        store = fixpoint(program.rules, db, horizon=10)
+        assert Fact("p", 50, ()) not in store
+        assert Fact("p", 10, ()) in store
+
+    def test_seminaive_matches_naive_iteration(self, travel_program):
+        db = TemporalDatabase(travel_program.facts)
+        semi = fixpoint(travel_program.rules, db, horizon=60)
+
+        # Reference: iterate the step operator to fixpoint, truncating.
+        current = db.truncate(60)
+        while True:
+            nxt = step(travel_program.rules, current, db).truncate(60)
+            for fact in current.facts():
+                nxt.add_fact(fact)
+            if nxt == current:
+                break
+            current = nxt
+        assert semi == current
+
+    def test_path_lengths(self, path_program):
+        db = TemporalDatabase(path_program.facts)
+        store = fixpoint(path_program.rules, db, horizon=6)
+        assert Fact("path", 3, ("a", "d")) in store
+        assert Fact("path", 2, ("a", "d")) not in store
+        assert Fact("path", 6, ("a", "d")) in store  # persisted
+
+    def test_inflationary_rule_persists_facts(self, path_program):
+        db = TemporalDatabase(path_program.facts)
+        store = fixpoint(path_program.rules, db, horizon=5)
+        for t in range(1, 6):
+            assert Fact("path", t, ("a", "a")) in store
+
+    def test_backward_rule_within_window(self):
+        program = parse_program(
+            "@temporal q.\nq(T) :- p(T+1).\np(T+1) :- p(T).\np(0).")
+        db = TemporalDatabase(program.facts)
+        store = fixpoint(program.rules, db, horizon=5)
+        # q(t) requires p(t+1), derivable up to the window edge.
+        assert Fact("q", 4, ()) in store
+        assert Fact("q", 5, ()) not in store  # p(6) outside window

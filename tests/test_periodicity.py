@@ -1,0 +1,125 @@
+"""Unit tests for period detection (Section 3.2 definitions)."""
+
+from repro.lang import parse_rules
+from repro.temporal.periodicity import (Period, find_minimal_period,
+                                        forward_lookback,
+                                        holds_with_period, range_of,
+                                        state_ids)
+
+# States are frozensets; tests intern small labelled ones.
+A = frozenset({("p", ())})
+B = frozenset({("q", ())})
+C = frozenset({("p", ()), ("q", ())})
+E = frozenset()
+
+
+class TestFindMinimalPeriod:
+    def test_constant_sequence_has_period_one(self):
+        assert find_minimal_period([A] * 10, floor=0) == (0, 1)
+
+    def test_alternating_sequence(self):
+        states = [A, B] * 6
+        assert find_minimal_period(states, floor=0) == (0, 2)
+
+    def test_eventually_periodic_with_prefix(self):
+        # C,E,E then A,B repeating: the E's break period 2 until index 3.
+        states = [C, E, E] + [A, B] * 6
+        assert find_minimal_period(states, floor=0) == (3, 2)
+
+    def test_minimality_p_before_b(self):
+        # Both (0, 4) and (2, 2) fit; minimal p wins.
+        states = [A, B, A, B, A, B, A, B, A, B]
+        assert find_minimal_period(states, floor=0) == (0, 2)
+
+    def test_floor_respected(self):
+        states = [A] * 10
+        assert find_minimal_period(states, floor=3) == (3, 1)
+
+    def test_insufficient_evidence_returns_none(self):
+        # One repetition of a long period is not enough at evidence=2:
+        # the window must show b + 2p states of periodic tail.
+        states = [A, B, C, A, B, C]
+        assert find_minimal_period(states, floor=0, evidence=2) is None
+        states = [A, B, C] * 3
+        assert find_minimal_period(states, floor=0, evidence=2) == (0, 3)
+        # At evidence=1 a single repetition is accepted.
+        assert find_minimal_period([A, B, C, A, B, C], floor=0,
+                                   evidence=1) == (0, 3)
+
+    def test_no_period_in_strictly_growing_sequence(self):
+        states = [frozenset({("p", (str(i),))}) for i in range(10)]
+        assert find_minimal_period(states, floor=0) is None
+
+    def test_short_sequence(self):
+        assert find_minimal_period([A], floor=5) is None
+
+    def test_g_block_requirement(self):
+        # With g=3 the window must show the repetition of a whole block.
+        states = [A, B] * 4
+        assert find_minimal_period(states, floor=0, g=3) == (0, 2)
+        assert find_minimal_period([A, B] * 2, floor=0, g=3) is None
+
+
+class TestHoldsWithPeriod:
+    def test_accepts_true_period(self):
+        states = [C] + [A, B] * 5
+        assert holds_with_period(states, b=1, p=2)
+
+    def test_rejects_false_period(self):
+        states = [A, B, A, B, C]
+        assert not holds_with_period(states, b=0, p=2)
+
+    def test_non_minimal_multiples_accepted(self):
+        states = [A, B] * 6
+        assert holds_with_period(states, b=0, p=4)
+
+    def test_degenerate_inputs(self):
+        assert not holds_with_period([A, A], b=0, p=0)
+        assert not holds_with_period([A, A], b=-1, p=1)
+
+
+class TestPeriodFold:
+    def test_fold_below_threshold_identity(self):
+        period = Period(b=3, p=2)
+        assert period.fold(2) == 2
+
+    def test_fold_reduces_modulo(self):
+        period = Period(b=3, p=2)
+        assert period.fold(3) == 3
+        assert period.fold(4) == 4
+        assert period.fold(5) == 3
+        assert period.fold(10 ** 12) == 3 + (10 ** 12 - 3) % 2
+
+    def test_fold_idempotent(self):
+        period = Period(b=5, p=7)
+        for t in range(0, 40):
+            assert period.fold(period.fold(t)) == period.fold(t)
+
+
+class TestForwardLookback:
+    def test_paper_examples_are_forward(self, travel_program,
+                                        path_program):
+        assert forward_lookback(travel_program.rules) == 365
+        assert forward_lookback(path_program.rules) == 1
+
+    def test_backward_rules_yield_none(self):
+        rules = parse_rules("@temporal q.\nq(T) :- p(T+1).")
+        assert forward_lookback(rules) is None
+
+    def test_non_temporal_rules_lookback_one(self):
+        rules = parse_rules("r(X) :- s(X).")
+        assert forward_lookback(rules) == 1
+
+    def test_lookback_is_max_head_body_gap(self):
+        rules = parse_rules("p(T+5) :- p(T+2), q(T).")
+        assert forward_lookback(rules) == 5
+
+
+class TestHelpers:
+    def test_state_ids_interning(self):
+        ids = state_ids([A, B, A, C, B])
+        assert ids == [0, 1, 0, 2, 1]
+
+    def test_range_of(self):
+        assert range_of([A, B, A, C]) == 3
+        assert range_of([]) == 0

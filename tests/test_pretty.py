@@ -1,0 +1,51 @@
+"""Round-trip tests for the pretty-printer."""
+
+from repro.lang import (format_facts, format_program, format_rules,
+                        parse_program)
+
+
+def roundtrip(text: str):
+    program = parse_program(text)
+    rendered = format_program(program.rules, program.facts,
+                              program.temporal_preds)
+    reparsed = parse_program(rendered)
+    return program, reparsed
+
+
+class TestRoundTrip:
+    def test_even_example(self):
+        program, reparsed = roundtrip("even(T+2) :- even(T).\neven(0).")
+        assert set(program.rules) == set(reparsed.rules)
+        assert set(program.facts) == set(reparsed.facts)
+        assert program.temporal_preds == reparsed.temporal_preds
+
+    def test_travel_example(self):
+        text = """
+        plane(T+7, X) :- plane(T, X), resort(X), offseason(T).
+        offseason(T+365) :- offseason(T).
+        plane(12, hunter).
+        resort(hunter).
+        offseason(92..95).
+        """
+        program, reparsed = roundtrip(text)
+        assert set(program.rules) == set(reparsed.rules)
+        assert set(program.facts) == set(reparsed.facts)
+
+    def test_declarations_preserve_orphan_sorts(self):
+        # 'up' is only temporal by declaration; the rendering must keep it.
+        program, reparsed = roundtrip("@temporal up.\nup(3).")
+        assert reparsed.temporal_preds == {"up"}
+
+    def test_facts_sorted_deterministically(self):
+        program = parse_program("b(2). b(1). a(1).")
+        lines = format_facts(program.facts).splitlines()
+        assert lines == ["a(1).", "b(1).", "b(2)."]
+
+    def test_format_rules_preserves_order(self):
+        program = parse_program("p(T+1) :- q(T).\nq(T+1) :- p(T).")
+        lines = format_rules(program.rules).splitlines()
+        assert lines[0].startswith("p(")
+        assert lines[1].startswith("q(")
+
+    def test_empty_program(self):
+        assert format_program([], []) == ""

@@ -1,0 +1,217 @@
+"""Property-based tests (hypothesis) for the core engine invariants.
+
+Random-program strategies generate range-restricted forward temporal
+programs by construction: bodies are drawn first, heads reuse body
+variables, and head offsets dominate body offsets.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core import (compute_specification, is_inflationary,
+                        is_inflationary_on, spec_from_result)
+from repro.datalog import naive_evaluate, seminaive_evaluate
+from repro.lang.atoms import Atom, Fact
+from repro.lang.errors import ClassificationError
+from repro.lang.rules import Rule
+from repro.lang.terms import Const, TimeTerm, Var
+from repro.temporal import (TemporalDatabase, bt_evaluate, bt_verbatim,
+                            fixpoint, holds_with_period)
+
+SETTINGS = settings(max_examples=30, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+CONSTANTS = ["a", "b"]
+DATA_VARS = ["X", "Y"]
+TEMPORAL_PREDS = {"p": 1, "q": 1, "r": 0}
+NT_PREDS = {"e": 2, "n": 1}
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+def _atom(pred: str, arity: int, temporal: bool, offset: int,
+          var_pool: list[str]) -> st.SearchStrategy[Atom]:
+    args = st.tuples(*[st.sampled_from(var_pool) for _ in range(arity)])
+    time = TimeTerm("T", offset) if temporal else None
+    return args.map(lambda names: Atom(
+        pred, time, tuple(Var(n) for n in names)))
+
+
+@st.composite
+def forward_rules(draw) -> Rule:
+    head_offset = draw(st.integers(0, 2))
+    n_body = draw(st.integers(1, 3))
+    body = []
+    for _ in range(n_body):
+        temporal = draw(st.booleans())
+        if temporal:
+            pred = draw(st.sampled_from(sorted(TEMPORAL_PREDS)))
+            arity = TEMPORAL_PREDS[pred]
+            offset = draw(st.integers(0, head_offset))
+        else:
+            pred = draw(st.sampled_from(sorted(NT_PREDS)))
+            arity = NT_PREDS[pred]
+            offset = 0
+        body.append(draw(_atom(pred, arity, temporal, offset,
+                               DATA_VARS)))
+    if not any(a.time is not None for a in body):
+        # Ensure the temporal head variable appears in the body.
+        pred = draw(st.sampled_from(sorted(TEMPORAL_PREDS)))
+        body.append(draw(_atom(pred, TEMPORAL_PREDS[pred], True,
+                               0, DATA_VARS)))
+    body_vars = sorted({v.name for a in body for v in a.data_variables()})
+    head_pred = draw(st.sampled_from(sorted(TEMPORAL_PREDS)))
+    head_arity = TEMPORAL_PREDS[head_pred]
+    if head_arity and not body_vars:
+        body_vars = DATA_VARS[:1]
+        body.append(Atom("n", None, (Var(body_vars[0]),)))
+    head_args = tuple(
+        Var(draw(st.sampled_from(body_vars))) for _ in range(head_arity)
+    )
+    return Rule(Atom(head_pred, TimeTerm("T", head_offset), head_args),
+                tuple(body))
+
+
+@st.composite
+def temporal_programs(draw):
+    rules = draw(st.lists(forward_rules(), min_size=1, max_size=4))
+    facts = []
+    n_facts = draw(st.integers(1, 6))
+    for _ in range(n_facts):
+        kind = draw(st.sampled_from(["p", "q", "r", "e", "n"]))
+        if kind in TEMPORAL_PREDS:
+            time = draw(st.integers(0, 4))
+            args = tuple(draw(st.sampled_from(CONSTANTS))
+                         for _ in range(TEMPORAL_PREDS[kind]))
+            facts.append(Fact(kind, time, args))
+        else:
+            args = tuple(draw(st.sampled_from(CONSTANTS))
+                         for _ in range(NT_PREDS[kind]))
+            facts.append(Fact(kind, None, args))
+    return rules, facts
+
+
+@st.composite
+def datalog_programs(draw):
+    n_rules = draw(st.integers(1, 4))
+    rules = []
+    for _ in range(n_rules):
+        n_body = draw(st.integers(1, 3))
+        body = []
+        for _ in range(n_body):
+            pred = draw(st.sampled_from(sorted(NT_PREDS)))
+            body.append(draw(_atom(pred, NT_PREDS[pred], False, 0,
+                                   DATA_VARS)))
+        body_vars = sorted({v.name for a in body
+                            for v in a.data_variables()})
+        head_pred = draw(st.sampled_from(["e", "n", "out"]))
+        arity = {"e": 2, "n": 1, "out": 1}[head_pred]
+        head_args = tuple(Var(draw(st.sampled_from(body_vars)))
+                          for _ in range(arity))
+        rules.append(Rule(Atom(head_pred, None, head_args), tuple(body)))
+    facts = [
+        Fact("e", None, (draw(st.sampled_from(CONSTANTS)),
+                         draw(st.sampled_from(CONSTANTS))))
+        for _ in range(draw(st.integers(1, 4)))
+    ]
+    facts.extend(
+        Fact("n", None, (draw(st.sampled_from(CONSTANTS)),))
+        for _ in range(draw(st.integers(0, 2)))
+    )
+    return rules, facts
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+
+class TestDatalogEngines:
+    @SETTINGS
+    @given(datalog_programs())
+    def test_naive_equals_seminaive(self, program):
+        rules, facts = program
+        assert naive_evaluate(rules, facts) == \
+            seminaive_evaluate(rules, facts)
+
+
+class TestBTEquivalence:
+    @SETTINGS
+    @given(temporal_programs(), st.integers(0, 12))
+    def test_verbatim_equals_seminaive_fixpoint(self, program, window):
+        rules, facts = program
+        db = TemporalDatabase(facts)
+        verbatim = bt_verbatim(rules, db, window)
+        semi = fixpoint(rules, db, window)
+        assert verbatim.store.segment(0, window) == \
+            semi.segment(0, window)
+        assert verbatim.store.nt == semi.nt
+
+
+class TestPeriodSoundness:
+    @SETTINGS
+    @given(temporal_programs())
+    def test_detected_period_reverifies_at_double_horizon(self, program):
+        rules, facts = program
+        db = TemporalDatabase(facts)
+        result = bt_evaluate(rules, db)
+        period = result.period
+        assert period is not None  # forward programs always certify
+        assert period.certified
+        wider = fixpoint(rules, db, 2 * result.horizon + period.p)
+        states = wider.states(0, 2 * result.horizon + period.p)
+        assert holds_with_period(states, period.b, period.p)
+
+    @SETTINGS
+    @given(temporal_programs())
+    def test_monotone_in_window(self, program):
+        rules, facts = program
+        db = TemporalDatabase(facts)
+        small = fixpoint(rules, db, 6)
+        large = fixpoint(rules, db, 12)
+        small_facts = set(small.facts())
+        assert small_facts <= set(large.facts())
+
+
+class TestSpecAgreement:
+    @SETTINGS
+    @given(temporal_programs(), st.integers(0, 60))
+    def test_spec_membership_equals_model_membership(self, program, t):
+        rules, facts = program
+        db = TemporalDatabase(facts)
+        result = bt_evaluate(rules, db)
+        spec = spec_from_result(result)
+        horizon = max(result.horizon, t + 1)
+        model = fixpoint(rules, db, horizon)
+        for pred, arity in TEMPORAL_PREDS.items():
+            for args in _all_args(arity):
+                fact = Fact(pred, t, args)
+                assert spec.holds(fact) == (fact in model), fact
+
+
+def _all_args(arity):
+    if arity == 0:
+        return [()]
+    if arity == 1:
+        return [(c,) for c in CONSTANTS]
+    return [(c, d) for c in CONSTANTS for d in CONSTANTS]
+
+
+class TestInflationaryAgreement:
+    @SETTINGS
+    @given(temporal_programs())
+    def test_decision_procedure_sound_on_samples(self, program):
+        """If the checker says inflationary, every sampled database
+        satisfies the semantic property (the checker is exact, so this
+        is the sound half; completeness is the paper's proof)."""
+        rules, facts = program
+        try:
+            verdict = is_inflationary(rules)
+        except ClassificationError:
+            return  # constants in rules — precondition not met
+        if verdict:
+            db = TemporalDatabase(facts)
+            assert is_inflationary_on(rules, db)

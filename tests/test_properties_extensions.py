@@ -1,0 +1,292 @@
+"""Property-based tests for the extension subsystems.
+
+Random-program strategies cover: stratified programs (negation),
+engine equivalences (magic sets, top-down tabling vs the bottom-up
+fixpoint), and incremental insert/delete sequences vs recomputation.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.magic import magic_ask
+from repro.datalog import naive_evaluate, seminaive_evaluate
+from repro.lang.atoms import Atom, Fact
+from repro.lang.rules import Rule
+from repro.lang.terms import TimeTerm, Var
+from repro.temporal import (IncrementalModel, TemporalDatabase,
+                            TopDownEngine, bt_evaluate, evaluate_window,
+                            fixpoint)
+
+SETTINGS = settings(max_examples=25, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+CONSTANTS = ["a", "b"]
+
+
+# ---------------------------------------------------------------------------
+# Stratified Datalog programs: two strata over a base relation.
+# ---------------------------------------------------------------------------
+
+@st.composite
+def stratified_datalog(draw):
+    """reach-style stratum 0 plus a negation stratum on top."""
+    rules = [
+        Rule(Atom("reach", None, (Var("Y"),)),
+             (Atom("seed", None, (Var("Y"),)),)),
+        Rule(Atom("reach", None, (Var("Y"),)),
+             (Atom("reach", None, (Var("X"),)),
+              Atom("edge", None, (Var("X"), Var("Y"))))),
+        Rule(Atom("isolated", None, (Var("X"),)),
+             (Atom("node", None, (Var("X"),)),),
+             (Atom("reach", None, (Var("X"),)),)),
+    ]
+    nodes = [f"n{i}" for i in range(draw(st.integers(2, 5)))]
+    facts = [Fact("node", None, (n,)) for n in nodes]
+    n_edges = draw(st.integers(0, 6))
+    for _ in range(n_edges):
+        u = draw(st.sampled_from(nodes))
+        v = draw(st.sampled_from(nodes))
+        facts.append(Fact("edge", None, (u, v)))
+    for _ in range(draw(st.integers(0, 2))):
+        facts.append(Fact("seed", None, (draw(st.sampled_from(nodes)),)))
+    return rules, facts
+
+
+class TestStratifiedEngines:
+    @SETTINGS
+    @given(stratified_datalog())
+    def test_naive_equals_seminaive(self, program):
+        rules, facts = program
+        assert naive_evaluate(rules, facts) == \
+            seminaive_evaluate(rules, facts)
+
+    @SETTINGS
+    @given(stratified_datalog())
+    def test_complement_is_exact(self, program):
+        rules, facts = program
+        store = seminaive_evaluate(rules, facts)
+        nodes = {args[0] for args in store.relation("node")}
+        reached = {args[0] for args in store.relation("reach")}
+        isolated = {args[0] for args in store.relation("isolated")}
+        assert isolated == nodes - reached
+
+
+# ---------------------------------------------------------------------------
+# Temporal forward programs shared by the engine-equivalence tests.
+# ---------------------------------------------------------------------------
+
+@st.composite
+def forward_temporal(draw):
+    """A small forward program over p/1, q/1 with a non-temporal join."""
+    rules = []
+    n_rules = draw(st.integers(1, 3))
+    for _ in range(n_rules):
+        head_pred = draw(st.sampled_from(["p", "q"]))
+        offset = draw(st.integers(1, 2))
+        body = [Atom(draw(st.sampled_from(["p", "q"])),
+                     TimeTerm("T", 0), (Var("X"),))]
+        if draw(st.booleans()):
+            body.append(Atom("link", None, (Var("X"), Var("Y"))))
+            head_var = draw(st.sampled_from(["X", "Y"]))
+        else:
+            head_var = "X"
+        rules.append(Rule(
+            Atom(head_pred, TimeTerm("T", offset), (Var(head_var),)),
+            tuple(body)))
+    facts = []
+    for _ in range(draw(st.integers(1, 4))):
+        pred = draw(st.sampled_from(["p", "q"]))
+        facts.append(Fact(pred, draw(st.integers(0, 3)),
+                          (draw(st.sampled_from(CONSTANTS)),)))
+    for u in CONSTANTS:
+        for v in CONSTANTS:
+            if draw(st.booleans()):
+                facts.append(Fact("link", None, (u, v)))
+    return rules, facts
+
+
+class TestEngineTriad:
+    @SETTINGS
+    @given(forward_temporal(), st.integers(0, 8),
+           st.sampled_from(["p", "q"]), st.sampled_from(CONSTANTS))
+    def test_magic_matches_bottom_up(self, program, t, pred, const):
+        rules, facts = program
+        db = TemporalDatabase(facts)
+        goal = Fact(pred, t, (const,))
+        full = bt_evaluate(rules, db).holds(goal)
+        assert magic_ask(rules, db, goal) == full
+
+    @SETTINGS
+    @given(forward_temporal(), st.integers(0, 8),
+           st.sampled_from(["p", "q"]), st.sampled_from(CONSTANTS))
+    def test_topdown_matches_bottom_up(self, program, t, pred, const):
+        rules, facts = program
+        db = TemporalDatabase(facts)
+        goal = Fact(pred, t, (const,))
+        reference = fixpoint(rules, db, 10)
+        engine = TopDownEngine(rules, db, horizon=10)
+        assert engine.ask(goal) == (goal in reference)
+
+
+# ---------------------------------------------------------------------------
+# Incremental maintenance vs recomputation under random edit scripts.
+# ---------------------------------------------------------------------------
+
+@st.composite
+def edit_script(draw):
+    """A base database plus a sequence of inserts/deletes of links."""
+    base = []
+    for u in CONSTANTS:
+        for v in CONSTANTS:
+            if draw(st.booleans()):
+                base.append(Fact("link", None, (u, v)))
+    base.append(Fact("p", 0, ("a",)))
+    edits = []
+    for _ in range(draw(st.integers(1, 4))):
+        action = draw(st.sampled_from(["insert", "delete"]))
+        u = draw(st.sampled_from(CONSTANTS))
+        v = draw(st.sampled_from(CONSTANTS))
+        edits.append((action, Fact("link", None, (u, v))))
+        if draw(st.booleans()):
+            edits.append(("insert",
+                          Fact("p", draw(st.integers(0, 4)),
+                               (draw(st.sampled_from(CONSTANTS)),))))
+    return base, edits
+
+
+PROPAGATE = (
+    Rule(Atom("p", TimeTerm("T", 1), (Var("Y"),)),
+         (Atom("p", TimeTerm("T", 0), (Var("X"),)),
+          Atom("link", None, (Var("X"), Var("Y"))))),
+    Rule(Atom("p", TimeTerm("T", 1), (Var("X"),)),
+         (Atom("p", TimeTerm("T", 0), (Var("X"),)),)),
+)
+
+
+class TestIncrementalScripts:
+    @SETTINGS
+    @given(edit_script())
+    def test_edits_match_recompute(self, script):
+        base, edits = script
+        model = IncrementalModel(PROPAGATE, TemporalDatabase(base))
+        for action, fact in edits:
+            if action == "insert":
+                model.insert(fact)
+            else:
+                model.delete(fact)
+        fresh = bt_evaluate(list(PROPAGATE), model.database)
+        horizon = min(model.result.horizon, fresh.horizon)
+        assert model.result.store.states(0, horizon) == \
+            fresh.store.states(0, horizon)
+        assert (model.period.b, model.period.p) == \
+            (fresh.period.b, fresh.period.p)
+
+
+# ---------------------------------------------------------------------------
+# Stratified temporal window models: negation checks stay consistent.
+# ---------------------------------------------------------------------------
+
+@st.composite
+def stratified_temporal(draw):
+    """slot/jam with a negation stratum, randomised seeds/periods."""
+    slot_period = draw(st.integers(1, 4))
+    jam_period = draw(st.integers(1, 4))
+    rules = [
+        Rule(Atom("slot", TimeTerm("T", slot_period), ()),
+             (Atom("slot", TimeTerm("T", 0), ()),)),
+        Rule(Atom("jam", TimeTerm("T", jam_period), ()),
+             (Atom("jam", TimeTerm("T", 0), ()),)),
+        Rule(Atom("out", TimeTerm("T", 0), ()),
+             (Atom("slot", TimeTerm("T", 0), ()),),
+             (Atom("jam", TimeTerm("T", 0), ()),)),
+    ]
+    facts = [Fact("slot", draw(st.integers(0, 3)), ())]
+    if draw(st.booleans()):
+        facts.append(Fact("jam", draw(st.integers(0, 3)), ()))
+    return rules, facts
+
+
+class TestStratifiedTemporalSemantics:
+    @SETTINGS
+    @given(stratified_temporal(), st.integers(0, 20))
+    def test_out_is_exact_complement_on_slots(self, program, t):
+        rules, facts = program
+        db = TemporalDatabase(facts)
+        store = evaluate_window(rules, db, 24)
+        slot = Fact("slot", t, ()) in store
+        jam = Fact("jam", t, ()) in store
+        out = Fact("out", t, ()) in store
+        assert out == (slot and not jam)
+
+    @SETTINGS
+    @given(stratified_temporal())
+    def test_period_certified_and_folds_correctly(self, program):
+        rules, facts = program
+        db = TemporalDatabase(facts)
+        result = bt_evaluate(rules, db)
+        assert result.period is not None
+        assert result.period.certified
+        wider = evaluate_window(rules, db, result.horizon * 2)
+        for t in range(result.horizon + 1, result.horizon * 2 - 4):
+            direct = Fact("out", t, ()) in wider
+            assert result.holds(Fact("out", t, ())) == direct, t
+
+
+# ---------------------------------------------------------------------------
+# Whole-pipeline fuzz: arbitrary (possibly backward / negated) programs
+# must either evaluate or fail with a library error — never crash, and
+# never produce an inconsistent period.
+# ---------------------------------------------------------------------------
+
+@st.composite
+def wild_programs(draw):
+    rules = []
+    n_rules = draw(st.integers(1, 4))
+    for _ in range(n_rules):
+        head_offset = draw(st.integers(0, 2))
+        head_pred = draw(st.sampled_from(["p", "q"]))
+        n_body = draw(st.integers(1, 2))
+        body = []
+        for _ in range(n_body):
+            body.append(Atom(draw(st.sampled_from(["p", "q"])),
+                             TimeTerm("T", draw(st.integers(0, 2))),
+                             (Var("X"),)))
+        negative = ()
+        if draw(st.booleans()):
+            # Safe negation; may or may not stratify.
+            negative = (Atom(draw(st.sampled_from(["p", "q", "r"])),
+                             TimeTerm("T", draw(st.integers(0, 2))),
+                             (Var("X"),)),)
+        rules.append(Rule(
+            Atom(head_pred, TimeTerm("T", head_offset), (Var("X"),)),
+            tuple(body), negative))
+    facts = [
+        Fact(draw(st.sampled_from(["p", "q", "r"])),
+             draw(st.integers(0, 4)),
+             (draw(st.sampled_from(CONSTANTS)),))
+        for _ in range(draw(st.integers(1, 4)))
+    ]
+    return rules, facts
+
+
+class TestPipelineFuzz:
+    @SETTINGS
+    @given(wild_programs())
+    def test_bt_never_crashes(self, program):
+        from repro.lang.errors import ReproError
+        rules, facts = program
+        db = TemporalDatabase(facts)
+        try:
+            result = bt_evaluate(rules, db, max_window=4096)
+        except ReproError:
+            return  # non-stratifiable / window exhausted: acceptable
+        period = result.period
+        if period is None:
+            return
+        # The fold must agree with the window on in-window points.
+        for t in range(period.b, result.horizon + 1):
+            folded = period.fold(t)
+            assert result.store.state(folded) == \
+                result.store.state(t), (t, folded)

@@ -1,0 +1,86 @@
+"""Meta-tests over the public API surface.
+
+Every name a package exports must exist, be documented, and be
+importable exactly as docs/API.md advertises.
+"""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.lang",
+    "repro.datalog",
+    "repro.temporal",
+    "repro.rewrite",
+    "repro.functional",
+    "repro.core",
+    "repro.workloads",
+    "repro.storage",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_names_exist(package):
+    module = importlib.import_module(package)
+    assert hasattr(module, "__all__"), f"{package} must define __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_exports_are_documented(package):
+    module = importlib.import_module(package)
+    assert module.__doc__, f"{package} needs a module docstring"
+    undocumented = []
+    for name in module.__all__:
+        obj = getattr(module, name)
+        if isinstance(obj, (str, frozenset, tuple)):
+            continue  # constants (TIME, DATA, EMPTY_STATE, ...)
+        if getattr(obj, "__module__", "") == "typing":
+            continue  # type aliases (DataTerm, ...)
+        if callable(obj) and not getattr(obj, "__doc__", None):
+            undocumented.append(name)
+    assert not undocumented, (
+        f"{package}: missing docstrings on {undocumented}"
+    )
+
+
+def test_no_duplicate_exports_across_core_and_top():
+    import repro
+    import repro.core
+    for name in repro.__all__:
+        if name in ("__version__",):
+            continue
+        obj = getattr(repro, name)
+        # Top-level re-exports must be the same objects, not copies.
+        for package in ("repro.core", "repro.lang", "repro.temporal"):
+            module = importlib.import_module(package)
+            if hasattr(module, name):
+                assert getattr(module, name) is obj, name
+                break
+
+
+def test_version_is_a_pep440_string():
+    import repro
+    major, minor, patch = repro.__version__.split(".")
+    assert all(part.isdigit() for part in (major, minor, patch))
+
+
+API_DOC_SNIPPETS = [
+    "from repro import TDD",
+    "from repro.temporal import bt_evaluate",
+    "from repro.core import magic_transform, magic_ask",
+    "from repro.storage import (append_facts, fact_count, iter_facts,",
+]
+
+
+def test_api_doc_examples_are_importable():
+    # The import lines shown in docs/API.md must actually work.
+    from repro import TDD                                  # noqa: F401
+    from repro.temporal import bt_evaluate                 # noqa: F401
+    from repro.core import magic_ask, magic_transform     # noqa: F401
+    from repro.storage import append_facts, fact_count    # noqa: F401
+    from repro.functional import ffixpoint                 # noqa: F401
+    from repro.workloads import bounded_path_program       # noqa: F401

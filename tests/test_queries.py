@@ -1,0 +1,297 @@
+"""Tests for the first-order temporal query language (Prop 3.1 etc.)."""
+
+import pytest
+
+from repro.core import (AtomQ, DataEq, Exists, Forall, Not, TimeEq,
+                        answers, compute_specification, evaluate,
+                        evaluate_on_model, free_variables, parse_query)
+from repro.lang import parse_program
+from repro.lang.atoms import Atom
+from repro.lang.errors import ParseError, SortError
+from repro.lang.terms import Const, TimeTerm, Var
+from repro.temporal import TemporalDatabase, bt_evaluate
+
+
+@pytest.fixture()
+def travel_spec(travel_program, travel_db):
+    return compute_specification(travel_program.rules, travel_db)
+
+
+@pytest.fixture()
+def even_spec(even_program, even_db):
+    return compute_specification(even_program.rules, even_db)
+
+
+@pytest.fixture()
+def path_spec(path_program, path_db):
+    return compute_specification(path_program.rules, path_db)
+
+
+TP = frozenset({"even", "plane", "offseason", "winter", "holiday",
+                "path", "null"})
+
+
+class TestParser:
+    def test_atom(self):
+        q = parse_query("plane(T, hunter)", TP)
+        assert isinstance(q, AtomQ)
+        assert q.atom.time == TimeTerm("T", 0)
+        assert q.atom.args == (Const("hunter"),)
+
+    def test_nontemporal_atom(self):
+        q = parse_query("resort(X)", TP)
+        assert q.atom.time is None
+        assert q.atom.args == (Var("X"),)
+
+    def test_quantifier_chain(self):
+        q = parse_query("exists T, X: plane(T, X)", TP)
+        assert isinstance(q, Exists)
+        assert isinstance(q.inner, Exists)
+
+    def test_connective_precedence(self):
+        q = parse_query("even(0) or even(1) and even(2)", TP)
+        # 'and' binds tighter than 'or'.
+        assert q.__class__.__name__ == "Or"
+
+    def test_not_binds_tightest(self):
+        q = parse_query("not even(1) and even(0)", TP)
+        assert q.__class__.__name__ == "And"
+        assert isinstance(q.parts[0], Not)
+
+    def test_parentheses(self):
+        q = parse_query("not (even(1) and even(0))", TP)
+        assert isinstance(q, Not)
+
+    def test_implies(self):
+        q = parse_query("even(0) implies even(2)", TP)
+        assert q.__class__.__name__ == "Implies"
+
+    def test_time_equality(self):
+        q = parse_query("T+1 = 3", TP)
+        assert isinstance(q, TimeEq)
+
+    def test_data_equality(self):
+        q = parse_query("X = hunter", TP)
+        assert isinstance(q, DataEq)
+
+    def test_offset_in_atom(self):
+        q = parse_query("even(T+2)", TP)
+        assert q.atom.time == TimeTerm("T", 2)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("even(0) even(1)", TP)
+
+    def test_missing_colon_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("exists T plane(T, hunter)", TP)
+
+
+class TestFreeVariables:
+    def test_open_atom(self):
+        q = parse_query("plane(T, X)", TP)
+        assert free_variables(q) == {"T": "time", "X": "data"}
+
+    def test_quantified_are_bound(self):
+        q = parse_query("exists T: plane(T, X)", TP)
+        assert free_variables(q) == {"X": "data"}
+
+    def test_sort_clash_detected(self):
+        q = parse_query("plane(T, X) and resort(T)", TP)
+        with pytest.raises(SortError):
+            free_variables(q)
+
+
+class TestClosedEvaluation:
+    def test_ground_atoms(self, even_spec):
+        assert evaluate(parse_query("even(4)", TP), even_spec)
+        assert not evaluate(parse_query("even(3)", TP), even_spec)
+        assert evaluate(parse_query("even(123456)", TP), even_spec) is True
+
+    def test_negation_cwa(self, even_spec):
+        assert evaluate(parse_query("not even(3)", TP), even_spec)
+        assert not evaluate(parse_query("not even(2)", TP), even_spec)
+
+    def test_conjunction_disjunction(self, even_spec):
+        assert evaluate(parse_query("even(0) and even(2)", TP), even_spec)
+        assert not evaluate(parse_query("even(0) and even(1)", TP),
+                            even_spec)
+        assert evaluate(parse_query("even(1) or even(2)", TP), even_spec)
+
+    def test_implication(self, even_spec):
+        assert evaluate(parse_query("even(1) implies even(3)", TP),
+                        even_spec)
+        assert not evaluate(parse_query("even(0) implies even(3)", TP),
+                            even_spec)
+
+    def test_existential_time(self, travel_spec):
+        assert evaluate(parse_query("exists T: plane(T, hunter)", TP),
+                        travel_spec)
+        assert not evaluate(
+            parse_query("exists T: plane(T, nowhere)", TP), travel_spec)
+
+    def test_universal_time(self, even_spec):
+        assert not evaluate(parse_query("forall T: even(T)", TP),
+                            even_spec)
+        assert evaluate(
+            parse_query("forall T: even(T) or not even(T)", TP),
+            even_spec)
+
+    def test_mixed_quantifiers(self, path_spec):
+        # Every node reaches itself at some length bound.
+        assert evaluate(
+            parse_query("forall X: exists K: path(K, X, X)", TP),
+            path_spec)
+        # Not every pair is connected.
+        assert not evaluate(
+            parse_query("forall X, Y: exists K: path(K, X, Y)", TP),
+            path_spec)
+
+    def test_unbound_variable_rejected(self, even_spec):
+        with pytest.raises(SortError):
+            evaluate(parse_query("even(T)", TP), even_spec)
+
+    def test_explicit_binding(self, even_spec):
+        q = parse_query("even(T)", TP)
+        assert evaluate(q, even_spec, binding={"T": 0})
+        assert not evaluate(q, even_spec, binding={"T": 1})
+
+
+class TestInvariance:
+    """Proposition 3.1: spec evaluation == model evaluation."""
+
+    QUERIES = [
+        "even(6)",
+        "not even(7)",
+        "exists T: even(T)",
+        "forall T: even(T) or not even(T)",
+        "exists T: even(T) and even(T+2)",
+        "exists T: not even(T)",
+    ]
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_even_queries_invariant(self, text, even_program, even_db,
+                                    even_spec):
+        result = bt_evaluate(even_program.rules, even_db, window=40)
+        q = parse_query(text, TP)
+        assert evaluate(q, even_spec) == evaluate_on_model(q, result)
+
+    TRAVEL_QUERIES = [
+        "plane(12, hunter)",
+        "plane(13, hunter)",
+        "exists T: plane(T, hunter) and offseason(T)",
+        "exists X: resort(X) and exists T: plane(T, X)",
+        "forall X: resort(X) implies exists T: plane(T, X)",
+    ]
+
+    @pytest.mark.parametrize("text", TRAVEL_QUERIES)
+    def test_travel_queries_invariant(self, text, travel_program,
+                                      travel_db, travel_spec):
+        result = bt_evaluate(travel_program.rules, travel_db)
+        q = parse_query(text, TP)
+        assert evaluate(q, travel_spec) == evaluate_on_model(q, result)
+
+
+class TestSection8Counterexample:
+    """Temporal equality is NOT invariant (Section 8 of the paper)."""
+
+    def test_equality_unsound_on_spec(self):
+        program = parse_program("p(T+1) :- p(T).\np(0).")
+        db = TemporalDatabase(program.facts)
+        spec = compute_specification(program.rules, db)
+        # Period (0, 1): representative of both 0 and 1 is 0.
+        assert spec.representative_of(0) == spec.representative_of(1) == 0
+        q = TimeEq(TimeTerm(None, 0), TimeTerm(None, 1))
+        # On the spec the two terms collapse: the paper's unsoundness.
+        assert evaluate(q, spec) is True
+        # Direct evaluation knows better.
+        result = bt_evaluate(program.rules, db)
+        assert evaluate_on_model(q, result) is False
+
+
+class TestOpenQueries:
+    def test_even_answers(self, even_spec):
+        ans = answers(parse_query("even(X)", TP), even_spec)
+        assert len(ans) == 1
+        assert ans.is_infinite
+        expanded = sorted(s["X"] for s in ans.expand(10))
+        assert expanded == [0, 2, 4, 6, 8, 10]
+
+    def test_travel_days(self, travel_spec):
+        ans = answers(parse_query("plane(T, hunter)", TP), travel_spec)
+        assert ans.is_infinite
+        days = sorted(s["T"] for s in ans.expand(20))
+        assert days[0] == 12
+
+    def test_data_variable_answers(self, path_spec):
+        ans = answers(
+            parse_query("exists K: path(K, a, Y)", TP), path_spec)
+        reached = sorted(s["Y"] for s in ans)
+        assert reached == ["a", "b", "c", "d"]
+
+    def test_negative_open_query(self, path_spec):
+        ans = answers(
+            parse_query("node(Y) and not (exists K: path(K, Y, d))", TP),
+            path_spec)
+        assert sorted(s["Y"] for s in ans) == []
+
+    def test_empty_answer_set(self, even_spec):
+        ans = answers(parse_query("even(X) and not even(X)", TP),
+                      even_spec)
+        assert len(ans) == 0
+        assert not ans
+
+
+class TestJoinStrategy:
+    """The conjunctive join fast path must match enumeration."""
+
+    CONJUNCTIVE = [
+        "plane(T, X)",
+        "plane(T, hunter) and offseason(T)",
+        "plane(T, X) and resort(X)",
+        "plane(T, X) and not winter(T)",
+        "exists T: plane(T, X) and holiday(T)",
+    ]
+
+    @pytest.mark.parametrize("text", CONJUNCTIVE)
+    def test_matches_enumeration(self, text, travel_spec):
+        q = parse_query(text, TP)
+        joined = answers(q, travel_spec, method="join")
+        enumerated = answers(q, travel_spec, method="enumerate")
+        assert joined.substitutions == enumerated.substitutions
+        assert joined.variables == enumerated.variables
+
+    def test_auto_uses_join_for_conjunctions(self, travel_spec):
+        q = parse_query("plane(T, hunter) and offseason(T)", TP)
+        auto = answers(q, travel_spec)
+        explicit = answers(q, travel_spec, method="join")
+        assert auto.substitutions == explicit.substitutions
+
+    def test_join_rejects_disjunction(self, travel_spec):
+        q = parse_query("plane(T, hunter) or offseason(T)", TP)
+        with pytest.raises(SortError):
+            answers(q, travel_spec, method="join")
+
+    def test_join_rejects_offset_variables(self, travel_spec):
+        q = parse_query("plane(T+1, hunter)", TP)
+        with pytest.raises(SortError):
+            answers(q, travel_spec, method="join")
+
+    def test_join_rejects_unbound_negative(self, travel_spec):
+        q = parse_query("resort(X) and not plane(T, X)", TP)
+        # T appears only under negation: join unusable, fallback works.
+        with pytest.raises(SortError):
+            answers(q, travel_spec, method="join")
+        fallback = answers(q, travel_spec)  # auto falls back
+        assert fallback is not None
+
+    def test_ground_times_canonicalised(self, even_spec):
+        q = parse_query("even(X) and even(4)", TP)
+        joined = answers(q, even_spec, method="join")
+        assert sorted(s["X"] for s in joined) == [0]
+
+    def test_path_join_three_atoms(self, path_spec):
+        q = parse_query("path(K, a, Y) and node(Y) and edge(Y, Z)", TP)
+        joined = answers(q, path_spec, method="join")
+        enumerated = answers(q, path_spec, method="enumerate")
+        assert joined.substitutions == enumerated.substitutions

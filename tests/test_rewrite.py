@@ -1,0 +1,99 @@
+"""Tests for ground temporal rewrite systems."""
+
+import itertools
+
+import pytest
+
+from repro.lang.errors import EvaluationError
+from repro.rewrite import RewriteRule, RewriteSystem
+
+
+class TestRewriteRule:
+    def test_applicability_is_subterm_occurrence(self):
+        rule = RewriteRule(5, 2)
+        assert rule.applies_to(5)
+        assert rule.applies_to(9)
+        assert not rule.applies_to(4)
+
+    def test_apply(self):
+        assert RewriteRule(5, 2).apply(9) == 6
+
+    def test_negative_terms_rejected(self):
+        with pytest.raises(ValueError):
+            RewriteRule(-1, 0)
+
+    def test_decreasing(self):
+        assert RewriteRule(5, 2).is_decreasing
+        assert not RewriteRule(2, 5).is_decreasing
+
+
+class TestNormalize:
+    def test_paper_even_example(self):
+        # W = {2 -> 0}: even(4) ~> even(2) ~> even(0); even(3) ~> even(1).
+        system = RewriteSystem([RewriteRule(2, 0)])
+        assert system.normalize(4) == 0
+        assert system.normalize(3) == 1
+        assert system.normalize(0) == 0
+        assert system.normalize(1) == 1
+
+    def test_single_rule_fast_path_matches_stepping(self):
+        system = RewriteSystem([RewriteRule(7, 3)])
+        for t in range(0, 60):
+            stepped = t
+            while system.step(stepped) is not None:
+                stepped = system.step(stepped)
+            assert system.normalize(t) == stepped
+
+    def test_multi_rule_system(self):
+        system = RewriteSystem([RewriteRule(10, 4), RewriteRule(7, 5)])
+        assert system.is_terminating
+        canonical = system.normalize(25)
+        assert system.is_canonical(canonical)
+
+    def test_non_terminating_rule_detected(self):
+        system = RewriteSystem([RewriteRule(2, 5)])
+        assert not system.is_terminating
+        with pytest.raises(EvaluationError):
+            system.normalize(3)
+
+    def test_canonical_forms_below_lhs(self):
+        system = RewriteSystem([RewriteRule(5, 2)])
+        for t in range(5):
+            assert system.is_canonical(t)
+            assert system.normalize(t) == t
+
+
+class TestPreimages:
+    def test_periodic_preimages(self):
+        system = RewriteSystem([RewriteRule(5, 2)])  # period 3 from 2
+        pre = list(itertools.islice(system.preimages(3), 5))
+        assert pre == [3, 6, 9, 12, 15]
+
+    def test_prefix_point_has_single_preimage(self):
+        system = RewriteSystem([RewriteRule(5, 2)])
+        assert list(itertools.islice(system.preimages(1), 3)) == [1]
+
+    def test_non_canonical_input_yields_nothing(self):
+        system = RewriteSystem([RewriteRule(5, 2)])
+        assert list(system.preimages(8, limit=10)) == []
+
+    def test_limit_respected(self):
+        system = RewriteSystem([RewriteRule(2, 0)])
+        assert len(list(system.preimages(0, limit=4))) == 4
+
+    def test_preimages_roundtrip(self):
+        system = RewriteSystem([RewriteRule(9, 4)])
+        for canonical in range(9):
+            for t in itertools.islice(system.preimages(canonical), 4):
+                assert system.normalize(t) == canonical
+
+
+class TestSystemEquality:
+    def test_rule_order_irrelevant(self):
+        a = RewriteSystem([RewriteRule(5, 2), RewriteRule(7, 1)])
+        b = RewriteSystem([RewriteRule(7, 1), RewriteRule(5, 2)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_str(self):
+        assert str(RewriteSystem([RewriteRule(2, 0)])) == "{2 -> 0}"

@@ -1,0 +1,112 @@
+"""Property tests for the textual surface: round trips and fuzzing."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.lang import (ReproError, format_program, parse_program)
+from repro.lang.atoms import Atom, Fact
+from repro.lang.rules import Rule
+from repro.lang.terms import Const, TimeTerm, Var
+
+SETTINGS = settings(max_examples=60, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+PREDICATES = {
+    # name -> (temporal, data arity)
+    "p": (True, 1),
+    "q": (True, 0),
+    "r": (False, 2),
+    "s": (False, 1),
+}
+DATA_VARS = ["X", "Y"]
+CONSTANTS = ["a", "b", "c7"]
+
+
+@st.composite
+def atoms(draw, allow_vars: bool = True):
+    name = draw(st.sampled_from(sorted(PREDICATES)))
+    temporal, arity = PREDICATES[name]
+    if temporal:
+        if allow_vars:
+            offset = draw(st.integers(0, 3))
+            time = TimeTerm("T", offset)
+        else:
+            time = TimeTerm(None, draw(st.integers(0, 9)))
+    else:
+        time = None
+    args = []
+    for _ in range(arity):
+        if allow_vars and draw(st.booleans()):
+            args.append(Var(draw(st.sampled_from(DATA_VARS))))
+        else:
+            args.append(Const(draw(st.sampled_from(CONSTANTS))))
+    return Atom(name, time, tuple(args))
+
+
+@st.composite
+def rules(draw):
+    body = [draw(atoms()) for _ in range(draw(st.integers(1, 3)))]
+    if not any(a.time is not None for a in body):
+        body.append(Atom("q", TimeTerm("T", 0), ()))
+    body_vars = {v.name for a in body for v in a.data_variables()}
+    head_name = draw(st.sampled_from(["p", "q"]))
+    temporal, arity = PREDICATES[head_name]
+    head_args = tuple(
+        Var(draw(st.sampled_from(sorted(body_vars))))
+        if body_vars else Const(draw(st.sampled_from(CONSTANTS)))
+        for _ in range(arity)
+    )
+    head = Atom(head_name, TimeTerm("T", draw(st.integers(0, 3))),
+                head_args)
+    negative = ()
+    if draw(st.booleans()) and body_vars:
+        neg = draw(atoms())
+        neg_vars = {v.name for v in neg.data_variables()}
+        if neg_vars <= body_vars:
+            negative = (neg,)
+    return Rule(head, tuple(body), negative)
+
+
+@st.composite
+def programs(draw):
+    rule_list = [draw(rules()) for _ in range(draw(st.integers(1, 4)))]
+    facts = [draw(atoms(allow_vars=False)).to_fact()
+             for _ in range(draw(st.integers(0, 4)))]
+    return rule_list, facts
+
+
+class TestRoundTrip:
+    @SETTINGS
+    @given(programs())
+    def test_format_then_parse_is_identity(self, program):
+        rule_list, facts = program
+        temporal_preds = {name for name, (temporal, _)
+                          in PREDICATES.items() if temporal}
+        text = format_program(rule_list, facts, temporal_preds)
+        reparsed = parse_program(text, validate=False)
+        assert set(reparsed.rules) == set(rule_list)
+        assert sorted(reparsed.facts, key=str) == sorted(facts, key=str)
+        assert temporal_preds & reparsed.predicates <= \
+            reparsed.temporal_preds
+
+
+class TestParserFuzz:
+    @SETTINGS
+    @given(st.text(max_size=80))
+    def test_arbitrary_text_never_crashes(self, text):
+        try:
+            parse_program(text)
+        except ReproError:
+            pass  # any library error is acceptable; crashes are not
+
+    @SETTINGS
+    @given(st.text(
+        alphabet=st.sampled_from(list("pqrsXYT01234(),.:-+@% \n")),
+        max_size=60))
+    def test_near_miss_programs_never_crash(self, text):
+        try:
+            parse_program(text)
+        except ReproError:
+            pass

@@ -1,0 +1,149 @@
+"""Unit tests for repro.lang.rules: the paper's static rule properties."""
+
+import pytest
+
+from repro.lang import ValidationError, parse_rules
+from repro.lang.rules import Rule, validate_rule
+from repro.lang.atoms import Atom
+from repro.lang.terms import Const, TimeTerm, Var
+
+
+def rule_of(text: str) -> Rule:
+    (rule,) = parse_rules(text)
+    return rule
+
+
+class TestRangeRestriction:
+    def test_paper_rules_are_range_restricted(self):
+        rule = rule_of("plane(T+7,X) :- plane(T,X), offseason(T).")
+        assert rule.is_range_restricted
+
+    def test_head_data_var_missing_from_body(self):
+        rule = Rule(
+            Atom("p", TimeTerm("T", 1), (Var("X"),)),
+            (Atom("p", TimeTerm("T", 0), (Var("Y"),)),),
+        )
+        assert not rule.is_range_restricted
+
+    def test_head_temporal_var_missing_from_body(self):
+        rule = Rule(
+            Atom("p", TimeTerm("T", 1), (Var("X"),)),
+            (Atom("r", None, (Var("X"),)),),
+        )
+        assert not rule.is_range_restricted
+
+    def test_ground_fact_is_range_restricted(self):
+        rule = Rule(Atom("p", TimeTerm(None, 0), (Const("a"),)))
+        assert rule.is_range_restricted
+
+    def test_non_ground_fact_is_not(self):
+        rule = Rule(Atom("p", TimeTerm("T", 0), ()))
+        assert not rule.is_range_restricted
+
+
+class TestNormalForms:
+    def test_semi_normal_single_temporal_variable(self):
+        assert rule_of("p(T+1) :- p(T), q(T).").is_semi_normal
+
+    def test_not_semi_normal_with_two_temporal_variables(self):
+        rule = Rule(
+            Atom("p", TimeTerm("T", 1), ()),
+            (Atom("p", TimeTerm("T", 0), ()),
+             Atom("q", TimeTerm("S", 0), ())),
+        )
+        assert not rule.is_semi_normal
+
+    def test_normal_depth_at_most_one(self):
+        assert rule_of("p(T+1) :- p(T).").is_normal
+        assert not rule_of("p(T+2) :- p(T).").is_normal
+
+    def test_ground_times_do_not_affect_normality(self):
+        rule = Rule(
+            Atom("p", TimeTerm("T", 1), ()),
+            (Atom("p", TimeTerm("T", 0), ()),),
+        )
+        assert rule.is_normal
+
+    def test_temporal_depth(self):
+        assert rule_of("p(T+7) :- p(T).").temporal_depth == 7
+        assert rule_of("p(T+1) :- p(T).").temporal_depth == 1
+        assert rule_of("r(X) :- s(X).").temporal_depth == 0
+
+
+class TestForwardness:
+    def test_forward_head_dominates_body(self):
+        assert rule_of("p(T+2) :- p(T), q(T+1).").is_forward
+
+    def test_backward_rule(self):
+        assert not rule_of("@temporal q.\np(T) :- q(T+1).").is_forward
+
+    def test_non_temporal_head_with_temporal_body_not_forward(self):
+        assert not rule_of("@temporal p.\nr(X) :- p(T, X).").is_forward
+
+    def test_pure_datalog_rule_is_forward(self):
+        assert rule_of("r(X) :- s(X, Y).").is_forward
+
+
+class TestValidation:
+    def test_valid_rule_passes(self):
+        validate_rule(rule_of("p(T+1, X) :- p(T, X)."))
+
+    def test_ground_temporal_term_in_rule_rejected(self):
+        rule = Rule(
+            Atom("p", TimeTerm("T", 1), ()),
+            (Atom("p", TimeTerm("T", 0), ()),
+             Atom("q", TimeTerm(None, 3), ())),
+        )
+        with pytest.raises(ValidationError):
+            validate_rule(rule)
+        validate_rule(rule, allow_ground_times=True)
+
+    def test_non_range_restricted_rejected(self):
+        rule = Rule(
+            Atom("p", TimeTerm("T", 1), (Var("X"),)),
+            (Atom("p", TimeTerm("T", 0), ()),),
+        )
+        with pytest.raises(ValidationError):
+            validate_rule(rule)
+
+    def test_sort_clash_rejected(self):
+        # T is both the temporal argument of p and a data argument of r.
+        rule = Rule(
+            Atom("p", TimeTerm("T", 1), ()),
+            (Atom("p", TimeTerm("T", 0), ()),
+             Atom("r", None, (Var("T"),))),
+        )
+        with pytest.raises(ValidationError):
+            validate_rule(rule)
+
+    def test_non_ground_fact_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_rule(Rule(Atom("p", TimeTerm("T", 0), ())))
+
+
+class TestRename:
+    def test_rename_both_sorts(self):
+        rule = rule_of("p(T+1, X) :- p(T, X), r(X).")
+        renamed = rule.rename({"T": "S", "X": "Y"})
+        assert str(renamed) == "p(S+1, Y) :- p(S, Y), r(Y)."
+
+    def test_rename_is_not_in_place(self):
+        rule = rule_of("p(T+1, X) :- p(T, X).")
+        rule.rename({"X": "Y"})
+        assert str(rule) == "p(T+1, X) :- p(T, X)."
+
+
+class TestAccessors:
+    def test_variable_sets(self):
+        rule = rule_of("p(T+1, X) :- p(T, X), q(T, Y).")
+        assert rule.data_variables() == {"X", "Y"}
+        assert rule.temporal_variables() == {"T"}
+        assert rule.head_data_variables() == {"X"}
+        assert rule.body_data_variables() == {"X", "Y"}
+
+    def test_body_offsets(self):
+        rule = rule_of("p(T+3) :- p(T), q(T+2).")
+        assert sorted(rule.body_offsets()) == [0, 2]
+
+    def test_str_fact_and_rule(self):
+        assert str(rule_of("p(T+1) :- p(T).")) == "p(T+1) :- p(T)."

@@ -1,0 +1,67 @@
+"""Tests for specification JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.core import (compute_specification, load_spec, save_spec,
+                        spec_from_dict, spec_to_dict)
+from repro.lang.atoms import Fact
+
+
+@pytest.fixture()
+def travel_spec(travel_program, travel_db):
+    return compute_specification(travel_program.rules, travel_db)
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self, travel_spec):
+        restored = spec_from_dict(spec_to_dict(travel_spec))
+        assert restored.representatives == travel_spec.representatives
+        assert restored.rewrites == travel_spec.rewrites
+        assert (restored.b, restored.p, restored.c) == \
+            (travel_spec.b, travel_spec.p, travel_spec.c)
+        assert set(restored.primary.facts()) == \
+            set(travel_spec.primary.facts())
+
+    def test_file_roundtrip(self, travel_spec, tmp_path):
+        path = tmp_path / "spec.json"
+        save_spec(travel_spec, path)
+        restored = load_spec(path)
+        for t in (0, 12, 13, 500, 10 ** 9):
+            fact = Fact("plane", t, ("hunter",))
+            assert restored.holds(fact) == travel_spec.holds(fact)
+
+    def test_json_is_valid_and_deterministic(self, travel_spec,
+                                             tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        save_spec(travel_spec, a)
+        save_spec(travel_spec, b)
+        assert a.read_text() == b.read_text()
+        json.loads(a.read_text())  # parses
+
+    def test_int_and_str_constants_preserved(self, even_program,
+                                             even_db, tmp_path):
+        from repro.core import compute_specification
+        spec = compute_specification(even_program.rules, even_db)
+        path = tmp_path / "even.json"
+        save_spec(spec, path)
+        restored = load_spec(path)
+        assert restored.holds(Fact("even", 4, ()))
+        assert not restored.holds(Fact("even", 5, ()))
+
+    def test_unknown_format_rejected(self, travel_spec):
+        data = spec_to_dict(travel_spec)
+        data["format"] = 99
+        with pytest.raises(ValueError):
+            spec_from_dict(data)
+
+    def test_queries_work_on_restored_spec(self, travel_spec, tmp_path,
+                                           travel_program):
+        from repro.core import evaluate, parse_query
+        path = tmp_path / "spec.json"
+        save_spec(travel_spec, path)
+        restored = load_spec(path)
+        q = parse_query("exists T: plane(T, hunter)",
+                        travel_program.temporal_preds)
+        assert evaluate(q, restored) == evaluate(q, travel_spec)

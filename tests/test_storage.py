@@ -1,0 +1,74 @@
+"""Tests for SQLite persistence of temporal databases."""
+
+import pytest
+
+from repro.lang.atoms import Fact
+from repro.storage import (append_facts, fact_count, iter_facts,
+                           load_database, save_database)
+from repro.temporal import TemporalDatabase, bt_evaluate
+
+
+@pytest.fixture()
+def db_path(tmp_path):
+    return tmp_path / "facts.sqlite"
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, travel_db, db_path):
+        written = save_database(travel_db, db_path)
+        assert written == travel_db.n
+        loaded = load_database(db_path)
+        assert set(loaded.facts()) == set(travel_db.facts())
+        assert (loaded.n, loaded.c) == (travel_db.n, travel_db.c)
+
+    def test_int_and_str_constants_typed(self, db_path):
+        facts = [Fact("weight", None, ("a", 3)),
+                 Fact("p", 2, ("x",))]
+        save_database(facts, db_path)
+        loaded = set(load_database(db_path).facts())
+        assert Fact("weight", None, ("a", 3)) in loaded
+        assert Fact("weight", None, ("a", "3")) not in loaded
+
+    def test_save_replaces(self, db_path):
+        save_database([Fact("p", 0, ())], db_path)
+        save_database([Fact("q", 1, ())], db_path)
+        loaded = list(load_database(db_path).facts())
+        assert loaded == [Fact("q", 1, ())]
+
+    def test_evaluation_after_reload(self, even_program, even_db,
+                                     db_path):
+        save_database(even_db, db_path)
+        reloaded = load_database(db_path)
+        result = bt_evaluate(even_program.rules, reloaded)
+        assert (result.period.b, result.period.p) == (0, 2)
+
+
+class TestAppendAndFilter:
+    def test_append(self, db_path):
+        save_database([Fact("p", 0, ())], db_path)
+        append_facts([Fact("p", 1, ()), Fact("q", None, ("a",))],
+                     db_path)
+        assert fact_count(db_path) == 3
+        assert len(load_database(db_path)) == 3
+
+    def test_duplicates_collapse_on_load(self, db_path):
+        save_database([Fact("p", 0, ())], db_path)
+        append_facts([Fact("p", 0, ())], db_path)
+        assert fact_count(db_path) == 2
+        assert len(load_database(db_path)) == 1
+
+    def test_predicate_filter(self, travel_db, db_path):
+        save_database(travel_db, db_path)
+        only_planes = list(iter_facts(db_path, pred="plane"))
+        assert only_planes == [Fact("plane", 12, ("hunter",))]
+
+    def test_time_range_filter(self, travel_db, db_path):
+        save_database(travel_db, db_path)
+        window = load_database(db_path, time_range=(0, 10))
+        assert window.max_time() <= 10
+        # Non-temporal facts are excluded by a time filter.
+        assert not window.nt.predicates()
+
+    def test_fresh_file_is_empty(self, db_path):
+        assert fact_count(db_path) == 0
+        assert len(load_database(db_path)) == 0

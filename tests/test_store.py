@@ -1,0 +1,130 @@
+"""Unit tests for TemporalStore / TemporalDatabase (Section 3.2 notions)."""
+
+from repro.lang.atoms import Fact
+from repro.temporal import TemporalDatabase, TemporalStore
+
+
+def make_store():
+    return TemporalStore([
+        Fact("p", 0, ("a",)),
+        Fact("p", 2, ("a",)),
+        Fact("p", 2, ("b",)),
+        Fact("q", 2, ()),
+        Fact("r", None, ("a", "b")),
+    ])
+
+
+class TestBasics:
+    def test_add_deduplicates(self):
+        store = TemporalStore()
+        assert store.add("p", 1, ("a",))
+        assert not store.add("p", 1, ("a",))
+        assert len(store) == 1
+
+    def test_contains(self):
+        store = make_store()
+        assert Fact("p", 2, ("a",)) in store
+        assert Fact("p", 1, ("a",)) not in store
+        assert Fact("r", None, ("a", "b")) in store
+
+    def test_max_time(self):
+        assert make_store().max_time() == 2
+        assert TemporalStore().max_time() == -1
+
+    def test_times(self):
+        assert sorted(make_store().times("p")) == [0, 2]
+        assert make_store().times("missing") == []
+
+    def test_nt_part_separate(self):
+        store = make_store()
+        assert store.nt.contains("r", ("a", "b"))
+        assert len(store.nt) == 1
+
+
+class TestStatesSnapshotsSegments:
+    def test_state_projects_time_out(self):
+        state = make_store().state(2)
+        assert state == frozenset({("p", ("a",)), ("p", ("b",)),
+                                   ("q", ())})
+
+    def test_state_excludes_non_temporal(self):
+        # M[t] contains only the temporal predicates' projections.
+        assert ("r", ("a", "b")) not in make_store().state(2)
+
+    def test_empty_state(self):
+        assert make_store().state(1) == frozenset()
+
+    def test_snapshot_keeps_time(self):
+        snap = make_store().snapshot(2)
+        assert Fact("p", 2, ("a",)) in snap
+        assert len(snap) == 3
+
+    def test_segment_inclusive(self):
+        seg = make_store().segment(0, 2)
+        assert len(seg) == 4
+        assert make_store().segment(1, 1) == set()
+
+    def test_states_list(self):
+        states = make_store().states(0, 2)
+        assert len(states) == 3
+        assert states[1] == frozenset()
+
+
+class TestTruncateAndCopy:
+    def test_truncate_drops_beyond_horizon(self):
+        truncated = make_store().truncate(1)
+        assert Fact("p", 0, ("a",)) in truncated
+        assert Fact("p", 2, ("a",)) not in truncated
+
+    def test_truncate_keeps_non_temporal(self):
+        truncated = make_store().truncate(0)
+        assert Fact("r", None, ("a", "b")) in truncated
+
+    def test_copy_independent(self):
+        store = make_store()
+        clone = store.copy()
+        clone.add("p", 9, ("z",))
+        assert Fact("p", 9, ("z",)) not in store
+        assert store == make_store()
+
+    def test_equality_semantics(self):
+        assert make_store() == make_store()
+        other = make_store()
+        other.add("p", 5, ("c",))
+        assert make_store() != other
+
+
+class TestLookup:
+    def test_lookup_at_with_index(self):
+        store = make_store()
+        assert store.lookup_at("p", 2, (0,), ("a",)) == [("a",)]
+        store.add("p", 2, ("c",))
+        assert len(store.lookup_at("p", 2, (), ())) == 3
+
+    def test_index_maintained_after_add(self):
+        store = TemporalStore()
+        store.add("p", 1, ("a", "x"))
+        assert store.lookup_at("p", 1, (0,), ("a",)) == [("a", "x")]
+        store.add("p", 1, ("a", "y"))
+        assert len(store.lookup_at("p", 1, (0,), ("a",))) == 2
+
+    def test_lookup_missing(self):
+        store = make_store()
+        assert store.lookup_at("p", 99, (), ()) == []
+        assert store.lookup_at("zz", 0, (), ()) == []
+
+
+class TestTemporalDatabase:
+    def test_size_metrics(self):
+        db = TemporalDatabase(make_store().facts())
+        assert db.n == 5
+        assert db.c == 2
+        assert db.size == 5
+
+    def test_c_dominates_when_deep(self):
+        db = TemporalDatabase([Fact("p", 100, ())])
+        assert db.size == 100
+
+    def test_empty_database(self):
+        db = TemporalDatabase()
+        assert db.n == 0 and db.c == 0 and db.size == 0

@@ -1,0 +1,204 @@
+"""Tests for the stratified-negation extension (beyond the paper).
+
+The paper's rules are definite Horn; this library adds safe, stratified
+``not`` with the standard perfect-model semantics, in both the Datalog
+substrate and the temporal engine, and shows periodicity machinery
+survives the extension for forward programs.
+"""
+
+import pytest
+
+from repro import TDD
+from repro.core import inflationary_witness, is_multi_separable
+from repro.datalog import (is_stratifiable, naive_evaluate,
+                           negative_edges, seminaive_evaluate,
+                           strata_of_rules, stratification)
+from repro.lang import ValidationError, parse_program, parse_rules
+from repro.lang.atoms import Fact
+from repro.lang.errors import ClassificationError, EvaluationError
+from repro.temporal import (TemporalDatabase, bt_evaluate, bt_verbatim,
+                            evaluate_window, is_definite)
+
+
+class TestParsingAndValidation:
+    def test_not_literal_parsed(self):
+        (rule,) = parse_rules(
+            "safe(X) :- node(X), not bad(X).\n@nontemporal bad.")
+        assert len(rule.body) == 1
+        assert len(rule.negative) == 1
+        assert rule.negative[0].pred == "bad"
+        assert not rule.is_definite
+
+    def test_str_roundtrip(self):
+        (rule,) = parse_rules("safe(X) :- node(X), not bad(X).")
+        assert str(rule) == "safe(X) :- node(X), not bad(X)."
+        (reparsed,) = parse_rules(str(rule))
+        assert reparsed == rule
+
+    def test_unsafe_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_rules("safe(X) :- node(X), not link(X, Y).")
+
+    def test_unsafe_temporal_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_rules("@temporal q.\nsafe(X) :- node(X), not q(T, X).")
+
+    def test_safe_temporal_negative_accepted(self):
+        (rule,) = parse_rules(
+            "on(T+1, X) :- on(T, X), not maint(T+1, X).")
+        assert rule.is_safe
+        assert rule.is_forward  # offset 1 <= head offset 1
+
+    def test_negative_offset_beyond_head_not_forward(self):
+        (rule,) = parse_rules(
+            "@temporal block.\n"
+            "on(T+1, X) :- on(T, X), not block(T+2, X).")
+        assert not rule.is_forward
+
+
+class TestStratification:
+    def test_simple_two_strata(self):
+        rules = parse_rules(
+            "reach(Y) :- edge(X, Y).\n"
+            "reach(Y) :- reach(X), edge(X, Y).\n"
+            "unreached(X) :- node(X), not reach(X).")
+        strata = stratification(rules)
+        assert strata["unreached"] == strata["reach"] + 1
+        groups = strata_of_rules(rules)
+        assert len(groups) == 2
+
+    def test_negation_through_recursion_rejected(self):
+        rules = parse_rules(
+            "win(X) :- move(X, Y), not win(Y).")
+        assert not is_stratifiable(rules)
+        with pytest.raises(ValueError):
+            stratification(rules)
+
+    def test_definite_program_single_stratum(self, even_program):
+        groups = strata_of_rules(even_program.rules)
+        assert len(groups) == 1
+
+    def test_negative_edges(self):
+        rules = parse_rules("p(X) :- q(X), not r(X).")
+        assert negative_edges(rules) == {("p", "r")}
+
+
+class TestDatalogNegation:
+    def test_unreachable_complement(self):
+        program = parse_program(
+            "reach(Y) :- seed(Y).\n"
+            "reach(Y) :- reach(X), edge(X, Y).\n"
+            "unreached(X) :- node(X), not reach(X).\n"
+            "seed(a). edge(a, b). node(a). node(b). node(c).")
+        store = seminaive_evaluate(program.rules, program.facts)
+        assert store.relation("unreached") == {("c",)}
+
+    def test_naive_matches_seminaive_with_negation(self):
+        program = parse_program(
+            "reach(Y) :- seed(Y).\n"
+            "reach(Y) :- reach(X), edge(X, Y).\n"
+            "unreached(X) :- node(X), not reach(X).\n"
+            "far(X) :- unreached(X), not seed(X).\n"
+            "seed(a). edge(a, b). node(a). node(b). node(c). node(d).")
+        assert naive_evaluate(program.rules, program.facts) == \
+            seminaive_evaluate(program.rules, program.facts)
+
+    def test_non_stratifiable_rejected(self):
+        program = parse_program(
+            "win(X) :- move(X, Y), not win(Y).\nmove(a, b).")
+        with pytest.raises(ValidationError):
+            seminaive_evaluate(program.rules, program.facts)
+
+    def test_double_negation_three_strata(self):
+        program = parse_program(
+            "a(X) :- base(X).\n"
+            "b(X) :- every(X), not a(X).\n"
+            "c(X) :- every(X), not b(X).\n"
+            "base(x1). every(x1). every(x2).")
+        store = seminaive_evaluate(program.rules, program.facts)
+        assert store.relation("b") == {("x2",)}
+        assert store.relation("c") == {("x1",)}
+
+
+class TestTemporalNegation:
+    LIGHTS = """
+    on(T+1, X) :- on(T, X), not maint(T+1, X).
+    on(T+1, X) :- boot(T, X).
+    maint(T+6, X) :- maint(T, X), lamp(X).
+    boot(0, l1).
+    maint(2, l1).
+    lamp(l1).
+    """
+
+    def test_perfect_model_semantics(self):
+        tdd = TDD.from_text(self.LIGHTS)
+        assert tdd.ask("on(1, l1)")
+        assert not tdd.ask("on(2, l1)")   # killed by maintenance
+        assert tdd.ask("maint(8, l1)")
+
+    def test_period_detected_and_certified(self):
+        tdd = TDD.from_text(self.LIGHTS)
+        period = tdd.period()
+        assert period.p == 6
+        assert period.certified  # forward stratified program
+
+    def test_deep_queries_fold(self):
+        tdd = TDD.from_text(self.LIGHTS)
+        assert tdd.ask(f"maint({2 + 6 * 10 ** 9}, l1)")
+        assert not tdd.ask(f"maint({3 + 6 * 10 ** 9}, l1)")
+
+    def test_is_definite_detection(self, even_program):
+        assert is_definite(even_program.rules)
+        tdd = TDD.from_text(self.LIGHTS)
+        assert not is_definite(tdd.rules)
+
+    def test_evaluate_window_dispatches(self):
+        program = parse_program(self.LIGHTS)
+        db = TemporalDatabase(program.facts)
+        store = evaluate_window(program.rules, db, 10)
+        assert Fact("on", 1, ("l1",)) in store
+        assert Fact("on", 2, ("l1",)) not in store
+
+    def test_bt_verbatim_rejects_negation(self):
+        program = parse_program(self.LIGHTS)
+        db = TemporalDatabase(program.facts)
+        with pytest.raises(EvaluationError):
+            bt_verbatim(program.rules, db, 10)
+
+    def test_non_stratifiable_temporal_rejected(self):
+        program = parse_program(
+            "@temporal q.\n"
+            "p(T, X) :- q(T, X), not p(T, X).\nq(0, a).\n@temporal p.")
+        db = TemporalDatabase(program.facts)
+        with pytest.raises(EvaluationError):
+            bt_evaluate(program.rules, db)
+
+    def test_negation_across_time(self):
+        # "alarm unless a heartbeat arrived the day before"
+        tdd = TDD.from_text("""
+            day(T+1) :- day(T).
+            alarm(T+1) :- day(T), not heartbeat(T).
+            day(0).
+            heartbeat(0). heartbeat(1). heartbeat(3).
+        """)
+        assert not tdd.ask("alarm(1)")
+        assert not tdd.ask("alarm(2)")
+        assert tdd.ask("alarm(3)")   # no heartbeat on day 2
+        assert not tdd.ask("alarm(4)")
+        assert tdd.ask("alarm(5)")   # silence from day 4 on
+        assert tdd.ask(f"alarm({10 ** 6})")
+
+
+class TestTheoremGuards:
+    """The paper's decision procedures are proved for definite rules."""
+
+    def test_inflationary_guard(self):
+        rules = parse_rules(
+            "on(T+1, X) :- on(T, X), not off(T, X).")
+        with pytest.raises(ClassificationError):
+            inflationary_witness(rules)
+
+    def test_multiseparable_guard(self):
+        rules = parse_rules(
+            "tick(T+2, X) :- tick(T, X), not hold(T, X).")
+        assert not is_multi_separable(rules)

@@ -1,0 +1,84 @@
+"""Unit tests for repro.lang.subst: matching and head instantiation."""
+
+import pytest
+
+from repro.lang.atoms import Atom, Fact
+from repro.lang.subst import apply_to_atom, instantiate_head, match_atom
+from repro.lang.terms import Const, TimeTerm, Var
+
+
+class TestMatchAtom:
+    def test_match_binds_time_and_data(self):
+        atom = Atom("p", TimeTerm("T", 1), (Var("X"),))
+        fact = Fact("p", 5, ("a",))
+        binding = match_atom(atom, fact, {})
+        assert binding == {"T": 4, "X": "a"}
+
+    def test_negative_base_time_fails(self):
+        atom = Atom("p", TimeTerm("T", 3), ())
+        assert match_atom(atom, Fact("p", 2, ()), {}) is None
+
+    def test_zero_base_time_matches(self):
+        atom = Atom("p", TimeTerm("T", 3), ())
+        assert match_atom(atom, Fact("p", 3, ()), {}) == {"T": 0}
+
+    def test_ground_time_must_equal(self):
+        atom = Atom("p", TimeTerm(None, 2), ())
+        assert match_atom(atom, Fact("p", 2, ()), {}) == {}
+        assert match_atom(atom, Fact("p", 3, ()), {}) is None
+
+    def test_existing_binding_respected(self):
+        atom = Atom("p", TimeTerm("T", 0), (Var("X"),))
+        fact = Fact("p", 5, ("a",))
+        assert match_atom(atom, fact, {"T": 5}) == {"T": 5, "X": "a"}
+        assert match_atom(atom, fact, {"T": 4}) is None
+        assert match_atom(atom, fact, {"X": "b"}) is None
+
+    def test_constant_mismatch(self):
+        atom = Atom("p", TimeTerm("T", 0), (Const("a"),))
+        assert match_atom(atom, Fact("p", 0, ("b",)), {}) is None
+
+    def test_repeated_variable_must_agree(self):
+        atom = Atom("p", TimeTerm("T", 0), (Var("X"), Var("X")))
+        assert match_atom(atom, Fact("p", 0, ("a", "a")), {}) is not None
+        assert match_atom(atom, Fact("p", 0, ("a", "b")), {}) is None
+
+    def test_predicate_and_arity_mismatch(self):
+        atom = Atom("p", TimeTerm("T", 0), (Var("X"),))
+        assert match_atom(atom, Fact("q", 0, ("a",)), {}) is None
+        assert match_atom(atom, Fact("p", 0, ("a", "b")), {}) is None
+
+    def test_temporality_mismatch(self):
+        temporal = Atom("p", TimeTerm("T", 0), ())
+        assert match_atom(temporal, Fact("p", None, ()), {}) is None
+        non_temporal = Atom("p", None, ())
+        assert match_atom(non_temporal, Fact("p", 0, ()), {}) is None
+
+    def test_input_binding_not_mutated(self):
+        atom = Atom("p", TimeTerm("T", 0), (Var("X"),))
+        original = {}
+        match_atom(atom, Fact("p", 1, ("a",)), original)
+        assert original == {}
+
+
+class TestApplyAndInstantiate:
+    def test_apply_partial_binding(self):
+        atom = Atom("p", TimeTerm("T", 2), (Var("X"), Var("Y")))
+        result = apply_to_atom(atom, {"T": 3, "X": "a"})
+        assert result == Atom("p", TimeTerm(None, 5),
+                              (Const("a"), Var("Y")))
+
+    def test_instantiate_head_full(self):
+        atom = Atom("p", TimeTerm("T", 1), (Var("X"),))
+        fact = instantiate_head(atom, {"T": 4, "X": "a"})
+        assert fact == Fact("p", 5, ("a",))
+
+    def test_instantiate_head_non_temporal(self):
+        atom = Atom("r", None, (Var("X"), Const("b")))
+        assert instantiate_head(atom, {"X": "a"}) == Fact(
+            "r", None, ("a", "b"))
+
+    def test_instantiate_missing_binding_raises(self):
+        atom = Atom("p", TimeTerm("T", 0), (Var("X"),))
+        with pytest.raises(KeyError):
+            instantiate_head(atom, {"T": 0})

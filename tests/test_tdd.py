@@ -1,0 +1,134 @@
+"""Tests for the TDD facade."""
+
+import pytest
+
+from repro import TDD
+from repro.lang import ValidationError
+from repro.lang.atoms import Atom, Fact
+from repro.lang.terms import Const, TimeTerm
+
+EVEN = "even(T+2) :- even(T).\neven(0).\n"
+
+
+class TestConstruction:
+    def test_from_text(self):
+        tdd = TDD.from_text(EVEN)
+        assert len(tdd.rules) == 1
+        assert tdd.database.n == 1
+        assert tdd.temporal_preds == {"even"}
+
+    def test_from_parts(self, even_program):
+        tdd = TDD(even_program.rules, even_program.facts)
+        assert tdd.ask("even(2)")
+
+    def test_invalid_rules_rejected(self, even_program):
+        from repro.lang.rules import Rule
+        from repro.lang.terms import Var
+        bad = Rule(Atom("p", TimeTerm("T", 1), (Var("X"),)), ())
+        with pytest.raises(ValidationError):
+            TDD([bad])
+
+    def test_repr(self):
+        assert "1 rules" in repr(TDD.from_text(EVEN))
+
+
+class TestAsk:
+    @pytest.fixture(scope="class")
+    def tdd(self):
+        return TDD.from_text(EVEN)
+
+    def test_text_queries(self, tdd):
+        assert tdd.ask("even(4)")
+        assert not tdd.ask("even(5)")
+        assert tdd.ask("exists T: even(T)")
+        assert tdd.ask("not even(1)")
+
+    def test_fact_queries(self, tdd):
+        assert tdd.ask(Fact("even", 6, ()))
+        assert not tdd.ask(Fact("even", 7, ()))
+
+    def test_atom_queries(self, tdd):
+        assert tdd.ask(Atom("even", TimeTerm(None, 8), ()))
+
+    def test_binding(self, tdd):
+        assert tdd.ask("even(T)", binding={"T": 4})
+        assert not tdd.ask("even(T)", binding={"T": 3})
+
+    def test_holds_fast_path(self, tdd):
+        assert tdd.holds(Fact("even", 10 ** 10, ()))
+
+
+class TestAnswers:
+    def test_expansion(self):
+        tdd = TDD.from_text(EVEN)
+        ans = tdd.answers("even(X)")
+        assert sorted(s["X"] for s in ans.expand(8)) == [0, 2, 4, 6, 8]
+
+    def test_membership(self):
+        tdd = TDD.from_text(EVEN)
+        ans = tdd.answers("even(X)")
+        assert ans.contains({"X": 100})
+        assert not ans.contains({"X": 101})
+
+
+class TestCaching:
+    def test_evaluation_cached(self):
+        tdd = TDD.from_text(EVEN)
+        assert tdd.evaluate() is tdd.evaluate()
+        assert tdd.specification() is tdd.specification()
+
+    def test_kwargs_bypass_cache(self):
+        tdd = TDD.from_text(EVEN)
+        result = tdd.evaluate(window=5)
+        assert result is not tdd.evaluate()
+        assert result.horizon == 5
+
+
+class TestClassification:
+    def test_travel(self, travel_program):
+        tdd = TDD(travel_program.rules, travel_program.facts)
+        cls = tdd.classification()
+        assert cls.multi_separable and not cls.separable
+        assert not cls.inflationary
+        assert cls.forward
+        assert cls.provably_tractable
+
+    def test_path(self, path_program):
+        tdd = TDD(path_program.rules, path_program.facts)
+        cls = tdd.classification()
+        assert cls.inflationary and not cls.multi_separable
+        assert cls.provably_tractable
+
+    def test_intractable_shape(self):
+        # Neither inflationary nor multi-separable: no guarantee.
+        tdd = TDD.from_text(
+            "p(T+1, X) :- p(T, Y), swap(Y, X).\n"
+            "p(0, a). swap(a, b). swap(b, a).")
+        cls = tdd.classification()
+        assert not cls.provably_tractable
+
+    def test_period_accessor(self):
+        tdd = TDD.from_text(EVEN)
+        assert (tdd.period().b, tdd.period().p) == (0, 2)
+
+
+class TestTooling:
+    def test_analyze_via_facade(self, travel_program):
+        tdd = TDD(travel_program.rules, travel_program.facts)
+        report = tdd.analyze()
+        assert report.multi_separable
+        assert not report.warnings
+
+    def test_timeline_via_facade(self):
+        tdd = TDD.from_text(EVEN)
+        art = tdd.timeline()
+        assert "x.x" in art
+
+    def test_describe_via_facade(self):
+        tdd = TDD.from_text(EVEN)
+        assert tdd.describe()["even"][()] == "0+2k"
+
+    def test_timeline_with_bounds(self, travel_program):
+        tdd = TDD(travel_program.rules, travel_program.facts)
+        art = tdd.timeline(predicates=["plane"], until=20)
+        assert "plane(hunter)" in art

@@ -1,0 +1,71 @@
+"""Unit tests for repro.lang.terms."""
+
+import pytest
+
+from repro.lang.terms import Const, TimeTerm, Var, ground_time, time_var
+
+
+class TestTimeTerm:
+    def test_ground_term_has_no_variable(self):
+        t = ground_time(5)
+        assert t.is_ground
+        assert t.var is None
+        assert t.depth == 5
+
+    def test_variable_term(self):
+        t = time_var("T", 3)
+        assert not t.is_ground
+        assert t.var == "T"
+        assert t.offset == 3
+
+    def test_zero_is_the_temporal_constant(self):
+        assert ground_time(0).depth == 0
+        assert str(ground_time(0)) == "0"
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            TimeTerm("T", -1)
+        with pytest.raises(ValueError):
+            TimeTerm(None, -2)
+
+    def test_shift_adds_to_offset(self):
+        assert time_var("T", 1).shift(2) == time_var("T", 3)
+        assert ground_time(4).shift(1) == ground_time(5)
+
+    def test_instantiate_variable(self):
+        assert time_var("T", 2).instantiate(10) == 12
+
+    def test_instantiate_ground_ignores_binding(self):
+        assert ground_time(7).instantiate(100) == 7
+
+    def test_str_forms(self):
+        assert str(time_var("T", 0)) == "T"
+        assert str(time_var("T", 4)) == "T+4"
+        assert str(ground_time(9)) == "9"
+
+    def test_equality_and_hash(self):
+        assert time_var("T", 1) == TimeTerm("T", 1)
+        assert hash(time_var("T", 1)) == hash(TimeTerm("T", 1))
+        assert time_var("T", 1) != time_var("S", 1)
+        assert time_var("T", 1) != time_var("T", 2)
+
+
+class TestDataTerms:
+    def test_const_str_and_int_values(self):
+        assert Const("a").value == "a"
+        assert Const(3).value == 3
+        assert str(Const("a")) == "a"
+        assert str(Const(3)) == "3"
+
+    def test_var_name(self):
+        assert Var("X").name == "X"
+        assert str(Var("X")) == "X"
+
+    def test_const_var_distinct(self):
+        assert Const("X") != Var("X")
+
+    def test_const_equality(self):
+        assert Const("a") == Const("a")
+        assert Const("a") != Const("b")
+        # ints and their string forms are distinct constants
+        assert Const(1) != Const("1")

@@ -1,0 +1,114 @@
+"""Tests for the Theorem 6.2 and 6.4 transformations."""
+
+from repro.core import copy_rules, temporalize, to_time_only
+from repro.datalog import iterations_to_fixpoint, naive_evaluate
+from repro.lang import parse_program, parse_rules
+from repro.lang.atoms import Fact
+from repro.temporal import TemporalDatabase, bt_evaluate, fixpoint
+
+TC_TEXT = """
+tc(X, Y) :- edge(X, Y).
+tc(X, Z) :- edge(X, Y), tc(Y, Z).
+edge(a, b). edge(b, c). edge(c, d). edge(d, e).
+"""
+
+PROJECTION_TEXT = """
+out(X) :- edge(X, Y).
+edge(a, b). edge(b, c).
+"""
+
+
+class TestTemporalize:
+    def test_shape_of_translated_rules(self):
+        program = parse_program(TC_TEXT)
+        rules, facts = temporalize(program.rules, program.facts)
+        # 2 translated rules + 2 copy rules (tc, edge).
+        assert len(rules) == 4
+        copy = [r for r in rules if len(r.body) == 1
+                and r.body[0].pred == r.head.pred]
+        assert len(copy) == 2
+        assert all(f.time == 0 for f in facts)
+
+    def test_counts_iterations(self):
+        """p(k, x̄) in the temporal model iff x̄ ∈ T^{k+1}(∅)."""
+        program = parse_program(TC_TEXT)
+        rules, facts = temporalize(program.rules, program.facts)
+        db = TemporalDatabase(facts)
+        store = fixpoint(rules, db, horizon=8)
+        # tc(a, b) appears at stage 1 => time 1; tc(a, e) needs 4 hops.
+        assert Fact("tc", 1, ("a", "b")) in store
+        assert Fact("tc", 0, ("a", "b")) not in store
+        assert Fact("tc", 4, ("a", "e")) in store
+        assert Fact("tc", 3, ("a", "e")) not in store
+
+    def test_copy_rules_persist(self):
+        program = parse_program(TC_TEXT)
+        rules, facts = temporalize(program.rules, program.facts)
+        db = TemporalDatabase(facts)
+        store = fixpoint(rules, db, horizon=8)
+        assert Fact("tc", 8, ("a", "b")) in store
+        assert Fact("edge", 8, ("a", "b")) in store
+
+    def test_limit_matches_datalog_fixpoint(self):
+        program = parse_program(TC_TEXT)
+        rules, facts = temporalize(program.rules, program.facts)
+        db = TemporalDatabase(facts)
+        result = bt_evaluate(rules, db)
+        datalog = naive_evaluate(program.rules, program.facts)
+        # Far in time, the temporal model equals the Datalog fixpoint.
+        far = result.horizon
+        for pred in ("tc", "edge"):
+            slice_args = {
+                args for p, args in result.store.state(far) if p == pred
+            }
+            assert slice_args == datalog.relation(pred)
+
+    def test_boundedness_becomes_period_threshold(self):
+        """S k-bounded on D  <=>  the temporal model reaches its
+        (period-1) plateau at time k (Theorem 6.2's correspondence)."""
+        for text in (TC_TEXT, PROJECTION_TEXT):
+            program = parse_program(text)
+            k = iterations_to_fixpoint(program.rules, program.facts)
+            rules, facts = temporalize(program.rules, program.facts)
+            db = TemporalDatabase(facts)
+            result = bt_evaluate(rules, db)
+            assert result.period.p == 1
+            assert result.period.b <= k
+
+    def test_projection_is_one_bounded(self):
+        program = parse_program(PROJECTION_TEXT)
+        assert iterations_to_fixpoint(program.rules, program.facts) <= 2
+        rules, facts = temporalize(program.rules, program.facts)
+        result = bt_evaluate(rules, TemporalDatabase(facts))
+        assert result.period.b <= 2
+
+
+class TestToTimeOnly:
+    def test_even_example(self, even_program, even_db):
+        z1, d1, threshold = to_time_only(even_program.rules, even_db)
+        # One copy rule for 'even', step p=2; D1 = {even(0)} (b+p-1 = 1).
+        assert len(z1) == 1
+        assert z1[0].head.time.offset == 2
+        assert set(d1.facts()) == {Fact("even", 0, ())}
+        assert threshold == 0
+
+    def test_models_agree_from_threshold(self, travel_program,
+                                         travel_db):
+        z1, d1, threshold = to_time_only(travel_program.rules, travel_db)
+        horizon = threshold + 800
+        original = fixpoint(travel_program.rules, travel_db, horizon)
+        replayed = fixpoint(z1, d1, horizon)
+        for t in range(threshold, horizon + 1):
+            assert original.state(t) == replayed.state(t), t
+
+    def test_copy_rules_are_reduced_time_only(self, travel_program,
+                                              travel_db):
+        from repro.core import is_reduced_time_only
+        z1, _, _ = to_time_only(travel_program.rules, travel_db)
+        assert is_reduced_time_only(z1)
+
+    def test_copy_rules_helper(self):
+        rules = copy_rules({"p": 2, "q": 0}, p=5)
+        assert len(rules) == 2
+        assert all(r.head.time.offset == 5 for r in rules)
+        assert str(rules[0]) == "p(T+5, X0, X1) :- p(T, X0, X1)."

@@ -1,0 +1,181 @@
+"""Tests for ultimately periodic sets (the [7] infinite objects)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.lang import parse_program
+from repro.lang.atoms import Fact
+from repro.lang.errors import EvaluationError
+from repro.temporal import (TemporalDatabase, UPSet, bt_evaluate,
+                            infinite_objects)
+
+SETTINGS = settings(max_examples=60, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def upsets(draw):
+    """Random UP sets with small parameters, via constructors."""
+    kind = draw(st.sampled_from(["finite", "periodic", "mixed"]))
+    if kind == "finite":
+        return UPSet.finite(draw(st.sets(st.integers(0, 20))))
+    p = draw(st.integers(1, 6))
+    start = draw(st.integers(0, 10))
+    residues = draw(st.sets(st.integers(0, p - 1), min_size=1))
+    periodic = UPSet.periodic(start, p, residues)
+    if kind == "periodic":
+        return periodic
+    return periodic.union(
+        UPSet.finite(draw(st.sets(st.integers(0, 20)))))
+
+
+def reference(s: UPSet, until: int) -> set[int]:
+    return {t for t in range(until + 1) if t in s}
+
+
+BOUND = 200  # far past any (b, lcm) the strategy can produce
+
+
+class TestAlgebraProperties:
+    @SETTINGS
+    @given(upsets(), upsets())
+    def test_union_matches_point_semantics(self, a, b):
+        got = reference(a.union(b), BOUND)
+        assert got == reference(a, BOUND) | reference(b, BOUND)
+
+    @SETTINGS
+    @given(upsets(), upsets())
+    def test_intersection_matches_point_semantics(self, a, b):
+        got = reference(a.intersect(b), BOUND)
+        assert got == reference(a, BOUND) & reference(b, BOUND)
+
+    @SETTINGS
+    @given(upsets(), st.integers(-15, 15))
+    def test_shift_matches_point_semantics(self, a, delta):
+        got = reference(a.shift(delta), BOUND)
+        want = {t + delta for t in reference(a, BOUND + 20)
+                if 0 <= t + delta <= BOUND}
+        assert got == want
+
+    @SETTINGS
+    @given(upsets(), upsets())
+    def test_canonical_forms_decide_equality(self, a, b):
+        same_extension = reference(a, BOUND) == reference(b, BOUND)
+        assert (a == b) == same_extension
+
+    @SETTINGS
+    @given(upsets())
+    def test_canonical_is_idempotent(self, a):
+        assert a.canonical() == a
+
+
+class TestCanonicalUnit:
+    def test_minimal_period(self):
+        # Residues {0, 2} mod 4 collapse to {0} mod 2.
+        s = UPSet(frozenset(), 0, 4, frozenset({0, 2})).canonical()
+        assert (s.p, s.residues) == (2, frozenset({0}))
+
+    def test_prefix_absorbed_into_pattern(self):
+        s = UPSet.finite([0, 2, 4]).union(UPSet.periodic(6, 2))
+        assert s == UPSet.periodic(0, 2)
+        assert s.b == 0 and not s.prefix
+
+    def test_genuine_exception_kept(self):
+        s = UPSet.finite([1]).union(UPSet.periodic(6, 2))
+        assert 1 in s and 3 not in s
+        assert s.prefix == frozenset({1})
+
+    def test_empty(self):
+        assert not UPSet.empty()
+        assert UPSet.finite([]) == UPSet.empty()
+
+    def test_str_shape(self):
+        s = UPSet.finite([5]).union(UPSet.periodic(12, 365))
+        assert str(s) == "{5, 12+365k}"
+
+
+class TestInfiniteObjects:
+    def test_even_example(self, even_program, even_db):
+        store = infinite_objects(even_program.rules, even_db)
+        assert str(store.times("even", ())) == "{0+2k}"
+        assert store.holds(Fact("even", 10 ** 18, ()))
+        assert not store.holds(Fact("even", 10 ** 18 + 1, ()))
+
+    def test_matches_bt_on_travel(self, travel_program, travel_db):
+        store = infinite_objects(travel_program.rules, travel_db)
+        result = bt_evaluate(travel_program.rules, travel_db)
+        for t in list(range(0, 400, 13)) + [10 ** 9 + offset
+                                            for offset in range(5)]:
+            fact = Fact("plane", t, ("hunter",))
+            assert store.holds(fact) == result.holds(fact), t
+
+    def test_non_temporal_part(self, travel_program, travel_db):
+        store = infinite_objects(travel_program.rules, travel_db)
+        assert store.holds(Fact("resort", None, ("hunter",)))
+
+    def test_describe_matches_paper_shape(self, even_program, even_db):
+        store = infinite_objects(even_program.rules, even_db)
+        assert store.describe()["even"][()] == "{0+2k}"
+
+    def test_window_materialisation(self, even_program, even_db):
+        from repro.temporal import fixpoint
+        store = infinite_objects(even_program.rules, even_db)
+        assert store.to_store(20) == fixpoint(even_program.rules,
+                                              even_db, 20)
+
+    def test_no_period_raises(self, even_program, even_db):
+        with pytest.raises(EvaluationError):
+            infinite_objects(even_program.rules, even_db, window=2)
+
+    def test_schedule_algebra_use_case(self):
+        # Exact reasoning over two infinite schedules: when are both
+        # services up?  Intersection of UP sets, no enumeration.
+        program = parse_program(
+            "a(T+6) :- a(T).\nb(T+4) :- b(T).\na(0). b(2).")
+        store = infinite_objects(program.rules,
+                                 TemporalDatabase(program.facts))
+        both = store.times("a", ()).intersect(store.times("b", ()))
+        assert str(both) == "{6+12k}"
+        assert 18 in both and 12 not in both
+
+
+class TestAnswerSetBridge:
+    """AnswerSet.as_upset unifies the two infinite representations."""
+
+    def test_even_answers_as_upset(self):
+        from repro import TDD
+        tdd = TDD.from_text("even(T+2) :- even(T).\neven(0).")
+        ups = tdd.answers("even(X)").as_upset()
+        assert str(ups) == "{0+2k}"
+        assert 10 ** 9 % 2 == 0 and 10 ** 9 in ups
+
+    def test_travel_departures_as_upset(self, travel_program,
+                                        travel_db):
+        from repro import TDD
+        tdd = TDD(travel_program.rules, travel_db)
+        departures = tdd.answers("plane(T, hunter)").as_upset("T")
+        result = tdd.evaluate()
+        for t in range(0, 800, 11):
+            assert (t in departures) == result.holds(
+                Fact("plane", t, ("hunter",))), t
+
+    def test_requires_single_temporal_variable(self):
+        from repro import TDD
+        tdd = TDD.from_text(
+            "both(T+2, X) :- both(T, X).\nboth(0, a).")
+        answers = tdd.answers("both(T, X)")
+        # One temporal + one data variable: must name the temporal one.
+        ups = answers.as_upset("T")
+        assert 0 in ups and 1 not in ups
+        with pytest.raises(ValueError):
+            answers.as_upset("X")
+
+    def test_upset_algebra_over_answers(self):
+        # When do BOTH services run?  Intersect their answer sets.
+        from repro import TDD
+        tdd = TDD.from_text(
+            "a(T+6) :- a(T).\nb(T+4) :- b(T).\na(0). b(2).")
+        both = tdd.answers("a(T)").as_upset().intersect(
+            tdd.answers("b(S)").as_upset())
+        assert str(both) == "{6+12k}"

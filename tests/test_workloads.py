@@ -1,0 +1,176 @@
+"""Tests for the synthetic workload generators."""
+
+import math
+
+import pytest
+
+from repro.core import is_inflationary, is_multi_separable
+from repro.lang.atoms import Fact
+from repro.temporal import TemporalDatabase, bt_evaluate
+from repro.workloads import (bounded_path_program, complete_graph,
+                             ring_database, token_ring_program,
+                             coprime_cycles_database,
+                             coprime_cycles_program, copy_chain_database,
+                             copy_chain_program, cycle_graph,
+                             expected_period, first_primes,
+                             graph_database, line_graph,
+                             paper_travel_database, random_digraph,
+                             scaled_travel_database,
+                             single_counter_program,
+                             travel_agent_program)
+
+
+class TestGraphs:
+    def test_random_digraph_exact_edge_count(self):
+        edges = random_digraph(10, 23, seed=3)
+        assert len(edges) == 23
+        assert len(set(edges)) == 23
+        assert all(u != v for u, v in edges)
+
+    def test_random_digraph_deterministic(self):
+        assert random_digraph(8, 10, seed=1) == random_digraph(8, 10,
+                                                               seed=1)
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            random_digraph(3, 7)
+
+    def test_line_graph_diameter_drives_threshold(self):
+        rules = bounded_path_program()
+        short = bt_evaluate(rules, TemporalDatabase(
+            graph_database(line_graph(4))))
+        long = bt_evaluate(rules, TemporalDatabase(
+            graph_database(line_graph(10))))
+        assert long.period.b > short.period.b
+        assert short.period.p == long.period.p == 1
+
+    def test_cycle_graph_all_pairs_reachable(self):
+        rules = bounded_path_program()
+        db = TemporalDatabase(graph_database(cycle_graph(5)))
+        result = bt_evaluate(rules, db)
+        assert result.holds(Fact("path", 5, ("v0", "v4")))
+        assert result.holds(Fact("path", 10 ** 6, ("v3", "v2")))
+
+    def test_complete_graph_edges(self):
+        assert len(complete_graph(5)) == 20
+
+    def test_graph_database_contents(self):
+        facts = graph_database([("a", "b")])
+        assert Fact("null", 0, ()) in facts
+        assert Fact("node", None, ("a",)) in facts
+        assert Fact("edge", None, ("a", "b")) in facts
+
+
+class TestSchedules:
+    def test_program_classification(self):
+        rules = travel_agent_program()
+        assert is_multi_separable(rules)
+        assert not is_inflationary(rules)
+
+    def test_paper_database_shape(self):
+        facts = paper_travel_database()
+        db = TemporalDatabase(facts)
+        assert db.c == 364
+        assert Fact("plane", 12, ("hunter",)) in facts
+
+    def test_scaled_database_grows_linearly(self):
+        small = scaled_travel_database(2, year_length=20)
+        large = scaled_travel_database(12, year_length=20)
+        assert len(large) - len(small) == 2 * 10  # plane + resort each
+
+    def test_scaled_database_period_independent_of_n(self):
+        rules = travel_agent_program(year_length=8)
+        periods = set()
+        for n in (1, 4, 8):
+            db = TemporalDatabase(scaled_travel_database(
+                n, year_length=8, n_holidays=2, seed=n))
+            result = bt_evaluate(rules, db)
+            periods.add(result.period.p)
+        assert len(periods) == 1
+        assert periods.pop() % 8 == 0
+
+
+class TestCycles:
+    def test_first_primes(self):
+        assert first_primes(5) == [2, 3, 5, 7, 11]
+        assert first_primes(14)[-1] == 43
+
+    def test_expected_period_is_lcm(self):
+        assert expected_period([2, 3, 5]) == 30
+        assert expected_period([]) == 1
+
+    def test_measured_period_matches_lcm(self):
+        for k in (1, 2, 3):
+            primes = first_primes(k)
+            rules = coprime_cycles_program(primes)
+            db = TemporalDatabase(coprime_cycles_database(primes))
+            result = bt_evaluate(rules, db)
+            assert result.period.p == expected_period(primes)
+
+    def test_single_counter(self):
+        rules = single_counter_program(4)
+        db = TemporalDatabase([Fact("tick0", 0, ())])
+        result = bt_evaluate(rules, db)
+        assert result.period.p == 4
+
+    def test_copy_chain_threshold_scales(self):
+        short_rules = copy_chain_program(3)
+        long_rules = copy_chain_program(9)
+        db3 = TemporalDatabase(copy_chain_database(2))
+        db9 = TemporalDatabase(copy_chain_database(2))
+        b_short = bt_evaluate(short_rules, db3).period.b
+        b_long = bt_evaluate(long_rules, db9).period.b
+        assert b_long - b_short == 6
+
+    def test_cycles_are_multi_separable(self):
+        assert is_multi_separable(coprime_cycles_program([2, 3]))
+
+
+class TestTokenRing:
+    """Section 8's open question: tractable outside both classes."""
+
+    def test_outside_both_tractable_classes(self):
+        rules = token_ring_program()
+        assert not is_inflationary(rules)
+        assert not is_multi_separable(rules)
+
+    def test_period_equals_ring_size(self):
+        rules = token_ring_program()
+        for n in (2, 5, 9):
+            db = TemporalDatabase(ring_database(n))
+            result = bt_evaluate(rules, db)
+            assert result.period.p == n
+            assert result.period.certified
+
+    def test_mutual_exclusion_invariant(self):
+        rules = token_ring_program()
+        db = TemporalDatabase(ring_database(6))
+        result = bt_evaluate(rules, db)
+        for t in range(result.horizon + 1):
+            holders = [args for pred, args in result.store.state(t)
+                       if pred == "token"]
+            assert len(holders) <= 1
+
+    def test_served_ledger_is_inflationary_behaviour(self):
+        rules = token_ring_program()
+        db = TemporalDatabase(ring_database(4))
+        result = bt_evaluate(rules, db)
+        assert result.holds(Fact("served", 10 ** 6, ("proc3",)))
+
+    def test_nonzero_seed_time(self):
+        rules = token_ring_program()
+        db = TemporalDatabase(ring_database(3, start=5))
+        result = bt_evaluate(rules, db)
+        assert result.holds(Fact("token", 5, ("proc0",)))
+        assert not result.holds(Fact("token", 4, ("proc0",)))
+        assert result.period.p == 3
+
+    def test_tiny_ring(self):
+        rules = token_ring_program()
+        db = TemporalDatabase(ring_database(1))
+        result = bt_evaluate(rules, db)
+        assert result.period.p == 1
+
+    def test_bad_ring_size(self):
+        with pytest.raises(ValueError):
+            ring_database(0)
