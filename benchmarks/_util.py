@@ -16,3 +16,14 @@ def record(benchmark, **info) -> None:
     """Attach claim-relevant measurements to the benchmark record."""
     for key, value in info.items():
         benchmark.extra_info[key] = value
+
+
+def record_stats(benchmark, stats) -> None:
+    """Embed an :class:`repro.obs.EvalStats` in the benchmark record.
+
+    The stats come from a separate *instrumented* run of the same
+    callable — never from the timed loop itself, so the measured path
+    stays uninstrumented.  ``repro.benchreport`` flattens the embedded
+    dictionary into ``stats.*`` columns.
+    """
+    benchmark.extra_info["eval_stats"] = stats.to_dict()

@@ -7,39 +7,49 @@ semi-naively with delta stores.  Both return identical segments
 with window size and fact density — the classic naive/semi-naive
 separation, here on temporal workloads.
 
-Rows: workload × window vs wall time for each engine.
+Rows: workload × window vs wall time for each engine.  Each record
+also embeds an :class:`~repro.obs.EvalStats` (from a separate
+instrumented run, so the timed loop stays clean); setting the
+``BENCH_SMOKE`` environment variable shrinks the windows to a
+seconds-long smoke configuration for CI.
 """
+
+import os
 
 import pytest
 
-from _util import record
+from _util import record, record_stats
 
 from repro.lang import parse_program
+from repro.obs import EvalStats
 from repro.temporal import TemporalDatabase, bt_verbatim, fixpoint
 from repro.workloads import (graph_database, paper_travel_database,
                              random_digraph, travel_agent_program,
                              bounded_path_program)
 
-WORKLOADS = {
-    "even": (
-        parse_program("even(T+2) :- even(T).\neven(0).")),
-    "travel": None,   # built below
-    "graph": None,
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+
+WINDOWS = {
+    "even": 16 if SMOKE else 64,
+    "travel": 40 if SMOKE else 400,
+    "graph": 8 if SMOKE else 16,
 }
 
 
 def _load(name):
     if name == "even":
         program = parse_program("even(T+2) :- even(T).\neven(0).")
-        return program.rules, TemporalDatabase(program.facts), 64
+        return program.rules, TemporalDatabase(program.facts), \
+            WINDOWS[name]
     if name == "travel":
         return (travel_agent_program(),
-                TemporalDatabase(paper_travel_database()), 400)
+                TemporalDatabase(paper_travel_database()),
+                WINDOWS[name])
     if name == "graph":
         rules = bounded_path_program()
         db = TemporalDatabase(graph_database(
             random_digraph(10, 20, seed=3)))
-        return rules, db, 16
+        return rules, db, WINDOWS[name]
     raise KeyError(name)
 
 
@@ -49,8 +59,11 @@ def test_verbatim_bt(benchmark, name):
 
     result = benchmark(bt_verbatim, rules, db, window)
 
+    stats = EvalStats()
+    bt_verbatim(rules, db, window, stats=stats)
     record(benchmark, workload=name, window=window, engine="verbatim",
            rounds=result.rounds, facts=len(result.store))
+    record_stats(benchmark, stats)
 
 
 @pytest.mark.parametrize("name", ["even", "travel", "graph"])
@@ -63,5 +76,8 @@ def test_seminaive_fixpoint(benchmark, name):
     reference = bt_verbatim(rules, db, window)
     assert store.segment(0, window) == \
         reference.store.segment(0, window)
+    stats = EvalStats()
+    fixpoint(rules, db, window, stats=stats)
     record(benchmark, workload=name, window=window, engine="seminaive",
            facts=len(store))
+    record_stats(benchmark, stats)

@@ -1,0 +1,72 @@
+"""CI gate: verify a benchmark JSON dump embeds complete EvalStats.
+
+Usage:  python benchmarks/check_stats_json.py BENCH.json
+
+Exits non-zero when any benchmark record lacks an ``eval_stats`` entry
+in its ``extra_info``, or when an embedded entry is missing one of the
+:class:`repro.obs.EvalStats` fields.  The benchmark smoke job runs the
+E7 ablation (``BENCH_SMOKE=1``) and then this script, so a regression
+that silently drops the instrumentation from the benchmark pipeline
+fails the build instead of producing stat-less reports.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REQUIRED_FIELDS = (
+    "engine", "rounds", "facts_per_round", "delta_sizes",
+    "join_probes", "index_hits", "index_misses", "facts_derived",
+    "horizon", "period", "phase_seconds", "extra",
+)
+
+
+def check(data: dict) -> list[str]:
+    """All problems found in one benchmark JSON dump."""
+    problems: list[str] = []
+    benchmarks = data.get("benchmarks", [])
+    if not benchmarks:
+        problems.append("no benchmark records in the dump")
+    for bench in benchmarks:
+        name = bench.get("fullname", bench.get("name", "?"))
+        stats = bench.get("extra_info", {}).get("eval_stats")
+        if stats is None:
+            problems.append(f"{name}: no eval_stats in extra_info")
+            continue
+        missing = [f for f in REQUIRED_FIELDS if f not in stats]
+        if missing:
+            problems.append(
+                f"{name}: eval_stats missing {', '.join(missing)}")
+            continue
+        if not stats["engine"]:
+            problems.append(f"{name}: eval_stats.engine is empty")
+        if stats["rounds"] <= 0:
+            problems.append(f"{name}: eval_stats.rounds is {stats['rounds']}")
+    return problems
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        print("usage: python benchmarks/check_stats_json.py BENCH.json",
+              file=sys.stderr)
+        return 2
+    try:
+        data = json.loads(Path(argv[0]).read_text())
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {argv[0]}: {exc}", file=sys.stderr)
+        return 2
+    problems = check(data)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    count = len(data.get("benchmarks", []))
+    print(f"ok: {count} benchmark records all embed complete EvalStats")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,7 @@ The public surface is re-exported here; subpackages:
 * :mod:`repro.temporal` — temporal stores, algorithm BT, periodicity;
 * :mod:`repro.rewrite`  — ground temporal rewrite systems;
 * :mod:`repro.core`     — specifications, queries, tractable classes;
+* :mod:`repro.obs`      — evaluation statistics and structured tracing;
 * :mod:`repro.workloads` — synthetic workload generators for the benchmarks.
 """
 
@@ -32,6 +33,7 @@ from .core import (AnswerSet, Classification, RelationalSpec, TDD,
                    is_multi_separable, is_separable, one_period_bound,
                    parse_query, temporalize)
 from .lang import Atom, Fact, Rule, parse_program
+from .obs import EvalStats, Tracer
 from .temporal import Period, TemporalDatabase, bt_evaluate, bt_verbatim
 
 __version__ = "1.0.0"
@@ -42,6 +44,7 @@ __all__ = [
     "Atom", "Fact", "Rule",
     "parse_program", "parse_query",
     "bt_evaluate", "bt_verbatim", "compute_specification",
+    "EvalStats", "Tracer",
     "is_inflationary", "is_multi_separable", "is_separable",
     "one_period_bound", "temporalize",
     "__version__",

@@ -43,8 +43,29 @@ def _fmt_value(value) -> str:
     return str(value)
 
 
+def _flatten_eval_stats(stats: dict) -> dict:
+    """``eval_stats`` dict → ``stats.*`` scalar columns.
+
+    Per-round series and nested dicts would swamp a markdown table, so
+    only scalar fields survive; the period renders as ``(b, p)``.
+    """
+    out: dict = {}
+    for key, value in stats.items():
+        if key == "period":
+            if value is not None:
+                out["stats.period"] = f"(b={value[0]}, p={value[1]})"
+        elif not isinstance(value, (list, dict)):
+            out[f"stats.{key}"] = value
+    return out
+
+
 def load_rows(data: dict) -> dict[str, list[dict]]:
-    """Group benchmark records by experiment, sorted by test name."""
+    """Group benchmark records by experiment, sorted by test name.
+
+    An ``eval_stats`` entry in a record's ``extra_info`` (see
+    ``benchmarks/_util.py:record_stats``) is flattened into ``stats.*``
+    columns; other extra-info keys pass through unchanged.
+    """
     by_experiment: dict[str, list[dict]] = {}
     for bench in data.get("benchmarks", []):
         experiment = _experiment_of(bench["fullname"])
@@ -53,7 +74,11 @@ def load_rows(data: dict) -> dict[str, list[dict]]:
             "mean": bench["stats"]["mean"],
             "rounds": bench["stats"]["rounds"],
         }
-        row.update(bench.get("extra_info", {}))
+        for key, value in bench.get("extra_info", {}).items():
+            if key == "eval_stats" and isinstance(value, dict):
+                row.update(_flatten_eval_stats(value))
+            else:
+                row[key] = value
         by_experiment.setdefault(experiment, []).append(row)
     for rows in by_experiment.values():
         rows.sort(key=lambda r: r["test"])

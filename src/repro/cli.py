@@ -32,11 +32,18 @@ from typing import Sequence, TextIO, Union
 from .core.serialize import save_spec
 from .core.tdd import TDD
 from .lang.errors import ReproError
+from .obs import EvalStats, JsonLinesSink, Tracer
 
 
-def _load(path: str) -> TDD:
-    text = Path(path).read_text()
-    return TDD.from_text(text)
+def _load(args) -> TDD:
+    text = Path(args.file).read_text()
+    tdd = TDD.from_text(text)
+    stats, tracer = getattr(args, "_obs", (None, None))
+    if stats is not None or tracer is not None:
+        # Evaluate eagerly under instrumentation; the result is cached,
+        # so the command's own queries reuse it.
+        tdd.evaluate(stats=stats, tracer=tracer)
+    return tdd
 
 
 def _print_period(tdd: TDD, out: TextIO) -> None:
@@ -73,7 +80,7 @@ def _print_classification(tdd: TDD, out: TextIO) -> None:
 
 
 def cmd_run(args, out: TextIO) -> int:
-    tdd = _load(args.file)
+    tdd = _load(args)
     print(f"rules: {len(tdd.rules)}   database: n={tdd.database.n}, "
           f"c={tdd.database.c}", file=out)
     _print_period(tdd, out)
@@ -83,14 +90,14 @@ def cmd_run(args, out: TextIO) -> int:
 
 
 def cmd_ask(args, out: TextIO) -> int:
-    tdd = _load(args.file)
+    tdd = _load(args)
     verdict = tdd.ask(args.query)
     print("yes" if verdict else "no", file=out)
     return 0 if verdict else 1
 
 
 def cmd_answers(args, out: TextIO) -> int:
-    tdd = _load(args.file)
+    tdd = _load(args)
     answers = tdd.answers(args.query)
     names = [name for name, _ in answers.variables]
     print(f"variables: {', '.join(names) if names else '(closed)'}",
@@ -113,13 +120,13 @@ def cmd_answers(args, out: TextIO) -> int:
 
 
 def cmd_classify(args, out: TextIO) -> int:
-    tdd = _load(args.file)
+    tdd = _load(args)
     _print_classification(tdd, out)
     return 0
 
 
 def cmd_spec(args, out: TextIO) -> int:
-    tdd = _load(args.file)
+    tdd = _load(args)
     _print_spec(tdd, out)
     if args.save:
         save_spec(tdd.specification(), args.save)
@@ -128,7 +135,7 @@ def cmd_spec(args, out: TextIO) -> int:
 
 
 def cmd_analyze(args, out: TextIO) -> int:
-    tdd = _load(args.file)
+    tdd = _load(args)
     from .core.analysis import analyze
     report = analyze(tdd.rules, tdd.database.facts())
     print(report.render(), file=out)
@@ -136,7 +143,7 @@ def cmd_analyze(args, out: TextIO) -> int:
 
 
 def cmd_timeline(args, out: TextIO) -> int:
-    tdd = _load(args.file)
+    tdd = _load(args)
     from .temporal.intervals import timeline
     result = tdd.evaluate()
     predicates = (args.predicates.split(",") if args.predicates
@@ -152,7 +159,7 @@ def cmd_timeline(args, out: TextIO) -> int:
 
 def cmd_repl(args, out: TextIO,
              input_stream: Union[TextIO, None] = None) -> int:
-    tdd = _load(args.file)
+    tdd = _load(args)
     stream = input_stream if input_stream is not None else sys.stdin
     print(f"loaded {args.file}; enter queries, :help for commands",
           file=out)
@@ -220,16 +227,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run = sub.add_parser("run", help="evaluate a program file")
+    # Observability flags, shared by every subcommand.
+    obs = argparse.ArgumentParser(add_help=False)
+    obs.add_argument("--stats", action="store_true",
+                     help="print evaluation statistics (rounds, deltas, "
+                          "join probes, period) after the command")
+    obs.add_argument("--trace", metavar="FILE", default=None,
+                     help="write a JSON-lines evaluation trace to FILE")
+
+    run = sub.add_parser("run", parents=[obs],
+                         help="evaluate a program file")
     run.add_argument("file")
     run.set_defaults(func=cmd_run)
 
-    ask = sub.add_parser("ask", help="yes/no query")
+    ask = sub.add_parser("ask", parents=[obs], help="yes/no query")
     ask.add_argument("file")
     ask.add_argument("query")
     ask.set_defaults(func=cmd_ask)
 
-    answers = sub.add_parser("answers", help="open query answers")
+    answers = sub.add_parser("answers", parents=[obs],
+                             help="open query answers")
     answers.add_argument("file")
     answers.add_argument("query")
     answers.add_argument("--expand", type=int, default=None,
@@ -237,22 +254,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="expand temporal answers up to timepoint N")
     answers.set_defaults(func=cmd_answers)
 
-    classify = sub.add_parser("classify",
+    classify = sub.add_parser("classify", parents=[obs],
                               help="tractable-class membership")
     classify.add_argument("file")
     classify.set_defaults(func=cmd_classify)
 
-    spec = sub.add_parser("spec", help="relational specification")
+    spec = sub.add_parser("spec", parents=[obs],
+                          help="relational specification")
     spec.add_argument("file")
     spec.add_argument("--save", metavar="OUT.json", default=None)
     spec.set_defaults(func=cmd_spec)
 
-    analyze = sub.add_parser("analyze",
+    analyze = sub.add_parser("analyze", parents=[obs],
                              help="static analysis and lints")
     analyze.add_argument("file")
     analyze.set_defaults(func=cmd_analyze)
 
-    timeline = sub.add_parser("timeline",
+    timeline = sub.add_parser("timeline", parents=[obs],
                               help="ASCII timeline of the model")
     timeline.add_argument("file")
     timeline.add_argument("--until", type=int, default=40)
@@ -260,7 +278,8 @@ def build_parser() -> argparse.ArgumentParser:
                           help="comma-separated predicate filter")
     timeline.set_defaults(func=cmd_timeline)
 
-    repl = sub.add_parser("repl", help="interactive query loop")
+    repl = sub.add_parser("repl", parents=[obs],
+                          help="interactive query loop")
     repl.add_argument("file")
     repl.set_defaults(func=cmd_repl)
 
@@ -273,11 +292,30 @@ def main(argv: Union[Sequence[str], None] = None,
     parser = build_parser()
     args = parser.parse_args(argv)
     stream = out if out is not None else sys.stdout
+    stats = EvalStats() if getattr(args, "stats", False) else None
+    tracer = None
+    if getattr(args, "trace", None):
+        try:
+            tracer = Tracer(JsonLinesSink(args.trace))
+        except OSError as exc:
+            print(f"error: cannot open trace file: {exc}",
+                  file=sys.stderr)
+            return 2
     try:
-        return args.func(args, stream)
+        args._obs = (stats, tracer)
+        code = args.func(args, stream)
+        if stats is not None:
+            print("\n-- eval stats --", file=stream)
+            print(stats.summary(), file=stream)
+        return code
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    except FileNotFoundError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+    except (OSError, UnicodeDecodeError) as exc:
+        # Unreadable program files (missing, a directory, wrong
+        # encoding, permissions) exit cleanly instead of tracebacking.
+        print(f"error: cannot read program file: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if tracer is not None:
+            tracer.close()

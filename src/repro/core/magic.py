@@ -208,7 +208,8 @@ def _rewrite_rule(rule: Rule, adornment: Adornment, idb: set[str],
 
 def magic_evaluate(rules: Sequence[Rule], database: TemporalDatabase,
                    query: Atom,
-                   horizon: Union[int, None] = None) -> TemporalStore:
+                   horizon: Union[int, None] = None,
+                   stats=None, tracer=None) -> TemporalStore:
     """Evaluate the magic-rewritten program for ``query``.
 
     ``horizon`` defaults to ``max(query time, database depth) + g`` —
@@ -217,7 +218,13 @@ def magic_evaluate(rules: Sequence[Rule], database: TemporalDatabase,
     unbound temporal term need an explicit horizon (their answer set
     may reach arbitrarily far).
     """
-    program = magic_transform(rules, query)
+    from ..obs.timing import phase_timer
+    with phase_timer(stats, "magic_rewrite", tracer):
+        program = magic_transform(rules, query)
+    if stats is not None:
+        stats.engine = "magic"
+        stats.extra["magic_rules"] = len(program.rules)
+        stats.extra["magic_seeds"] = len(program.seeds)
     if horizon is None:
         if query.time is not None and not query.time.is_ground:
             raise ClassificationError(
@@ -233,11 +240,13 @@ def magic_evaluate(rules: Sequence[Rule], database: TemporalDatabase,
     # Magic rules carry ground seeds and can be non-range-restricted in
     # the syntactic sense (a magic head with no body); evaluate without
     # the paper-level validator.
-    return fixpoint(program.rules, seeded, horizon)
+    return fixpoint(program.rules, seeded, horizon, stats=stats,
+                    tracer=tracer)
 
 
 def magic_ask(rules: Sequence[Rule], database: TemporalDatabase,
-              goal: Union[Fact, Atom]) -> bool:
+              goal: Union[Fact, Atom],
+              stats=None, tracer=None) -> bool:
     """Goal-directed ground atomic query via magic sets.
 
     Equivalent to ``bt_evaluate(...).holds(goal)`` (property-tested) but
@@ -247,7 +256,8 @@ def magic_ask(rules: Sequence[Rule], database: TemporalDatabase,
         goal = goal.to_atom()
     if not goal.is_ground:
         raise ClassificationError("magic_ask expects a ground goal")
-    store = magic_evaluate(rules, database, goal)
+    store = magic_evaluate(rules, database, goal, stats=stats,
+                           tracer=tracer)
     program_pred = _adorned_name(goal.pred, _atom_adornment(goal, set()))
     answer = Fact(program_pred,
                   goal.time.offset if goal.time is not None else None,

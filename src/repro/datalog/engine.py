@@ -187,7 +187,8 @@ def immediate_consequences(rules: Sequence[Rule],
 
 
 def _naive_group(rules: Sequence[Rule], store: FactStore,
-                 max_iterations: Union[int, None] = None) -> None:
+                 max_iterations: Union[int, None] = None,
+                 stats=None, tracer=None) -> None:
     """Naive iteration of one (stratum's) rule group, in place."""
     iterations = 0
     while True:
@@ -195,10 +196,15 @@ def _naive_group(rules: Sequence[Rule], store: FactStore,
         if max_iterations is not None and iterations > max_iterations:
             break
         derived = immediate_consequences(rules, store)
-        changed = False
+        changed = 0
         for fact in derived.facts():
             if store.add(fact.pred, fact.args):
-                changed = True
+                changed += 1
+        if stats is not None:
+            stats.record_round(derived=changed)
+        if tracer is not None:
+            tracer.emit("round", round=iterations, derived=changed,
+                        store=len(store))
         if not changed:
             break
 
@@ -221,7 +227,8 @@ def _strata(rules: Sequence[Rule]) -> "list[list[Rule]]":
 
 
 def naive_evaluate(rules: Sequence[Rule], edb: Iterable[Fact],
-                   max_iterations: Union[int, None] = None) -> FactStore:
+                   max_iterations: Union[int, None] = None,
+                   stats=None, tracer=None) -> FactStore:
     """The (perfect) model by naive iteration, stratum by stratum.
 
     For definite programs this is the least fixpoint ``⋃ T_S^i(∅) ∪ D``;
@@ -230,12 +237,19 @@ def naive_evaluate(rules: Sequence[Rule], edb: Iterable[Fact],
     """
     check_datalog(rules)
     store = FactStore(edb)
+    if stats is not None:
+        stats.engine = "datalog_naive"
+        stats.extra["initial_facts"] = len(store)
+        store.stats = stats
     for group in _strata(rules):
-        _naive_group(group, store, max_iterations)
+        _naive_group(group, store, max_iterations, stats=stats,
+                     tracer=tracer)
+    store.stats = None
     return store
 
 
-def _seminaive_group(rules: Sequence[Rule], store: FactStore) -> None:
+def _seminaive_group(rules: Sequence[Rule], store: FactStore,
+                     stats=None, tracer=None) -> None:
     """Semi-naive iteration of one (stratum's) rule group, in place."""
     # Round 0 below joins against the full store, so the initial delta
     # only needs the facts it introduces.
@@ -266,7 +280,10 @@ def _seminaive_group(rules: Sequence[Rule], store: FactStore) -> None:
                  for i in range(len(rule.body))]
         plans.append((rule, leads))
 
+    round_no = 0
     while len(delta):
+        round_no += 1
+        probes = 0
         new_delta = FactStore()
         delta_preds = delta.predicates()
         for rule, leads in plans:
@@ -275,17 +292,25 @@ def _seminaive_group(rules: Sequence[Rule], store: FactStore) -> None:
                     continue
                 stores = [delta] + [store] * (len(order) - 1)
                 for binding in join(rule.body, order, stores):
+                    probes += 1
                     if rule.negative and not _negatives_absent(
                             rule, binding, store):
                         continue
                     pred, args = _head_fact(rule.head, binding)
                     if store.add(pred, args):
                         new_delta.add(pred, args)
+        if stats is not None:
+            stats.record_round(derived=len(new_delta), delta=len(delta))
+            stats.join_probes += probes
+        if tracer is not None:
+            tracer.emit("round", round=round_no,
+                        delta=len(delta), derived=len(new_delta),
+                        probes=probes, store=len(store))
         delta = new_delta
 
 
-def seminaive_evaluate(rules: Sequence[Rule],
-                       edb: Iterable[Fact]) -> FactStore:
+def seminaive_evaluate(rules: Sequence[Rule], edb: Iterable[Fact],
+                       stats=None, tracer=None) -> FactStore:
     """The (perfect) model by semi-naive iteration with delta relations.
 
     Matches :func:`naive_evaluate` (property-tested); programs with
@@ -294,6 +319,11 @@ def seminaive_evaluate(rules: Sequence[Rule],
     """
     check_datalog(rules)
     store = FactStore(edb)
+    if stats is not None:
+        stats.engine = "datalog_seminaive"
+        stats.extra["initial_facts"] = len(store)
+        store.stats = stats
     for group in _strata(rules):
-        _seminaive_group(group, store)
+        _seminaive_group(group, store, stats=stats, tracer=tracer)
+    store.stats = None
     return store

@@ -27,6 +27,9 @@ class FactStore:
         self._indexes: dict[str, dict[tuple[int, ...],
                                       dict[ArgTuple,
                                            list[ArgTuple]]]] = {}
+        #: Optional EvalStats accumulator counting index hits/misses;
+        #: attached by the engines, never copied with the store.
+        self.stats = None
         for fact in facts:
             self.add(fact.pred, fact.args)
 
@@ -90,6 +93,10 @@ class FactStore:
                 index_key = tuple(args[p] for p in positions)
                 index.setdefault(index_key, []).append(args)
             pred_indexes[positions] = index
+            if self.stats is not None:
+                self.stats.index_misses += 1
+        elif self.stats is not None:
+            self.stats.index_hits += 1
         return index.get(key, [])
 
     def facts(self) -> Iterator[Fact]:

@@ -1,0 +1,25 @@
+"""Observability for the evaluation engines.
+
+Every engine — naive/semi-naive Datalog, the temporal operator behind
+algorithm BT, the incremental model, top-down tabling, magic sets, and
+the interval engine — accepts an optional :class:`EvalStats` accumulator
+and an optional :class:`Tracer`.  Both default to ``None`` and cost
+(near) nothing when absent, so the hot paths stay unchanged; when
+supplied, they make *how* an answer was computed a first-class artifact:
+rounds, per-round delta sizes, join probes, index behaviour, the horizon
+used, the detected period, and wall time per phase.
+
+The trace is a JSON-lines event stream with a pluggable sink
+(:class:`JsonLinesSink` for files, :class:`ListSink` for tests); the
+event schema is documented in ``docs/INTERNALS.md``.
+"""
+
+from .stats import EvalStats
+from .timing import Stopwatch, phase_timer
+from .trace import JsonLinesSink, ListSink, Tracer
+
+__all__ = [
+    "EvalStats",
+    "Tracer", "JsonLinesSink", "ListSink",
+    "Stopwatch", "phase_timer",
+]

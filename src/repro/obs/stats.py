@@ -1,0 +1,168 @@
+"""The shared evaluation-statistics accumulator.
+
+One :class:`EvalStats` instance travels through an evaluation run and is
+populated by whichever engines execute: fixpoint rounds, per-round delta
+sizes and derived-fact counts, join probes, index hits/misses, the
+horizon actually used, the detected period ``(b, p)``, and per-phase
+wall time.  Instances merge (for multi-stage runs such as incremental
+maintenance) and serialize to plain JSON dictionaries (for benchmark
+reports and trace files).
+
+Counting inference steps is the lens of the paper's polynomial-time
+claims (Theorem 4.1 bounds the work of algorithm BT); these counters
+make the bound observable on real runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Union
+
+
+@dataclass
+class EvalStats:
+    """Counters describing one evaluation run.
+
+    ``facts_per_round[i]`` is the number of *new* facts derived in round
+    ``i`` and ``delta_sizes[i]`` the size of the delta entering it (for
+    the naive engine, which has no deltas, ``delta_sizes`` stays empty
+    and ``facts_per_round`` holds the store growth per round).
+    ``join_probes`` counts candidate bindings enumerated by the join
+    machinery; ``index_hits``/``index_misses`` count positional-index
+    probes against already-built vs freshly-built indexes.
+    """
+
+    engine: str = ""
+    rounds: int = 0
+    facts_per_round: list[int] = field(default_factory=list)
+    delta_sizes: list[int] = field(default_factory=list)
+    join_probes: int = 0
+    index_hits: int = 0
+    index_misses: int = 0
+    facts_derived: int = 0
+    horizon: Union[int, None] = None
+    period: Union[tuple[int, int], None] = None
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    extra: dict = field(default_factory=dict)
+
+    # -- recording -------------------------------------------------------
+
+    def record_round(self, derived: int, delta: Union[int, None] = None) -> None:
+        """Account one fixpoint round: ``derived`` new facts, optionally
+        the size of the delta that drove it."""
+        self.rounds += 1
+        self.facts_per_round.append(derived)
+        if delta is not None:
+            self.delta_sizes.append(delta)
+        self.facts_derived += derived
+
+    def add_phase(self, name: str, seconds: float) -> None:
+        """Accumulate wall time into the named phase."""
+        self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+
+    # -- combination -----------------------------------------------------
+
+    def merge(self, other: "EvalStats") -> "EvalStats":
+        """Fold ``other`` into this accumulator, in place.
+
+        Counters add, round lists concatenate, the horizon takes the
+        max, and the period/engine of ``other`` win when set (the later
+        stage knows best).  Returns ``self`` for chaining.
+        """
+        if other.engine:
+            self.engine = other.engine
+        self.rounds += other.rounds
+        self.facts_per_round.extend(other.facts_per_round)
+        self.delta_sizes.extend(other.delta_sizes)
+        self.join_probes += other.join_probes
+        self.index_hits += other.index_hits
+        self.index_misses += other.index_misses
+        self.facts_derived += other.facts_derived
+        if other.horizon is not None:
+            self.horizon = (other.horizon if self.horizon is None
+                            else max(self.horizon, other.horizon))
+        if other.period is not None:
+            self.period = other.period
+        for name, seconds in other.phase_seconds.items():
+            self.add_phase(name, seconds)
+        self.extra.update(other.extra)
+        return self
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A plain-JSON dictionary (tuples become lists)."""
+        return {
+            "engine": self.engine,
+            "rounds": self.rounds,
+            "facts_per_round": list(self.facts_per_round),
+            "delta_sizes": list(self.delta_sizes),
+            "join_probes": self.join_probes,
+            "index_hits": self.index_hits,
+            "index_misses": self.index_misses,
+            "facts_derived": self.facts_derived,
+            "horizon": self.horizon,
+            "period": list(self.period) if self.period is not None else None,
+            "phase_seconds": dict(self.phase_seconds),
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EvalStats":
+        period = data.get("period")
+        return cls(
+            engine=data.get("engine", ""),
+            rounds=data.get("rounds", 0),
+            facts_per_round=list(data.get("facts_per_round", ())),
+            delta_sizes=list(data.get("delta_sizes", ())),
+            join_probes=data.get("join_probes", 0),
+            index_hits=data.get("index_hits", 0),
+            index_misses=data.get("index_misses", 0),
+            facts_derived=data.get("facts_derived", 0),
+            horizon=data.get("horizon"),
+            period=tuple(period) if period is not None else None,
+            phase_seconds=dict(data.get("phase_seconds", {})),
+            extra=dict(data.get("extra", {})),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "EvalStats":
+        return cls.from_dict(json.loads(text))
+
+    # -- presentation ----------------------------------------------------
+
+    @staticmethod
+    def _render_series(values: list[int], limit: int = 16) -> str:
+        shown = ", ".join(map(str, values[:limit]))
+        if len(values) > limit:
+            shown += f", … (+{len(values) - limit} more)"
+        return shown
+
+    def summary(self) -> str:
+        """The human-readable block behind the CLI's ``--stats`` flag."""
+        lines = [f"engine:            {self.engine or '(unknown)'}"]
+        lines.append(f"rounds:            {self.rounds}")
+        if self.facts_per_round:
+            lines.append("facts per round:   "
+                         + self._render_series(self.facts_per_round))
+        if self.delta_sizes:
+            lines.append("delta sizes:       "
+                         + self._render_series(self.delta_sizes))
+        lines.append(f"facts derived:     {self.facts_derived}")
+        lines.append(f"join probes:       {self.join_probes}")
+        lines.append(f"index hits/misses: {self.index_hits}/"
+                     f"{self.index_misses}")
+        if self.horizon is not None:
+            lines.append(f"horizon:           {self.horizon}")
+        if self.period is not None:
+            b, p = self.period
+            lines.append(f"period:            (b={b}, p={p})")
+        for name, seconds in self.phase_seconds.items():
+            lines.append(f"phase {name}: {seconds * 1e3:.2f} ms")
+        for key, value in self.extra.items():
+            lines.append(f"{key}: {value}")
+        return "\n".join(lines)

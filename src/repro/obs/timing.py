@@ -1,0 +1,45 @@
+"""Phase timing helpers shared by the engines and the CLI.
+
+:func:`phase_timer` wraps a phase of work, accumulating its wall time
+into :attr:`EvalStats.phase_seconds` and (optionally) emitting a
+``phase`` trace event.  Both the stats and the tracer may be ``None``,
+so call sites need no guards of their own.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Union
+
+from .stats import EvalStats
+from .trace import Tracer
+
+
+class Stopwatch:
+    """A restartable wall-clock timer (``perf_counter`` based)."""
+
+    def __init__(self) -> None:
+        self._t0 = time.perf_counter()
+
+    def restart(self) -> None:
+        self._t0 = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._t0
+
+
+@contextmanager
+def phase_timer(stats: Union[EvalStats, None], name: str,
+                tracer: Union[Tracer, None] = None) -> Iterator[None]:
+    """Time a phase; no-op (beyond one clock read) when both are None."""
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        seconds = time.perf_counter() - t0
+        if stats is not None:
+            stats.add_phase(name, seconds)
+        if tracer is not None:
+            tracer.emit("phase", name=name, seconds=round(seconds, 6))

@@ -1,0 +1,86 @@
+"""Structured tracing: a JSON-lines event stream with pluggable sinks.
+
+Engines call :meth:`Tracer.emit` at round boundaries, phase ends, and
+period detection; each emit produces one event dictionary handed to the
+sink.  A :class:`Tracer` built over ``sink=None`` is disabled: ``emit``
+returns immediately and no event objects are allocated, so leaving a
+tracer plumbed through but unconfigured is free.  Engines additionally
+treat ``tracer=None`` as "no tracing" and skip the call sites entirely.
+
+The event schema (one JSON object per line) is documented in
+``docs/INTERNALS.md``; every event carries ``event`` (the type) and
+``ts`` (a monotonic timestamp in seconds).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import IO, Union
+
+
+class ListSink:
+    """Collects events in memory — the test double."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+
+    def write_event(self, event: dict) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        pass
+
+
+class JsonLinesSink:
+    """Writes one compact JSON object per line to a stream or path."""
+
+    def __init__(self, target: Union[str, Path, IO[str]]):
+        if isinstance(target, (str, Path)):
+            self._stream: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+
+    def write_event(self, event: dict) -> None:
+        self._stream.write(json.dumps(event, sort_keys=True,
+                                      separators=(",", ":")) + "\n")
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+        else:
+            self._stream.flush()
+
+
+class Tracer:
+    """Front-end the engines emit through.
+
+    ``Tracer(None)`` is disabled (``enabled`` is False and ``emit`` is a
+    cheap early return); any object with a ``write_event(dict)`` method
+    works as a sink.
+    """
+
+    __slots__ = ("sink", "enabled", "_clock", "_t0")
+
+    def __init__(self, sink=None, clock=time.perf_counter):
+        self.sink = sink
+        self.enabled = sink is not None
+        self._clock = clock
+        self._t0 = clock()
+
+    def emit(self, event: str, **payload) -> None:
+        if self.sink is None:
+            return
+        record = {"event": event,
+                  "ts": round(self._clock() - self._t0, 6)}
+        record.update(payload)
+        self.sink.write_event(record)
+
+    def close(self) -> None:
+        if self.sink is not None:
+            close = getattr(self.sink, "close", None)
+            if close is not None:
+                close()

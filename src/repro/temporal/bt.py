@@ -41,6 +41,8 @@ from typing import Sequence, Union
 from ..lang.atoms import Atom, Fact
 from ..lang.errors import EvaluationError
 from ..lang.rules import Rule, validate_rules
+from ..obs.stats import EvalStats
+from ..obs.timing import phase_timer
 from .database import TemporalDatabase
 from .operator import fixpoint as _definite_fixpoint
 from .operator import step
@@ -52,13 +54,16 @@ from .store import TemporalStore
 
 
 def evaluate_window(rules: Sequence[Rule], database: TemporalStore,
-                    horizon: int) -> TemporalStore:
+                    horizon: int, stats=None,
+                    tracer=None) -> TemporalStore:
     """The window model: truncated least fixpoint, or — for rules with
     negative literals (the stratified extension) — the truncated perfect
     model computed stratum by stratum."""
     if is_definite(rules):
-        return _definite_fixpoint(rules, database, horizon)
-    return stratified_fixpoint(rules, database, horizon)
+        return _definite_fixpoint(rules, database, horizon,
+                                  stats=stats, tracer=tracer)
+    return stratified_fixpoint(rules, database, horizon,
+                               stats=stats, tracer=tracer)
 
 
 @dataclass
@@ -71,6 +76,8 @@ class BTResult:
     g: int
     period: Union[Period, None]
     rounds: int = 0
+    #: Populated when the caller passed an EvalStats accumulator.
+    stats: Union["EvalStats", None] = None
 
     def holds(self, fact: Union[Fact, Atom]) -> bool:
         """Ground atomic yes/no query ``M(Z∧D) ⊨ fact``.
@@ -102,7 +109,8 @@ class BTResult:
 
 
 def bt_verbatim(rules: Sequence[Rule], database: TemporalDatabase,
-                window: int) -> BTResult:
+                window: int, stats: Union[EvalStats, None] = None,
+                tracer=None) -> BTResult:
     """Algorithm BT exactly as printed in Figure 1 of the paper.
 
     ``window`` is the paper's ``m``.  Returns the converged ``L`` (no
@@ -117,6 +125,14 @@ def bt_verbatim(rules: Sequence[Rule], database: TemporalDatabase,
     proper_rules = [r for r in rules if not r.is_fact]
     current = database.copy()  # L' := D
     rounds = 0
+    size = len(current.truncate(window))
+    if stats is not None:
+        stats.engine = "bt_verbatim"
+        stats.horizon = window
+        stats.extra["initial_facts"] = size
+    if tracer is not None:
+        tracer.emit("eval_start", engine="bt_verbatim", horizon=window,
+                    rules=len(proper_rules), initial_facts=size)
     while True:
         rounds += 1
         truncated = current.truncate(window)           # L := L'(0...m)
@@ -124,9 +140,21 @@ def bt_verbatim(rules: Sequence[Rule], database: TemporalDatabase,
         same_segment = (truncated.segment(0, window)
                         == nxt.segment(0, window))
         same_nt = truncated.nt == nxt.nt
+        if stats is not None or tracer is not None:
+            new_size = len(nxt.truncate(window))
+            derived = max(new_size - size, 0)
+            size = max(new_size, size)
+            if stats is not None:
+                stats.record_round(derived=derived)
+            if tracer is not None:
+                tracer.emit("round", round=rounds, derived=derived,
+                            store=new_size)
         if same_segment and same_nt:
+            if tracer is not None:
+                tracer.emit("eval_end", facts=len(truncated))
             return BTResult(store=truncated, horizon=window,
-                            c=database.c, g=1, period=None, rounds=rounds)
+                            c=database.c, g=1, period=None,
+                            rounds=rounds, stats=stats)
         current = nxt
 
 
@@ -134,12 +162,31 @@ def _initial_window(c: int, g: int, query_depth: int) -> int:
     return max(c, query_depth) + max(4 * (g + 1), 16)
 
 
+def _bt_result(store: TemporalStore, horizon: int, c: int, g: int,
+               period: Union[Period, None],
+               stats: Union[EvalStats, None], tracer) -> BTResult:
+    """Finalize a BT run: fold the outcome into the observability layer."""
+    if stats is not None:
+        stats.horizon = horizon
+        if period is not None:
+            stats.period = (period.b, period.p)
+        if stats.engine in ("", "seminaive"):
+            stats.engine = "bt"
+    if tracer is not None and period is not None:
+        tracer.emit("period", b=period.b, p=period.p,
+                    certified=period.certified, horizon=horizon)
+    return BTResult(store=store, horizon=horizon, c=c, g=g,
+                    period=period, stats=stats)
+
+
 def bt_evaluate(rules: Sequence[Rule], database: TemporalDatabase,
                 window: Union[int, None] = None,
                 query_depth: int = 0,
                 range_bound: Union[int, None] = None,
                 max_window: int = 1 << 20,
-                evidence: int = 2) -> BTResult:
+                evidence: int = 2,
+                stats: Union[EvalStats, None] = None,
+                tracer=None) -> BTResult:
     """Semi-naive BT with period detection.
 
     Window selection, in order of precedence:
@@ -163,10 +210,13 @@ def bt_evaluate(rules: Sequence[Rule], database: TemporalDatabase,
 
     if window is not None or range_bound is not None:
         m = window if window is not None else max(c, query_depth) + range_bound
-        store = evaluate_window(rules, database, m)
-        states = store.states(0, m)
-        found = find_minimal_period(states, floor=0, g=g,
-                                    evidence=evidence)
+        with phase_timer(stats, "evaluate", tracer):
+            store = evaluate_window(rules, database, m,
+                                    stats=stats, tracer=tracer)
+        with phase_timer(stats, "period_detection", tracer):
+            states = store.states(0, m)
+            found = find_minimal_period(states, floor=0, g=g,
+                                        evidence=evidence)
         period = None
         if found is not None:
             b, p = found
@@ -183,20 +233,23 @@ def bt_evaluate(rules: Sequence[Rule], database: TemporalDatabase,
                 b, p = recurred
                 period = Period(b, p, certified=True,
                                 verified_horizon=m)
-        return BTResult(store=store, horizon=m, c=c, g=g, period=period)
+        return _bt_result(store, m, c, g, period, stats, tracer)
 
     m = _initial_window(c, g, query_depth)
     # (candidate (b, p), the trusted state sequence it was found in).
     previous: Union[tuple[tuple[int, int], list], None] = None
     while m <= max_window:
-        store = evaluate_window(rules, database, m)
+        with phase_timer(stats, "evaluate", tracer):
+            store = evaluate_window(rules, database, m,
+                                    stats=stats, tracer=tracer)
         # For non-forward rulesets the right edge of the window is
         # under-derived (facts there lack support from beyond the
         # window), so periods are detected on a trusted sub-window only.
         trusted = m if lookback is not None else max((3 * m) // 4, 1)
-        states = store.states(0, trusted)
-        found = find_minimal_period(states, floor=0, g=g,
-                                    evidence=evidence)
+        with phase_timer(stats, "period_detection", tracer):
+            states = store.states(0, trusted)
+            found = find_minimal_period(states, floor=0, g=g,
+                                        evidence=evidence)
         if found is not None:
             b, p = found
             if lookback is not None and max(b, c + 1) + p + g - 1 <= m:
@@ -206,8 +259,7 @@ def bt_evaluate(rules: Sequence[Rule], database: TemporalDatabase,
                 # database horizon certifies the period for the infinite
                 # least model.
                 period = Period(b, p, certified=True, verified_horizon=m)
-                return BTResult(store=store, horizon=m, c=c, g=g,
-                                period=period)
+                return _bt_result(store, m, c, g, period, stats, tracer)
             if (previous is not None and previous[0] == found
                     and states[:len(previous[1])] == previous[1]):
                 # Same minimal period at two consecutive horizons (the
@@ -217,8 +269,8 @@ def bt_evaluate(rules: Sequence[Rule], database: TemporalDatabase,
                 # finite window).  The store is truncated to the trusted
                 # region so direct lookups never see the polluted edge.
                 period = Period(b, p, certified=False, verified_horizon=m)
-                return BTResult(store=store.truncate(trusted),
-                                horizon=trusted, c=c, g=g, period=period)
+                return _bt_result(store.truncate(trusted), trusted,
+                                  c, g, period, stats, tracer)
             previous = (found, states)
         else:
             previous = None

@@ -49,7 +49,8 @@ class IncrementalModel:
 
     def __init__(self, rules: Sequence[Rule],
                  database: Union[TemporalDatabase, Iterable[Fact]] = (),
-                 max_window: int = 1 << 20):
+                 max_window: int = 1 << 20,
+                 stats=None, tracer=None):
         validate_rules(rules)
         self.rules = tuple(r for r in rules if not r.is_fact)
         if not isinstance(database, TemporalDatabase):
@@ -60,8 +61,13 @@ class IncrementalModel:
         self._g = max((r.temporal_depth for r in self.rules), default=1)
         self._g = max(self._g, 1)
         self._lookback = forward_lookback(self.rules)
+        self.eval_stats = stats
+        self.tracer = tracer
         self._result = bt_evaluate(self.rules, database,
-                                   max_window=max_window)
+                                   max_window=max_window,
+                                   stats=stats, tracer=tracer)
+        if stats is not None:
+            stats.engine = "incremental"
         self.stats = {"inserts": 0, "deletes": 0, "incremental": 0,
                       "recomputed": 0, "facts_added": 0}
 
@@ -99,10 +105,17 @@ class IncrementalModel:
                    and fact.time > self._result.horizon
                    for fact in facts)
         )
+        if self.tracer is not None:
+            self.tracer.emit("insert", facts=len(facts),
+                             path="recompute" if recompute
+                             else "incremental")
         if recompute:
             self.stats["recomputed"] += 1
             self._result = bt_evaluate(self.rules, self.database,
-                                       max_window=self.max_window)
+                                       max_window=self.max_window,
+                                       stats=self.eval_stats,
+                                       tracer=self.tracer)
+            self._note_paths()
             return
 
         self.stats["incremental"] += 1
@@ -112,8 +125,11 @@ class IncrementalModel:
             if store.add_fact(fact):
                 delta.add_fact(fact)
         added = continue_fixpoint(self.rules, store, delta,
-                                  self._result.horizon)
+                                  self._result.horizon,
+                                  stats=self.eval_stats,
+                                  tracer=self.tracer)
         self.stats["facts_added"] += added + len(delta)
+        self._note_paths()
         self._refresh_period()
 
     def delete(self, facts: Union[Fact, Iterable[Fact]]) -> None:
@@ -132,10 +148,15 @@ class IncrementalModel:
         self.stats.setdefault("deletes", 0)
         self.stats["deletes"] += 1
 
+        if self.tracer is not None:
+            self.tracer.emit("delete", facts=len(removed))
         if not self._definite or self._lookback is None:
             self.stats["recomputed"] += 1
             self._result = bt_evaluate(self.rules, self.database,
-                                       max_window=self.max_window)
+                                       max_window=self.max_window,
+                                       stats=self.eval_stats,
+                                       tracer=self.tracer)
+            self._note_paths()
             return
 
         store = self._result.store
@@ -185,8 +206,16 @@ class IncrementalModel:
                 if marked.contains(pred, time, args):
                     if store.add(pred, time, args):
                         delta.add(pred, time, args)
-        continue_fixpoint(self.rules, store, delta, horizon)
+        continue_fixpoint(self.rules, store, delta, horizon,
+                          stats=self.eval_stats, tracer=self.tracer)
+        self._note_paths()
         self._refresh_period()
+
+    def _note_paths(self) -> None:
+        """Mirror the per-operation counters into the EvalStats extras."""
+        if self.eval_stats is not None:
+            self.eval_stats.engine = "incremental"
+            self.eval_stats.extra.update(self.stats)
 
     def _refresh_period(self) -> None:
         """Re-detect the period; extend the window from the frontier
@@ -227,5 +256,6 @@ class IncrementalModel:
             delta.add_fact(fact)
         for fact in store.nt.facts():
             delta.add_fact(fact)
-        continue_fixpoint(self.rules, store, delta, new_horizon)
+        continue_fixpoint(self.rules, store, delta, new_horizon,
+                          stats=self.eval_stats, tracer=self.tracer)
         self._result.horizon = new_horizon

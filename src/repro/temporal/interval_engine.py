@@ -244,7 +244,8 @@ def _bound_args(atom: Atom, binding: dict) -> ArgTuple:
 
 
 def interval_fixpoint(rules: Sequence[Rule], database: TemporalDatabase,
-                      horizon: int) -> TemporalStore:
+                      horizon: int, stats=None,
+                      tracer=None) -> TemporalStore:
     """The window least fixpoint, computed with interval algebra.
 
     Equals ``fixpoint(rules, database, horizon)`` exactly; use when the
@@ -253,6 +254,13 @@ def interval_fixpoint(rules: Sequence[Rule], database: TemporalDatabase,
     validate_rules(rules)
     proper = [r for r in rules if not r.is_fact]
     _check_fragment(proper)
+    if stats is not None:
+        stats.engine = "interval"
+        stats.horizon = (horizon if stats.horizon is None
+                         else max(stats.horizon, horizon))
+    if tracer is not None:
+        tracer.emit("eval_start", engine="interval", horizon=horizon,
+                    rules=len(proper))
 
     store = IntervalStore()
     by_tuple: dict[tuple[str, ArgTuple], list[int]] = {}
@@ -274,21 +282,39 @@ def interval_fixpoint(rules: Sequence[Rule], database: TemporalDatabase,
         store.merge(pred, args, IntervalSet.from_points(times))
 
     changed = True
+    round_no = 0
     while changed:
+        round_no += 1
         changed = False
+        merges = 0
         for rule in proper:
             # Saturate each rule before moving on: a self-recursive
             # rule (the common shape) then converges inside one outer
             # pass instead of driving O(horizon/offset) global passes.
-            while _fire_rule(rule, store, horizon):
+            while True:
+                grew = _fire_rule(rule, store, horizon, stats=stats)
+                merges += grew
+                if not grew:
+                    break
                 changed = True
+        if stats is not None:
+            stats.record_round(derived=merges)
+        if tracer is not None:
+            tracer.emit("round", round=round_no, merges=merges)
+    if tracer is not None:
+        tracer.emit("eval_end")
     return store.to_store()
 
 
-def _fire_rule(rule: Rule, store: IntervalStore, horizon: int) -> bool:
+def _fire_rule(rule: Rule, store: IntervalStore, horizon: int,
+               stats=None) -> int:
+    """Fire one rule over all data bindings; returns the number of
+    tuple-interval merges that grew the store (0 = fixpoint)."""
     head = rule.head
-    grew = False
+    grew = 0
     for binding in _data_bindings(rule.body, store, {}):
+        if stats is not None:
+            stats.join_probes += 1
         times: Union[IntervalSet, None] = None
         dead = False
         for atom in rule.body:
@@ -315,18 +341,19 @@ def _fire_rule(rule: Rule, store: IntervalStore, horizon: int) -> bool:
             # at some timepoint (or the body was purely non-temporal).
             if times is None or times.clip(0, horizon):
                 if store.nt.add(head.pred, head_args):
-                    grew = True
+                    grew += 1
             continue
         assert times is not None, "range-restricted head needs T bound"
         head_times = times.shift(head.time.offset).clip(0, horizon)
         # The body variable T itself ranges over >= 0 only.
         head_times = head_times.clip(head.time.offset, horizon)
         if store.merge(head.pred, head_args, head_times):
-            grew = True
+            grew += 1
     return grew
 
 
 def interval_bt(rules: Sequence[Rule], database: TemporalDatabase,
-                horizon: int) -> TemporalStore:
+                horizon: int, stats=None, tracer=None) -> TemporalStore:
     """Alias of :func:`interval_fixpoint` (naming symmetry with bt)."""
-    return interval_fixpoint(rules, database, horizon)
+    return interval_fixpoint(rules, database, horizon, stats=stats,
+                             tracer=tracer)

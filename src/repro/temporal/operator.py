@@ -185,7 +185,8 @@ def step(rules: Sequence[Rule], store: TemporalStore,
 
 def fixpoint(rules: Sequence[Rule], database: TemporalStore,
              horizon: int,
-             max_facts: Union[int, None] = None) -> TemporalStore:
+             max_facts: Union[int, None] = None,
+             stats=None, tracer=None) -> TemporalStore:
     """Least fixpoint of the window-truncated operator, semi-naively.
 
     Computes the largest set ``L`` of facts with timepoints in
@@ -216,14 +217,29 @@ def fixpoint(rules: Sequence[Rule], database: TemporalStore,
             if store.add_fact(fact):
                 delta.add_fact(fact)
 
+    if stats is not None:
+        if not stats.engine:
+            stats.engine = "seminaive"
+        stats.horizon = (horizon if stats.horizon is None
+                         else max(stats.horizon, horizon))
+        stats.extra["initial_facts"] = (
+            stats.extra.get("initial_facts", 0) + len(store))
+    if tracer is not None:
+        tracer.emit("eval_start", engine=stats.engine if stats else
+                    "seminaive", horizon=horizon,
+                    rules=sum(1 for r in rules if not r.is_fact),
+                    initial_facts=len(store))
     continue_fixpoint(rules, store, delta, horizon,
-                      max_facts=max_facts)
+                      max_facts=max_facts, stats=stats, tracer=tracer)
+    if tracer is not None:
+        tracer.emit("eval_end", facts=len(store))
     return store
 
 
 def continue_fixpoint(rules: Sequence[Rule], store: TemporalStore,
                       delta: TemporalStore, horizon: int,
-                      max_facts: Union[int, None] = None) -> int:
+                      max_facts: Union[int, None] = None,
+                      stats=None, tracer=None) -> int:
     """Drive the semi-naive loop from an initial ``delta``, in place.
 
     Every derivation producible from ``store`` that uses at least one
@@ -245,8 +261,14 @@ def continue_fixpoint(rules: Sequence[Rule], store: TemporalStore,
                  for i in range(len(rule.body))]
         plans.append((rule, leads))
 
+    if stats is not None:
+        prev_stats = store.stats
+        store.stats = stats
     added = 0
+    round_no = 0
     while len(delta):
+        round_no += 1
+        probes = 0
         new_delta = TemporalStore()
         delta_preds = delta.temporal_predicates()
         delta_preds.update(delta.nt.predicates())
@@ -256,6 +278,7 @@ def continue_fixpoint(rules: Sequence[Rule], store: TemporalStore,
                     continue
                 stores = [delta] + [store] * (len(order) - 1)
                 for binding in temporal_join(rule.body, order, stores):
+                    probes += 1
                     if rule.negative and not negatives_absent(
                             rule, binding, store):
                         continue
@@ -271,5 +294,17 @@ def continue_fixpoint(rules: Sequence[Rule], store: TemporalStore,
                 f"model exceeded max_facts={max_facts} within the "
                 f"window (currently {len(store)} facts)"
             )
+        if stats is not None:
+            stats.record_round(derived=len(new_delta), delta=len(delta))
+            stats.join_probes += probes
+        if tracer is not None:
+            tracer.emit("round", round=round_no,
+                        delta=len(delta), derived=len(new_delta),
+                        probes=probes, store=len(store))
+            for fact in new_delta.facts():
+                tracer.emit("fact", pred=fact.pred, time=fact.time,
+                            args=list(fact.args))
         delta = new_delta
+    if stats is not None:
+        store.stats = prev_stats
     return added

@@ -32,6 +32,9 @@ class TemporalStore:
         # pred -> time -> set of arg tuples
         self._slices: dict[str, dict[int, set[ArgTuple]]] = {}
         self._nt = FactStore()
+        #: Optional EvalStats accumulator counting index hits/misses;
+        #: attached by the engines, never copied with the store.
+        self.stats = None
         # (pred, time) -> {positions: {key: [args]}} — keyed by slice so
         # insertion only maintains its own slice's indexes.
         self._indexes: dict[tuple[str, int],
@@ -120,6 +123,10 @@ class TemporalStore:
                 k = tuple(args[p] for p in positions)
                 index.setdefault(k, []).append(args)
             slice_indexes[positions] = index
+            if self.stats is not None:
+                self.stats.index_misses += 1
+        elif self.stats is not None:
+            self.stats.index_hits += 1
         return index.get(key, [])
 
     def times(self, pred: str) -> list[int]:

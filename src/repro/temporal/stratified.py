@@ -41,7 +41,8 @@ def is_definite(rules: Sequence[Rule]) -> bool:
 
 
 def stratified_fixpoint(rules: Sequence[Rule], database: TemporalStore,
-                        horizon: int) -> TemporalStore:
+                        horizon: int, stats=None,
+                        tracer=None) -> TemporalStore:
     """The perfect model of a stratified program, within a window.
 
     Equivalent to :func:`repro.temporal.operator.fixpoint` on definite
@@ -60,6 +61,10 @@ def stratified_fixpoint(rules: Sequence[Rule], database: TemporalStore,
         fact = fact_rule.head.to_fact()
         if fact.time is None or fact.time <= horizon:
             store.add_fact(fact)
+    if stats is not None and len(groups) > 1:
+        stats.engine = "stratified"
+        stats.extra["strata"] = len(groups)
     for group in groups:
-        store = fixpoint(group, store, horizon)
+        store = fixpoint(group, store, horizon, stats=stats,
+                         tracer=tracer)
     return store

@@ -80,7 +80,8 @@ class TopDownEngine:
     """Tabled top-down evaluation over a window ``[0..horizon]``."""
 
     def __init__(self, rules: Sequence[Rule],
-                 database: TemporalDatabase, horizon: int):
+                 database: TemporalDatabase, horizon: int,
+                 stats=None, tracer=None):
         validate_rules(rules)
         proper = [r for r in rules if not r.is_fact]
         if any(not r.is_definite for r in proper):
@@ -97,6 +98,11 @@ class TopDownEngine:
             self._by_head.setdefault(rule.head.pred, []).append(rule)
         self._tables: dict[CallPattern, _Table] = {}
         self.stats = {"subgoals": 0, "sweeps": 0, "answers": 0}
+        self.eval_stats = stats
+        self.tracer = tracer
+        if stats is not None:
+            stats.engine = "topdown"
+            stats.horizon = horizon
 
     # -- public API -----------------------------------------------------
 
@@ -131,6 +137,13 @@ class TopDownEngine:
             self._tables[pattern] = table
             self.stats["subgoals"] += 1
             self._seed_extensional(pattern, table)
+            if self.tracer is not None:
+                pred, time_slot, args = pattern
+                self.tracer.emit(
+                    "subgoal", pred=pred,
+                    time="free" if time_slot is FREE else time_slot,
+                    args=["free" if a is FREE else a for a in args],
+                    seeded=len(table.answers))
         return table
 
     def _seed_extensional(self, pattern: CallPattern,
@@ -165,11 +178,22 @@ class TopDownEngine:
     def _saturate(self) -> None:
         while True:
             self.stats["sweeps"] += 1
+            answers_before = self.stats["answers"]
             tables_before = len(self._tables)
             changed = False
             for pattern in list(self._tables):
                 if self._solve(pattern):
                     changed = True
+            derived = self.stats["answers"] - answers_before
+            if self.eval_stats is not None:
+                self.eval_stats.record_round(derived=derived)
+                self.eval_stats.extra["subgoals"] = \
+                    self.stats["subgoals"]
+            if self.tracer is not None:
+                self.tracer.emit("round",
+                                 round=self.stats["sweeps"],
+                                 derived=derived,
+                                 subgoals=len(self._tables))
             # A sweep that registered new subgoal tables must be
             # followed by another even if no answer was produced yet.
             if not changed and len(self._tables) == tables_before:
@@ -234,7 +258,10 @@ class TopDownEngine:
             return
         sub_table = self._register(sub_pattern)
         from ..lang.subst import match_atom
+        stats = self.eval_stats
         for answer in list(sub_table.answers):
+            if stats is not None:
+                stats.join_probes += 1
             extended = match_atom(atom, answer, binding)
             if extended is not None:
                 yield from self._solve_body(body, index + 1, extended)
@@ -247,7 +274,8 @@ class TopDownEngine:
 
 def topdown_ask(rules: Sequence[Rule], database: TemporalDatabase,
                 goal: Union[Fact, Atom],
-                horizon: Union[int, None] = None) -> bool:
+                horizon: Union[int, None] = None,
+                stats=None, tracer=None) -> bool:
     """One-shot goal-directed ground query via tabled top-down
     resolution.  ``horizon`` defaults to the goal's timepoint plus one
     rule depth (exact for forward programs, whose derivations never
@@ -258,5 +286,6 @@ def topdown_ask(rules: Sequence[Rule], database: TemporalDatabase,
         g = max((r.temporal_depth for r in rules), default=1)
         query_depth = goal.time if goal.time is not None else 0
         horizon = max(query_depth, database.c) + g
-    engine = TopDownEngine(rules, database, horizon)
+    engine = TopDownEngine(rules, database, horizon, stats=stats,
+                           tracer=tracer)
     return engine.ask(goal)

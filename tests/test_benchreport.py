@@ -67,3 +67,50 @@ class TestRender:
 
     def test_usage_error(self):
         assert main([], out=io.StringIO()) == 2
+
+
+class TestEvalStatsColumns:
+    def _sample(self):
+        from repro.obs import EvalStats
+        stats = EvalStats(engine="bt", rounds=3,
+                          facts_per_round=[2, 1, 0],
+                          delta_sizes=[2, 2, 1], join_probes=9,
+                          facts_derived=3, horizon=12, period=(0, 2),
+                          phase_seconds={"evaluate": 0.5})
+        return stats, {
+            "benchmarks": [{
+                "fullname":
+                    "benchmarks/bench_e7_bt_ablation.py::test_x",
+                "name": "test_x",
+                "stats": {"mean": 0.1, "rounds": 3},
+                "extra_info": {"workload": "even",
+                               "eval_stats": stats.to_dict()},
+            }],
+        }
+
+    def test_embedded_stats_flatten_to_columns(self):
+        stats, sample = self._sample()
+        row = load_rows(sample)["e7_bt_ablation"][0]
+        assert row["stats.engine"] == "bt"
+        assert row["stats.rounds"] == 3
+        assert row["stats.join_probes"] == 9
+        assert row["stats.period"] == "(b=0, p=2)"
+        # Per-round series and nested dicts stay out of the table.
+        assert "stats.facts_per_round" not in row
+        assert "stats.phase_seconds" not in row
+        # Other extra-info keys pass through unchanged.
+        assert row["workload"] == "even"
+
+    def test_report_round_trips_embedded_stats(self):
+        from repro.obs import EvalStats
+        stats, sample = self._sample()
+        # The embedded dict reconstructs the original EvalStats...
+        embedded = sample["benchmarks"][0]["extra_info"]["eval_stats"]
+        assert EvalStats.from_dict(json.loads(
+            json.dumps(embedded))) == stats
+        # ...and the renderer shows the flattened columns.
+        out = io.StringIO()
+        render(sample, out)
+        text = out.getvalue()
+        assert "stats.engine" in text
+        assert "(b=0, p=2)" in text

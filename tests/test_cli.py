@@ -225,3 +225,69 @@ class TestShippedPrograms:
         assert code == 1
         code, _ = run_cli(["ask", path, "pageable(8, bo)"])
         assert code == 0
+
+
+class TestUnreadableFiles:
+    def test_directory_as_program_file(self, tmp_path, capsys):
+        code, _ = run_cli(["run", str(tmp_path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error: cannot read program file" in err
+        assert "Traceback" not in err
+
+    def test_binary_file(self, tmp_path, capsys):
+        path = tmp_path / "binary.tdd"
+        path.write_bytes(bytes(range(256)))
+        code, _ = run_cli(["run", str(path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error: cannot read program file" in err
+        assert "Traceback" not in err
+
+    def test_missing_file_message(self, capsys):
+        code, _ = run_cli(["ask", "/nonexistent/x.tdd", "even(0)"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestObservability:
+    def test_stats_block(self, travel_file):
+        code, output = run_cli(["run", travel_file, "--stats"])
+        assert code == 0
+        assert "-- eval stats --" in output
+        assert "engine:" in output
+        assert "rounds:" in output
+        assert "period:" in output
+        assert "join probes:" in output
+
+    def test_stats_off_by_default(self, travel_file):
+        code, output = run_cli(["run", travel_file])
+        assert code == 0
+        assert "eval stats" not in output
+
+    def test_stats_on_every_subcommand(self, even_file):
+        for argv in (["ask", even_file, "even(4)", "--stats"],
+                     ["classify", even_file, "--stats"],
+                     ["timeline", even_file, "--stats"]):
+            _, output = run_cli(argv)
+            assert "-- eval stats --" in output, argv
+
+    def test_trace_writes_json_lines(self, even_file, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        code, _ = run_cli(["ask", even_file, "even(4)",
+                           "--trace", str(trace)])
+        assert code == 0
+        events = [json.loads(line)
+                  for line in trace.read_text().splitlines()]
+        assert events, "trace file is empty"
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "eval_start"
+        assert "round" in kinds
+        assert "period" in kinds
+        assert all("ts" in e for e in events)
+
+    def test_unwritable_trace_path_is_clean(self, even_file, capsys):
+        code, _ = run_cli(["run", even_file,
+                           "--trace", "/nonexistent/dir/t.jsonl"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
