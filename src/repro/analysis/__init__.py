@@ -1,0 +1,44 @@
+"""Span-aware static diagnostics for TDD programs.
+
+A pluggable lint framework in four layers:
+
+* **spans** — the parser threads line/column info into every
+  :class:`~repro.lang.atoms.Atom`, :class:`~repro.lang.atoms.Fact` and
+  :class:`~repro.lang.rules.Rule` (see :mod:`repro.lang.spans`), so
+  diagnostics point at ``file:line:col``;
+* **checks** (:mod:`repro.analysis.checks`) — each check is a small
+  registered class with a stable ``TDDnnn`` code, a severity and an
+  optional fix hint; the built-ins cover range restriction, safety,
+  stratifiability (with the actual negative cycle), singleton variables,
+  duplicate/subsumed rules, arity/sort consistency, dead rules,
+  unreachable and unused predicates, temporal-argument misuse, and the
+  paper's tractable-class certifications (Theorems 5.2, 6.3, 6.5);
+* **engine** (:mod:`repro.analysis.engine`) — code selection, the parse
+  stage as ``TDD000``/``TDD001`` diagnostics, per-file driving;
+* **renderers** (:mod:`repro.analysis.render`) — human text with
+  caret-underlined excerpts, JSON, and SARIF 2.1.0 for GitHub code
+  scanning.
+
+The CLI surface is ``repro lint FILE...`` (``--format``, ``--select``,
+``--ignore``, ``--max-severity``); ``repro analyze`` and
+:func:`repro.core.analyze` run the same checks.
+"""
+
+from .checks import (REGISTRY, SORT_ERROR, SYNTAX_ERROR, Check,
+                     LintContext, all_checks, register)
+from .diagnostics import (SEVERITIES, Diagnostic, count_by_severity,
+                          gate, max_severity, severity_rank)
+from .engine import (LintResult, UnknownCodeError, lint_file, lint_text,
+                     run_checks)
+from .render import (render_json, render_sarif, render_text,
+                     source_excerpt)
+
+__all__ = [
+    "Diagnostic", "SEVERITIES", "severity_rank", "max_severity",
+    "count_by_severity", "gate",
+    "Check", "LintContext", "REGISTRY", "register", "all_checks",
+    "SYNTAX_ERROR", "SORT_ERROR",
+    "LintResult", "UnknownCodeError", "run_checks", "lint_text",
+    "lint_file",
+    "render_text", "render_json", "render_sarif", "source_excerpt",
+]

@@ -1,0 +1,736 @@
+"""The pluggable check framework and the built-in checks.
+
+Every check is a small class with a stable code (``TDDnnn``), a stable
+kebab-case name, a default severity, and a ``run`` method yielding
+:class:`~repro.analysis.diagnostics.Diagnostic` values for a
+:class:`LintContext`.  Checks register themselves in :data:`REGISTRY`
+with the :func:`register` decorator; third-party passes can do the same.
+
+Codes are append-only: a code is never reused or renumbered, so CI
+configurations (``--select``/``--ignore``) stay stable across releases.
+``TDD000``/``TDD001`` are reserved for the parse stage (syntax and sort
+resolution, emitted by :mod:`repro.analysis.engine`); the registered
+checks start at ``TDD002``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from functools import cached_property
+from typing import Iterable, Iterator, Sequence, Union
+
+from ..lang.atoms import Atom, Fact
+from ..lang.rules import Rule
+from ..lang.spans import Span
+from ..lang.terms import Var
+from .diagnostics import Diagnostic
+
+#: code -> check class, in registration (= code) order.
+REGISTRY: "dict[str, type[Check]]" = {}
+
+#: Codes emitted by the parse stage rather than a registered check.
+SYNTAX_ERROR = ("TDD000", "syntax-error")
+SORT_ERROR = ("TDD001", "sort-error")
+
+
+def register(cls: "type[Check]") -> "type[Check]":
+    """Class decorator adding a check to :data:`REGISTRY`."""
+    if cls.code in REGISTRY:
+        raise ValueError(f"duplicate diagnostic code {cls.code}")
+    REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_checks() -> "list[Check]":
+    """Fresh instances of every registered check, in code order."""
+    return [REGISTRY[code]() for code in sorted(REGISTRY)]
+
+
+class LintContext:
+    """Everything a check may look at, with shared lazy caches.
+
+    ``rules`` are the proper rules (facts filtered out), ``facts`` the
+    database including fact-rules' heads.  ``path``/``source`` identify
+    the originating file when the program came from text.
+    """
+
+    def __init__(self, rules: Sequence[Rule],
+                 facts: Iterable[Fact] = (), *,
+                 path: Union[str, None] = None,
+                 source: Union[str, None] = None):
+        self.all_rules: tuple[Rule, ...] = tuple(rules)
+        self.rules: tuple[Rule, ...] = tuple(
+            r for r in self.all_rules if not r.is_fact)
+        fact_list = list(facts)
+        for rule in self.all_rules:
+            if rule.is_fact and rule.head.is_ground:
+                fact_list.append(rule.head.to_fact())
+        self.facts: tuple[Fact, ...] = tuple(fact_list)
+        self.path = path
+        self.source = source
+
+    # -- shared caches ------------------------------------------------------
+
+    @cached_property
+    def graph(self) -> dict[str, set[str]]:
+        from ..datalog.depgraph import dependency_graph
+        return dependency_graph(self.rules)
+
+    @cached_property
+    def derived(self) -> set[str]:
+        return {rule.head.pred for rule in self.rules}
+
+    @cached_property
+    def extensional(self) -> set[str]:
+        return {fact.pred for fact in self.facts}
+
+    @cached_property
+    def negative_cycle(self) -> Union["list[str]", None]:
+        from ..datalog.depgraph import negative_cycle
+        return negative_cycle(self.rules)
+
+    @cached_property
+    def classification(self):
+        """The Thm 6.5 classification report, or None when the program
+        is too broken to classify (another check reports why)."""
+        from ..core.classify import classify_ruleset
+        from ..lang.errors import ReproError
+        try:
+            return classify_ruleset(self.rules)
+        except ReproError:
+            return None
+
+    @cached_property
+    def inflationary(self) -> Union[bool, None]:
+        from ..core.inflationary import is_inflationary
+        from ..lang.errors import ReproError
+        try:
+            return is_inflationary(self.rules)
+        except ReproError:
+            return None
+
+    @cached_property
+    def signature(self) -> "dict[str, tuple[bool, int]]":
+        """pred -> (is_temporal, data arity) from the first occurrence."""
+        seen: dict[str, tuple[bool, int]] = {}
+        for rule in self.all_rules:
+            for atom in rule.atoms():
+                seen.setdefault(atom.pred, (atom.is_temporal, atom.arity))
+        for fact in self.facts:
+            seen.setdefault(fact.pred,
+                            (fact.time is not None, len(fact.args)))
+        return seen
+
+
+class Check:
+    """Base class: subclass, set the class attributes, implement run()."""
+
+    code: str = ""
+    name: str = ""
+    severity: str = "warning"
+    #: One-line meaning, shown in ``--explain`` output and SARIF rules.
+    description: str = ""
+    #: Paper reference backing the check, when there is one.
+    paper: str = ""
+    #: Optional generic fix hint.
+    hint: str = ""
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diag(self, message: str, span: Union[Span, None] = None, *,
+             severity: Union[str, None] = None,
+             hint: Union[str, None] = None) -> Diagnostic:
+        """Build a diagnostic pre-filled with this check's identity."""
+        return Diagnostic(self.code, self.name,
+                          severity or self.severity, message, span,
+                          hint if hint is not None else (self.hint or None))
+
+
+def _rule_span(rule: Rule) -> Union[Span, None]:
+    if rule.span is not None:
+        return rule.span
+    return rule.head.span
+
+
+def _atom_with_variable(rule: Rule, name: str) -> Union[Atom, None]:
+    """First atom of the rule mentioning variable ``name`` (either sort)."""
+    for atom in rule.atoms():
+        if atom.temporal_variable() == name:
+            return atom
+        if any(v.name == name for v in atom.data_variables()):
+            return atom
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Errors: programs the engines reject
+# ---------------------------------------------------------------------------
+
+@register
+class RangeRestrictionCheck(Check):
+    code = "TDD002"
+    name = "range-restriction"
+    severity = "error"
+    description = ("Every head variable must be bound by a positive "
+                   "body literal; facts must be ground.")
+    paper = "Section 3.3"
+    hint = "bind the variable in a positive body literal"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for rule in ctx.rules:
+            body_vars = rule.body_data_variables()
+            for name in sorted(rule.head_data_variables() - body_vars):
+                atom = _atom_with_variable(rule, name) or rule.head
+                yield self.diag(
+                    f"head variable {name} of rule '{rule}' is not "
+                    "bound by any positive body literal",
+                    atom.span or _rule_span(rule))
+            head_tv = rule.head.temporal_variable()
+            if head_tv is not None:
+                body_tvs = {a.temporal_variable() for a in rule.body}
+                if head_tv not in body_tvs:
+                    yield self.diag(
+                        f"temporal variable {head_tv} of the head of "
+                        f"rule '{rule}' does not occur in the body",
+                        rule.head.span or _rule_span(rule))
+        for rule in ctx.all_rules:
+            if rule.is_fact and not rule.head.is_ground:
+                yield self.diag(f"fact {rule.head} is not ground",
+                                rule.head.span or _rule_span(rule),
+                                hint="facts may not contain variables")
+
+
+@register
+class UnsafeNegationCheck(Check):
+    code = "TDD003"
+    name = "unsafe-negation"
+    severity = "error"
+    description = ("Every variable of a negative literal must be bound "
+                   "by a positive body literal.")
+    paper = "stratified extension (docs/THEORY.md)"
+    hint = "add a positive literal binding the variable"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for rule in ctx.rules:
+            body_vars = rule.body_data_variables()
+            positive_tvs = {a.temporal_variable() for a in rule.body}
+            for atom in rule.negative:
+                for name in sorted({v.name for v in atom.data_variables()}
+                                   - body_vars):
+                    yield self.diag(
+                        f"variable {name} of negative literal "
+                        f"'not {atom}' in rule '{rule}' is not bound by "
+                        "any positive body literal",
+                        atom.span or _rule_span(rule))
+                tvar = atom.temporal_variable()
+                if tvar is not None and tvar not in positive_tvs:
+                    yield self.diag(
+                        f"temporal variable {tvar} of negative literal "
+                        f"'not {atom}' in rule '{rule}' is not bound by "
+                        "any positive body literal",
+                        atom.span or _rule_span(rule))
+
+
+@register
+class ArityConsistencyCheck(Check):
+    code = "TDD004"
+    name = "arity-mismatch"
+    severity = "error"
+    description = ("A predicate must be used with one data arity and "
+                   "one temporality everywhere.")
+    paper = "Section 3.1 (fixed sorts)"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        signature = ctx.signature
+        reported: set[tuple[str, bool, int]] = set()
+        for rule in ctx.all_rules:
+            for atom in rule.atoms():
+                expected = signature[atom.pred]
+                actual = (atom.is_temporal, atom.arity)
+                if actual == expected:
+                    continue
+                key = (atom.pred, *actual)
+                if key in reported:
+                    continue
+                reported.add(key)
+                yield self.diag(
+                    self._message(atom.pred, expected, actual),
+                    atom.span or _rule_span(rule))
+        for fact in ctx.facts:
+            expected = signature[fact.pred]
+            actual = (fact.time is not None, len(fact.args))
+            if actual == expected:
+                continue
+            key = (fact.pred, *actual)
+            if key in reported:
+                continue
+            reported.add(key)
+            yield self.diag(self._message(fact.pred, expected, actual),
+                            fact.span)
+
+    @staticmethod
+    def _message(pred: str, expected: "tuple[bool, int]",
+                 actual: "tuple[bool, int]") -> str:
+        def describe(sig: "tuple[bool, int]") -> str:
+            flavour = "temporal" if sig[0] else "non-temporal"
+            return f"{flavour} with data arity {sig[1]}"
+        return (f"predicate {pred} is used both "
+                f"{describe(expected)} and {describe(actual)}")
+
+
+@register
+class SortClashCheck(Check):
+    code = "TDD005"
+    name = "sort-clash"
+    severity = "error"
+    description = ("A variable may not be used both as a temporal and "
+                   "as a data argument within one rule.")
+    paper = "Section 3.1 (two-sorted language)"
+    hint = "rename one of the two uses"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for rule in ctx.rules:
+            clash = rule.temporal_variables() & rule.data_variables()
+            for name in sorted(clash):
+                atom = _atom_with_variable(rule, name)
+                yield self.diag(
+                    f"variable {name} is used both as a temporal and "
+                    f"as a data argument in rule '{rule}'",
+                    (atom.span if atom is not None else None)
+                    or _rule_span(rule))
+
+
+@register
+class StratifiabilityCheck(Check):
+    code = "TDD006"
+    name = "not-stratifiable"
+    severity = "error"
+    description = ("Recursion through negation: the program has no "
+                   "stratified model.")
+    paper = "stratified extension (docs/THEORY.md)"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        cycle = ctx.negative_cycle
+        if cycle is None:
+            return
+        head, negated = cycle[0], cycle[1]
+        rendered = " -> ".join(cycle)
+        span: Union[Span, None] = None
+        for rule in ctx.rules:
+            if rule.head.pred != head:
+                continue
+            for atom in rule.negative:
+                if atom.pred == negated:
+                    span = atom.span or _rule_span(rule)
+                    break
+            if span is not None:
+                break
+        yield self.diag(
+            "recursion through negation: dependency cycle "
+            f"{rendered} passes through 'not {negated}'; the program "
+            "has no stratified model and evaluation will be rejected",
+            span)
+
+
+# ---------------------------------------------------------------------------
+# Warnings: legal but suspicious programs
+# ---------------------------------------------------------------------------
+
+@register
+class NonForwardCheck(Check):
+    code = "TDD007"
+    name = "non-forward"
+    severity = "warning"
+    description = ("A rule looks forward in time (a body offset exceeds "
+                   "the head offset); detected periods are verified at "
+                   "finite horizons, not certified.")
+    paper = "Section 4 (period certification)"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for rule in ctx.rules:
+            if rule.is_forward:
+                continue
+            offender = self._offending_literal(rule)
+            where = (f"literal '{offender}'" if offender is not None
+                     else "a body literal")
+            yield self.diag(
+                f"rule '{rule}' is not forward: {where} refers to a "
+                "later timepoint than the head; detected periods will "
+                "be verified at finite horizons, not certified",
+                (offender.span if offender is not None else None)
+                or _rule_span(rule))
+
+    @staticmethod
+    def _offending_literal(rule: Rule) -> Union[Atom, None]:
+        head_time = rule.head.time
+        head_offset = (head_time.offset
+                       if head_time is not None and not head_time.is_ground
+                       else None)
+        for atom in (*rule.body, *rule.negative):
+            if atom.time is None or atom.time.is_ground:
+                continue
+            if head_offset is None or atom.time.offset > head_offset:
+                return atom
+        return None
+
+
+@register
+class SingletonVariableCheck(Check):
+    code = "TDD008"
+    name = "singleton-variable"
+    severity = "warning"
+    description = ("A body variable occurring exactly once carries no "
+                   "constraint; usually a typo.")
+    hint = "prefix the variable with _ if the single use is intentional"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for rule in ctx.rules:
+            counts: Counter = Counter()
+            for atom in rule.atoms():
+                tvar = atom.temporal_variable()
+                if tvar is not None:
+                    counts[tvar] += 1
+                for var in atom.data_variables():
+                    counts[var.name] += 1
+            head_names = set(rule.head_data_variables())
+            head_tv = rule.head.temporal_variable()
+            if head_tv is not None:
+                head_names.add(head_tv)
+            for name in sorted(counts):
+                if counts[name] != 1 or name.startswith("_"):
+                    continue
+                if name in head_names:
+                    continue  # head singletons are TDD002's business
+                atom = _atom_with_variable(rule, name)
+                yield self.diag(
+                    f"variable {name} occurs only once in rule '{rule}'",
+                    (atom.span if atom is not None else None)
+                    or _rule_span(rule))
+
+
+def _match_time(pattern: Atom, target: Atom,
+                theta: dict) -> Union[dict, None]:
+    """Extend theta so the pattern's temporal term maps onto the target's.
+
+    Only like-shaped matches are attempted (both absent, both ground and
+    equal, or both ``V+k`` with equal offsets): enough for the variant /
+    subsumption lint, which never needs arithmetic reasoning.
+    """
+    pt, tt = pattern.time, target.time
+    if pt is None and tt is None:
+        return theta
+    if pt is None or tt is None:
+        return None
+    if pt.is_ground or tt.is_ground:
+        return theta if pt == tt else None
+    if pt.offset != tt.offset:
+        return None
+    key = ("t", pt.var)
+    if key in theta and theta[key] != tt.var:
+        return None
+    return {**theta, key: tt.var}
+
+
+def _match_atom(pattern: Atom, target: Atom,
+                theta: dict) -> Union[dict, None]:
+    """Match one atom onto another under a variable substitution."""
+    if pattern.pred != target.pred or pattern.arity != target.arity:
+        return None
+    theta = _match_time(pattern, target, theta)
+    if theta is None:
+        return None
+    for parg, targ in zip(pattern.args, target.args):
+        if isinstance(parg, Var):
+            key = ("d", parg.name)
+            if key in theta:
+                if theta[key] != targ:
+                    return None
+            else:
+                theta = {**theta, key: targ}
+        elif parg != targ:
+            return None
+    return theta
+
+
+def _cover(patterns: "tuple[Atom, ...]", targets: "tuple[Atom, ...]",
+           theta: dict) -> bool:
+    """Can every pattern atom be matched onto *some* target atom?"""
+    if not patterns:
+        return True
+    first, rest = patterns[0], patterns[1:]
+    for target in targets:
+        extended = _match_atom(first, target, theta)
+        if extended is not None and _cover(rest, targets, extended):
+            return True
+    return False
+
+
+def _subsumes(general: Rule, specific: Rule) -> bool:
+    """θ-subsumption: ∃θ with θ(general.head) = specific.head and
+    θ(general.body) ⊆ specific.body (likewise for negative literals)."""
+    theta = _match_atom(general.head, specific.head, {})
+    if theta is None:
+        return False
+    return (_cover(general.body, specific.body, theta)
+            and _cover(general.negative, specific.negative, theta))
+
+
+@register
+class DuplicateRuleCheck(Check):
+    code = "TDD009"
+    name = "duplicate-rule"
+    severity = "warning"
+    description = "Two rules are identical (up to variable renaming)."
+    hint = "delete one of the copies"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for i, rule in enumerate(ctx.rules):
+            for earlier in ctx.rules[:i]:
+                if rule == earlier or (_subsumes(earlier, rule)
+                                       and _subsumes(rule, earlier)):
+                    where = _rule_span(earlier)
+                    yield self.diag(
+                        f"rule '{rule}' duplicates an earlier rule"
+                        + (f" (line {where.line})" if where else ""),
+                        _rule_span(rule))
+                    break
+
+
+@register
+class SubsumedRuleCheck(Check):
+    code = "TDD010"
+    name = "subsumed-rule"
+    severity = "warning"
+    description = ("A rule derives nothing a more general rule does not "
+                   "already derive.")
+    hint = "delete the subsumed rule"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for i, rule in enumerate(ctx.rules):
+            for j, other in enumerate(ctx.rules):
+                if i == j:
+                    continue
+                if _subsumes(other, rule) and not _subsumes(rule, other):
+                    yield self.diag(
+                        f"rule '{rule}' is subsumed by the more general "
+                        f"rule '{other}'",
+                        _rule_span(rule))
+                    break
+
+
+@register
+class DeadRuleCheck(Check):
+    code = "TDD011"
+    name = "dead-rule"
+    severity = "warning"
+    description = ("A body predicate can never hold (no facts and no "
+                   "derivable rules), so the rule never fires.")
+    paper = "Section 5 (derived predicates)"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        supported: set[str] = set(ctx.extensional)
+        changed = True
+        while changed:
+            changed = False
+            for rule in ctx.rules:
+                if rule.head.pred in supported:
+                    continue
+                if all(atom.pred in supported for atom in rule.body):
+                    supported.add(rule.head.pred)
+                    changed = True
+        for rule in ctx.rules:
+            dead = [atom for atom in rule.body
+                    if atom.pred not in supported]
+            if not dead:
+                continue
+            preds = sorted({atom.pred for atom in dead})
+            yield self.diag(
+                f"rule '{rule}' can never fire: no facts can exist for "
+                f"{preds}",
+                dead[0].span or _rule_span(rule),
+                hint="add facts or defining rules, or delete the rule")
+
+
+@register
+class UnreachablePredicateCheck(Check):
+    code = "TDD012"
+    name = "unreachable-predicate"
+    severity = "warning"
+    description = ("Database facts for a predicate no rule body ever "
+                   "reads are dead weight.")
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        if not ctx.rules:
+            return  # a bare database: every predicate is a query target
+        used = {atom.pred for rule in ctx.rules
+                for atom in (*rule.body, *rule.negative)}
+        seen: set[str] = set()
+        for fact in ctx.facts:
+            pred = fact.pred
+            if pred in used or pred in ctx.derived or pred in seen:
+                continue
+            seen.add(pred)
+            yield self.diag(
+                f"facts for predicate {pred} are never used by any rule "
+                "(unreachable from every derived predicate)",
+                fact.span,
+                hint="delete the facts, or reference the predicate")
+
+
+@register
+class UnusedPredicateCheck(Check):
+    code = "TDD013"
+    name = "unused-predicate"
+    severity = "info"
+    description = ("A derived predicate never used in a body; fine when "
+                   "it is the query target.")
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        used = {atom.pred for rule in ctx.rules
+                for atom in (*rule.body, *rule.negative)}
+        for pred in sorted(ctx.derived - used):
+            rule = next(r for r in ctx.rules if r.head.pred == pred)
+            yield self.diag(
+                f"predicate {pred} is derived but never used in a body "
+                "(fine if it is the query target)",
+                rule.head.span or _rule_span(rule))
+
+
+# ---------------------------------------------------------------------------
+# Info: paper-class certifications
+# ---------------------------------------------------------------------------
+
+@register
+class NonNormalCheck(Check):
+    code = "TDD014"
+    name = "non-normal"
+    severity = "info"
+    description = ("A rule has temporal depth > 1 (or several temporal "
+                   "variables); the paper's normal-form statements "
+                   "apply after to_normal().")
+    paper = "Section 3.1 (normal form)"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for rule in ctx.rules:
+            if not rule.is_semi_normal:
+                tvars = sorted(rule.temporal_variables())
+                yield self.diag(
+                    f"rule '{rule}' has {len(tvars)} temporal variables "
+                    f"({', '.join(tvars)}); the paper's normal form "
+                    "allows one (to_semi_normal() rewrites this)",
+                    _rule_span(rule))
+                continue
+            if rule.temporal_depth <= 1:
+                continue
+            offender = max(
+                (a for a in rule.atoms()
+                 if a.time is not None and not a.time.is_ground),
+                key=lambda a: a.time.offset)
+            yield self.diag(
+                f"rule '{rule}' has temporal depth "
+                f"{rule.temporal_depth} > 1 at literal '{offender}'; "
+                "the paper's normal-form statements apply after "
+                "to_normal()",
+                offender.span or _rule_span(rule))
+
+
+@register
+class InflationaryCheck(Check):
+    code = "TDD015"
+    name = "inflationary"
+    severity = "info"
+    description = ("Theorem 5.2 inflationary test: inflationary "
+                   "rulesets are polynomial-time by Theorem 5.1.")
+    paper = "Theorems 5.1/5.2"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        if not ctx.rules:
+            return
+        verdict = ctx.inflationary
+        if verdict is None:
+            yield self.diag(
+                "the Theorem 5.2 inflationary test does not apply "
+                "(rules outside the paper's assumptions: negation or "
+                "ground terms)")
+        elif verdict:
+            yield self.diag(
+                "certified inflationary (Theorem 5.2): query "
+                "processing is polynomial-time by Theorem 5.1")
+        else:
+            yield self.diag(
+                "not inflationary (Theorem 5.2 test is negative)")
+
+
+@register
+class ClassMembershipCheck(Check):
+    code = "TDD016"
+    name = "class-membership"
+    severity = "info"
+    description = ("Section 6 membership: multi-separable / separable "
+                   "/ reduced time-only, with the failing rule when "
+                   "outside.")
+    paper = "Theorems 6.3/6.5"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        if not ctx.rules:
+            return
+        from ..core.classify import is_reduced_time_only, is_separable
+        report = ctx.classification
+        if report is None:
+            return
+        if report.is_multi_separable:
+            qualifiers = []
+            if is_separable(ctx.rules):
+                qualifiers.append("separable [7]")
+            if is_reduced_time_only(ctx.rules):
+                qualifiers.append("reduced time-only (Thm 6.3)")
+            extra = f" ({', '.join(qualifiers)})" if qualifiers else ""
+            yield self.diag(
+                "multi-separable (Theorem 6.5): 1-periodic and "
+                f"polynomial-time{extra}")
+            return
+        if not report.mutual_recursion_free:
+            yield self.diag(
+                "not multi-separable: the ruleset is not "
+                "mutual-recursion-free (Section 6 requires it)")
+            return
+        if report.offending_rules:
+            offender = report.offending_rules[0]
+            yield self.diag(
+                f"not multi-separable: rule '{offender}' is neither "
+                "time-only nor data-only",
+                _rule_span(offender))
+        else:
+            mixed = sorted(pred for pred, kind
+                           in report.predicate_kinds.items()
+                           if kind not in ("time-only", "data-only"))
+            yield self.diag(
+                "not multi-separable: predicates "
+                f"{mixed} mix time-only and data-only recursive rules")
+
+
+@register
+class TractabilityCheck(Check):
+    code = "TDD017"
+    name = "no-tractability-guarantee"
+    severity = "warning"
+    description = ("Outside both tractable classes (Sections 5 and 6): "
+                   "evaluation may need exponential windows.")
+    paper = "Sections 5 and 6"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        if ctx.inflationary is not False:
+            return
+        report = ctx.classification
+        if report is None or report.is_multi_separable:
+            return
+        offenders = report.offending_rules[:3]
+        detail = ("; offending rules: "
+                  + ", ".join(f"'{r}'" for r in offenders)
+                  if offenders else "")
+        span = (_rule_span(offenders[0]) if offenders else None)
+        yield self.diag(
+            "outside both tractable classes (Sections 5 and 6); "
+            f"evaluation may need exponential windows{detail}",
+            span)

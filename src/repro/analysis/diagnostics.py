@@ -1,0 +1,88 @@
+"""Diagnostic values emitted by the lint framework.
+
+A :class:`Diagnostic` is one finding: a stable code (``TDDnnn``), a
+human-readable check name, a severity, a message, and — when the program
+came from source text — a :class:`~repro.lang.spans.Span` pointing at the
+offending construct.  Severities form a total order (``info`` <
+``warning`` < ``error``) used by the CLI's ``--max-severity`` gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Union
+
+from ..lang.spans import Span
+
+#: Severity names, ascending.
+SEVERITIES = ("info", "warning", "error")
+
+_RANK = {name: i for i, name in enumerate(SEVERITIES)}
+
+
+def severity_rank(severity: str) -> int:
+    """0 for info, 1 for warning, 2 for error; raises on unknown names."""
+    return _RANK[severity]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding.
+
+    ``code`` is the stable machine identifier (``TDD001``...); ``name``
+    the stable kebab-case check name (``range-restriction``).  ``span``
+    is None for programmatically constructed rules with no source.
+    ``hint`` optionally suggests a fix.
+    """
+
+    code: str
+    name: str
+    severity: str
+    message: str
+    span: Union[Span, None] = None
+    hint: Union[str, None] = None
+    file: Union[str, None] = field(default=None, compare=False)
+
+    @property
+    def location(self) -> str:
+        """``file:line:col`` (with unknown parts omitted)."""
+        parts = []
+        if self.file:
+            parts.append(self.file)
+        if self.span is not None:
+            parts.append(str(self.span))
+        return ":".join(parts)
+
+    def __str__(self) -> str:
+        prefix = f"{self.location}: " if self.location else ""
+        return f"{prefix}{self.severity}[{self.code}]: {self.message}"
+
+
+def max_severity(diagnostics: Iterable[Diagnostic]) -> Union[str, None]:
+    """The highest severity present, or None for an empty sequence."""
+    best: Union[str, None] = None
+    for diagnostic in diagnostics:
+        if best is None or severity_rank(diagnostic.severity) > \
+                severity_rank(best):
+            best = diagnostic.severity
+    return best
+
+
+def count_by_severity(diagnostics: Iterable[Diagnostic]) -> dict[str, int]:
+    """``{"error": n, "warning": m, "info": k}`` (all keys present)."""
+    counts = {name: 0 for name in SEVERITIES}
+    for diagnostic in diagnostics:
+        counts[diagnostic.severity] += 1
+    return counts
+
+
+def gate(diagnostics: Iterable[Diagnostic],
+         tolerated: str = "warning") -> bool:
+    """True when any diagnostic exceeds the tolerated severity.
+
+    ``tolerated`` is the highest severity that still passes: with the
+    default ``"warning"`` only errors fail the gate; with ``"info"``
+    warnings fail too; with ``"error"`` nothing does.
+    """
+    limit = severity_rank(tolerated)
+    return any(severity_rank(d.severity) > limit for d in diagnostics)

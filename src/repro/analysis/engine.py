@@ -1,0 +1,153 @@
+"""Running the checks: selection, parse-stage diagnostics, file driver.
+
+The engine is the glue between the check registry and its surfaces
+(``repro lint``, ``repro analyze``, :func:`repro.core.analyze`):
+
+* :func:`run_checks` runs (a selection of) the registered checks over an
+  already-parsed program and returns sorted diagnostics;
+* :func:`lint_text` / :func:`lint_file` additionally own the parse
+  stage, converting :class:`~repro.lang.errors.ParseError` /
+  ``SortError`` / ``ValidationError`` into span-carrying ``TDD000`` /
+  ``TDD001`` diagnostics instead of raising.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence, Union
+
+from ..lang.atoms import Fact
+from ..lang.errors import (LocatedError, ParseError, SortError,
+                           ValidationError)
+from ..lang.rules import Rule
+from ..lang.sorts import parse_program
+from ..lang.spans import Span
+from .checks import (REGISTRY, SORT_ERROR, SYNTAX_ERROR, LintContext,
+                     all_checks)
+from .diagnostics import Diagnostic
+
+
+@dataclass
+class LintResult:
+    """Everything the renderers need about one linted program."""
+
+    path: str
+    text: Union[str, None] = None
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+
+class UnknownCodeError(ValueError):
+    """A ``--select``/``--ignore`` argument named a code that is not
+    registered (and is not a parse-stage code)."""
+
+
+def _normalize_codes(codes: Union[Iterable[str], None],
+                     what: str) -> Union[set[str], None]:
+    if codes is None:
+        return None
+    known = set(REGISTRY) | {SYNTAX_ERROR[0], SORT_ERROR[0]}
+    by_name = {REGISTRY[code].name: code for code in REGISTRY}
+    by_name[SYNTAX_ERROR[1]] = SYNTAX_ERROR[0]
+    by_name[SORT_ERROR[1]] = SORT_ERROR[0]
+    out: set[str] = set()
+    for code in codes:
+        code = code.strip()
+        if not code:
+            continue
+        canonical = code.upper() if code.upper() in known else \
+            by_name.get(code.lower())
+        if canonical is None:
+            raise UnknownCodeError(
+                f"unknown diagnostic code {code!r} in {what} "
+                f"(known: {', '.join(sorted(known))})")
+        out.add(canonical)
+    return out
+
+
+def _sort_key(diagnostic: Diagnostic):
+    span = diagnostic.span
+    return (span.line if span else 1 << 30,
+            span.column if span else 1 << 30,
+            diagnostic.code, diagnostic.message)
+
+
+def run_checks(rules: Sequence[Rule], facts: Iterable[Fact] = (), *,
+               path: Union[str, None] = None,
+               source: Union[str, None] = None,
+               select: Union[Iterable[str], None] = None,
+               ignore: Union[Iterable[str], None] = None,
+               context: Union[LintContext, None] = None
+               ) -> list[Diagnostic]:
+    """Run the registered checks over a parsed program.
+
+    ``select`` restricts to the given codes (or check names); ``ignore``
+    removes codes after selection.  Diagnostics come back sorted by
+    source position, then code.
+    """
+    selected = _normalize_codes(select, "--select")
+    ignored = _normalize_codes(ignore, "--ignore") or set()
+    if context is None:
+        context = LintContext(rules, facts, path=path, source=source)
+    diagnostics: list[Diagnostic] = []
+    for check in all_checks():
+        if selected is not None and check.code not in selected:
+            continue
+        if check.code in ignored:
+            continue
+        diagnostics.extend(check.run(context))
+    if path is not None:
+        diagnostics = [
+            Diagnostic(d.code, d.name, d.severity, d.message, d.span,
+                       d.hint, path)
+            for d in diagnostics
+        ]
+    diagnostics.sort(key=_sort_key)
+    return diagnostics
+
+
+def _parse_stage_diagnostic(exc: LocatedError, path: str,
+                            code_name: "tuple[str, str]") -> Diagnostic:
+    code, name = code_name
+    span = (Span(exc.line, exc.column or 1)
+            if exc.line is not None else None)
+    return Diagnostic(code, name, "error", exc.bare_message, span,
+                      None, path)
+
+
+def lint_text(text: str, path: str = "<program>", *,
+              select: Union[Iterable[str], None] = None,
+              ignore: Union[Iterable[str], None] = None) -> LintResult:
+    """Lint program text: parse-stage errors become diagnostics too.
+
+    A program that fails to parse yields exactly one ``TDD000`` (syntax)
+    or ``TDD001`` (sort/validation) diagnostic — the parser stops at the
+    first error — and no check-stage diagnostics.
+    """
+    result = LintResult(path=path, text=text)
+    try:
+        program = parse_program(text, validate=False)
+    except ParseError as exc:
+        result.diagnostics.append(
+            _parse_stage_diagnostic(exc, path, SYNTAX_ERROR))
+        return result
+    except (SortError, ValidationError) as exc:
+        result.diagnostics.append(
+            _parse_stage_diagnostic(exc, path, SORT_ERROR))
+        return result
+    result.diagnostics = run_checks(
+        program.rules, program.facts, path=path, source=text,
+        select=select, ignore=ignore)
+    return result
+
+
+def lint_file(path: "str | Path", *,
+              select: Union[Iterable[str], None] = None,
+              ignore: Union[Iterable[str], None] = None) -> LintResult:
+    """Lint one ``.tdd`` file (raises OSError for unreadable paths)."""
+    text = Path(path).read_text()
+    return lint_text(text, str(path), select=select, ignore=ignore)

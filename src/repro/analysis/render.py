@@ -1,0 +1,190 @@
+"""Diagnostic renderers: human text with caret excerpts, JSON, SARIF.
+
+All three renderers consume :class:`~repro.analysis.engine.LintResult`
+values (one per linted file) so that multi-file runs produce a single
+consistent document.  The SARIF output follows the 2.1.0 schema consumed
+by GitHub code scanning: one run, one rule entry per registered check,
+one result per diagnostic with a physical location when the diagnostic
+carries a span.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Iterable, Sequence, Union
+
+from ..lang.spans import Span
+from .checks import REGISTRY, SORT_ERROR, SYNTAX_ERROR
+from .diagnostics import Diagnostic, count_by_severity
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import LintResult
+
+_SARIF_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+#: Name + severity of the parse-stage pseudo-checks, keyed by code.
+_PARSE_STAGE = {
+    SYNTAX_ERROR[0]: (SYNTAX_ERROR[1],
+                      "The program text could not be parsed."),
+    SORT_ERROR[0]: (SORT_ERROR[1],
+                    "Temporal sorts or arities could not be resolved."),
+}
+
+
+def source_excerpt(source: str, span: Span, indent: str = "  ") -> str:
+    """The offending source line with a caret underline.
+
+    ::
+
+        3 | p(T+1, X) :- q(T).
+          |        ^^^^
+    """
+    lines = source.splitlines()
+    if not 1 <= span.line <= len(lines):
+        return ""
+    text = lines[span.line - 1].replace("\t", " ")
+    gutter = str(span.line)
+    pad = " " * len(gutter)
+    column = max(1, min(span.column, len(text) + 1))
+    width = span.width
+    if span.end_column is not None:
+        width = max(1, min(span.end_column, len(text) + 1) - column)
+    caret = " " * (column - 1) + "^" * width
+    return (f"{indent}{gutter} | {text}\n"
+            f"{indent}{pad} | {caret}")
+
+
+def render_text(results: "Sequence[LintResult]",
+                excerpts: bool = True) -> str:
+    """The human format: one ``file:line:col`` header line per finding,
+    followed by the underlined source excerpt, and a summary line."""
+    out: list[str] = []
+    diagnostics: list[Diagnostic] = []
+    for result in results:
+        for diagnostic in result.diagnostics:
+            diagnostics.append(diagnostic)
+            out.append(str(diagnostic))
+            if excerpts and result.text and diagnostic.span is not None:
+                excerpt = source_excerpt(result.text, diagnostic.span)
+                if excerpt:
+                    out.append(excerpt)
+            if diagnostic.hint:
+                out.append(f"  hint: {diagnostic.hint}")
+    counts = count_by_severity(diagnostics)
+    out.append(f"{counts['error']} error(s), {counts['warning']} "
+               f"warning(s), {counts['info']} info")
+    return "\n".join(out)
+
+
+def _diagnostic_dict(diagnostic: Diagnostic) -> dict:
+    data: dict = {
+        "code": diagnostic.code,
+        "name": diagnostic.name,
+        "severity": diagnostic.severity,
+        "message": diagnostic.message,
+    }
+    if diagnostic.span is not None:
+        data["line"] = diagnostic.span.line
+        data["column"] = diagnostic.span.column
+        if diagnostic.span.end_column is not None:
+            data["end_column"] = diagnostic.span.end_column
+    if diagnostic.hint:
+        data["hint"] = diagnostic.hint
+    return data
+
+
+def render_json(results: "Sequence[LintResult]") -> str:
+    """A machine format mirroring the diagnostic objects one-to-one."""
+    all_diagnostics = [d for r in results for d in r.diagnostics]
+    document = {
+        "files": [
+            {
+                "path": result.path,
+                "diagnostics": [_diagnostic_dict(d)
+                                for d in result.diagnostics],
+            }
+            for result in results
+        ],
+        "summary": count_by_severity(all_diagnostics),
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def _sarif_rules(used_codes: Iterable[str]) -> list[dict]:
+    rules: list[dict] = []
+    for code in sorted(set(used_codes)):
+        if code in REGISTRY:
+            check = REGISTRY[code]
+            name, description = check.name, check.description
+            level = _SARIF_LEVELS[check.severity]
+            help_text = check.paper or None
+        elif code in _PARSE_STAGE:
+            name, description = _PARSE_STAGE[code]
+            level, help_text = "error", None
+        else:  # pragma: no cover - future codes
+            name, description, level, help_text = code, "", "warning", None
+        rule: dict = {
+            "id": code,
+            "name": name,
+            "shortDescription": {"text": description or name},
+            "defaultConfiguration": {"level": level},
+        }
+        if help_text:
+            rule["help"] = {"text": f"Paper reference: {help_text}"}
+        rules.append(rule)
+    return rules
+
+
+def _sarif_result(result: "LintResult", diagnostic: Diagnostic) -> dict:
+    entry: dict = {
+        "ruleId": diagnostic.code,
+        "level": _SARIF_LEVELS[diagnostic.severity],
+        "message": {"text": diagnostic.message},
+    }
+    location: dict = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": result.path},
+        }
+    }
+    if diagnostic.span is not None:
+        region: dict = {
+            "startLine": diagnostic.span.line,
+            "startColumn": diagnostic.span.column,
+        }
+        if diagnostic.span.end_column is not None:
+            region["endColumn"] = diagnostic.span.end_column
+        location["physicalLocation"]["region"] = region
+    entry["locations"] = [location]
+    return entry
+
+
+def render_sarif(results: "Sequence[LintResult]",
+                 tool_version: Union[str, None] = None) -> str:
+    """SARIF 2.1.0, suitable for GitHub code scanning upload."""
+    if tool_version is None:
+        from .. import __version__ as tool_version  # type: ignore
+    used = [d.code for r in results for d in r.diagnostics]
+    document = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "version": str(tool_version),
+                        "informationUri":
+                            "https://github.com/example/repro",
+                        "rules": _sarif_rules(used),
+                    }
+                },
+                "results": [
+                    _sarif_result(result, diagnostic)
+                    for result in results
+                    for diagnostic in result.diagnostics
+                ],
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)

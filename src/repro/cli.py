@@ -15,6 +15,10 @@ Commands
     Report membership in the paper's tractable classes.
 ``spec FILE [--save OUT.json]``
     Print (and optionally persist) the relational specification.
+``lint FILE...``
+    Run the span-aware diagnostics engine; text, JSON or SARIF output
+    (``--format``), code selection (``--select``/``--ignore``), and a
+    severity gate for CI (``--max-severity``).
 ``repl FILE``
     Interactive query loop; ``:period``, ``:spec``, ``:classify``,
     ``:quit`` are built in.
@@ -29,21 +33,52 @@ import sys
 from pathlib import Path
 from typing import Sequence, TextIO, Union
 
+from .analysis import UnknownCodeError
 from .core.serialize import save_spec
 from .core.tdd import TDD
-from .lang.errors import ReproError
+from .lang.errors import LocatedError, ReproError
 from .obs import EvalStats, JsonLinesSink, Tracer
+
+
+class _SourceError(Exception):
+    """A located static error plus the file and text it occurred in,
+    so :func:`main` can render ``file:line:col`` with a caret excerpt."""
+
+    def __init__(self, path: str, text: str, cause: LocatedError):
+        super().__init__(str(cause))
+        self.path = path
+        self.text = text
+        self.cause = cause
 
 
 def _load(args) -> TDD:
     text = Path(args.file).read_text()
-    tdd = TDD.from_text(text)
+    try:
+        tdd = TDD.from_text(text)
+    except LocatedError as exc:
+        if exc.line is None:
+            raise
+        raise _SourceError(args.file, text, exc) from exc
     stats, tracer = getattr(args, "_obs", (None, None))
     if stats is not None or tracer is not None:
         # Evaluate eagerly under instrumentation; the result is cached,
         # so the command's own queries reuse it.
         tdd.evaluate(stats=stats, tracer=tracer)
     return tdd
+
+
+def _print_source_error(exc: _SourceError) -> None:
+    from .analysis import source_excerpt
+    from .lang.spans import Span
+    cause = exc.cause
+    location = f"{exc.path}:{cause.line}"
+    if cause.column is not None:
+        location += f":{cause.column}"
+    print(f"{location}: error: {cause.bare_message}", file=sys.stderr)
+    excerpt = source_excerpt(
+        exc.text, Span(cause.line, cause.column or 1))
+    if excerpt:
+        print(excerpt, file=sys.stderr)
 
 
 def _print_period(tdd: TDD, out: TextIO) -> None:
@@ -140,6 +175,28 @@ def cmd_analyze(args, out: TextIO) -> int:
     report = analyze(tdd.rules, tdd.database.facts())
     print(report.render(), file=out)
     return 0 if not report.warnings else 1
+
+
+def cmd_lint(args, out: TextIO) -> int:
+    from .analysis import (gate, lint_text, render_json, render_sarif,
+                           render_text)
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
+    results = []
+    for path in args.files:
+        text = Path(path).read_text()
+        results.append(lint_text(text, path, select=select,
+                                 ignore=ignore))
+    if args.format == "json":
+        print(render_json(results), file=out)
+    elif args.format == "sarif":
+        print(render_sarif(results), file=out)
+    else:
+        rendered = render_text(results)
+        if rendered:
+            print(rendered, file=out)
+    all_diagnostics = [d for r in results for d in r.diagnostics]
+    return 1 if gate(all_diagnostics, args.max_severity) else 0
 
 
 def cmd_timeline(args, out: TextIO) -> int:
@@ -270,6 +327,23 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("file")
     analyze.set_defaults(func=cmd_analyze)
 
+    lint = sub.add_parser("lint",
+                          help="span-aware diagnostics (text/JSON/SARIF)")
+    lint.add_argument("files", nargs="+", metavar="FILE")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text")
+    lint.add_argument("--select", default=None, metavar="CODES",
+                      help="comma-separated codes or names to run "
+                           "(e.g. TDD002,unsafe-negation)")
+    lint.add_argument("--ignore", default=None, metavar="CODES",
+                      help="comma-separated codes or names to skip")
+    lint.add_argument("--max-severity",
+                      choices=("info", "warning", "error"),
+                      default="warning",
+                      help="worst severity tolerated before exiting 1 "
+                           "(default: warning, i.e. errors gate)")
+    lint.set_defaults(func=cmd_lint)
+
     timeline = sub.add_parser("timeline", parents=[obs],
                               help="ASCII timeline of the model")
     timeline.add_argument("file")
@@ -308,7 +382,13 @@ def main(argv: Union[Sequence[str], None] = None,
             print("\n-- eval stats --", file=stream)
             print(stats.summary(), file=stream)
         return code
+    except _SourceError as exc:
+        _print_source_error(exc)
+        return 2
     except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except UnknownCodeError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except (OSError, UnicodeDecodeError) as exc:

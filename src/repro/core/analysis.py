@@ -1,19 +1,16 @@
-"""Static program analysis and linting for TDD programs.
+"""Static program analysis for TDD programs.
 
-A production deductive database should tell the user *why* a program
-will (or won't) evaluate well before any evaluation runs.
 :func:`analyze` produces a structural report — predicate inventory,
-recursion components, strata, forwardness, temporal depth — and
-:func:`lint` derives actionable diagnostics from it:
+recursion components, strata, forwardness, temporal depth — and runs the
+span-aware diagnostics engine (:mod:`repro.analysis`) over the program,
+so every finding carries a stable ``TDDnnn`` code, a severity, and the
+source location when the rules came from text.  :func:`lint` returns
+just the diagnostics.
 
-* rules that can never fire (a body predicate with no facts and no
-  rules),
-* predicates that are defined but never used,
-* non-forward rules (periods will be verified, not certified),
-* non-normal rules (deeper than 1: relevant when comparing with the
-  paper's normal-form statements),
-* tractability status per Sections 5 and 6 with the failing rules
-  when outside both classes.
+This module is the programmatic face of the engine; the CLI surfaces
+are ``repro analyze`` (structural report + diagnostics) and ``repro
+lint`` (diagnostics only, with text/JSON/SARIF renderers and CI
+gating).
 """
 
 from __future__ import annotations
@@ -21,9 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence, Union
 
-from ..datalog.depgraph import (dependency_graph, derived_predicates,
-                                is_stratifiable, recursive_predicates,
-                                stratification)
+from ..analysis import Diagnostic, run_checks
+from ..datalog.depgraph import (derived_predicates, is_stratifiable,
+                                recursive_predicates, stratification)
 from ..lang.atoms import Fact
 from ..lang.errors import ClassificationError
 from ..lang.rules import Rule
@@ -31,17 +28,8 @@ from ..temporal.periodicity import forward_lookback
 from .classify import classify_ruleset
 from .inflationary import is_inflationary
 
-
-@dataclass
-class Diagnostic:
-    """One lint finding: a severity, a code, and a message."""
-
-    severity: str  # "info" | "warning"
-    code: str
-    message: str
-
-    def __str__(self) -> str:
-        return f"[{self.severity}] {self.code}: {self.message}"
+__all__ = ["Diagnostic", "ProgramReport", "analyze", "lint",
+           "join_plans"]
 
 
 @dataclass
@@ -61,7 +49,13 @@ class ProgramReport:
 
     @property
     def warnings(self) -> list[Diagnostic]:
-        return [d for d in self.diagnostics if d.severity == "warning"]
+        """Diagnostics of severity warning or error."""
+        return [d for d in self.diagnostics
+                if d.severity in ("warning", "error")]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
 
     def render(self) -> str:
         lines = ["predicates:"]
@@ -89,9 +83,10 @@ class ProgramReport:
 def analyze(rules: Sequence[Rule],
             facts: Iterable[Fact] = ()) -> ProgramReport:
     """Build the structural report for a ruleset (+ optional database)."""
+    facts = list(facts)  # may be a generator; we iterate it twice
     proper = [r for r in rules if not r.is_fact]
-    fact_list = list(facts) + [r.head.to_fact() for r in rules
-                               if r.is_fact]
+    fact_list = facts + [r.head.to_fact() for r in rules
+                         if r.is_fact]
     report = ProgramReport()
 
     derived = derived_predicates(proper)
@@ -125,85 +120,16 @@ def analyze(rules: Sequence[Rule],
         report.inflationary = is_inflationary(proper)
     except ClassificationError:
         report.inflationary = None
-    classification = classify_ruleset(proper)
-    report.multi_separable = classification.is_multi_separable
+    report.multi_separable = classify_ruleset(proper).is_multi_separable
 
-    _lint_into(report, proper, extensional, derived, classification)
+    report.diagnostics = run_checks(rules, facts)
     return report
-
-
-def _lint_into(report: ProgramReport, rules: Sequence[Rule],
-               extensional: set[str], derived: set[str],
-               classification) -> None:
-    diagnostics = report.diagnostics
-    graph = dependency_graph(rules)
-
-    # Predicates with no possible facts: neither extensional nor
-    # (transitively) derivable from extensional ones.
-    supported: set[str] = set(extensional)
-    changed = True
-    while changed:
-        changed = False
-        for rule in rules:
-            if rule.head.pred in supported:
-                continue
-            if all(atom.pred in supported for atom in rule.body):
-                supported.add(rule.head.pred)
-                changed = True
-    for rule in rules:
-        dead = [atom.pred for atom in rule.body
-                if atom.pred not in supported]
-        if dead:
-            diagnostics.append(Diagnostic(
-                "warning", "dead-rule",
-                f"rule '{rule}' can never fire: no facts can exist for "
-                f"{sorted(set(dead))}"))
-
-    # Defined but never used (except as a query target, which we cannot
-    # see — hence only info severity).
-    used = {atom.pred for rule in rules
-            for atom in (*rule.body, *rule.negative)}
-    for pred in sorted(derived - used):
-        diagnostics.append(Diagnostic(
-            "info", "unused-predicate",
-            f"predicate {pred} is derived but never used in a body "
-            "(fine if it is the query target)"))
-
-    if not report.stratifiable:
-        diagnostics.append(Diagnostic(
-            "warning", "not-stratifiable",
-            "recursion through negation: the program has no stratified "
-            "model and evaluation will be rejected"))
-
-    if not report.forward:
-        backward = [r for r in rules if not r.is_forward]
-        diagnostics.append(Diagnostic(
-            "warning", "non-forward",
-            f"{len(backward)} rule(s) look forward in time; detected "
-            "periods will be verified at finite horizons, not "
-            "certified"))
-
-    if report.temporal_depth > 1:
-        diagnostics.append(Diagnostic(
-            "info", "non-normal",
-            f"max temporal depth is {report.temporal_depth} > 1; "
-            "the paper's normal-form statements apply after "
-            "to_normal()"))
-
-    if report.inflationary is False and not report.multi_separable:
-        offenders = ", ".join(str(r) for r in
-                              classification.offending_rules[:3])
-        diagnostics.append(Diagnostic(
-            "warning", "no-tractability-guarantee",
-            "outside both tractable classes (Sections 5 and 6); "
-            "evaluation may need exponential windows"
-            + (f"; offending rules: {offenders}" if offenders else "")))
 
 
 def lint(rules: Sequence[Rule],
          facts: Iterable[Fact] = ()) -> list[Diagnostic]:
-    """Just the diagnostics of :func:`analyze`."""
-    return analyze(rules, facts).diagnostics
+    """Run every registered check; see :mod:`repro.analysis.checks`."""
+    return run_checks(rules, facts)
 
 
 def join_plans(rules: Sequence[Rule]) -> dict[str, list[str]]:

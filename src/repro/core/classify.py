@@ -240,9 +240,9 @@ def reduce_time_only_rules(rules: Sequence[Rule]) -> list[Rule]:
             time = TimeTerm(tvar, 0) if cluster_temporal and tvar else None
             aux_atom = Atom(aux_pred, time,
                             tuple(Var(v) for v in shared))
-            out.append(Rule(aux_atom, tuple(cluster)))
+            out.append(Rule(aux_atom, tuple(cluster), span=rule.span))
             new_body.append(aux_atom)
-        out.append(Rule(rule.head, tuple(new_body)))
+        out.append(Rule(rule.head, tuple(new_body), span=rule.span))
     return out
 
 

@@ -210,6 +210,49 @@ def is_stratifiable(rules: Sequence[Rule]) -> bool:
     return True
 
 
+def negative_cycle(rules: Sequence[Rule]) -> "list[str] | None":
+    """A dependency cycle through a negative edge, or None.
+
+    Returns a predicate sequence ``[p0, p1, ..., p0]`` whose first step
+    ``p0 -> p1`` is a negative edge (``p0``'s rules negate ``p1``) and
+    whose remaining steps are dependency edges closing the cycle.  A
+    program is stratifiable iff this returns None.  For the self-loop
+    ``p :- not p`` the cycle is ``[p, p]``.
+    """
+    graph = dependency_graph(rules)
+    negatives = negative_edges(rules)
+    components = strongly_connected_components(graph)
+    component_of: dict[str, int] = {}
+    for i, component in enumerate(components):
+        for pred in component:
+            component_of[pred] = i
+    for head, dep in sorted(negatives):
+        if component_of[head] != component_of[dep]:
+            continue
+        if head == dep:
+            return [head, head]
+        # Shortest dependency path dep ->* head inside the component.
+        component = components[component_of[head]]
+        previous: dict[str, "str | None"] = {dep: None}
+        queue = [dep]
+        while queue:
+            node = queue.pop(0)
+            if node == head:
+                break
+            for succ in sorted(graph[node]):
+                if succ in component and succ not in previous:
+                    previous[succ] = node
+                    queue.append(succ)
+        if head not in previous:
+            continue  # the SCC edge is positive-only in this direction
+        back = [head]
+        while back[-1] != dep:
+            back.append(previous[back[-1]])  # type: ignore[arg-type]
+        back.reverse()  # dep -> ... -> head
+        return [head] + back
+    return None
+
+
 def strata_of_rules(rules: Sequence[Rule]) -> "list[list[Rule]]":
     """Group rules by the stratum of their head, ascending.
 

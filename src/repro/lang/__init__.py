@@ -13,12 +13,13 @@ from .errors import (ClassificationError, EvaluationError, ParseError,
 from .parse import is_variable_name, parse_raw, tokenize
 from .pretty import format_facts, format_program, format_rules
 from .rules import Rule, validate_rule, validate_rules
-from .sorts import (ParsedProgram, parse_facts, parse_program, parse_rules)
+from .sorts import ParsedProgram, parse_facts, parse_program, parse_rules
+from .spans import Span
 from .subst import Binding, apply_to_atom, instantiate_head, match_atom
 from .terms import Const, DataTerm, TimeTerm, Var, ground_time, time_var
 
 __all__ = [
-    "Atom", "Fact", "Rule", "Const", "Var", "TimeTerm", "DataTerm",
+    "Atom", "Fact", "Rule", "Span", "Const", "Var", "TimeTerm", "DataTerm",
     "ground_time", "time_var",
     "parse_program", "parse_rules", "parse_facts", "ParsedProgram",
     "parse_raw", "tokenize", "is_variable_name",

@@ -14,9 +14,10 @@ used by the evaluation engines.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, Union
 
+from .spans import Span
 from .terms import Const, DataTerm, TimeTerm, Var
 
 
@@ -27,11 +28,17 @@ class Atom:
     ``time is None`` means the predicate is non-temporal.  ``args`` holds
     only the non-temporal arguments; the temporal argument is always the
     distinguished first argument and lives in ``time``.
+
+    ``span`` optionally records where the atom was written in the source
+    text.  It is excluded from equality and hashing so that atoms from
+    different places (or none) still compare structurally.
     """
 
     pred: str
     time: Union[TimeTerm, None]
     args: tuple[DataTerm, ...]
+    span: Union[Span, None] = field(default=None, compare=False,
+                                    repr=False)
 
     @property
     def is_temporal(self) -> bool:
@@ -71,7 +78,7 @@ class Atom:
             raise ValueError(f"atom {self} is not ground")
         args = tuple(a.value for a in self.args)  # type: ignore[union-attr]
         timepoint = self.time.offset if self.time is not None else None
-        return Fact(self.pred, timepoint, args)
+        return Fact(self.pred, timepoint, args, span=self.span)
 
     def __str__(self) -> str:
         parts: list[str] = []
@@ -95,6 +102,8 @@ class Fact:
     pred: str
     time: Union[int, None]
     args: tuple[Union[str, int], ...]
+    span: Union[Span, None] = field(default=None, compare=False,
+                                    repr=False)
 
     @property
     def is_temporal(self) -> bool:
@@ -104,12 +113,14 @@ class Fact:
         """Return this fact moved ``delta`` steps forward in time."""
         if self.time is None:
             raise ValueError(f"cannot shift non-temporal fact {self}")
-        return Fact(self.pred, self.time + delta, self.args)
+        return Fact(self.pred, self.time + delta, self.args,
+                    span=self.span)
 
     def to_atom(self) -> Atom:
         """Convert back to a ground :class:`Atom`."""
         time = TimeTerm(None, self.time) if self.time is not None else None
-        return Atom(self.pred, time, tuple(Const(v) for v in self.args))
+        return Atom(self.pred, time, tuple(Const(v) for v in self.args),
+                    span=self.span)
 
     def __str__(self) -> str:
         parts: list[str] = []

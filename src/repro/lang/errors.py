@@ -2,7 +2,10 @@
 
 All library errors derive from :class:`ReproError` so callers can catch one
 base class.  Each subclass corresponds to one phase of processing: parsing,
-sort inference, static validation, or evaluation.
+sort inference, static validation, or evaluation.  The static-phase errors
+(parse, sort, validation) optionally carry a 1-based source line and
+column, which the CLI uses to render ``file:line:col`` messages with a
+caret-underlined excerpt (see :mod:`repro.analysis.render`).
 """
 
 from __future__ import annotations
@@ -12,16 +15,19 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
-class ParseError(ReproError):
-    """Raised when program text cannot be parsed.
+class LocatedError(ReproError):
+    """A static error that knows where in the source text it occurred.
 
-    Carries the 1-based line and column of the offending token when known.
+    ``line`` and ``column`` are 1-based and ``None`` when unknown (e.g.
+    for programmatically constructed rules).  The location is folded into
+    the message for plain ``str()`` consumers.
     """
 
     def __init__(self, message: str, line: int | None = None,
                  column: int | None = None):
         self.line = line
         self.column = column
+        self.bare_message = message
         if line is not None:
             message = f"line {line}" + (
                 f", column {column}" if column is not None else ""
@@ -29,7 +35,14 @@ class ParseError(ReproError):
         super().__init__(message)
 
 
-class SortError(ReproError):
+class ParseError(LocatedError):
+    """Raised when program text cannot be parsed.
+
+    Carries the 1-based line and column of the offending token when known.
+    """
+
+
+class SortError(LocatedError):
     """Raised when predicate/variable temporal sorts cannot be reconciled.
 
     Examples: a variable used both as a temporal and a data argument, or a
@@ -37,7 +50,7 @@ class SortError(ReproError):
     """
 
 
-class ValidationError(ReproError):
+class ValidationError(LocatedError):
     """Raised when a rule or database violates the paper's restrictions.
 
     The main restrictions (Section 3.1 of the paper) are: rules must be

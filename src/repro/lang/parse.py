@@ -119,12 +119,14 @@ class RawTerm:
 
     ``kind`` is one of ``'int'``, ``'interval'``, ``'name'``, ``'plus'``,
     ``'string'``.  ``value`` holds the int / ``(lo, hi)`` pair / name /
-    ``(name, k)`` pair / string respectively.
+    ``(name, k)`` pair / string respectively.  ``line``/``column`` are the
+    1-based source position of the term's first token.
     """
 
     kind: str
     value: object
     line: int
+    column: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -133,6 +135,8 @@ class RawAtom:
     terms: tuple[RawTerm, ...]
     line: int
     negated: bool = False
+    column: int = 0
+    end_column: int = 0  # exclusive; 0 when unknown
 
 
 @dataclass(frozen=True, slots=True)
@@ -140,6 +144,7 @@ class RawClause:
     head: RawAtom
     body: tuple[RawAtom, ...]
     line: int
+    column: int = 0
 
     @property
     def is_fact(self) -> bool:
@@ -210,7 +215,7 @@ class _Parser:
                 self._next()
                 body.append(self._literal())
         self._expect("symbol", ".")
-        return RawClause(head, tuple(body), head.line)
+        return RawClause(head, tuple(body), head.line, column=head.column)
 
     def _literal(self) -> RawAtom:
         """A body literal: an atom, optionally prefixed with ``not``.
@@ -223,11 +228,13 @@ class _Parser:
             self._next()
             atom = self._atom()
             return RawAtom(atom.pred, atom.terms, atom.line,
-                           negated=True)
+                           negated=True, column=atom.column,
+                           end_column=atom.end_column)
         return self._atom()
 
     def _atom(self) -> RawAtom:
         name = self._expect("ident")
+        end = name.column + len(name.text)
         terms: list[RawTerm] = []
         if self._peek().kind == "symbol" and self._peek().text == "(":
             self._next()
@@ -235,8 +242,11 @@ class _Parser:
             while self._peek().kind == "symbol" and self._peek().text == ",":
                 self._next()
                 terms.append(self._term())
-            self._expect("symbol", ")")
-        return RawAtom(name.text, tuple(terms), name.line)
+            close = self._expect("symbol", ")")
+            if close.line == name.line:
+                end = close.column + 1
+        return RawAtom(name.text, tuple(terms), name.line,
+                       column=name.column, end_column=end)
 
     def _term(self) -> RawTerm:
         tok = self._next()
@@ -249,16 +259,17 @@ class _Parser:
                 if hi < lo:
                     raise ParseError(f"empty interval {lo}..{hi}",
                                      tok.line, tok.column)
-                return RawTerm("interval", (lo, hi), tok.line)
-            return RawTerm("int", lo, tok.line)
+                return RawTerm("interval", (lo, hi), tok.line, tok.column)
+            return RawTerm("int", lo, tok.line, tok.column)
         if tok.kind == "string":
-            return RawTerm("string", tok.text, tok.line)
+            return RawTerm("string", tok.text, tok.line, tok.column)
         if tok.kind == "ident":
             if self._peek().kind == "symbol" and self._peek().text == "+":
                 self._next()
                 k_tok = self._expect("int")
-                return RawTerm("plus", (tok.text, int(k_tok.text)), tok.line)
-            return RawTerm("name", tok.text, tok.line)
+                return RawTerm("plus", (tok.text, int(k_tok.text)),
+                               tok.line, tok.column)
+            return RawTerm("name", tok.text, tok.line, tok.column)
         raise ParseError(f"expected a term, got {tok.text!r}",
                          tok.line, tok.column)
 

@@ -16,11 +16,12 @@ plus the syntactic predicates the paper relies on:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, Union
 
 from .atoms import Atom
 from .errors import ValidationError
+from .spans import Span
 from .terms import Var
 
 
@@ -33,11 +34,16 @@ class Rule:
     library's stratified-semantics extension, see
     :mod:`repro.temporal.stratified`).  A rule with an empty body and no
     negative literals is a fact.
+
+    ``span`` optionally records the rule's source location (its head
+    token); like atom spans it is excluded from equality and hashing.
     """
 
     head: Atom
     body: tuple[Atom, ...] = ()
     negative: tuple[Atom, ...] = ()
+    span: Union[Span, None] = field(default=None, compare=False,
+                                    repr=False)
 
     @property
     def is_fact(self) -> bool:
@@ -196,11 +202,12 @@ class Rule:
                 Var(mapping.get(a.name, a.name)) if isinstance(a, Var) else a
                 for a in atom.args
             )
-            return Atom(atom.pred, time, args)
+            return Atom(atom.pred, time, args, span=atom.span)
 
         return Rule(rename_atom(self.head),
                     tuple(rename_atom(a) for a in self.body),
-                    tuple(rename_atom(a) for a in self.negative))
+                    tuple(rename_atom(a) for a in self.negative),
+                    span=self.span)
 
     def __str__(self) -> str:
         if self.is_fact:
@@ -219,24 +226,32 @@ def validate_rule(rule: Rule, require_semi_normal: bool = False,
     range-restricted and, unless ``allow_ground_times``, free of ground
     temporal terms.
     """
+    span = rule.span if rule.span is not None else rule.head.span
+    line = span.line if span is not None else None
+    column = span.column if span is not None else None
     if rule.is_fact:
         if not rule.head.is_ground:
-            raise ValidationError(f"fact {rule} is not ground")
+            raise ValidationError(f"fact {rule} is not ground",
+                                  line, column)
         return
     if not rule.is_range_restricted:
-        raise ValidationError(f"rule {rule} is not range-restricted")
+        raise ValidationError(f"rule {rule} is not range-restricted",
+                              line, column)
     if not allow_ground_times and rule.has_ground_temporal_terms:
         raise ValidationError(
             f"rule {rule} contains ground temporal terms; the paper "
-            "assumes rules without ground terms (Section 3.1)"
+            "assumes rules without ground terms (Section 3.1)",
+            line, column
         )
     if not rule.is_safe:
         raise ValidationError(
             f"rule {rule} is not safe: every variable of a negative "
-            "literal must occur in a positive body literal"
+            "literal must occur in a positive body literal",
+            line, column
         )
     if require_semi_normal and not rule.is_semi_normal:
-        raise ValidationError(f"rule {rule} is not semi-normal")
+        raise ValidationError(f"rule {rule} is not semi-normal",
+                              line, column)
     # Temporal variables must not leak into data positions and vice versa.
     tvars = rule.temporal_variables()
     dvars = rule.data_variables()
@@ -244,7 +259,8 @@ def validate_rule(rule: Rule, require_semi_normal: bool = False,
     if clash:
         raise ValidationError(
             f"rule {rule}: variables {sorted(clash)} are used both as "
-            "temporal and as data arguments"
+            "temporal and as data arguments",
+            line, column
         )
 
 

@@ -32,7 +32,12 @@ from .errors import SortError, ValidationError
 from .parse import (RawAtom, RawClause, RawProgram, is_variable_name,
                     parse_raw)
 from .rules import Rule, validate_rules
+from .spans import Span
 from .terms import Const, DataTerm, TimeTerm, Var
+
+
+def _span_of(atom: RawAtom) -> Span:
+    return Span(atom.line, atom.column or 1, atom.end_column or None)
 
 
 @dataclass(frozen=True)
@@ -81,7 +86,8 @@ def infer_temporal_predicates(raw: RawProgram) -> frozenset[str]:
                     if is_variable_name(name):
                         temporal_vars.add(name)
                 elif (first.kind == "name" and atom.pred in temporal
-                        and is_variable_name(first.value)):  # type: ignore[arg-type]
+                        and is_variable_name(
+                            first.value)):  # type: ignore[arg-type]
                     temporal_vars.add(first.value)  # type: ignore[arg-type]
             if not temporal_vars:
                 continue
@@ -111,7 +117,8 @@ def _check_arities(raw: RawProgram) -> None:
             if seen != len(atom.terms):
                 raise SortError(
                     f"predicate {atom.pred} used with both {seen} and "
-                    f"{len(atom.terms)} arguments (line {atom.line})"
+                    f"{len(atom.terms)} arguments",
+                    atom.line, atom.column or None
                 )
 
 
@@ -125,14 +132,16 @@ def _convert_data_term(term, pred: str, temporal_vars: set[str]) -> DataTerm:
         if is_variable_name(name):
             if name in temporal_vars:
                 raise SortError(
-                    f"temporal variable {name} used as a data argument of "
-                    f"{pred} (line {term.line})"
+                    f"temporal variable {name} used as a data argument "
+                    f"of {pred}",
+                    term.line, term.column or None
                 )
             return Var(name)
         return Const(name)
     raise SortError(
         f"term of kind {term.kind!r} not allowed in a data position of "
-        f"{pred} (line {term.line})"
+        f"{pred}",
+        term.line, term.column or None
     )
 
 
@@ -140,55 +149,60 @@ def _convert_atom(atom: RawAtom, temporal: frozenset[str],
                   temporal_vars: set[str],
                   allow_interval: bool) -> "list[Atom]":
     """Convert a raw atom; intervals expand to several atoms."""
+    span = _span_of(atom)
     if atom.pred not in temporal:
         args = tuple(
             _convert_data_term(t, atom.pred, temporal_vars)
             for t in atom.terms
         )
-        return [Atom(atom.pred, None, args)]
+        return [Atom(atom.pred, None, args, span=span)]
 
     if not atom.terms:
         raise SortError(
             f"temporal predicate {atom.pred} used without a temporal "
-            f"argument (line {atom.line})"
+            "argument",
+            atom.line, atom.column or None
         )
     first, rest = atom.terms[0], atom.terms[1:]
     args = tuple(
         _convert_data_term(t, atom.pred, temporal_vars) for t in rest
     )
     if first.kind == "int":
-        return [Atom(atom.pred, TimeTerm(None, first.value), args)]
+        return [Atom(atom.pred, TimeTerm(None, first.value), args,
+                     span=span)]
     if first.kind == "plus":
         name, k = first.value
         if not is_variable_name(name):
             raise SortError(
                 f"{name}+{k}: temporal terms must be built on a variable "
-                f"or on 0 (line {first.line})"
+                f"or on 0",
+                first.line, first.column or None
             )
-        return [Atom(atom.pred, TimeTerm(name, k), args)]
+        return [Atom(atom.pred, TimeTerm(name, k), args, span=span)]
     if first.kind == "name":
         name = first.value
         if not is_variable_name(name):
             raise SortError(
                 f"constant {name!r} used as the temporal argument of "
-                f"{atom.pred} (line {first.line}); only the constant 0 "
-                "and variables are temporal terms"
+                f"{atom.pred}; only the constant 0 "
+                "and variables are temporal terms",
+                first.line, first.column or None
             )
-        return [Atom(atom.pred, TimeTerm(name, 0), args)]
+        return [Atom(atom.pred, TimeTerm(name, 0), args, span=span)]
     if first.kind == "interval":
         if not allow_interval:
             raise SortError(
-                f"interval temporal terms are only allowed in facts "
-                f"(line {first.line})"
+                "interval temporal terms are only allowed in facts",
+                first.line, first.column or None
             )
         lo, hi = first.value
         return [
-            Atom(atom.pred, TimeTerm(None, t), args)
+            Atom(atom.pred, TimeTerm(None, t), args, span=span)
             for t in range(lo, hi + 1)
         ]
     raise SortError(
-        f"term of kind {first.kind!r} not allowed as a temporal argument "
-        f"(line {first.line})"
+        f"term of kind {first.kind!r} not allowed as a temporal argument",
+        first.line, first.column or None
     )
 
 
@@ -222,7 +236,8 @@ def resolve(raw: RawProgram) -> ParsedProgram:
             for head in heads:
                 if not head.is_ground:
                     raise ValidationError(
-                        f"fact {head} (line {clause.line}) is not ground"
+                        f"fact {head} is not ground",
+                        clause.line, clause.column or None
                     )
                 facts.append(head.to_fact())
             continue
@@ -236,7 +251,8 @@ def resolve(raw: RawProgram) -> ParsedProgram:
             else:
                 body.extend(converted)
         assert len(heads) == 1
-        rules.append(Rule(heads[0], tuple(body), tuple(negative)))
+        rules.append(Rule(heads[0], tuple(body), tuple(negative),
+                          span=heads[0].span))
 
     return ParsedProgram(tuple(rules), tuple(facts), temporal)
 

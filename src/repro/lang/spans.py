@@ -1,0 +1,40 @@
+"""Source spans: where in the program text a construct came from.
+
+The tokenizer records a 1-based line and column for every token; the
+parser threads them through the raw AST so that
+:class:`~repro.lang.atoms.Atom`,
+:class:`~repro.lang.atoms.Fact` and :class:`~repro.lang.rules.Rule` can
+carry an optional :class:`Span`.  Spans are carried *outside* structural
+equality (``compare=False`` fields): two atoms differing only in their
+span compare and hash equal, so evaluation, memoization and the
+round-trip property tests are unaffected by where a rule was written.
+
+Spans power the diagnostics engine (:mod:`repro.analysis`): every lint
+finding points at ``file:line:col`` and the renderers underline the
+offending source text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """A 1-based source location: a line, a column, and an optional
+    end column (exclusive) on the same line."""
+
+    line: int
+    column: int
+    end_column: Union[int, None] = None
+
+    @property
+    def width(self) -> int:
+        """Character width of the span (at least 1)."""
+        if self.end_column is None:
+            return 1
+        return max(1, self.end_column - self.column)
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"

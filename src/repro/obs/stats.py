@@ -48,7 +48,8 @@ class EvalStats:
 
     # -- recording -------------------------------------------------------
 
-    def record_round(self, derived: int, delta: Union[int, None] = None) -> None:
+    def record_round(self, derived: int,
+                     delta: Union[int, None] = None) -> None:
         """Account one fixpoint round: ``derived`` new facts, optionally
         the size of the delta that drove it."""
         self.rounds += 1

@@ -77,9 +77,9 @@ def to_semi_normal(rules: Sequence[Rule]) -> list[Rule]:
             aux_pred = f"{stem}_{counter}"
             counter += 1
             aux_head = Atom(aux_pred, None, tuple(Var(v) for v in shared))
-            out.append(Rule(aux_head, tuple(group)))
+            out.append(Rule(aux_head, tuple(group), span=rule.span))
             body = rest + [aux_head]
-        out.append(Rule(rule.head, tuple(body)))
+        out.append(Rule(rule.head, tuple(body), span=rule.span))
     return out
 
 
@@ -91,7 +91,8 @@ def to_normal(rules: Sequence[Rule]) -> list[Rule]:
     next_chains: dict[tuple[str, int], str] = {}
     counter = 0
 
-    def next_pred(pred: str, arity: int, k: int) -> str:
+    def next_pred(pred: str, arity: int, k: int,
+                  origin_span=None) -> str:
         """``_next·k·pred(t) ⇔ pred(t+k)``; builds missing chain rules."""
         for j in range(1, k + 1):
             if (pred, j) in next_chains:
@@ -103,6 +104,7 @@ def to_normal(rules: Sequence[Rule]) -> list[Rule]:
             out.append(Rule(
                 Atom(name, TimeTerm("T", 0), args),
                 (Atom(prev, TimeTerm("T", 1), args),),
+                span=origin_span,
             ))
         return next_chains[(pred, k)]
 
@@ -115,7 +117,8 @@ def to_normal(rules: Sequence[Rule]) -> list[Rule]:
         for atom in rule.body:
             if (atom.time is not None and not atom.time.is_ground
                     and atom.time.offset >= 2):
-                pred = next_pred(atom.pred, atom.arity, atom.time.offset)
+                pred = next_pred(atom.pred, atom.arity,
+                                 atom.time.offset, rule.span)
                 body.append(Atom(pred, TimeTerm(atom.time.var, 0),
                                  atom.args))
             else:
@@ -123,7 +126,7 @@ def to_normal(rules: Sequence[Rule]) -> list[Rule]:
         head = rule.head
         if (head.time is None or head.time.is_ground
                 or head.time.offset <= 1):
-            out.append(Rule(head, tuple(body)))
+            out.append(Rule(head, tuple(body), span=rule.span))
             continue
         # (b) deep head -> copy chain stepping one timepoint at a time.
         big_k = head.time.offset
@@ -138,17 +141,17 @@ def to_normal(rules: Sequence[Rule]) -> list[Rule]:
         carry = tuple(head_vars)
         first = Atom(f"{stem}_cp{counter}_1", TimeTerm(tvar, 1), carry)
         counter += 1
-        out.append(Rule(first, tuple(body)))
+        out.append(Rule(first, tuple(body), span=rule.span))
         prev = first
         for j in range(2, big_k):
             link = Atom(f"{prev.pred[:prev.pred.rfind('_')]}_{j}",
                         TimeTerm(tvar, 1), carry)
             out.append(Rule(link, (Atom(prev.pred, TimeTerm(tvar, 0),
-                                        carry),)))
+                                        carry),), span=rule.span))
             prev = link
         final_head = Atom(head.pred, TimeTerm(tvar, 1), head.args)
         out.append(Rule(final_head, (Atom(prev.pred, TimeTerm(tvar, 0),
-                                          carry),)))
+                                          carry),), span=rule.span))
     return out
 
 

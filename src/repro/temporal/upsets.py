@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import lcm
-from typing import Iterable, Iterator, Sequence, Union
+from typing import Iterable, Iterator, Sequence
 
 from ..datalog.facts import ArgTuple, FactStore
 from ..lang.atoms import Fact

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.lang import parse_program
@@ -37,6 +39,12 @@ null(0).
 node(a). node(b). node(c). node(d).
 edge(a, b). edge(b, c). edge(c, d).
 """
+
+
+@pytest.fixture(scope="session")
+def examples_dir() -> Path:
+    return Path(__file__).resolve().parent.parent / "examples" \
+        / "programs"
 
 
 @pytest.fixture(scope="session")

@@ -1,7 +1,5 @@
 """Tests for static program analysis and linting."""
 
-import pytest
-
 from repro.core import analyze, lint
 from repro.lang import parse_program, parse_rules
 
@@ -56,45 +54,46 @@ class TestLint:
         program = parse_program(
             "q(T+1, X) :- ghost(T, X).\n@temporal ghost. @temporal q.")
         diagnostics = lint(program.rules, program.facts)
-        assert "dead-rule" in codes(diagnostics)
+        assert "TDD011" in codes(diagnostics)  # dead-rule
 
     def test_supported_via_chain_not_flagged(self):
         program = parse_program(
             "a(T+1, X) :- base(T, X).\nb(T+1, X) :- a(T, X).\n"
             "base(0, k).")
         diagnostics = lint(program.rules, program.facts)
-        assert "dead-rule" not in codes(diagnostics)
+        assert "TDD011" not in codes(diagnostics)
 
     def test_unused_predicate_is_info_only(self):
         program = parse_program(
             "top(T+1, X) :- base(T, X).\nbase(0, k).")
         report = analyze(program.rules, program.facts)
-        infos = [d for d in report.diagnostics if d.code ==
-                 "unused-predicate"]
+        infos = [d for d in report.diagnostics if d.code == "TDD013"]
         assert infos and all(d.severity == "info" for d in infos)
+        assert all(d.name == "unused-predicate" for d in infos)
 
     def test_non_forward_warning(self):
         rules = parse_rules(
             "@temporal q.\np(T) :- q(T+1).\nq(T+1) :- q(T).")
         report = analyze(rules)
-        assert "non-forward" in codes(report.warnings)
+        assert "TDD007" in codes(report.warnings)  # non-forward
 
     def test_non_normal_info(self, travel_program):
         report = analyze(travel_program.rules, travel_program.facts)
-        assert "non-normal" in codes(report.diagnostics)
+        assert "TDD014" in codes(report.diagnostics)  # non-normal
 
     def test_intractable_warning(self):
         program = parse_program(
             "p(T+1, X) :- p(T, Y), swap(Y, X).\n"
             "p(0, a). swap(a, b). swap(b, a).")
         report = analyze(program.rules, program.facts)
-        assert "no-tractability-guarantee" in codes(report.warnings)
+        # TDD017: no-tractability-guarantee
+        assert "TDD017" in codes(report.warnings)
 
-    def test_non_stratifiable_warning(self):
+    def test_non_stratifiable_is_error(self):
         rules = parse_rules("win(X) :- move(X, Y), not win(Y).")
         report = analyze(rules)
         assert not report.stratifiable
-        assert "not-stratifiable" in codes(report.warnings)
+        assert "TDD006" in codes(report.errors)  # not-stratifiable
 
 
 class TestJoinPlans:

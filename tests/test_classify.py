@@ -11,7 +11,7 @@ from repro.core import (classify_ruleset, estimate_one_period,
                         reduce_time_only_rules)
 from repro.lang import parse_program, parse_rules
 from repro.lang.errors import ClassificationError
-from repro.temporal import TemporalDatabase, bt_evaluate, verify_period
+from repro.temporal import TemporalDatabase, verify_period
 from repro.workloads import (scaled_travel_database,
                              travel_agent_program)
 

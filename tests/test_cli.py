@@ -147,7 +147,107 @@ class TestAnalyze:
             "q(T+1, X) :- ghost(T, X).\n@temporal ghost. @temporal q.\n")
         code, output = run_cli(["analyze", str(path)])
         assert code == 1
-        assert "dead-rule" in output
+        assert "TDD011" in output  # dead-rule
+
+
+class TestLintCommand:
+    def test_clean_file_exits_zero(self, even_file):
+        code, output = run_cli(["lint", even_file])
+        assert code == 0
+        assert "0 error(s), 0 warning(s)" in output
+
+    def test_error_gates_with_location(self, tmp_path):
+        path = tmp_path / "unsafe.tdd"
+        path.write_text("p(T+1, X) :- q(T, Y).\nq(0, a).\n")
+        code, output = run_cli(["lint", str(path)])
+        assert code == 1
+        assert f"{path}:1:1: error[TDD002]" in output
+        assert "X" in output
+        assert "^" in output  # caret excerpt
+
+    def test_max_severity_info_gates_warnings(self, tmp_path):
+        path = tmp_path / "singleton.tdd"
+        path.write_text(
+            "p(T+1) :- q(T, X).\n@temporal p. @temporal q.\nq(0, a).\n")
+        code, _ = run_cli(["lint", str(path)])
+        assert code == 0  # warnings tolerated by default
+        code, output = run_cli(["lint", str(path),
+                                "--max-severity", "info"])
+        assert code == 1
+        assert "TDD008" in output
+
+    def test_select_and_ignore(self, tmp_path):
+        path = tmp_path / "unsafe.tdd"
+        path.write_text("p(T+1, X) :- q(T, Y).\nq(0, a).\n")
+        code, output = run_cli(["lint", str(path),
+                                "--select", "TDD008"])
+        assert code == 0
+        assert "TDD002" not in output and "TDD008" in output
+        code, output = run_cli(["lint", str(path),
+                                "--ignore", "range-restriction"])
+        assert code == 0
+        assert "TDD002" not in output
+
+    def test_unknown_code_exits_two(self, even_file, capsys):
+        code, _ = run_cli(["lint", even_file, "--select", "TDD999"])
+        assert code == 2
+        assert "unknown diagnostic code" in capsys.readouterr().err
+
+    def test_json_format(self, tmp_path):
+        path = tmp_path / "unsafe.tdd"
+        path.write_text("p(T+1, X) :- q(T, Y).\nq(0, a).\n")
+        code, output = run_cli(["lint", str(path), "--format", "json"])
+        assert code == 1
+        payload = json.loads(output)
+        assert payload["summary"]["error"] == 1
+        entry = payload["files"][0]
+        assert any(d["code"] == "TDD002" and d["line"] == 1
+                   for d in entry["diagnostics"])
+
+    def test_sarif_format(self, even_file):
+        code, output = run_cli(["lint", even_file,
+                                "--format", "sarif"])
+        assert code == 0
+        sarif = json.loads(output)
+        assert sarif["version"] == "2.1.0"
+        assert sarif["runs"][0]["tool"]["driver"]["name"]
+
+    def test_multiple_files_aggregate(self, even_file, tmp_path):
+        bad = tmp_path / "bad.tdd"
+        bad.write_text("p(T+1, X) :- q(T, Y).\nq(0, a).\n")
+        code, output = run_cli(["lint", even_file, str(bad)])
+        assert code == 1
+        assert even_file in output and str(bad) in output
+
+    def test_shipped_examples_gate_clean(self):
+        programs = sorted(str(p) for p in
+                          TestShippedPrograms.PROGRAMS.glob("*.tdd"))
+        code, _ = run_cli(["lint", *programs])
+        assert code == 0
+
+
+class TestParseErrorReporting:
+    def test_syntax_error_has_location_and_caret(self, tmp_path,
+                                                 capsys):
+        path = tmp_path / "broken.tdd"
+        path.write_text("p(T+1 X) :- q(T).\n")
+        code, _ = run_cli(["run", str(path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert f"{path}:1:7: error:" in err
+        assert "p(T+1 X) :- q(T)." in err
+        assert "^" in err
+        assert "Traceback" not in err
+
+    def test_validation_error_is_located(self, tmp_path, capsys):
+        path = tmp_path / "unsafe.tdd"
+        path.write_text("p(T+1, X) :- q(T, Y).\nq(0, a).\n")
+        code, _ = run_cli(["classify", str(path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert f"{path}:1:1: error:" in err
+        assert "range-restricted" in err
+        assert "Traceback" not in err
 
 
 class TestTimeline:

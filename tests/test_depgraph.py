@@ -1,0 +1,92 @@
+"""Edge-case tests for the predicate dependency graph machinery."""
+
+from repro.datalog.depgraph import (dependency_graph, is_stratifiable,
+                                    negative_cycle, negative_edges,
+                                    recursive_predicates,
+                                    stratification)
+from repro.lang import parse_rules
+
+
+class TestNegativeEdges:
+    def test_edges_are_head_to_negated(self):
+        rules = parse_rules(
+            "p(X) :- base(X), not q(X).\nq(X) :- other(X).")
+        assert negative_edges(rules) == {("p", "q")}
+
+    def test_predicate_only_in_negative_literal(self):
+        # ghost never occurs positively: it must still enter the graph
+        # and stratify below its reader.
+        rules = parse_rules("p(X) :- base(X), not ghost(X).")
+        graph = dependency_graph(rules)
+        assert "ghost" in graph and graph["ghost"] == set()
+        assert negative_edges(rules) == {("p", "ghost")}
+        strata = stratification(rules)
+        assert strata["p"] == strata["ghost"] + 1
+
+    def test_no_negation_no_edges(self):
+        rules = parse_rules("p(X) :- q(X), r(X).")
+        assert negative_edges(rules) == set()
+
+
+class TestStratifiability:
+    def test_negation_through_mutual_recursion(self):
+        # p and q are mutually recursive; the p -> q edge is negative,
+        # so the cycle passes through negation.
+        rules = parse_rules(
+            "p(X) :- base(X), not q(X).\nq(X) :- p(X).")
+        assert recursive_predicates(rules) == {"p", "q"}
+        assert not is_stratifiable(rules)
+
+    def test_negation_through_three_cycle(self):
+        rules = parse_rules(
+            "a(X) :- base(X), not b(X).\n"
+            "b(X) :- c(X).\n"
+            "c(X) :- a(X).")
+        assert not is_stratifiable(rules)
+
+    def test_negation_between_separate_components_is_fine(self):
+        rules = parse_rules(
+            "p(X) :- p(X).\nq(X) :- base(X), not p(X).")
+        assert is_stratifiable(rules)
+        strata = stratification(rules)
+        assert strata["q"] == strata["p"] + 1
+
+    def test_self_negation(self):
+        rules = parse_rules("p(X) :- base(X), not p(X).")
+        assert not is_stratifiable(rules)
+
+
+class TestNegativeCycle:
+    def test_none_for_stratifiable(self):
+        rules = parse_rules(
+            "p(X) :- base(X), not q(X).\nq(X) :- other(X).")
+        assert negative_cycle(rules) is None
+
+    def test_self_loop(self):
+        rules = parse_rules("p(X) :- base(X), not p(X).")
+        assert negative_cycle(rules) == ["p", "p"]
+
+    def test_two_cycle_starts_with_negative_edge(self):
+        rules = parse_rules(
+            "p(X) :- base(X), not q(X).\nq(X) :- p(X).")
+        assert negative_cycle(rules) == ["p", "q", "p"]
+
+    def test_longer_cycle_closes_back_to_head(self):
+        rules = parse_rules(
+            "a(X) :- base(X), not b(X).\n"
+            "b(X) :- c(X).\n"
+            "c(X) :- a(X).")
+        cycle = negative_cycle(rules)
+        assert cycle == ["a", "b", "c", "a"]
+
+    def test_cycle_agrees_with_is_stratifiable(self):
+        for text in (
+            "p(X) :- q(X).",
+            "p(X) :- base(X), not p(X).",
+            "p(X) :- base(X), not q(X).\nq(X) :- p(X).",
+            "out(T) :- slot(T), not jam(T).\nslot(T+2) :- slot(T).",
+        ):
+            rules = parse_rules("@temporal jam.\n" + text
+                                if "jam" in text else text)
+            assert (negative_cycle(rules) is None) == \
+                is_stratifiable(rules), text

@@ -1,7 +1,5 @@
 """Tests for incremental model maintenance under insertions."""
 
-import pytest
-
 from repro.lang import parse_program, parse_rules
 from repro.lang.atoms import Fact
 from repro.temporal import IncrementalModel, TemporalDatabase, bt_evaluate

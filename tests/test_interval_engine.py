@@ -130,8 +130,7 @@ class TestCoalescingAdvantage:
                                                 travel_db):
         # The point of the engine: a season is O(1) intervals, not O(90)
         # slices.  Verify via the store's internal representation.
-        from repro.temporal.interval_engine import (IntervalStore,
-                                                    interval_fixpoint)
+        from repro.temporal.interval_engine import interval_fixpoint
         store = interval_fixpoint(travel_program.rules, travel_db, 400)
         # Sanity: results correct (spot check).
         assert Fact("winter", 90, ()) in store

@@ -4,7 +4,7 @@ import hypothesis.strategies as st
 from hypothesis import given, settings
 
 from repro.lang.atoms import Fact
-from repro.temporal import (TemporalDatabase, TemporalStore, bt_evaluate,
+from repro.temporal import (TemporalStore, bt_evaluate,
                             compress, describe_periodic,
                             format_intervals, from_intervals, timeline,
                             to_intervals)

@@ -1,0 +1,304 @@
+"""Tests for the span-aware diagnostics engine (repro.analysis)."""
+
+import json
+
+import pytest
+
+from repro.analysis import (REGISTRY, Diagnostic, LintResult,
+                            UnknownCodeError, count_by_severity, gate,
+                            lint_text, max_severity, render_json,
+                            render_sarif, render_text, run_checks,
+                            severity_rank, source_excerpt)
+from repro.lang import parse_program, parse_rules
+from repro.lang.spans import Span
+
+
+def codes(diagnostics):
+    return {d.code for d in diagnostics}
+
+
+def by_code(diagnostics, code):
+    return [d for d in diagnostics if d.code == code]
+
+
+class TestRegistry:
+    def test_at_least_ten_distinct_checks(self):
+        assert len(REGISTRY) >= 10
+
+    def test_codes_are_stable_and_unique(self):
+        assert all(code.startswith("TDD") for code in REGISTRY)
+        names = [check.name for check in REGISTRY.values()]
+        assert len(set(names)) == len(names)
+
+    def test_every_check_has_metadata(self):
+        for code, check in REGISTRY.items():
+            assert check.code == code
+            assert check.severity in ("info", "warning", "error")
+            assert check.description
+
+
+class TestSpans:
+    def test_parsed_rules_carry_spans(self):
+        program = parse_program(
+            "p(T+1, X) :- q(T, X).\nq(0, a).")
+        (rule,) = [r for r in program.rules if not r.is_fact]
+        assert rule.span is not None
+        assert rule.span.line == 1 and rule.span.column == 1
+        assert rule.body[0].span.line == 1
+        assert rule.body[0].span.column == 14
+
+    def test_spans_do_not_affect_equality(self):
+        with_span = parse_rules("p(T+1) :- p(T).")
+        without = parse_rules("  p(T+1) :- p(T).")
+        assert with_span[0] == without[0]
+        assert hash(with_span[0]) == hash(without[0])
+        assert with_span[0].span != without[0].span
+
+
+class TestRangeRestriction:
+    def test_names_variable_and_location(self):
+        result = lint_text("p(T+1, X) :- q(T, Y).\nq(0, a).",
+                           "prog.tdd")
+        (diag,) = by_code(result.diagnostics, "TDD002")
+        assert diag.severity == "error"
+        assert "X" in diag.message
+        assert diag.file == "prog.tdd"
+        assert diag.span.line == 1 and diag.span.column == 1
+        assert "prog.tdd:1:1" in str(diag)
+
+    def test_unbound_temporal_variable(self):
+        result = lint_text("p(T+1) :- q(S).\n@temporal q.\nq(0).")
+        messages = [d.message for d in
+                    by_code(result.diagnostics, "TDD002")]
+        assert any("temporal variable T" in m for m in messages)
+
+    def test_clean_rule_is_silent(self):
+        result = lint_text("p(T+1, X) :- q(T, X).\nq(0, a).")
+        assert not by_code(result.diagnostics, "TDD002")
+
+
+class TestCheckCatalogue:
+    def test_unsafe_negation(self):
+        result = lint_text(
+            "@temporal q. @temporal r. @temporal p.\n"
+            "p(T) :- q(T), not r(T, X).")
+        (diag,) = by_code(result.diagnostics, "TDD003")
+        assert "X" in diag.message
+
+    def test_arity_mismatch(self):
+        # The text-level sort resolver rejects inconsistent arities
+        # itself (TDD001); TDD004 guards programmatically-built rules.
+        from repro.lang.atoms import Atom
+        from repro.lang.rules import Rule
+        from repro.lang.terms import TimeTerm, Var
+        q1 = Atom("q", TimeTerm("T", 0), (Var("X"),))
+        q2 = Atom("q", TimeTerm("T", 0), (Var("X"), Var("X")))
+        rules = [
+            Rule(Atom("p", TimeTerm("T", 1), (Var("X"),)), (q1,)),
+            Rule(Atom("r", TimeTerm("T", 1), (Var("X"),)), (q2,)),
+        ]
+        diagnostics = run_checks(rules)
+        (diag,) = by_code(diagnostics, "TDD004")
+        assert "q" in diag.message and "arity" in diag.message
+
+    def test_sort_clash(self):
+        from repro.lang.atoms import Atom
+        from repro.lang.rules import Rule
+        from repro.lang.terms import TimeTerm, Var
+        rule = Rule(
+            Atom("p", TimeTerm("T", 1), ()),
+            (Atom("q", TimeTerm("T", 0), ()),
+             Atom("r", None, (Var("T"),))),
+        )
+        diagnostics = run_checks([rule])
+        (diag,) = by_code(diagnostics, "TDD005")
+        assert "T" in diag.message
+
+    def test_not_stratifiable_reports_cycle(self):
+        rules = parse_rules(
+            "p(X) :- base(X), not q(X).\nq(X) :- p(X).")
+        diagnostics = run_checks(rules)
+        (diag,) = by_code(diagnostics, "TDD006")
+        assert diag.severity == "error"
+        assert "p -> q -> p" in diag.message
+
+    def test_singleton_variable_skips_underscore(self):
+        result = lint_text(
+            "p(T+1) :- q(T, X).\nr(T+1) :- q(T, _skip).\n"
+            "@temporal p. @temporal q. @temporal r.\nq(0, a).")
+        diags = by_code(result.diagnostics, "TDD008")
+        assert len(diags) == 1 and "X" in diags[0].message
+
+    def test_duplicate_rule_up_to_renaming(self):
+        result = lint_text(
+            "p(T+1, X) :- q(T, X).\np(T+1, Y) :- q(T, Y).\nq(0, a).")
+        (diag,) = by_code(result.diagnostics, "TDD009")
+        assert "line 1" in diag.message
+        assert diag.span.line == 2
+
+    def test_subsumed_rule(self):
+        result = lint_text(
+            "p(T+1, X) :- q(T, X).\np(T+1, X) :- q(T, X), r(X).\n"
+            "q(0, a). r(a).")
+        (diag,) = by_code(result.diagnostics, "TDD010")
+        assert diag.span.line == 2
+
+    def test_subsumption_requires_equal_offsets(self):
+        result = lint_text(
+            "p(T+1, X) :- q(T, X).\np(T+2, X) :- q(T, X), r(X).\n"
+            "q(0, a). r(a).")
+        assert not by_code(result.diagnostics, "TDD010")
+        assert not by_code(result.diagnostics, "TDD009")
+
+    def test_unreachable_predicate(self):
+        result = lint_text("p(T+1) :- p(T).\np(0).\nnoise(a, b).")
+        (diag,) = by_code(result.diagnostics, "TDD012")
+        assert "noise" in diag.message
+
+    def test_class_membership_info(self):
+        result = lint_text("even(T+2) :- even(T).\neven(0).")
+        (diag,) = by_code(result.diagnostics, "TDD016")
+        assert diag.severity == "info"
+        assert "multi-separable" in diag.message
+
+    def test_no_tractability_guarantee(self):
+        result = lint_text(
+            "p(T+1, X) :- p(T, Y), swap(Y, X).\n"
+            "p(0, a). swap(a, b). swap(b, a).")
+        (diag,) = by_code(result.diagnostics, "TDD017")
+        assert diag.severity == "warning"
+
+
+class TestParseStage:
+    def test_syntax_error_becomes_tdd000(self):
+        result = lint_text("p(T+1 X) :- q(T).", "broken.tdd")
+        (diag,) = result.diagnostics
+        assert diag.code == "TDD000" and diag.severity == "error"
+        assert diag.span.line == 1 and diag.span.column == 7
+
+    def test_sort_error_becomes_tdd001(self):
+        result = lint_text("@temporal p.\np(a).")
+        (diag,) = result.diagnostics
+        assert diag.code == "TDD001" and diag.severity == "error"
+        assert diag.span is not None
+        assert "temporal argument" in diag.message
+
+    def test_invalid_program_still_lints(self):
+        # Semantic checks must not crash on programs the evaluator
+        # would reject (range restriction fails here).
+        result = lint_text("p(T+1, X) :- q(T, Y).")
+        assert "TDD002" in codes(result.diagnostics)
+
+
+class TestSelection:
+    TEXT = "p(T+1, X) :- q(T, Y).\nq(0, a).\n"
+
+    def test_select_restricts(self):
+        result = lint_text(self.TEXT, select=["TDD002"])
+        assert codes(result.diagnostics) == {"TDD002"}
+
+    def test_select_accepts_names_and_case(self):
+        result = lint_text(self.TEXT,
+                           select=["range-restriction", "tdd008"])
+        assert codes(result.diagnostics) == {"TDD002", "TDD008"}
+
+    def test_ignore_removes(self):
+        result = lint_text(self.TEXT, ignore=["TDD002"])
+        assert "TDD002" not in codes(result.diagnostics)
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(UnknownCodeError):
+            lint_text(self.TEXT, select=["TDD999"])
+
+
+class TestGate:
+    def _diag(self, severity):
+        return Diagnostic("TDD099", "x", severity, "m")
+
+    def test_default_tolerates_warnings(self):
+        assert not gate([self._diag("warning"), self._diag("info")])
+        assert gate([self._diag("error")])
+
+    def test_info_gate_fails_on_warnings(self):
+        assert gate([self._diag("warning")], "info")
+        assert not gate([self._diag("info")], "info")
+
+    def test_severity_helpers(self):
+        diags = [self._diag("info"), self._diag("warning")]
+        assert max_severity(diags) == "warning"
+        assert count_by_severity(diags) == {
+            "info": 1, "warning": 1, "error": 0}
+        assert severity_rank("error") > severity_rank("warning")
+
+
+class TestRenderers:
+    TEXT = "p(T+1, X) :- q(T, Y).\nq(0, a).\n"
+
+    def _result(self):
+        return lint_text(self.TEXT, "prog.tdd")
+
+    def test_text_has_caret_excerpt(self):
+        rendered = render_text([self._result()])
+        assert "prog.tdd:1:1: error[TDD002]" in rendered
+        assert "1 | p(T+1, X) :- q(T, Y)." in rendered
+        assert "^" in rendered
+        assert "error(s)" in rendered
+
+    def test_source_excerpt_underlines_span(self):
+        excerpt = source_excerpt("p(T+1) :- q(T).",
+                                 Span(1, 11, 15))
+        gutter, caret = excerpt.splitlines()
+        assert gutter.endswith("p(T+1) :- q(T).")
+        assert caret.endswith("^^^^")
+
+    def test_json_structure(self):
+        payload = json.loads(render_json([self._result()]))
+        (entry,) = payload["files"]
+        assert entry["path"] == "prog.tdd"
+        codes_ = {d["code"] for d in entry["diagnostics"]}
+        assert "TDD002" in codes_
+        assert payload["summary"]["error"] == 1
+
+    def test_sarif_2_1_0(self):
+        sarif = json.loads(render_sarif([self._result()]))
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        driver = run["tool"]["driver"]
+        rule_ids = {r["id"] for r in driver["rules"]}
+        results = run["results"]
+        assert {r["ruleId"] for r in results} <= rule_ids
+        (rr,) = [r for r in results if r["ruleId"] == "TDD002"]
+        assert rr["level"] == "error"
+        region = rr["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 1
+
+    def test_sarif_info_maps_to_note(self):
+        result = lint_text("even(T+2) :- even(T).\neven(0).")
+        sarif = json.loads(render_sarif([result]))
+        levels = {r["ruleId"]: r["level"]
+                  for r in sarif["runs"][0]["results"]}
+        assert levels.get("TDD016") == "note"
+
+    def test_diagnostics_sorted_by_position(self):
+        result = self._result()
+        located = [d for d in result.diagnostics if d.span]
+        keys = [(d.span.line, d.span.column) for d in located]
+        assert keys == sorted(keys)
+
+    def test_lint_result_errors(self):
+        result = self._result()
+        assert isinstance(result, LintResult)
+        assert all(d.severity == "error" for d in result.errors)
+        assert result.errors
+
+
+class TestExamplesAreClean:
+    """The shipped example programs must stay lint-clean (CI gates on
+    this via `repro lint` over examples/programs)."""
+
+    def test_examples_have_no_warnings_or_errors(self, examples_dir):
+        for path in sorted(examples_dir.glob("*.tdd")):
+            result = lint_text(path.read_text(), str(path))
+            offenders = [d for d in result.diagnostics
+                         if d.severity != "info"]
+            assert not offenders, f"{path.name}: {offenders}"

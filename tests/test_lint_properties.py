@@ -1,16 +1,25 @@
-"""Property tests for the textual surface: round trips and fuzzing."""
+"""Property tests for the diagnostics engine: pretty-print round trips.
+
+Diagnostics must be a function of the program's *structure*, not of the
+incidental source layout: pretty-printing a program and reparsing it has
+to preserve rule/fact equality (spans are excluded from equality) and
+produce the same multiset of diagnostic codes.
+"""
 
 from __future__ import annotations
+
+from collections import Counter
 
 import hypothesis.strategies as st
 from hypothesis import HealthCheck, given, settings
 
-from repro.lang import (ReproError, format_program, parse_program)
+from repro.analysis import run_checks
+from repro.lang import format_program, parse_program
 from repro.lang.atoms import Atom
 from repro.lang.rules import Rule
 from repro.lang.terms import Const, TimeTerm, Var
 
-SETTINGS = settings(max_examples=60, deadline=None,
+SETTINGS = settings(max_examples=50, deadline=None,
                     suppress_health_check=[HealthCheck.too_slow])
 
 PREDICATES = {
@@ -30,8 +39,7 @@ def atoms(draw, allow_vars: bool = True):
     temporal, arity = PREDICATES[name]
     if temporal:
         if allow_vars:
-            offset = draw(st.integers(0, 3))
-            time = TimeTerm("T", offset)
+            time = TimeTerm("T", draw(st.integers(0, 3)))
         else:
             time = TimeTerm(None, draw(st.integers(0, 9)))
     else:
@@ -52,7 +60,7 @@ def rules(draw):
         body.append(Atom("q", TimeTerm("T", 0), ()))
     body_vars = {v.name for a in body for v in a.data_variables()}
     head_name = draw(st.sampled_from(["p", "q"]))
-    temporal, arity = PREDICATES[head_name]
+    _, arity = PREDICATES[head_name]
     head_args = tuple(
         Var(draw(st.sampled_from(sorted(body_vars))))
         if body_vars else Const(draw(st.sampled_from(CONSTANTS)))
@@ -77,36 +85,41 @@ def programs(draw):
     return rule_list, facts
 
 
-class TestRoundTrip:
+def diagnostic_codes(rules_, facts):
+    return Counter(d.code for d in run_checks(rules_, facts))
+
+
+class TestDiagnosticsRoundTrip:
     @SETTINGS
     @given(programs())
-    def test_format_then_parse_is_identity(self, program):
+    def test_reparse_preserves_structure_and_codes(self, program):
         rule_list, facts = program
         temporal_preds = {name for name, (temporal, _)
                           in PREDICATES.items() if temporal}
         text = format_program(rule_list, facts, temporal_preds)
         reparsed = parse_program(text, validate=False)
+
+        # Spans differ (generated rules have none, reparsed ones do),
+        # but equality is span-blind.
         assert set(reparsed.rules) == set(rule_list)
-        assert sorted(reparsed.facts, key=str) == sorted(facts, key=str)
-        assert temporal_preds & reparsed.predicates <= \
-            reparsed.temporal_preds
 
-
-class TestParserFuzz:
-    @SETTINGS
-    @given(st.text(max_size=80))
-    def test_arbitrary_text_never_crashes(self, text):
-        try:
-            parse_program(text)
-        except ReproError:
-            pass  # any library error is acceptable; crashes are not
+        before = diagnostic_codes(rule_list, facts)
+        after = diagnostic_codes(list(reparsed.rules),
+                                 list(reparsed.facts))
+        assert before == after
 
     @SETTINGS
-    @given(st.text(
-        alphabet=st.sampled_from(list("pqrsXYT01234(),.:-+@% \n")),
-        max_size=60))
-    def test_near_miss_programs_never_crash(self, text):
-        try:
-            parse_program(text)
-        except ReproError:
-            pass
+    @given(programs())
+    def test_reparsed_diagnostics_carry_spans(self, program):
+        rule_list, facts = program
+        temporal_preds = {name for name, (temporal, _)
+                          in PREDICATES.items() if temporal}
+        text = format_program(rule_list, facts, temporal_preds)
+        reparsed = parse_program(text, validate=False)
+        lines = text.splitlines()
+        for diag in run_checks(list(reparsed.rules),
+                               list(reparsed.facts)):
+            if diag.span is None:
+                continue  # whole-program diagnostics have no anchor
+            assert 1 <= diag.span.line <= len(lines)
+            assert diag.span.column >= 1

@@ -7,8 +7,7 @@ from repro.lang import (date_of, day_number, parse_program,
                         parse_rules)
 from repro.lang.atoms import Fact
 from repro.lang.errors import EvaluationError
-from repro.temporal import (TemporalDatabase, bt_evaluate, explain,
-                            to_normal)
+from repro.temporal import bt_evaluate, explain, to_normal
 from repro.workloads import travel_agent_program
 
 

@@ -10,13 +10,13 @@ from __future__ import annotations
 import hypothesis.strategies as st
 from hypothesis import HealthCheck, given, settings
 
-from repro.core import (compute_specification, is_inflationary,
-                        is_inflationary_on, spec_from_result)
+from repro.core import (is_inflationary, is_inflationary_on,
+                        spec_from_result)
 from repro.datalog import naive_evaluate, seminaive_evaluate
 from repro.lang.atoms import Atom, Fact
 from repro.lang.errors import ClassificationError
 from repro.lang.rules import Rule
-from repro.lang.terms import Const, TimeTerm, Var
+from repro.lang.terms import TimeTerm, Var
 from repro.temporal import (TemporalDatabase, bt_evaluate, bt_verbatim,
                             fixpoint, holds_with_period)
 

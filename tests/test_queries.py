@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import (AtomQ, DataEq, Exists, Forall, Not, TimeEq,
+from repro.core import (AtomQ, DataEq, Exists, Not, TimeEq,
                         answers, compute_specification, evaluate,
                         evaluate_on_model, free_variables, parse_query)
 from repro.lang import parse_program

@@ -3,11 +3,10 @@
 import pytest
 
 from repro.core import compute_specification, spec_from_result
-from repro.lang import parse_program
 from repro.lang.atoms import Fact
 from repro.lang.errors import EvaluationError
 from repro.rewrite import RewriteRule, RewriteSystem
-from repro.temporal import TemporalDatabase, bt_evaluate
+from repro.temporal import bt_evaluate
 
 
 class TestEvenExample:

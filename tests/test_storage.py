@@ -5,7 +5,7 @@ import pytest
 from repro.lang.atoms import Fact
 from repro.storage import (append_facts, fact_count, iter_facts,
                            load_database, save_database)
-from repro.temporal import TemporalDatabase, bt_evaluate
+from repro.temporal import bt_evaluate
 
 
 @pytest.fixture()

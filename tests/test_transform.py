@@ -2,7 +2,7 @@
 
 from repro.core import copy_rules, temporalize, to_time_only
 from repro.datalog import iterations_to_fixpoint, naive_evaluate
-from repro.lang import parse_program, parse_rules
+from repro.lang import parse_program
 from repro.lang.atoms import Fact
 from repro.temporal import TemporalDatabase, bt_evaluate, fixpoint
 

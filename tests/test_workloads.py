@@ -1,7 +1,5 @@
 """Tests for the synthetic workload generators."""
 
-import math
-
 import pytest
 
 from repro.core import is_inflationary, is_multi_separable
