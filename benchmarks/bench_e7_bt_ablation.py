@@ -21,7 +21,7 @@ import pytest
 from _util import record, record_stats
 
 from repro.lang import parse_program
-from repro.obs import EvalStats
+from repro.obs import EvalStats, MetricsRegistry
 from repro.temporal import TemporalDatabase, bt_verbatim, fixpoint
 from repro.workloads import (graph_database, paper_travel_database,
                              random_digraph, travel_agent_program,
@@ -60,7 +60,8 @@ def test_verbatim_bt(benchmark, name):
     result = benchmark(bt_verbatim, rules, db, window)
 
     stats = EvalStats()
-    bt_verbatim(rules, db, window, stats=stats)
+    bt_verbatim(rules, db, window, stats=stats,
+                metrics=MetricsRegistry())
     record(benchmark, workload=name, window=window, engine="verbatim",
            rounds=result.rounds, facts=len(result.store))
     record_stats(benchmark, stats)
@@ -77,7 +78,8 @@ def test_seminaive_fixpoint(benchmark, name):
     assert store.segment(0, window) == \
         reference.store.segment(0, window)
     stats = EvalStats()
-    fixpoint(rules, db, window, stats=stats)
+    fixpoint(rules, db, window, stats=stats,
+             metrics=MetricsRegistry())
     record(benchmark, workload=name, window=window, engine="seminaive",
            facts=len(store))
     record_stats(benchmark, stats)

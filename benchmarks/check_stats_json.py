@@ -22,6 +22,39 @@ REQUIRED_FIELDS = (
     "horizon", "period", "phase_seconds", "extra",
 )
 
+#: Fields every record of a per-rule ``extra.rules`` block must carry
+#: (see repro.obs.metrics.RuleMetrics.to_dict).
+RULE_FIELDS = (
+    "id", "label", "line", "firings", "new_facts", "duplicates",
+    "probes", "seconds", "per_round",
+)
+
+
+def check_rules_block(name: str, stats: dict) -> list[str]:
+    """Validate ``extra.rules`` when present: record shape plus the
+    per-rule credit invariant (new_facts sums to facts_derived)."""
+    problems: list[str] = []
+    rules = stats.get("extra", {}).get("rules")
+    if rules is None:
+        return problems
+    if not isinstance(rules, list) or not rules:
+        problems.append(f"{name}: eval_stats.extra.rules is not a "
+                        "non-empty list")
+        return problems
+    for record in rules:
+        missing = [f for f in RULE_FIELDS if f not in record]
+        if missing:
+            problems.append(
+                f"{name}: rule record {record.get('id', '?')} missing "
+                f"{', '.join(missing)}")
+    if all(isinstance(r.get("new_facts"), int) for r in rules):
+        total = sum(r["new_facts"] for r in rules)
+        if total != stats.get("facts_derived"):
+            problems.append(
+                f"{name}: sum(rules.new_facts)={total} != "
+                f"facts_derived={stats.get('facts_derived')}")
+    return problems
+
 
 def check(data: dict) -> list[str]:
     """All problems found in one benchmark JSON dump."""
@@ -44,6 +77,7 @@ def check(data: dict) -> list[str]:
             problems.append(f"{name}: eval_stats.engine is empty")
         if stats["rounds"] <= 0:
             problems.append(f"{name}: eval_stats.rounds is {stats['rounds']}")
+        problems.extend(check_rules_block(name, stats))
     return problems
 
 

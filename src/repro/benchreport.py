@@ -43,11 +43,34 @@ def _fmt_value(value) -> str:
     return str(value)
 
 
+def _hot_rule_columns(stats: dict) -> dict:
+    """Top-3 hot rules from ``extra.rules`` → ``stats.hot1..hot3``.
+
+    Sorted by self-time descending; each cell names the rule and its
+    cost so a hot-rule regression is visible in the report diff.
+    """
+    rules = stats.get("extra", {}).get("rules")
+    if not isinstance(rules, list):
+        return {}
+    ranked = sorted(
+        (r for r in rules if isinstance(r, dict)),
+        key=lambda r: r.get("seconds", 0.0), reverse=True)
+    out: dict = {}
+    for index, record in enumerate(ranked[:3], start=1):
+        label = str(record.get("label", record.get("id", "?")))
+        seconds = record.get("seconds", 0.0)
+        new = record.get("new_facts", 0)
+        out[f"stats.hot{index}"] = \
+            f"{label} ({seconds * 1e3:.1f} ms, {new} new)"
+    return out
+
+
 def _flatten_eval_stats(stats: dict) -> dict:
     """``eval_stats`` dict → ``stats.*`` scalar columns.
 
     Per-round series and nested dicts would swamp a markdown table, so
-    only scalar fields survive; the period renders as ``(b, p)``.
+    only scalar fields survive; the period renders as ``(b, p)`` and a
+    per-rule ``extra.rules`` block contributes ``stats.hot1..hot3``.
     """
     out: dict = {}
     for key, value in stats.items():
@@ -56,6 +79,7 @@ def _flatten_eval_stats(stats: dict) -> dict:
                 out["stats.period"] = f"(b={value[0]}, p={value[1]})"
         elif not isinstance(value, (list, dict)):
             out[f"stats.{key}"] = value
+    out.update(_hot_rule_columns(stats))
     return out
 
 

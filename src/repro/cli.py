@@ -19,6 +19,15 @@ Commands
     Run the span-aware diagnostics engine; text, JSON or SARIF output
     (``--format``), code selection (``--select``/``--ignore``), and a
     severity gate for CI (``--max-severity``).
+``profile FILE [--engine E] [--query Q]``
+    Run evaluation under the per-rule profiler and print a hot-rule
+    table (``--format json`` for machines, ``--folded`` for
+    flamegraph.pl / speedscope).
+``traceview TRACE.jsonl``
+    Summarize an existing ``--trace`` file into a round-by-round
+    convergence timeline with phase times and the period round.
+``explain FILE FACT``
+    Print a derivation tree justifying a ground model fact.
 ``repl FILE``
     Interactive query loop; ``:period``, ``:spec``, ``:classify``,
     ``:quit`` are built in.
@@ -51,20 +60,39 @@ class _SourceError(Exception):
         self.cause = cause
 
 
-def _load(args) -> TDD:
-    text = Path(args.file).read_text()
+def _parse_file(path: str) -> tuple[TDD, str]:
+    """Read + parse a program file, wrapping located static errors."""
+    text = Path(path).read_text()
     try:
-        tdd = TDD.from_text(text)
+        return TDD.from_text(text), text
     except LocatedError as exc:
         if exc.line is None:
             raise
-        raise _SourceError(args.file, text, exc) from exc
+        raise _SourceError(path, text, exc) from exc
+
+
+def _load(args) -> TDD:
+    tdd, text = _parse_file(args.file)
     stats, tracer = getattr(args, "_obs", (None, None))
     if stats is not None or tracer is not None:
         # Evaluate eagerly under instrumentation; the result is cached,
         # so the command's own queries reuse it.
+        if tracer is not None:
+            tracer.emit_run_start("bt", program=args.file, text=text)
         tdd.evaluate(stats=stats, tracer=tracer)
     return tdd
+
+
+def _ground_atom(tdd: TDD, text: str, what: str):
+    """Parse ``text`` as a ground atom query, or raise a clean error."""
+    from .core.queries import AtomQ, parse_query
+    from .lang.errors import EvaluationError
+    query = parse_query(text, tdd.temporal_preds)
+    if not isinstance(query, AtomQ) or not query.atom.is_ground:
+        raise EvaluationError(
+            f"{what} needs a ground atom, e.g. 'even(4)'; got {text!r}"
+        )
+    return query.atom
 
 
 def _print_source_error(exc: _SourceError) -> None:
@@ -214,6 +242,56 @@ def cmd_timeline(args, out: TextIO) -> int:
     return 0
 
 
+def cmd_profile(args, out: TextIO) -> int:
+    from .obs.profile import (profile_tdd, render_folded, render_json,
+                              render_table)
+    tdd, text = _parse_file(args.file)
+    _, tracer = getattr(args, "_obs", (None, None))
+    query = (None if args.query is None
+             else _ground_atom(tdd, args.query, "profile --query"))
+    if tracer is not None:
+        tracer.emit_run_start(args.engine, program=args.file, text=text)
+    report = profile_tdd(tdd, args.file, engine=args.engine,
+                         query=query, tracer=tracer)
+    if args.folded:
+        print(render_folded(report), file=out)
+    elif args.format == "json":
+        print(render_json(report), file=out)
+    else:
+        print(render_table(report), file=out)
+    return 0
+
+
+def cmd_traceview(args, out: TextIO) -> int:
+    from .lang.errors import ParseError
+    from .obs.traceview import parse_trace, render_summary, summarize
+    try:
+        text = Path(args.trace_file).read_text()
+    except (OSError, UnicodeDecodeError) as exc:
+        print(f"error: cannot read trace file: {exc}", file=sys.stderr)
+        return 2
+    try:
+        events = parse_trace(text)
+    except ParseError as exc:
+        raise _SourceError(args.trace_file, text, exc) from exc
+    print(render_summary(summarize(events), args.trace_file), file=out)
+    return 0
+
+
+def cmd_explain(args, out: TextIO) -> int:
+    from .lang.errors import EvaluationError
+    tdd = _load(args)
+    atom = _ground_atom(tdd, args.fact, "explain")
+    try:
+        derivation = tdd.explain(atom)
+    except EvaluationError as exc:
+        # Underivable is a "no" answer (like `ask`), not a usage error.
+        print(f"no: {exc}", file=out)
+        return 1
+    print(derivation.render(), file=out)
+    return 0
+
+
 def cmd_repl(args, out: TextIO,
              input_stream: Union[TextIO, None] = None) -> int:
     tdd = _load(args)
@@ -351,6 +429,40 @@ def build_parser() -> argparse.ArgumentParser:
     timeline.add_argument("--predicates", default=None,
                           help="comma-separated predicate filter")
     timeline.set_defaults(func=cmd_timeline)
+
+    profile = sub.add_parser(
+        "profile", parents=[obs],
+        help="per-rule hot-rule profile (time, firings, duplicates)")
+    profile.add_argument("file")
+    profile.add_argument("--engine",
+                         choices=("bt", "verbatim", "interval",
+                                  "magic", "topdown"),
+                         default="bt",
+                         help="engine to profile (default: bt; magic "
+                              "and topdown need --query)")
+    profile.add_argument("--query", default=None, metavar="Q",
+                         help="ground atom goal for the goal-directed "
+                              "engines")
+    profile.add_argument("--format", choices=("text", "json"),
+                         default="text")
+    profile.add_argument("--folded", action="store_true",
+                         help="emit folded stacks for flamegraph.pl / "
+                              "speedscope instead of the table")
+    profile.set_defaults(func=cmd_profile)
+
+    traceview = sub.add_parser(
+        "traceview",
+        help="summarize a JSON-lines trace (rounds, phases, period)")
+    traceview.add_argument("trace_file", metavar="TRACE.jsonl")
+    traceview.set_defaults(func=cmd_traceview)
+
+    explain = sub.add_parser(
+        "explain", parents=[obs],
+        help="derivation tree justifying a model fact")
+    explain.add_argument("file")
+    explain.add_argument("fact", metavar="FACT",
+                         help="ground atom to justify, e.g. 'even(4)'")
+    explain.set_defaults(func=cmd_explain)
 
     repl = sub.add_parser("repl", parents=[obs],
                           help="interactive query loop")

@@ -186,13 +186,17 @@ def _rewrite_rule(rule: Rule, adornment: Adornment, idb: set[str],
     prefix: list[Atom] = [] if magic_head is None else [magic_head]
     new_body: list[Atom] = list(prefix)
     produced: list[Rule] = []
+    # Rewritten rules inherit the original rule's span so per-rule
+    # profiling and diagnostics still cite the source line.
+    span = rule.span if rule.span is not None else rule.head.span
 
     for atom in rule.body:
         if atom.pred in idb:
             sub_adornment = _atom_adornment(atom, bound_vars)
             sub_magic = _magic_atom(atom, sub_adornment)
             if sub_magic is not None:
-                produced.append(Rule(sub_magic, tuple(new_body)))
+                produced.append(Rule(sub_magic, tuple(new_body),
+                                     span=span))
             worklist.append((atom.pred, sub_adornment))
             new_body.append(_adorned_atom(atom, sub_adornment))
         else:
@@ -202,14 +206,15 @@ def _rewrite_rule(rule: Rule, adornment: Adornment, idb: set[str],
         bound_vars.update(v.name for v in atom.data_variables())
 
     produced.append(Rule(_adorned_atom(head, adornment),
-                         tuple(new_body)))
+                         tuple(new_body), span=span))
     return produced
 
 
 def magic_evaluate(rules: Sequence[Rule], database: TemporalDatabase,
                    query: Atom,
                    horizon: Union[int, None] = None,
-                   stats=None, tracer=None) -> TemporalStore:
+                   stats=None, tracer=None,
+                   metrics=None) -> TemporalStore:
     """Evaluate the magic-rewritten program for ``query``.
 
     ``horizon`` defaults to ``max(query time, database depth) + g`` —
@@ -241,12 +246,12 @@ def magic_evaluate(rules: Sequence[Rule], database: TemporalDatabase,
     # the syntactic sense (a magic head with no body); evaluate without
     # the paper-level validator.
     return fixpoint(program.rules, seeded, horizon, stats=stats,
-                    tracer=tracer)
+                    tracer=tracer, metrics=metrics)
 
 
 def magic_ask(rules: Sequence[Rule], database: TemporalDatabase,
               goal: Union[Fact, Atom],
-              stats=None, tracer=None) -> bool:
+              stats=None, tracer=None, metrics=None) -> bool:
     """Goal-directed ground atomic query via magic sets.
 
     Equivalent to ``bt_evaluate(...).holds(goal)`` (property-tested) but
@@ -257,7 +262,7 @@ def magic_ask(rules: Sequence[Rule], database: TemporalDatabase,
     if not goal.is_ground:
         raise ClassificationError("magic_ask expects a ground goal")
     store = magic_evaluate(rules, database, goal, stats=stats,
-                           tracer=tracer)
+                           tracer=tracer, metrics=metrics)
     program_pred = _adorned_name(goal.pred, _atom_adornment(goal, set()))
     answer = Fact(program_pred,
                   goal.time.offset if goal.time is not None else None,

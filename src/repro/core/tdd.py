@@ -94,19 +94,23 @@ class TDD:
 
     # -- evaluation ---------------------------------------------------------
 
-    def evaluate(self, stats=None, tracer=None, **bt_kwargs) -> BTResult:
+    def evaluate(self, stats=None, tracer=None, metrics=None,
+                 **bt_kwargs) -> BTResult:
         """Run algorithm BT (cached when called without tuning arguments).
 
-        ``stats``/``tracer`` plug the observability layer in
+        ``stats``/``tracer``/``metrics`` plug the observability layer in
         (:mod:`repro.obs`); the instrumented result is cached like the
         plain one, so follow-up queries reuse it.
         """
         if bt_kwargs:
             return bt_evaluate(self.rules, self.database,
-                               stats=stats, tracer=tracer, **bt_kwargs)
-        if self._result is None or stats is not None or tracer is not None:
+                               stats=stats, tracer=tracer,
+                               metrics=metrics, **bt_kwargs)
+        if self._result is None or stats is not None \
+                or tracer is not None or metrics is not None:
             self._result = bt_evaluate(self.rules, self.database,
-                                       stats=stats, tracer=tracer)
+                                       stats=stats, tracer=tracer,
+                                       metrics=metrics)
         return self._result
 
     def specification(self) -> RelationalSpec:

@@ -14,6 +14,7 @@ indexes on the bound positions (see :class:`FactStore`).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterable, Iterator, Sequence, Union
 
 from ..lang.atoms import Fact
@@ -164,38 +165,68 @@ def _head_fact(head, binding: Binding) -> tuple[str, ArgTuple]:
 
 
 def immediate_consequences(rules: Sequence[Rule],
-                           store: FactStore) -> FactStore:
+                           store: FactStore,
+                           metrics=None) -> FactStore:
     """One application of the immediate-consequence operator ``T_S``.
 
     Returns ``T_S(store)`` *including* the facts re-derivable from rules
     with empty bodies; the caller unions in the EDB as the paper's
     operator definition does.
+
+    With ``metrics``, a new fact is credited to its *first* producer in
+    rule order (later producers of the same fact count duplicates), so
+    per-rule ``new_facts`` sums to the round's growth.
     """
     out = FactStore()
     for rule in rules:
+        rm = metrics.rule(rule) if metrics is not None else None
         if rule.is_fact:
-            out.add(*_head_fact(rule.head, {}))
+            pred, args = _head_fact(rule.head, {})
+            if rm is None:
+                out.add(pred, args)
+                continue
+            rm.firings += 1
+            if out.add(pred, args) and not store.contains(pred, args):
+                rm.new_facts += 1
+            else:
+                rm.duplicates += 1
             continue
+        if rm is not None:
+            rule_t0 = perf_counter()
+            rm.begin_round()
         order = plan_order(rule.body)
         stores = [store] * len(order)
         for binding in join(rule.body, order, stores):
+            if rm is not None:
+                rm.probes += 1
             if rule.negative and not _negatives_absent(rule, binding,
                                                        store):
                 continue
-            out.add(*_head_fact(rule.head, binding))
+            pred, args = _head_fact(rule.head, binding)
+            if rm is None:
+                out.add(pred, args)
+                continue
+            rm.firings += 1
+            if out.add(pred, args) and not store.contains(pred, args):
+                rm.new_facts += 1
+            else:
+                rm.duplicates += 1
+        if rm is not None:
+            rm.seconds += perf_counter() - rule_t0
+            rm.end_round()
     return out
 
 
 def _naive_group(rules: Sequence[Rule], store: FactStore,
                  max_iterations: Union[int, None] = None,
-                 stats=None, tracer=None) -> None:
+                 stats=None, tracer=None, metrics=None) -> None:
     """Naive iteration of one (stratum's) rule group, in place."""
     iterations = 0
     while True:
         iterations += 1
         if max_iterations is not None and iterations > max_iterations:
             break
-        derived = immediate_consequences(rules, store)
+        derived = immediate_consequences(rules, store, metrics=metrics)
         changed = 0
         for fact in derived.facts():
             if store.add(fact.pred, fact.args):
@@ -228,7 +259,7 @@ def _strata(rules: Sequence[Rule]) -> "list[list[Rule]]":
 
 def naive_evaluate(rules: Sequence[Rule], edb: Iterable[Fact],
                    max_iterations: Union[int, None] = None,
-                   stats=None, tracer=None) -> FactStore:
+                   stats=None, tracer=None, metrics=None) -> FactStore:
     """The (perfect) model by naive iteration, stratum by stratum.
 
     For definite programs this is the least fixpoint ``⋃ T_S^i(∅) ∪ D``;
@@ -243,42 +274,78 @@ def naive_evaluate(rules: Sequence[Rule], edb: Iterable[Fact],
         store.stats = stats
     for group in _strata(rules):
         _naive_group(group, store, max_iterations, stats=stats,
-                     tracer=tracer)
+                     tracer=tracer, metrics=metrics)
+    if metrics is not None and stats is not None:
+        metrics.export_into(stats)
     store.stats = None
     return store
 
 
 def _seminaive_group(rules: Sequence[Rule], store: FactStore,
-                     stats=None, tracer=None) -> None:
+                     stats=None, tracer=None, metrics=None) -> None:
     """Semi-naive iteration of one (stratum's) rule group, in place."""
     # Round 0 below joins against the full store, so the initial delta
-    # only needs the facts it introduces.
+    # only needs the facts it introduces.  It is recorded as round 0 in
+    # stats/trace so facts_derived reconciles with the final store size
+    # and per-rule new_facts credits stay exhaustive.
+    initial = len(store)
+    probes0 = 0
     delta = FactStore()
     for rule in rules:
         if rule.is_fact:
+            rm = metrics.rule(rule) if metrics is not None else None
             pred, args = _head_fact(rule.head, {})
+            if rm is not None:
+                rm.firings += 1
             if store.add(pred, args):
                 delta.add(pred, args)
+                if rm is not None:
+                    rm.new_facts += 1
+            elif rm is not None:
+                rm.duplicates += 1
     for rule in rules:
         if rule.is_fact:
             continue
+        rm = metrics.rule(rule) if metrics is not None else None
+        if rm is not None:
+            rule_t0 = perf_counter()
+            rm.begin_round()
         order = plan_order(rule.body)
         for binding in join(rule.body, order, [store] * len(order)):
+            probes0 += 1
+            if rm is not None:
+                rm.probes += 1
             if rule.negative and not _negatives_absent(rule, binding,
                                                        store):
                 continue
             pred, args = _head_fact(rule.head, binding)
+            if rm is not None:
+                rm.firings += 1
             if store.add(pred, args):
                 delta.add(pred, args)
+                if rm is not None:
+                    rm.new_facts += 1
+            elif rm is not None:
+                rm.duplicates += 1
+        if rm is not None:
+            rm.seconds += perf_counter() - rule_t0
+            rm.end_round()
+    if stats is not None:
+        stats.record_round(derived=len(delta), delta=initial)
+        stats.join_probes += probes0
+    if tracer is not None:
+        tracer.emit("round", round=0, delta=initial,
+                    derived=len(delta), probes=probes0, store=len(store))
 
     # Precompute, per rule, the plans that lead with each body position.
-    plans: list[tuple[Rule, list[tuple[int, list[int]]]]] = []
+    plans: list[tuple] = []
     for rule in rules:
         if rule.is_fact:
             continue
         leads = [(i, plan_order(rule.body, first=i))
                  for i in range(len(rule.body))]
-        plans.append((rule, leads))
+        plans.append((rule, leads,
+                      metrics.rule(rule) if metrics is not None else None))
 
     round_no = 0
     while len(delta):
@@ -286,19 +353,33 @@ def _seminaive_group(rules: Sequence[Rule], store: FactStore,
         probes = 0
         new_delta = FactStore()
         delta_preds = delta.predicates()
-        for rule, leads in plans:
+        for rule, leads, rm in plans:
+            if rm is not None:
+                rule_t0 = perf_counter()
+                rm.begin_round()
             for i, order in leads:
                 if rule.body[i].pred not in delta_preds:
                     continue
                 stores = [delta] + [store] * (len(order) - 1)
                 for binding in join(rule.body, order, stores):
                     probes += 1
+                    if rm is not None:
+                        rm.probes += 1
                     if rule.negative and not _negatives_absent(
                             rule, binding, store):
                         continue
                     pred, args = _head_fact(rule.head, binding)
+                    if rm is not None:
+                        rm.firings += 1
                     if store.add(pred, args):
                         new_delta.add(pred, args)
+                        if rm is not None:
+                            rm.new_facts += 1
+                    elif rm is not None:
+                        rm.duplicates += 1
+            if rm is not None:
+                rm.seconds += perf_counter() - rule_t0
+                rm.end_round()
         if stats is not None:
             stats.record_round(derived=len(new_delta), delta=len(delta))
             stats.join_probes += probes
@@ -310,7 +391,7 @@ def _seminaive_group(rules: Sequence[Rule], store: FactStore,
 
 
 def seminaive_evaluate(rules: Sequence[Rule], edb: Iterable[Fact],
-                       stats=None, tracer=None) -> FactStore:
+                       stats=None, tracer=None, metrics=None) -> FactStore:
     """The (perfect) model by semi-naive iteration with delta relations.
 
     Matches :func:`naive_evaluate` (property-tested); programs with
@@ -324,6 +405,9 @@ def seminaive_evaluate(rules: Sequence[Rule], edb: Iterable[Fact],
         stats.extra["initial_facts"] = len(store)
         store.stats = stats
     for group in _strata(rules):
-        _seminaive_group(group, store, stats=stats, tracer=tracer)
+        _seminaive_group(group, store, stats=stats, tracer=tracer,
+                         metrics=metrics)
+    if metrics is not None and stats is not None:
+        metrics.export_into(stats)
     store.stats = None
     return store

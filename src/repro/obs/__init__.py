@@ -12,14 +12,22 @@ used, the detected period, and wall time per phase.
 The trace is a JSON-lines event stream with a pluggable sink
 (:class:`JsonLinesSink` for files, :class:`ListSink` for tests); the
 event schema is documented in ``docs/INTERNALS.md``.
+
+Per-rule attribution lives one level down: a :class:`MetricsRegistry`
+(also accepted by every engine, as ``metrics=None``) credits firings,
+new facts, duplicates, join probes and wall time to individual rules,
+and :mod:`repro.obs.profile` / :mod:`repro.obs.traceview` render the
+``repro profile`` and ``repro traceview`` reports on top.
 """
 
+from .metrics import Histogram, MetricsRegistry, RuleMetrics
 from .stats import EvalStats
 from .timing import Stopwatch, phase_timer
-from .trace import JsonLinesSink, ListSink, Tracer
+from .trace import TRACE_SCHEMA, JsonLinesSink, ListSink, Tracer
 
 __all__ = [
     "EvalStats",
-    "Tracer", "JsonLinesSink", "ListSink",
+    "Tracer", "JsonLinesSink", "ListSink", "TRACE_SCHEMA",
+    "MetricsRegistry", "RuleMetrics", "Histogram",
     "Stopwatch", "phase_timer",
 ]

@@ -9,15 +9,23 @@ treat ``tracer=None`` as "no tracing" and skip the call sites entirely.
 
 The event schema (one JSON object per line) is documented in
 ``docs/INTERNALS.md``; every event carries ``event`` (the type) and
-``ts`` (a monotonic timestamp in seconds).
+``ts`` (a monotonic timestamp in seconds).  Schema version 2 adds an
+optional ``run_start`` header event (:meth:`Tracer.emit_run_start`)
+naming the engine, the program, and the tool version, so multi-run
+trace files and external consumers can tell runs apart.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import time
 from pathlib import Path
 from typing import IO, Union
+
+#: Version of the trace event schema; bumped when events gain meaning
+#: (consumers must still ignore unknown events and fields).
+TRACE_SCHEMA = 2
 
 
 class ListSink:
@@ -78,6 +86,28 @@ class Tracer:
                   "ts": round(self._clock() - self._t0, 6)}
         record.update(payload)
         self.sink.write_event(record)
+
+    def emit_run_start(self, engine: str,
+                       program: Union[str, Path, None] = None,
+                       text: Union[str, None] = None) -> None:
+        """Emit the schema-2 ``run_start`` header event.
+
+        ``program`` is the source path (as the user named it); ``text``
+        the program text, hashed (sha256) so traces of renamed or edited
+        files remain distinguishable.  Callers that drive an engine
+        directly may skip this — consumers treat the header as optional.
+        """
+        if self.sink is None:
+            return
+        from .. import __version__
+        payload: dict = {"engine": engine, "schema": TRACE_SCHEMA,
+                         "version": __version__}
+        if program is not None:
+            payload["program"] = str(program)
+        if text is not None:
+            payload["sha256"] = hashlib.sha256(
+                text.encode("utf-8")).hexdigest()
+        self.emit("run_start", **payload)
 
     def close(self) -> None:
         if self.sink is not None:

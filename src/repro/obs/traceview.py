@@ -1,0 +1,216 @@
+"""Trace analytics: summarize a JSON-lines trace into a timeline.
+
+``repro traceview TRACE.jsonl`` answers the questions a trace file is
+usually opened for — how did the evaluation converge? — without the
+reader paging through per-fact events: a round-by-round table (delta
+sizes, derived counts, probes, store growth), the phase times, and the
+round after which the period was detected.
+
+Parsing is strict about *shape* but liberal about *content*: unknown
+event types and payload fields are ignored (the schema is append-only),
+while a line that is not a JSON object raises a located
+:class:`~repro.lang.errors.ParseError` carrying the 1-based line and
+column — the CLI renders it with the standard ``file:line:col`` caret,
+so a truncated trace (killed run, partial copy) fails cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Union
+
+from ..lang.errors import ParseError
+
+
+def parse_trace(text: str) -> list[dict]:
+    """Parse JSON-lines trace text into event dicts.
+
+    Raises :class:`ParseError` (with 1-based line/column) for a line
+    that is not valid JSON or not a JSON object — including the
+    truncated final line of an interrupted run.
+    """
+    events: list[dict] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ParseError(
+                f"corrupt trace line: {exc.msg}",
+                line=lineno, column=exc.colno,
+            ) from exc
+        if not isinstance(event, dict):
+            raise ParseError("trace line is not a JSON object",
+                             line=lineno, column=1)
+        events.append(event)
+    return events
+
+
+@dataclass
+class RoundRow:
+    """One fixpoint round as the trace recorded it."""
+
+    number: int
+    delta: Union[int, None]
+    derived: Union[int, None]
+    probes: Union[int, None]
+    store: Union[int, None]
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``traceview`` prints, in structured form."""
+
+    events: int = 0
+    header: Union[dict, None] = None     # run_start payload (schema 2)
+    engine: str = ""
+    horizon: Union[int, None] = None
+    initial_facts: Union[int, None] = None
+    rounds: list[RoundRow] = field(default_factory=list)
+    phases: dict[str, float] = field(default_factory=dict)
+    period: Union[dict, None] = None
+    period_round: Union[int, None] = None
+    final_facts: Union[int, None] = None
+    fact_events: int = 0
+    subgoals: int = 0
+    inserts: int = 0
+    deletes: int = 0
+
+
+def summarize(events: list[dict]) -> TraceSummary:
+    """Fold a trace event stream into a :class:`TraceSummary`."""
+    summary = TraceSummary(events=len(events))
+    for event in events:
+        kind = event.get("event")
+        if kind == "run_start" and summary.header is None:
+            summary.header = {k: v for k, v in event.items()
+                              if k not in ("event", "ts")}
+            summary.engine = summary.engine or \
+                str(event.get("engine", ""))
+        elif kind == "eval_start":
+            summary.engine = summary.engine or \
+                str(event.get("engine", ""))
+            horizon = event.get("horizon")
+            if isinstance(horizon, int):
+                summary.horizon = (horizon if summary.horizon is None
+                                   else max(summary.horizon, horizon))
+            if summary.initial_facts is None and \
+                    isinstance(event.get("initial_facts"), int):
+                summary.initial_facts = event["initial_facts"]
+        elif kind == "round":
+            summary.rounds.append(RoundRow(
+                number=event.get("round", len(summary.rounds)),
+                delta=event.get("delta"),
+                derived=(event["derived"] if "derived" in event
+                         else event.get("merges")),
+                probes=event.get("probes"),
+                store=event.get("store"),
+            ))
+        elif kind == "phase":
+            name = str(event.get("name", "?"))
+            seconds = event.get("seconds", 0.0)
+            if isinstance(seconds, (int, float)):
+                summary.phases[name] = \
+                    summary.phases.get(name, 0.0) + float(seconds)
+        elif kind == "period":
+            summary.period = {k: v for k, v in event.items()
+                              if k not in ("event", "ts")}
+            summary.period_round = len(summary.rounds)
+        elif kind == "eval_end":
+            if isinstance(event.get("facts"), int):
+                summary.final_facts = event["facts"]
+        elif kind == "fact":
+            summary.fact_events += 1
+        elif kind == "subgoal":
+            summary.subgoals += 1
+        elif kind == "insert":
+            summary.inserts += 1
+        elif kind == "delete":
+            summary.deletes += 1
+    return summary
+
+
+def render_summary(summary: TraceSummary, path: str = "") -> str:
+    """The human traceview block."""
+    lines = []
+    title = f"trace: {path}" if path else "trace:"
+    lines.append(f"{title}  ({summary.events} events)")
+    if summary.header is not None:
+        head = summary.header
+        parts = [f"engine: {head.get('engine', summary.engine or '?')}"]
+        if "program" in head:
+            parts.append(f"program: {head['program']}")
+        if "version" in head:
+            parts.append(f"version: {head['version']}")
+        if "schema" in head:
+            parts.append(f"schema: {head['schema']}")
+        lines.append("  ".join(parts))
+    elif summary.engine:
+        lines.append(f"engine: {summary.engine}  (no run_start header)")
+    info = []
+    if summary.horizon is not None:
+        info.append(f"horizon: {summary.horizon}")
+    if summary.initial_facts is not None:
+        info.append(f"initial facts: {summary.initial_facts}")
+    if summary.final_facts is not None:
+        info.append(f"final facts: {summary.final_facts}")
+    if info:
+        lines.append("  ".join(info))
+
+    if summary.rounds:
+        lines.append(f"rounds: {len(summary.rounds)}")
+        shown = summary.rounds
+        elided = 0
+        if len(shown) > 28:
+            elided = len(shown) - 24
+            shown = shown[:16] + shown[-8:]
+        header = ("round", "delta", "derived", "probes", "store")
+        rows = [header]
+        for row in shown:
+            rows.append(tuple(
+                "-" if value is None else str(value)
+                for value in (row.number, row.delta, row.derived,
+                              row.probes, row.store)))
+        widths = [max(len(r[i]) for r in rows) for i in range(5)]
+        for index, row in enumerate(rows):
+            if elided and index == 17:
+                lines.append(f"  ... {elided} rounds elided ...")
+            lines.append("  " + "  ".join(
+                cell.rjust(widths[i]) for i, cell in enumerate(row)))
+        curve = " -> ".join(
+            "-" if row.derived is None else str(row.derived)
+            for row in shown[:16])
+        if elided:
+            curve += " ... -> " + " -> ".join(
+                "-" if row.derived is None else str(row.derived)
+                for row in shown[-3:])
+        lines.append(f"delta curve (derived/round): {curve}")
+    else:
+        lines.append("rounds: 0 (no round events in the trace)")
+
+    if summary.phases:
+        rendered = "  ".join(f"{name}={seconds:.4f}s"
+                             for name, seconds
+                             in sorted(summary.phases.items()))
+        lines.append(f"phases: {rendered}")
+    if summary.period is not None:
+        p = summary.period
+        status = "certified" if p.get("certified") else "verified"
+        where = (f" — detected after round {summary.period_round}"
+                 if summary.period_round else "")
+        lines.append(f"period: (b={p.get('b')}, p={p.get('p')}) "
+                     f"[{status}]{where}")
+    extras = []
+    if summary.fact_events:
+        extras.append(f"fact events: {summary.fact_events}")
+    if summary.subgoals:
+        extras.append(f"subgoals: {summary.subgoals}")
+    if summary.inserts:
+        extras.append(f"inserts: {summary.inserts}")
+    if summary.deletes:
+        extras.append(f"deletes: {summary.deletes}")
+    if extras:
+        lines.append("  ".join(extras))
+    return "\n".join(lines)

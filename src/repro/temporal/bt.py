@@ -55,15 +55,17 @@ from .store import TemporalStore
 
 def evaluate_window(rules: Sequence[Rule], database: TemporalStore,
                     horizon: int, stats=None,
-                    tracer=None) -> TemporalStore:
+                    tracer=None, metrics=None) -> TemporalStore:
     """The window model: truncated least fixpoint, or — for rules with
     negative literals (the stratified extension) — the truncated perfect
     model computed stratum by stratum."""
     if is_definite(rules):
         return _definite_fixpoint(rules, database, horizon,
-                                  stats=stats, tracer=tracer)
+                                  stats=stats, tracer=tracer,
+                                  metrics=metrics)
     return stratified_fixpoint(rules, database, horizon,
-                               stats=stats, tracer=tracer)
+                               stats=stats, tracer=tracer,
+                               metrics=metrics)
 
 
 @dataclass
@@ -110,7 +112,7 @@ class BTResult:
 
 def bt_verbatim(rules: Sequence[Rule], database: TemporalDatabase,
                 window: int, stats: Union[EvalStats, None] = None,
-                tracer=None) -> BTResult:
+                tracer=None, metrics=None) -> BTResult:
     """Algorithm BT exactly as printed in Figure 1 of the paper.
 
     ``window`` is the paper's ``m``.  Returns the converged ``L`` (no
@@ -136,7 +138,8 @@ def bt_verbatim(rules: Sequence[Rule], database: TemporalDatabase,
     while True:
         rounds += 1
         truncated = current.truncate(window)           # L := L'(0...m)
-        nxt = step(proper_rules, truncated, database)  # L' := T(L)
+        nxt = step(proper_rules, truncated, database,  # L' := T(L)
+                   metrics=metrics, window=window)
         same_segment = (truncated.segment(0, window)
                         == nxt.segment(0, window))
         same_nt = truncated.nt == nxt.nt
@@ -152,6 +155,8 @@ def bt_verbatim(rules: Sequence[Rule], database: TemporalDatabase,
         if same_segment and same_nt:
             if tracer is not None:
                 tracer.emit("eval_end", facts=len(truncated))
+            if metrics is not None and stats is not None:
+                metrics.export_into(stats)
             return BTResult(store=truncated, horizon=window,
                             c=database.c, g=1, period=None,
                             rounds=rounds, stats=stats)
@@ -186,7 +191,7 @@ def bt_evaluate(rules: Sequence[Rule], database: TemporalDatabase,
                 max_window: int = 1 << 20,
                 evidence: int = 2,
                 stats: Union[EvalStats, None] = None,
-                tracer=None) -> BTResult:
+                tracer=None, metrics=None) -> BTResult:
     """Semi-naive BT with period detection.
 
     Window selection, in order of precedence:
@@ -212,7 +217,8 @@ def bt_evaluate(rules: Sequence[Rule], database: TemporalDatabase,
         m = window if window is not None else max(c, query_depth) + range_bound
         with phase_timer(stats, "evaluate", tracer):
             store = evaluate_window(rules, database, m,
-                                    stats=stats, tracer=tracer)
+                                    stats=stats, tracer=tracer,
+                                    metrics=metrics)
         with phase_timer(stats, "period_detection", tracer):
             states = store.states(0, m)
             found = find_minimal_period(states, floor=0, g=g,
@@ -241,7 +247,8 @@ def bt_evaluate(rules: Sequence[Rule], database: TemporalDatabase,
     while m <= max_window:
         with phase_timer(stats, "evaluate", tracer):
             store = evaluate_window(rules, database, m,
-                                    stats=stats, tracer=tracer)
+                                    stats=stats, tracer=tracer,
+                                    metrics=metrics)
         # For non-forward rulesets the right edge of the window is
         # under-derived (facts there lack support from beyond the
         # window), so periods are detected on a trusted sub-window only.

@@ -50,7 +50,7 @@ class IncrementalModel:
     def __init__(self, rules: Sequence[Rule],
                  database: Union[TemporalDatabase, Iterable[Fact]] = (),
                  max_window: int = 1 << 20,
-                 stats=None, tracer=None):
+                 stats=None, tracer=None, metrics=None):
         validate_rules(rules)
         self.rules = tuple(r for r in rules if not r.is_fact)
         if not isinstance(database, TemporalDatabase):
@@ -63,9 +63,11 @@ class IncrementalModel:
         self._lookback = forward_lookback(self.rules)
         self.eval_stats = stats
         self.tracer = tracer
+        self.metrics = metrics
         self._result = bt_evaluate(self.rules, database,
                                    max_window=max_window,
-                                   stats=stats, tracer=tracer)
+                                   stats=stats, tracer=tracer,
+                                   metrics=metrics)
         if stats is not None:
             stats.engine = "incremental"
         self.stats = {"inserts": 0, "deletes": 0, "incremental": 0,
@@ -114,7 +116,8 @@ class IncrementalModel:
             self._result = bt_evaluate(self.rules, self.database,
                                        max_window=self.max_window,
                                        stats=self.eval_stats,
-                                       tracer=self.tracer)
+                                       tracer=self.tracer,
+                                       metrics=self.metrics)
             self._note_paths()
             return
 
@@ -127,7 +130,8 @@ class IncrementalModel:
         added = continue_fixpoint(self.rules, store, delta,
                                   self._result.horizon,
                                   stats=self.eval_stats,
-                                  tracer=self.tracer)
+                                  tracer=self.tracer,
+                                  metrics=self.metrics)
         self.stats["facts_added"] += added + len(delta)
         self._note_paths()
         self._refresh_period()
@@ -155,7 +159,8 @@ class IncrementalModel:
             self._result = bt_evaluate(self.rules, self.database,
                                        max_window=self.max_window,
                                        stats=self.eval_stats,
-                                       tracer=self.tracer)
+                                       tracer=self.tracer,
+                                       metrics=self.metrics)
             self._note_paths()
             return
 
@@ -207,7 +212,8 @@ class IncrementalModel:
                     if store.add(pred, time, args):
                         delta.add(pred, time, args)
         continue_fixpoint(self.rules, store, delta, horizon,
-                          stats=self.eval_stats, tracer=self.tracer)
+                          stats=self.eval_stats, tracer=self.tracer,
+                          metrics=self.metrics)
         self._note_paths()
         self._refresh_period()
 
@@ -257,5 +263,6 @@ class IncrementalModel:
         for fact in store.nt.facts():
             delta.add_fact(fact)
         continue_fixpoint(self.rules, store, delta, new_horizon,
-                          stats=self.eval_stats, tracer=self.tracer)
+                          stats=self.eval_stats, tracer=self.tracer,
+                          metrics=self.metrics)
         self._result.horizon = new_horizon

@@ -22,6 +22,7 @@ backward).  Results equal the slice engine's window fixpoint exactly
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Iterable, Iterator, Sequence, Union
 
 from ..datalog.facts import ArgTuple, FactStore
@@ -245,7 +246,7 @@ def _bound_args(atom: Atom, binding: dict) -> ArgTuple:
 
 def interval_fixpoint(rules: Sequence[Rule], database: TemporalDatabase,
                       horizon: int, stats=None,
-                      tracer=None) -> TemporalStore:
+                      tracer=None, metrics=None) -> TemporalStore:
     """The window least fixpoint, computed with interval algebra.
 
     Equals ``fixpoint(rules, database, horizon)`` exactly; use when the
@@ -281,40 +282,59 @@ def interval_fixpoint(rules: Sequence[Rule], database: TemporalDatabase,
     for (pred, args), times in by_tuple.items():
         store.merge(pred, args, IntervalSet.from_points(times))
 
+    plans = [(rule, metrics.rule(rule) if metrics is not None else None)
+             for rule in proper]
     changed = True
     round_no = 0
     while changed:
         round_no += 1
         changed = False
         merges = 0
-        for rule in proper:
+        for rule, rm in plans:
+            if rm is not None:
+                rule_t0 = perf_counter()
+                rm.begin_round()
             # Saturate each rule before moving on: a self-recursive
             # rule (the common shape) then converges inside one outer
             # pass instead of driving O(horizon/offset) global passes.
             while True:
-                grew = _fire_rule(rule, store, horizon, stats=stats)
+                grew = _fire_rule(rule, store, horizon, stats=stats,
+                                  rm=rm)
                 merges += grew
                 if not grew:
                     break
                 changed = True
+            if rm is not None:
+                rm.seconds += perf_counter() - rule_t0
+                rm.end_round()
         if stats is not None:
             stats.record_round(derived=merges)
         if tracer is not None:
             tracer.emit("round", round=round_no, merges=merges)
     if tracer is not None:
         tracer.emit("eval_end")
+    if metrics is not None and stats is not None:
+        metrics.export_into(stats)
     return store.to_store()
 
 
 def _fire_rule(rule: Rule, store: IntervalStore, horizon: int,
-               stats=None) -> int:
+               stats=None, rm=None) -> int:
     """Fire one rule over all data bindings; returns the number of
-    tuple-interval merges that grew the store (0 = fixpoint)."""
+    tuple-interval merges that grew the store (0 = fixpoint).
+
+    ``rm`` is the rule's :class:`~repro.obs.metrics.RuleMetrics` record;
+    a firing here is a binding whose head interval set is non-empty, and
+    one merge that grows the store counts as one new fact (the engine's
+    unit of derivation, mirroring ``record_round(derived=merges)``).
+    """
     head = rule.head
     grew = 0
     for binding in _data_bindings(rule.body, store, {}):
         if stats is not None:
             stats.join_probes += 1
+        if rm is not None:
+            rm.probes += 1
         times: Union[IntervalSet, None] = None
         dead = False
         for atom in rule.body:
@@ -340,20 +360,33 @@ def _fire_rule(rule: Rule, store: IntervalStore, horizon: int,
             # Non-temporal head: derivable when the body is satisfiable
             # at some timepoint (or the body was purely non-temporal).
             if times is None or times.clip(0, horizon):
+                if rm is not None:
+                    rm.firings += 1
                 if store.nt.add(head.pred, head_args):
                     grew += 1
+                    if rm is not None:
+                        rm.new_facts += 1
+                elif rm is not None:
+                    rm.duplicates += 1
             continue
         assert times is not None, "range-restricted head needs T bound"
         head_times = times.shift(head.time.offset).clip(0, horizon)
         # The body variable T itself ranges over >= 0 only.
         head_times = head_times.clip(head.time.offset, horizon)
+        if rm is not None and head_times:
+            rm.firings += 1
         if store.merge(head.pred, head_args, head_times):
             grew += 1
+            if rm is not None:
+                rm.new_facts += 1
+        elif rm is not None and head_times:
+            rm.duplicates += 1
     return grew
 
 
 def interval_bt(rules: Sequence[Rule], database: TemporalDatabase,
-                horizon: int, stats=None, tracer=None) -> TemporalStore:
+                horizon: int, stats=None, tracer=None,
+                metrics=None) -> TemporalStore:
     """Alias of :func:`interval_fixpoint` (naming symmetry with bt)."""
     return interval_fixpoint(rules, database, horizon, stats=stats,
-                             tracer=tracer)
+                             tracer=tracer, metrics=metrics)

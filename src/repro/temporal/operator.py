@@ -20,6 +20,7 @@ through them).  The equivalence of the two paths is property-tested.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterator, Sequence, Union
 
 from ..datalog.engine import plan_order
@@ -157,13 +158,20 @@ def negatives_absent(rule: Rule, binding: Binding,
 
 
 def step(rules: Sequence[Rule], store: TemporalStore,
-         database: Union[TemporalStore, None] = None) -> TemporalStore:
+         database: Union[TemporalStore, None] = None,
+         metrics=None,
+         window: Union[int, None] = None) -> TemporalStore:
     """One application of ``T_{Z∧D}``: rule consequences of ``store``,
     unioned with the database ``D`` (per the paper's definition).
 
     Negative literals (the stratified extension) are checked against the
     input ``store`` — the standard non-monotone immediate-consequence
     operator; iterate it only under a stratified schedule.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`)
+    attributes the round's work to individual rules; ``window`` tells
+    the attribution which head times the caller will truncate away, so a
+    "new fact" credit matches what actually survives the round.
     """
     out = TemporalStore()
     if database is not None:
@@ -173,20 +181,40 @@ def step(rules: Sequence[Rule], store: TemporalStore,
         if rule.is_fact:
             out.add_fact(rule.head.to_fact())
             continue
+        rm = metrics.rule(rule) if metrics is not None else None
+        if rm is not None:
+            rule_t0 = perf_counter()
+            rm.begin_round()
         order = plan_order(rule.body)
         stores = [store] * len(order)
         for binding in temporal_join(rule.body, order, stores):
+            if rm is not None:
+                rm.probes += 1
             if rule.negative and not negatives_absent(rule, binding,
                                                       store):
                 continue
-            out.add(*_head_values(rule.head, binding))
+            pred, time, args = _head_values(rule.head, binding)
+            if rm is None:
+                out.add(pred, time, args)
+                continue
+            rm.firings += 1
+            first = out.add(pred, time, args)
+            if window is not None and time is not None and time > window:
+                continue  # the caller truncates it; neither new nor dup
+            if first and not store.contains(pred, time, args):
+                rm.new_facts += 1
+            else:
+                rm.duplicates += 1
+        if rm is not None:
+            rm.seconds += perf_counter() - rule_t0
+            rm.end_round()
     return out
 
 
 def fixpoint(rules: Sequence[Rule], database: TemporalStore,
              horizon: int,
              max_facts: Union[int, None] = None,
-             stats=None, tracer=None) -> TemporalStore:
+             stats=None, tracer=None, metrics=None) -> TemporalStore:
     """Least fixpoint of the window-truncated operator, semi-naively.
 
     Computes the largest set ``L`` of facts with timepoints in
@@ -230,7 +258,8 @@ def fixpoint(rules: Sequence[Rule], database: TemporalStore,
                     rules=sum(1 for r in rules if not r.is_fact),
                     initial_facts=len(store))
     continue_fixpoint(rules, store, delta, horizon,
-                      max_facts=max_facts, stats=stats, tracer=tracer)
+                      max_facts=max_facts, stats=stats, tracer=tracer,
+                      metrics=metrics)
     if tracer is not None:
         tracer.emit("eval_end", facts=len(store))
     return store
@@ -239,7 +268,7 @@ def fixpoint(rules: Sequence[Rule], database: TemporalStore,
 def continue_fixpoint(rules: Sequence[Rule], store: TemporalStore,
                       delta: TemporalStore, horizon: int,
                       max_facts: Union[int, None] = None,
-                      stats=None, tracer=None) -> int:
+                      stats=None, tracer=None, metrics=None) -> int:
     """Drive the semi-naive loop from an initial ``delta``, in place.
 
     Every derivation producible from ``store`` that uses at least one
@@ -253,13 +282,14 @@ def continue_fixpoint(rules: Sequence[Rule], store: TemporalStore,
     :class:`EvaluationError` is raised rather than exhausting memory —
     useful for untrusted programs whose slices blow up combinatorially.
     """
-    plans: list[tuple[Rule, list[tuple[int, list[int]]]]] = []
+    plans: list[tuple] = []
     for rule in rules:
         if rule.is_fact:
             continue
         leads = [(i, plan_order(rule.body, first=i))
                  for i in range(len(rule.body))]
-        plans.append((rule, leads))
+        plans.append((rule, leads,
+                      metrics.rule(rule) if metrics is not None else None))
 
     if stats is not None:
         prev_stats = store.stats
@@ -272,22 +302,36 @@ def continue_fixpoint(rules: Sequence[Rule], store: TemporalStore,
         new_delta = TemporalStore()
         delta_preds = delta.temporal_predicates()
         delta_preds.update(delta.nt.predicates())
-        for rule, leads in plans:
+        for rule, leads, rm in plans:
+            if rm is not None:
+                rule_t0 = perf_counter()
+                rm.begin_round()
             for i, order in leads:
                 if rule.body[i].pred not in delta_preds:
                     continue
                 stores = [delta] + [store] * (len(order) - 1)
                 for binding in temporal_join(rule.body, order, stores):
                     probes += 1
+                    if rm is not None:
+                        rm.probes += 1
                     if rule.negative and not negatives_absent(
                             rule, binding, store):
                         continue
                     pred, time, args = _head_values(rule.head, binding)
+                    if rm is not None:
+                        rm.firings += 1
                     if time is not None and time > horizon:
                         continue
                     if store.add(pred, time, args):
                         new_delta.add(pred, time, args)
                         added += 1
+                        if rm is not None:
+                            rm.new_facts += 1
+                    elif rm is not None:
+                        rm.duplicates += 1
+            if rm is not None:
+                rm.seconds += perf_counter() - rule_t0
+                rm.end_round()
         if max_facts is not None and len(store) > max_facts:
             from ..lang.errors import EvaluationError
             raise EvaluationError(
@@ -307,4 +351,6 @@ def continue_fixpoint(rules: Sequence[Rule], store: TemporalStore,
         delta = new_delta
     if stats is not None:
         store.stats = prev_stats
+        if metrics is not None:
+            metrics.export_into(stats)
     return added

@@ -42,7 +42,7 @@ def is_definite(rules: Sequence[Rule]) -> bool:
 
 def stratified_fixpoint(rules: Sequence[Rule], database: TemporalStore,
                         horizon: int, stats=None,
-                        tracer=None) -> TemporalStore:
+                        tracer=None, metrics=None) -> TemporalStore:
     """The perfect model of a stratified program, within a window.
 
     Equivalent to :func:`repro.temporal.operator.fixpoint` on definite
@@ -66,5 +66,5 @@ def stratified_fixpoint(rules: Sequence[Rule], database: TemporalStore,
         stats.extra["strata"] = len(groups)
     for group in groups:
         store = fixpoint(group, store, horizon, stats=stats,
-                         tracer=tracer)
+                         tracer=tracer, metrics=metrics)
     return store

@@ -22,6 +22,7 @@ the questions need.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Iterator, Sequence, Union
 
 from ..lang.atoms import Atom, Fact
@@ -81,7 +82,7 @@ class TopDownEngine:
 
     def __init__(self, rules: Sequence[Rule],
                  database: TemporalDatabase, horizon: int,
-                 stats=None, tracer=None):
+                 stats=None, tracer=None, metrics=None):
         validate_rules(rules)
         proper = [r for r in rules if not r.is_fact]
         if any(not r.is_definite for r in proper):
@@ -100,6 +101,7 @@ class TopDownEngine:
         self.stats = {"subgoals": 0, "sweeps": 0, "answers": 0}
         self.eval_stats = stats
         self.tracer = tracer
+        self.metrics = metrics
         if stats is not None:
             stats.engine = "topdown"
             stats.horizon = horizon
@@ -176,14 +178,22 @@ class TopDownEngine:
                 table.answers.add(fact)
 
     def _saturate(self) -> None:
+        handles = ([self.metrics.rule(r) for r in self.rules]
+                   if self.metrics is not None else None)
         while True:
             self.stats["sweeps"] += 1
             answers_before = self.stats["answers"]
             tables_before = len(self._tables)
+            if handles is not None:
+                for rm in handles:
+                    rm.begin_round()
             changed = False
             for pattern in list(self._tables):
                 if self._solve(pattern):
                     changed = True
+            if handles is not None:
+                for rm in handles:
+                    rm.end_round()
             derived = self.stats["answers"] - answers_before
             if self.eval_stats is not None:
                 self.eval_stats.record_round(derived=derived)
@@ -197,6 +207,9 @@ class TopDownEngine:
             # A sweep that registered new subgoal tables must be
             # followed by another even if no answer was produced yet.
             if not changed and len(self._tables) == tables_before:
+                if self.metrics is not None and \
+                        self.eval_stats is not None:
+                    self.metrics.export_into(self.eval_stats)
                 return
 
     def _solve(self, pattern: CallPattern) -> bool:
@@ -204,19 +217,31 @@ class TopDownEngine:
         table = self._tables[pattern]
         grew = False
         for rule in self._by_head.get(pred, []):
+            rm = self.metrics.rule(rule) if self.metrics is not None \
+                else None
             binding = self._bind_head(rule.head, time_slot, arg_slots)
             if binding is None:
                 continue
-            for full in self._solve_body(rule.body, 0, binding):
+            if rm is not None:
+                rule_t0 = perf_counter()
+            for full in self._solve_body(rule.body, 0, binding, rm):
                 fact = self._head_fact(rule.head, full)
+                if rm is not None:
+                    rm.firings += 1
                 if fact.time is not None and (
                         fact.time > self.horizon or fact.time < 0):
                     continue
-                if _pattern_matches(pattern, fact) and \
-                        fact not in table.answers:
-                    table.answers.add(fact)
-                    self.stats["answers"] += 1
-                    grew = True
+                if _pattern_matches(pattern, fact):
+                    if fact not in table.answers:
+                        table.answers.add(fact)
+                        self.stats["answers"] += 1
+                        grew = True
+                        if rm is not None:
+                            rm.new_facts += 1
+                    elif rm is not None:
+                        rm.duplicates += 1
+            if rm is not None:
+                rm.seconds += perf_counter() - rule_t0
         return grew
 
     def _bind_head(self, head: Atom, time_slot,
@@ -247,7 +272,7 @@ class TopDownEngine:
         return binding
 
     def _solve_body(self, body: tuple, index: int,
-                    binding: dict) -> Iterator[dict]:
+                    binding: dict, rm=None) -> Iterator[dict]:
         if index == len(body):
             yield binding
             return
@@ -262,9 +287,12 @@ class TopDownEngine:
         for answer in list(sub_table.answers):
             if stats is not None:
                 stats.join_probes += 1
+            if rm is not None:
+                rm.probes += 1
             extended = match_atom(atom, answer, binding)
             if extended is not None:
-                yield from self._solve_body(body, index + 1, extended)
+                yield from self._solve_body(body, index + 1, extended,
+                                            rm)
 
     @staticmethod
     def _head_fact(head: Atom, binding: dict) -> Fact:
@@ -275,7 +303,7 @@ class TopDownEngine:
 def topdown_ask(rules: Sequence[Rule], database: TemporalDatabase,
                 goal: Union[Fact, Atom],
                 horizon: Union[int, None] = None,
-                stats=None, tracer=None) -> bool:
+                stats=None, tracer=None, metrics=None) -> bool:
     """One-shot goal-directed ground query via tabled top-down
     resolution.  ``horizon`` defaults to the goal's timepoint plus one
     rule depth (exact for forward programs, whose derivations never
@@ -287,5 +315,5 @@ def topdown_ask(rules: Sequence[Rule], database: TemporalDatabase,
         query_depth = goal.time if goal.time is not None else 0
         horizon = max(query_depth, database.c) + g
     engine = TopDownEngine(rules, database, horizon, stats=stats,
-                           tracer=tracer)
+                           tracer=tracer, metrics=metrics)
     return engine.ask(goal)

@@ -114,3 +114,49 @@ class TestEvalStatsColumns:
         text = out.getvalue()
         assert "stats.engine" in text
         assert "(b=0, p=2)" in text
+
+
+class TestHotRuleColumns:
+    def _stats_with_rules(self):
+        rule = {"id": "r1", "label": "p(T+1) :- p(T).", "line": 1,
+                "firings": 10, "new_facts": 9, "duplicates": 1,
+                "probes": 12, "seconds": 0.0441, "per_round": {}}
+        cool = dict(rule, id="r2", label="q(T+1) :- q(T).", line=2,
+                    new_facts=3, seconds=0.002)
+        cold = dict(rule, id="r3", label="r(T+1) :- r(T).", line=3,
+                    new_facts=1, seconds=0.0001)
+        frozen = dict(rule, id="r4", label="s(T+1) :- s(T).", line=4,
+                      new_facts=0, seconds=0.0)
+        return {"engine": "bt", "rounds": 3, "facts_derived": 13,
+                "extra": {"rules": [cold, rule, frozen, cool]}}
+
+    def test_top_three_by_self_time(self):
+        from repro.benchreport import _flatten_eval_stats
+        row = _flatten_eval_stats(self._stats_with_rules())
+        assert row["stats.hot1"] == "p(T+1) :- p(T). (44.1 ms, 9 new)"
+        assert row["stats.hot2"] == "q(T+1) :- q(T). (2.0 ms, 3 new)"
+        assert row["stats.hot3"] == "r(T+1) :- r(T). (0.1 ms, 1 new)"
+        assert "stats.hot4" not in row
+
+    def test_absent_rules_block_adds_no_columns(self):
+        from repro.benchreport import _flatten_eval_stats
+        row = _flatten_eval_stats({"engine": "bt", "rounds": 1,
+                                   "facts_derived": 0, "extra": {}})
+        assert not any(key.startswith("stats.hot") for key in row)
+
+    def test_hot_columns_render_in_report(self):
+        sample = {
+            "benchmarks": [{
+                "fullname":
+                    "benchmarks/bench_e7_bt_ablation.py::test_x",
+                "name": "test_x",
+                "stats": {"mean": 0.1, "rounds": 3},
+                "extra_info": {
+                    "eval_stats": self._stats_with_rules()},
+            }],
+        }
+        out = io.StringIO()
+        render(sample, out)
+        text = out.getvalue()
+        assert "stats.hot1" in text
+        assert "p(T+1) :- p(T). (44.1 ms, 9 new)" in text

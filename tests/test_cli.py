@@ -381,7 +381,13 @@ class TestObservability:
                   for line in trace.read_text().splitlines()]
         assert events, "trace file is empty"
         kinds = [e["event"] for e in events]
-        assert kinds[0] == "eval_start"
+        # Schema 2: a run_start header precedes every engine event.
+        assert kinds[0] == "run_start"
+        assert events[0]["engine"] == "bt"
+        assert events[0]["schema"] == 2
+        assert events[0]["program"] == even_file
+        assert len(events[0]["sha256"]) == 64
+        assert kinds[1] == "eval_start"
         assert "round" in kinds
         assert "period" in kinds
         assert all("ts" in e for e in events)
@@ -391,3 +397,148 @@ class TestObservability:
                            "--trace", "/nonexistent/dir/t.jsonl"])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestProfileCommand:
+    def test_table_cites_spans_and_sums_to_derived(self, travel_file):
+        code, output = run_cli(["profile", travel_file])
+        assert code == 0
+        assert f"profile: {travel_file}  engine=bt" in output
+        # Every proper rule is cited by file:line.
+        assert f"{travel_file}:2" in output
+        assert f"{travel_file}:3" in output
+        assert "time(ms)" in output and "dup%" in output
+        assert "facts derived:" in output
+
+    def test_json_new_facts_sum_to_facts_derived(self, travel_file):
+        code, output = run_cli(["profile", travel_file,
+                                "--format", "json"])
+        assert code == 0
+        report = json.loads(output)
+        assert report["engine"] == "bt"
+        total = sum(r["new_facts"] for r in report["rules"])
+        assert total == report["stats"]["facts_derived"] > 0
+        assert report["stats"]["extra"]["rules"] == report["rules"]
+
+    def test_folded_stack_format(self, travel_file):
+        code, output = run_cli(["profile", travel_file, "--folded"])
+        assert code == 0
+        lines = output.strip().splitlines()
+        assert lines
+        for line in lines:
+            # frame;frame ... count — count is the last token, integer µs.
+            frames, count = line.rsplit(" ", 1)
+            assert int(count) >= 0
+            assert frames.startswith("bt;")
+            assert f"{travel_file}:" in frames
+
+    def test_engines_agree_on_derived_totals(self, even_file):
+        _, bt_out = run_cli(["profile", even_file, "--format", "json"])
+        _, verb_out = run_cli(["profile", even_file,
+                               "--engine", "verbatim",
+                               "--format", "json"])
+        bt, verb = json.loads(bt_out), json.loads(verb_out)
+        assert sum(r["new_facts"] for r in bt["rules"]) == \
+            sum(r["new_facts"] for r in verb["rules"])
+
+    def test_goal_directed_engine_requires_query(self, even_file,
+                                                 capsys):
+        for engine in ("magic", "topdown"):
+            code, _ = run_cli(["profile", even_file,
+                               "--engine", engine])
+            assert code == 2, engine
+            assert "--query" in capsys.readouterr().err
+
+    def test_goal_directed_engine_with_query(self, even_file):
+        code, output = run_cli(["profile", even_file,
+                                "--engine", "magic",
+                                "--query", "even(4)"])
+        assert code == 0
+        assert "answer=yes" in output
+
+    def test_unparsable_query_is_located(self, even_file, capsys):
+        code, _ = run_cli(["profile", even_file,
+                           "--engine", "magic",
+                           "--query", "even(T)"])
+        assert code == 2
+        assert "ground atom" in capsys.readouterr().err
+
+    def test_missing_program_file(self, capsys):
+        code, _ = run_cli(["profile", "/nonexistent/x.tdd"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTraceviewCommand:
+    def _record_trace(self, program_file, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        code, _ = run_cli(["run", program_file, "--trace", str(trace)])
+        assert code == 0
+        return trace
+
+    def test_summarizes_convergence(self, travel_file, tmp_path):
+        trace = self._record_trace(travel_file, tmp_path)
+        code, output = run_cli(["traceview", str(trace)])
+        assert code == 0
+        assert f"trace: {trace}" in output
+        assert "engine: bt" in output
+        assert "schema: 2" in output
+        assert "rounds:" in output
+        assert "delta curve (derived/round):" in output
+        assert "phases:" in output
+        assert "period: (b=" in output
+        assert "detected after round" in output
+
+    def test_long_round_table_is_elided(self, tmp_path):
+        trace = tmp_path / "long.jsonl"
+        rounds = [json.dumps({"event": "round", "ts": 0.0,
+                              "round": n, "delta": 1, "derived": 1,
+                              "store": n})
+                  for n in range(1, 41)]
+        trace.write_text("\n".join(rounds) + "\n")
+        code, output = run_cli(["traceview", str(trace)])
+        assert code == 0
+        assert "rounds: 40" in output
+        assert "... 16 rounds elided ..." in output
+
+    def test_corrupt_trace_line_is_located(self, tmp_path, capsys):
+        trace = tmp_path / "bad.jsonl"
+        trace.write_text('{"event": "eval_start", "ts": 0.0}\n'
+                         '{"event": "round", "derive\n')
+        code, _ = run_cli(["traceview", str(trace)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert f"{trace}:2:" in err
+        assert "corrupt trace line" in err
+        assert "^" in err
+
+    def test_non_object_line_is_located(self, tmp_path, capsys):
+        trace = tmp_path / "bad.jsonl"
+        trace.write_text("[1, 2, 3]\n")
+        code, _ = run_cli(["traceview", str(trace)])
+        assert code == 2
+        assert "not a JSON object" in capsys.readouterr().err
+
+    def test_missing_trace_file(self, capsys):
+        code, _ = run_cli(["traceview", "/nonexistent/t.jsonl"])
+        assert code == 2
+        assert "cannot read trace file" in capsys.readouterr().err
+
+
+class TestExplainCommand:
+    def test_renders_derivation_tree(self, even_file):
+        code, output = run_cli(["explain", even_file, "even(4)"])
+        assert code == 0
+        assert "even(4)" in output
+        assert "[by " in output
+        assert "[database]" in output
+
+    def test_underivable_fact_exits_one(self, even_file):
+        code, output = run_cli(["explain", even_file, "even(3)"])
+        assert code == 1
+        assert "not in the model" in output
+
+    def test_open_atom_is_rejected(self, even_file, capsys):
+        code, _ = run_cli(["explain", even_file, "even(T)"])
+        assert code == 2
+        assert "ground atom" in capsys.readouterr().err

@@ -23,7 +23,7 @@ from repro.datalog import naive_evaluate, seminaive_evaluate
 from repro.lang.atoms import Atom, Fact
 from repro.lang.rules import Rule
 from repro.lang.terms import Const, TimeTerm, Var
-from repro.obs import EvalStats
+from repro.obs import EvalStats, MetricsRegistry
 from repro.temporal import (TemporalDatabase, TopDownEngine, bt_verbatim,
                             fixpoint)
 from repro.temporal.incremental import IncrementalModel
@@ -234,6 +234,46 @@ class TestStatsInvariants:
         assert sum(stats.facts_per_round) == stats.facts_derived
         # Saturation converges: the last outer round merges nothing.
         assert stats.facts_per_round[-1] == 0
+
+
+class TestProfilingInvariance:
+    """Per-rule attribution is an observer: enabling it never changes
+    the computed model, and its credits reconcile with EvalStats."""
+
+    @AUX_SETTINGS
+    @given(programs())
+    def test_profiling_never_changes_the_model(self, program):
+        rules, facts = program
+        db = TemporalDatabase(facts)
+        reference = fixpoint(rules, db, HORIZON)
+
+        stats, registry = EvalStats(), MetricsRegistry()
+        profiled = fixpoint(rules, db, HORIZON, stats=stats,
+                            metrics=registry)
+        assert profiled.segment(0, HORIZON) == \
+            reference.segment(0, HORIZON)
+        assert profiled.nt == reference.nt
+        assert registry.total_new_facts == stats.facts_derived
+
+        verb_stats, verb_registry = EvalStats(), MetricsRegistry()
+        verbatim = bt_verbatim(rules, db, HORIZON, stats=verb_stats,
+                               metrics=verb_registry)
+        window = verbatim.store.segment(0, HORIZON)
+        window |= set(verbatim.store.nt.facts())
+        ref_window = reference.segment(0, HORIZON)
+        ref_window |= set(reference.nt.facts())
+        assert window == ref_window
+        assert verb_registry.total_new_facts == \
+            verb_stats.facts_derived
+
+    @AUX_SETTINGS
+    @given(programs())
+    def test_interval_credits_reconcile(self, program):
+        rules, facts = program
+        stats, registry = EvalStats(), MetricsRegistry()
+        interval_fixpoint(rules, TemporalDatabase(facts), HORIZON,
+                          stats=stats, metrics=registry)
+        assert registry.total_new_facts == stats.facts_derived
 
 
 class TestDatalogStatsInvariants:
