@@ -29,6 +29,21 @@ RULE_FIELDS = (
     "probes", "seconds", "per_round",
 )
 
+#: Counters an ``extra.cache`` block must carry (see
+#: repro.serve.cache.SpecCache.counters).
+CACHE_FIELDS = (
+    "lookups", "mem_hits", "disk_hits", "misses", "stores",
+    "evictions", "invalidations", "corrupt", "memory_entries",
+)
+
+#: Counters an ``extra.serve`` block must carry (see
+#: repro.serve.service._ServeCounters.to_dict).
+SERVE_FIELDS = (
+    "requests", "batches", "batched_requests", "max_batch", "asks",
+    "open_queries", "degraded", "errors", "spec_computes",
+    "singleflight_waits",
+)
+
 
 def check_rules_block(name: str, stats: dict) -> list[str]:
     """Validate ``extra.rules`` when present: record shape plus the
@@ -56,6 +71,52 @@ def check_rules_block(name: str, stats: dict) -> list[str]:
     return problems
 
 
+def _check_counter_block(name: str, label: str, block,
+                         fields: tuple[str, ...]) -> list[str]:
+    """Shape-check one counter dictionary: required keys, non-negative
+    integer values."""
+    problems: list[str] = []
+    if not isinstance(block, dict):
+        return [f"{name}: eval_stats.extra.{label} is not an object"]
+    missing = [f for f in fields if f not in block]
+    if missing:
+        problems.append(f"{name}: eval_stats.extra.{label} missing "
+                        f"{', '.join(missing)}")
+    for field in fields:
+        value = block.get(field)
+        if field in block and (not isinstance(value, int)
+                               or isinstance(value, bool)
+                               or value < 0):
+            problems.append(
+                f"{name}: eval_stats.extra.{label}.{field} is "
+                f"{value!r}, expected a non-negative integer")
+    return problems
+
+
+def check_cache_blocks(name: str, stats: dict) -> list[str]:
+    """Validate ``extra.cache`` / ``extra.serve`` when present: counter
+    shape plus the accounting invariant (every lookup is exactly one of
+    a memory hit, a disk hit, or a miss)."""
+    problems: list[str] = []
+    extra = stats.get("extra", {})
+    cache = extra.get("cache")
+    if cache is not None:
+        problems.extend(_check_counter_block(name, "cache", cache,
+                                             CACHE_FIELDS))
+        if not problems and isinstance(cache, dict):
+            accounted = (cache["mem_hits"] + cache["disk_hits"]
+                         + cache["misses"])
+            if cache["lookups"] != accounted:
+                problems.append(
+                    f"{name}: cache lookups={cache['lookups']} != "
+                    f"mem_hits+disk_hits+misses={accounted}")
+    serve = extra.get("serve")
+    if serve is not None:
+        problems.extend(_check_counter_block(name, "serve", serve,
+                                             SERVE_FIELDS))
+    return problems
+
+
 def check(data: dict) -> list[str]:
     """All problems found in one benchmark JSON dump."""
     problems: list[str] = []
@@ -78,6 +139,7 @@ def check(data: dict) -> list[str]:
         if stats["rounds"] <= 0:
             problems.append(f"{name}: eval_stats.rounds is {stats['rounds']}")
         problems.extend(check_rules_block(name, stats))
+        problems.extend(check_cache_blocks(name, stats))
     return problems
 
 

@@ -31,6 +31,14 @@ Commands
 ``repl FILE``
     Interactive query loop; ``:period``, ``:spec``, ``:classify``,
     ``:quit`` are built in.
+``serve [--port N] [--cache FILE] [--deadline S]``
+    HTTP query service (JSON protocol) answering batches of ask /
+    answers requests from cached relational specifications.
+``cache {ls,rm,stats} CACHE.sqlite``
+    Inspect or prune a persistent spec cache file.
+
+``ask``, ``answers`` and ``spec`` also accept ``--cache FILE``: a warm
+cache hit answers from the persisted specification without running BT.
 
 Program files use the paper's rule syntax (see README).
 """
@@ -74,6 +82,26 @@ def _parse_file(path: str) -> tuple[TDD, str]:
 def _load(args) -> TDD:
     tdd, text = _parse_file(args.file)
     stats, tracer = getattr(args, "_obs", (None, None))
+    if getattr(args, "cache", None):
+        from .serve import SpecCache, tdd_key
+        cache = SpecCache(args.cache)
+        key = tdd_key(tdd)
+        spec, source = cache.get_with_source(key)
+        if spec is not None:
+            # Warm path: no BT run at all; queries go straight to the
+            # cached finite specification.
+            tdd.adopt_specification(spec)
+        else:
+            if tracer is not None:
+                tracer.emit_run_start("bt", program=args.file,
+                                      text=text)
+            tdd.evaluate(stats=stats, tracer=tracer)
+            cache.put(key, tdd.specification())
+            source = "computed"
+        if stats is not None:
+            stats.extra["cache"] = dict(cache.counters(),
+                                        source=source, key=key)
+        return tdd
     if stats is not None or tracer is not None:
         # Evaluate eagerly under instrumentation; the result is cached,
         # so the command's own queries reuse it.
@@ -292,6 +320,102 @@ def cmd_explain(args, out: TextIO) -> int:
     return 0
 
 
+def cmd_serve(args, out: TextIO) -> int:
+    from .serve import QueryService, SpecCache, make_server
+    cache = SpecCache(args.cache) if args.cache else SpecCache()
+    service = QueryService(cache=cache,
+                           default_deadline=args.deadline)
+    try:
+        server = make_server(service, host=args.host, port=args.port,
+                             quiet=not args.verbose)
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    host, port = server.server_address[:2]
+    where = args.cache if args.cache else "(in-memory)"
+    print(f"serving on http://{host}:{port}  cache: {where}",
+          file=out, flush=True)
+    print("POST /query   GET /stats   GET /healthz   — Ctrl-C stops",
+          file=out, flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        stats, _ = getattr(args, "_obs", (None, None))
+        if stats is not None:
+            service.attach_stats(stats)
+    return 0
+
+
+def _format_created(created: Union[float, None]) -> str:
+    if created is None:
+        return "-"
+    from datetime import datetime, timezone
+    stamp = datetime.fromtimestamp(created, tz=timezone.utc)
+    return stamp.strftime("%Y-%m-%d %H:%M:%S")
+
+
+def cmd_cache(args, out: TextIO) -> int:
+    import sqlite3
+
+    from .serve import SpecCache
+    cache = SpecCache(args.cache_file)
+    try:
+        return _cmd_cache(args, out, cache)
+    except sqlite3.Error as exc:
+        print(f"error: {args.cache_file} is not a usable spec cache: "
+              f"{exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_cache(args, out: TextIO, cache) -> int:
+    if args.cache_command == "ls":
+        entries = cache.entries()
+        if not entries:
+            print("(empty cache)", file=out)
+            return 0
+        print(f"{'key':<16} {'format':>6} {'bytes':>10} created (UTC)",
+              file=out)
+        for entry in entries:
+            size = "-" if entry["bytes"] is None else entry["bytes"]
+            print(f"{entry['key'][:16]:<16} {entry['format']:>6} "
+                  f"{size:>10} {_format_created(entry['created'])}",
+                  file=out)
+        return 0
+    if args.cache_command == "rm":
+        if args.all:
+            removed = cache.clear()
+            print(f"removed {removed} entries", file=out)
+            return 0
+        if args.key is None:
+            print("error: cache rm needs a KEY or --all",
+                  file=sys.stderr)
+            return 2
+        matches = [entry["key"] for entry in cache.entries()
+                   if entry["key"].startswith(args.key)]
+        if not matches:
+            print(f"error: no cache entry matches {args.key!r}",
+                  file=sys.stderr)
+            return 1
+        if len(matches) > 1:
+            print(f"error: {args.key!r} is ambiguous "
+                  f"({len(matches)} entries match)", file=sys.stderr)
+            return 1
+        cache.invalidate(matches[0])
+        print(f"removed {matches[0]}", file=out)
+        return 0
+    # stats
+    entries = cache.entries()
+    total = sum(entry["bytes"] or 0 for entry in entries)
+    print(f"path:    {args.cache_file}", file=out)
+    print(f"entries: {len(entries)}", file=out)
+    print(f"bytes:   {total}", file=out)
+    return 0
+
+
 def cmd_repl(args, out: TextIO,
              input_stream: Union[TextIO, None] = None) -> int:
     tdd = _load(args)
@@ -375,12 +499,19 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("file")
     run.set_defaults(func=cmd_run)
 
-    ask = sub.add_parser("ask", parents=[obs], help="yes/no query")
+    # Spec-cache flag, shared by the query-answering subcommands.
+    cached = argparse.ArgumentParser(add_help=False)
+    cached.add_argument("--cache", metavar="FILE", default=None,
+                        help="content-addressed spec cache (SQLite); "
+                             "warm hits skip BT entirely")
+
+    ask = sub.add_parser("ask", parents=[obs, cached],
+                         help="yes/no query")
     ask.add_argument("file")
     ask.add_argument("query")
     ask.set_defaults(func=cmd_ask)
 
-    answers = sub.add_parser("answers", parents=[obs],
+    answers = sub.add_parser("answers", parents=[obs, cached],
                              help="open query answers")
     answers.add_argument("file")
     answers.add_argument("query")
@@ -394,7 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument("file")
     classify.set_defaults(func=cmd_classify)
 
-    spec = sub.add_parser("spec", parents=[obs],
+    spec = sub.add_parser("spec", parents=[obs, cached],
                           help="relational specification")
     spec.add_argument("file")
     spec.add_argument("--save", metavar="OUT.json", default=None)
@@ -468,6 +599,40 @@ def build_parser() -> argparse.ArgumentParser:
                           help="interactive query loop")
     repl.add_argument("file")
     repl.set_defaults(func=cmd_repl)
+
+    serve = sub.add_parser(
+        "serve", parents=[obs],
+        help="HTTP query service over cached specifications")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765)
+    serve.add_argument("--cache", metavar="FILE", default=None,
+                       help="persistent spec cache (SQLite); default "
+                            "is in-memory only")
+    serve.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="default per-request spec-computation "
+                            "budget; exceeded budgets degrade to "
+                            "windowed evaluation")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log one line per HTTP request")
+    serve.set_defaults(func=cmd_serve)
+
+    cache = sub.add_parser("cache",
+                           help="inspect or prune a spec cache file")
+    cache_sub = cache.add_subparsers(dest="cache_command",
+                                     required=True)
+    cache_ls = cache_sub.add_parser("ls", help="list cached specs")
+    cache_ls.add_argument("cache_file", metavar="CACHE.sqlite")
+    cache_rm = cache_sub.add_parser("rm", help="remove cached specs")
+    cache_rm.add_argument("cache_file", metavar="CACHE.sqlite")
+    cache_rm.add_argument("key", nargs="?", default=None,
+                          help="key (or unambiguous prefix) to remove")
+    cache_rm.add_argument("--all", action="store_true",
+                          help="remove every entry")
+    cache_stats = cache_sub.add_parser(
+        "stats", help="entry count and payload bytes")
+    cache_stats.add_argument("cache_file", metavar="CACHE.sqlite")
+    cache.set_defaults(func=cmd_cache)
 
     return parser
 

@@ -23,8 +23,9 @@ from .inflationary import (derived_temporal_predicates,
                            inflationary_witness, is_inflationary,
                            is_inflationary_on)
 from .queries import (And, AtomQ, DataEq, Exists, Forall, Implies, Not,
-                      Or, Query, TimeEq, answers, evaluate,
-                      evaluate_on_model, free_variables, parse_query)
+                      Or, Query, TimeEq, answers, answers_on_model,
+                      evaluate, evaluate_on_model, free_variables,
+                      max_ground_time, parse_query)
 from .serialize import (load_spec, save_spec, spec_from_dict,
                         spec_to_dict)
 from .spec import RelationalSpec, compute_specification, spec_from_result
@@ -38,7 +39,7 @@ __all__ = [
     "Query", "AtomQ", "Not", "And", "Or", "Implies", "Exists", "Forall",
     "TimeEq", "DataEq",
     "parse_query", "evaluate", "evaluate_on_model", "answers",
-    "free_variables",
+    "answers_on_model", "max_ground_time", "free_variables",
     "is_inflationary", "inflationary_witness", "is_inflationary_on",
     "inflationary_period_bound", "derived_temporal_predicates",
     "classify_ruleset", "SeparabilityReport",

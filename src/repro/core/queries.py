@@ -348,6 +348,70 @@ def evaluate_on_model(query: Query, result: BTResult,
     return _evaluate(query, _ModelDomain(result, time_bound), given)
 
 
+def answers_on_model(query: Query, result: BTResult,
+                     time_bound: Union[int, None] = None
+                     ) -> list[dict[str, Value]]:
+    """All answers to an open query by direct model-prefix evaluation.
+
+    The reference semantics for open queries: free temporal variables
+    range over ``[0, time_bound]`` (default: the BT window) and data
+    variables over the model's active domain, with every candidate
+    binding checked by :func:`evaluate_on_model`.  Used to test the
+    invariance of spec-based :func:`answers` and as the degraded
+    (windowed) fallback of the query service.  Returns concrete
+    substitutions in a deterministic order.
+    """
+    sorts = free_variables(query)
+    names = sorted(sorts)
+    domain = _ModelDomain(result, time_bound)
+    axes = [
+        domain.time_domain if sorts[name] == TIME else domain.data_domain
+        for name in names
+    ]
+    found: list[dict[str, Value]] = []
+    for values in product(*axes):
+        binding = dict(zip(names, values))
+        if _evaluate(query, domain, binding):
+            found.append(binding)
+    found.sort(key=lambda sub: tuple(str(sub[name]) for name in names))
+    return found
+
+
+def max_ground_time(query: Query) -> int:
+    """The largest ground timepoint mentioned anywhere in a query.
+
+    Sizes the window of degraded (spec-less) evaluation: a windowed
+    model whose horizon reaches every ground timepoint answers the
+    query's atomic probes without folding.  Returns 0 when no ground
+    temporal term occurs.
+    """
+    best = 0
+
+    def walk(q: Query) -> None:
+        nonlocal best
+        if isinstance(q, AtomQ):
+            tt = q.atom.time
+            if tt is not None and tt.var is None:
+                best = max(best, tt.offset)
+        elif isinstance(q, Not):
+            walk(q.inner)
+        elif isinstance(q, (And, Or)):
+            for part in q.parts:
+                walk(part)
+        elif isinstance(q, Implies):
+            walk(q.antecedent)
+            walk(q.consequent)
+        elif isinstance(q, (Exists, Forall)):
+            walk(q.inner)
+        elif isinstance(q, TimeEq):
+            for side in (q.left, q.right):
+                if side.var is None:
+                    best = max(best, side.offset)
+
+    walk(query)
+    return best
+
+
 def _conjunctive_core(query: Query) -> Union[
         tuple[list[Atom], list[Atom]], None]:
     """Decompose into (positive atoms, negated atoms), or None.

@@ -119,6 +119,17 @@ class TDD:
             self._spec = spec_from_result(self.evaluate())
         return self._spec
 
+    def adopt_specification(self, spec: RelationalSpec) -> None:
+        """Install a precomputed specification (e.g. from the spec
+        cache of :mod:`repro.serve`), so queries answered through
+        :meth:`ask`/:meth:`answers` skip BT entirely.
+
+        The caller vouches that ``spec`` belongs to this TDD's program
+        and database — content-address it with
+        :func:`repro.serve.cache.tdd_key` to be sure.
+        """
+        self._spec = spec
+
     def period(self) -> Period:
         """The minimal period ``(b, p)`` of the least model."""
         result = self.evaluate()

@@ -1,0 +1,27 @@
+"""Spec serving: cache, batched query service, and HTTP front-end.
+
+The production shape of Theorem 4.1 — compute the finite relational
+specification once, then answer every query against it:
+
+* :mod:`repro.serve.cache` — a content-addressed (SHA-256 of the
+  normalized program + database) persistent spec cache, SQLite-backed
+  with an in-process LRU in front;
+* :mod:`repro.serve.service` — a thread-safe :class:`QueryService` with
+  request batching, single-flight spec computation, per-request
+  deadlines and graceful degradation to windowed evaluation;
+* :mod:`repro.serve.server` — the ``repro serve`` JSON-over-HTTP
+  front-end (stdlib ``ThreadingHTTPServer``).
+"""
+
+from .cache import (DISK, MEMORY, SpecCache, normalized_program,
+                    program_key, tdd_key)
+from .server import SpecServer, make_server
+from .service import (COMPUTED, DeadlineExceeded, QueryRequest,
+                      QueryResponse, QueryService)
+
+__all__ = [
+    "SpecCache", "program_key", "tdd_key", "normalized_program",
+    "QueryService", "QueryRequest", "QueryResponse", "DeadlineExceeded",
+    "SpecServer", "make_server",
+    "MEMORY", "DISK", "COMPUTED",
+]

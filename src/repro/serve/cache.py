@@ -1,0 +1,296 @@
+"""Content-addressed persistent cache of relational specifications.
+
+Theorem 4.1 makes the specification ``S(Z∧D) = (T, B, W)`` the unit of
+work worth paying for once: computing it costs a full BT run, while every
+query afterwards is answered from the finite object in polynomial time.
+This module turns that observation into infrastructure — a cache keyed by
+the *content* of the TDD, so that any process (or any later run) that
+sees the same program + database reuses the spec instead of recomputing.
+
+Keys
+----
+
+The cache key is the SHA-256 hex digest of the *normalized* program
+text: :func:`repro.lang.format_program` renders rules, sorted facts, and
+``@temporal`` declarations deterministically, so two TDDs with the same
+rules and facts (in any order, any whitespace) share a key, and any
+change to either part changes it.  See :func:`program_key`.
+
+Storage
+-------
+
+Two layers, checked in order:
+
+* an in-process LRU dictionary (``memory_size`` entries, thread-safe);
+* a SQLite table ``specs(key, format, created, payload)`` living beside
+  the fact store of :mod:`repro.storage.sqlite_store` (``path=None``
+  keeps the cache purely in-memory).
+
+Payloads are the JSON of :func:`repro.core.serialize.spec_to_dict`.  A
+row whose payload fails to decode, or whose ``format`` does not match
+the current :data:`repro.core.serialize.FORMAT_VERSION`, is treated as a
+clean miss: the row is deleted and the spec recomputed — corruption and
+version skew can never surface as a crash or a stale answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+import threading
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import Iterable, Union
+
+from ..core.serialize import FORMAT_VERSION, spec_from_dict, spec_to_dict
+from ..core.spec import RelationalSpec
+from ..lang.atoms import Fact
+from ..lang.pretty import format_program
+from ..lang.rules import Rule
+
+#: Sources a cache hit can come from (reported in responses and stats).
+MEMORY = "memory"
+DISK = "disk"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS specs (
+    key TEXT PRIMARY KEY,
+    format INTEGER NOT NULL,
+    created REAL NOT NULL,
+    payload TEXT NOT NULL
+);
+"""
+
+
+def normalized_program(rules: Iterable[Rule], facts: Iterable[Fact],
+                       temporal_preds: Iterable[str] = ()) -> str:
+    """The canonical text a cache key is derived from."""
+    proper = [r for r in rules if not r.is_fact]
+    return format_program(proper, facts, temporal_preds)
+
+
+def program_key(rules: Iterable[Rule], facts: Iterable[Fact],
+                temporal_preds: Iterable[str] = ()) -> str:
+    """SHA-256 content key of a TDD (hex digest).
+
+    Derived from :func:`normalized_program`, so ordering and whitespace
+    differences do not split the cache, while any semantic change to the
+    rules or the database yields a fresh key.
+    """
+    text = normalized_program(rules, facts, temporal_preds)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def tdd_key(tdd) -> str:
+    """Content key of a :class:`repro.core.tdd.TDD`."""
+    return program_key(tdd.rules, tdd.database.facts(),
+                       tdd.temporal_preds)
+
+
+class SpecCache:
+    """Two-layer (LRU + SQLite) specification cache, thread-safe.
+
+    All counters are plain ints guarded by the instance lock;
+    :meth:`counters` snapshots them for stats reporting.  ``lookups``
+    always equals ``mem_hits + disk_hits + misses``.
+    """
+
+    def __init__(self, path: Union[str, Path, None] = None,
+                 memory_size: int = 64):
+        if memory_size < 1:
+            raise ValueError("memory_size must be at least 1")
+        self.path = None if path is None else Path(path)
+        self.memory_size = memory_size
+        self._memory: OrderedDict[str, RelationalSpec] = OrderedDict()
+        self._lock = threading.Lock()
+        self.lookups = 0
+        self.mem_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.corrupt = 0
+
+    # -- SQLite layer ----------------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        assert self.path is not None
+        connection = sqlite3.connect(str(self.path))
+        connection.executescript(_SCHEMA)
+        return connection
+
+    def _disk_get(self, key: str) -> Union[RelationalSpec, None]:
+        if self.path is None:
+            return None
+        try:
+            connection = self._connect()
+        except sqlite3.Error:
+            self.corrupt += 1
+            return None
+        try:
+            row = connection.execute(
+                "SELECT format, payload FROM specs WHERE key = ?",
+                (key,)).fetchone()
+            if row is None:
+                return None
+            fmt, payload = row
+            if fmt != FORMAT_VERSION:
+                # Version skew: drop the row, report a miss.
+                connection.execute("DELETE FROM specs WHERE key = ?",
+                                   (key,))
+                connection.commit()
+                self.corrupt += 1
+                return None
+            try:
+                spec = spec_from_dict(json.loads(payload))
+            except (ValueError, KeyError, TypeError):
+                # Truncated or garbage payload: same treatment.
+                connection.execute("DELETE FROM specs WHERE key = ?",
+                                   (key,))
+                connection.commit()
+                self.corrupt += 1
+                return None
+            return spec
+        except sqlite3.Error:
+            self.corrupt += 1
+            return None
+        finally:
+            connection.close()
+
+    def _disk_put(self, key: str, spec: RelationalSpec) -> None:
+        if self.path is None:
+            return
+        payload = json.dumps(spec_to_dict(spec))
+        try:
+            connection = self._connect()
+        except sqlite3.Error:
+            # An unusable cache file must not take query serving down;
+            # the LRU layer still holds the entry for this process.
+            self.corrupt += 1
+            return
+        try:
+            connection.execute(
+                "INSERT OR REPLACE INTO specs "
+                "(key, format, created, payload) VALUES (?, ?, ?, ?)",
+                (key, FORMAT_VERSION, time.time(), payload))
+            connection.commit()
+        except sqlite3.Error:
+            self.corrupt += 1
+        finally:
+            connection.close()
+
+    # -- the public two-layer API ---------------------------------------
+
+    def _remember(self, key: str, spec: RelationalSpec) -> None:
+        self._memory[key] = spec
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_size:
+            self._memory.popitem(last=False)
+            self.evictions += 1
+
+    def get(self, key: str) -> Union[RelationalSpec, None]:
+        """Look a key up; None on a miss.  Disk hits warm the LRU."""
+        spec, _ = self.get_with_source(key)
+        return spec
+
+    def get_with_source(self, key: str) -> tuple[
+            Union[RelationalSpec, None], Union[str, None]]:
+        """Like :meth:`get`, but also says which layer answered."""
+        with self._lock:
+            self.lookups += 1
+            cached = self._memory.get(key)
+            if cached is not None:
+                self._memory.move_to_end(key)
+                self.mem_hits += 1
+                return cached, MEMORY
+            spec = self._disk_get(key)
+            if spec is not None:
+                self.disk_hits += 1
+                self._remember(key, spec)
+                return spec, DISK
+            self.misses += 1
+            return None, None
+
+    def put(self, key: str, spec: RelationalSpec) -> None:
+        """Store a spec in both layers."""
+        with self._lock:
+            self.stores += 1
+            self._remember(key, spec)
+            self._disk_put(key, spec)
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry from both layers; True when anything was
+        present."""
+        with self._lock:
+            present = self._memory.pop(key, None) is not None
+            if self.path is not None:
+                connection = self._connect()
+                try:
+                    cursor = connection.execute(
+                        "DELETE FROM specs WHERE key = ?", (key,))
+                    connection.commit()
+                    present = present or cursor.rowcount > 0
+                finally:
+                    connection.close()
+            if present:
+                self.invalidations += 1
+            return present
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many persistent rows died."""
+        with self._lock:
+            self._memory.clear()
+            removed = 0
+            if self.path is not None:
+                connection = self._connect()
+                try:
+                    cursor = connection.execute("DELETE FROM specs")
+                    connection.commit()
+                    removed = cursor.rowcount
+                finally:
+                    connection.close()
+            self.invalidations += removed
+            return removed
+
+    # -- introspection ---------------------------------------------------
+
+    def entries(self) -> list[dict]:
+        """Persistent rows as dictionaries (for ``repro cache ls``)."""
+        if self.path is None:
+            with self._lock:
+                return [{"key": key, "format": FORMAT_VERSION,
+                         "created": None, "bytes": None, "layer": MEMORY}
+                        for key in self._memory]
+        connection = self._connect()
+        try:
+            rows = connection.execute(
+                "SELECT key, format, created, LENGTH(payload) "
+                "FROM specs ORDER BY created").fetchall()
+        finally:
+            connection.close()
+        return [{"key": key, "format": fmt, "created": created,
+                 "bytes": size, "layer": DISK}
+                for key, fmt, created, size in rows]
+
+    def counters(self) -> dict:
+        """A snapshot of the hit/miss accounting, JSON-ready."""
+        with self._lock:
+            return {
+                "lookups": self.lookups,
+                "mem_hits": self.mem_hits,
+                "disk_hits": self.disk_hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "corrupt": self.corrupt,
+                "memory_entries": len(self._memory),
+            }
+
+    def __repr__(self) -> str:
+        where = "memory" if self.path is None else str(self.path)
+        return (f"SpecCache({where}, {len(self._memory)}/"
+                f"{self.memory_size} in LRU)")

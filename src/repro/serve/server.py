@@ -1,0 +1,103 @@
+"""HTTP front-end for the query service (stdlib only).
+
+``repro serve`` binds a :class:`~http.server.ThreadingHTTPServer` whose
+handler delegates to one shared :class:`~repro.serve.service.QueryService`
+— the service's cache and single-flight machinery make the handler
+threads safe to run concurrently.
+
+JSON protocol (see docs/INTERNALS.md for the full schema):
+
+* ``POST /query`` — body ``{"requests": [{"program", "query", "kind",
+  "deadline", "expand"}, ...]}`` (or a single request object); responds
+  ``{"responses": [...]}`` with one response per request, in order.
+* ``GET /stats`` — serve + cache counters.
+* ``GET /healthz`` — liveness probe, ``{"ok": true}``.
+
+Malformed bodies get a 400 with ``{"error": ...}``; per-request failures
+(parse errors, unknown kinds) are *not* transport errors — they come
+back 200 with ``ok: false`` on the affected response, so one bad request
+cannot poison a batch.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .service import QueryRequest, QueryService
+
+#: Largest accepted request body, a guard against unbounded reads.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class SpecServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`QueryService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: QueryService,
+                 quiet: bool = True):
+        self.service = service
+        self.quiet = quiet
+        super().__init__(address, _Handler)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: SpecServer
+
+    # -- plumbing ---------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise ValueError(f"request body of {length} bytes refused")
+        return self.rfile.read(length)
+
+    # -- routes -----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server convention
+        if self.path == "/healthz":
+            self._reply(200, {"ok": True})
+        elif self.path == "/stats":
+            self._reply(200, self.server.service.stats_dict())
+        else:
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server convention
+        if self.path not in ("/query", "/"):
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            data = json.loads(self._read_body() or b"{}")
+            if isinstance(data, dict) and "requests" in data:
+                raw = data["requests"]
+            else:
+                raw = [data]
+            if not isinstance(raw, list) or not raw:
+                raise ValueError(
+                    "body must be a request object or "
+                    "{'requests': [non-empty list]}")
+            requests = [QueryRequest.from_dict(item) for item in raw]
+        except (ValueError, TypeError) as exc:
+            self._reply(400, {"error": str(exc)})
+            return
+        responses = self.server.service.serve_batch(requests)
+        self._reply(200, {"responses": [r.to_dict() for r in responses]})
+
+
+def make_server(service: QueryService, host: str = "127.0.0.1",
+                port: int = 0, quiet: bool = True) -> SpecServer:
+    """Bind (but do not run) a server; ``port=0`` picks a free port."""
+    return SpecServer((host, port), service, quiet=quiet)

@@ -1,0 +1,423 @@
+"""The batched, deadline-aware query service over cached specifications.
+
+This is the compute-once/serve-many shape of Theorem 4.1 as a component:
+requests carry a program and a query; the service resolves the program
+to its content key (:func:`repro.serve.cache.program_key`), obtains the
+relational specification from the :class:`~repro.serve.cache.SpecCache`
+— computing and storing it on a miss, with *single-flight* so concurrent
+requests for the same key trigger exactly one BT run — and answers the
+query on the finite object.
+
+Batching
+--------
+
+:meth:`QueryService.serve_batch` groups requests by program text, so a
+batch of N queries against one TDD parses the program once, acquires the
+spec once, and canonicalises each query through the same ``W``.
+
+Deadlines and graceful degradation
+----------------------------------
+
+A request may carry ``deadline`` seconds.  Spec computation then runs as
+budgeted iterative deepening (the certified BT deepening, with the clock
+checked between window enlargements).  When the budget expires before a
+certified period is found — or BT finds no period at all — the service
+*degrades* instead of failing: the query is answered by a windowed BT
+evaluation whose horizon covers the query's ground timepoints, and the
+response is marked ``degraded`` (quantified answers are then relative to
+the window, not the infinite model).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Sequence, Union
+
+from ..core.queries import (Query, answers as spec_answers,
+                            answers_on_model, evaluate, evaluate_on_model,
+                            free_variables, max_ground_time, parse_query)
+from ..core.spec import RelationalSpec, compute_specification
+from ..core.tdd import TDD
+from ..lang.errors import EvaluationError, ReproError
+from ..temporal.bt import bt_evaluate
+from .cache import SpecCache, tdd_key
+
+#: Spec source tag for a cache miss filled by this service.
+COMPUTED = "computed"
+
+#: Default horizon of the degraded (windowed) evaluation path.
+DEGRADED_WINDOW = 64
+
+#: Parsed programs memoised per service (keyed by raw request text).
+#: Parsing + content-hashing a large program dwarfs a warm query, so a
+#: server answering many requests for the same program must not redo
+#: either per request.
+PARSE_MEMO_SIZE = 32
+
+
+class DeadlineExceeded(Exception):
+    """Raised internally when a spec cannot be computed in budget."""
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One unit of work for the service.
+
+    ``kind`` is ``"ask"`` (closed query, boolean answer) or
+    ``"answers"`` (open query, finite answer representation);
+    ``deadline`` is a per-request spec-computation budget in seconds;
+    ``expand`` additionally enumerates concrete answers up to the given
+    timepoint (``answers`` kind only).
+    """
+
+    program: str
+    query: str
+    kind: str = "ask"
+    deadline: Union[float, None] = None
+    expand: Union[int, None] = None
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QueryRequest":
+        if not isinstance(data, dict):
+            raise ValueError("a request must be a JSON object")
+        unknown = set(data) - {"program", "query", "kind", "deadline",
+                               "expand"}
+        if unknown:
+            raise ValueError(f"unknown request fields {sorted(unknown)}")
+        for name in ("program", "query"):
+            if not isinstance(data.get(name), str):
+                raise ValueError(f"request field {name!r} must be a "
+                                 "string")
+        return cls(program=data["program"], query=data["query"],
+                   kind=data.get("kind", "ask"),
+                   deadline=data.get("deadline"),
+                   expand=data.get("expand"))
+
+
+@dataclass
+class QueryResponse:
+    """The service's answer to one request."""
+
+    ok: bool
+    kind: str
+    answer: Union[bool, dict, None] = None
+    degraded: bool = False
+    source: Union[str, None] = None
+    key: Union[str, None] = None
+    error: Union[str, None] = None
+    elapsed_ms: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "kind": self.kind,
+            "answer": self.answer,
+            "degraded": self.degraded,
+            "source": self.source,
+            "key": self.key,
+            "error": self.error,
+            "elapsed_ms": round(self.elapsed_ms, 3),
+        }
+
+
+@dataclass
+class _ServeCounters:
+    requests: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+    max_batch: int = 0
+    asks: int = 0
+    open_queries: int = 0
+    degraded: int = 0
+    errors: int = 0
+    spec_computes: int = 0
+    singleflight_waits: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "max_batch": self.max_batch,
+            "asks": self.asks,
+            "open_queries": self.open_queries,
+            "degraded": self.degraded,
+            "errors": self.errors,
+            "spec_computes": self.spec_computes,
+            "singleflight_waits": self.singleflight_waits,
+        }
+
+
+class QueryService:
+    """Thread-safe query answering over a :class:`SpecCache`."""
+
+    def __init__(self, cache: Union[SpecCache, None] = None,
+                 default_deadline: Union[float, None] = None,
+                 max_window: int = 1 << 20,
+                 degraded_window: int = DEGRADED_WINDOW):
+        self.cache = cache if cache is not None else SpecCache()
+        self.default_deadline = default_deadline
+        self.max_window = max_window
+        self.degraded_window = degraded_window
+        self._counters = _ServeCounters()
+        self._counters_lock = threading.Lock()
+        self._flight_lock = threading.Lock()
+        self._key_locks: dict[str, threading.Lock] = {}
+        self._computes: dict[str, int] = {}
+        self._parse_lock = threading.Lock()
+        self._parse_memo: OrderedDict[str, tuple[TDD, str]] = OrderedDict()
+
+    def _resolve_program(self, program: str) -> tuple[TDD, str]:
+        """Parse + content-key a program text, memoised on the raw text.
+
+        Distinct texts of the same TDD (whitespace, ordering) take
+        separate memo slots but still converge on one content key — the
+        memo is a parse cache, not the identity of the spec.
+        """
+        with self._parse_lock:
+            cached = self._parse_memo.get(program)
+            if cached is not None:
+                self._parse_memo.move_to_end(program)
+                return cached
+        tdd = TDD.from_text(program)  # may raise ReproError; never memoised
+        key = tdd_key(tdd)
+        with self._parse_lock:
+            self._parse_memo[program] = (tdd, key)
+            self._parse_memo.move_to_end(program)
+            while len(self._parse_memo) > PARSE_MEMO_SIZE:
+                self._parse_memo.popitem(last=False)
+        return tdd, key
+
+    # -- spec acquisition (single-flight) --------------------------------
+
+    def _key_lock(self, key: str) -> threading.Lock:
+        with self._flight_lock:
+            lock = self._key_locks.get(key)
+            if lock is None:
+                lock = self._key_locks[key] = threading.Lock()
+            return lock
+
+    def compute_count(self, key: str) -> int:
+        """How many times this service ran BT for ``key`` (tests use
+        this to assert single-flight)."""
+        with self._flight_lock:
+            return self._computes.get(key, 0)
+
+    def _compute(self, tdd: TDD,
+                 deadline: Union[float, None]) -> RelationalSpec:
+        if deadline is None:
+            return compute_specification(tdd.rules, tdd.database,
+                                         max_window=self.max_window)
+        start = time.monotonic()
+        window_cap = max(64, 4 * (tdd.database.c + 1))
+        while True:
+            if time.monotonic() - start >= deadline:
+                raise DeadlineExceeded(
+                    f"spec computation exceeded the {deadline}s budget")
+            try:
+                return compute_specification(tdd.rules, tdd.database,
+                                             max_window=window_cap)
+            except EvaluationError:
+                if window_cap >= self.max_window:
+                    raise
+                window_cap = min(window_cap * 4, self.max_window)
+
+    def specification(self, tdd: TDD,
+                      deadline: Union[float, None] = None,
+                      key: Union[str, None] = None
+                      ) -> tuple[RelationalSpec, str]:
+        """The spec for a TDD, via the cache; returns (spec, source).
+
+        ``source`` is ``"memory"``, ``"disk"``, or ``"computed"``.
+        Raises :class:`DeadlineExceeded` when computation cannot finish
+        in budget, and :class:`~repro.lang.errors.EvaluationError` when
+        BT finds no period within ``max_window``.  ``key`` lets callers
+        that already know the content key skip re-deriving it.
+        """
+        if key is None:
+            key = tdd_key(tdd)
+        spec, source = self.cache.get_with_source(key)
+        if spec is not None:
+            return spec, source
+        lock = self._key_lock(key)
+        acquired = lock.acquire(
+            timeout=deadline if deadline is not None else -1)
+        if not acquired:
+            with self._counters_lock:
+                self._counters.singleflight_waits += 1
+            raise DeadlineExceeded(
+                f"timed out waiting for an in-flight computation of "
+                f"{key[:12]}…")
+        try:
+            # Double-check: another thread may have filled the cache
+            # while this one waited on the key lock.
+            spec, source = self.cache.get_with_source(key)
+            if spec is not None:
+                with self._counters_lock:
+                    self._counters.singleflight_waits += 1
+                return spec, source
+            with self._flight_lock:
+                self._computes[key] = self._computes.get(key, 0) + 1
+            with self._counters_lock:
+                self._counters.spec_computes += 1
+            spec = self._compute(tdd, deadline)
+            self.cache.put(key, spec)
+            return spec, COMPUTED
+        finally:
+            lock.release()
+
+    # -- degraded (windowed) evaluation ----------------------------------
+
+    def _degraded_answer(self, tdd: TDD, query: Query,
+                         request: QueryRequest) -> Union[bool, dict]:
+        bound = max(self.degraded_window, max_ground_time(query),
+                    tdd.database.c)
+        result = bt_evaluate(tdd.rules, tdd.database, window=bound)
+        if request.kind == "ask":
+            return evaluate_on_model(query, result)
+        concrete = answers_on_model(query, result, time_bound=bound)
+        sorts = free_variables(query)
+        return {
+            "variables": [[name, sorts[name]] for name in sorted(sorts)],
+            "concrete": concrete,
+            "window": bound,
+        }
+
+    # -- request handling -------------------------------------------------
+
+    def _answer_payload(self, query: Query, spec: RelationalSpec,
+                        request: QueryRequest) -> dict:
+        result = spec_answers(query, spec)
+        names = [name for name, _ in result.variables]
+        payload = {
+            "variables": [list(pair) for pair in result.variables],
+            "canonical": [
+                {name: sub[name] for name in names} for sub in result
+            ],
+            "infinite": result.is_infinite,
+            "b": result.b,
+            "p": result.p,
+            "rewrites": str(result.rewrites),
+        }
+        if request.expand is not None:
+            payload["expanded"] = list(result.expand(request.expand))
+        return payload
+
+    def _serve_parsed(self, tdd: TDD, spec: Union[RelationalSpec, None],
+                      source: Union[str, None], key: str,
+                      request: QueryRequest,
+                      spec_error: Union[Exception, None]
+                      ) -> QueryResponse:
+        start = time.monotonic()
+        degraded = False
+        try:
+            if request.kind not in ("ask", "answers"):
+                raise ReproError(
+                    f"unknown request kind {request.kind!r} "
+                    "(expected 'ask' or 'answers')")
+            query = parse_query(request.query, tdd.temporal_preds)
+            if request.kind == "ask" and free_variables(query):
+                raise ReproError(
+                    "'ask' needs a closed query; use kind='answers' "
+                    "for open queries")
+            if spec is None:
+                # Spec unavailable in budget (or no period): windowed
+                # fallback, marked degraded.
+                if not isinstance(spec_error,
+                                  (DeadlineExceeded, EvaluationError)):
+                    raise spec_error  # pragma: no cover - defensive
+                degraded = True
+                answer = self._degraded_answer(tdd, query, request)
+            elif request.kind == "ask":
+                answer = evaluate(query, spec)
+            else:
+                answer = self._answer_payload(query, spec, request)
+        except ReproError as exc:
+            with self._counters_lock:
+                self._counters.errors += 1
+            return QueryResponse(
+                ok=False, kind=request.kind, key=key, error=str(exc),
+                elapsed_ms=(time.monotonic() - start) * 1e3)
+        with self._counters_lock:
+            if request.kind == "ask":
+                self._counters.asks += 1
+            else:
+                self._counters.open_queries += 1
+            if degraded:
+                self._counters.degraded += 1
+        return QueryResponse(
+            ok=True, kind=request.kind, answer=answer, degraded=degraded,
+            source=None if degraded else source, key=key,
+            elapsed_ms=(time.monotonic() - start) * 1e3)
+
+    def serve(self, request: QueryRequest) -> QueryResponse:
+        """Answer one request (sugar for a singleton batch)."""
+        return self.serve_batch([request])[0]
+
+    def serve_batch(self, requests: Sequence[QueryRequest]
+                    ) -> list[QueryResponse]:
+        """Answer a batch; order of responses matches the requests.
+
+        Requests are grouped by program text: each distinct program is
+        parsed once and its specification acquired once for the whole
+        group.
+        """
+        with self._counters_lock:
+            self._counters.requests += len(requests)
+            self._counters.batches += 1
+            self._counters.batched_requests += len(requests)
+            self._counters.max_batch = max(self._counters.max_batch,
+                                           len(requests))
+        responses: list[Union[QueryResponse, None]] = [None] * len(requests)
+        groups: dict[str, list[int]] = {}
+        for index, request in enumerate(requests):
+            groups.setdefault(request.program, []).append(index)
+        for program, indexes in groups.items():
+            try:
+                tdd, key = self._resolve_program(program)
+            except ReproError as exc:
+                with self._counters_lock:
+                    self._counters.errors += len(indexes)
+                for index in indexes:
+                    responses[index] = QueryResponse(
+                        ok=False, kind=requests[index].kind,
+                        error=f"program parse error: {exc}")
+                continue
+            deadlines = [requests[i].deadline for i in indexes]
+            if any(d is None for d in deadlines):
+                deadline = self.default_deadline
+            else:
+                deadline = max(d for d in deadlines if d is not None)
+            spec: Union[RelationalSpec, None] = None
+            source: Union[str, None] = None
+            spec_error: Union[Exception, None] = None
+            try:
+                spec, source = self.specification(tdd, deadline, key=key)
+            except (DeadlineExceeded, EvaluationError) as exc:
+                spec_error = exc
+            for index in indexes:
+                responses[index] = self._serve_parsed(
+                    tdd, spec, source, key, requests[index], spec_error)
+        return [r for r in responses if r is not None]
+
+    # -- stats -------------------------------------------------------------
+
+    def counters(self) -> dict:
+        """Service-side counters (requests, batches, degradations)."""
+        with self._counters_lock:
+            return self._counters.to_dict()
+
+    def stats_dict(self) -> dict:
+        """Everything observable: serve counters + cache counters."""
+        return {"serve": self.counters(),
+                "cache": self.cache.counters()}
+
+    def attach_stats(self, stats) -> None:
+        """Land the counters in an :class:`repro.obs.EvalStats` so they
+        reach ``--stats`` output and benchreport columns."""
+        stats.extra["serve"] = self.counters()
+        stats.extra["cache"] = self.cache.counters()

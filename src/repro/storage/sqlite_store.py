@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import sqlite3
+from contextlib import closing
 from pathlib import Path
 from typing import Iterable, Iterator, Union
 
@@ -64,7 +65,11 @@ def save_database(database: Union[TemporalDatabase, Iterable[Fact]],
     """
     facts = (database.facts()
              if isinstance(database, TemporalDatabase) else database)
-    with _connect(path) as connection:
+    # ``closing`` matters: a bare ``with connection:`` commits the
+    # transaction but leaves the connection (and its file handle) open
+    # forever — and held open mid-transaction if the facts iterable
+    # throws.
+    with closing(_connect(path)) as connection, connection:
         connection.execute("DELETE FROM facts")
         count = 0
         for fact in facts:
@@ -82,7 +87,7 @@ def append_facts(facts: Iterable[Fact],
     Duplicates are tolerated in the file and collapse on load (facts
     are set-valued).
     """
-    with _connect(path) as connection:
+    with closing(_connect(path)) as connection, connection:
         count = 0
         for fact in facts:
             connection.execute(

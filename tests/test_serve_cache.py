@@ -1,0 +1,272 @@
+"""Spec-cache behaviour: layers, eviction, corruption, CLI tooling.
+
+The corruption contract (the paper's finite object is *derived* data,
+so the cache may always be rebuilt): truncated rows, garbage rows,
+version-mismatched rows, and even a cache file that is not SQLite at
+all must all read as clean misses — recompute, never crash, never
+serve a stale or half-decoded specification.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sqlite3
+
+import pytest
+
+from repro.cli import main
+from repro.core import TDD, compute_specification
+from repro.core.serialize import spec_to_dict
+from repro.serve import DISK, MEMORY, SpecCache, tdd_key
+
+EVEN = "even(T+2) :- even(T).\neven(0).\n"
+ODD = "odd(T+2) :- odd(T).\nodd(1).\n"
+
+
+@pytest.fixture()
+def cache_path(tmp_path):
+    return tmp_path / "specs.sqlite"
+
+
+@pytest.fixture()
+def even_spec():
+    tdd = TDD.from_text(EVEN)
+    return tdd_key(tdd), compute_specification(
+        tdd.rules, tdd.database)
+
+
+def _tamper(path, sql: str, *params) -> None:
+    connection = sqlite3.connect(str(path))
+    try:
+        connection.execute(sql, params)
+        connection.commit()
+    finally:
+        connection.close()
+
+
+class TestLayers:
+    def test_round_trip_through_both_layers(self, cache_path,
+                                            even_spec):
+        key, spec = even_spec
+        cache = SpecCache(cache_path)
+        assert cache.get(key) is None
+        cache.put(key, spec)
+        got, source = cache.get_with_source(key)
+        assert source == MEMORY
+        assert spec_to_dict(got) == spec_to_dict(spec)
+        # A fresh instance has a cold LRU: the hit must come from disk.
+        reopened = SpecCache(cache_path)
+        got, source = reopened.get_with_source(key)
+        assert source == DISK
+        assert spec_to_dict(got) == spec_to_dict(spec)
+
+    def test_memory_only_cache(self, even_spec):
+        key, spec = even_spec
+        cache = SpecCache()
+        cache.put(key, spec)
+        assert cache.get_with_source(key)[1] == MEMORY
+        assert cache.entries()[0]["layer"] == MEMORY
+
+    def test_lru_evicts_but_disk_retains(self, cache_path, even_spec):
+        key, spec = even_spec
+        cache = SpecCache(cache_path, memory_size=2)
+        cache.put(key, spec)
+        cache.put("k2", spec)
+        cache.put("k3", spec)
+        assert cache.counters()["evictions"] == 1
+        assert cache.counters()["memory_entries"] == 2
+        # The evicted key still hits, one layer down.
+        got, source = cache.get_with_source(key)
+        assert got is not None and source == DISK
+
+    def test_invalidate_drops_both_layers(self, cache_path, even_spec):
+        key, spec = even_spec
+        cache = SpecCache(cache_path)
+        cache.put(key, spec)
+        assert cache.invalidate(key)
+        assert cache.get(key) is None
+        assert not cache.invalidate(key)
+        assert SpecCache(cache_path).get(key) is None
+
+    def test_clear(self, cache_path, even_spec):
+        key, spec = even_spec
+        cache = SpecCache(cache_path)
+        cache.put(key, spec)
+        cache.put("other", spec)
+        assert cache.clear() == 2
+        assert cache.entries() == []
+
+    def test_counters_always_reconcile(self, cache_path, even_spec):
+        key, spec = even_spec
+        cache = SpecCache(cache_path)
+        cache.get(key)
+        cache.put(key, spec)
+        cache.get(key)
+        SpecCache(cache_path).get(key)
+        counters = cache.counters()
+        assert counters["lookups"] == (counters["mem_hits"]
+                                       + counters["disk_hits"]
+                                       + counters["misses"])
+
+
+class TestCorruption:
+    def _seed(self, cache_path, even_spec) -> str:
+        key, spec = even_spec
+        SpecCache(cache_path).put(key, spec)
+        return key
+
+    def test_truncated_payload_misses_cleanly(self, cache_path,
+                                              even_spec):
+        key = self._seed(cache_path, even_spec)
+        _tamper(cache_path,
+                "UPDATE specs SET payload = substr(payload, 1, 20)")
+        cache = SpecCache(cache_path)
+        assert cache.get(key) is None
+        assert cache.counters()["corrupt"] == 1
+        # The poisoned row is gone; a recompute repopulates it.
+        cache.put(key, even_spec[1])
+        assert SpecCache(cache_path).get(key) is not None
+
+    def test_garbage_payload_misses_cleanly(self, cache_path,
+                                            even_spec):
+        key = self._seed(cache_path, even_spec)
+        _tamper(cache_path, "UPDATE specs SET payload = 'not json }{'")
+        cache = SpecCache(cache_path)
+        assert cache.get(key) is None
+        assert cache.counters()["corrupt"] == 1
+
+    def test_valid_json_wrong_shape_misses_cleanly(self, cache_path,
+                                                   even_spec):
+        key = self._seed(cache_path, even_spec)
+        _tamper(cache_path, "UPDATE specs SET payload = ?",
+                json.dumps({"format": 1, "surprise": True}))
+        assert SpecCache(cache_path).get(key) is None
+
+    def test_version_mismatch_misses_and_never_serves_stale(
+            self, cache_path, even_spec):
+        key = self._seed(cache_path, even_spec)
+        _tamper(cache_path, "UPDATE specs SET format = 999")
+        cache = SpecCache(cache_path)
+        assert cache.get(key) is None, \
+            "a future-format row must never be decoded"
+        assert cache.counters()["corrupt"] == 1
+        # The stale row was dropped, so a fresh put wins and sticks.
+        cache.put(key, even_spec[1])
+        got, source = SpecCache(cache_path).get_with_source(key)
+        assert got is not None and source == DISK
+
+    def test_not_a_sqlite_file_degrades_to_memory_only(self, tmp_path,
+                                                       even_spec):
+        key, spec = even_spec
+        path = tmp_path / "junk.sqlite"
+        path.write_bytes(b"this is not a sqlite database at all")
+        cache = SpecCache(path)
+        assert cache.get(key) is None
+        cache.put(key, spec)  # must not raise
+        assert cache.get_with_source(key)[1] == MEMORY
+        assert cache.counters()["corrupt"] >= 1
+
+    def test_service_recomputes_through_corruption(self, cache_path,
+                                                   even_spec):
+        """End to end: a poisoned cache never changes an answer."""
+        from repro.serve import QueryRequest, QueryService
+        key = self._seed(cache_path, even_spec)
+        _tamper(cache_path, "UPDATE specs SET payload = 'garbage'")
+        service = QueryService(cache=SpecCache(cache_path))
+        response = service.serve(
+            QueryRequest(program=EVEN, query="even(10)"))
+        assert response.ok and response.answer is True
+        assert response.source == "computed"
+        assert service.compute_count(key) == 1
+
+
+class TestCacheCLI:
+    def _warm(self, cache_path, program_path) -> None:
+        code = main(["spec", str(program_path), "--cache",
+                     str(cache_path)], out=io.StringIO())
+        assert code == 0
+
+    @pytest.fixture()
+    def program_path(self, tmp_path):
+        path = tmp_path / "even.tdd"
+        path.write_text(EVEN)
+        return path
+
+    def test_ls_and_stats(self, cache_path, program_path, capsys):
+        self._warm(cache_path, program_path)
+        out = io.StringIO()
+        assert main(["cache", "ls", str(cache_path)], out=out) == 0
+        listing = out.getvalue()
+        assert "key" in listing and "bytes" in listing
+        out = io.StringIO()
+        assert main(["cache", "stats", str(cache_path)], out=out) == 0
+        assert "entries: 1" in out.getvalue()
+
+    def test_rm_by_prefix_and_all(self, cache_path, program_path,
+                                  tmp_path):
+        self._warm(cache_path, program_path)
+        odd_path = tmp_path / "odd.tdd"
+        odd_path.write_text(ODD)
+        self._warm(cache_path, odd_path)
+        entries = SpecCache(cache_path).entries()
+        assert len(entries) == 2
+        out = io.StringIO()
+        assert main(["cache", "rm", str(cache_path),
+                     entries[0]["key"][:12]], out=out) == 0
+        assert len(SpecCache(cache_path).entries()) == 1
+        assert main(["cache", "rm", str(cache_path), "--all"],
+                    out=io.StringIO()) == 0
+        assert SpecCache(cache_path).entries() == []
+
+    def test_rm_without_key_errors(self, cache_path, capsys):
+        assert main(["cache", "rm", str(cache_path)],
+                    out=io.StringIO()) == 2
+        assert "needs a KEY or --all" in capsys.readouterr().err
+
+    def test_rm_ambiguous_prefix_errors(self, cache_path, even_spec,
+                                        capsys):
+        key, spec = even_spec
+        cache = SpecCache(cache_path)
+        cache.put("deadbeef01", spec)
+        cache.put("deadbeef02", spec)
+        assert main(["cache", "rm", str(cache_path), "deadbeef"],
+                    out=io.StringIO()) == 1
+        assert "ambiguous" in capsys.readouterr().err
+
+    def test_garbage_cache_file_reports_cleanly(self, tmp_path,
+                                                capsys):
+        path = tmp_path / "junk.sqlite"
+        path.write_bytes(b"garbage bytes, not sqlite")
+        assert main(["cache", "ls", str(path)],
+                    out=io.StringIO()) == 2
+        assert "not a usable spec cache" in capsys.readouterr().err
+
+
+class TestCachedCLIQueries:
+    def test_warm_ask_skips_bt(self, tmp_path):
+        program = tmp_path / "even.tdd"
+        program.write_text(EVEN)
+        cache = tmp_path / "specs.sqlite"
+        out = io.StringIO()
+        assert main(["ask", str(program), "even(4)", "--cache",
+                     str(cache), "--stats"], out=out) == 0
+        assert "'source': 'computed'" in out.getvalue()
+        out = io.StringIO()
+        assert main(["ask", str(program), "even(4)", "--cache",
+                     str(cache), "--stats"], out=out) == 0
+        text = out.getvalue()
+        assert "'source': 'disk'" in text
+        assert "rounds:            0" in text, \
+            "a warm hit must not run BT"
+
+    def test_warm_answers_agree_with_cold(self, tmp_path):
+        program = tmp_path / "even.tdd"
+        program.write_text(EVEN)
+        cache = tmp_path / "specs.sqlite"
+        cold, warm = io.StringIO(), io.StringIO()
+        assert main(["answers", str(program), "even(X)", "--expand",
+                     "10", "--cache", str(cache)], out=cold) == 0
+        assert main(["answers", str(program), "even(X)", "--expand",
+                     "10", "--cache", str(cache)], out=warm) == 0
+        assert cold.getvalue() == warm.getvalue()

@@ -1,0 +1,147 @@
+"""Concurrency stress: 16 threads against one :class:`QueryService`.
+
+The service's contract under concurrency:
+
+* answers are identical to a serial baseline, request by request;
+* spec computation is *single-flight* — N threads racing on the same
+  cold key trigger exactly one BT run;
+* the cache's hit/miss accounting stays consistent
+  (``lookups == mem_hits + disk_hits + misses``) under interleaving.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve import QueryRequest, QueryService, SpecCache
+
+THREADS = 16
+
+EVEN = "even(T+2) :- even(T).\neven(0).\n"
+BLINK = "on(T+3) :- on(T).\noff(T+1) :- on(T).\non(1).\n"
+COPY = ("p(T+1, X) :- p(T, X), base(X).\n"
+        "p(0, a). p(2, b). base(a). base(b).\n")
+
+
+def _workload() -> list[QueryRequest]:
+    requests = []
+    for program in (EVEN, BLINK, COPY):
+        for t in (0, 1, 4, 7, 100, 10 ** 6):
+            requests.append(QueryRequest(
+                program=program, query=f"exists X: p({t}, X)"
+                if program is COPY else
+                ("even(%d)" % t if program is EVEN else "on(%d)" % t)))
+    requests.append(QueryRequest(program=EVEN, query="even(X)",
+                                 kind="answers", expand=12))
+    requests.append(QueryRequest(program=BLINK, query="off(S)",
+                                 kind="answers", expand=9))
+    requests.append(QueryRequest(program=COPY, query="p(S, X)",
+                                 kind="answers"))
+    return requests
+
+
+@pytest.fixture()
+def workload():
+    return _workload()
+
+
+@pytest.fixture()
+def baseline(workload):
+    serial = QueryService(cache=SpecCache())
+    return [serial.serve(request).to_dict() for request in workload]
+
+
+def _strip_timing(response: dict) -> dict:
+    data = dict(response)
+    data.pop("elapsed_ms")
+    # The spec may come from the LRU, the disk, or this thread's own
+    # computation depending on scheduling — only the answer is part of
+    # the contract.
+    data.pop("source")
+    return data
+
+
+class TestConcurrentServing:
+    def test_sixteen_threads_match_serial_baseline(self, tmp_path,
+                                                   workload, baseline):
+        service = QueryService(
+            cache=SpecCache(tmp_path / "specs.sqlite"))
+        barrier = threading.Barrier(THREADS)
+        results: dict[int, list[dict]] = {}
+        errors: list[BaseException] = []
+
+        def run(worker: int) -> None:
+            try:
+                barrier.wait()
+                # Offset each worker's starting point so the threads
+                # hit different programs simultaneously.
+                shifted = (workload[worker % len(workload):]
+                           + workload[:worker % len(workload)])
+                answered = {}
+                for request in shifted:
+                    answered[workload.index(request)] = \
+                        service.serve(request).to_dict()
+                results[worker] = [answered[i]
+                                   for i in range(len(workload))]
+            except BaseException as exc:  # pragma: no cover - fail loud
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run, args=(worker,))
+                   for worker in range(THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors, errors
+        assert len(results) == THREADS
+
+        expected = [_strip_timing(r) for r in baseline]
+        for worker in range(THREADS):
+            got = [_strip_timing(r) for r in results[worker]]
+            assert got == expected, f"worker {worker} diverged"
+
+        # Single-flight: one BT run per distinct program, total.
+        keys = {response["key"] for response in baseline}
+        assert len(keys) == 3
+        for key in keys:
+            assert service.compute_count(key) == 1, (
+                f"key {key[:12]} computed "
+                f"{service.compute_count(key)} times")
+        assert service.counters()["spec_computes"] == len(keys)
+
+        # Counter consistency under interleaving.
+        counters = service.cache.counters()
+        assert counters["lookups"] == (counters["mem_hits"]
+                                       + counters["disk_hits"]
+                                       + counters["misses"])
+        assert counters["stores"] == len(keys)
+        assert service.counters()["requests"] == THREADS * len(workload)
+        assert service.counters()["errors"] == 0
+
+    def test_cold_key_race_is_single_flight(self, tmp_path):
+        """All 16 threads race one cold key at the same instant."""
+        service = QueryService(
+            cache=SpecCache(tmp_path / "specs.sqlite"))
+        barrier = threading.Barrier(THREADS)
+        answers: list = []
+        lock = threading.Lock()
+
+        def run() -> None:
+            barrier.wait()
+            response = service.serve(
+                QueryRequest(program=EVEN, query="even(123456)"))
+            with lock:
+                answers.append((response.ok, response.answer))
+
+        threads = [threading.Thread(target=run)
+                   for _ in range(THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert answers == [(True, True)] * THREADS
+        key = answers and service.serve(
+            QueryRequest(program=EVEN, query="even(0)")).key
+        assert service.compute_count(key) == 1

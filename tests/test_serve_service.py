@@ -1,0 +1,242 @@
+"""QueryService semantics: batching, deadlines, degradation, HTTP.
+
+Complements the differential suite (answer correctness) and the
+concurrency suite (thread safety) with the service's behavioural
+contract: batch grouping, per-request error isolation, deadline-driven
+degradation, stats threading, and the JSON-over-HTTP protocol.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.obs import EvalStats
+from repro.serve import (QueryRequest, QueryService, SpecCache,
+                         make_server)
+
+EVEN = "even(T+2) :- even(T).\neven(0).\n"
+TRAVEL = """
+plane(T+7, X) :- plane(T, X), resort(X), offseason(T).
+plane(T+2, X) :- plane(T, X), resort(X), winter(T).
+plane(T+1, X) :- plane(T, X), resort(X), holiday(T).
+offseason(T+365) :- offseason(T).
+winter(T+365) :- winter(T).
+holiday(T+365) :- holiday(T).
+
+plane(12, hunter).
+resort(hunter).
+winter(0..90).
+offseason(91..364).
+holiday(5).
+holiday(12).
+"""
+
+
+@pytest.fixture()
+def service():
+    return QueryService(cache=SpecCache())
+
+
+class TestBatching:
+    def test_batch_groups_by_program(self, service):
+        requests = (
+            [QueryRequest(program=EVEN, query=f"even({t})")
+             for t in (0, 1, 2, 3)]
+            + [QueryRequest(program=TRAVEL,
+                            query="plane(12, hunter)")]
+        )
+        responses = service.serve_batch(requests)
+        assert [r.answer for r in responses] == [True, False, True,
+                                                 False, True]
+        # Two distinct programs -> exactly two BT runs for five
+        # requests, and the spec is canonicalised through W once per
+        # group (all requests share the group's spec object).
+        assert service.counters()["spec_computes"] == 2
+        assert service.counters()["max_batch"] == 5
+
+    def test_response_order_matches_requests(self, service):
+        requests = [
+            QueryRequest(program=TRAVEL, query="plane(12, hunter)"),
+            QueryRequest(program=EVEN, query="even(1)"),
+            QueryRequest(program=TRAVEL, query="plane(13, hunter)"),
+            QueryRequest(program=EVEN, query="even(2)"),
+        ]
+        answers = [r.answer for r in service.serve_batch(requests)]
+        assert answers == [True, False, True, True]
+
+    def test_bad_request_does_not_poison_the_batch(self, service):
+        requests = [
+            QueryRequest(program=EVEN, query="even(0)"),
+            QueryRequest(program=EVEN, query="even(("),
+            QueryRequest(program=EVEN, query="even(X)"),  # open 'ask'
+            QueryRequest(program=EVEN, query="even(2)",
+                         kind="mystery"),
+            QueryRequest(program="p(T+1) :- p(T", query="p(0)"),
+            QueryRequest(program=EVEN, query="even(2)"),
+        ]
+        responses = service.serve_batch(requests)
+        assert [r.ok for r in responses] == [True, False, False, False,
+                                             False, True]
+        assert "closed query" in responses[2].error
+        assert "unknown request kind" in responses[3].error
+        assert "parse error" in responses[4].error
+        assert responses[5].answer is True
+        assert service.counters()["errors"] == 4
+
+
+class TestDeadlines:
+    def test_zero_deadline_degrades_but_still_answers(self, service):
+        response = service.serve(QueryRequest(
+            program=EVEN, query="even(40)", deadline=0.0))
+        assert response.ok and response.degraded
+        assert response.answer is True
+        assert service.counters()["degraded"] == 1
+        # Beyond the degraded window the spec path would still answer;
+        # degraded open answers are explicitly windowed instead.
+        open_response = service.serve(QueryRequest(
+            program=EVEN, query="even(X)", kind="answers",
+            deadline=0.0))
+        assert open_response.degraded
+        window = open_response.answer["window"]
+        assert {sub["X"] for sub in open_response.answer["concrete"]} \
+            == set(range(0, window + 1, 2))
+
+    def test_degraded_window_covers_ground_timepoints(self, service):
+        response = service.serve(QueryRequest(
+            program=EVEN, query="even(500)", deadline=0.0))
+        assert response.ok and response.degraded
+        assert response.answer is True
+
+    def test_cache_hit_beats_the_deadline(self, service):
+        service.serve(QueryRequest(program=EVEN, query="even(0)"))
+        response = service.serve(QueryRequest(
+            program=EVEN, query="even(10)", deadline=0.0))
+        assert response.ok and not response.degraded
+        assert response.answer is True
+
+    def test_default_deadline_applies(self):
+        strict = QueryService(cache=SpecCache(),
+                              default_deadline=0.0)
+        response = strict.serve(QueryRequest(program=EVEN,
+                                             query="even(4)"))
+        assert response.degraded and response.answer is True
+
+
+class TestAnswerPayloads:
+    def test_canonical_answer_payload(self, service):
+        response = service.serve(QueryRequest(
+            program=EVEN, query="even(X)", kind="answers", expand=8))
+        payload = response.answer
+        assert payload["variables"] == [["X", "time"]]
+        assert payload["canonical"] == [{"X": 0}]
+        assert payload["infinite"] is True
+        assert (payload["b"], payload["p"]) == (0, 2)
+        assert payload["expanded"] == [{"X": 0}, {"X": 2}, {"X": 4},
+                                       {"X": 6}, {"X": 8}]
+
+    def test_stats_attach_to_evalstats(self, service):
+        service.serve(QueryRequest(program=EVEN, query="even(0)"))
+        stats = EvalStats()
+        service.attach_stats(stats)
+        assert stats.extra["serve"]["requests"] == 1
+        assert stats.extra["cache"]["stores"] == 1
+        rendered = stats.summary()
+        assert "serve" in rendered and "cache" in rendered
+
+
+class TestRequestValidation:
+    def test_from_dict_round_trip(self):
+        request = QueryRequest.from_dict(
+            {"program": EVEN, "query": "even(0)", "kind": "answers",
+             "deadline": 1.5, "expand": 9})
+        assert request.kind == "answers"
+        assert request.deadline == 1.5 and request.expand == 9
+
+    @pytest.mark.parametrize("bad", [
+        "just a string",
+        {"query": "even(0)"},
+        {"program": EVEN},
+        {"program": 7, "query": "even(0)"},
+        {"program": EVEN, "query": "even(0)", "surprise": 1},
+    ])
+    def test_from_dict_rejects(self, bad):
+        with pytest.raises(ValueError):
+            QueryRequest.from_dict(bad)
+
+
+class TestHTTPServer:
+    @pytest.fixture()
+    def endpoint(self):
+        service = QueryService(cache=SpecCache())
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        yield server.server_address[1]
+        server.shutdown()
+        server.server_close()
+
+    def _post(self, port, payload, path="/query"):
+        connection = http.client.HTTPConnection("127.0.0.1", port,
+                                                timeout=30)
+        try:
+            body = (payload if isinstance(payload, str)
+                    else json.dumps(payload))
+            connection.request("POST", path, body)
+            response = connection.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            connection.close()
+
+    def _get(self, port, path):
+        connection = http.client.HTTPConnection("127.0.0.1", port,
+                                                timeout=30)
+        try:
+            connection.request("GET", path)
+            response = connection.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            connection.close()
+
+    def test_query_batch_round_trip(self, endpoint):
+        status, data = self._post(endpoint, {"requests": [
+            {"program": EVEN, "query": "even(4)"},
+            {"program": EVEN, "query": "even(X)", "kind": "answers",
+             "expand": 4},
+        ]})
+        assert status == 200
+        first, second = data["responses"]
+        assert first["ok"] and first["answer"] is True
+        assert second["answer"]["expanded"] == [{"X": 0}, {"X": 2},
+                                                {"X": 4}]
+
+    def test_single_request_body(self, endpoint):
+        status, data = self._post(
+            endpoint, {"program": EVEN, "query": "even(3)"})
+        assert status == 200
+        assert data["responses"][0]["answer"] is False
+
+    def test_health_and_stats(self, endpoint):
+        assert self._get(endpoint, "/healthz") == (200, {"ok": True})
+        self._post(endpoint, {"program": EVEN, "query": "even(0)"})
+        status, stats = self._get(endpoint, "/stats")
+        assert status == 200
+        assert stats["serve"]["requests"] == 1
+        assert stats["cache"]["lookups"] >= 1
+
+    def test_malformed_body_is_400(self, endpoint):
+        status, data = self._post(endpoint, "{not json")
+        assert status == 400 and "error" in data
+        status, data = self._post(endpoint, {"requests": []})
+        assert status == 400
+        status, data = self._post(
+            endpoint, {"requests": [{"program": EVEN}]})
+        assert status == 400
+
+    def test_unknown_paths_are_404(self, endpoint):
+        assert self._get(endpoint, "/nope")[0] == 404
+        assert self._post(endpoint, {}, path="/nope")[0] == 404

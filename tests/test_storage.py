@@ -1,11 +1,13 @@
 """Tests for SQLite persistence of temporal databases."""
 
+import sqlite3
+
 import pytest
 
 from repro.lang.atoms import Fact
 from repro.storage import (append_facts, fact_count, iter_facts,
                            load_database, save_database)
-from repro.temporal import bt_evaluate
+from repro.temporal import TemporalDatabase, bt_evaluate
 
 
 @pytest.fixture()
@@ -34,6 +36,30 @@ class TestRoundTrip:
         save_database([Fact("q", 1, ())], db_path)
         loaded = list(load_database(db_path).facts())
         assert loaded == [Fact("q", 1, ())]
+
+    def test_empty_database_round_trips(self, db_path):
+        assert save_database(TemporalDatabase(), db_path) == 0
+        loaded = load_database(db_path)
+        assert (loaded.n, loaded.c) == (0, 0)
+        assert list(loaded.facts()) == []
+        # The empty store is still a valid, versioned file that accepts
+        # appends.
+        assert append_facts([Fact("p", 0, ())], db_path) == 1
+        assert fact_count(db_path) == 1
+
+    def test_mixed_int_str_args_round_trip_exactly(self, db_path):
+        facts = [
+            Fact("m", 3, (1, "1", "a", 0)),
+            Fact("m", 0, (0, "0", "b", 42)),
+            Fact("edge", None, ("a", 7, "7")),
+            Fact("unit", 5, ()),
+        ]
+        save_database(facts, db_path)
+        assert set(load_database(db_path).facts()) == set(facts)
+        # Argument typing is positional and exact: the int/str twins
+        # must not collapse into each other in either direction.
+        streamed = {fact.args for fact in iter_facts(db_path, pred="m")}
+        assert streamed == {(1, "1", "a", 0), (0, "0", "b", 42)}
 
     def test_evaluation_after_reload(self, even_program, even_db,
                                      db_path):
@@ -72,3 +98,55 @@ class TestAppendAndFilter:
     def test_fresh_file_is_empty(self, db_path):
         assert fact_count(db_path) == 0
         assert len(load_database(db_path)) == 0
+
+
+class TestConnectionHygiene:
+    """Every API call must close the connections it opens.
+
+    Regression test for a leak where ``with connection:`` was used as if
+    it closed the connection — it only commits; the file handle stayed
+    open for the life of the process.
+    """
+
+    @pytest.fixture()
+    def opened(self, monkeypatch):
+        connections = []
+        real_connect = sqlite3.connect
+
+        def spy(*args, **kwargs):
+            connection = real_connect(*args, **kwargs)
+            connections.append(connection)
+            return connection
+
+        monkeypatch.setattr(sqlite3, "connect", spy)
+        return connections
+
+    def _assert_all_closed(self, connections):
+        assert connections, "the spy saw no connections"
+        for connection in connections:
+            # A closed connection raises ProgrammingError on any use.
+            with pytest.raises(sqlite3.ProgrammingError):
+                connection.execute("SELECT 1")
+
+    def test_save_load_append_close_their_connections(self, db_path,
+                                                      opened):
+        save_database([Fact("p", 0, ())], db_path)
+        append_facts([Fact("p", 1, ())], db_path)
+        list(iter_facts(db_path))
+        fact_count(db_path)
+        load_database(db_path)
+        self._assert_all_closed(opened)
+
+    def test_connection_closed_when_facts_iterable_throws(self, db_path,
+                                                          opened):
+        def exploding():
+            yield Fact("p", 0, ())
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            save_database(exploding(), db_path)
+        with pytest.raises(RuntimeError):
+            append_facts(exploding(), db_path)
+        self._assert_all_closed(opened)
+        # The failed save rolled back: nothing half-written remains.
+        assert fact_count(db_path) == 0
