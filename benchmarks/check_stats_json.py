@@ -117,6 +117,66 @@ def check_cache_blocks(name: str, stats: dict) -> list[str]:
     return problems
 
 
+#: Keys an ``extra.latency`` block must carry (see
+#: repro.obs.telemetry.LatencyHistogram.to_dict).
+LATENCY_FIELDS = ("buckets", "count", "sum_ms", "p50", "p95", "p99")
+
+
+def check_latency_block(name: str, stats: dict) -> list[str]:
+    """Validate ``extra.latency`` when present: block shape, strictly
+    increasing finite bucket bounds with ``"inf"`` last, non-negative
+    integer bucket counts that sum to ``count``, ordered quantiles."""
+    problems: list[str] = []
+    latency = stats.get("extra", {}).get("latency")
+    if latency is None:
+        return problems
+    if not isinstance(latency, dict):
+        return [f"{name}: eval_stats.extra.latency is not an object"]
+    missing = [f for f in LATENCY_FIELDS if f not in latency]
+    if missing:
+        return [f"{name}: eval_stats.extra.latency missing "
+                f"{', '.join(missing)}"]
+    buckets = latency["buckets"]
+    if (not isinstance(buckets, list) or len(buckets) < 2
+            or not all(isinstance(b, list) and len(b) == 2
+                       for b in buckets)):
+        return [f"{name}: latency.buckets is not a list of "
+                "[bound, count] pairs"]
+    bounds = [b[0] for b in buckets]
+    counts = [b[1] for b in buckets]
+    if bounds[-1] != "inf":
+        problems.append(f"{name}: last latency bucket bound is "
+                        f"{bounds[-1]!r}, expected 'inf'")
+    finite = bounds[:-1]
+    if (not all(isinstance(b, (int, float)) and b > 0
+                for b in finite)
+            or any(a >= b for a, b in zip(finite, finite[1:]))):
+        problems.append(f"{name}: latency bucket bounds are not "
+                        "positive and strictly increasing")
+    if not all(isinstance(c, int) and not isinstance(c, bool)
+               and c >= 0 for c in counts):
+        problems.append(f"{name}: latency bucket counts are not "
+                        "non-negative integers")
+    elif sum(counts) != latency["count"]:
+        problems.append(
+            f"{name}: sum(latency bucket counts)={sum(counts)} != "
+            f"count={latency['count']}")
+    quantiles = [latency["p50"], latency["p95"], latency["p99"]]
+    if not all(isinstance(q, (int, float)) and q >= 0
+               for q in quantiles):
+        problems.append(f"{name}: latency quantiles are not "
+                        "non-negative numbers")
+    elif not quantiles[0] <= quantiles[1] <= quantiles[2]:
+        problems.append(f"{name}: latency quantiles are not ordered: "
+                        f"p50={quantiles[0]} p95={quantiles[1]} "
+                        f"p99={quantiles[2]}")
+    if (not isinstance(latency["sum_ms"], (int, float))
+            or latency["sum_ms"] < 0):
+        problems.append(f"{name}: latency.sum_ms is "
+                        f"{latency['sum_ms']!r}")
+    return problems
+
+
 def check(data: dict) -> list[str]:
     """All problems found in one benchmark JSON dump."""
     problems: list[str] = []
@@ -140,6 +200,7 @@ def check(data: dict) -> list[str]:
             problems.append(f"{name}: eval_stats.rounds is {stats['rounds']}")
         problems.extend(check_rules_block(name, stats))
         problems.extend(check_cache_blocks(name, stats))
+        problems.extend(check_latency_block(name, stats))
     return problems
 
 

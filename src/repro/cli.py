@@ -31,9 +31,16 @@ Commands
 ``repl FILE``
     Interactive query loop; ``:period``, ``:spec``, ``:classify``,
     ``:quit`` are built in.
-``serve [--port N] [--cache FILE] [--deadline S]``
+``serve [--port N] [--cache FILE] [--deadline S] [--access-log FILE]
+[--slow-ms MS]``
     HTTP query service (JSON protocol) answering batches of ask /
-    answers requests from cached relational specifications.
+    answers requests from cached relational specifications, with
+    request-level telemetry: trace ids, ``GET /metrics`` (Prometheus
+    text format), a structured JSON access log, and a slow-query
+    span-tree log.  ``--trace FILE`` exports per-request spans.
+``top [--url URL] [--interval S]``
+    Live terminal dashboard polling a running server's ``/stats``:
+    QPS, cache hit ratio, latency percentiles, degraded count.
 ``cache {ls,rm,stats} CACHE.sqlite``
     Inspect or prune a persistent spec cache file.
 
@@ -321,33 +328,68 @@ def cmd_explain(args, out: TextIO) -> int:
 
 
 def cmd_serve(args, out: TextIO) -> int:
-    from .serve import QueryService, SpecCache, make_server
+    from .obs import Telemetry
+    from .serve import AccessLog, QueryService, SpecCache, make_server
     cache = SpecCache(args.cache) if args.cache else SpecCache()
+    stats, tracer = getattr(args, "_obs", (None, None))
+    # `--trace FILE` on serve exports schema-3 span events: one
+    # `span` line per request phase, same sink machinery as engine
+    # traces.
     service = QueryService(cache=cache,
-                           default_deadline=args.deadline)
+                           default_deadline=args.deadline,
+                           telemetry=Telemetry(tracer))
+    if tracer is not None and tracer.enabled:
+        # A self-describing trace: the header ties the span stream to
+        # the tool version and schema before the first request.
+        tracer.emit_run_start("serve")
+    access_log = None
+    if args.access_log:
+        try:
+            access_log = AccessLog(args.access_log)
+        except OSError as exc:
+            print(f"error: cannot open access log: {exc}",
+                  file=sys.stderr)
+            return 2
     try:
         server = make_server(service, host=args.host, port=args.port,
-                             quiet=not args.verbose)
+                             quiet=not args.verbose,
+                             access_log=access_log,
+                             slow_ms=args.slow_ms)
     except OSError as exc:
         print(f"error: cannot bind {args.host}:{args.port}: {exc}",
               file=sys.stderr)
+        if access_log is not None:
+            access_log.close()
         return 2
     host, port = server.server_address[:2]
     where = args.cache if args.cache else "(in-memory)"
     print(f"serving on http://{host}:{port}  cache: {where}",
           file=out, flush=True)
-    print("POST /query   GET /stats   GET /healthz   — Ctrl-C stops",
-          file=out, flush=True)
+    print("POST /query   GET /stats /metrics /healthz   "
+          "— Ctrl-C stops", file=out, flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
         server.server_close()
-        stats, _ = getattr(args, "_obs", (None, None))
+        if access_log is not None:
+            access_log.close()
         if stats is not None:
             service.attach_stats(stats)
     return 0
+
+
+def cmd_top(args, out: TextIO) -> int:
+    from .serve import TopError, run_top
+    url = args.url if args.url else f"http://{args.host}:{args.port}"
+    url = url.rstrip("/")
+    try:
+        return run_top(url, out, interval=args.interval,
+                       iterations=args.iterations)
+    except TopError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _format_created(created: Union[float, None]) -> str:
@@ -615,7 +657,33 @@ def build_parser() -> argparse.ArgumentParser:
                             "windowed evaluation")
     serve.add_argument("--verbose", action="store_true",
                        help="log one line per HTTP request")
+    serve.add_argument("--access-log", metavar="FILE", default=None,
+                       help="structured JSON access log (one line per "
+                            "HTTP request: trace id, program sha, "
+                            "kind, cache state, status, duration)")
+    serve.add_argument("--slow-ms", type=float, default=None,
+                       metavar="MS",
+                       help="dump the full span tree of any request "
+                            "slower than MS milliseconds (to the "
+                            "access log, else stderr)")
     serve.set_defaults(func=cmd_serve)
+
+    top = sub.add_parser(
+        "top",
+        help="live dashboard over a running `repro serve` (/stats)")
+    top.add_argument("--url", default=None, metavar="URL",
+                     help="server base URL (default: "
+                          "http://HOST:PORT)")
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=8765)
+    top.add_argument("--interval", type=float, default=2.0,
+                     metavar="SECONDS",
+                     help="poll interval (default: 2.0)")
+    top.add_argument("--iterations", type=int, default=None,
+                     metavar="N",
+                     help="stop after N refreshes (default: run "
+                          "until Ctrl-C)")
+    top.set_defaults(func=cmd_top)
 
     cache = sub.add_parser("cache",
                            help="inspect or prune a spec cache file")

@@ -18,10 +18,19 @@ Per-rule attribution lives one level down: a :class:`MetricsRegistry`
 new facts, duplicates, join probes and wall time to individual rules,
 and :mod:`repro.obs.profile` / :mod:`repro.obs.traceview` render the
 ``repro profile`` and ``repro traceview`` reports on top.
+
+Request-level telemetry lives in :mod:`repro.obs.telemetry`: a
+:class:`Telemetry` mints :class:`Span` trees (trace_id / span_id /
+parent) across the serving path and exports them as schema-3 ``span``
+events through the same Tracer sinks, and :class:`LatencyHistogram`
+backs the ``/metrics`` endpoint and the ``/stats`` percentile block.
 """
 
 from .metrics import Histogram, MetricsRegistry, RuleMetrics
 from .stats import EvalStats
+from .telemetry import (DEFAULT_LATENCY_BUCKETS_MS, LatencyHistogram,
+                        Span, SpanContext, Telemetry, new_span_id,
+                        new_trace_id, valid_trace_id)
 from .timing import Stopwatch, phase_timer
 from .trace import TRACE_SCHEMA, JsonLinesSink, ListSink, Tracer
 
@@ -30,4 +39,7 @@ __all__ = [
     "Tracer", "JsonLinesSink", "ListSink", "TRACE_SCHEMA",
     "MetricsRegistry", "RuleMetrics", "Histogram",
     "Stopwatch", "phase_timer",
+    "Telemetry", "Span", "SpanContext", "LatencyHistogram",
+    "new_trace_id", "new_span_id", "valid_trace_id",
+    "DEFAULT_LATENCY_BUCKETS_MS",
 ]

@@ -1,0 +1,317 @@
+"""Request-level telemetry: spans, trace contexts, latency histograms.
+
+PRs 1 and 3 made engine internals observable (EvalStats, traces,
+per-rule metrics); this module gives the *serving path* the same
+treatment.  A :class:`Span` is one timed unit of work — an HTTP
+request, a program parse, a cache lookup, a spec computation — carrying
+a :class:`SpanContext` (``trace_id`` shared by every span of one
+request, ``span_id`` unique per span, ``parent_id`` linking the tree).
+Spans are cheap enough to create unconditionally: a disabled
+:class:`Telemetry` (no tracer) still produces real ids and durations —
+so responses can always report ``trace_id`` and ``duration_ms`` — it
+just exports nothing.
+
+Export reuses the existing :class:`~repro.obs.trace.Tracer` sink
+machinery: every ended span becomes one schema-3 ``span`` event
+(``trace_id``, ``span_id``, ``parent``, ``name``, ``start_ms``,
+``duration_ms``, ``attrs``) on the same JSON-lines stream engines
+trace to, guarded by a lock so concurrent handler threads interleave
+whole lines, never bytes.  ``repro serve --trace FILE`` writes this
+stream; the schema is documented in ``docs/INTERNALS.md``.
+
+:class:`LatencyHistogram` is the fixed-bucket (native-histogram-free)
+latency distribution behind ``GET /metrics`` and the ``p50/p95/p99``
+block of ``GET /stats``: thread-safe ``observe``, bucket counts whose
+sum always equals the total count, interpolated quantiles, and a
+Prometheus text-format renderer (cumulative ``le`` buckets, seconds).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+import time
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Union
+
+from .trace import Tracer
+
+#: Trace ids accepted from the wire (``X-Repro-Trace-Id``): 8-64 hex
+#: characters.  Anything else is replaced by a fresh id — a client can
+#: label its request but cannot inject arbitrary bytes into logs.
+_TRACE_ID = re.compile(r"^[0-9a-f]{8,64}$")
+
+#: Fixed latency bucket upper bounds, in milliseconds.  Chosen to span
+#: a warm cache hit (sub-millisecond) through a cold BT run (seconds);
+#: an implicit +Inf bucket always follows.
+DEFAULT_LATENCY_BUCKETS_MS = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0,
+    250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id (32 lowercase hex characters)."""
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit span id (16 lowercase hex characters)."""
+    return os.urandom(8).hex()
+
+
+def valid_trace_id(value) -> bool:
+    """Whether a client-supplied trace id is safe to honor."""
+    return isinstance(value, str) and _TRACE_ID.match(value) is not None
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The identity of one span inside one trace."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Union[str, None] = None
+
+
+class Span:
+    """One timed unit of work; created via :meth:`Telemetry.root`,
+    :meth:`Telemetry.span`, or :meth:`Span.child`.
+
+    Usable as a context manager (``with telemetry.span(...) as s:``);
+    :meth:`end` is idempotent and returns the duration in ms.
+    """
+
+    __slots__ = ("name", "context", "attributes", "children",
+                 "start_ms", "duration_ms", "_telemetry", "_start")
+
+    def __init__(self, name: str, context: SpanContext,
+                 telemetry: "Telemetry", attributes: dict):
+        self.name = name
+        self.context = context
+        self.attributes = attributes
+        self.children: list["Span"] = []
+        self._telemetry = telemetry
+        self._start = telemetry._clock()
+        self.start_ms = (self._start - telemetry._t0) * 1e3
+        self.duration_ms: Union[float, None] = None
+
+    @property
+    def trace_id(self) -> str:
+        return self.context.trace_id
+
+    @property
+    def ended(self) -> bool:
+        return self.duration_ms is not None
+
+    def child(self, name: str, **attributes) -> "Span":
+        """A new span under this one (same trace, this span as parent)."""
+        return self._telemetry.span(name, parent=self, **attributes)
+
+    def set_attribute(self, key: str, value) -> None:
+        self.attributes[key] = value
+
+    def end(self) -> float:
+        """Close the span; export it once; return its duration in ms."""
+        if self.duration_ms is None:
+            self.duration_ms = (self._telemetry._clock()
+                                - self._start) * 1e3
+            self._telemetry._export(self)
+        return self.duration_ms
+
+    def tree(self) -> dict:
+        """This span and its descendants as one nested dictionary —
+        the shape the slow-query log dumps."""
+        return {
+            "name": self.name,
+            "trace_id": self.context.trace_id,
+            "span_id": self.context.span_id,
+            "start_ms": round(self.start_ms, 3),
+            "duration_ms": (None if self.duration_ms is None
+                            else round(self.duration_ms, 3)),
+            "attrs": dict(self.attributes),
+            "children": [child.tree() for child in self.children],
+        }
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.attributes.setdefault("error", str(exc))
+        self.end()
+
+    def __repr__(self) -> str:
+        state = (f"{self.duration_ms:.3f}ms" if self.ended
+                 else "open")
+        return (f"Span({self.name!r}, trace={self.trace_id[:12]}…, "
+                f"{state})")
+
+
+class Telemetry:
+    """Span factory + exporter.
+
+    ``Telemetry()`` (no tracer) creates fully functional spans — ids,
+    durations, trees — and exports nothing; ``Telemetry(tracer)``
+    additionally emits one schema-3 ``span`` event per ended span
+    through the tracer's sink, serialised by an internal lock so the
+    stream stays line-atomic under concurrent requests.
+    """
+
+    def __init__(self, tracer: Union[Tracer, None] = None,
+                 clock=time.perf_counter):
+        self.tracer = tracer
+        self._clock = clock
+        self._t0 = clock()
+        self._lock = threading.Lock()
+
+    def root(self, name: str, trace_id: Union[str, None] = None,
+             **attributes) -> Span:
+        """Open a trace: a parentless span.  A valid client-supplied
+        ``trace_id`` (8-64 hex chars, case-insensitive) is honored;
+        anything else gets a fresh id."""
+        if trace_id is not None:
+            trace_id = str(trace_id).lower()
+        if not valid_trace_id(trace_id):
+            trace_id = new_trace_id()
+        context = SpanContext(trace_id=trace_id, span_id=new_span_id())
+        return Span(name, context, self, attributes)
+
+    def span(self, name: str, parent: Union[Span, None] = None,
+             **attributes) -> Span:
+        """A new span; under ``parent`` when given, else a new trace."""
+        if parent is None:
+            return self.root(name, **attributes)
+        context = SpanContext(trace_id=parent.context.trace_id,
+                              span_id=new_span_id(),
+                              parent_id=parent.context.span_id)
+        span = Span(name, context, self, attributes)
+        parent.children.append(span)
+        return span
+
+    def _export(self, span: Span) -> None:
+        if self.tracer is None or not self.tracer.enabled:
+            return
+        with self._lock:
+            self.tracer.emit(
+                "span",
+                trace_id=span.context.trace_id,
+                span_id=span.context.span_id,
+                parent=span.context.parent_id,
+                name=span.name,
+                start_ms=round(span.start_ms, 3),
+                duration_ms=round(span.duration_ms or 0.0, 3),
+                attrs=dict(span.attributes),
+            )
+            # Stream, don't buffer: a server's trace must be
+            # tail-able while it runs.
+            flush = getattr(self.tracer.sink, "flush", None)
+            if flush is not None:
+                flush()
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency distribution, thread-safe.
+
+    Observations are milliseconds.  Per-bucket counts (not cumulative)
+    always sum to ``count`` — the invariant
+    ``benchmarks/check_stats_json.py`` gates on — and
+    :meth:`prometheus_lines` renders the Prometheus exposition shape
+    (cumulative ``le`` buckets, in seconds, ``+Inf`` last).
+    """
+
+    def __init__(self, buckets_ms: Sequence[float]
+                 = DEFAULT_LATENCY_BUCKETS_MS):
+        bounds = [float(b) for b in buckets_ms]
+        if not bounds or any(b <= 0 for b in bounds) \
+                or any(a >= b for a, b in zip(bounds, bounds[1:])):
+            raise ValueError("bucket bounds must be positive and "
+                             "strictly increasing")
+        self.bounds = tuple(bounds)
+        self._counts = [0] * (len(bounds) + 1)  # trailing +Inf bucket
+        self._sum_ms = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, ms: float) -> None:
+        """Record one latency observation (milliseconds)."""
+        ms = max(0.0, float(ms))
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if ms <= bound:
+                index = i
+                break
+        with self._lock:
+            self._counts[index] += 1
+            self._sum_ms += ms
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum_ms(self) -> float:
+        with self._lock:
+            return self._sum_ms
+
+    def _snapshot(self) -> tuple[list[int], float, int]:
+        with self._lock:
+            return list(self._counts), self._sum_ms, self._count
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile in ms, interpolated inside the bucket
+        (the +Inf bucket reports the largest finite bound).  0.0 when
+        empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        counts, _, total = self._snapshot()
+        if total == 0:
+            return 0.0
+        rank = q * total
+        cumulative = 0
+        for i, bucket_count in enumerate(counts):
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if i >= len(self.bounds):
+                    return self.bounds[-1]
+                lower = self.bounds[i - 1] if i > 0 else 0.0
+                upper = self.bounds[i]
+                if bucket_count == 0:
+                    return upper
+                fraction = (rank - previous) / bucket_count
+                return lower + (upper - lower) * min(1.0, fraction)
+        return self.bounds[-1]  # pragma: no cover - rank <= total
+
+    def to_dict(self) -> dict:
+        """The ``latency`` block of ``/stats``: per-bucket counts
+        (``"inf"`` last), total count, sum, and p50/p95/p99."""
+        counts, sum_ms, total = self._snapshot()
+        buckets = [[bound, counts[i]]
+                   for i, bound in enumerate(self.bounds)]
+        buckets.append(["inf", counts[-1]])
+        return {
+            "buckets": buckets,
+            "count": total,
+            "sum_ms": round(sum_ms, 3),
+            "p50": round(self.quantile(0.50), 3),
+            "p95": round(self.quantile(0.95), 3),
+            "p99": round(self.quantile(0.99), 3),
+        }
+
+    def prometheus_lines(self, name: str) -> Iterator[str]:
+        """Render as a Prometheus histogram (seconds, cumulative)."""
+        counts, sum_ms, total = self._snapshot()
+        yield f"# HELP {name} Request latency distribution."
+        yield f"# TYPE {name} histogram"
+        cumulative = 0
+        for i, bound in enumerate(self.bounds):
+            cumulative += counts[i]
+            yield (f'{name}_bucket{{le="{bound / 1e3:g}"}} '
+                   f"{cumulative}")
+        yield f'{name}_bucket{{le="+Inf"}} {total}'
+        yield f"{name}_sum {sum_ms / 1e3:.6f}"
+        yield f"{name}_count {total}"

@@ -12,7 +12,9 @@ The event schema (one JSON object per line) is documented in
 ``ts`` (a monotonic timestamp in seconds).  Schema version 2 adds an
 optional ``run_start`` header event (:meth:`Tracer.emit_run_start`)
 naming the engine, the program, and the tool version, so multi-run
-trace files and external consumers can tell runs apart.
+trace files and external consumers can tell runs apart.  Schema
+version 3 adds the ``span`` event — request-level telemetry exported
+by :mod:`repro.obs.telemetry` through this same sink machinery.
 """
 
 from __future__ import annotations
@@ -25,7 +27,7 @@ from typing import IO, Union
 
 #: Version of the trace event schema; bumped when events gain meaning
 #: (consumers must still ignore unknown events and fields).
-TRACE_SCHEMA = 2
+TRACE_SCHEMA = 3
 
 
 class ListSink:
@@ -55,6 +57,12 @@ class JsonLinesSink:
     def write_event(self, event: dict) -> None:
         self._stream.write(json.dumps(event, sort_keys=True,
                                       separators=(",", ":")) + "\n")
+
+    def flush(self) -> None:
+        """Push buffered lines out — long-running emitters (the serve
+        telemetry) call this so traces stream instead of appearing
+        only at close."""
+        self._stream.flush()
 
     def close(self) -> None:
         if self._owns_stream:

@@ -10,18 +10,26 @@ specification once, then answer every query against it:
   request batching, single-flight spec computation, per-request
   deadlines and graceful degradation to windowed evaluation;
 * :mod:`repro.serve.server` — the ``repro serve`` JSON-over-HTTP
-  front-end (stdlib ``ThreadingHTTPServer``).
+  front-end (stdlib ``ThreadingHTTPServer``) with request-level
+  telemetry: per-request root spans (``X-Repro-Trace-Id`` honored and
+  echoed), a Prometheus-format ``GET /metrics`` endpoint, a
+  structured JSON access log, and a slow-query span-tree log;
+* :mod:`repro.serve.top` — the ``repro top`` live dashboard polling
+  ``GET /stats``.
 """
 
 from .cache import (DISK, MEMORY, SpecCache, normalized_program,
                     program_key, tdd_key)
-from .server import SpecServer, make_server
+from .server import (MAX_BODY_BYTES, AccessLog, SpecServer,
+                     make_server)
 from .service import (COMPUTED, DeadlineExceeded, QueryRequest,
                       QueryResponse, QueryService)
+from .top import TopError, fetch_stats, run_top
 
 __all__ = [
     "SpecCache", "program_key", "tdd_key", "normalized_program",
     "QueryService", "QueryRequest", "QueryResponse", "DeadlineExceeded",
-    "SpecServer", "make_server",
+    "SpecServer", "make_server", "AccessLog", "MAX_BODY_BYTES",
+    "TopError", "fetch_stats", "run_top",
     "MEMORY", "DISK", "COMPUTED",
 ]

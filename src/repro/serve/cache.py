@@ -122,13 +122,20 @@ class SpecCache:
         connection.executescript(_SCHEMA)
         return connection
 
-    def _disk_get(self, key: str) -> Union[RelationalSpec, None]:
+    def _corrupt(self, parent, reason: str) -> None:
+        """Count a corruption event; record a span when traced."""
+        self.corrupt += 1
+        if parent is not None:
+            parent.child("cache.corrupt", reason=reason).end()
+
+    def _disk_get(self, key: str,
+                  parent=None) -> Union[RelationalSpec, None]:
         if self.path is None:
             return None
         try:
             connection = self._connect()
         except sqlite3.Error:
-            self.corrupt += 1
+            self._corrupt(parent, "sqlite-error")
             return None
         try:
             row = connection.execute(
@@ -142,7 +149,7 @@ class SpecCache:
                 connection.execute("DELETE FROM specs WHERE key = ?",
                                    (key,))
                 connection.commit()
-                self.corrupt += 1
+                self._corrupt(parent, "version-skew")
                 return None
             try:
                 spec = spec_from_dict(json.loads(payload))
@@ -151,11 +158,11 @@ class SpecCache:
                 connection.execute("DELETE FROM specs WHERE key = ?",
                                    (key,))
                 connection.commit()
-                self.corrupt += 1
+                self._corrupt(parent, "garbage-payload")
                 return None
             return spec
         except sqlite3.Error:
-            self.corrupt += 1
+            self._corrupt(parent, "sqlite-error")
             return None
         finally:
             connection.close()
@@ -191,28 +198,46 @@ class SpecCache:
             self._memory.popitem(last=False)
             self.evictions += 1
 
-    def get(self, key: str) -> Union[RelationalSpec, None]:
+    def get(self, key: str,
+            parent=None) -> Union[RelationalSpec, None]:
         """Look a key up; None on a miss.  Disk hits warm the LRU."""
-        spec, _ = self.get_with_source(key)
+        spec, _ = self.get_with_source(key, parent=parent)
         return spec
 
-    def get_with_source(self, key: str) -> tuple[
+    def get_with_source(self, key: str, parent=None) -> tuple[
             Union[RelationalSpec, None], Union[str, None]]:
-        """Like :meth:`get`, but also says which layer answered."""
-        with self._lock:
-            self.lookups += 1
-            cached = self._memory.get(key)
-            if cached is not None:
-                self._memory.move_to_end(key)
-                self.mem_hits += 1
-                return cached, MEMORY
-            spec = self._disk_get(key)
-            if spec is not None:
-                self.disk_hits += 1
-                self._remember(key, spec)
-                return spec, DISK
-            self.misses += 1
-            return None, None
+        """Like :meth:`get`, but also says which layer answered.
+
+        ``parent`` is an optional :class:`repro.obs.Span`: when given,
+        the lookup (and any corruption it uncovers) is recorded as a
+        ``cache.lookup`` child span with an ``outcome`` attribute.
+        """
+        span = (None if parent is None
+                else parent.child("cache.lookup", key=key[:12]))
+        try:
+            with self._lock:
+                self.lookups += 1
+                cached = self._memory.get(key)
+                if cached is not None:
+                    self._memory.move_to_end(key)
+                    self.mem_hits += 1
+                    if span is not None:
+                        span.set_attribute("outcome", MEMORY)
+                    return cached, MEMORY
+                spec = self._disk_get(key, parent=span)
+                if spec is not None:
+                    self.disk_hits += 1
+                    self._remember(key, spec)
+                    if span is not None:
+                        span.set_attribute("outcome", DISK)
+                    return spec, DISK
+                self.misses += 1
+                if span is not None:
+                    span.set_attribute("outcome", "miss")
+                return None, None
+        finally:
+            if span is not None:
+                span.end()
 
     def put(self, key: str, spec: RelationalSpec) -> None:
         """Store a spec in both layers."""

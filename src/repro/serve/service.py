@@ -42,6 +42,7 @@ from ..core.queries import (Query, answers as spec_answers,
 from ..core.spec import RelationalSpec, compute_specification
 from ..core.tdd import TDD
 from ..lang.errors import EvaluationError, ReproError
+from ..obs.telemetry import LatencyHistogram, Span, Telemetry
 from ..temporal.bt import bt_evaluate
 from .cache import SpecCache, tdd_key
 
@@ -99,7 +100,15 @@ class QueryRequest:
 
 @dataclass
 class QueryResponse:
-    """The service's answer to one request."""
+    """The service's answer to one request.
+
+    ``elapsed_ms`` times the answer phase alone (parse the query,
+    evaluate it on the spec); ``duration_ms`` is the request's
+    end-to-end service time, including its share of the group's
+    program parse and spec acquisition.  ``trace_id`` ties the
+    response to the access-log line and the exported spans of the
+    same request.
+    """
 
     ok: bool
     kind: str
@@ -109,6 +118,8 @@ class QueryResponse:
     key: Union[str, None] = None
     error: Union[str, None] = None
     elapsed_ms: float = 0.0
+    duration_ms: float = 0.0
+    trace_id: Union[str, None] = None
 
     def to_dict(self) -> dict:
         return {
@@ -120,6 +131,8 @@ class QueryResponse:
             "key": self.key,
             "error": self.error,
             "elapsed_ms": round(self.elapsed_ms, 3),
+            "duration_ms": round(self.duration_ms, 3),
+            "trace_id": self.trace_id,
         }
 
 
@@ -158,11 +171,17 @@ class QueryService:
     def __init__(self, cache: Union[SpecCache, None] = None,
                  default_deadline: Union[float, None] = None,
                  max_window: int = 1 << 20,
-                 degraded_window: int = DEGRADED_WINDOW):
+                 degraded_window: int = DEGRADED_WINDOW,
+                 telemetry: Union[Telemetry, None] = None):
         self.cache = cache if cache is not None else SpecCache()
         self.default_deadline = default_deadline
         self.max_window = max_window
         self.degraded_window = degraded_window
+        # A disabled Telemetry still mints trace ids and durations, so
+        # every response carries both even without an export sink.
+        self.telemetry = (telemetry if telemetry is not None
+                          else Telemetry())
+        self.latency = LatencyHistogram()
         self._counters = _ServeCounters()
         self._counters_lock = threading.Lock()
         self._flight_lock = threading.Lock()
@@ -228,7 +247,8 @@ class QueryService:
 
     def specification(self, tdd: TDD,
                       deadline: Union[float, None] = None,
-                      key: Union[str, None] = None
+                      key: Union[str, None] = None,
+                      parent: Union[Span, None] = None
                       ) -> tuple[RelationalSpec, str]:
         """The spec for a TDD, via the cache; returns (spec, source).
 
@@ -236,11 +256,13 @@ class QueryService:
         Raises :class:`DeadlineExceeded` when computation cannot finish
         in budget, and :class:`~repro.lang.errors.EvaluationError` when
         BT finds no period within ``max_window``.  ``key`` lets callers
-        that already know the content key skip re-deriving it.
+        that already know the content key skip re-deriving it;
+        ``parent`` is an optional telemetry span the cache-lookup and
+        spec-compute child spans hang off.
         """
         if key is None:
             key = tdd_key(tdd)
-        spec, source = self.cache.get_with_source(key)
+        spec, source = self.cache.get_with_source(key, parent=parent)
         if spec is not None:
             return spec, source
         lock = self._key_lock(key)
@@ -255,7 +277,8 @@ class QueryService:
         try:
             # Double-check: another thread may have filled the cache
             # while this one waited on the key lock.
-            spec, source = self.cache.get_with_source(key)
+            spec, source = self.cache.get_with_source(key,
+                                                      parent=parent)
             if spec is not None:
                 with self._counters_lock:
                     self._counters.singleflight_waits += 1
@@ -264,7 +287,17 @@ class QueryService:
                 self._computes[key] = self._computes.get(key, 0) + 1
             with self._counters_lock:
                 self._counters.spec_computes += 1
-            spec = self._compute(tdd, deadline)
+            span = (None if parent is None
+                    else parent.child("spec.compute", key=key[:12]))
+            try:
+                spec = self._compute(tdd, deadline)
+            except (DeadlineExceeded, EvaluationError) as exc:
+                if span is not None:
+                    span.set_attribute("error", str(exc))
+                raise
+            finally:
+                if span is not None:
+                    span.end()
             self.cache.put(key, spec)
             return spec, COMPUTED
         finally:
@@ -310,9 +343,11 @@ class QueryService:
     def _serve_parsed(self, tdd: TDD, spec: Union[RelationalSpec, None],
                       source: Union[str, None], key: str,
                       request: QueryRequest,
-                      spec_error: Union[Exception, None]
+                      spec_error: Union[Exception, None],
+                      parent: Union[Span, None] = None
                       ) -> QueryResponse:
-        start = time.monotonic()
+        span = self.telemetry.span("answer", parent=parent,
+                                   kind=request.kind)
         degraded = False
         try:
             if request.kind not in ("ask", "answers"):
@@ -339,9 +374,11 @@ class QueryService:
         except ReproError as exc:
             with self._counters_lock:
                 self._counters.errors += 1
+            span.set_attribute("error", str(exc))
             return QueryResponse(
                 ok=False, kind=request.kind, key=key, error=str(exc),
-                elapsed_ms=(time.monotonic() - start) * 1e3)
+                elapsed_ms=span.end(),
+                trace_id=span.trace_id)
         with self._counters_lock:
             if request.kind == "ask":
                 self._counters.asks += 1
@@ -349,22 +386,37 @@ class QueryService:
                 self._counters.open_queries += 1
             if degraded:
                 self._counters.degraded += 1
+        span.set_attribute("degraded", degraded)
         return QueryResponse(
             ok=True, kind=request.kind, answer=answer, degraded=degraded,
             source=None if degraded else source, key=key,
-            elapsed_ms=(time.monotonic() - start) * 1e3)
+            elapsed_ms=span.end(),
+            trace_id=span.trace_id)
 
-    def serve(self, request: QueryRequest) -> QueryResponse:
+    def serve(self, request: QueryRequest,
+              parent: Union[Span, None] = None) -> QueryResponse:
         """Answer one request (sugar for a singleton batch)."""
-        return self.serve_batch([request])[0]
+        return self.serve_batch([request], parent=parent)[0]
 
-    def serve_batch(self, requests: Sequence[QueryRequest]
+    def serve_batch(self, requests: Sequence[QueryRequest],
+                    parent: Union[Span, None] = None
                     ) -> list[QueryResponse]:
         """Answer a batch; order of responses matches the requests.
 
         Requests are grouped by program text: each distinct program is
         parsed once and its specification acquired once for the whole
         group.
+
+        ``parent`` is the telemetry span the batch runs under — the
+        HTTP front-end passes its per-request root span so the whole
+        serving path shares one trace id.  Without one, the service
+        opens its own ``serve.batch`` root, so direct (embedded) use
+        is traced identically.  Every response is stamped with the
+        trace id and its end-to-end ``duration_ms`` (which includes
+        the request's share of the group's parse + spec acquisition),
+        and each duration feeds the service's latency histogram —
+        exactly one observation per request, so the histogram count
+        reconciles with the ``requests`` counter.
         """
         with self._counters_lock:
             self._counters.requests += len(requests)
@@ -372,21 +424,34 @@ class QueryService:
             self._counters.batched_requests += len(requests)
             self._counters.max_batch = max(self._counters.max_batch,
                                            len(requests))
+        root = parent
+        own_root = root is None
+        if own_root:
+            root = self.telemetry.root("serve.batch",
+                                       requests=len(requests))
         responses: list[Union[QueryResponse, None]] = [None] * len(requests)
         groups: dict[str, list[int]] = {}
         for index, request in enumerate(requests):
             groups.setdefault(request.program, []).append(index)
         for program, indexes in groups.items():
+            parse_span = self.telemetry.span("parse", parent=root)
             try:
                 tdd, key = self._resolve_program(program)
             except ReproError as exc:
+                parse_span.set_attribute("error", str(exc))
+                parse_ms = parse_span.end()
                 with self._counters_lock:
                     self._counters.errors += len(indexes)
                 for index in indexes:
                     responses[index] = QueryResponse(
                         ok=False, kind=requests[index].kind,
-                        error=f"program parse error: {exc}")
+                        error=f"program parse error: {exc}",
+                        duration_ms=parse_ms,
+                        trace_id=root.trace_id)
+                    self.latency.observe(parse_ms)
                 continue
+            parse_span.set_attribute("key", key[:12])
+            parse_ms = parse_span.end()
             deadlines = [requests[i].deadline for i in indexes]
             if any(d is None for d in deadlines):
                 deadline = self.default_deadline
@@ -395,13 +460,24 @@ class QueryService:
             spec: Union[RelationalSpec, None] = None
             source: Union[str, None] = None
             spec_error: Union[Exception, None] = None
+            acquire_start = time.monotonic()
             try:
-                spec, source = self.specification(tdd, deadline, key=key)
+                spec, source = self.specification(tdd, deadline,
+                                                  key=key, parent=root)
             except (DeadlineExceeded, EvaluationError) as exc:
                 spec_error = exc
+            overhead_ms = (parse_ms
+                           + (time.monotonic() - acquire_start) * 1e3)
             for index in indexes:
-                responses[index] = self._serve_parsed(
-                    tdd, spec, source, key, requests[index], spec_error)
+                response = self._serve_parsed(
+                    tdd, spec, source, key, requests[index],
+                    spec_error, parent=root)
+                response.duration_ms = overhead_ms + response.elapsed_ms
+                response.trace_id = root.trace_id
+                self.latency.observe(response.duration_ms)
+                responses[index] = response
+        if own_root:
+            root.end()
         return [r for r in responses if r is not None]
 
     # -- stats -------------------------------------------------------------
@@ -412,12 +488,83 @@ class QueryService:
             return self._counters.to_dict()
 
     def stats_dict(self) -> dict:
-        """Everything observable: serve counters + cache counters."""
+        """Everything observable: serve counters, cache counters, and
+        the request-latency distribution (buckets + p50/p95/p99)."""
         return {"serve": self.counters(),
-                "cache": self.cache.counters()}
+                "cache": self.cache.counters(),
+                "latency": self.latency.to_dict()}
 
     def attach_stats(self, stats) -> None:
         """Land the counters in an :class:`repro.obs.EvalStats` so they
         reach ``--stats`` output and benchreport columns."""
         stats.extra["serve"] = self.counters()
         stats.extra["cache"] = self.cache.counters()
+        stats.extra["latency"] = self.latency.to_dict()
+
+    def prometheus_text(self) -> str:
+        """The ``GET /metrics`` payload: Prometheus text exposition.
+
+        Counter values come from the same snapshots ``/stats`` serves,
+        so ``repro_requests_total`` always equals
+        ``stats["serve"]["requests"]`` and the histogram count equals
+        the number of served requests — the reconciliation the CI
+        smoke job and the telemetry concurrency test assert.
+        """
+        from .. import __version__
+        from ..obs.trace import TRACE_SCHEMA
+        serve = self.counters()
+        cache = self.cache.counters()
+        lines = [
+            "# HELP repro_info Build information.",
+            "# TYPE repro_info gauge",
+            f'repro_info{{version="{__version__}",'
+            f'trace_schema="{TRACE_SCHEMA}"}} 1',
+        ]
+
+        def counter(name: str, help_text: str, value: int,
+                    labels: str = "") -> None:
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name}{labels} {value}")
+
+        counter("repro_requests_total",
+                "Query requests received.", serve["requests"])
+        counter("repro_batches_total",
+                "Request batches served.", serve["batches"])
+        counter("repro_degraded_total",
+                "Responses answered by the windowed fallback.",
+                serve["degraded"])
+        counter("repro_errors_total",
+                "Requests that failed (parse/kind/query errors).",
+                serve["errors"])
+        counter("repro_spec_computes_total",
+                "Full BT specification computations.",
+                serve["spec_computes"])
+        counter("repro_singleflight_waits_total",
+                "Requests that waited on an in-flight computation.",
+                serve["singleflight_waits"])
+        counter("repro_cache_lookups_total",
+                "Spec cache lookups.", cache["lookups"])
+        lines.append("# HELP repro_cache_hits_total "
+                     "Spec cache hits by layer.")
+        lines.append("# TYPE repro_cache_hits_total counter")
+        lines.append('repro_cache_hits_total{layer="memory"} '
+                     f'{cache["mem_hits"]}')
+        lines.append('repro_cache_hits_total{layer="disk"} '
+                     f'{cache["disk_hits"]}')
+        counter("repro_cache_misses_total",
+                "Spec cache misses.", cache["misses"])
+        counter("repro_cache_corrupt_total",
+                "Corrupt/version-skewed cache rows discarded.",
+                cache["corrupt"])
+        counter("repro_cache_evictions_total",
+                "LRU evictions from the in-memory layer.",
+                cache["evictions"])
+        lines.append("# HELP repro_cache_memory_entries "
+                     "Entries currently in the in-memory LRU.")
+        lines.append("# TYPE repro_cache_memory_entries gauge")
+        lines.append("repro_cache_memory_entries "
+                     f'{cache["memory_entries"]}')
+        lines.extend(self.latency.prometheus_lines(
+            "repro_request_duration_seconds"))
+        return "\n".join(lines) + "\n"

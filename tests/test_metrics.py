@@ -303,7 +303,7 @@ class TestDisabledPath:
 
 
 # ---------------------------------------------------------------------------
-# run_start trace header (schema 2)
+# run_start trace header (schema version header)
 # ---------------------------------------------------------------------------
 
 class TestRunStartEvent:
@@ -314,7 +314,7 @@ class TestRunStartEvent:
         (event,) = sink.events
         assert event["event"] == "run_start"
         assert event["engine"] == "bt"
-        assert event["schema"] == TRACE_SCHEMA == 2
+        assert event["schema"] == TRACE_SCHEMA == 3
         assert event["program"] == "x.tdd"
         assert len(event["sha256"]) == 64
         from repro import __version__

@@ -56,6 +56,9 @@ def baseline(workload):
 def _strip_timing(response: dict) -> dict:
     data = dict(response)
     data.pop("elapsed_ms")
+    data.pop("duration_ms")
+    # Trace ids are unique per request by design.
+    data.pop("trace_id")
     # The spec may come from the LRU, the disk, or this thread's own
     # computation depending on scheduling — only the answer is part of
     # the contract.
@@ -119,6 +122,14 @@ class TestConcurrentServing:
         assert counters["stores"] == len(keys)
         assert service.counters()["requests"] == THREADS * len(workload)
         assert service.counters()["errors"] == 0
+
+        # Telemetry invariant: exactly one latency observation per
+        # request, and the bucket counts account for every one.
+        latency = service.latency.to_dict()
+        assert latency["count"] == THREADS * len(workload)
+        assert latency["count"] == sum(n for _, n in
+                                       latency["buckets"])
+        assert latency["p50"] <= latency["p95"] <= latency["p99"]
 
     def test_cold_key_race_is_single_flight(self, tmp_path):
         """All 16 threads race one cold key at the same instant."""

@@ -221,12 +221,14 @@ class TestHTTPServer:
         assert data["responses"][0]["answer"] is False
 
     def test_health_and_stats(self, endpoint):
-        assert self._get(endpoint, "/healthz") == (200, {"ok": True})
+        status, health = self._get(endpoint, "/healthz")
+        assert status == 200 and health["ok"] is True
         self._post(endpoint, {"program": EVEN, "query": "even(0)"})
         status, stats = self._get(endpoint, "/stats")
         assert status == 200
         assert stats["serve"]["requests"] == 1
         assert stats["cache"]["lookups"] >= 1
+        assert stats["latency"]["count"] == 1
 
     def test_malformed_body_is_400(self, endpoint):
         status, data = self._post(endpoint, "{not json")

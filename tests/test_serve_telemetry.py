@@ -1,0 +1,476 @@
+"""End-to-end telemetry over HTTP: trace propagation, /metrics,
+access logs, the slow-query log, error-body consistency, and the
+16-thread reconciliation invariant (request counter == histogram
+count == /query access-log lines).
+
+Also covers ``repro top`` against a live server.
+"""
+
+from __future__ import annotations
+
+import http.client
+import io
+import json
+import re
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import __version__
+from repro.cli import main
+from repro.obs import TRACE_SCHEMA, ListSink, Telemetry, Tracer
+from repro.serve import (AccessLog, QueryService, SpecCache,
+                        make_server)
+
+EVEN = "even(T+2) :- even(T).\neven(0).\n"
+THREADS = 16
+PER_THREAD = 4
+
+
+def _wait_until(predicate, timeout=10.0):
+    """Access-log lines and the root span are written *after* the
+    response bytes go out, so observers must wait for the handler's
+    finally block rather than race it."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.01)
+    assert predicate(), "condition not reached before timeout"
+
+
+class _Endpoint:
+    """A live server plus handles on its sink, log, and service."""
+
+    def __init__(self, server, service, sink, log_stream, access_log):
+        self.port = server.server_address[1]
+        self.server = server
+        self.service = service
+        self.sink = sink
+        self.log_stream = log_stream
+        self.access_log = access_log
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+    def log_records(self) -> list[dict]:
+        return [json.loads(line)
+                for line in self.log_stream.getvalue().splitlines()]
+
+
+@pytest.fixture()
+def endpoint():
+    def start(**server_kwargs):
+        sink = ListSink()
+        service = QueryService(cache=SpecCache(),
+                               telemetry=Telemetry(Tracer(sink)))
+        log_stream = io.StringIO()
+        access_log = AccessLog(log_stream)
+        server = make_server(service, port=0, access_log=access_log,
+                             **server_kwargs)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        started.append(server)
+        return _Endpoint(server, service, sink, log_stream,
+                         access_log)
+
+    started: list = []
+    yield start
+    for server in started:
+        server.shutdown()
+        server.server_close()
+
+
+def _request(port, method, path, body=None, headers=None):
+    connection = http.client.HTTPConnection("127.0.0.1", port,
+                                            timeout=30)
+    try:
+        payload = (json.dumps(body) if isinstance(body, dict)
+                   else body)
+        connection.request(method, path, payload, headers or {})
+        response = connection.getresponse()
+        raw = response.read()
+        return response, raw
+    finally:
+        connection.close()
+
+
+def _post_query(port, body, headers=None):
+    response, raw = _request(port, "POST", "/query", body, headers)
+    return response, json.loads(raw)
+
+
+class TestHealthz:
+    def test_reports_version_and_trace_schema(self, endpoint):
+        point = endpoint()
+        response, raw = _request(point.port, "GET", "/healthz")
+        assert response.status == 200
+        data = json.loads(raw)
+        assert data == {"ok": True, "version": __version__,
+                        "trace_schema": TRACE_SCHEMA}
+        assert int(response.getheader("Content-Length")) == len(raw)
+
+
+class TestErrorBodies:
+    def test_oversized_body_is_413_with_json_and_length(self,
+                                                        endpoint):
+        point = endpoint(max_body_bytes=1024)
+        big = json.dumps({"program": "x" * 2048, "query": "q"})
+        response, raw = _request(point.port, "POST", "/query", big)
+        assert response.status == 413
+        data = json.loads(raw)
+        assert "exceeds" in data["error"]
+        assert int(response.getheader("Content-Length")) == len(raw)
+        assert response.getheader("Content-Type") \
+            == "application/json"
+        assert response.getheader("Connection") == "close"
+
+    def test_default_limit_rejects_over_max_body_bytes(self,
+                                                       endpoint):
+        """The refusal happens on Content-Length alone — the server
+        answers 413 before the oversized body is even sent."""
+        from repro.serve import MAX_BODY_BYTES
+        point = endpoint()
+        with socket.create_connection(("127.0.0.1", point.port),
+                                      timeout=30) as sock:
+            sock.sendall((
+                "POST /query HTTP/1.1\r\n"
+                "Host: 127.0.0.1\r\n"
+                f"Content-Length: {MAX_BODY_BYTES + 1}\r\n"
+                "\r\n").encode("ascii"))
+            response = http.client.HTTPResponse(sock)
+            response.begin()
+            raw = response.read()
+        assert response.status == 413
+        assert "error" in json.loads(raw)
+        assert response.getheader("Connection") == "close"
+
+    def test_400_has_json_body_and_length(self, endpoint):
+        point = endpoint()
+        response, raw = _request(point.port, "POST", "/query",
+                                 "{not json")
+        assert response.status == 400
+        assert "error" in json.loads(raw)
+        assert int(response.getheader("Content-Length")) == len(raw)
+
+    def test_transport_errors_still_logged_with_trace_id(self,
+                                                         endpoint):
+        point = endpoint(max_body_bytes=64)
+        _request(point.port, "POST", "/query", "y" * 100)
+        _wait_until(lambda: len(point.log_records()) == 1)
+        (record,) = point.log_records()
+        assert record["status"] == 413
+        assert re.fullmatch(r"[0-9a-f]{32}", record["trace_id"])
+
+
+class TestTracePropagation:
+    def test_client_trace_id_reaches_response_log_and_spans(self,
+                                                            endpoint):
+        point = endpoint()
+        supplied = "feedface00112233feedface00112233"
+        response, data = _post_query(
+            point.port, {"program": EVEN, "query": "even(4)"},
+            headers={"X-Repro-Trace-Id": supplied})
+        assert response.status == 200
+        # 1. echoed on the response headers and in the JSON body
+        assert response.getheader("X-Repro-Trace-Id") == supplied
+        assert data["responses"][0]["trace_id"] == supplied
+        # 2. in the access-log line of the same request
+        _wait_until(lambda: len(point.log_records()) == 1)
+        (record,) = point.log_records()
+        assert record["trace_id"] == supplied
+        assert record["path"] == "/query"
+        assert record["status"] == 200
+        assert record["kind"] == "ask"
+        assert record["cache"] == "computed"
+        assert record["program"] == data["responses"][0]["key"][:12]
+        assert record["duration_ms"] >= 0.0
+        # 3. on every exported span of the request, root to leaf
+        assert {e["trace_id"] for e in point.sink.events} \
+            == {supplied}
+        names = {e["name"] for e in point.sink.events}
+        assert {"http.request", "parse", "cache.lookup",
+                "spec.compute", "answer"} <= names
+        roots = [e for e in point.sink.events
+                 if e["parent"] is None]
+        assert [r["name"] for r in roots] == ["http.request"]
+        assert roots[0]["attrs"]["status"] == 200
+
+    def test_fresh_trace_id_minted_when_absent_or_invalid(self,
+                                                          endpoint):
+        point = endpoint()
+        response, data = _post_query(
+            point.port, {"program": EVEN, "query": "even(0)"},
+            headers={"X-Repro-Trace-Id": "utter junk"})
+        echoed = response.getheader("X-Repro-Trace-Id")
+        assert re.fullmatch(r"[0-9a-f]{32}", echoed)
+        assert data["responses"][0]["trace_id"] == echoed
+
+    def test_batch_log_line_uses_lists(self, endpoint):
+        point = endpoint()
+        _post_query(point.port, {"requests": [
+            {"program": EVEN, "query": "even(0)"},
+            {"program": EVEN, "query": "even(X)",
+             "kind": "answers"},
+        ]})
+        _wait_until(lambda: len(point.log_records()) == 1)
+        (record,) = point.log_records()
+        assert record["n"] == 2
+        assert record["kind"] == ["ask", "answers"]
+        assert len(record["program"]) == 2
+
+
+class TestMetricsEndpoint:
+    SAMPLE = re.compile(
+        r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [0-9.eE+-]+$")
+
+    def _scrape(self, port):
+        response, raw = _request(port, "GET", "/metrics")
+        assert response.status == 200
+        assert response.getheader("Content-Type").startswith(
+            "text/plain")
+        return raw.decode("utf-8")
+
+    def test_valid_prometheus_text_format(self, endpoint):
+        point = endpoint()
+        _post_query(point.port,
+                    {"program": EVEN, "query": "even(2)"})
+        text = self._scrape(point.port)
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            if not line.startswith("#"):
+                assert self.SAMPLE.match(line), line
+        # every sample has HELP + TYPE metadata
+        names = {line.split("{")[0].split(" ")[0].rsplit("_bucket")[0]
+                 .rsplit("_sum")[0].rsplit("_count")[0]
+                 for line in text.splitlines()
+                 if not line.startswith("#")}
+        typed = {line.split(" ")[2]
+                 for line in text.splitlines()
+                 if line.startswith("# TYPE ")}
+        assert names <= typed
+
+    def test_metrics_reconcile_with_stats(self, endpoint):
+        point = endpoint()
+        for t in (0, 3, 8):
+            _post_query(point.port,
+                        {"program": EVEN, "query": f"even({t})"})
+        text = self._scrape(point.port)
+        _, raw = _request(point.port, "GET", "/stats")
+        stats = json.loads(raw)
+
+        def value(name):
+            (line,) = [li for li in text.splitlines()
+                       if li.split("{")[0].split(" ")[0] == name]
+            return float(line.rsplit(" ", 1)[1])
+
+        assert value("repro_requests_total") == 3
+        assert value("repro_requests_total") == \
+            stats["serve"]["requests"]
+        assert value("repro_request_duration_seconds_count") == \
+            stats["latency"]["count"] == 3
+        assert value("repro_request_duration_seconds_sum") == \
+            pytest.approx(stats["latency"]["sum_ms"] / 1e3,
+                          abs=1e-3)
+
+
+class TestSlowQueryLog:
+    def test_slow_request_dumps_span_tree(self, endpoint):
+        point = endpoint(slow_ms=0.0)  # everything is "slow"
+        _, data = _post_query(point.port,
+                              {"program": EVEN, "query": "even(6)"})
+        _wait_until(lambda: len(point.log_records()) == 2)
+        records = point.log_records()
+        slow = [r for r in records if r.get("slow_query")]
+        assert len(slow) == 1
+        tree = slow[0]["spans"]
+        assert tree["name"] == "http.request"
+        assert slow[0]["trace_id"] == tree["trace_id"] \
+            == data["responses"][0]["trace_id"]
+        child_names = {c["name"] for c in tree["children"]}
+        assert {"parse", "answer"} <= child_names
+        assert tree["duration_ms"] >= 0.0
+
+    def test_fast_threshold_suppresses_dump(self, endpoint):
+        point = endpoint(slow_ms=60000.0)
+        _post_query(point.port,
+                    {"program": EVEN, "query": "even(0)"})
+        _wait_until(lambda: len(point.log_records()) >= 1)
+        assert not [r for r in point.log_records()
+                    if r.get("slow_query")]
+
+
+class TestConcurrentReconciliation:
+    def test_metrics_stats_and_access_log_agree(self, endpoint):
+        """The acceptance invariant: after 16 threads x 4 singleton
+        requests, the Prometheus request counter, the histogram
+        count, ``/stats``, and the number of ``/query`` access-log
+        lines are all exactly THREADS * PER_THREAD."""
+        point = endpoint()
+        barrier = threading.Barrier(THREADS)
+        errors: list[BaseException] = []
+
+        def run(worker: int) -> None:
+            try:
+                barrier.wait()
+                for i in range(PER_THREAD):
+                    response, data = _post_query(point.port, {
+                        "program": EVEN,
+                        "query": f"even({worker + i})"})
+                    assert response.status == 200
+                    assert data["responses"][0]["ok"]
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run, args=(w,))
+                   for w in range(THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors, errors
+
+        expected = THREADS * PER_THREAD
+        _wait_until(lambda: len(
+            [r for r in point.log_records()
+             if r["path"] == "/query"]) == expected)
+        _, raw = _request(point.port, "GET", "/stats")
+        stats = json.loads(raw)
+        response, raw = _request(point.port, "GET", "/metrics")
+        text = raw.decode("utf-8")
+
+        def value(name):
+            (line,) = [li for li in text.splitlines()
+                       if li.split("{")[0].split(" ")[0] == name]
+            return float(line.rsplit(" ", 1)[1])
+
+        assert stats["serve"]["requests"] == expected
+        assert value("repro_requests_total") == expected
+        assert value("repro_request_duration_seconds_count") \
+            == expected
+        assert stats["latency"]["count"] == expected
+        assert sum(n for _, n in stats["latency"]["buckets"]) \
+            == expected
+        query_lines = [r for r in point.log_records()
+                       if r["path"] == "/query"]
+        assert len(query_lines) == expected
+        # one access-log line and one histogram observation per
+        # request; the sums reconcile across the three surfaces
+        assert value("repro_request_duration_seconds_sum") == \
+            pytest.approx(stats["latency"]["sum_ms"] / 1e3,
+                          abs=1e-2)
+        # cache accounting still consistent under interleaving
+        cache = stats["cache"]
+        assert cache["lookups"] == (cache["mem_hits"]
+                                    + cache["disk_hits"]
+                                    + cache["misses"])
+        # every request produced a root span with the right status
+        roots = [e for e in point.sink.events
+                 if e["name"] == "http.request"
+                 and e["attrs"].get("path") == "/query"]
+        assert len(roots) == expected
+        assert len({e["trace_id"] for e in roots}) == expected
+
+
+class TestStatsJsonGate:
+    """The CI gate in benchmarks/check_stats_json.py understands the
+    new ``latency`` block."""
+
+    @staticmethod
+    def _checker():
+        import importlib.util
+        import pathlib
+        path = (pathlib.Path(__file__).parent.parent / "benchmarks"
+                / "check_stats_json.py")
+        spec = importlib.util.spec_from_file_location(
+            "check_stats_json", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def _dump(self, latency):
+        from repro.obs import EvalStats
+        from repro.serve import QueryRequest, QueryService, SpecCache
+        service = QueryService(cache=SpecCache())
+        for t in (0, 1, 2):
+            service.serve(QueryRequest(program=EVEN,
+                                       query=f"even({t})"))
+        stats = EvalStats(engine="bt", rounds=1)
+        service.attach_stats(stats)
+        payload = stats.to_dict()
+        if latency is not None:
+            payload["extra"]["latency"] = latency
+        return {"benchmarks": [{"fullname": "bench::case",
+                                "extra_info":
+                                    {"eval_stats": payload}}]}
+
+    def test_real_latency_block_passes(self):
+        checker = self._checker()
+        from repro.obs import LatencyHistogram
+        histogram = LatencyHistogram()
+        for ms in (0.5, 3.0, 40.0, 999.0, 99999.0):
+            histogram.observe(ms)
+        dump = self._dump(histogram.to_dict())
+        assert checker.check(dump) == []
+
+    @pytest.mark.parametrize("mutate, fragment", [
+        (lambda la: la.pop("p95"), "missing"),
+        (lambda la: la.__setitem__("count", la["count"] + 1),
+         "sum(latency bucket counts)"),
+        (lambda la: la["buckets"][0].__setitem__(0, -1.0),
+         "strictly increasing"),
+        (lambda la: la["buckets"][-1].__setitem__(0, 123.0),
+         "expected 'inf'"),
+        (lambda la: la["buckets"][1].__setitem__(1, -2),
+         "non-negative integers"),
+        (lambda la: la.__setitem__("p50", la["p99"] + 1.0),
+         "not ordered"),
+    ])
+    def test_broken_latency_blocks_fail(self, mutate, fragment):
+        checker = self._checker()
+        from repro.obs import LatencyHistogram
+        histogram = LatencyHistogram()
+        for ms in (0.5, 3.0, 40.0):
+            histogram.observe(ms)
+        latency = histogram.to_dict()
+        mutate(latency)
+        problems = checker.check(self._dump(latency))
+        assert problems, "expected the gate to flag the mutation"
+        assert any(fragment in p for p in problems), problems
+
+
+class TestTopCommand:
+    def test_renders_dashboard_frames(self, endpoint):
+        point = endpoint()
+        _post_query(point.port, {"program": EVEN, "query": "even(0)"})
+        out = io.StringIO()
+        code = main(["top", "--url", point.url, "--iterations", "2",
+                     "--interval", "0.01"], out=out)
+        assert code == 0
+        rendered = out.getvalue()
+        assert f"repro top — {point.url}" in rendered
+        assert "QPS" in rendered
+        assert "p50" in rendered and "p99" in rendered
+        assert "requests   1 total" in rendered
+        # second frame has a rate (a number, not the "-" placeholder)
+        frames = rendered.count("repro top —")
+        assert frames == 2
+
+    def test_unreachable_server_exits_2(self):
+        out = io.StringIO()
+        code = main(["top", "--url", "http://127.0.0.1:1",
+                     "--iterations", "1"], out=out)
+        assert code == 2
+
+    def test_host_port_flags_build_url(self, endpoint):
+        point = endpoint()
+        out = io.StringIO()
+        code = main(["top", "--host", "127.0.0.1",
+                     "--port", str(point.port),
+                     "--iterations", "1"], out=out)
+        assert code == 0
+        assert f"http://127.0.0.1:{point.port}" in out.getvalue()

@@ -1,0 +1,336 @@
+"""Unit tests for :mod:`repro.obs.telemetry`.
+
+Span identity (trace/span/parent ids), tree structure, schema-3
+export through the existing Tracer sinks, the fixed-bucket latency
+histogram (count/sum invariants, interpolated quantiles, Prometheus
+rendering), and the service-level Prometheus exposition.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.obs import (DEFAULT_LATENCY_BUCKETS_MS, LatencyHistogram,
+                       ListSink, Telemetry, Tracer, new_span_id,
+                       new_trace_id, valid_trace_id)
+from repro.serve import QueryRequest, QueryService, SpecCache
+
+EVEN = "even(T+2) :- even(T).\neven(0).\n"
+
+
+class TestIds:
+    def test_trace_ids_are_32_hex_and_unique(self):
+        ids = {new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(re.fullmatch(r"[0-9a-f]{32}", t) for t in ids)
+
+    def test_span_ids_are_16_hex_and_unique(self):
+        ids = {new_span_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(re.fullmatch(r"[0-9a-f]{16}", s) for s in ids)
+
+    @pytest.mark.parametrize("value,ok", [
+        ("deadbeefcafe1234", True),
+        ("ab" * 32, True),
+        ("ab" * 33, False),          # too long
+        ("abc", False),              # too short
+        ("not-hex-at-all!", False),
+        ("", False),
+        (None, False),
+        (12345678, False),
+    ])
+    def test_valid_trace_id(self, value, ok):
+        assert valid_trace_id(value) is ok
+
+
+class TestSpans:
+    def test_root_honors_valid_client_trace_id(self):
+        telemetry = Telemetry()
+        root = telemetry.root("http.request",
+                              trace_id="DEADBEEF00112233")
+        assert root.trace_id == "deadbeef00112233"
+
+    def test_root_replaces_invalid_trace_id(self):
+        telemetry = Telemetry()
+        root = telemetry.root("http.request", trace_id="nope!")
+        assert valid_trace_id(root.trace_id)
+        assert root.trace_id != "nope!"
+
+    def test_child_shares_trace_and_links_parent(self):
+        telemetry = Telemetry()
+        root = telemetry.root("root")
+        child = root.child("child", layer="cache")
+        grandchild = child.child("grandchild")
+        assert child.context.trace_id == root.trace_id
+        assert child.context.parent_id == root.context.span_id
+        assert grandchild.context.parent_id == child.context.span_id
+        assert root.children == [child]
+        assert child.children == [grandchild]
+
+    def test_end_is_idempotent_and_returns_duration(self):
+        telemetry = Telemetry()
+        span = telemetry.root("work")
+        first = span.end()
+        assert span.ended and first >= 0.0
+        assert span.end() == first
+
+    def test_context_manager_ends_and_flags_errors(self):
+        telemetry = Telemetry()
+        root = telemetry.root("root")
+        with pytest.raises(RuntimeError):
+            with root.child("boom") as span:
+                raise RuntimeError("kaput")
+        assert span.ended
+        assert span.attributes["error"] == "kaput"
+
+    def test_tree_nests_children_with_attributes(self):
+        telemetry = Telemetry()
+        root = telemetry.root("http.request", method="POST")
+        child = root.child("parse")
+        child.set_attribute("key", "abc")
+        child.end()
+        root.end()
+        tree = root.tree()
+        assert tree["name"] == "http.request"
+        assert tree["attrs"] == {"method": "POST"}
+        assert tree["duration_ms"] >= tree["children"][0]["start_ms"] \
+            - tree["start_ms"]
+        (sub,) = tree["children"]
+        assert sub["name"] == "parse" and sub["attrs"]["key"] == "abc"
+        assert sub["children"] == []
+
+
+class TestExport:
+    def test_spans_export_as_schema3_events(self):
+        sink = ListSink()
+        telemetry = Telemetry(Tracer(sink))
+        root = telemetry.root("http.request", path="/query")
+        child = root.child("cache.lookup", outcome="miss")
+        child.end()
+        root.end()
+        assert [e["event"] for e in sink.events] == ["span", "span"]
+        inner, outer = sink.events
+        assert inner["name"] == "cache.lookup"
+        assert outer["name"] == "http.request"
+        assert inner["trace_id"] == outer["trace_id"]
+        assert inner["parent"] == outer["span_id"]
+        assert outer["parent"] is None
+        for event in sink.events:
+            assert "ts" in event
+            assert event["duration_ms"] >= 0.0
+            assert event["start_ms"] >= 0.0
+        assert inner["attrs"] == {"outcome": "miss"}
+
+    def test_disabled_telemetry_exports_nothing_but_still_works(self):
+        telemetry = Telemetry()
+        root = telemetry.root("r")
+        root.child("c").end()
+        assert root.end() >= 0.0
+        assert valid_trace_id(root.trace_id)
+
+
+class TestLatencyHistogram:
+    def test_empty_histogram(self):
+        hist = LatencyHistogram()
+        assert hist.count == 0 and hist.sum_ms == 0.0
+        assert hist.quantile(0.5) == 0.0
+        data = hist.to_dict()
+        assert data["count"] == 0
+        assert sum(n for _, n in data["buckets"]) == 0
+
+    def test_count_equals_bucket_sum(self):
+        hist = LatencyHistogram()
+        samples = [0.1, 0.9, 3.0, 7.5, 40.0, 900.0, 99999.0]
+        for ms in samples:
+            hist.observe(ms)
+        data = hist.to_dict()
+        assert data["count"] == len(samples)
+        assert sum(n for _, n in data["buckets"]) == len(samples)
+        assert data["sum_ms"] == pytest.approx(sum(samples), abs=0.01)
+        assert data["buckets"][-1][0] == "inf"
+        assert data["buckets"][-1][1] == 1  # the 99999 sample
+
+    def test_bucket_bounds_are_increasing(self):
+        data = LatencyHistogram().to_dict()
+        bounds = [b for b, _ in data["buckets"][:-1]]
+        assert bounds == sorted(bounds)
+        assert len(set(bounds)) == len(bounds)
+        assert bounds == list(DEFAULT_LATENCY_BUCKETS_MS)
+
+    def test_quantiles_are_ordered_and_plausible(self):
+        hist = LatencyHistogram()
+        for ms in range(1, 101):  # uniform 1..100 ms
+            hist.observe(float(ms))
+        p50, p95, p99 = (hist.quantile(q)
+                         for q in (0.50, 0.95, 0.99))
+        assert p50 <= p95 <= p99
+        # p50 of uniform(1..100) lands in the (25, 50] bucket.
+        assert 25.0 <= p50 <= 50.0
+        assert p99 <= 100.0
+
+    def test_quantile_of_inf_bucket_is_largest_finite_bound(self):
+        hist = LatencyHistogram()
+        hist.observe(10 ** 9)
+        assert hist.quantile(0.99) == DEFAULT_LATENCY_BUCKETS_MS[-1]
+
+    def test_rejects_bad_buckets_and_bad_quantiles(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(buckets_ms=[5.0, 1.0])
+        with pytest.raises(ValueError):
+            LatencyHistogram(buckets_ms=[])
+        with pytest.raises(ValueError):
+            LatencyHistogram().quantile(1.5)
+
+    def test_prometheus_lines_are_cumulative_seconds(self):
+        hist = LatencyHistogram()
+        for ms in (0.5, 3.0, 30.0, 20000.0):
+            hist.observe(ms)
+        lines = list(hist.prometheus_lines("x_seconds"))
+        assert lines[0].startswith("# HELP x_seconds")
+        assert lines[1] == "# TYPE x_seconds histogram"
+        counts = [int(line.rsplit(" ", 1)[1])
+                  for line in lines if "_bucket" in line]
+        assert counts == sorted(counts)  # cumulative => monotone
+        assert counts[-1] == 4  # +Inf bucket sees everything
+        (sum_line,) = [li for li in lines if "_sum" in li]
+        assert float(sum_line.rsplit(" ", 1)[1]) == pytest.approx(
+            (0.5 + 3.0 + 30.0 + 20000.0) / 1e3, rel=1e-6)
+        (count_line,) = [li for li in lines if "_count" in li]
+        assert count_line.endswith(" 4")
+
+
+#: One Prometheus text-format sample line: name{labels} value.
+_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [0-9.eE+-]+$")
+
+
+class TestPrometheusExposition:
+    def test_service_exposition_is_valid_and_reconciles(self):
+        service = QueryService(cache=SpecCache())
+        for t in (0, 1, 2, 1000):
+            service.serve(QueryRequest(program=EVEN,
+                                       query=f"even({t})"))
+        text = service.prometheus_text()
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            assert line, "blank line in exposition"
+            if not line.startswith("#"):
+                assert _SAMPLE.match(line), line
+        stats = service.stats_dict()
+
+        def value(name: str) -> float:
+            (line,) = [li for li in text.splitlines()
+                       if li.startswith(name + " ")
+                       or li.startswith(name + "{")]
+            return float(line.rsplit(" ", 1)[1])
+
+        assert value("repro_requests_total") == \
+            stats["serve"]["requests"] == 4
+        assert value("repro_request_duration_seconds_count") == \
+            stats["latency"]["count"] == 4
+        assert value("repro_request_duration_seconds_sum") == \
+            pytest.approx(stats["latency"]["sum_ms"] / 1e3, abs=1e-3)
+        assert value("repro_cache_misses_total") == \
+            stats["cache"]["misses"]
+        hits = [li for li in text.splitlines()
+                if li.startswith("repro_cache_hits_total{")]
+        assert len(hits) == 2
+        mem = [li for li in hits if 'layer="memory"' in li]
+        assert len(mem) == 1
+        assert float(mem[0].rsplit(" ", 1)[1]) == \
+            stats["cache"]["mem_hits"]
+
+    def test_info_line_carries_version_and_schema(self):
+        from repro import __version__
+        from repro.obs import TRACE_SCHEMA
+        text = QueryService(cache=SpecCache()).prometheus_text()
+        assert (f'repro_info{{version="{__version__}",'
+                f'trace_schema="{TRACE_SCHEMA}"}} 1') in text
+
+
+class TestServiceSpans:
+    def test_serve_batch_produces_full_span_tree(self):
+        sink = ListSink()
+        service = QueryService(cache=SpecCache(),
+                               telemetry=Telemetry(Tracer(sink)))
+        responses = service.serve_batch([
+            QueryRequest(program=EVEN, query="even(0)"),
+            QueryRequest(program=EVEN, query="even(5)"),
+        ])
+        names = [e["name"] for e in sink.events]
+        assert names.count("parse") == 1
+        # Cold path: the optimistic miss plus the double-check under
+        # the single-flight key lock.
+        assert names.count("cache.lookup") == 2
+        assert names.count("spec.compute") == 1
+        assert names.count("answer") == 2
+        assert names[-1] == "serve.batch"  # the self-opened root
+        trace_ids = {e["trace_id"] for e in sink.events}
+        assert trace_ids == {responses[0].trace_id}
+        assert responses[0].trace_id == responses[1].trace_id
+        root = [e for e in sink.events
+                if e["name"] == "serve.batch"][0]
+        for event in sink.events:
+            if event["name"] in ("parse", "answer"):
+                assert event["parent"] == root["span_id"]
+
+    def test_warm_batch_records_cache_hit_span(self):
+        sink = ListSink()
+        service = QueryService(cache=SpecCache(),
+                               telemetry=Telemetry(Tracer(sink)))
+        service.serve(QueryRequest(program=EVEN, query="even(0)"))
+        sink.events.clear()
+        service.serve(QueryRequest(program=EVEN, query="even(2)"))
+        lookups = [e for e in sink.events
+                   if e["name"] == "cache.lookup"]
+        assert [e["attrs"]["outcome"] for e in lookups] == ["memory"]
+        assert not [e for e in sink.events
+                    if e["name"] == "spec.compute"]
+
+    def test_responses_carry_trace_and_duration(self):
+        service = QueryService(cache=SpecCache())
+        response = service.serve(QueryRequest(program=EVEN,
+                                              query="even(4)"))
+        assert valid_trace_id(response.trace_id)
+        assert response.duration_ms >= response.elapsed_ms >= 0.0
+        data = response.to_dict()
+        assert data["trace_id"] == response.trace_id
+        assert data["duration_ms"] >= 0.0
+        assert service.latency.count == 1
+
+    def test_parse_error_still_observed_once(self):
+        service = QueryService(cache=SpecCache())
+        response = service.serve(
+            QueryRequest(program="p(T+1 :- broken", query="p(0)"))
+        assert not response.ok
+        assert valid_trace_id(response.trace_id)
+        assert service.latency.count == 1
+        assert service.counters()["requests"] == 1
+
+    def test_corruption_records_a_span(self, tmp_path):
+        path = tmp_path / "specs.sqlite"
+        warm = QueryService(cache=SpecCache(path))
+        warm.serve(QueryRequest(program=EVEN, query="even(0)"))
+        key = warm.serve(QueryRequest(program=EVEN,
+                                      query="even(0)")).key
+        import sqlite3
+        with sqlite3.connect(path) as connection:
+            connection.execute(
+                "UPDATE specs SET payload = '{broken' WHERE key = ?",
+                (key,))
+            connection.commit()
+        sink = ListSink()
+        fresh = QueryService(cache=SpecCache(path),
+                             telemetry=Telemetry(Tracer(sink)))
+        response = fresh.serve(QueryRequest(program=EVEN,
+                                            query="even(2)"))
+        assert response.ok and response.answer is True
+        corrupt = [e for e in sink.events
+                   if e["name"] == "cache.corrupt"]
+        assert [e["attrs"]["reason"] for e in corrupt] == \
+            ["garbage-payload"]
+        lookup = [e for e in sink.events
+                  if e["name"] == "cache.lookup"][0]
+        assert corrupt[0]["parent"] == lookup["span_id"]
