@@ -11,6 +11,9 @@ Run:  pytest benchmarks/ --benchmark-only
 
 from __future__ import annotations
 
+import gc
+import time
+
 
 def record(benchmark, **info) -> None:
     """Attach claim-relevant measurements to the benchmark record."""
@@ -27,3 +30,30 @@ def record_stats(benchmark, stats) -> None:
     dictionary into ``stats.*`` columns.
     """
     benchmark.extra_info["eval_stats"] = stats.to_dict()
+
+
+def measured_speedup(baseline, candidate, repeats=3):
+    """Best-of-N wall-time ratio ``baseline / candidate``.
+
+    Each callable runs ``repeats`` times with the garbage collector
+    off and the minimum is kept — the noise-resistant estimator for
+    short deterministic workloads.  The two sides are interleaved so
+    machine-load drift hits both equally.  Returns
+    ``(baseline_seconds, candidate_seconds, ratio)``.
+    """
+    best_base = best_cand = float("inf")
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            baseline()
+            t1 = time.perf_counter()
+            candidate()
+            t2 = time.perf_counter()
+            best_base = min(best_base, t1 - t0)
+            best_cand = min(best_cand, t2 - t1)
+    finally:
+        if was_enabled:
+            gc.enable()
+    return best_base, best_cand, best_base / best_cand

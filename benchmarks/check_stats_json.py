@@ -177,6 +177,20 @@ def check_latency_block(name: str, stats: dict) -> list[str]:
     return problems
 
 
+def check_speedup_field(name: str, extra_info: dict) -> list[str]:
+    """Validate ``speedup_vs_seminaive`` when present: a positive
+    number (booleans rejected), as the compiled-engine benchmarks in
+    E3/E6/E7 record alongside the asserted floor."""
+    if "speedup_vs_seminaive" not in extra_info:
+        return []
+    value = extra_info["speedup_vs_seminaive"]
+    if (isinstance(value, bool)
+            or not isinstance(value, (int, float)) or value <= 0):
+        return [f"{name}: speedup_vs_seminaive is {value!r}, "
+                "expected a positive number"]
+    return []
+
+
 def check(data: dict) -> list[str]:
     """All problems found in one benchmark JSON dump."""
     problems: list[str] = []
@@ -185,6 +199,8 @@ def check(data: dict) -> list[str]:
         problems.append("no benchmark records in the dump")
     for bench in benchmarks:
         name = bench.get("fullname", bench.get("name", "?"))
+        problems.extend(check_speedup_field(
+            name, bench.get("extra_info", {})))
         stats = bench.get("extra_info", {}).get("eval_stats")
         if stats is None:
             problems.append(f"{name}: no eval_stats in extra_info")

@@ -46,6 +46,9 @@ Commands
 
 ``ask``, ``answers`` and ``spec`` also accept ``--cache FILE``: a warm
 cache hit answers from the persisted specification without running BT.
+They (and ``serve``) also accept ``--engine {bt,compiled}`` to pick the
+window engine BT runs on; ``compiled`` interns constants and replays
+indexed join plans for the same answers in less time.
 
 Program files use the paper's rule syntax (see README).
 """
@@ -88,6 +91,10 @@ def _parse_file(path: str) -> tuple[TDD, str]:
 
 def _load(args) -> TDD:
     tdd, text = _parse_file(args.file)
+    engine = getattr(args, "engine", None)
+    if engine is not None:
+        from .engines import canonical_window_engine
+        tdd.engine = canonical_window_engine(engine)
     stats, tracer = getattr(args, "_obs", (None, None))
     if getattr(args, "cache", None):
         from .serve import SpecCache, tdd_key
@@ -278,8 +285,15 @@ def cmd_timeline(args, out: TextIO) -> int:
 
 
 def cmd_profile(args, out: TextIO) -> int:
+    from .engines import PROFILE_ENGINES
     from .obs.profile import (profile_tdd, render_folded, render_json,
                               render_table)
+    if args.engine not in PROFILE_ENGINES:
+        # Same shape as the registry's own error, but emitted before
+        # any file I/O so `--engine typo` fails fast with exit 2.
+        print(f"error: unknown engine {args.engine!r}; choose from "
+              f"{', '.join(PROFILE_ENGINES)}", file=sys.stderr)
+        return 2
     tdd, text = _parse_file(args.file)
     _, tracer = getattr(args, "_obs", (None, None))
     query = (None if args.query is None
@@ -337,7 +351,8 @@ def cmd_serve(args, out: TextIO) -> int:
     # traces.
     service = QueryService(cache=cache,
                            default_deadline=args.deadline,
-                           telemetry=Telemetry(tracer))
+                           telemetry=Telemetry(tracer),
+                           engine=args.engine)
     if tracer is not None and tracer.enabled:
         # A self-describing trace: the header ties the span stream to
         # the tool version and schema before the first request.
@@ -546,6 +561,11 @@ def build_parser() -> argparse.ArgumentParser:
     cached.add_argument("--cache", metavar="FILE", default=None,
                         help="content-addressed spec cache (SQLite); "
                              "warm hits skip BT entirely")
+    cached.add_argument("--engine", choices=("bt", "compiled"),
+                        default="bt",
+                        help="window engine driving BT (compiled: "
+                             "interned constants + indexed join plans; "
+                             "same answers, faster fixpoints)")
 
     ask = sub.add_parser("ask", parents=[obs, cached],
                          help="yes/no query")
@@ -607,12 +627,12 @@ def build_parser() -> argparse.ArgumentParser:
         "profile", parents=[obs],
         help="per-rule hot-rule profile (time, firings, duplicates)")
     profile.add_argument("file")
-    profile.add_argument("--engine",
-                         choices=("bt", "verbatim", "interval",
-                                  "magic", "topdown"),
-                         default="bt",
-                         help="engine to profile (default: bt; magic "
-                              "and topdown need --query)")
+    profile.add_argument("--engine", default="bt", metavar="ENGINE",
+                         help="engine to profile: bt, compiled, "
+                              "verbatim, interval, magic, topdown "
+                              "(default: bt; magic and topdown need "
+                              "--query); validated against the engine "
+                              "registry")
     profile.add_argument("--query", default=None, metavar="Q",
                          help="ground atom goal for the goal-directed "
                               "engines")
@@ -655,6 +675,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="default per-request spec-computation "
                             "budget; exceeded budgets degrade to "
                             "windowed evaluation")
+    serve.add_argument("--engine", choices=("bt", "compiled"),
+                       default="bt",
+                       help="window engine for spec computations and "
+                            "degraded evaluations (requests may "
+                            "override per-request)")
     serve.add_argument("--verbose", action="store_true",
                        help="log one line per HTTP request")
     serve.add_argument("--access-log", metavar="FILE", default=None,

@@ -144,15 +144,19 @@ def compute_specification(rules: Sequence[Rule],
                           database: TemporalDatabase,
                           window: Union[int, None] = None,
                           range_bound: Union[int, None] = None,
-                          max_window: int = 1 << 20) -> RelationalSpec:
+                          max_window: int = 1 << 20,
+                          engine: str = "seminaive") -> RelationalSpec:
     """Compute the relational specification ``S(Z∧D)``.
 
     Runs algorithm BT (semi-naive, with period detection) and packages
     the result as ``(T, B, W)``.  This is the all-answers query
     processing entry point: by Theorem 4.1 it runs in time polynomial in
     the database size exactly when the specification itself is of
-    polynomial size.
+    polynomial size.  ``engine`` selects the window engine BT runs on
+    (see :mod:`repro.engines`); the specification is the same either
+    way — only the time to build it differs.
     """
     result = bt_evaluate(rules, database, window=window,
-                         range_bound=range_bound, max_window=max_window)
+                         range_bound=range_bound, max_window=max_window,
+                         engine=engine)
     return spec_from_result(result)

@@ -67,8 +67,14 @@ class TDD:
 
     def __init__(self, rules: Sequence[Rule],
                  database: Union[TemporalDatabase, Iterable[Fact]] = (),
-                 temporal_preds: Iterable[str] = ()):
+                 temporal_preds: Iterable[str] = (),
+                 engine: str = "seminaive"):
+        from ..engines import canonical_window_engine
         validate_rules(rules)
+        #: Window engine BT runs on (see :mod:`repro.engines`); the
+        #: model and specification are engine-independent, so the cached
+        #: result/spec need no per-engine key.
+        self.engine = canonical_window_engine(engine)
         self.rules: tuple[Rule, ...] = tuple(rules)
         if isinstance(database, TemporalDatabase):
             self.database = database
@@ -86,11 +92,12 @@ class TDD:
         self._spec: Union[RelationalSpec, None] = None
 
     @classmethod
-    def from_text(cls, text: str) -> "TDD":
+    def from_text(cls, text: str, engine: str = "seminaive") -> "TDD":
         """Build a TDD from program text (rules + facts, paper syntax)."""
         program = parse_program(text)
         return cls(program.rules, program.facts,
-                   temporal_preds=program.temporal_preds)
+                   temporal_preds=program.temporal_preds,
+                   engine=engine)
 
     # -- evaluation ---------------------------------------------------------
 
@@ -103,6 +110,7 @@ class TDD:
         plain one, so follow-up queries reuse it.
         """
         if bt_kwargs:
+            bt_kwargs.setdefault("engine", self.engine)
             return bt_evaluate(self.rules, self.database,
                                stats=stats, tracer=tracer,
                                metrics=metrics, **bt_kwargs)
@@ -110,7 +118,8 @@ class TDD:
                 or tracer is not None or metrics is not None:
             self._result = bt_evaluate(self.rules, self.database,
                                        stats=stats, tracer=tracer,
-                                       metrics=metrics)
+                                       metrics=metrics,
+                                       engine=self.engine)
         return self._result
 
     def specification(self) -> RelationalSpec:

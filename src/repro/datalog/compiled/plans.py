@@ -1,0 +1,515 @@
+"""Rule compilation: ordered atom sequences, index probes, projection.
+
+Each (rule, lead-atom) pair is compiled **once** into a
+:class:`JoinPlan`: the greedy join order of
+:func:`repro.datalog.engine.plan_order` with the delta atom leading, a
+:class:`ProbeStep` per body atom describing *how* it will be matched
+(delta scan, index probe on the bound argument positions, membership
+check, or relation scan), and a generated Python function — nested
+loops over int tuples with plain local-variable registers — that the
+semi-naive loop replays every round.
+
+The generated function has the fixed signature::
+
+    plan(DREL, store, OUT, horizon) -> (probes, firings, new, dup)
+
+where ``DREL`` is the round's delta relations (pred -> time -> rows),
+``store`` the :class:`~repro.datalog.compiled.store.CompiledStore`,
+``OUT`` the next delta being accumulated, and the four counters mean
+exactly what they mean in :func:`repro.temporal.operator.fixpoint`:
+complete body bindings, bindings surviving negation, facts that grew
+the model, and re-derivations of present facts.  Head emission is
+inlined — membership check, store insert, next-delta insert, and the
+unrolled maintenance of every registered index on the head predicate.
+
+Probe semantics mirror the generic engine: index buckets are lists (an
+append during iteration is visible, as with the generic store's lazy
+indexes), and any scan over a relation the rule itself derives is
+materialized first (the generic ``lookup_at`` copies unindexed slices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import FunctionType
+from typing import Sequence, Union
+
+from ...lang.errors import EvaluationError
+from ...lang.rules import Rule
+from ...lang.terms import Const
+from ..engine import plan_order
+from .symbols import SymbolTable
+
+
+class CompileError(EvaluationError):
+    """A rule cannot be compiled (unsafe variables, bad time terms)."""
+
+
+@dataclass(frozen=True)
+class ProbeStep:
+    """How one body atom is matched, decided at compile time.
+
+    ``mode`` is ``"delta"`` (the lead atom, scanned from the round's
+    delta), ``"index"`` (hash probe on ``index_positions``),
+    ``"member"`` (all data positions bound: one membership check),
+    ``"scan"`` (no bound positions: enumerate the slice), or
+    ``"absent"`` (a negative literal: membership check, inverted).
+    ``time`` says how the atom's temporal term resolves: ``"none"``
+    (non-temporal), ``"ground"``, ``"bound"`` (its variable is already
+    bound), or ``"free"`` (this step binds it by iterating slices).
+    """
+
+    atom_index: int
+    pred: str
+    mode: str
+    time: str
+    bound_positions: tuple[int, ...] = ()
+    out_positions: tuple[int, ...] = ()
+    check_positions: tuple[int, ...] = ()
+    index_positions: Union[tuple[int, ...], None] = None
+
+
+@dataclass
+class JoinPlan:
+    """One compiled (rule, lead) pair: inspectable steps + the function.
+
+    The generated function's relation and index dictionaries are not
+    looked up per call: they are trailing parameters with ``None``
+    defaults, and :meth:`bind` clones the function with the defaults
+    replaced by a concrete store's dicts (``binds`` names them, in
+    parameter order).  The engine binds every plan once per evaluation
+    and then calls ``fn(delta_slices, out, horizon)`` each round with
+    zero prefetch work.
+    """
+
+    rule: Rule
+    lead: int
+    order: tuple[int, ...]
+    steps: tuple[ProbeStep, ...]
+    source: str
+    binds: tuple = ()
+    fn: object = field(default=None, repr=False)
+
+    @property
+    def lead_pred(self) -> str:
+        return self.rule.body[self.lead].pred
+
+    def bind(self, store):
+        """The plan function with ``store``'s dicts baked in as defaults."""
+        values = []
+        rel = store.rel
+        for kind, key in self.binds:
+            if kind == "rel":
+                d = rel.get(key)
+                if d is None:
+                    d = rel[key] = {}
+                values.append(d)
+            else:
+                values.append(store.idx[key])
+        fn = self.fn
+        return FunctionType(fn.__code__, fn.__globals__, fn.__name__,
+                            tuple(values))
+
+    def describe(self) -> str:
+        """A compact one-line rendering of the probe sequence."""
+        parts = []
+        for step in self.steps:
+            if step.mode == "delta":
+                parts.append(f"Δ{step.pred}")
+            elif step.mode == "index":
+                positions = ",".join(map(str, step.index_positions))
+                parts.append(f"{step.pred}[idx {positions}]")
+            elif step.mode == "member":
+                parts.append(f"{step.pred}?")
+            elif step.mode == "absent":
+                parts.append(f"¬{step.pred}?")
+            else:
+                parts.append(f"{step.pred}*")
+        return " ⨝ ".join(parts) + f" → {self.rule.head.pred}"
+
+
+# -- analysis ------------------------------------------------------------
+
+
+@dataclass
+class _Arg:
+    """One argument position of an atom, resolved against the bindings."""
+
+    kind: str  # "const" | "bound" | "bind" | "check"
+    expr: str = ""       # value expression (const literal or local name)
+    local: str = ""      # for "bind": the fresh local; for "check": bound
+
+
+@dataclass
+class _StepInfo:
+    """Everything codegen needs for one body atom, in join order."""
+
+    atom_index: int
+    pred: str
+    mode: str
+    time: str            # "none" | "ground" | "bound" | "free"
+    time_expr: str = ""  # fact-time expression when time is not "free"
+    offset: int = 0
+    time_local: str = "" # for "free": the local the base time binds to
+    args: tuple = ()
+    step: Union[ProbeStep, None] = None
+
+
+class _Analyzer:
+    """Walks a join order once, assigning locals and deciding modes."""
+
+    def __init__(self, rule: Rule, lead: int,
+                 symbols: SymbolTable) -> None:
+        self.rule = rule
+        self.lead = lead
+        self.symbols = symbols
+        self.data_locals: dict[str, str] = {}
+        self.time_locals: dict[str, str] = {}
+
+    def _fail(self, message: str) -> CompileError:
+        return CompileError(f"cannot compile rule {self.rule}: {message}")
+
+    def _analyze_args(self, atom) -> list[_Arg]:
+        args: list[_Arg] = []
+        fresh: dict[str, str] = {}
+        for term in atom.args:
+            if isinstance(term, Const):
+                args.append(_Arg("const",
+                                 repr(self.symbols.intern(term.value))))
+            elif term.name in self.data_locals:
+                args.append(_Arg("bound", self.data_locals[term.name]))
+            elif term.name in fresh:
+                args.append(_Arg("check", local=fresh[term.name]))
+            else:
+                local = f"v{len(self.data_locals) + len(fresh)}"
+                fresh[term.name] = local
+                args.append(_Arg("bind", local=local))
+        self.data_locals.update(fresh)
+        return args
+
+    def _analyze_time(self, atom,
+                      bind_free: bool) -> tuple[str, str, int, str]:
+        """(time kind, fact-time expr, offset, free-time local)."""
+        tt = atom.time
+        if tt is None:
+            return "none", "None", 0, ""
+        if tt.var is None:
+            return "ground", repr(tt.offset), tt.offset, ""
+        local = self.time_locals.get(tt.var)
+        if local is not None:
+            expr = local if tt.offset == 0 else f"{local} + {tt.offset}"
+            return "bound", expr, tt.offset, ""
+        if not bind_free:
+            raise self._fail(
+                f"temporal variable {tt.var} of a negative literal or "
+                "head is not bound by the positive body")
+        local = f"w{len(self.time_locals)}"
+        self.time_locals[tt.var] = local
+        return "free", "", tt.offset, local
+
+    def positive(self, atom_index: int, is_lead: bool) -> _StepInfo:
+        atom = self.rule.body[atom_index]
+        kind, expr, offset, local = self._analyze_time(atom,
+                                                       bind_free=True)
+        args = self._analyze_args(atom)
+        bound = tuple(i for i, a in enumerate(args)
+                      if a.kind in ("const", "bound"))
+        out = tuple(i for i, a in enumerate(args) if a.kind == "bind")
+        checks = tuple(i for i, a in enumerate(args)
+                       if a.kind == "check")
+        if is_lead:
+            mode = "delta"
+        elif len(bound) == len(args) and not checks:
+            mode = "member"
+        elif bound:
+            mode = "index"
+        else:
+            mode = "scan"
+        info = _StepInfo(atom_index=atom_index, pred=atom.pred,
+                         mode=mode, time=kind, time_expr=expr,
+                         offset=offset, time_local=local,
+                         args=tuple(args))
+        info.step = ProbeStep(
+            atom_index=atom_index, pred=atom.pred, mode=mode,
+            time=kind, bound_positions=bound, out_positions=out,
+            check_positions=checks,
+            index_positions=bound if mode == "index" else None,
+        )
+        return info
+
+    def negative(self, neg_index: int) -> _StepInfo:
+        atom = self.rule.negative[neg_index]
+        kind, expr, offset, _ = self._analyze_time(atom, bind_free=False)
+        args = self._analyze_args(atom)
+        if any(a.kind in ("bind", "check") for a in args):
+            raise self._fail(
+                f"negative literal {atom} has variables not bound by "
+                "the positive body")
+        bound = tuple(range(len(args)))
+        info = _StepInfo(atom_index=neg_index, pred=atom.pred,
+                         mode="absent", time=kind, time_expr=expr,
+                         offset=offset, args=tuple(args))
+        info.step = ProbeStep(
+            atom_index=neg_index, pred=atom.pred, mode="absent",
+            time=kind, bound_positions=bound,
+        )
+        return info
+
+    def head_time(self) -> tuple[str, str]:
+        """(kind, expr) for the head's temporal term."""
+        kind, expr, _, _ = self._analyze_time(self.rule.head,
+                                              bind_free=False)
+        return kind, expr
+
+    def head_args(self) -> list[str]:
+        exprs = []
+        for term in self.rule.head.args:
+            if isinstance(term, Const):
+                exprs.append(repr(self.symbols.intern(term.value)))
+            else:
+                local = self.data_locals.get(term.name)
+                if local is None:
+                    raise self._fail(
+                        f"head variable {term.name} is not bound by "
+                        "the body (rule is not range-restricted)")
+                exprs.append(local)
+        return exprs
+
+
+# -- code generation -----------------------------------------------------
+
+
+def _tuple_expr(exprs: Sequence[str]) -> str:
+    if not exprs:
+        return "()"
+    return "(" + ", ".join(exprs) + ",)"
+
+
+class _Writer:
+    def __init__(self, depth: int) -> None:
+        self.lines: list[str] = []
+        self.depth = depth
+
+    def emit(self, text: str) -> None:
+        self.lines.append("    " * self.depth + text)
+
+    def indent(self) -> None:
+        self.depth += 1
+
+
+def compile_plan(rule: Rule, lead: int, symbols: SymbolTable,
+                 register_index, head_indexes, plan_name: str,
+                 render_only: bool = False) -> JoinPlan:
+    """Compile one (rule, lead) pair.
+
+    ``register_index(pred, positions)`` is called for every index probe
+    the plan decides on; ``head_indexes`` is the full tuple of position
+    sets registered for the head predicate (known only once every plan
+    of the program has been analyzed — see
+    :func:`~repro.datalog.compiled.engine.compile_program`, which runs
+    an analysis pass with ``render_only=False`` first and then renders).
+    """
+    body = rule.body
+    order = plan_order(body, first=lead)
+    analyzer = _Analyzer(rule, lead, symbols)
+    infos = [analyzer.positive(i, is_lead=(k == 0))
+             for k, i in enumerate(order)]
+    neg_infos = [analyzer.negative(i)
+                 for i in range(len(rule.negative))]
+    for info in infos:
+        if info.mode == "index":
+            register_index(info.pred, info.step.bound_positions)
+    head_kind, head_expr = analyzer.head_time()
+    head_args = analyzer.head_args()
+    steps = tuple(i.step for i in infos) + tuple(i.step
+                                                for i in neg_infos)
+    plan = JoinPlan(rule=rule, lead=lead, order=tuple(order),
+                    steps=steps, source="")
+    if render_only:
+        return plan
+
+    head_pred = rule.head.pred
+    derives = head_pred  # scans over this predicate must be copied
+
+    # Bound parameters: relation/index dicts arrive as trailing
+    # parameters, replaced per store by JoinPlan.bind().
+    binds: list[tuple[str, object]] = []
+    param_names: list[str] = []
+
+    def bind_param(name: str, kind: str, key) -> None:
+        param_names.append(name)
+        binds.append((kind, key))
+
+    for k, info in enumerate(infos[1:] + neg_infos, start=1):
+        if info.mode == "index":
+            bind_param(f"X{k}", "idx",
+                       (info.pred, info.step.bound_positions))
+        if info.mode in ("member", "scan", "absent") or (
+                info.mode == "index" and info.time == "free"):
+            bind_param(f"R{k}", "rel", info.pred)
+    bind_param("H", "rel", head_pred)
+    for j, positions in enumerate(head_indexes):
+        bind_param(f"HX{j}", "idx", (head_pred, positions))
+
+    w = _Writer(1)
+    w.emit("P = 0; F = 0; NEW = 0; DUP = 0")
+    w.emit(f"HO = OUT.get({head_pred!r})")
+    w.emit("if HO is None:")
+    w.emit(f"    HO = OUT[{head_pred!r}] = {{}}")
+    # Hoist probes at fixed timepoints (non-temporal / ground) out of
+    # the loops.  Safe only when the probed predicate is not the one
+    # this plan derives — its slices can appear mid-call.
+    hoisted: set[int] = set()
+    for k, info in enumerate(infos[1:] + neg_infos, start=1):
+        if (info.time in ("none", "ground") and info.pred != derives
+                and info.mode in ("member", "scan", "absent")):
+            hoisted.add(k)
+            w.emit(f"M{k} = R{k}.get({info.time_expr}, ())")
+
+    def emit_arg_bindings(info: _StepInfo, row: str) -> None:
+        for position, arg in enumerate(info.args):
+            if arg.kind == "bind":
+                w.emit(f"{arg.local} = {row}[{position}]")
+        for position, arg in enumerate(info.args):
+            if arg.kind in ("const", "bound"):
+                w.emit(f"if {row}[{position}] != {arg.expr}:")
+                w.emit("    continue")
+            elif arg.kind == "check":
+                w.emit(f"if {row}[{position}] != {arg.local}:")
+                w.emit("    continue")
+
+    def emit_free_time(info: _StepInfo, slice_var: str) -> None:
+        """Bind the step's temporal variable from an iterated slice."""
+        w.emit(f"if {slice_var} is None:")
+        w.emit("    continue")
+        if info.offset:
+            w.emit(f"{info.time_local} = {slice_var} - {info.offset}")
+            w.emit(f"if {info.time_local} < 0:")
+            w.emit("    continue")
+        else:
+            w.emit(f"{info.time_local} = {slice_var}")
+
+    # Lead: scan the delta relation.
+    lead_info = infos[0]
+    if lead_info.time == "free":
+        w.emit("for s0, m0 in D.items():")
+        w.indent()
+        emit_free_time(lead_info, "s0")
+    else:
+        w.emit(f"m0 = D.get({lead_info.time_expr})")
+        w.emit("if m0:")
+        w.indent()
+    if lead_info.args:
+        w.emit("for r0 in m0:")
+        w.indent()
+        emit_arg_bindings(lead_info, "r0")
+    else:
+        w.emit("if m0:")
+        w.indent()
+
+    # Inner positive steps against the full store.
+    for k, info in enumerate(infos[1:], start=1):
+        copy = info.pred == derives
+        key_exprs = [info.args[p].expr
+                     for p in info.step.bound_positions]
+        if info.time == "free":
+            if info.mode == "index":
+                source = f"list(R{k})" if copy else f"R{k}"
+                w.emit(f"for s{k} in {source}:")
+                w.indent()
+                emit_free_time(info, f"s{k}")
+                probe = _tuple_expr([f"s{k}"] + key_exprs)
+                w.emit(f"for r{k} in X{k}.get({probe}, ()):")
+                w.indent()
+                emit_arg_bindings(info, f"r{k}")
+            elif info.mode == "member":
+                source = f"list(R{k})" if copy else f"R{k}"
+                w.emit(f"for s{k} in {source}:")
+                w.indent()
+                emit_free_time(info, f"s{k}")
+                w.emit(f"if {_tuple_expr(key_exprs)} in R{k}[s{k}]:")
+                w.indent()
+            else:  # scan
+                source = (f"list(R{k}.items())" if copy
+                          else f"R{k}.items()")
+                w.emit(f"for s{k}, m{k} in {source}:")
+                w.indent()
+                emit_free_time(info, f"s{k}")
+                rows = f"list(m{k})" if copy else f"m{k}"
+                w.emit(f"for r{k} in {rows}:")
+                w.indent()
+                emit_arg_bindings(info, f"r{k}")
+        else:
+            if info.mode == "index":
+                probe = _tuple_expr([info.time_expr] + key_exprs)
+                w.emit(f"for r{k} in X{k}.get({probe}, ()):")
+                w.indent()
+                emit_arg_bindings(info, f"r{k}")
+            elif info.mode == "member":
+                source = (f"M{k}" if k in hoisted
+                          else f"R{k}.get({info.time_expr}, ())")
+                w.emit(f"if {_tuple_expr(key_exprs)} in {source}:")
+                w.indent()
+            else:  # scan
+                if k in hoisted:
+                    w.emit(f"for r{k} in M{k}:")
+                    w.indent()
+                else:
+                    w.emit(f"m{k} = R{k}.get({info.time_expr})")
+                    w.emit(f"if m{k}:")
+                    w.indent()
+                    rows = f"list(m{k})" if copy else f"m{k}"
+                    w.emit(f"for r{k} in {rows}:")
+                    w.indent()
+                emit_arg_bindings(info, f"r{k}")
+
+    # A complete body binding.
+    w.emit("P += 1")
+    for k, info in enumerate(neg_infos, start=1 + len(infos) - 1):
+        key_exprs = [arg.expr for arg in info.args]
+        source = (f"M{k}" if k in hoisted
+                  else f"R{k}.get({info.time_expr}, ())")
+        w.emit(f"if {_tuple_expr(key_exprs)} not in {source}:")
+        w.indent()
+    w.emit("F += 1")
+    w.emit(f"ht = {head_expr}")
+    if head_kind != "none":
+        w.emit("if ht <= horizon:")
+        w.indent()
+    w.emit(f"hr = {_tuple_expr(head_args)}")
+    w.emit("hs = H.get(ht)")
+    w.emit("if hs is None:")
+    w.emit("    hs = H[ht] = set()")
+    w.emit("if hr in hs:")
+    w.emit("    DUP += 1")
+    w.emit("else:")
+    w.indent()
+    w.emit("hs.add(hr)")
+    w.emit("NEW += 1")
+    w.emit("ho = HO.get(ht)")
+    w.emit("if ho is None:")
+    w.emit("    ho = HO[ht] = set()")
+    w.emit("ho.add(hr)")
+    for j, positions in enumerate(head_indexes):
+        key = _tuple_expr(["ht"] + [head_args[p] for p in positions])
+        w.emit(f"hk{j} = {key}")
+        w.emit(f"hb{j} = HX{j}.get(hk{j})")
+        w.emit(f"if hb{j} is None:")
+        w.emit(f"    HX{j}[hk{j}] = [hr]")
+        w.emit("else:")
+        w.emit(f"    hb{j}.append(hr)")
+
+    signature = ", ".join(["D", "OUT", "horizon"]
+                          + [f"{name}=None" for name in param_names])
+    source = "\n".join(
+        [f"def {plan_name}({signature}):"]
+        + w.lines
+        + ["    return P, F, NEW, DUP"]
+    )
+    namespace: dict = {}
+    exec(compile(source, f"<{plan_name}: {rule}>", "exec"),  # noqa: S102
+         namespace)
+    plan.source = source
+    plan.binds = tuple(binds)
+    plan.fn = namespace[plan_name]
+    return plan

@@ -1,0 +1,206 @@
+"""Int-tuple relation storage with eager positional hash indexes.
+
+A :class:`CompiledStore` is the compiled engine's counterpart of
+:class:`~repro.temporal.store.TemporalStore`: facts are tuples of
+interned ints grouped by ``(predicate, timepoint)``; non-temporal facts
+live under the timepoint ``None`` of the same mapping, so generated
+join code addresses both uniformly.
+
+Indexes differ from the generic store in two ways.  They are *eager*:
+the set of (predicate, argument-positions) pairs a program's join plans
+probe is known at compile time, so the indexes are registered up front,
+built when the database is loaded, and maintained inline by the
+generated head-emission code — never rebuilt mid-evaluation.  And they
+are keyed by ``(timepoint, arg, arg, ...)`` in a single dict per
+(predicate, positions) pair, so a probe is one hash lookup regardless
+of how many slices the relation spans.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+from ...lang.atoms import Fact
+from ...temporal.store import TemporalStore
+from .symbols import SymbolTable
+
+#: A relation: timepoint (or None for non-temporal) -> rows of int ids.
+Slices = dict[Union[int, None], set[tuple]]
+
+
+class CompiledStore:
+    """Interned facts plus the indexes a compiled program declared."""
+
+    __slots__ = ("symbols", "rel", "idx", "registered", "count")
+
+    def __init__(self, symbols: SymbolTable,
+                 registered: Union[dict[str, tuple], None] = None):
+        self.symbols = symbols
+        self.rel: dict[str, Slices] = {}
+        #: (pred, positions) -> {(time, *args-at-positions): [rows]}
+        self.idx: dict[tuple[str, tuple[int, ...]],
+                       dict[tuple, list[tuple]]] = {}
+        #: pred -> tuple of position-sets the program's plans probe.
+        self.registered: dict[str, tuple[tuple[int, ...], ...]] = {}
+        self.count = 0
+        if registered:
+            for pred, position_sets in registered.items():
+                for positions in position_sets:
+                    self.register_index(pred, positions)
+
+    # -- index registry ---------------------------------------------------
+
+    def register_index(self, pred: str,
+                       positions: tuple[int, ...]) -> None:
+        """Declare that plans will probe ``pred`` on ``positions``.
+
+        Builds the index over any rows already present; thereafter
+        :meth:`add` (and the generated emit code, which unrolls the same
+        maintenance) keeps it current.
+        """
+        key = (pred, positions)
+        if key in self.idx:
+            return
+        index: dict[tuple, list[tuple]] = {}
+        self.idx[key] = index
+        existing = self.registered.get(pred, ())
+        self.registered[pred] = existing + (positions,)
+        slices = self.rel.get(pred)
+        if slices:
+            for time, rows in slices.items():
+                for row in rows:
+                    k = (time,) + tuple(row[p] for p in positions)
+                    index.setdefault(k, []).append(row)
+
+    def indexes_for(self, pred: str) -> tuple[tuple[int, ...], ...]:
+        """The registered position-sets for ``pred`` (may be empty)."""
+        return self.registered.get(pred, ())
+
+    # -- mutation ---------------------------------------------------------
+
+    def add(self, pred: str, time: Union[int, None],
+            row: tuple) -> bool:
+        """Insert an already-interned row; True when it was new.
+
+        Maintains every registered index on ``pred`` — the slow-path
+        twin of the unrolled maintenance in generated emit code.
+        """
+        slices = self.rel.get(pred)
+        if slices is None:
+            slices = self.rel[pred] = {}
+        rows = slices.get(time)
+        if rows is None:
+            rows = slices[time] = set()
+        if row in rows:
+            return False
+        rows.add(row)
+        self.count += 1
+        for positions in self.registered.get(pred, ()):
+            index = self.idx[(pred, positions)]
+            k = (time,) + tuple(row[p] for p in positions)
+            bucket = index.get(k)
+            if bucket is None:
+                index[k] = [row]
+            else:
+                bucket.append(row)
+        return True
+
+    def add_fact(self, fact: Fact) -> bool:
+        """Intern and insert one :class:`~repro.lang.atoms.Fact`."""
+        intern = self.symbols.intern
+        return self.add(fact.pred, fact.time,
+                        tuple(intern(value) for value in fact.args))
+
+    def contains(self, pred: str, time: Union[int, None],
+                 row: tuple) -> bool:
+        slices = self.rel.get(pred)
+        if slices is None:
+            return False
+        rows = slices.get(time)
+        return rows is not None and row in rows
+
+    # -- conversion -------------------------------------------------------
+
+    def load(self, store: TemporalStore, horizon: int) -> None:
+        """Intern a temporal store's facts up to ``horizon``.
+
+        Temporal facts beyond the horizon are dropped (the ``L'(0...m)``
+        truncation); the non-temporal part is kept in full.
+        """
+        intern = self.symbols.intern
+        for pred, time, relation in store.slices():
+            if time <= horizon:
+                for args in relation:
+                    self.add(pred, time,
+                             tuple(intern(value) for value in args))
+        nt = store.nt
+        for pred in nt.predicates():
+            for args in nt.relation(pred):
+                self.add(pred, None,
+                         tuple(intern(value) for value in args))
+
+    def facts(self) -> Iterator[Fact]:
+        """Resolve every row back to a :class:`Fact`."""
+        values = self.symbols.resolve_all()
+        for pred, slices in self.rel.items():
+            for time, rows in slices.items():
+                for row in rows:
+                    yield Fact(pred, time,
+                               tuple(values[i] for i in row))
+
+    def to_temporal_store(self) -> TemporalStore:
+        """Resolve the whole store into a fresh TemporalStore.
+
+        Row resolution is memoized across slices: periodic programs
+        re-derive the same few ground rows at thousands of timepoints,
+        so nearly every row after the first slice is a dict hit instead
+        of a fresh tuple.
+        """
+        out = TemporalStore()
+        value = self.symbols.resolve_all().__getitem__
+        nt_add = out.nt.add
+        resolved: dict = {}
+        memo: dict = {}
+        memo_get = memo.get
+        memo_set = memo.setdefault
+        for pred, slices in self.rel.items():
+            by_time = {}
+            for time, rows in slices.items():
+                if time is None:
+                    for row in rows:
+                        nt_add(pred, tuple(map(value, row)))
+                elif rows:
+                    # Nullary rows are () before and after resolution;
+                    # non-empty rows resolve to non-empty (truthy)
+                    # tuples, so `or` short-circuits on memo hits.
+                    if () in rows:
+                        by_time[time] = set(rows)
+                    else:
+                        by_time[time] = {
+                            memo_get(row)
+                            or memo_set(row, tuple(map(value, row)))
+                            for row in rows}
+            if by_time:
+                resolved[pred] = by_time
+        out.adopt_slices(resolved)
+        return out
+
+    def snapshot_rel(self) -> dict[str, Slices]:
+        """A row-level copy of the relations (the round-1 delta).
+
+        The first semi-naive round treats the whole store as the delta;
+        generated lead scans iterate the delta while emits mutate the
+        store, so the two must not share set objects.
+        """
+        return {
+            pred: {time: set(rows) for time, rows in slices.items()
+                   if rows}
+            for pred, slices in self.rel.items()
+        }
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return (f"CompiledStore({self.count} facts, "
+                f"{len(self.idx)} indexes)")

@@ -1,0 +1,112 @@
+"""Dense-int interning of constants and temporal terms.
+
+The compiled engine never joins on Python strings: every data constant
+(and, for callers that need it, every ground temporal term) is interned
+to a dense non-negative int once, and all relations, index keys, and
+generated join code work on those ints.  Ids are append-only — a symbol
+keeps its id for the lifetime of the table, so plans compiled early stay
+valid as the database grows (the iterative-deepening loop re-interns the
+same database against the same table on every window enlargement).
+
+Symbols are *kind-tagged*: the data constant ``"5"`` (a string), the
+data constant ``5`` (an int), and the ground temporal term ``5``
+(``TimeTerm(None, 5)``) all render as ``"5"`` but are three distinct
+symbols.  :class:`~repro.lang.terms.Const` wrappers are transparent:
+``intern(Const(v))`` is ``intern(v)`` — the compiled store keeps raw
+values in its tuples, exactly like :class:`~repro.lang.atoms.Fact`
+does.
+"""
+
+from __future__ import annotations
+
+from threading import Lock
+from typing import Union
+
+from ...lang.terms import Const, TimeTerm
+
+#: What a symbol resolves back to: a raw data value or a temporal term.
+Symbol = Union[str, int, TimeTerm]
+
+#: Internal kind tags (the first element of every key).
+_DATA = 0
+_TIME = 1
+
+
+class SymbolTable:
+    """An append-only bijection between symbols and dense ints.
+
+    ``intern`` accepts raw data values (``str`` / ``int``), ``Const``
+    wrappers (unwrapped to their value), and *ground*
+    :class:`~repro.lang.terms.TimeTerm` objects.  ``resolve`` returns
+    the raw value for data symbols and the ``TimeTerm`` for temporal
+    ones, so ``resolve(intern(x)) == x`` for every raw constant and
+    every ground temporal term.
+    """
+
+    __slots__ = ("_ids", "_symbols", "_lock")
+
+    def __init__(self) -> None:
+        self._ids: dict[tuple, int] = {}
+        self._symbols: list[Symbol] = []
+        # Tables outlive single evaluations (the compiled-program cache
+        # shares one table across every store built for a program), and
+        # QueryService loads stores from worker threads.  Allocation is
+        # double-checked under this lock; the hit path stays lock-free.
+        self._lock = Lock()
+
+    @staticmethod
+    def _key(symbol) -> tuple:
+        if isinstance(symbol, Const):
+            symbol = symbol.value
+        if isinstance(symbol, TimeTerm):
+            if not symbol.is_ground:
+                raise ValueError(
+                    f"cannot intern the non-ground temporal term "
+                    f"{symbol}; only ground terms denote timepoints"
+                )
+            # Tag with the type name too, so a data int never collides
+            # with a temporal depth.
+            return (_TIME, symbol.offset)
+        if not isinstance(symbol, (str, int)):
+            raise TypeError(
+                f"cannot intern {symbol!r}: expected a str/int constant, "
+                "a Const, or a ground TimeTerm"
+            )
+        return (_DATA, type(symbol) is str, symbol)
+
+    def intern(self, symbol) -> int:
+        """The dense id of ``symbol``, allocating one on first sight."""
+        key = self._key(symbol)
+        sid = self._ids.get(key)
+        if sid is None:
+            with self._lock:
+                sid = self._ids.get(key)
+                if sid is None:
+                    sid = len(self._symbols)
+                    if isinstance(symbol, Const):
+                        symbol = symbol.value
+                    self._symbols.append(symbol)
+                    self._ids[key] = sid
+        return sid
+
+    def resolve(self, sid: int) -> Symbol:
+        """The symbol behind ``sid``; raises ``KeyError`` when unknown."""
+        if not 0 <= sid < len(self._symbols):
+            raise KeyError(f"unknown symbol id {sid}")
+        return self._symbols[sid]
+
+    def resolve_all(self) -> list[Symbol]:
+        """All interned symbols, in id order (id ``i`` at position ``i``)."""
+        return list(self._symbols)
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def __contains__(self, symbol) -> bool:
+        try:
+            return self._key(symbol) in self._ids
+        except (TypeError, ValueError):
+            return False
+
+    def __repr__(self) -> str:
+        return f"SymbolTable({len(self._symbols)} symbols)"

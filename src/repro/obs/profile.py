@@ -14,7 +14,8 @@ per-rule attribution three ways:
   and speedscope, one stack per rule with the self-time in
   microseconds.
 
-Engines: ``bt`` (default), ``verbatim`` (Figure 1 word-for-word),
+Engines: ``bt`` (default) and ``compiled`` (the BT driver on the
+compiled window engine), ``verbatim`` (Figure 1 word-for-word),
 ``interval`` (interval algebra) profile the whole model; ``magic`` and
 ``topdown`` are goal-directed and need a ground query atom.
 """
@@ -25,11 +26,9 @@ import json
 from dataclasses import dataclass
 from typing import Union
 
+from ..engines import PROFILE_ENGINES
 from .metrics import MetricsRegistry, RuleMetrics
 from .stats import EvalStats
-
-#: Engine names accepted by :func:`profile_tdd` (and ``--engine``).
-PROFILE_ENGINES = ("bt", "verbatim", "interval", "magic", "topdown")
 
 
 @dataclass
@@ -70,6 +69,11 @@ def profile_tdd(tdd, program: str, engine: str = "bt",
     answer: Union[bool, None] = None
     if engine == "bt":
         tdd.evaluate(stats=stats, tracer=tracer, metrics=registry)
+    elif engine == "compiled":
+        # The same BT driver, with the compiled window engine (interned
+        # ints + indexed join plans) doing each window's fixpoint.
+        tdd.evaluate(stats=stats, tracer=tracer, metrics=registry,
+                     engine="compiled")
     elif engine in ("verbatim", "interval"):
         # These take an explicit window; borrow the one BT settles on
         # (computed uninstrumented, so the profile is engine-pure).

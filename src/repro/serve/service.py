@@ -41,6 +41,7 @@ from ..core.queries import (Query, answers as spec_answers,
                             free_variables, max_ground_time, parse_query)
 from ..core.spec import RelationalSpec, compute_specification
 from ..core.tdd import TDD
+from ..engines import QUERY_ENGINES, canonical_window_engine
 from ..lang.errors import EvaluationError, ReproError
 from ..obs.telemetry import LatencyHistogram, Span, Telemetry
 from ..temporal.bt import bt_evaluate
@@ -71,7 +72,10 @@ class QueryRequest:
     ``"answers"`` (open query, finite answer representation);
     ``deadline`` is a per-request spec-computation budget in seconds;
     ``expand`` additionally enumerates concrete answers up to the given
-    timepoint (``answers`` kind only).
+    timepoint (``answers`` kind only); ``engine`` overrides the
+    service's window engine (``"bt"`` or ``"compiled"``) for this
+    request — the specification (and so the answer) is identical either
+    way, only the compute path differs.
     """
 
     program: str
@@ -79,23 +83,30 @@ class QueryRequest:
     kind: str = "ask"
     deadline: Union[float, None] = None
     expand: Union[int, None] = None
+    engine: Union[str, None] = None
 
     @classmethod
     def from_dict(cls, data: dict) -> "QueryRequest":
         if not isinstance(data, dict):
             raise ValueError("a request must be a JSON object")
         unknown = set(data) - {"program", "query", "kind", "deadline",
-                               "expand"}
+                               "expand", "engine"}
         if unknown:
             raise ValueError(f"unknown request fields {sorted(unknown)}")
         for name in ("program", "query"):
             if not isinstance(data.get(name), str):
                 raise ValueError(f"request field {name!r} must be a "
                                  "string")
+        engine = data.get("engine")
+        if engine is not None and engine not in QUERY_ENGINES:
+            raise ValueError(
+                f"request field 'engine' must be one of "
+                f"{list(QUERY_ENGINES)}, not {engine!r}")
         return cls(program=data["program"], query=data["query"],
                    kind=data.get("kind", "ask"),
                    deadline=data.get("deadline"),
-                   expand=data.get("expand"))
+                   expand=data.get("expand"),
+                   engine=engine)
 
 
 @dataclass
@@ -172,11 +183,17 @@ class QueryService:
                  default_deadline: Union[float, None] = None,
                  max_window: int = 1 << 20,
                  degraded_window: int = DEGRADED_WINDOW,
-                 telemetry: Union[Telemetry, None] = None):
+                 telemetry: Union[Telemetry, None] = None,
+                 engine: str = "bt"):
         self.cache = cache if cache is not None else SpecCache()
         self.default_deadline = default_deadline
         self.max_window = max_window
         self.degraded_window = degraded_window
+        #: Default window engine for spec computations and degraded
+        #: evaluations; a request's ``engine`` field overrides it.
+        #: Validated eagerly so a misconfigured service fails at
+        #: construction, not on the first request.
+        self.engine = canonical_window_engine(engine)
         # A disabled Telemetry still mints trace ids and durations, so
         # every response carries both even without an export sink.
         self.telemetry = (telemetry if telemetry is not None
@@ -226,11 +243,19 @@ class QueryService:
         with self._flight_lock:
             return self._computes.get(key, 0)
 
-    def _compute(self, tdd: TDD,
-                 deadline: Union[float, None]) -> RelationalSpec:
+    def _request_engine(self, request: Union[QueryRequest, None]) -> str:
+        """The window engine a request runs on (canonical name)."""
+        if request is not None and request.engine is not None:
+            return canonical_window_engine(request.engine)
+        return self.engine
+
+    def _compute(self, tdd: TDD, deadline: Union[float, None],
+                 engine: Union[str, None] = None) -> RelationalSpec:
+        engine = engine if engine is not None else self.engine
         if deadline is None:
             return compute_specification(tdd.rules, tdd.database,
-                                         max_window=self.max_window)
+                                         max_window=self.max_window,
+                                         engine=engine)
         start = time.monotonic()
         window_cap = max(64, 4 * (tdd.database.c + 1))
         while True:
@@ -239,7 +264,8 @@ class QueryService:
                     f"spec computation exceeded the {deadline}s budget")
             try:
                 return compute_specification(tdd.rules, tdd.database,
-                                             max_window=window_cap)
+                                             max_window=window_cap,
+                                             engine=engine)
             except EvaluationError:
                 if window_cap >= self.max_window:
                     raise
@@ -248,7 +274,8 @@ class QueryService:
     def specification(self, tdd: TDD,
                       deadline: Union[float, None] = None,
                       key: Union[str, None] = None,
-                      parent: Union[Span, None] = None
+                      parent: Union[Span, None] = None,
+                      engine: Union[str, None] = None
                       ) -> tuple[RelationalSpec, str]:
         """The spec for a TDD, via the cache; returns (spec, source).
 
@@ -258,7 +285,9 @@ class QueryService:
         BT finds no period within ``max_window``.  ``key`` lets callers
         that already know the content key skip re-deriving it;
         ``parent`` is an optional telemetry span the cache-lookup and
-        spec-compute child spans hang off.
+        spec-compute child spans hang off; ``engine`` overrides the
+        service's window engine for a miss (cache keys are engine-free:
+        the spec is the same object whichever engine built it).
         """
         if key is None:
             key = tdd_key(tdd)
@@ -290,7 +319,7 @@ class QueryService:
             span = (None if parent is None
                     else parent.child("spec.compute", key=key[:12]))
             try:
-                spec = self._compute(tdd, deadline)
+                spec = self._compute(tdd, deadline, engine=engine)
             except (DeadlineExceeded, EvaluationError) as exc:
                 if span is not None:
                     span.set_attribute("error", str(exc))
@@ -309,7 +338,8 @@ class QueryService:
                          request: QueryRequest) -> Union[bool, dict]:
         bound = max(self.degraded_window, max_ground_time(query),
                     tdd.database.c)
-        result = bt_evaluate(tdd.rules, tdd.database, window=bound)
+        result = bt_evaluate(tdd.rules, tdd.database, window=bound,
+                             engine=self._request_engine(request))
         if request.kind == "ask":
             return evaluate_on_model(query, result)
         concrete = answers_on_model(query, result, time_bound=bound)
@@ -457,13 +487,21 @@ class QueryService:
                 deadline = self.default_deadline
             else:
                 deadline = max(d for d in deadlines if d is not None)
+            # A group shares one spec computation; when any request in
+            # it names an engine, that engine runs it (the spec itself
+            # is engine-independent, so sharing stays sound).
+            overrides = [requests[i].engine for i in indexes
+                         if requests[i].engine is not None]
+            engine = (canonical_window_engine(overrides[0])
+                      if overrides else self.engine)
             spec: Union[RelationalSpec, None] = None
             source: Union[str, None] = None
             spec_error: Union[Exception, None] = None
             acquire_start = time.monotonic()
             try:
                 spec, source = self.specification(tdd, deadline,
-                                                  key=key, parent=root)
+                                                  key=key, parent=root,
+                                                  engine=engine)
             except (DeadlineExceeded, EvaluationError) as exc:
                 spec_error = exc
             overhead_ms = (parse_ms

@@ -38,13 +38,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence, Union
 
+from ..engines import window_fixpoint
 from ..lang.atoms import Atom, Fact
 from ..lang.errors import EvaluationError
 from ..lang.rules import Rule, validate_rules
 from ..obs.stats import EvalStats
 from ..obs.timing import phase_timer
 from .database import TemporalDatabase
-from .operator import fixpoint as _definite_fixpoint
 from .operator import step
 from .stratified import is_definite, stratified_fixpoint
 from .periodicity import (Period, find_minimal_period,
@@ -55,17 +55,21 @@ from .store import TemporalStore
 
 def evaluate_window(rules: Sequence[Rule], database: TemporalStore,
                     horizon: int, stats=None,
-                    tracer=None, metrics=None) -> TemporalStore:
+                    tracer=None, metrics=None,
+                    engine: str = "seminaive") -> TemporalStore:
     """The window model: truncated least fixpoint, or — for rules with
     negative literals (the stratified extension) — the truncated perfect
-    model computed stratum by stratum."""
+    model computed stratum by stratum.  ``engine`` names the window
+    engine (see :mod:`repro.engines`): ``seminaive`` (the generic loop)
+    or ``compiled`` (interned ints + indexed join plans)."""
+    fixpoint_fn = window_fixpoint(engine)
     if is_definite(rules):
-        return _definite_fixpoint(rules, database, horizon,
-                                  stats=stats, tracer=tracer,
-                                  metrics=metrics)
+        return fixpoint_fn(rules, database, horizon,
+                           stats=stats, tracer=tracer,
+                           metrics=metrics)
     return stratified_fixpoint(rules, database, horizon,
                                stats=stats, tracer=tracer,
-                               metrics=metrics)
+                               metrics=metrics, fixpoint_fn=fixpoint_fn)
 
 
 @dataclass
@@ -191,8 +195,13 @@ def bt_evaluate(rules: Sequence[Rule], database: TemporalDatabase,
                 max_window: int = 1 << 20,
                 evidence: int = 2,
                 stats: Union[EvalStats, None] = None,
-                tracer=None, metrics=None) -> BTResult:
+                tracer=None, metrics=None,
+                engine: str = "seminaive") -> BTResult:
     """Semi-naive BT with period detection.
+
+    ``engine`` selects the window engine each (re-)evaluation runs on
+    (``seminaive`` or ``compiled``; see :mod:`repro.engines`) — the BT
+    driver itself (windowing, deepening, period detection) is shared.
 
     Window selection, in order of precedence:
 
@@ -218,7 +227,7 @@ def bt_evaluate(rules: Sequence[Rule], database: TemporalDatabase,
         with phase_timer(stats, "evaluate", tracer):
             store = evaluate_window(rules, database, m,
                                     stats=stats, tracer=tracer,
-                                    metrics=metrics)
+                                    metrics=metrics, engine=engine)
         with phase_timer(stats, "period_detection", tracer):
             states = store.states(0, m)
             found = find_minimal_period(states, floor=0, g=g,
@@ -248,7 +257,7 @@ def bt_evaluate(rules: Sequence[Rule], database: TemporalDatabase,
         with phase_timer(stats, "evaluate", tracer):
             store = evaluate_window(rules, database, m,
                                     stats=stats, tracer=tracer,
-                                    metrics=metrics)
+                                    metrics=metrics, engine=engine)
         # For non-forward rulesets the right edge of the window is
         # under-derived (facts there lack support from beyond the
         # window), so periods are detected on a trusted sub-window only.

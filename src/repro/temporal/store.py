@@ -187,6 +187,40 @@ class TemporalStore:
 
     # -- iteration / copying -------------------------------------------------
 
+    def slices(self) -> Iterator[tuple[str, int, set[ArgTuple]]]:
+        """Non-empty ``(pred, time, relation)`` triples.
+
+        The raw slice view — no :class:`Fact` objects are materialized,
+        which is what bulk importers (the compiled engine's store
+        loader) want.  The yielded sets are live; callers must not
+        mutate them.
+        """
+        for pred, by_time in self._slices.items():
+            for t, relation in by_time.items():
+                if relation:
+                    yield pred, t, relation
+
+    def adopt_slices(self, slices: dict[str,
+                                        dict[int, set[ArgTuple]]]) -> None:
+        """Install many temporal slices in one step.
+
+        The bulk counterpart of repeated :meth:`add` calls, used when
+        converting a compiled store's int rows back into facts.  Takes
+        ownership of each relation set when the slice is empty here;
+        merges (and drops the slice's lazy indexes) otherwise.
+        """
+        for pred, by_time in slices.items():
+            mine = self._slices.setdefault(pred, {})
+            for time, relation in by_time.items():
+                existing = mine.get(time)
+                if existing:
+                    self._count_temporal += len(relation - existing)
+                    existing |= relation
+                    self._indexes.pop((pred, time), None)
+                else:
+                    mine[time] = relation
+                    self._count_temporal += len(relation)
+
     def temporal_facts(self) -> Iterator[Fact]:
         for pred, by_time in self._slices.items():
             for t, relation in by_time.items():

@@ -42,12 +42,16 @@ def is_definite(rules: Sequence[Rule]) -> bool:
 
 def stratified_fixpoint(rules: Sequence[Rule], database: TemporalStore,
                         horizon: int, stats=None,
-                        tracer=None, metrics=None) -> TemporalStore:
+                        tracer=None, metrics=None,
+                        fixpoint_fn=None) -> TemporalStore:
     """The perfect model of a stratified program, within a window.
 
     Equivalent to :func:`repro.temporal.operator.fixpoint` on definite
     programs (the single stratum).  Raises :class:`EvaluationError` for
-    non-stratifiable programs.
+    non-stratifiable programs.  ``fixpoint_fn`` swaps the per-stratum
+    window engine (any callable with the ``fixpoint`` signature, e.g.
+    :func:`repro.datalog.compiled.compiled_fixpoint`); the default is
+    the generic semi-naive loop.
     """
     proper = [r for r in rules if not r.is_fact]
     facts = [r for r in rules if r.is_fact]
@@ -64,7 +68,8 @@ def stratified_fixpoint(rules: Sequence[Rule], database: TemporalStore,
     if stats is not None and len(groups) > 1:
         stats.engine = "stratified"
         stats.extra["strata"] = len(groups)
+    run = fixpoint if fixpoint_fn is None else fixpoint_fn
     for group in groups:
-        store = fixpoint(group, store, horizon, stats=stats,
-                         tracer=tracer, metrics=metrics)
+        store = run(group, store, horizon, stats=stats,
+                    tracer=tracer, metrics=metrics)
     return store

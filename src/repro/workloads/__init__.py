@@ -8,6 +8,7 @@ multi-separable schedules, and coprime-cycle counters.
 """
 
 from .cycles import (coprime_cycles_database, coprime_cycles_program,
+                     coprime_sync_database, coprime_sync_program,
                      copy_chain_database, copy_chain_program,
                      expected_period, first_primes,
                      single_counter_program)
@@ -23,6 +24,7 @@ __all__ = [
     "travel_agent_program", "paper_travel_database",
     "scaled_travel_database",
     "coprime_cycles_program", "coprime_cycles_database",
+    "coprime_sync_program", "coprime_sync_database",
     "expected_period", "first_primes", "single_counter_program",
     "copy_chain_program", "copy_chain_database",
     "token_ring_program", "ring_database",

@@ -63,6 +63,34 @@ def expected_period(periods: Sequence[int]) -> int:
     return math.lcm(*periods) if periods else 1
 
 
+def coprime_sync_program(periods: Sequence[int]) -> tuple[Rule, ...]:
+    """Coprime counters over tokens, plus the lcm-witness conjunction.
+
+    Each counter carries a data argument (one independent copy of the
+    cycle family per token) and ``sync(T, X)`` holds exactly when every
+    counter fires at once — at multiples of ``lcm(periods)``.  The
+    ``sync`` predicate makes Theorem 3.1's blow-up *observable as one
+    relation*: its period is the primorial itself, not merely the
+    period of the joint model.  The join-dense shape (k-way conjunction
+    on a shared data variable) is also the engine benchmarks' dense
+    counterpart to the bare counters.
+    """
+    lines = [
+        f"tick{i}(T+{p}, X) :- tick{i}(T, X)."
+        for i, p in enumerate(periods)
+    ]
+    body = ", ".join(f"tick{i}(T, X)" for i in range(len(periods)))
+    lines.append(f"sync(T, X) :- {body}.")
+    return parse_rules("\n".join(lines))
+
+
+def coprime_sync_database(periods: Sequence[int],
+                          n_items: int = 1) -> list[Fact]:
+    """Seed every counter at 0 for each of ``n_items`` tokens."""
+    return [Fact(f"tick{i}", 0, (f"item{j}",))
+            for i in range(len(periods)) for j in range(n_items)]
+
+
 def single_counter_program(p: int) -> tuple[Rule, ...]:
     """The paper's even/odd example generalised to step ``p``."""
     return parse_rules(f"tick0(T+{p}) :- tick0(T).")

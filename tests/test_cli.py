@@ -468,6 +468,88 @@ class TestProfileCommand:
         assert code == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_unknown_engine_exits_2_with_registry_error(self, even_file,
+                                                        capsys):
+        """--engine is validated against the engine registry, not a
+        hard-coded argparse choices list: unknown names produce the
+        lint-style `error:` line on stderr and exit code 2."""
+        code, output = run_cli(["profile", even_file,
+                                "--engine", "nope"])
+        assert code == 2
+        assert output == ""
+        err = capsys.readouterr().err
+        assert "error: unknown engine 'nope'" in err
+        for name in ("bt", "compiled", "verbatim", "interval",
+                     "magic", "topdown"):
+            assert name in err
+
+    def test_compiled_engine_profiles(self, travel_file):
+        code, output = run_cli(["profile", travel_file,
+                                "--engine", "compiled",
+                                "--format", "json"])
+        assert code == 0
+        report = json.loads(output)
+        assert report["engine"] == "compiled"
+        assert report["stats"]["engine"] == "compiled"
+        total = sum(r["new_facts"] for r in report["rules"])
+        assert total == report["stats"]["facts_derived"] > 0
+
+    def test_compiled_and_bt_profiles_agree_on_derived(self, even_file):
+        _, bt_out = run_cli(["profile", even_file, "--format", "json"])
+        _, comp_out = run_cli(["profile", even_file,
+                               "--engine", "compiled",
+                               "--format", "json"])
+        bt, comp = json.loads(bt_out), json.loads(comp_out)
+        assert bt["stats"]["facts_derived"] == \
+            comp["stats"]["facts_derived"]
+        assert sum(r["new_facts"] for r in bt["rules"]) == \
+            sum(r["new_facts"] for r in comp["rules"])
+
+
+class TestEngineSelection:
+    """--engine {bt,compiled} on the query-answering commands."""
+
+    def test_ask_answers_match_across_engines(self, travel_file):
+        for query, expected in (("plane(71, hunter)", 0),
+                                ("plane(2, hunter)", 1)):
+            bt_code, bt_out = run_cli(["ask", travel_file, query])
+            c_code, c_out = run_cli(["ask", travel_file, query,
+                                     "--engine", "compiled"])
+            assert (bt_code, bt_out) == (c_code, c_out) == \
+                (expected, "yes\n" if expected == 0 else "no\n")
+
+    def test_stats_name_the_compiled_engine(self, even_file):
+        code, output = run_cli(["ask", even_file, "even(4)",
+                                "--engine", "compiled", "--stats"])
+        assert code == 0
+        assert "engine:" in output and "compiled" in output
+
+    def test_answers_and_spec_accept_the_flag(self, even_file):
+        code, output = run_cli(["answers", even_file, "even(X)",
+                                "--engine", "compiled",
+                                "--expand", "6"])
+        assert code == 0
+        assert "X=6" in output
+        code, output = run_cli(["spec", even_file,
+                                "--engine", "compiled"])
+        assert code == 0
+        assert "rewrite system:  {2 -> 0}" in output
+
+    def test_warm_cache_hit_skips_evaluation(self, even_file, tmp_path):
+        """Spec-cache compatibility: a warm hit answers from the
+        persisted spec with zero evaluation rounds, whatever engine
+        the request names."""
+        cache = str(tmp_path / "spec.sqlite")
+        code, cold = run_cli(["spec", even_file, "--cache", cache,
+                              "--engine", "compiled"])
+        assert code == 0
+        code, warm = run_cli(["spec", even_file, "--cache", cache,
+                              "--engine", "compiled", "--stats"])
+        assert code == 0
+        for line in cold.splitlines():
+            assert line in warm
+        assert "rounds:            0" in warm
+
 
 class TestTraceviewCommand:
     def _record_trace(self, program_file, tmp_path):

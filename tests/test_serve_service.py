@@ -162,10 +162,53 @@ class TestRequestValidation:
         {"program": EVEN},
         {"program": 7, "query": "even(0)"},
         {"program": EVEN, "query": "even(0)", "surprise": 1},
+        {"program": EVEN, "query": "even(0)", "engine": "warp"},
+        {"program": EVEN, "query": "even(0)", "engine": 3},
     ])
     def test_from_dict_rejects(self, bad):
         with pytest.raises(ValueError):
             QueryRequest.from_dict(bad)
+
+    def test_from_dict_accepts_engine(self):
+        request = QueryRequest.from_dict(
+            {"program": EVEN, "query": "even(0)",
+             "engine": "compiled"})
+        assert request.engine == "compiled"
+
+
+class TestEngineSelection:
+    def test_compiled_service_answers_identically(self):
+        bt = QueryService(cache=SpecCache())
+        compiled = QueryService(cache=SpecCache(), engine="compiled")
+        for query in ("even(0)", "even(1)", "even(40)"):
+            a = bt.serve(QueryRequest(program=EVEN, query=query))
+            b = compiled.serve(QueryRequest(program=EVEN, query=query))
+            assert (a.ok, a.answer) == (b.ok, b.answer)
+
+    def test_per_request_override_and_warm_hits(self, service):
+        cold = service.serve(QueryRequest(program=EVEN, query="even(4)",
+                                          engine="compiled"))
+        assert cold.ok and cold.answer is True
+        assert cold.source == "computed"
+        # Cache keys are engine-free: a bt request now hits the spec
+        # the compiled engine built (and vice versa), zero rounds run.
+        warm = service.serve(QueryRequest(program=EVEN,
+                                          query="even(6)"))
+        assert warm.ok and warm.answer is True
+        assert warm.source == "memory"
+        assert service.counters()["spec_computes"] == 1
+
+    def test_unknown_service_engine_rejected_eagerly(self):
+        from repro.lang.errors import EvaluationError
+        with pytest.raises(EvaluationError, match="unknown engine"):
+            QueryService(cache=SpecCache(), engine="warp")
+
+    def test_degraded_path_honours_request_engine(self):
+        strict = QueryService(cache=SpecCache(), default_deadline=0.0)
+        response = strict.serve(QueryRequest(
+            program=EVEN, query="even(8)", engine="compiled"))
+        assert response.ok and response.degraded
+        assert response.answer is True
 
 
 class TestHTTPServer:

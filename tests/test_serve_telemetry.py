@@ -442,6 +442,22 @@ class TestStatsJsonGate:
         assert problems, "expected the gate to flag the mutation"
         assert any(fragment in p for p in problems), problems
 
+    def test_speedup_field_validated(self):
+        """The compiled-engine benches record a measured
+        ``speedup_vs_seminaive`` ratio; the gate accepts positive
+        numbers and rejects everything else (absent is fine)."""
+        checker = self._checker()
+        dump = self._dump(None)
+        record = dump["benchmarks"][0]
+        assert checker.check(dump) == []  # absent: no complaint
+        record["extra_info"]["speedup_vs_seminaive"] = 6.4
+        assert checker.check(dump) == []
+        for bad in (0, -1.5, True, "6x", None):
+            record["extra_info"]["speedup_vs_seminaive"] = bad
+            problems = checker.check(dump)
+            assert any("speedup_vs_seminaive" in p
+                       for p in problems), bad
+
 
 class TestTopCommand:
     def test_renders_dashboard_frames(self, endpoint):

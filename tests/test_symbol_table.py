@@ -1,0 +1,161 @@
+"""Properties of the compiled engine's interning layer.
+
+The invariants the join plans lean on: ``resolve(intern(x)) == x``
+(with the *type* preserved), ids are dense and stable across
+re-interning in any order, and symbols that render identically but
+differ as terms — the string ``"5"``, the int ``5``, and the ground
+temporal term ``5`` — never collide.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.datalog.compiled import SymbolTable
+from repro.lang.terms import Const, TimeTerm
+
+#: Raw data constants as the parser produces them.
+data_constants = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.text(min_size=0, max_size=8),
+)
+
+#: Ground temporal terms (non-negative offsets only, by construction).
+ground_times = st.builds(TimeTerm, st.none(),
+                         st.integers(min_value=0, max_value=1000))
+
+symbols = st.one_of(data_constants, ground_times)
+
+
+class TestRoundTrip:
+    @given(st.lists(symbols, max_size=30))
+    def test_resolve_inverts_intern(self, values):
+        table = SymbolTable()
+        ids = [table.intern(v) for v in values]
+        for value, sid in zip(values, ids):
+            resolved = table.resolve(sid)
+            assert resolved == value
+            assert type(resolved) is type(value)
+
+    @given(st.lists(data_constants, max_size=20))
+    def test_const_wrappers_are_transparent(self, values):
+        table = SymbolTable()
+        for value in values:
+            assert table.intern(Const(value)) == table.intern(value)
+            resolved = table.resolve(table.intern(value))
+            assert not isinstance(resolved, Const)
+            assert resolved == value
+
+    @given(st.lists(symbols, min_size=1, max_size=30), st.randoms())
+    def test_ids_stable_across_reinterning(self, values, rng):
+        table = SymbolTable()
+        first = {i: table.intern(v) for i, v in enumerate(values)}
+        shuffled = list(enumerate(values))
+        rng.shuffle(shuffled)
+        for i, v in shuffled:
+            assert table.intern(v) == first[i]
+
+    @given(st.lists(symbols, max_size=30))
+    def test_ids_are_dense(self, values):
+        table = SymbolTable()
+        for v in values:
+            sid = table.intern(v)
+            assert 0 <= sid < len(table)
+        distinct = len({SymbolTable._key(v) for v in values})
+        assert len(table) == distinct
+        assert table.resolve_all() == \
+            [table.resolve(i) for i in range(len(table))]
+
+
+class TestKindSeparation:
+    """Symbols that print the same but differ as terms stay distinct."""
+
+    def test_string_int_and_time_term_never_collide(self):
+        table = SymbolTable()
+        ids = {table.intern("5"), table.intern(5),
+               table.intern(TimeTerm(None, 5))}
+        assert len(ids) == 3
+        assert table.resolve(table.intern("5")) == "5"
+        assert table.resolve(table.intern(5)) == 5
+        assert table.resolve(table.intern(TimeTerm(None, 5))) == \
+            TimeTerm(None, 5)
+
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_data_int_vs_temporal_depth(self, n):
+        table = SymbolTable()
+        assert table.intern(n) != table.intern(TimeTerm(None, n))
+        assert table.intern(str(n)) != table.intern(n)
+
+    def test_interning_order_does_not_leak_across_kinds(self):
+        # Regression: whichever kind arrives first, lookups stay exact.
+        forward, backward = SymbolTable(), SymbolTable()
+        a = [forward.intern("7"), forward.intern(7),
+             forward.intern(TimeTerm(None, 7))]
+        b = [backward.intern(TimeTerm(None, 7)), backward.intern(7),
+             backward.intern("7")]
+        assert [forward.resolve(i) for i in a] == \
+            list(reversed([backward.resolve(i) for i in b]))
+
+
+class TestErrorsAndMembership:
+    def test_non_ground_time_term_rejected(self):
+        table = SymbolTable()
+        with pytest.raises(ValueError, match="non-ground"):
+            table.intern(TimeTerm("T", 2))
+
+    def test_unsupported_types_rejected(self):
+        table = SymbolTable()
+        with pytest.raises(TypeError, match="cannot intern"):
+            table.intern(3.5)
+        with pytest.raises(TypeError, match="cannot intern"):
+            table.intern(("a", "b"))
+
+    def test_resolve_unknown_id(self):
+        table = SymbolTable()
+        table.intern("a")
+        with pytest.raises(KeyError):
+            table.resolve(1)
+        with pytest.raises(KeyError):
+            table.resolve(-1)
+
+    def test_contains(self):
+        table = SymbolTable()
+        table.intern("a")
+        table.intern(TimeTerm(None, 2))
+        assert "a" in table
+        assert Const("a") in table
+        assert TimeTerm(None, 2) in table
+        assert "b" not in table
+        assert 2 not in table  # data 2 was never interned
+        assert TimeTerm("T", 2) not in table  # non-ground: just False
+        assert 3.5 not in table  # unsupported kind: just False
+
+
+class TestConcurrency:
+    @settings(deadline=None, max_examples=5)
+    @given(st.lists(symbols, min_size=1, max_size=50))
+    def test_concurrent_interning_is_consistent(self, values):
+        """Racing interns must agree on one id per symbol and produce
+        a dense, resolvable table (QueryService loads stores from
+        worker threads against the shared per-program table)."""
+        table = SymbolTable()
+        results: list[dict] = [{} for _ in range(4)]
+
+        def work(slot: dict) -> None:
+            for v in values:
+                slot[SymbolTable._key(v)] = table.intern(v)
+
+        threads = [threading.Thread(target=work, args=(slot,))
+                   for slot in results]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results[0] == results[1] == results[2] == results[3]
+        assert len(table) == len(results[0])
+        for v in values:
+            assert table.resolve(table.intern(v)) == v

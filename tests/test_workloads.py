@@ -8,7 +8,9 @@ from repro.temporal import TemporalDatabase, bt_evaluate
 from repro.workloads import (bounded_path_program, complete_graph,
                              ring_database, token_ring_program,
                              coprime_cycles_database,
-                             coprime_cycles_program, copy_chain_database,
+                             coprime_cycles_program,
+                             coprime_sync_database,
+                             coprime_sync_program, copy_chain_database,
                              copy_chain_program, cycle_graph,
                              expected_period, first_primes,
                              graph_database, line_graph,
@@ -122,6 +124,24 @@ class TestCycles:
 
     def test_cycles_are_multi_separable(self):
         assert is_multi_separable(coprime_cycles_program([2, 3]))
+
+    def test_sync_fires_exactly_at_lcm_multiples(self):
+        primes = [2, 3, 5]
+        rules = coprime_sync_program(primes)
+        db = TemporalDatabase(coprime_sync_database(primes, n_items=2))
+        result = bt_evaluate(rules, db, window=2 * 30)
+        for t in range(0, 61):
+            expected = t % 30 == 0
+            for j in range(2):
+                assert result.store.contains(
+                    "sync", t, (f"item{j}",)) == expected, t
+
+    def test_sync_period_is_the_primorial(self):
+        primes = first_primes(3)
+        rules = coprime_sync_program(primes)
+        db = TemporalDatabase(coprime_sync_database(primes))
+        result = bt_evaluate(rules, db)
+        assert result.period.p == expected_period(primes)
 
 
 class TestTokenRing:
