@@ -92,5 +92,6 @@ def test_compiled_engine_speedup_on_coprime_window(benchmark):
                       metrics=MetricsRegistry())
     record(benchmark, k=len(primes), window=window, engine="compiled",
            facts=len(store), seminaive_seconds=base_s,
-           compiled_seconds=comp_s, speedup_vs_seminaive=ratio)
+           compiled_seconds=comp_s, speedup_vs_seminaive=ratio,
+           speedup_floor=floor)
     record_stats(benchmark, stats)

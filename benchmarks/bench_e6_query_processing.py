@@ -90,7 +90,8 @@ def test_per_query_compiled_engine_speedup(benchmark):
                       metrics=MetricsRegistry())
     record(benchmark, depth=SPEEDUP_DEPTH, mode="bt-per-query",
            engine="compiled", seminaive_seconds=base_s,
-           compiled_seconds=comp_s, speedup_vs_seminaive=ratio)
+           compiled_seconds=comp_s, speedup_vs_seminaive=ratio,
+           speedup_floor=floor)
     record_stats(benchmark, stats)
 
 

@@ -135,5 +135,6 @@ def test_compiled_engine_speedup(benchmark, name):
                       metrics=MetricsRegistry())
     record(benchmark, workload=name, window=window, engine="compiled",
            facts=len(store), seminaive_seconds=base_s,
-           compiled_seconds=comp_s, speedup_vs_seminaive=ratio)
+           compiled_seconds=comp_s, speedup_vs_seminaive=ratio,
+           speedup_floor=SPEEDUP_FLOOR)
     record_stats(benchmark, stats)

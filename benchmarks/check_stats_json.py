@@ -40,7 +40,7 @@ CACHE_FIELDS = (
 #: repro.serve.service._ServeCounters.to_dict).
 SERVE_FIELDS = (
     "requests", "batches", "batched_requests", "max_batch", "asks",
-    "open_queries", "degraded", "errors", "spec_computes",
+    "open_queries", "degraded", "refused", "errors", "spec_computes",
     "singleflight_waits",
 )
 
@@ -179,8 +179,11 @@ def check_latency_block(name: str, stats: dict) -> list[str]:
 
 def check_speedup_field(name: str, extra_info: dict) -> list[str]:
     """Validate ``speedup_vs_seminaive`` when present: a positive
-    number (booleans rejected), as the compiled-engine benchmarks in
-    E3/E6/E7 record alongside the asserted floor."""
+    number (booleans rejected).  When the record also carries
+    ``speedup_floor`` (the floor the E3/E6/E7 benches asserted at run
+    time — 0 in smoke mode, 5 at full size), re-check the ratio against
+    it here, so a stats dump produced with assertions stripped or a
+    stale floor still fails the build."""
     if "speedup_vs_seminaive" not in extra_info:
         return []
     value = extra_info["speedup_vs_seminaive"]
@@ -188,6 +191,16 @@ def check_speedup_field(name: str, extra_info: dict) -> list[str]:
             or not isinstance(value, (int, float)) or value <= 0):
         return [f"{name}: speedup_vs_seminaive is {value!r}, "
                 "expected a positive number"]
+    if "speedup_floor" not in extra_info:
+        return []
+    floor = extra_info["speedup_floor"]
+    if (isinstance(floor, bool)
+            or not isinstance(floor, (int, float)) or floor < 0):
+        return [f"{name}: speedup_floor is {floor!r}, "
+                "expected a non-negative number"]
+    if value <= floor:
+        return [f"{name}: speedup_vs_seminaive={value:.2f} does not "
+                f"clear the recorded floor {floor:g}"]
     return []
 
 

@@ -32,6 +32,11 @@ from .engine import (LintResult, UnknownCodeError, lint_file, lint_text,
                      run_checks)
 from .render import (render_json, render_sarif, render_text,
                      source_excerpt)
+# The static analyzer registers the TDD018-TDD021 checks on import and
+# re-exports the classification/reachability/cost API.
+from .static import (ProgramAnalysis, TractabilityReport,
+                     analyze_program, classify_program, cost_order,
+                     predicted_cost, prune_for_query, query_slice)
 
 __all__ = [
     "Diagnostic", "SEVERITIES", "severity_rank", "max_severity",
@@ -41,4 +46,7 @@ __all__ = [
     "LintResult", "UnknownCodeError", "run_checks", "lint_text",
     "lint_file",
     "render_text", "render_json", "render_sarif", "source_excerpt",
+    "ProgramAnalysis", "TractabilityReport", "analyze_program",
+    "classify_program", "cost_order", "predicted_cost",
+    "prune_for_query", "query_slice",
 ]

@@ -57,7 +57,8 @@ class LintContext:
     def __init__(self, rules: Sequence[Rule],
                  facts: Iterable[Fact] = (), *,
                  path: Union[str, None] = None,
-                 source: Union[str, None] = None):
+                 source: Union[str, None] = None,
+                 query: Union[str, None] = None):
         self.all_rules: tuple[Rule, ...] = tuple(rules)
         self.rules: tuple[Rule, ...] = tuple(
             r for r in self.all_rules if not r.is_fact)
@@ -68,6 +69,7 @@ class LintContext:
         self.facts: tuple[Fact, ...] = tuple(fact_list)
         self.path = path
         self.source = source
+        self.query = query
 
     # -- shared caches ------------------------------------------------------
 
@@ -101,13 +103,47 @@ class LintContext:
             return None
 
     @cached_property
-    def inflationary(self) -> Union[bool, None]:
-        from ..core.inflationary import is_inflationary
+    def _witness(self):
+        """("ok", Theorem-5.2 witness-or-None) or ("na", None) when the
+        decision procedure does not apply.  One evaluation feeds both
+        :attr:`inflationary` and :attr:`tractability`."""
+        from ..core.inflationary import inflationary_witness
         from ..lang.errors import ReproError
         try:
-            return is_inflationary(self.rules)
+            return ("ok", inflationary_witness(self.rules))
+        except ReproError:
+            return ("na", None)
+
+    @cached_property
+    def inflationary(self) -> Union[bool, None]:
+        status, witness = self._witness
+        return None if status == "na" else witness is None
+
+    @cached_property
+    def tractability(self):
+        """The static classification (:mod:`repro.analysis.static`), or
+        None when the program is too broken to classify."""
+        from ..lang.errors import ReproError
+        from .static.classes import classify_program
+        try:
+            status, witness = self._witness
+            if status == "ok":
+                return classify_program(
+                    self.rules, separability=self.classification,
+                    witness=witness)
+            return classify_program(
+                self.rules, semantic=False,
+                separability=self.classification)
         except ReproError:
             return None
+
+    @cached_property
+    def reachability(self):
+        """The query slice when a query predicate was given, else None."""
+        from .static.reach import query_slice
+        if self.query is None:
+            return None
+        return query_slice(self.all_rules, self.query)
 
     @cached_property
     def signature(self) -> "dict[str, tuple[bool, int]]":

@@ -81,18 +81,21 @@ def run_checks(rules: Sequence[Rule], facts: Iterable[Fact] = (), *,
                source: Union[str, None] = None,
                select: Union[Iterable[str], None] = None,
                ignore: Union[Iterable[str], None] = None,
+               query: Union[str, None] = None,
                context: Union[LintContext, None] = None
                ) -> list[Diagnostic]:
     """Run the registered checks over a parsed program.
 
     ``select`` restricts to the given codes (or check names); ``ignore``
-    removes codes after selection.  Diagnostics come back sorted by
-    source position, then code.
+    removes codes after selection.  ``query`` names the query predicate
+    and arms the query-gated reachability checks (TDD018/TDD019).
+    Diagnostics come back sorted by source position, then code.
     """
     selected = _normalize_codes(select, "--select")
     ignored = _normalize_codes(ignore, "--ignore") or set()
     if context is None:
-        context = LintContext(rules, facts, path=path, source=source)
+        context = LintContext(rules, facts, path=path, source=source,
+                              query=query)
     diagnostics: list[Diagnostic] = []
     for check in all_checks():
         if selected is not None and check.code not in selected:
@@ -121,7 +124,8 @@ def _parse_stage_diagnostic(exc: LocatedError, path: str,
 
 def lint_text(text: str, path: str = "<program>", *,
               select: Union[Iterable[str], None] = None,
-              ignore: Union[Iterable[str], None] = None) -> LintResult:
+              ignore: Union[Iterable[str], None] = None,
+              query: Union[str, None] = None) -> LintResult:
     """Lint program text: parse-stage errors become diagnostics too.
 
     A program that fails to parse yields exactly one ``TDD000`` (syntax)
@@ -141,13 +145,15 @@ def lint_text(text: str, path: str = "<program>", *,
         return result
     result.diagnostics = run_checks(
         program.rules, program.facts, path=path, source=text,
-        select=select, ignore=ignore)
+        select=select, ignore=ignore, query=query)
     return result
 
 
 def lint_file(path: "str | Path", *,
               select: Union[Iterable[str], None] = None,
-              ignore: Union[Iterable[str], None] = None) -> LintResult:
+              ignore: Union[Iterable[str], None] = None,
+              query: Union[str, None] = None) -> LintResult:
     """Lint one ``.tdd`` file (raises OSError for unreadable paths)."""
     text = Path(path).read_text()
-    return lint_text(text, str(path), select=select, ignore=ignore)
+    return lint_text(text, str(path), select=select, ignore=ignore,
+                     query=query)

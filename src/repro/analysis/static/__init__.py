@@ -1,0 +1,109 @@
+"""The static analyzer: abstract interpretation over TDD rules.
+
+Three passes that run without evaluating the program, bundled by
+:func:`analyze_program` into one :class:`ProgramAnalysis`:
+
+* **classification** (:mod:`~repro.analysis.static.classes`) — where
+  the ruleset sits in the paper's tractability lattice (inflationary >
+  time-only > 1-periodic > unknown), with static per-predicate
+  offset/step bounds and a period stride estimate for certified
+  classes;
+* **reachability** (:mod:`~repro.analysis.static.reach`) — the
+  rule/predicate slice a query predicate can observe, plus the sound
+  :func:`~repro.analysis.static.reach.prune_for_query` transform;
+* **cost** (:mod:`~repro.analysis.static.cost`) — the per-rule join
+  cost model the engines' planner consumes
+  (:func:`repro.datalog.engine.plan_order` orders cheapest-first) and
+  the program-level :func:`~repro.analysis.static.cost.predicted_cost`
+  budget estimate the serving tier uses for admission control.
+
+Importing this package registers the TDD018–TDD021 lint checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence, Union
+
+from ...lang.rules import Rule
+from . import checks as _checks  # noqa: F401  (registers TDD018-021)
+from .classes import (CLASSES, PredicateBounds, TractabilityReport,
+                      classify_program, is_persistence_rule,
+                      persistence_predicates)
+from .cost import (DEFAULT_WINDOW, FANOUT, TIME_FANOUT, PlanCost,
+                   StepChoice, cost_order, fact_sizes, predicted_cost,
+                   rule_cost)
+from .reach import (ReachabilitySlice, prune_for_query, query_slice,
+                    reachable_predicates)
+
+
+@dataclass
+class ProgramAnalysis:
+    """Everything the static analyzer can say about one program."""
+
+    tractability: TractabilityReport
+    reachability: Union[ReachabilitySlice, None] = None
+    costs: "dict[str, PlanCost]" = field(default_factory=dict)
+    budget: float = 0.0
+
+    def to_dict(self) -> dict:
+        out = {
+            "tractability": self.tractability.to_dict(),
+            "predicted_cost": self.budget,
+            "rule_costs": {
+                text: {
+                    "total": plan.total,
+                    "order": list(plan.order),
+                    "steps": [
+                        {"atom": step.atom_index, "pred": step.pred,
+                         "bound_vars": step.bound_vars,
+                         "time": step.time,
+                         "est_matches": step.est_matches,
+                         "est_rows": step.est_rows}
+                        for step in plan.steps
+                    ],
+                }
+                for text, plan in self.costs.items()
+            },
+        }
+        if self.reachability is not None:
+            slice_ = self.reachability
+            out["reachability"] = {
+                "query": slice_.roots[0],
+                "known": slice_.known,
+                "predicates": sorted(slice_.predicates),
+                "live_rules": len(slice_.rules),
+                "dead_rules": [str(r) for r in slice_.dead_rules],
+            }
+        return out
+
+
+def analyze_program(rules: Sequence[Rule], facts: Iterable = (), *,
+                    query: Union[str, None] = None,
+                    semantic: bool = True) -> ProgramAnalysis:
+    """Run all three static passes over one program."""
+    facts = list(facts)
+    proper = [r for r in rules if not r.is_fact]
+    tractability = classify_program(proper, semantic=semantic)
+    sizes = fact_sizes(facts) or None
+    costs = {str(r): rule_cost(r, sizes=sizes) for r in proper}
+    analysis = ProgramAnalysis(
+        tractability=tractability,
+        reachability=(query_slice(rules, query)
+                      if query is not None else None),
+        costs=costs,
+        budget=predicted_cost(rules, facts,
+                              period=tractability.period),
+    )
+    return analysis
+
+
+__all__ = [
+    "ProgramAnalysis", "analyze_program",
+    "CLASSES", "PredicateBounds", "TractabilityReport",
+    "classify_program", "is_persistence_rule", "persistence_predicates",
+    "FANOUT", "TIME_FANOUT", "DEFAULT_WINDOW", "PlanCost", "StepChoice",
+    "cost_order", "rule_cost", "fact_sizes", "predicted_cost",
+    "ReachabilitySlice", "reachable_predicates", "query_slice",
+    "prune_for_query",
+]

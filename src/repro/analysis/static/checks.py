@@ -1,0 +1,148 @@
+"""Lint checks backed by the static analyzer (TDD018–TDD021).
+
+TDD018/TDD019 are *query-gated*: they only fire when the caller names a
+query predicate (``repro lint --query`` / ``repro analyze --query``),
+because without one every derived predicate is a potential query target
+(exactly TDD013's caveat) and reachability flags nothing meaningful.
+TDD020/TDD021 are program-level: they surface what the tractability
+classification (:mod:`repro.analysis.static.classes`) found.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..checks import Check, LintContext, _rule_span, register
+from ..diagnostics import Diagnostic
+
+
+@register
+class UnreachableRuleCheck(Check):
+    code = "TDD018"
+    name = "unreachable-rule"
+    severity = "warning"
+    description = ("With a query predicate given, a rule whose head the "
+                   "query cannot reach can never contribute to the "
+                   "answer.")
+    paper = "query processing, Section 4"
+    hint = "delete the rule, or query a predicate that depends on it"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        slice_ = ctx.reachability
+        if slice_ is None:
+            return
+        if not (slice_.known or ctx.query in ctx.signature):
+            return  # TDD019 reports the unknown query predicate
+        for rule in slice_.dead_rules:
+            yield self.diag(
+                f"rule '{rule}' is unreachable from query predicate "
+                f"{ctx.query}: its head {rule.head.pred} cannot "
+                "contribute to the answer",
+                _rule_span(rule))
+
+
+@register
+class UnreachableFromQueryCheck(Check):
+    code = "TDD019"
+    name = "unreachable-from-query"
+    severity = "warning"
+    description = ("With a query predicate given: the query predicate "
+                   "never occurs, or database facts lie outside its "
+                   "reachable slice.")
+    paper = "query processing, Section 4"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        slice_ = ctx.reachability
+        if slice_ is None:
+            return
+        if not (slice_.known or ctx.query in ctx.signature):
+            yield self.diag(
+                f"query predicate {ctx.query} never occurs in the "
+                "program or database: every answer is empty",
+                hint="check the predicate name for typos")
+            return
+        reachable = set(slice_.predicates)
+        seen: set[str] = set()
+        for fact in ctx.facts:
+            pred = fact.pred
+            if pred in reachable or pred in seen:
+                continue
+            seen.add(pred)
+            yield self.diag(
+                f"facts for predicate {pred} are unreachable from "
+                f"query predicate {ctx.query}",
+                fact.span,
+                hint="prune them, or they are for a different query")
+
+
+@register
+class UnboundedOffsetCheck(Check):
+    code = "TDD020"
+    name = "unbounded-offset"
+    severity = "warning"
+    description = ("No static period bound: recursion advances the "
+                   "temporal offset without a Section 5/6 tractability "
+                   "certificate.")
+    paper = "Theorems 3.1/5.1/6.5"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        report = ctx.tractability
+        if report is None or report.klass != "unknown":
+            return
+        def advances(pred: str) -> bool:
+            for rule in ctx.rules:
+                head = rule.head
+                if head.pred != pred or head.time is None \
+                        or head.time.is_ground:
+                    continue
+                for atom in rule.body:
+                    if atom.pred == pred and atom.time is not None \
+                            and not atom.time.is_ground \
+                            and head.time.offset != atom.time.offset:
+                        return True
+            return False
+
+        marching = sorted(pred for pred, b in report.bounds.items()
+                          if b.period is None and advances(pred))
+        if not marching:
+            return
+        yield self.diag(
+            "no static period bound: recursive temporal predicates "
+            f"{marching} advance the temporal offset without a "
+            "Section 5/6 certificate; the evaluation window may grow "
+            "exponentially (Theorem 3.1)",
+            hint="make the ruleset inflationary or multi-separable")
+
+
+@register
+class PersistenceHintCheck(Check):
+    code = "TDD021"
+    name = "persistence-hint"
+    severity = "info"
+    description = ("The Theorem 5.2 one-fact test failed for a "
+                   "predicate; a persistence rule is the standard way "
+                   "into the inflationary class.")
+    paper = "Theorems 5.1/5.2"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        report = ctx.tractability
+        if report is None or report.klass != "unknown":
+            return
+        if report.inflationary is not False or report.witness is None:
+            return
+        pred, missing = report.witness
+        arity = ctx.signature.get(pred, (True, 0))[1]
+        args = ", ".join(f"X{i}" for i in range(arity))
+        inner = f"T, {args}" if args else "T"
+        shifted = f"T+1, {args}" if args else "T+1"
+        yield self.diag(
+            f"predicate {pred} fails the Theorem 5.2 one-fact test "
+            f"({missing} is not derived from {pred}(0, ...)); adding a "
+            f"persistence rule '{pred}({shifted}) :- {pred}({inner}).' "
+            "is the standard route into the inflationary class "
+            "(tractable by Theorem 5.1)",
+            hint="only add persistence if facts should survive forever")
+
+
+__all__ = ["UnreachableRuleCheck", "UnreachableFromQueryCheck",
+           "UnboundedOffsetCheck", "PersistenceHintCheck"]

@@ -1,0 +1,281 @@
+"""Tractability classification: the static lattice over rule sets.
+
+The paper's positive results are all *static* claims — properties of
+the ruleset alone, checked without evaluating it on a database:
+
+* **inflationary** (Section 5): once true, a fact stays true.  By
+  Theorem 5.1 the least model is then polynomially periodic with period
+  ``(poly(n)+1, 1)``, hence query processing is tractable.  Theorem 5.2
+  makes membership *decidable* via the one-fact test; a purely
+  structural sufficient condition (every derived temporal predicate has
+  a persistence rule ``p(T+1, X̄) :- p(T, X̄)``) is checked first, so the
+  common shape never needs the semantic procedure.
+* **time-only / multi-separable** (Section 6): recursive predicates
+  whose recursion moves only through time (Theorem 6.3) or only through
+  data (Theorem 6.5) give 1-periodic least models, hence tractability.
+* **unknown**: none of the certificates applies.  Not a proof of
+  intractability — Theorem 3.1's exponential-period family lives here,
+  but so do benign programs the syntactic classes simply miss.
+
+The classification lattice, most-informative first::
+
+    inflationary  >  time-only  >  1-periodic  >  unknown
+
+``classify_program`` returns the best class it can certify together
+with per-predicate static offset/step bounds and, for the certified
+classes, a *period stride estimate* — 1 for inflationary programs
+(Theorem 5.1's period is ``(poly(n)+1, 1)``), the lcm of recursion
+strides otherwise.  The stride estimate is a windowing heuristic, not
+a certified period; the dynamic certificates live in
+:mod:`repro.temporal.periodicity`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Union
+
+from ...lang.rules import Rule
+from ...lang.terms import Var
+from .cost import lcm
+
+#: Classification lattice values, most informative first.
+CLASSES = ("inflationary", "time-only", "1-periodic", "unknown")
+
+_UNSET = object()
+
+
+def is_persistence_rule(rule: Rule) -> bool:
+    """``p(T+k+1, X̄) :- p(T+k, X̄)`` with distinct variable arguments.
+
+    The structural shape whose presence for a predicate makes that
+    predicate trivially satisfy the Section 5 implication
+    ``P(t, x̄) ⇒ P(t+1, x̄)``.
+    """
+    if not rule.is_definite or len(rule.body) != 1:
+        return False
+    head, body = rule.head, rule.body[0]
+    if head.pred != body.pred or head.args != body.args:
+        return False
+    if head.time is None or body.time is None:
+        return False
+    if head.time.is_ground or body.time.is_ground:
+        return False
+    if head.time.var != body.time.var:
+        return False
+    if head.time.offset != body.time.offset + 1:
+        return False
+    names = [a.name for a in head.args if isinstance(a, Var)]
+    return (len(names) == len(head.args)
+            and len(set(names)) == len(names))
+
+
+def persistence_predicates(rules: Sequence[Rule]) -> "set[str]":
+    """Predicates covered by a structural persistence rule."""
+    return {r.head.pred for r in rules
+            if not r.is_fact and is_persistence_rule(r)}
+
+
+@dataclass(frozen=True)
+class PredicateBounds:
+    """Static temporal bounds of one predicate.
+
+    ``offset`` is the maximum temporal offset of any occurrence (how
+    far ahead of its rule's frontier the predicate is ever written or
+    read); ``step`` the lcm of its recursive head-body offset gaps (the
+    stride its recursion advances time by, 1 for non-recursive or
+    non-temporal predicates); ``period`` the per-predicate stride
+    estimate when the program's class certifies 1-periodicity (exactly
+    1 for inflationary programs, per Theorem 5.1), else None.
+    """
+
+    pred: str
+    offset: int
+    step: int
+    period: Union[int, None]
+
+
+@dataclass
+class TractabilityReport:
+    """Outcome of the static classification pass."""
+
+    klass: str  # one of CLASSES
+    structurally_inflationary: bool = False
+    inflationary: Union[bool, None] = None  # Theorem 5.2; None = N/A
+    witness: Union[tuple, None] = None  # (pred, missing Fact) when not
+    multi_separable: bool = False
+    mutual_recursion_free: bool = True
+    forward: bool = True
+    lookback: Union[int, None] = None
+    bounds: "dict[str, PredicateBounds]" = field(default_factory=dict)
+    period: Union[int, None] = None  # program-level stride estimate
+    reasons: "list[str]" = field(default_factory=list)
+    offenders: "list[str]" = field(default_factory=list)
+
+    @property
+    def tractable(self) -> bool:
+        """True when the class carries a paper tractability theorem."""
+        return self.klass != "unknown"
+
+    def to_dict(self) -> dict:
+        return {
+            "class": self.klass,
+            "tractable": self.tractable,
+            "structurally_inflationary": self.structurally_inflationary,
+            "inflationary": self.inflationary,
+            "witness": (None if self.witness is None
+                        else {"pred": self.witness[0],
+                              "missing": str(self.witness[1])}),
+            "multi_separable": self.multi_separable,
+            "mutual_recursion_free": self.mutual_recursion_free,
+            "forward": self.forward,
+            "lookback": self.lookback,
+            "period": self.period,
+            "bounds": {pred: {"offset": b.offset, "step": b.step,
+                              "period": b.period}
+                       for pred, b in sorted(self.bounds.items())},
+            "reasons": list(self.reasons),
+            "offenders": list(self.offenders),
+        }
+
+
+def _offset_bounds(proper: Sequence[Rule]) -> "dict[str, int]":
+    """Max temporal offset per predicate over all occurrences."""
+    offsets: dict[str, int] = {}
+    for rule in proper:
+        for atom in rule.atoms():
+            if atom.time is None:
+                continue
+            prev = offsets.get(atom.pred, 0)
+            offsets[atom.pred] = max(prev, atom.time.offset)
+    return offsets
+
+
+def _step_bounds(proper: Sequence[Rule]) -> "dict[str, int]":
+    """Recursion stride per predicate: lcm of head-body offset gaps of
+    directly recursive rules (at least 1)."""
+    steps: dict[str, int] = {}
+    for rule in proper:
+        head = rule.head
+        if head.time is None or head.time.is_ground:
+            continue
+        for atom in rule.body:
+            if atom.pred != head.pred or atom.time is None \
+                    or atom.time.is_ground:
+                continue
+            gap = max(abs(head.time.offset - atom.time.offset), 1)
+            steps[head.pred] = lcm((steps.get(head.pred, 1), gap))
+    return steps
+
+
+def classify_program(rules: Sequence[Rule], *, semantic: bool = True,
+                     separability=None,
+                     witness=_UNSET) -> TractabilityReport:
+    """Classify a ruleset into the static tractability lattice.
+
+    ``semantic`` enables the Theorem 5.2 one-fact procedure (which
+    evaluates ``len(derived preds)`` tiny test databases); with it off
+    only the structural certificates run.  Callers holding cached
+    results (the lint context) can inject ``separability`` (a
+    :class:`~repro.core.classify.SeparabilityReport`) and ``witness``
+    (the :func:`~repro.core.inflationary.inflationary_witness` result,
+    or None-for-inflationary) to avoid recomputation.
+    """
+    from ...core.classify import classify_ruleset
+    from ...lang.errors import ReproError
+    from ...temporal.periodicity import forward_lookback
+
+    proper = [r for r in rules if not r.is_fact]
+    report = TractabilityReport(klass="unknown")
+    report.lookback = forward_lookback(proper)
+    report.forward = report.lookback is not None
+
+    # --- inflationary certificates (Section 5) ---
+    from ...core.inflationary import derived_temporal_predicates
+    derived_temporal = derived_temporal_predicates(proper)
+    persisted = persistence_predicates(proper)
+    report.structurally_inflationary = bool(derived_temporal) and \
+        set(derived_temporal) <= persisted
+    if report.structurally_inflationary:
+        report.inflationary = True
+        report.reasons.append(
+            "every derived temporal predicate has a persistence rule "
+            "p(T+1, X) :- p(T, X) (structural Section 5 certificate)")
+    elif semantic:
+        from ...core.inflationary import inflationary_witness
+        try:
+            found = (inflationary_witness(proper) if witness is _UNSET
+                     else witness)
+            report.inflationary = found is None
+            report.witness = found
+            if found is None:
+                report.reasons.append(
+                    "the Theorem 5.2 one-fact test passes for every "
+                    "derived temporal predicate")
+            else:
+                report.reasons.append(
+                    f"not inflationary: {found[0]}(0, ...) does not "
+                    f"imply {found[1]} (Theorem 5.2 one-fact test)")
+        except ReproError as exc:
+            report.inflationary = None
+            report.reasons.append(
+                f"Theorem 5.2 test not applicable: {exc}")
+
+    # --- separability certificates (Section 6) ---
+    sep = classify_ruleset(proper) if separability is None \
+        else separability
+    report.multi_separable = sep.is_multi_separable
+    report.mutual_recursion_free = sep.mutual_recursion_free
+    report.offenders = [str(r) for r in sep.offending_rules]
+
+    offsets = _offset_bounds(proper)
+    steps = _step_bounds(proper)
+
+    if report.inflationary:
+        report.klass = "inflationary"
+        report.period = 1
+        report.reasons.append(
+            "inflationary => polynomially periodic with period "
+            "(poly(n)+1, 1) (Theorem 5.1)")
+    elif report.multi_separable:
+        kinds = set(sep.predicate_kinds.values())
+        if kinds <= {"time-only"}:
+            report.klass = "time-only"
+            report.reasons.append(
+                "all recursive predicates are time-only => 1-periodic "
+                "(Theorem 6.3)")
+        else:
+            report.klass = "1-periodic"
+            report.reasons.append(
+                "multi-separable (time-only/data-only per recursive "
+                "predicate) => 1-periodic (Theorem 6.5)")
+        report.period = lcm(steps.values()) if steps else 1
+    else:
+        if not sep.mutual_recursion_free:
+            report.reasons.append(
+                "mutually recursive predicates fall outside the "
+                "Section 6 classes")
+        if sep.offending_rules:
+            report.reasons.append(
+                "recursive rules that are neither time-only nor "
+                "data-only: " + "; ".join(report.offenders[:3]))
+        report.reasons.append(
+            "no static tractability certificate applies; evaluation "
+            "may still terminate but no period bound is certified")
+
+    period = report.period
+    for pred in sorted(set(offsets) | set(steps)):
+        report.bounds[pred] = PredicateBounds(
+            pred=pred,
+            offset=offsets.get(pred, 0),
+            step=steps.get(pred, 1),
+            period=(1 if report.klass == "inflationary"
+                    else steps.get(pred, 1) if period is not None
+                    else None),
+        )
+    return report
+
+
+__all__ = ["CLASSES", "PredicateBounds", "TractabilityReport",
+           "classify_program", "is_persistence_rule",
+           "persistence_predicates"]

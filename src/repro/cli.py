@@ -242,8 +242,14 @@ def cmd_spec(args, out: TextIO) -> int:
 def cmd_analyze(args, out: TextIO) -> int:
     tdd = _load(args)
     from .core.analysis import analyze
-    report = analyze(tdd.rules, tdd.database.facts())
-    print(report.render(), file=out)
+    report = analyze(tdd.rules, tdd.database.facts(),
+                     query=args.query)
+    if args.format == "json":
+        import json as _json
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True),
+              file=out)
+    else:
+        print(report.render(), file=out)
     return 0 if not report.warnings else 1
 
 
@@ -256,7 +262,7 @@ def cmd_lint(args, out: TextIO) -> int:
     for path in args.files:
         text = Path(path).read_text()
         results.append(lint_text(text, path, select=select,
-                                 ignore=ignore))
+                                 ignore=ignore, query=args.query))
     if args.format == "json":
         print(render_json(results), file=out)
     elif args.format == "sarif":
@@ -352,7 +358,8 @@ def cmd_serve(args, out: TextIO) -> int:
     service = QueryService(cache=cache,
                            default_deadline=args.deadline,
                            telemetry=Telemetry(tracer),
-                           engine=args.engine)
+                           engine=args.engine,
+                           max_predicted_cost=args.max_predicted_cost)
     if tracer is not None and tracer.enabled:
         # A self-describing trace: the header ties the span stream to
         # the tool version and schema before the first request.
@@ -596,6 +603,12 @@ def build_parser() -> argparse.ArgumentParser:
     analyze = sub.add_parser("analyze", parents=[obs],
                              help="static analysis and lints")
     analyze.add_argument("file")
+    analyze.add_argument("--query", default=None, metavar="PRED",
+                         help="query predicate: arms the reachability "
+                              "checks (TDD018/TDD019) and reports the "
+                              "reachable rule slice")
+    analyze.add_argument("--format", choices=("text", "json"),
+                         default="text")
     analyze.set_defaults(func=cmd_analyze)
 
     lint = sub.add_parser("lint",
@@ -613,6 +626,9 @@ def build_parser() -> argparse.ArgumentParser:
                       default="warning",
                       help="worst severity tolerated before exiting 1 "
                            "(default: warning, i.e. errors gate)")
+    lint.add_argument("--query", default=None, metavar="PRED",
+                      help="query predicate: arms the query-gated "
+                           "reachability checks (TDD018/TDD019)")
     lint.set_defaults(func=cmd_lint)
 
     timeline = sub.add_parser("timeline", parents=[obs],
@@ -680,6 +696,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="window engine for spec computations and "
                             "degraded evaluations (requests may "
                             "override per-request)")
+    serve.add_argument("--max-predicted-cost", type=float,
+                       default=None, metavar="COST",
+                       help="admission control: refuse programs whose "
+                            "static cost estimate (see repro analyze) "
+                            "exceeds COST probe units")
     serve.add_argument("--verbose", action="store_true",
                        help="log one line per HTTP request")
     serve.add_argument("--access-log", metavar="FILE", default=None,

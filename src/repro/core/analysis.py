@@ -18,15 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence, Union
 
-from ..analysis import Diagnostic, run_checks
+from ..analysis import Diagnostic, LintContext, run_checks
+from ..analysis.static import (ProgramAnalysis, fact_sizes,
+                               predicted_cost, query_slice, rule_cost)
 from ..datalog.depgraph import (derived_predicates, is_stratifiable,
                                 recursive_predicates, stratification)
 from ..lang.atoms import Fact
-from ..lang.errors import ClassificationError
 from ..lang.rules import Rule
-from ..temporal.periodicity import forward_lookback
-from .classify import classify_ruleset
-from .inflationary import is_inflationary
 
 __all__ = ["Diagnostic", "ProgramReport", "analyze", "lint",
            "join_plans"]
@@ -34,7 +32,15 @@ __all__ = ["Diagnostic", "ProgramReport", "analyze", "lint",
 
 @dataclass
 class ProgramReport:
-    """The structural analysis of a ruleset (+ optional database)."""
+    """The structural analysis of a ruleset (+ optional database).
+
+    One report, one check registry: the structural fields, the static
+    analyzer's :class:`~repro.analysis.static.ProgramAnalysis` (class
+    in the tractability lattice, per-rule costs, budget estimate,
+    optional query slice) and the diagnostics all come from the same
+    :class:`~repro.analysis.LintContext`, so ``repro analyze`` and
+    ``repro lint`` can never disagree on codes or severities.
+    """
 
     predicates: dict[str, dict] = field(default_factory=dict)
     recursive: set[str] = field(default_factory=set)
@@ -45,6 +51,7 @@ class ProgramReport:
     temporal_depth: int = 0
     inflationary: Union[bool, None] = None
     multi_separable: bool = False
+    analysis: Union[ProgramAnalysis, None] = None
     diagnostics: list[Diagnostic] = field(default_factory=list)
 
     @property
@@ -56,6 +63,16 @@ class ProgramReport:
     @property
     def errors(self) -> list[Diagnostic]:
         return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def tractability_class(self) -> str:
+        if self.analysis is None:
+            return "unknown"
+        return self.analysis.tractability.klass
+
+    @property
+    def predicted_cost(self) -> float:
+        return self.analysis.budget if self.analysis is not None else 0.0
 
     def render(self) -> str:
         lines = ["predicates:"]
@@ -75,14 +92,61 @@ class ProgramReport:
         lines.append(f"max temporal depth g: {self.temporal_depth}")
         lines.append(f"inflationary: {self.inflationary}")
         lines.append(f"multi-separable: {self.multi_separable}")
+        if self.analysis is not None:
+            tract = self.analysis.tractability
+            lines.append(f"tractability class: {tract.klass}"
+                         + (" (tractable)" if tract.tractable
+                            else " (no guarantee)"))
+            if tract.period is not None:
+                lines.append(f"period stride estimate: {tract.period}")
+            for reason in tract.reasons:
+                lines.append(f"  - {reason}")
+            lines.append(
+                f"predicted evaluation cost: {self.analysis.budget:.0f}"
+                " probe units")
+            slice_ = self.analysis.reachability
+            if slice_ is not None:
+                lines.append(
+                    f"query {slice_.roots[0]}: "
+                    f"{len(slice_.rules)} reachable rules, "
+                    f"{len(slice_.dead_rules)} unreachable")
         for diagnostic in self.diagnostics:
             lines.append(str(diagnostic))
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        """JSON shape for ``repro analyze --format json``."""
+        out = {
+            "predicates": {
+                pred: dict(info)
+                for pred, info in sorted(self.predicates.items())
+            },
+            "recursive": sorted(self.recursive),
+            "strata": dict(sorted(self.strata.items())),
+            "stratifiable": self.stratifiable,
+            "forward": self.forward,
+            "lookback": self.lookback,
+            "temporal_depth": self.temporal_depth,
+            "inflationary": self.inflationary,
+            "multi_separable": self.multi_separable,
+            "diagnostics": [
+                {"code": d.code, "name": d.name,
+                 "severity": d.severity, "message": d.message}
+                for d in self.diagnostics
+            ],
+        }
+        if self.analysis is not None:
+            out["analysis"] = self.analysis.to_dict()
+        return out
 
-def analyze(rules: Sequence[Rule],
-            facts: Iterable[Fact] = ()) -> ProgramReport:
-    """Build the structural report for a ruleset (+ optional database)."""
+
+def analyze(rules: Sequence[Rule], facts: Iterable[Fact] = (), *,
+            query: Union[str, None] = None) -> ProgramReport:
+    """Build the structural report for a ruleset (+ optional database).
+
+    ``query`` names the query predicate: it arms the reachability
+    checks (TDD018/TDD019) and attaches the query slice to the report.
+    """
     facts = list(facts)  # may be a generator; we iterate it twice
     proper = [r for r in rules if not r.is_fact]
     fact_list = facts + [r.head.to_fact() for r in rules
@@ -112,32 +176,59 @@ def analyze(rules: Sequence[Rule],
     report.stratifiable = is_stratifiable(proper)
     if report.stratifiable:
         report.strata = stratification(proper)
-    report.lookback = forward_lookback(proper)
-    report.forward = report.lookback is not None
     report.temporal_depth = max(
         (r.temporal_depth for r in proper), default=0)
-    try:
-        report.inflationary = is_inflationary(proper)
-    except ClassificationError:
-        report.inflationary = None
-    report.multi_separable = classify_ruleset(proper).is_multi_separable
 
-    report.diagnostics = run_checks(rules, facts)
+    # One shared context: the diagnostics below and the classification
+    # here reuse the same cached Theorem 5.2 / Section 6 results.
+    context = LintContext(rules, facts, query=query)
+    tractability = context.tractability
+    report.inflationary = context.inflationary
+    if tractability is not None:
+        report.multi_separable = tractability.multi_separable
+        report.lookback = tractability.lookback
+        report.forward = tractability.forward
+        sizes = fact_sizes(fact_list) or None
+        report.analysis = ProgramAnalysis(
+            tractability=tractability,
+            reachability=(query_slice(rules, query)
+                          if query is not None else None),
+            costs={str(r): rule_cost(r, sizes=sizes) for r in proper},
+            budget=predicted_cost(rules, fact_list,
+                                  period=tractability.period),
+        )
+    else:
+        from ..temporal.periodicity import forward_lookback
+        report.lookback = forward_lookback(proper)
+        report.forward = report.lookback is not None
+        from ..lang.errors import ReproError
+        try:
+            from .classify import classify_ruleset
+            report.multi_separable = \
+                classify_ruleset(proper).is_multi_separable
+        except ReproError:
+            report.multi_separable = False
+
+    report.diagnostics = run_checks(rules, facts, context=context)
     return report
 
 
-def lint(rules: Sequence[Rule],
-         facts: Iterable[Fact] = ()) -> list[Diagnostic]:
-    """Run every registered check; see :mod:`repro.analysis.checks`."""
-    return run_checks(rules, facts)
+def lint(rules: Sequence[Rule], facts: Iterable[Fact] = (), *,
+         query: Union[str, None] = None) -> list[Diagnostic]:
+    """Run every registered check; see :mod:`repro.analysis.checks`.
+
+    Delegates to :func:`repro.analysis.run_checks` — the single check
+    registry behind both ``repro analyze`` and ``repro lint``.
+    """
+    return run_checks(rules, facts, query=query)
 
 
 def join_plans(rules: Sequence[Rule]) -> dict[str, list[str]]:
     """The engine's join order per rule (EXPLAIN-style observability).
 
     Maps each rule's text to its body atoms in the order the greedy
-    planner would evaluate them (most-bound-first, as used by the
-    semi-naive engine's non-delta joins).
+    planner would evaluate them (cheapest-first under the static cost
+    model, as used by the semi-naive engine's non-delta joins).
     """
     from ..datalog.engine import plan_order
     plans: dict[str, list[str]] = {}

@@ -30,14 +30,13 @@ materialized first (the generic ``lookup_at`` copies unindexed slices).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from types import FunctionType
 from typing import Sequence, Union
 
 from ...lang.errors import EvaluationError
 from ...lang.rules import Rule
 from ...lang.terms import Const
-from ..engine import plan_order
 from .symbols import SymbolTable
 
 
@@ -57,6 +56,14 @@ class ProbeStep:
     ``time`` says how the atom's temporal term resolves: ``"none"``
     (non-temporal), ``"ground"``, ``"bound"`` (its variable is already
     bound), or ``"free"`` (this step binds it by iterating slices).
+
+    The last three fields record why the planner put the step here:
+    ``bound_vars`` counts the selective positions at choice time
+    (constants, bound variables, repeated fresh variables, plus one for
+    a bound-or-ground time), ``est_matches`` the cost model's expected
+    rows per probe, ``est_rows`` the expected partial bindings alive
+    after the step — the plan rationale ``repro profile --format json``
+    exposes.
     """
 
     atom_index: int
@@ -67,6 +74,9 @@ class ProbeStep:
     out_positions: tuple[int, ...] = ()
     check_positions: tuple[int, ...] = ()
     index_positions: Union[tuple[int, ...], None] = None
+    bound_vars: int = 0
+    est_matches: float = 1.0
+    est_rows: float = 1.0
 
 
 @dataclass
@@ -89,6 +99,7 @@ class JoinPlan:
     source: str
     binds: tuple = ()
     fn: object = field(default=None, repr=False)
+    est_cost: float = 0.0  # cost model's total for this (rule, lead)
 
     @property
     def lead_pred(self) -> str:
@@ -309,8 +320,11 @@ def compile_plan(rule: Rule, lead: int, symbols: SymbolTable,
     :func:`~repro.datalog.compiled.engine.compile_program`, which runs
     an analysis pass with ``render_only=False`` first and then renders).
     """
+    from ...analysis.static.cost import cost_order
+
     body = rule.body
-    order = plan_order(body, first=lead)
+    cost = cost_order(body, first=lead)
+    order = list(cost.order)
     analyzer = _Analyzer(rule, lead, symbols)
     infos = [analyzer.positive(i, is_lead=(k == 0))
              for k, i in enumerate(order)]
@@ -321,10 +335,25 @@ def compile_plan(rule: Rule, lead: int, symbols: SymbolTable,
             register_index(info.pred, info.step.bound_positions)
     head_kind, head_expr = analyzer.head_time()
     head_args = analyzer.head_args()
-    steps = tuple(i.step for i in infos) + tuple(i.step
-                                                for i in neg_infos)
+    # Stamp the cost model's rationale onto the inspectable steps.
+    choices = cost.by_atom()
+    positive_steps = []
+    for info in infos:
+        choice = choices[info.atom_index]
+        positive_steps.append(replace(
+            info.step, bound_vars=choice.bound_vars,
+            est_matches=choice.est_matches, est_rows=choice.est_rows))
+    final_rows = positive_steps[-1].est_rows if positive_steps else 1.0
+    negative_steps = [
+        replace(info.step,
+                bound_vars=len(info.step.bound_positions)
+                + (1 if info.time in ("ground", "bound") else 0),
+                est_matches=1.0, est_rows=final_rows)
+        for info in neg_infos
+    ]
+    steps = tuple(positive_steps) + tuple(negative_steps)
     plan = JoinPlan(rule=rule, lead=lead, order=tuple(order),
-                    steps=steps, source="")
+                    steps=steps, source="", est_cost=cost.total)
     if render_only:
         return plan
 

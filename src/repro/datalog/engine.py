@@ -56,45 +56,20 @@ def _negatives_absent(rule: Rule, binding: Binding,
 
 
 def plan_order(body: Sequence, first: Union[int, None] = None) -> list[int]:
-    """Greedy join order over body atoms.
+    """Greedy join order over body atoms, cheapest-first.
 
     Returns indexes into ``body``.  When ``first`` is given, that atom
     leads (used by semi-naive evaluation to put the delta atom first).
-    At each step, the atom sharing the most already-bound variables (plus
-    constants) is chosen; ties break towards textual order.
+    Ordering delegates to the static cost model
+    (:func:`repro.analysis.static.cost.cost_order`): at each step the
+    atom with the fewest expected matches under the current bindings is
+    chosen; ties break towards textual order.  Every engine (generic
+    and compiled) routes through this function, so same-round index
+    visibility — which depends on join order — stays identical across
+    engines.
     """
-    remaining = set(range(len(body)))
-    order: list[int] = []
-    bound: set[str] = set()
-
-    def bind(i: int) -> None:
-        order.append(i)
-        remaining.discard(i)
-        for arg in body[i].args:
-            if isinstance(arg, Var):
-                bound.add(arg.name)
-        tvar = body[i].temporal_variable()
-        if tvar is not None:
-            bound.add(tvar)
-
-    if first is not None:
-        bind(first)
-    while remaining:
-        def score(i: int) -> tuple[int, int]:
-            atom = body[i]
-            hits = sum(
-                1 for arg in atom.args
-                if isinstance(arg, Const)
-                or (isinstance(arg, Var) and arg.name in bound)
-            )
-            tvar = atom.temporal_variable()
-            if tvar is not None and tvar in bound:
-                hits += 1
-            if atom.time is not None and atom.time.is_ground:
-                hits += 1
-            return (hits, -i)
-        bind(max(remaining, key=score))
-    return order
+    from ..analysis.static.cost import cost_order
+    return list(cost_order(body, first=first).order)
 
 
 def _extend_binding(atom, args: ArgTuple,

@@ -41,11 +41,40 @@ class ProfileReport:
     stats: EvalStats
     #: Goal verdict for the goal-directed engines; None otherwise.
     answer: Union[bool, None] = None
+    #: Chosen join plans with their cost rationale (compiled engine).
+    plans: "list[dict]" = None
 
     @property
     def records(self) -> list[RuleMetrics]:
         """Per-rule records, hottest (most self-time) first."""
         return self.registry.hot("seconds")
+
+
+def _plan_records(rules) -> "list[dict]":
+    """The compiled plans of ``rules``, with the cost model's rationale
+    per probe step — what ``repro profile --format json`` exports."""
+    from ..datalog.compiled import compile_program
+
+    program = compile_program(rules)
+    records = []
+    for rule, per_rule in zip(program.rules, program.plans):
+        for plan in per_rule:
+            records.append({
+                "rule": str(rule),
+                "lead": plan.lead,
+                "order": list(plan.order),
+                "est_cost": plan.est_cost,
+                "describe": plan.describe(),
+                "steps": [
+                    {"atom": step.atom_index, "pred": step.pred,
+                     "mode": step.mode, "time": step.time,
+                     "bound_vars": step.bound_vars,
+                     "est_matches": step.est_matches,
+                     "est_rows": step.est_rows}
+                    for step in plan.steps
+                ],
+            })
+    return records
 
 
 def profile_tdd(tdd, program: str, engine: str = "bt",
@@ -103,8 +132,11 @@ def profile_tdd(tdd, program: str, engine: str = "bt",
             answer = topdown_ask(tdd.rules, tdd.database, query,
                                  stats=stats, tracer=tracer,
                                  metrics=registry)
+    plans = (_plan_records(tdd.rules) if engine == "compiled"
+             else None)
     return ProfileReport(program=program, engine=engine,
-                         registry=registry, stats=stats, answer=answer)
+                         registry=registry, stats=stats, answer=answer,
+                         plans=plans)
 
 
 # -- renderers -----------------------------------------------------------
@@ -161,18 +193,26 @@ def render_table(report: ProfileReport) -> str:
     if stats.period is not None:
         summary += f"   period: (b={stats.period[0]}, p={stats.period[1]})"
     lines.append(summary)
+    if report.plans:
+        lines.append("join plans (cost-ordered):")
+        for plan in report.plans:
+            lines.append(f"  [{plan['est_cost']:.1f}] "
+                         f"{plan['describe']}")
     return "\n".join(lines)
 
 
 def render_json(report: ProfileReport) -> str:
     """Machine output: the records plus the full stats block."""
-    return json.dumps({
+    payload = {
         "program": report.program,
         "engine": report.engine,
         "answer": report.answer,
         "rules": report.registry.to_dict(),
         "stats": report.stats.to_dict(),
-    }, indent=2, sort_keys=True)
+    }
+    if report.plans is not None:
+        payload["plans"] = report.plans
+    return json.dumps(payload, indent=2, sort_keys=True)
 
 
 def render_folded(report: ProfileReport) -> str:

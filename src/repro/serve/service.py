@@ -26,6 +26,18 @@ certified period is found — or BT finds no period at all — the service
 evaluation whose horizon covers the query's ground timepoints, and the
 response is marked ``degraded`` (quantified answers are then relative to
 the window, not the infinite model).
+
+Admission control
+-----------------
+
+A service constructed with ``max_predicted_cost`` (the
+``--max-predicted-cost`` flag of ``repro serve``) runs the static cost
+model (:func:`repro.analysis.static.predicted_cost`) on each program
+before acquiring its spec; a program whose budget estimate exceeds the
+knob is *refused* up front — the response carries ``ok=False`` and
+``refused=True``, mirroring how ``degraded`` marks the windowed
+fallback.  The estimate is memoised per content key, so admission adds
+static-analysis work once per program, not per request.
 """
 
 from __future__ import annotations
@@ -125,6 +137,9 @@ class QueryResponse:
     kind: str
     answer: Union[bool, dict, None] = None
     degraded: bool = False
+    #: True when admission control rejected the program before any spec
+    #: work (its predicted cost exceeded ``max_predicted_cost``).
+    refused: bool = False
     source: Union[str, None] = None
     key: Union[str, None] = None
     error: Union[str, None] = None
@@ -138,6 +153,7 @@ class QueryResponse:
             "kind": self.kind,
             "answer": self.answer,
             "degraded": self.degraded,
+            "refused": self.refused,
             "source": self.source,
             "key": self.key,
             "error": self.error,
@@ -156,6 +172,7 @@ class _ServeCounters:
     asks: int = 0
     open_queries: int = 0
     degraded: int = 0
+    refused: int = 0
     errors: int = 0
     spec_computes: int = 0
     singleflight_waits: int = 0
@@ -170,6 +187,7 @@ class _ServeCounters:
             "asks": self.asks,
             "open_queries": self.open_queries,
             "degraded": self.degraded,
+            "refused": self.refused,
             "errors": self.errors,
             "spec_computes": self.spec_computes,
             "singleflight_waits": self.singleflight_waits,
@@ -184,11 +202,16 @@ class QueryService:
                  max_window: int = 1 << 20,
                  degraded_window: int = DEGRADED_WINDOW,
                  telemetry: Union[Telemetry, None] = None,
-                 engine: str = "bt"):
+                 engine: str = "bt",
+                 max_predicted_cost: Union[float, None] = None):
         self.cache = cache if cache is not None else SpecCache()
         self.default_deadline = default_deadline
         self.max_window = max_window
         self.degraded_window = degraded_window
+        #: Admission-control knob: programs whose static budget estimate
+        #: (:func:`repro.analysis.static.predicted_cost`) exceeds this
+        #: are refused without any spec work.  None disables the gate.
+        self.max_predicted_cost = max_predicted_cost
         #: Default window engine for spec computations and degraded
         #: evaluations; a request's ``engine`` field overrides it.
         #: Validated eagerly so a misconfigured service fails at
@@ -206,6 +229,8 @@ class QueryService:
         self._computes: dict[str, int] = {}
         self._parse_lock = threading.Lock()
         self._parse_memo: OrderedDict[str, tuple[TDD, str]] = OrderedDict()
+        self._cost_lock = threading.Lock()
+        self._cost_memo: dict[str, float] = {}
 
     def _resolve_program(self, program: str) -> tuple[TDD, str]:
         """Parse + content-key a program text, memoised on the raw text.
@@ -227,6 +252,26 @@ class QueryService:
             while len(self._parse_memo) > PARSE_MEMO_SIZE:
                 self._parse_memo.popitem(last=False)
         return tdd, key
+
+    def _predicted_cost(self, tdd: TDD, key: str) -> float:
+        """The static budget estimate for a parsed program, memoised on
+        its content key (admission is per-program work, not per-request).
+
+        Uses the structural classifier only (``semantic=False``): the
+        admission gate must stay cheap relative to the work it guards,
+        and the Theorem 5.2 procedure evaluates test databases.
+        """
+        with self._cost_lock:
+            cached = self._cost_memo.get(key)
+        if cached is not None:
+            return cached
+        from ..analysis.static import classify_program, predicted_cost
+        facts = list(tdd.database.facts())
+        tract = classify_program(tdd.rules, semantic=False)
+        cost = predicted_cost(tdd.rules, facts, period=tract.period)
+        with self._cost_lock:
+            self._cost_memo[key] = cost
+        return cost
 
     # -- spec acquisition (single-flight) --------------------------------
 
@@ -482,6 +527,23 @@ class QueryService:
                 continue
             parse_span.set_attribute("key", key[:12])
             parse_ms = parse_span.end()
+            if self.max_predicted_cost is not None:
+                cost = self._predicted_cost(tdd, key)
+                if cost > self.max_predicted_cost:
+                    with self._counters_lock:
+                        self._counters.refused += len(indexes)
+                    for index in indexes:
+                        responses[index] = QueryResponse(
+                            ok=False, kind=requests[index].kind,
+                            key=key, refused=True,
+                            error=(f"admission control: predicted "
+                                   f"evaluation cost {cost:.1f} exceeds "
+                                   f"max_predicted_cost="
+                                   f"{self.max_predicted_cost:g}"),
+                            duration_ms=parse_ms,
+                            trace_id=root.trace_id)
+                        self.latency.observe(parse_ms)
+                    continue
             deadlines = [requests[i].deadline for i in indexes]
             if any(d is None for d in deadlines):
                 deadline = self.default_deadline
@@ -572,6 +634,9 @@ class QueryService:
         counter("repro_degraded_total",
                 "Responses answered by the windowed fallback.",
                 serve["degraded"])
+        counter("repro_refused_total",
+                "Requests refused by cost-based admission control.",
+                serve["refused"])
         counter("repro_errors_total",
                 "Requests that failed (parse/kind/query errors).",
                 serve["errors"])

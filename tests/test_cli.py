@@ -624,3 +624,105 @@ class TestExplainCommand:
         code, _ = run_cli(["explain", even_file, "even(T)"])
         assert code == 2
         assert "ground atom" in capsys.readouterr().err
+
+
+class TestStaticAnalysisCLI:
+    """The analyzer's CLI surfaces: analyze --format/--query, lint
+    --query, profile's plan export, and the serve admission flag."""
+
+    DEAD = """
+goal(T+1, X) :- step(T, X).
+goal(T+1, X) :- goal(T, X).
+orphan(T+1, X) :- orphan(T, X).
+step(T+1, X) :- step(T, X).
+step(0, a).
+orphan(0, b).
+"""
+
+    @pytest.fixture()
+    def dead_file(self, tmp_path):
+        path = tmp_path / "dead.tdd"
+        path.write_text(self.DEAD)
+        return str(path)
+
+    def test_analyze_text_reports_the_class(self, travel_file):
+        code, output = run_cli(["analyze", travel_file])
+        assert code == 0
+        assert "tractability class: time-only (tractable)" in output
+        assert "predicted evaluation cost:" in output
+
+    def test_analyze_json_carries_the_analysis(self, travel_file):
+        code, output = run_cli(["analyze", travel_file,
+                                "--format", "json"])
+        assert code == 0
+        report = json.loads(output)
+        analysis = report["analysis"]
+        assert analysis["tractability"]["class"] == "time-only"
+        assert analysis["tractability"]["tractable"] is True
+        assert analysis["predicted_cost"] > 0
+        assert analysis["rule_costs"]
+        for plan in analysis["rule_costs"].values():
+            assert sorted(plan["order"]) == list(range(len(plan["order"])))
+            assert all(s["est_matches"] >= 1.0 for s in plan["steps"])
+
+    def test_analyze_query_arms_reachability(self, dead_file):
+        code, output = run_cli(["analyze", dead_file,
+                                "--query", "goal"])
+        assert code == 1  # the unreachable rule is a warning
+        assert "query goal:" in output
+        assert "TDD018" in output
+
+    def test_analyze_json_with_query_has_the_slice(self, dead_file):
+        code, output = run_cli(["analyze", dead_file,
+                                "--query", "goal",
+                                "--format", "json"])
+        report = json.loads(output)
+        reach = report["analysis"]["reachability"]
+        assert reach["query"] == "goal"
+        assert reach["known"] is True
+        assert reach["dead_rules"]
+        assert "orphan" not in reach["predicates"]
+
+    def test_lint_query_flag_fires_tdd018(self, dead_file):
+        # TDD018 is a warning, so it gates at --max-severity info.
+        code, output = run_cli(["lint", dead_file,
+                                "--query", "goal",
+                                "--max-severity", "info"])
+        assert code == 1
+        assert "TDD018" in output
+        code, output = run_cli(["lint", dead_file,
+                                "--max-severity", "info"])
+        assert code == 0
+        assert "TDD018" not in output
+
+    def test_profile_compiled_exports_plans(self, travel_file):
+        code, output = run_cli(["profile", travel_file,
+                                "--engine", "compiled",
+                                "--format", "json"])
+        assert code == 0
+        report = json.loads(output)
+        assert report["plans"]
+        for plan in report["plans"]:
+            assert plan["est_cost"] > 0
+            assert sorted(plan["order"]) == list(range(len(plan["order"])))
+            for step in plan["steps"]:
+                assert step["est_matches"] >= 1.0
+                assert step["bound_vars"] >= 0
+
+    def test_profile_compiled_table_lists_plans(self, travel_file):
+        code, output = run_cli(["profile", travel_file,
+                                "--engine", "compiled"])
+        assert code == 0
+        assert "join plans (cost-ordered):" in output
+
+    def test_profile_bt_has_no_plans_key(self, even_file):
+        _, output = run_cli(["profile", even_file, "--format", "json"])
+        assert "plans" not in json.loads(output)
+
+    def test_serve_parser_accepts_max_predicted_cost(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(
+            ["serve", "--max-predicted-cost", "5000"])
+        assert args.max_predicted_cost == 5000.0
+        args = build_parser().parse_args(["serve"])
+        assert args.max_predicted_cost is None

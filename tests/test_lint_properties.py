@@ -85,8 +85,9 @@ def programs(draw):
     return rule_list, facts
 
 
-def diagnostic_codes(rules_, facts):
-    return Counter(d.code for d in run_checks(rules_, facts))
+def diagnostic_codes(rules_, facts, query=None):
+    return Counter(d.code for d in run_checks(rules_, facts,
+                                              query=query))
 
 
 class TestDiagnosticsRoundTrip:
@@ -106,6 +107,24 @@ class TestDiagnosticsRoundTrip:
         before = diagnostic_codes(rule_list, facts)
         after = diagnostic_codes(list(reparsed.rules),
                                  list(reparsed.facts))
+        assert before == after
+
+    @SETTINGS
+    @given(programs(), st.sampled_from(sorted(PREDICATES) + ["ghost"]))
+    def test_query_aware_codes_survive_reparse(self, program, query):
+        """The query-gated checks (TDD018/TDD019) and the
+        classification-backed ones (TDD020/TDD021) are also functions
+        of structure alone: reparsing the pretty-printed program with a
+        query predicate named must reproduce the same code multiset —
+        including for a query predicate the program never mentions."""
+        rule_list, facts = program
+        temporal_preds = {name for name, (temporal, _)
+                          in PREDICATES.items() if temporal}
+        text = format_program(rule_list, facts, temporal_preds)
+        reparsed = parse_program(text, validate=False)
+        before = diagnostic_codes(rule_list, facts, query=query)
+        after = diagnostic_codes(list(reparsed.rules),
+                                 list(reparsed.facts), query=query)
         assert before == after
 
     @SETTINGS

@@ -285,3 +285,64 @@ class TestHTTPServer:
     def test_unknown_paths_are_404(self, endpoint):
         assert self._get(endpoint, "/nope")[0] == 404
         assert self._post(endpoint, {}, path="/nope")[0] == 404
+
+
+class TestAdmissionControl:
+    """The --max-predicted-cost gate: refuse before any spec work."""
+
+    def test_costly_program_is_refused(self):
+        strict = QueryService(cache=SpecCache(), max_predicted_cost=1.0)
+        response = strict.serve(QueryRequest(program=TRAVEL,
+                                             query="plane(12, hunter)"))
+        assert response.ok is False
+        assert response.refused is True
+        assert response.degraded is False
+        assert "admission control" in response.error
+        assert "max_predicted_cost=1" in response.error
+        assert response.key is not None
+        assert response.trace_id is not None
+        # Refusal happened before spec acquisition: no BT run, and the
+        # whole batch of counters reconciles.
+        counters = strict.counters()
+        assert counters["refused"] == 1
+        assert counters["spec_computes"] == 0
+        assert counters["errors"] == 0
+        assert strict.latency.to_dict()["count"] == 1
+
+    def test_generous_budget_still_answers(self):
+        generous = QueryService(cache=SpecCache(),
+                                max_predicted_cost=1e12)
+        response = generous.serve(QueryRequest(program=EVEN,
+                                               query="even(4)"))
+        assert response.ok is True
+        assert response.refused is False
+        assert response.answer is True
+        assert generous.counters()["refused"] == 0
+
+    def test_gate_disabled_by_default(self, service):
+        assert service.max_predicted_cost is None
+        response = service.serve(QueryRequest(program=EVEN,
+                                              query="even(4)"))
+        assert response.refused is False
+        assert "refused" in response.to_dict()
+
+    def test_whole_group_refused_and_cost_memoised(self):
+        strict = QueryService(cache=SpecCache(), max_predicted_cost=1.0)
+        requests = [QueryRequest(program=TRAVEL,
+                                 query=f"plane({t}, hunter)")
+                    for t in (12, 13, 14)]
+        responses = strict.serve_batch(requests)
+        assert all(r.refused for r in responses)
+        assert strict.counters()["refused"] == 3
+        # One program, one memoised estimate.
+        assert len(strict._cost_memo) == 1
+        strict.serve_batch(requests)
+        assert strict.counters()["refused"] == 6
+        assert len(strict._cost_memo) == 1
+
+    def test_refused_counter_in_metrics_and_stats(self):
+        strict = QueryService(cache=SpecCache(), max_predicted_cost=1.0)
+        strict.serve(QueryRequest(program=TRAVEL,
+                                  query="plane(12, hunter)"))
+        assert "repro_refused_total 1" in strict.prometheus_text()
+        assert strict.stats_dict()["serve"]["refused"] == 1

@@ -1,0 +1,343 @@
+"""The static analyzer: classification, cost model, plan provenance.
+
+Covers the three passes of :mod:`repro.analysis.static` directly —
+tractability classification (including agreement between the structural
+Section 5 certificate and the semantic Theorem 5.2 procedure on the E5
+benchmark's chain rulesets), the join cost model that now backs
+``plan_order`` in every engine, the compiled plans' cost provenance —
+and the TDD018–TDD021 lint checks built on them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_checks
+from repro.analysis.static import (DEFAULT_WINDOW, analyze_program,
+                                   classify_program, cost_order,
+                                   fact_sizes, is_persistence_rule,
+                                   predicted_cost, query_slice,
+                                   rule_cost)
+from repro.core import is_inflationary
+from repro.core.analysis import analyze
+from repro.core.tdd import TDD
+from repro.lang import parse_rules
+from repro.lang.sorts import parse_program
+
+EXAMPLES = sorted(
+    Path(__file__).resolve().parent.parent.glob("examples/programs/*.tdd"))
+
+
+def chain_ruleset(n_predicates: int, inflationary: bool):
+    """The E5 benchmark's ruleset family, verbatim
+    (``benchmarks/bench_e5_decide_inflationary.py``)."""
+    lines = []
+    for i in range(n_predicates - 1):
+        lines.append(f"s{i + 1}(T+1, X) :- s{i}(T, X).")
+        if inflationary:
+            lines.append(f"s{i + 1}(T+1, X) :- s{i + 1}(T, X).")
+    if inflationary:
+        lines.append("s0(T+1, X) :- s0(T, X).")
+    return parse_rules("\n".join(lines))
+
+
+class TestClassification:
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_every_example_classifies(self, path):
+        """Acceptance criterion: no shipped example lands in 'unknown'."""
+        tdd = TDD.from_text(path.read_text())
+        analysis = analyze_program(tdd.rules,
+                                   list(tdd.database.facts()))
+        assert analysis.tractability.klass != "unknown", path.name
+        assert analysis.tractability.tractable
+        assert analysis.budget > 0
+
+    @pytest.mark.parametrize("n", [2, 8])
+    @pytest.mark.parametrize("positive", [True, False],
+                             ids=["inflationary", "not-inflationary"])
+    def test_agrees_with_theorem_5_2_on_e5_inputs(self, n, positive):
+        """The classifier's inflationary verdict matches the dynamic
+        decision procedure on the E5 benchmark's inputs."""
+        rules = chain_ruleset(n, inflationary=positive)
+        report = classify_program(rules)
+        assert report.inflationary is is_inflationary(rules)
+        if positive:
+            # The persistence rules are a structural certificate: the
+            # semantic one-fact procedure never needs to run.
+            assert report.structurally_inflationary
+            assert report.klass == "inflationary"
+            assert report.period == 1
+        else:
+            assert not report.structurally_inflationary
+            assert report.witness is not None
+
+    def test_semantic_off_leaves_inflationary_open(self):
+        rules = chain_ruleset(4, inflationary=False)
+        report = classify_program(rules, semantic=False)
+        assert report.inflationary is None
+        assert not report.structurally_inflationary
+
+    def test_time_only_program(self):
+        rules = parse_rules("even(T+2) :- even(T).")
+        report = classify_program(rules)
+        assert report.klass == "time-only"
+        assert report.period == 2
+        assert report.bounds["even"].step == 2
+
+    def test_unknown_class_has_reasons(self):
+        # Data-and-time recursion in one rule: neither Section 5 nor
+        # Section 6 certifies it.
+        rules = parse_rules("grow(T+1, X) :- grow(T, Y), link(Y, X).")
+        report = classify_program(rules)
+        assert report.klass == "unknown"
+        assert not report.tractable
+        assert report.reasons
+        assert report.period is None
+
+    def test_to_dict_shape(self):
+        report = classify_program(chain_ruleset(3, True))
+        data = report.to_dict()
+        assert data["class"] == "inflationary"
+        assert data["tractable"] is True
+        assert set(data["bounds"]) == {"s0", "s1", "s2"}
+        assert all({"offset", "step", "period"} <= set(b)
+                   for b in data["bounds"].values())
+
+
+class TestPersistenceRules:
+    def test_detects_the_canonical_shape(self):
+        rule = parse_rules("p(T+1, X, Y) :- p(T, X, Y).")[0]
+        assert is_persistence_rule(rule)
+
+    @pytest.mark.parametrize("text", [
+        "p(T+2, X) :- p(T, X).",       # stride 2, not 1
+        "p(T+1, X) :- q(T, X).",       # different predicate
+        "p(T+1, X, X) :- p(T, X, X).",  # repeated variable
+        "p(T+1, a) :- p(T, a).",       # constant argument
+        "p(T+1, X) :- p(T, X), q(T).",  # extra body atom
+    ])
+    def test_rejects_near_misses(self, text):
+        rule = parse_rules(text)[0]
+        assert not is_persistence_rule(rule)
+
+
+class TestCostModel:
+    BODY = parse_rules(
+        "h(T+1, X) :- big(T, X, Y), mid(T, Y), tiny(T).")[0].body
+
+    def test_order_is_a_permutation(self):
+        plan = cost_order(self.BODY)
+        assert sorted(plan.order) == list(range(len(self.BODY)))
+        assert len(plan.steps) == len(self.BODY)
+        assert [s.atom_index for s in plan.steps] == list(plan.order)
+
+    def test_first_pin_leads(self):
+        for lead in range(len(self.BODY)):
+            plan = cost_order(self.BODY, first=lead)
+            assert plan.order[0] == lead
+
+    def test_cheapest_atom_leads_unpinned(self):
+        # tiny/0 is a membership-check after its time binds; with
+        # nothing bound it is the cheapest start (fanout 1 * time).
+        plan = cost_order(self.BODY)
+        assert self.BODY[plan.order[0]].pred == "tiny"
+
+    def test_estimates_are_monotone_bookkeeping(self):
+        plan = cost_order(self.BODY)
+        rows = 1.0
+        total = 0.0
+        for step in plan.steps:
+            rows *= step.est_matches
+            total += rows
+            assert step.est_rows == pytest.approx(rows)
+            assert step.est_matches >= 1.0
+        assert plan.total == pytest.approx(total)
+
+    def test_sizes_override_the_synthetic_base(self):
+        sizes = {"big": 10_000, "mid": 4, "tiny": 1}
+        plan = cost_order(self.BODY, sizes=sizes)
+        # With real counts, the 10k-row relation goes last.
+        assert self.BODY[plan.order[-1]].pred == "big"
+        assert plan.total != cost_order(self.BODY).total
+
+    def test_bound_time_is_selective(self):
+        rule = parse_rules("h(T+1) :- a(T), b(T).")[0]
+        plan = cost_order(rule.body, first=0)
+        follower = plan.steps[1]
+        assert follower.time == "bound"
+        assert follower.est_matches == pytest.approx(1.0)
+
+    def test_predicted_cost_scales_with_period(self):
+        rules = parse_rules("even(T+2) :- even(T).")
+        base = predicted_cost(rules, period=2)
+        assert predicted_cost(rules, period=4) == pytest.approx(2 * base)
+        # No period -> the default serving window.
+        assert predicted_cost(rules) == pytest.approx(
+            base / 2 * DEFAULT_WINDOW)
+
+    def test_fact_sizes_counts_per_predicate(self):
+        program = parse_program("p(0, a).\np(1, b).\nq(c).\n")
+        assert fact_sizes(program.facts) == {"p": 2, "q": 1}
+
+    def test_rule_cost_matches_free_lead(self):
+        rule = parse_rules("h(T+1, X) :- a(T, X), b(T, X).")[0]
+        assert rule_cost(rule) == cost_order(rule.body)
+
+
+class TestPlanProvenance:
+    def test_compiled_plans_carry_cost_rationale(self):
+        from repro.datalog.compiled import compile_program
+        rules = parse_rules(
+            "reach(T+1, X) :- reach(T, Y), edge(Y, X), open(T).")
+        program = compile_program(rules)
+        for per_rule in program.plans:
+            for plan in per_rule:
+                assert plan.est_cost > 0
+                for step in plan.steps:
+                    assert step.est_matches >= 1.0
+                    assert step.est_rows >= 1.0
+                    assert step.bound_vars >= 0
+
+    def test_plan_order_matches_cost_order(self):
+        from repro.datalog.engine import plan_order
+        rule = parse_rules(
+            "h(T, X) :- big(T, X, Y), mid(T, Y), tiny(T).")[0]
+        assert plan_order(rule.body) == list(cost_order(rule.body).order)
+        assert plan_order(rule.body, first=1)[0] == 1
+
+
+class TestStaticChecks:
+    DEAD = """
+        goal(T+1, X) :- step(T, X).
+        goal(T+1, X) :- goal(T, X).
+        orphan(T+1, X) :- other(T, X).
+        orphan(T+1, X) :- orphan(T, X).
+        other(T+1, X) :- other(T, X).
+        step(T+1, X) :- step(T, X).
+        step(0, a).
+        other(0, b).
+    """
+
+    def _codes(self, text, query=None):
+        program = parse_program(text)
+        diags = run_checks(list(program.rules), list(program.facts),
+                           query=query)
+        return {d.code for d in diags}, diags
+
+    def test_query_gated_checks_stay_silent_without_query(self):
+        codes, _ = self._codes(self.DEAD)
+        assert "TDD018" not in codes
+        assert "TDD019" not in codes
+
+    def test_tdd018_flags_unreachable_rules(self):
+        codes, diags = self._codes(self.DEAD, query="goal")
+        assert "TDD018" in codes
+        messages = [d.message for d in diags if d.code == "TDD018"]
+        assert any("orphan" in m for m in messages)
+        assert all("goal(T+1" not in m for m in messages)
+
+    def test_tdd019_flags_unreachable_facts(self):
+        codes, diags = self._codes(self.DEAD, query="goal")
+        assert "TDD019" in codes
+        messages = [d.message for d in diags if d.code == "TDD019"]
+        assert any("other" in m for m in messages)
+
+    def test_tdd019_unknown_query_predicate(self):
+        codes, diags = self._codes(self.DEAD, query="goals")
+        assert codes & {"TDD018", "TDD019"} == {"TDD019"}
+        (diag,) = [d for d in diags if d.code == "TDD019"]
+        assert "never occurs" in diag.message
+
+    def test_tdd020_fires_only_without_certificate(self):
+        unknown = "grow(T+1, X) :- grow(T, Y), link(Y, X), tick(T)."
+        codes, diags = self._codes(unknown)
+        assert "TDD020" in codes
+        (diag,) = [d for d in diags if d.code == "TDD020"]
+        assert "grow" in diag.message
+        codes, _ = self._codes("even(T+2) :- even(T).")
+        assert "TDD020" not in codes
+
+    def test_tdd021_suggests_the_exact_persistence_rule(self):
+        # Non-inflationary and outside Section 6 (data+time recursion
+        # elsewhere keeps the class 'unknown').
+        text = """
+            relay(T+1, X) :- relay(T, Y), wire(Y, X).
+            sig(T+1, X) :- relay(T, X).
+        """
+        codes, diags = self._codes(text)
+        assert "TDD021" in codes
+        (diag,) = [d for d in diags if d.code == "TDD021"]
+        assert "(T+1, X0) :- " in diag.message
+        assert diag.severity == "info"
+
+    def test_examples_stay_clean(self):
+        for path in EXAMPLES:
+            tdd = TDD.from_text(path.read_text())
+            diags = run_checks(tdd.rules, list(tdd.database.facts()))
+            assert not [d for d in diags
+                        if d.code in ("TDD020", "TDD021")], path.name
+
+
+class TestUnifiedReport:
+    def test_analyze_attaches_the_analysis(self):
+        rules = parse_rules("even(T+2) :- even(T).")
+        report = analyze(rules, parse_program("even(0).").facts)
+        assert report.tractability_class == "time-only"
+        assert report.predicted_cost > 0
+        assert report.analysis is not None
+        assert str(rules[0]) in report.analysis.costs
+        rendered = report.render()
+        assert "tractability class: time-only (tractable)" in rendered
+        assert "predicted evaluation cost" in rendered
+
+    def test_analyze_with_query_slices(self):
+        program = parse_program(self.__class__.SLICED)
+        report = analyze(list(program.rules), list(program.facts),
+                         query="goal")
+        slice_ = report.analysis.reachability
+        assert slice_ is not None and slice_.known
+        assert "orphan" not in slice_.predicates
+        assert any(d.code == "TDD018" for d in report.diagnostics)
+        assert "query goal:" in report.render()
+
+    SLICED = """
+        goal(T+1, X) :- step(T, X).
+        goal(T+1, X) :- goal(T, X).
+        orphan(T+1, X) :- orphan(T, X).
+        step(T+1, X) :- step(T, X).
+        step(0, a).
+    """
+
+    def test_to_dict_includes_analysis(self):
+        rules = parse_rules("even(T+2) :- even(T).")
+        data = analyze(rules).to_dict()
+        assert data["analysis"]["tractability"]["class"] == "time-only"
+        assert data["analysis"]["predicted_cost"] > 0
+        assert data["analysis"]["rule_costs"]
+
+    def test_lint_and_analyze_agree_on_codes(self):
+        from repro.core.analysis import lint
+        program = parse_program(self.SLICED)
+        rules, facts = list(program.rules), list(program.facts)
+        report = analyze(rules, facts, query="goal")
+        assert ([d.code for d in report.diagnostics]
+                == [d.code for d in lint(rules, facts, query="goal")])
+
+
+class TestQuerySlice:
+    def test_slice_fields(self):
+        program = parse_program(TestUnifiedReport.SLICED)
+        slice_ = query_slice(list(program.rules), "goal")
+        assert slice_.known
+        assert set(slice_.predicates) == {"goal", "step"}
+        assert len(slice_.rules) == 3
+        assert {r.head.pred for r in slice_.dead_rules} == {"orphan"}
+        assert slice_.dead_predicates == {"orphan"}
+
+    def test_unknown_query_is_flagged_not_sliced(self):
+        program = parse_program(TestUnifiedReport.SLICED)
+        slice_ = query_slice(list(program.rules), "missing")
+        assert not slice_.known
+        assert "missing" in slice_.predicates  # roots always included
