@@ -41,7 +41,7 @@ CACHE_FIELDS = (
 SERVE_FIELDS = (
     "requests", "batches", "batched_requests", "max_batch", "asks",
     "open_queries", "degraded", "refused", "errors", "spec_computes",
-    "singleflight_waits",
+    "singleflight_waits", "explained",
 )
 
 
@@ -177,6 +177,60 @@ def check_latency_block(name: str, stats: dict) -> list[str]:
     return problems
 
 
+#: Keys an ``extra.provenance`` block must carry (see
+#: repro.obs.provenance.ProvenanceStore.stats_dict).
+PROVENANCE_FIELDS = ("facts", "derived", "edges", "max_in_degree",
+                     "depth", "supports")
+
+
+def check_provenance_block(name: str, stats: dict) -> list[str]:
+    """Validate ``extra.provenance`` when present: non-negative counts,
+    derived ≤ facts, edges ≥ derived (one first support each), proof
+    depth bounded by the fact count, and a supports histogram whose
+    observations cover exactly the derived facts."""
+    problems: list[str] = []
+    provenance = stats.get("extra", {}).get("provenance")
+    if provenance is None:
+        return problems
+    if not isinstance(provenance, dict):
+        return [f"{name}: eval_stats.extra.provenance is not an object"]
+    missing = [f for f in PROVENANCE_FIELDS if f not in provenance]
+    if missing:
+        return [f"{name}: eval_stats.extra.provenance missing "
+                f"{', '.join(missing)}"]
+    for field in ("facts", "derived", "edges", "max_in_degree", "depth"):
+        value = provenance[field]
+        if (not isinstance(value, int) or isinstance(value, bool)
+                or value < 0):
+            problems.append(
+                f"{name}: eval_stats.extra.provenance.{field} is "
+                f"{value!r}, expected a non-negative integer")
+    if problems:
+        return problems
+    if provenance["derived"] > provenance["facts"]:
+        problems.append(
+            f"{name}: provenance derived={provenance['derived']} > "
+            f"facts={provenance['facts']}")
+    if provenance["edges"] < provenance["derived"]:
+        problems.append(
+            f"{name}: provenance edges={provenance['edges']} < "
+            f"derived={provenance['derived']} (every derived fact "
+            "carries at least its first support)")
+    if provenance["depth"] > provenance["facts"]:
+        problems.append(
+            f"{name}: provenance depth={provenance['depth']} > "
+            f"facts={provenance['facts']} (a minimal proof cannot be "
+            "deeper than the DAG has nodes)")
+    supports = provenance["supports"]
+    if not isinstance(supports, dict):
+        problems.append(f"{name}: provenance.supports is not an object")
+    elif sum(supports.values()) != provenance["derived"]:
+        problems.append(
+            f"{name}: sum(provenance.supports)={sum(supports.values())}"
+            f" != derived={provenance['derived']}")
+    return problems
+
+
 def check_speedup_field(name: str, extra_info: dict) -> list[str]:
     """Validate ``speedup_vs_seminaive`` when present: a positive
     number (booleans rejected).  When the record also carries
@@ -230,6 +284,7 @@ def check(data: dict) -> list[str]:
         problems.extend(check_rules_block(name, stats))
         problems.extend(check_cache_blocks(name, stats))
         problems.extend(check_latency_block(name, stats))
+        problems.extend(check_provenance_block(name, stats))
     return problems
 
 

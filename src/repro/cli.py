@@ -27,7 +27,17 @@ Commands
     Summarize an existing ``--trace`` file into a round-by-round
     convergence timeline with phase times and the period round.
 ``explain FILE FACT``
-    Print a derivation tree justifying a ground model fact.
+    Print a derivation tree justifying a ground model fact (recorded
+    provenance when available, search-based reconstruction otherwise).
+``why FILE FACT [--format {text,json,dot}]``
+    Print the *recorded* proof tree for a model fact — the proof DAG
+    the engine actually built, verified against the model, with
+    ``file:line`` rule spans (JSON node/edge lists or Graphviz DOT on
+    request).
+``whynot FILE FACT``
+    Explain why a fact is **not** in the model: for each candidate
+    rule, the nearest failed firing — which body literal broke, at
+    which time point.
 ``repl FILE``
     Interactive query loop; ``:period``, ``:spec``, ``:classify``,
     ``:quit`` are built in.
@@ -44,11 +54,14 @@ Commands
 ``cache {ls,rm,stats} CACHE.sqlite``
     Inspect or prune a persistent spec cache file.
 
-``ask``, ``answers`` and ``spec`` also accept ``--cache FILE``: a warm
-cache hit answers from the persisted specification without running BT.
-They (and ``serve``) also accept ``--engine {bt,compiled}`` to pick the
-window engine BT runs on; ``compiled`` interns constants and replays
-indexed join plans for the same answers in less time.
+``ask``, ``answers``, ``spec``, ``why`` and ``whynot`` also accept
+``--cache FILE``: a warm cache hit answers from the persisted
+specification without running BT.  They (and ``serve``) also accept
+``--engine {bt,seminaive,compiled}`` to pick the window engine BT runs
+on; ``compiled`` interns constants and replays indexed join plans for
+the same answers in less time.  ``--trace FILE --trace-provenance N``
+additionally records provenance and samples every Nth derived support
+edge into the trace as a schema-4 ``derive`` event.
 
 Program files use the paper's rule syntax (see README).
 """
@@ -96,12 +109,17 @@ def _load(args) -> TDD:
         from .engines import canonical_window_engine
         tdd.engine = canonical_window_engine(engine)
     stats, tracer = getattr(args, "_obs", (None, None))
+    provenance = None
+    if getattr(args, "trace_provenance", None):
+        from .obs.provenance import ProvenanceStore
+        provenance = ProvenanceStore(tracer=tracer,
+                                     sample=args.trace_provenance)
     if getattr(args, "cache", None):
         from .serve import SpecCache, tdd_key
         cache = SpecCache(args.cache)
         key = tdd_key(tdd)
         spec, source = cache.get_with_source(key)
-        if spec is not None:
+        if spec is not None and provenance is None:
             # Warm path: no BT run at all; queries go straight to the
             # cached finite specification.
             tdd.adopt_specification(spec)
@@ -109,19 +127,20 @@ def _load(args) -> TDD:
             if tracer is not None:
                 tracer.emit_run_start("bt", program=args.file,
                                       text=text)
-            tdd.evaluate(stats=stats, tracer=tracer)
+            tdd.evaluate(stats=stats, tracer=tracer,
+                         provenance=provenance)
             cache.put(key, tdd.specification())
             source = "computed"
         if stats is not None:
             stats.extra["cache"] = dict(cache.counters(),
                                         source=source, key=key)
         return tdd
-    if stats is not None or tracer is not None:
+    if stats is not None or tracer is not None or provenance is not None:
         # Evaluate eagerly under instrumentation; the result is cached,
         # so the command's own queries reuse it.
         if tracer is not None:
             tracer.emit_run_start("bt", program=args.file, text=text)
-        tdd.evaluate(stats=stats, tracer=tracer)
+        tdd.evaluate(stats=stats, tracer=tracer, provenance=provenance)
     return tdd
 
 
@@ -337,6 +356,10 @@ def cmd_explain(args, out: TextIO) -> int:
     from .lang.errors import EvaluationError
     tdd = _load(args)
     atom = _ground_atom(tdd, args.fact, "explain")
+    # Record provenance up front so `explain` returns the proof the
+    # engine actually built (constant-time per node); the search-based
+    # reconstruction remains the fallback for facts outside the store.
+    tdd.provenance()
     try:
         derivation = tdd.explain(atom)
     except EvaluationError as exc:
@@ -345,6 +368,72 @@ def cmd_explain(args, out: TextIO) -> int:
         return 1
     print(derivation.render(), file=out)
     return 0
+
+
+def _fold_to_window(tdd: TDD, fact):
+    """Fold a beyond-horizon ground fact through the period — its
+    derivation is the folded representative's, by periodicity."""
+    from .lang.atoms import Fact
+    result = tdd.evaluate()
+    if (fact.time is not None and fact.time > result.horizon
+            and result.period is not None):
+        return Fact(fact.pred, result.period.fold(fact.time), fact.args)
+    return fact
+
+
+def cmd_why(args, out: TextIO) -> int:
+    from .obs.provenance import render_proof
+    tdd = _load(args)
+    atom = _ground_atom(tdd, args.fact, "why")
+    provenance = tdd.provenance()
+    result = tdd.evaluate()
+    fact = atom.to_fact()
+    folded = _fold_to_window(tdd, fact)
+    derivation = provenance.derivation(folded, database=tdd.database)
+    if derivation is None:
+        print(f"no: {folded} is not in the least model "
+              f"(try `repro whynot`)", file=out)
+        return 1
+    problems = provenance.verify(folded, tdd.database, result.store)
+    if problems:
+        for problem in problems:
+            print(f"error: recorded proof fails verification: "
+                  f"{problem}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(provenance.to_json(root=folded), file=out)
+    elif args.format == "dot":
+        print(provenance.to_dot(root=folded), file=out)
+    else:
+        if folded != fact:
+            period = result.period
+            print(f"{fact} folds to {folded} through the period "
+                  f"(b={period.b}, p={period.p})", file=out)
+        print(render_proof(derivation, path=args.file), file=out)
+    return 0
+
+
+def cmd_whynot(args, out: TextIO) -> int:
+    from .obs.provenance import why_not
+    tdd = _load(args)
+    atom = _ground_atom(tdd, args.fact, "whynot")
+    result = tdd.evaluate()
+    fact = atom.to_fact()
+    folded = _fold_to_window(tdd, fact)
+    report = why_not(tdd.rules, result.store, folded)
+    if args.format == "json":
+        import json as _json
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True),
+              file=out)
+    else:
+        if folded != fact:
+            period = result.period
+            print(f"{fact} folds to {folded} through the period "
+                  f"(b={period.b}, p={period.p})", file=out)
+        print(report.render(args.file), file=out)
+    # A present fact is the wrong tool (like `ask`'s "yes" exiting 0,
+    # the caller asked the inverse question).
+    return 1 if report.in_model else 0
 
 
 def cmd_serve(args, out: TextIO) -> int:
@@ -557,6 +646,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "join probes, period) after the command")
     obs.add_argument("--trace", metavar="FILE", default=None,
                      help="write a JSON-lines evaluation trace to FILE")
+    obs.add_argument("--trace-provenance", type=int, default=None,
+                     metavar="N",
+                     help="with --trace: record derivation provenance "
+                          "and emit every Nth support edge as a "
+                          "schema-4 `derive` trace event")
 
     run = sub.add_parser("run", parents=[obs],
                          help="evaluate a program file")
@@ -568,11 +662,13 @@ def build_parser() -> argparse.ArgumentParser:
     cached.add_argument("--cache", metavar="FILE", default=None,
                         help="content-addressed spec cache (SQLite); "
                              "warm hits skip BT entirely")
-    cached.add_argument("--engine", choices=("bt", "compiled"),
+    cached.add_argument("--engine",
+                        choices=("bt", "seminaive", "compiled"),
                         default="bt",
                         help="window engine driving BT (compiled: "
                              "interned constants + indexed join plans; "
-                             "same answers, faster fixpoints)")
+                             "same answers, faster fixpoints; "
+                             "seminaive is the generic reference loop)")
 
     ask = sub.add_parser("ask", parents=[obs, cached],
                          help="yes/no query")
@@ -673,6 +769,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="ground atom to justify, e.g. 'even(4)'")
     explain.set_defaults(func=cmd_explain)
 
+    why = sub.add_parser(
+        "why", parents=[obs, cached],
+        help="recorded, verified proof tree for a model fact")
+    why.add_argument("file")
+    why.add_argument("fact", metavar="FACT",
+                     help="ground atom to justify, e.g. 'even(4)'")
+    why.add_argument("--format", choices=("text", "json", "dot"),
+                     default="text",
+                     help="indented text tree (default), JSON "
+                          "node/edge lists, or Graphviz DOT")
+    why.set_defaults(func=cmd_why)
+
+    whynot = sub.add_parser(
+        "whynot", parents=[obs, cached],
+        help="nearest failed rule firings for an absent fact")
+    whynot.add_argument("file")
+    whynot.add_argument("fact", metavar="FACT",
+                        help="ground atom to refute, e.g. 'even(3)'")
+    whynot.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    whynot.set_defaults(func=cmd_whynot)
+
     repl = sub.add_parser("repl", parents=[obs],
                           help="interactive query loop")
     repl.add_argument("file")
@@ -766,6 +884,10 @@ def main(argv: Union[Sequence[str], None] = None,
             print(f"error: cannot open trace file: {exc}",
                   file=sys.stderr)
             return 2
+    if getattr(args, "trace_provenance", None) and tracer is None:
+        print("error: --trace-provenance needs --trace FILE",
+              file=sys.stderr)
+        return 2
     try:
         args._obs = (stats, tracer)
         code = args.func(args, stream)

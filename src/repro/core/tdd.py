@@ -90,6 +90,7 @@ class TDD:
         self.temporal_preds: frozenset[str] = frozenset(preds)
         self._result: Union[BTResult, None] = None
         self._spec: Union[RelationalSpec, None] = None
+        self._provenance = None  # ProvenanceStore of the cached result
 
     @classmethod
     def from_text(cls, text: str, engine: str = "seminaive") -> "TDD":
@@ -102,25 +103,40 @@ class TDD:
     # -- evaluation ---------------------------------------------------------
 
     def evaluate(self, stats=None, tracer=None, metrics=None,
-                 **bt_kwargs) -> BTResult:
+                 provenance=None, **bt_kwargs) -> BTResult:
         """Run algorithm BT (cached when called without tuning arguments).
 
-        ``stats``/``tracer``/``metrics`` plug the observability layer in
-        (:mod:`repro.obs`); the instrumented result is cached like the
-        plain one, so follow-up queries reuse it.
+        ``stats``/``tracer``/``metrics``/``provenance`` plug the
+        observability layer in (:mod:`repro.obs`); the instrumented
+        result is cached like the plain one, so follow-up queries reuse
+        it (and :meth:`explain` prefers the recorded provenance).
         """
         if bt_kwargs:
             bt_kwargs.setdefault("engine", self.engine)
             return bt_evaluate(self.rules, self.database,
                                stats=stats, tracer=tracer,
-                               metrics=metrics, **bt_kwargs)
+                               metrics=metrics, provenance=provenance,
+                               **bt_kwargs)
         if self._result is None or stats is not None \
-                or tracer is not None or metrics is not None:
+                or tracer is not None or metrics is not None \
+                or provenance is not None:
             self._result = bt_evaluate(self.rules, self.database,
                                        stats=stats, tracer=tracer,
                                        metrics=metrics,
+                                       provenance=provenance,
                                        engine=self.engine)
+            if provenance is not None:
+                self._provenance = provenance
         return self._result
+
+    def provenance(self):
+        """Evaluate with derivation recording on and return the
+        :class:`~repro.obs.provenance.ProvenanceStore` (cached together
+        with the result it belongs to)."""
+        if self._provenance is None:
+            from ..obs.provenance import ProvenanceStore
+            self.evaluate(provenance=ProvenanceStore())
+        return self._provenance
 
     def specification(self) -> RelationalSpec:
         """The relational specification ``S(Z∧D) = (T, B, W)`` (cached)."""
@@ -183,7 +199,11 @@ class TDD:
 
         Facts beyond the computed window are folded through the period
         first (their derivation is the folded representative's, by
-        periodicity).  See :func:`repro.temporal.explain.explain`.
+        periodicity).  When the engine ran with provenance recording on
+        (see :meth:`provenance`), the *recorded* proof is returned —
+        constant-time per node; otherwise the search-based
+        reconstruction of :func:`repro.temporal.explain.explain` runs
+        (worst-case exponential on negation-heavy programs).
         """
         from ..temporal.explain import explain as _explain
         result = self.evaluate()
@@ -193,6 +213,11 @@ class TDD:
                 and result.period is not None):
             fact = Fact(fact.pred, result.period.fold(fact.time),
                         fact.args)
+        if self._provenance is not None:
+            recorded = self._provenance.derivation(fact,
+                                                   database=self.database)
+            if recorded is not None:
+                return recorded
         return _explain(self.rules, self.database, result.store, fact)
 
     # -- classification -----------------------------------------------------

@@ -21,11 +21,12 @@ down.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
 from time import perf_counter
 from typing import Sequence, Union
 
+from ...lang.atoms import Fact
 from ...lang.errors import EvaluationError
 from ...lang.rules import Rule
 from .plans import JoinPlan, compile_plan
@@ -41,11 +42,35 @@ class CompiledProgram:
     symbols: SymbolTable
     plans: tuple[tuple[JoinPlan, ...], ...]  # plans[i] belongs to rules[i]
     registered: dict[str, tuple[tuple[int, ...], ...]]
+    #: Lazily compiled provenance-capturing twins of ``plans`` (see
+    #: ``compile_plan(..., capture=True)``); built on first use so the
+    #: provenance-off path pays nothing.
+    _capture: object = field(default=None, repr=False)
 
     def describe(self) -> list[str]:
         """One line per plan — what ``repro profile`` prints."""
         return [plan.describe()
                 for per_rule in self.plans for plan in per_rule]
+
+    def capture_plans(self) -> tuple:
+        """Capture variants of every plan, compiled once per program.
+
+        The index registry is already frozen (pass 1 of compilation saw
+        every probe), so re-registration is a no-op.
+        """
+        if self._capture is None:
+            def noop(pred, positions):
+                return None
+            self._capture = tuple(
+                tuple(compile_plan(rule, lead, self.symbols, noop,
+                                   self.registered.get(rule.head.pred,
+                                                       ()),
+                                   plan_name=f"_c{k}_{lead}",
+                                   capture=True)
+                      for lead in range(len(rule.body)))
+                for k, rule in enumerate(self.rules)
+            )
+        return self._capture
 
 
 @lru_cache(maxsize=128)
@@ -83,16 +108,41 @@ def compile_program(rules: Sequence[Rule]) -> CompiledProgram:
     return _compile_cached(tuple(r for r in rules if not r.is_fact))
 
 
+def _record_captured(provenance, rule, captured, values,
+                     round_no: int) -> None:
+    """Translate one plan call's captured tuples into support edges.
+
+    ``captured`` rows are ``(head_time, head_row, body, neg)`` with
+    interned-int rows; ``values`` resolves ids back to symbols.  Only
+    called when provenance is on, so the fast path never sees it.
+    """
+    head_pred = rule.head.pred
+    for ht, hr, body, neg in captured:
+        provenance.record(
+            rule,
+            Fact(head_pred, ht, tuple(values[i] for i in hr)),
+            tuple(Fact(p, t, tuple(values[i] for i in r))
+                  for p, t, r in body),
+            tuple(Fact(p, t, tuple(values[i] for i in r))
+                  for p, t, r in neg),
+            round_no)
+
+
 def compiled_fixpoint(rules: Sequence[Rule], database,
                       horizon: int,
                       max_facts: Union[int, None] = None,
-                      stats=None, tracer=None, metrics=None):
+                      stats=None, tracer=None, metrics=None,
+                      provenance=None):
     """Least fixpoint of the window-truncated operator, compiled.
 
     Semantics (and the raised errors) match
     :func:`repro.temporal.operator.fixpoint` exactly; only the inner
     machinery differs.  Returns a fresh
     :class:`~repro.temporal.store.TemporalStore`.
+
+    ``provenance`` swaps in capture variants of the join plans that
+    surface every matched body tuple; with ``provenance=None`` the
+    plain plans run and the round loop is unchanged.
     """
     negated = {a.pred for r in rules for a in r.negative}
     derived_here = {r.head.pred for r in rules}
@@ -110,7 +160,8 @@ def compiled_fixpoint(rules: Sequence[Rule], database,
             fact = rule.head.to_fact()
             if fact.time is not None and fact.time > horizon:
                 continue
-            store.add_fact(fact)
+            if store.add_fact(fact) and provenance is not None:
+                provenance.record(rule, fact, ())
 
     if stats is not None:
         if not stats.engine:
@@ -133,18 +184,24 @@ def compiled_fixpoint(rules: Sequence[Rule], database,
                for r in proper]
     # Bind every plan to this store once (baking its relation and index
     # dicts in as argument defaults); the round loop touches only tuples.
+    plan_sets = (program.plans if provenance is None
+                 else program.capture_plans())
     dispatch = [
-        (rm, tuple((plan.lead_pred, plan.bind(store))
-                   for plan in per_rule))
-        for per_rule, rm in zip(program.plans, records)
+        (rm, rule, tuple((plan.lead_pred, plan.bind(store))
+                         for plan in per_rule))
+        for per_rule, rm, rule in zip(plan_sets, records, proper)
     ]
 
     # Without per-rule metrics the round loop needs no per-rule
     # bookkeeping; flatten the dispatch (same plan order — execution
     # order is observable through same-round index visibility).
     fast = None
-    if metrics is None:
-        fast = [pair for _, plan_fns in dispatch for pair in plan_fns]
+    if metrics is None and provenance is None:
+        fast = [pair for _, _, plan_fns in dispatch for pair in plan_fns]
+    # No new symbols appear during the rounds (head args project body
+    # values), so one resolution serves every captured row.
+    values = (program.symbols.resolve_all() if provenance is not None
+              else None)
 
     delta_rel = store.snapshot_rel()
     delta_count = store.count
@@ -165,7 +222,7 @@ def compiled_fixpoint(rules: Sequence[Rule], database,
                 store.count += new
                 derived += new
         else:
-            for rm, plan_fns in dispatch:
+            for rm, rule, plan_fns in dispatch:
                 if rm is not None:
                     rule_t0 = perf_counter()
                     rm.begin_round()
@@ -173,7 +230,16 @@ def compiled_fixpoint(rules: Sequence[Rule], database,
                     lead_delta = delta_get(lead_pred)
                     if not lead_delta:
                         continue
-                    p, f, new, dup = fn(lead_delta, out, horizon)
+                    if provenance is None:
+                        p, f, new, dup = fn(lead_delta, out, horizon)
+                    else:
+                        captured: list = []
+                        p, f, new, dup = fn(lead_delta, out, horizon,
+                                            captured)
+                        if captured:
+                            _record_captured(provenance, rule,
+                                             captured, values,
+                                             round_no)
                     probes += p
                     store.count += new
                     derived += new
@@ -208,6 +274,8 @@ def compiled_fixpoint(rules: Sequence[Rule], database,
 
     if stats is not None and metrics is not None:
         metrics.export_into(stats)
+    if stats is not None and provenance is not None:
+        provenance.export_into(stats)
     if tracer is not None:
         tracer.emit("eval_end", facts=store.count)
     return store.to_temporal_store()

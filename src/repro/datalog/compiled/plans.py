@@ -310,7 +310,8 @@ class _Writer:
 
 def compile_plan(rule: Rule, lead: int, symbols: SymbolTable,
                  register_index, head_indexes, plan_name: str,
-                 render_only: bool = False) -> JoinPlan:
+                 render_only: bool = False,
+                 capture: bool = False) -> JoinPlan:
     """Compile one (rule, lead) pair.
 
     ``register_index(pred, positions)`` is called for every index probe
@@ -319,6 +320,13 @@ def compile_plan(rule: Rule, lead: int, symbols: SymbolTable,
     of the program has been analyzed — see
     :func:`~repro.datalog.compiled.engine.compile_program`, which runs
     an analysis pass with ``render_only=False`` first and then renders).
+
+    ``capture`` renders the provenance variant: the function takes one
+    extra positional parameter ``PROV`` (a list) and appends
+    ``(head_time, head_row, body_triples, neg_triples)`` for every NEW
+    fact, where each triple is ``(pred, time, row)`` in the rule's
+    textual literal order.  The provenance-off fast path uses the plain
+    variant, whose generated code is byte-for-byte unchanged.
     """
     from ...analysis.static.cost import cost_order
 
@@ -359,6 +367,31 @@ def compile_plan(rule: Rule, lead: int, symbols: SymbolTable,
 
     head_pred = rule.head.pred
     derives = head_pred  # scans over this predicate must be copied
+
+    # Matched-body-tuple expressions for the capture variant, rebuilt
+    # from the join locals and re-sorted into textual literal order.
+    capture_body = ""
+    capture_neg = ""
+    if capture:
+        by_atom: list[tuple[int, str]] = []
+        for k, info in enumerate(infos):
+            t = f"s{k}" if info.time == "free" else info.time_expr
+            if info.mode == "member":
+                row = _tuple_expr([info.args[p].expr
+                                   for p in info.step.bound_positions])
+            elif info.args:
+                row = f"r{k}"
+            else:
+                row = "()"
+            by_atom.append((info.atom_index,
+                            f"({info.pred!r}, {t}, {row})"))
+        by_atom.sort()
+        capture_body = _tuple_expr([expr for _, expr in by_atom])
+        capture_neg = _tuple_expr([
+            f"({info.pred!r}, {info.time_expr}, "
+            f"{_tuple_expr([arg.expr for arg in info.args])})"
+            for info in neg_infos
+        ])
 
     # Bound parameters: relation/index dicts arrive as trailing
     # parameters, replaced per store by JoinPlan.bind().
@@ -515,6 +548,9 @@ def compile_plan(rule: Rule, lead: int, symbols: SymbolTable,
     w.indent()
     w.emit("hs.add(hr)")
     w.emit("NEW += 1")
+    if capture:
+        w.emit(f"PROV.append((ht, hr, {capture_body}, "
+               f"{capture_neg}))")
     w.emit("ho = HO.get(ht)")
     w.emit("if ho is None:")
     w.emit("    ho = HO[ht] = set()")
@@ -528,7 +564,8 @@ def compile_plan(rule: Rule, lead: int, symbols: SymbolTable,
         w.emit("else:")
         w.emit(f"    hb{j}.append(hr)")
 
-    signature = ", ".join(["D", "OUT", "horizon"]
+    fixed = ["D", "OUT", "horizon"] + (["PROV"] if capture else [])
+    signature = ", ".join(fixed
                           + [f"{name}=None" for name in param_names])
     source = "\n".join(
         [f"def {plan_name}({signature}):"]

@@ -139,6 +139,22 @@ def _head_fact(head, binding: Binding) -> tuple[str, ArgTuple]:
     return head.pred, args
 
 
+def _record_support(provenance, rule: Rule, pred: str, args: ArgTuple,
+                    binding: Binding, round_no: int) -> None:
+    """Materialize the rule instance behind one new fact and record it.
+
+    Only called when a provenance store is attached, so the disabled
+    path never builds premise facts.
+    """
+    def ground(atom) -> Fact:
+        apred, aargs = _head_fact(atom, binding)
+        return Fact(apred, None, aargs)
+
+    provenance.record(rule, Fact(pred, None, args),
+                      tuple(ground(a) for a in rule.body),
+                      tuple(ground(a) for a in rule.negative), round_no)
+
+
 def immediate_consequences(rules: Sequence[Rule],
                            store: FactStore,
                            metrics=None) -> FactStore:
@@ -257,7 +273,8 @@ def naive_evaluate(rules: Sequence[Rule], edb: Iterable[Fact],
 
 
 def _seminaive_group(rules: Sequence[Rule], store: FactStore,
-                     stats=None, tracer=None, metrics=None) -> None:
+                     stats=None, tracer=None, metrics=None,
+                     provenance=None) -> None:
     """Semi-naive iteration of one (stratum's) rule group, in place."""
     # Round 0 below joins against the full store, so the initial delta
     # only needs the facts it introduces.  It is recorded as round 0 in
@@ -276,6 +293,8 @@ def _seminaive_group(rules: Sequence[Rule], store: FactStore,
                 delta.add(pred, args)
                 if rm is not None:
                     rm.new_facts += 1
+                if provenance is not None:
+                    provenance.record(rule, Fact(pred, None, args), ())
             elif rm is not None:
                 rm.duplicates += 1
     for rule in rules:
@@ -300,6 +319,9 @@ def _seminaive_group(rules: Sequence[Rule], store: FactStore,
                 delta.add(pred, args)
                 if rm is not None:
                     rm.new_facts += 1
+                if provenance is not None:
+                    _record_support(provenance, rule, pred, args,
+                                    binding, 0)
             elif rm is not None:
                 rm.duplicates += 1
         if rm is not None:
@@ -350,6 +372,9 @@ def _seminaive_group(rules: Sequence[Rule], store: FactStore,
                         new_delta.add(pred, args)
                         if rm is not None:
                             rm.new_facts += 1
+                        if provenance is not None:
+                            _record_support(provenance, rule, pred,
+                                            args, binding, round_no)
                     elif rm is not None:
                         rm.duplicates += 1
             if rm is not None:
@@ -366,12 +391,15 @@ def _seminaive_group(rules: Sequence[Rule], store: FactStore,
 
 
 def seminaive_evaluate(rules: Sequence[Rule], edb: Iterable[Fact],
-                       stats=None, tracer=None, metrics=None) -> FactStore:
+                       stats=None, tracer=None, metrics=None,
+                       provenance=None) -> FactStore:
     """The (perfect) model by semi-naive iteration with delta relations.
 
     Matches :func:`naive_evaluate` (property-tested); programs with
     stratifiable negation are scheduled stratum by stratum so the
-    negation checks stay stable within each fixpoint.
+    negation checks stay stable within each fixpoint.  ``provenance``
+    (a :class:`repro.obs.provenance.ProvenanceStore`) records a support
+    edge for every derived fact.
     """
     check_datalog(rules)
     store = FactStore(edb)
@@ -381,8 +409,10 @@ def seminaive_evaluate(rules: Sequence[Rule], edb: Iterable[Fact],
         store.stats = stats
     for group in _strata(rules):
         _seminaive_group(group, store, stats=stats, tracer=tracer,
-                         metrics=metrics)
+                         metrics=metrics, provenance=provenance)
     if metrics is not None and stats is not None:
         metrics.export_into(stats)
+    if provenance is not None and stats is not None:
+        provenance.export_into(stats)
     store.stats = None
     return store

@@ -24,9 +24,18 @@ Request-level telemetry lives in :mod:`repro.obs.telemetry`: a
 parent) across the serving path and exports them as schema-3 ``span``
 events through the same Tracer sinks, and :class:`LatencyHistogram`
 backs the ``/metrics`` endpoint and the ``/stats`` percentile block.
+
+Derivation provenance lives in :mod:`repro.obs.provenance`: a
+:class:`ProvenanceStore` (accepted by every bottom-up engine, as
+``provenance=None``) records one support edge per derived fact — an
+interned proof DAG — and powers ``repro why`` / ``repro whynot``, the
+``explain: true`` flag on ``POST /query``, and the sampled schema-4
+``derive`` trace events.
 """
 
 from .metrics import Histogram, MetricsRegistry, RuleMetrics
+from .provenance import (FailedFiring, ProvenanceStore, WhyNotReport,
+                         render_proof, why_not)
 from .stats import EvalStats
 from .telemetry import (DEFAULT_LATENCY_BUCKETS_MS, LatencyHistogram,
                         Span, SpanContext, Telemetry, new_span_id,
@@ -42,4 +51,6 @@ __all__ = [
     "Telemetry", "Span", "SpanContext", "LatencyHistogram",
     "new_trace_id", "new_span_id", "valid_trace_id",
     "DEFAULT_LATENCY_BUCKETS_MS",
+    "ProvenanceStore", "FailedFiring", "WhyNotReport",
+    "render_proof", "why_not",
 ]

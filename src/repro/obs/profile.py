@@ -93,16 +93,22 @@ def profile_tdd(tdd, program: str, engine: str = "bt",
             f"unknown profile engine {engine!r}; "
             f"choose from {', '.join(PROFILE_ENGINES)}"
         )
+    from .provenance import ProvenanceStore
+
     registry = MetricsRegistry()
     stats = EvalStats()
     answer: Union[bool, None] = None
     if engine == "bt":
-        tdd.evaluate(stats=stats, tracer=tracer, metrics=registry)
+        # The full-model engines also record provenance, so the profile
+        # carries the proof-DAG shape (supports histogram, depth,
+        # in-degree) next to the per-rule time.
+        tdd.evaluate(stats=stats, tracer=tracer, metrics=registry,
+                     provenance=ProvenanceStore())
     elif engine == "compiled":
         # The same BT driver, with the compiled window engine (interned
         # ints + indexed join plans) doing each window's fixpoint.
         tdd.evaluate(stats=stats, tracer=tracer, metrics=registry,
-                     engine="compiled")
+                     provenance=ProvenanceStore(), engine="compiled")
     elif engine in ("verbatim", "interval"):
         # These take an explicit window; borrow the one BT settles on
         # (computed uninstrumented, so the profile is engine-pure).
@@ -193,6 +199,18 @@ def render_table(report: ProfileReport) -> str:
     if stats.period is not None:
         summary += f"   period: (b={stats.period[0]}, p={stats.period[1]})"
     lines.append(summary)
+    provenance = stats.extra.get("provenance")
+    if provenance:
+        supports = ", ".join(
+            f"{k}:{v}" for k, v in sorted(
+                provenance["supports"].items(),
+                key=lambda kv: str(kv[0])))
+        lines.append(
+            f"provenance: {provenance['derived']} derived / "
+            f"{provenance['facts']} facts   "
+            f"depth: {provenance['depth']}   "
+            f"max in-degree: {provenance['max_in_degree']}   "
+            f"supports: {{{supports or '-'}}}")
     if report.plans:
         lines.append("join plans (cost-ordered):")
         for plan in report.plans:

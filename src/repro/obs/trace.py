@@ -15,6 +15,10 @@ naming the engine, the program, and the tool version, so multi-run
 trace files and external consumers can tell runs apart.  Schema
 version 3 adds the ``span`` event — request-level telemetry exported
 by :mod:`repro.obs.telemetry` through this same sink machinery.
+Schema version 4 adds the ``derive`` event — one recorded support edge
+``(rule, head, body facts, round)``, emitted (sampled) by
+:class:`repro.obs.provenance.ProvenanceStore` when the engine runs
+with provenance recording on.
 """
 
 from __future__ import annotations
@@ -27,7 +31,7 @@ from typing import IO, Union
 
 #: Version of the trace event schema; bumped when events gain meaning
 #: (consumers must still ignore unknown events and fields).
-TRACE_SCHEMA = 3
+TRACE_SCHEMA = 4
 
 
 class ListSink:

@@ -57,12 +57,15 @@ class AccessLog:
     ``method``, ``path``, ``status`` and ``duration_ms``; ``/query``
     lines add the program key(s), request kind(s), cache state(s) and
     degraded/error counts.  Opened in append mode when given a path,
-    so restarts extend rather than truncate the log.
+    so restarts extend rather than truncate the log — and line-buffered,
+    with an explicit flush per record, so every line is on disk before
+    :meth:`write` returns (tail -f works, and a crash loses nothing).
     """
 
     def __init__(self, target: Union[str, Path, IO[str]]):
         if isinstance(target, (str, Path)):
-            self._stream: IO[str] = open(target, "a", encoding="utf-8")
+            self._stream: IO[str] = open(target, "a", encoding="utf-8",
+                                         buffering=1)
             self._owns_stream = True
         else:
             self._stream = target

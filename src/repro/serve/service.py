@@ -87,7 +87,9 @@ class QueryRequest:
     timepoint (``answers`` kind only); ``engine`` overrides the
     service's window engine (``"bt"`` or ``"compiled"``) for this
     request — the specification (and so the answer) is identical either
-    way, only the compute path differs.
+    way, only the compute path differs.  ``explain`` asks the service
+    to attach the recorded proof DAG to a true ground ``ask`` answer
+    (``proof`` in the response, with ``proof_depth``/``proof_facts``).
     """
 
     program: str
@@ -96,13 +98,14 @@ class QueryRequest:
     deadline: Union[float, None] = None
     expand: Union[int, None] = None
     engine: Union[str, None] = None
+    explain: bool = False
 
     @classmethod
     def from_dict(cls, data: dict) -> "QueryRequest":
         if not isinstance(data, dict):
             raise ValueError("a request must be a JSON object")
         unknown = set(data) - {"program", "query", "kind", "deadline",
-                               "expand", "engine"}
+                               "expand", "engine", "explain"}
         if unknown:
             raise ValueError(f"unknown request fields {sorted(unknown)}")
         for name in ("program", "query"):
@@ -114,11 +117,15 @@ class QueryRequest:
             raise ValueError(
                 f"request field 'engine' must be one of "
                 f"{list(QUERY_ENGINES)}, not {engine!r}")
+        explain = data.get("explain", False)
+        if not isinstance(explain, bool):
+            raise ValueError("request field 'explain' must be a boolean")
         return cls(program=data["program"], query=data["query"],
                    kind=data.get("kind", "ask"),
                    deadline=data.get("deadline"),
                    expand=data.get("expand"),
-                   engine=engine)
+                   engine=engine,
+                   explain=explain)
 
 
 @dataclass
@@ -146,9 +153,13 @@ class QueryResponse:
     elapsed_ms: float = 0.0
     duration_ms: float = 0.0
     trace_id: Union[str, None] = None
+    #: Recorded proof DAG (``explain: true`` on a true ground ask):
+    #: the node/edge lists of the fact's ancestors, plus
+    #: ``proof_depth`` and ``proof_facts`` summary counts.
+    proof: Union[dict, None] = None
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "ok": self.ok,
             "kind": self.kind,
             "answer": self.answer,
@@ -161,6 +172,9 @@ class QueryResponse:
             "duration_ms": round(self.duration_ms, 3),
             "trace_id": self.trace_id,
         }
+        if self.proof is not None:
+            data["proof"] = self.proof
+        return data
 
 
 @dataclass
@@ -176,6 +190,7 @@ class _ServeCounters:
     errors: int = 0
     spec_computes: int = 0
     singleflight_waits: int = 0
+    explained: int = 0
     extra: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
@@ -191,6 +206,7 @@ class _ServeCounters:
             "errors": self.errors,
             "spec_computes": self.spec_computes,
             "singleflight_waits": self.singleflight_waits,
+            "explained": self.explained,
         }
 
 
@@ -397,6 +413,42 @@ class QueryService:
 
     # -- request handling -------------------------------------------------
 
+    def _explain_proof(self, tdd: TDD, query: Query) -> Union[dict, None]:
+        """Recorded proof payload for a true ground ask (``explain``).
+
+        Evaluates the TDD with provenance recording on (cached on the
+        TDD, so repeat explains of one program pay BT once) and returns
+        the fact's ancestor sub-DAG plus depth/size summary counts.
+        Beyond-horizon facts fold through the period first, keeping the
+        proof bounded by the window rather than the query timepoint.
+        Returns ``None`` when no proof applies (non-atomic query, or
+        the recorded run cannot reach the fact).
+        """
+        from ..core.queries import AtomQ
+        from ..lang.atoms import Fact
+        if not isinstance(query, AtomQ) or not query.atom.is_ground:
+            return None
+        try:
+            provenance = tdd.provenance()
+            result = tdd.evaluate()
+        except ReproError:
+            return None
+        fact = query.atom.to_fact()
+        if (fact.time is not None and fact.time > result.horizon
+                and result.period is not None):
+            fact = Fact(fact.pred, result.period.fold(fact.time),
+                        fact.args)
+        derivation = provenance.derivation(fact, database=tdd.database)
+        if derivation is None:
+            return None
+        dag = provenance.to_json_dict(root=fact)
+        return {
+            "fact": str(fact),
+            "proof_depth": derivation.depth,
+            "proof_facts": len(dag["nodes"]),
+            "dag": dag,
+        }
+
     def _answer_payload(self, query: Query, spec: RelationalSpec,
                         request: QueryRequest) -> dict:
         result = spec_answers(query, spec)
@@ -446,6 +498,10 @@ class QueryService:
                 answer = evaluate(query, spec)
             else:
                 answer = self._answer_payload(query, spec, request)
+            proof = None
+            if (request.explain and request.kind == "ask"
+                    and answer is True and not degraded):
+                proof = self._explain_proof(tdd, query)
         except ReproError as exc:
             with self._counters_lock:
                 self._counters.errors += 1
@@ -461,12 +517,14 @@ class QueryService:
                 self._counters.open_queries += 1
             if degraded:
                 self._counters.degraded += 1
+            if proof is not None:
+                self._counters.explained += 1
         span.set_attribute("degraded", degraded)
         return QueryResponse(
             ok=True, kind=request.kind, answer=answer, degraded=degraded,
             source=None if degraded else source, key=key,
             elapsed_ms=span.end(),
-            trace_id=span.trace_id)
+            trace_id=span.trace_id, proof=proof)
 
     def serve(self, request: QueryRequest,
               parent: Union[Span, None] = None) -> QueryResponse:
@@ -646,6 +704,9 @@ class QueryService:
         counter("repro_singleflight_waits_total",
                 "Requests that waited on an in-flight computation.",
                 serve["singleflight_waits"])
+        counter("repro_explained_total",
+                "Responses carrying a recorded proof DAG "
+                "(explain: true).", serve["explained"])
         counter("repro_cache_lookups_total",
                 "Spec cache lookups.", cache["lookups"])
         lines.append("# HELP repro_cache_hits_total "

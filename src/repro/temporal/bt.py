@@ -56,20 +56,23 @@ from .store import TemporalStore
 def evaluate_window(rules: Sequence[Rule], database: TemporalStore,
                     horizon: int, stats=None,
                     tracer=None, metrics=None,
-                    engine: str = "seminaive") -> TemporalStore:
+                    engine: str = "seminaive",
+                    provenance=None) -> TemporalStore:
     """The window model: truncated least fixpoint, or — for rules with
     negative literals (the stratified extension) — the truncated perfect
     model computed stratum by stratum.  ``engine`` names the window
     engine (see :mod:`repro.engines`): ``seminaive`` (the generic loop)
-    or ``compiled`` (interned ints + indexed join plans)."""
+    or ``compiled`` (interned ints + indexed join plans).
+    ``provenance`` records support edges for every derived fact."""
     fixpoint_fn = window_fixpoint(engine)
     if is_definite(rules):
         return fixpoint_fn(rules, database, horizon,
                            stats=stats, tracer=tracer,
-                           metrics=metrics)
+                           metrics=metrics, provenance=provenance)
     return stratified_fixpoint(rules, database, horizon,
                                stats=stats, tracer=tracer,
-                               metrics=metrics, fixpoint_fn=fixpoint_fn)
+                               metrics=metrics, fixpoint_fn=fixpoint_fn,
+                               provenance=provenance)
 
 
 @dataclass
@@ -196,7 +199,8 @@ def bt_evaluate(rules: Sequence[Rule], database: TemporalDatabase,
                 evidence: int = 2,
                 stats: Union[EvalStats, None] = None,
                 tracer=None, metrics=None,
-                engine: str = "seminaive") -> BTResult:
+                engine: str = "seminaive",
+                provenance=None) -> BTResult:
     """Semi-naive BT with period detection.
 
     ``engine`` selects the window engine each (re-)evaluation runs on
@@ -227,7 +231,8 @@ def bt_evaluate(rules: Sequence[Rule], database: TemporalDatabase,
         with phase_timer(stats, "evaluate", tracer):
             store = evaluate_window(rules, database, m,
                                     stats=stats, tracer=tracer,
-                                    metrics=metrics, engine=engine)
+                                    metrics=metrics, engine=engine,
+                                    provenance=provenance)
         with phase_timer(stats, "period_detection", tracer):
             states = store.states(0, m)
             found = find_minimal_period(states, floor=0, g=g,
@@ -254,10 +259,16 @@ def bt_evaluate(rules: Sequence[Rule], database: TemporalDatabase,
     # (candidate (b, p), the trusted state sequence it was found in).
     previous: Union[tuple[tuple[int, int], list], None] = None
     while m <= max_window:
+        if provenance is not None:
+            # Each deepening pass re-derives the whole window; stale
+            # edges from the narrower run would reference facts the
+            # wider model may support differently.
+            provenance.reset()
         with phase_timer(stats, "evaluate", tracer):
             store = evaluate_window(rules, database, m,
                                     stats=stats, tracer=tracer,
-                                    metrics=metrics, engine=engine)
+                                    metrics=metrics, engine=engine,
+                                    provenance=provenance)
         # For non-forward rulesets the right edge of the window is
         # under-derived (facts there lack support from beyond the
         # window), so periods are detected on a trusted sub-window only.

@@ -25,7 +25,7 @@ from typing import Iterator, Sequence, Union
 
 from ..datalog.engine import plan_order
 from ..datalog.facts import ArgTuple
-from ..lang.atoms import Atom
+from ..lang.atoms import Atom, Fact
 from ..lang.rules import Rule
 from ..lang.terms import Const, Var
 from .store import TemporalStore
@@ -214,7 +214,8 @@ def step(rules: Sequence[Rule], store: TemporalStore,
 def fixpoint(rules: Sequence[Rule], database: TemporalStore,
              horizon: int,
              max_facts: Union[int, None] = None,
-             stats=None, tracer=None, metrics=None) -> TemporalStore:
+             stats=None, tracer=None, metrics=None,
+             provenance=None) -> TemporalStore:
     """Least fixpoint of the window-truncated operator, semi-naively.
 
     Computes the largest set ``L`` of facts with timepoints in
@@ -244,6 +245,8 @@ def fixpoint(rules: Sequence[Rule], database: TemporalStore,
                 continue
             if store.add_fact(fact):
                 delta.add_fact(fact)
+                if provenance is not None:
+                    provenance.record(rule, fact, ())
 
     if stats is not None:
         if not stats.engine:
@@ -259,16 +262,19 @@ def fixpoint(rules: Sequence[Rule], database: TemporalStore,
                     initial_facts=len(store))
     continue_fixpoint(rules, store, delta, horizon,
                       max_facts=max_facts, stats=stats, tracer=tracer,
-                      metrics=metrics)
+                      metrics=metrics, provenance=provenance)
     if tracer is not None:
         tracer.emit("eval_end", facts=len(store))
+    if provenance is not None and stats is not None:
+        provenance.export_into(stats)
     return store
 
 
 def continue_fixpoint(rules: Sequence[Rule], store: TemporalStore,
                       delta: TemporalStore, horizon: int,
                       max_facts: Union[int, None] = None,
-                      stats=None, tracer=None, metrics=None) -> int:
+                      stats=None, tracer=None, metrics=None,
+                      provenance=None) -> int:
     """Drive the semi-naive loop from an initial ``delta``, in place.
 
     Every derivation producible from ``store`` that uses at least one
@@ -327,6 +333,14 @@ def continue_fixpoint(rules: Sequence[Rule], store: TemporalStore,
                         added += 1
                         if rm is not None:
                             rm.new_facts += 1
+                        if provenance is not None:
+                            provenance.record(
+                                rule, Fact(pred, time, args),
+                                tuple(Fact(*_head_values(a, binding))
+                                      for a in rule.body),
+                                tuple(Fact(*_head_values(a, binding))
+                                      for a in rule.negative),
+                                round_no)
                     elif rm is not None:
                         rm.duplicates += 1
             if rm is not None:

@@ -43,7 +43,8 @@ def is_definite(rules: Sequence[Rule]) -> bool:
 def stratified_fixpoint(rules: Sequence[Rule], database: TemporalStore,
                         horizon: int, stats=None,
                         tracer=None, metrics=None,
-                        fixpoint_fn=None) -> TemporalStore:
+                        fixpoint_fn=None,
+                        provenance=None) -> TemporalStore:
     """The perfect model of a stratified program, within a window.
 
     Equivalent to :func:`repro.temporal.operator.fixpoint` on definite
@@ -64,12 +65,17 @@ def stratified_fixpoint(rules: Sequence[Rule], database: TemporalStore,
     for fact_rule in facts:
         fact = fact_rule.head.to_fact()
         if fact.time is None or fact.time <= horizon:
-            store.add_fact(fact)
+            if store.add_fact(fact) and provenance is not None:
+                provenance.record(fact_rule, fact, ())
     if stats is not None and len(groups) > 1:
         stats.engine = "stratified"
         stats.extra["strata"] = len(groups)
+    # Each stratum sees lower strata's facts as extensional input, but
+    # the shared provenance store keeps their support edges, so proofs
+    # cross stratum boundaries transparently.
     run = fixpoint if fixpoint_fn is None else fixpoint_fn
     for group in groups:
         store = run(group, store, horizon, stats=stats,
-                    tracer=tracer, metrics=metrics)
+                    tracer=tracer, metrics=metrics,
+                    provenance=provenance)
     return store

@@ -384,7 +384,7 @@ class TestObservability:
         # Schema 2: a run_start header precedes every engine event.
         assert kinds[0] == "run_start"
         assert events[0]["engine"] == "bt"
-        assert events[0]["schema"] == 3
+        assert events[0]["schema"] == 4
         assert events[0]["program"] == even_file
         assert len(events[0]["sha256"]) == 64
         assert kinds[1] == "eval_start"
@@ -564,7 +564,7 @@ class TestTraceviewCommand:
         assert code == 0
         assert f"trace: {trace}" in output
         assert "engine: bt" in output
-        assert "schema: 3" in output
+        assert "schema: 4" in output
         assert "rounds:" in output
         assert "delta curve (derived/round):" in output
         assert "phases:" in output

@@ -314,7 +314,7 @@ class TestRunStartEvent:
         (event,) = sink.events
         assert event["event"] == "run_start"
         assert event["engine"] == "bt"
-        assert event["schema"] == TRACE_SCHEMA == 3
+        assert event["schema"] == TRACE_SCHEMA == 4
         assert event["program"] == "x.tdd"
         assert len(event["sha256"]) == 64
         from repro import __version__

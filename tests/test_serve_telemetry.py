@@ -490,3 +490,27 @@ class TestTopCommand:
                      "--iterations", "1"], out=out)
         assert code == 0
         assert f"http://127.0.0.1:{point.port}" in out.getvalue()
+
+
+class TestAccessLogDurability:
+    def test_each_record_is_on_disk_before_write_returns(self,
+                                                         tmp_path):
+        """The log is line-buffered and flushed per record: a reader
+        (or a crash) immediately after write() sees the full line —
+        no close() required."""
+        path = tmp_path / "access.log"
+        log = AccessLog(path)
+        log.write({"ts": 1.0, "trace_id": "t1", "method": "POST",
+                   "path": "/query", "status": 200,
+                   "duration_ms": 1.25})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1 == log.lines
+        assert json.loads(lines[0])["trace_id"] == "t1"
+
+    def test_reopening_appends_rather_than_truncates(self, tmp_path):
+        path = tmp_path / "access.log"
+        AccessLog(path).write({"run": 1})
+        AccessLog(path).write({"run": 2})
+        runs = [json.loads(line)["run"]
+                for line in path.read_text().splitlines()]
+        assert runs == [1, 2]

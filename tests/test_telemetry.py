@@ -170,6 +170,46 @@ class TestLatencyHistogram:
         assert 25.0 <= p50 <= 50.0
         assert p99 <= 100.0
 
+    def test_quantiles_of_empty_histogram_are_zero_and_ordered(self):
+        hist = LatencyHistogram()
+        p50, p95, p99 = (hist.quantile(q) for q in (0.50, 0.95, 0.99))
+        assert (p50, p95, p99) == (0.0, 0.0, 0.0)
+        assert p50 <= p95 <= p99
+        data = hist.to_dict()
+        assert (data["p50"], data["p95"], data["p99"]) == (0, 0, 0)
+
+    def test_quantiles_of_single_observation(self):
+        hist = LatencyHistogram()
+        hist.observe(3.0)  # inside the (2.5, 5] default bucket
+        p50, p95, p99 = (hist.quantile(q) for q in (0.50, 0.95, 0.99))
+        assert p50 <= p95 <= p99
+        # Every quantile of one sample lands in that sample's bucket.
+        for q in (p50, p95, p99):
+            assert 2.5 <= q <= 5.0
+
+    def test_quantiles_with_all_samples_in_one_bucket(self):
+        hist = LatencyHistogram()
+        for _ in range(100):
+            hist.observe(3.0)
+        p50, p95, p99 = (hist.quantile(q) for q in (0.50, 0.95, 0.99))
+        assert p50 <= p95 <= p99
+        for q in (p50, p95, p99):
+            assert 2.5 <= q <= 5.0
+        data = hist.to_dict()
+        populated = [n for _, n in data["buckets"] if n]
+        assert populated == [100]
+
+    def test_quantiles_with_all_samples_in_overflow_bucket(self):
+        hist = LatencyHistogram()
+        for _ in range(10):
+            hist.observe(10 ** 7)
+        p50, p95, p99 = (hist.quantile(q) for q in (0.50, 0.95, 0.99))
+        assert p50 <= p95 <= p99
+        # The +Inf bucket has no upper edge to interpolate inside;
+        # every quantile clamps to the largest finite bound.
+        assert p50 == p95 == p99 == DEFAULT_LATENCY_BUCKETS_MS[-1]
+        assert hist.to_dict()["buckets"][-1][1] == 10
+
     def test_quantile_of_inf_bucket_is_largest_finite_bound(self):
         hist = LatencyHistogram()
         hist.observe(10 ** 9)
