@@ -34,6 +34,7 @@ RULE_FIELDS = (
 CACHE_FIELDS = (
     "lookups", "mem_hits", "disk_hits", "misses", "stores",
     "evictions", "invalidations", "corrupt", "memory_entries",
+    "flights_claimed", "flights_rejected",
 )
 
 #: Counters an ``extra.serve`` block must carry (see
@@ -231,31 +232,103 @@ def check_provenance_block(name: str, stats: dict) -> list[str]:
     return problems
 
 
+#: Measured-ratio fields a record may carry; each is validated the
+#: same way and re-checked against the record's ``speedup_floor``.
+SPEEDUP_FIELDS = ("speedup_vs_seminaive", "speedup_vs_single_worker")
+
+
 def check_speedup_field(name: str, extra_info: dict) -> list[str]:
-    """Validate ``speedup_vs_seminaive`` when present: a positive
-    number (booleans rejected).  When the record also carries
-    ``speedup_floor`` (the floor the E3/E6/E7 benches asserted at run
-    time — 0 in smoke mode, 5 at full size), re-check the ratio against
-    it here, so a stats dump produced with assertions stripped or a
-    stale floor still fails the build."""
-    if "speedup_vs_seminaive" not in extra_info:
-        return []
-    value = extra_info["speedup_vs_seminaive"]
-    if (isinstance(value, bool)
-            or not isinstance(value, (int, float)) or value <= 0):
-        return [f"{name}: speedup_vs_seminaive is {value!r}, "
-                "expected a positive number"]
-    if "speedup_floor" not in extra_info:
-        return []
+    """Validate the measured speedup ratios when present: positive
+    numbers (booleans rejected).  When the record also carries
+    ``speedup_floor`` (the floor the bench asserted at run time — 0 in
+    smoke mode, the real floor at full size: 5 for E3/E6/E7, 2 for
+    E17), re-check each ratio against it here, so a stats dump
+    produced with assertions stripped or a stale floor still fails
+    the build."""
+    problems: list[str] = []
+    present = [f for f in SPEEDUP_FIELDS if f in extra_info]
+    for field in present:
+        value = extra_info[field]
+        if (isinstance(value, bool)
+                or not isinstance(value, (int, float)) or value <= 0):
+            problems.append(f"{name}: {field} is {value!r}, "
+                            "expected a positive number")
+    if problems or not present or "speedup_floor" not in extra_info:
+        return problems
     floor = extra_info["speedup_floor"]
     if (isinstance(floor, bool)
             or not isinstance(floor, (int, float)) or floor < 0):
         return [f"{name}: speedup_floor is {floor!r}, "
                 "expected a non-negative number"]
-    if value <= floor:
-        return [f"{name}: speedup_vs_seminaive={value:.2f} does not "
-                f"clear the recorded floor {floor:g}"]
-    return []
+    for field in present:
+        value = extra_info[field]
+        if value <= floor:
+            problems.append(
+                f"{name}: {field}={value:.2f} does not "
+                f"clear the recorded floor {floor:g}")
+    return problems
+
+
+#: Keys every point of a ``saturation`` curve must carry (see
+#: benchmarks/bench_e17_load.py).
+SATURATION_FIELDS = ("clients", "offered_qps", "achieved_qps",
+                     "p50_ms", "p95_ms", "p99_ms", "hit_ratio",
+                     "worker_balance")
+
+
+def check_saturation_block(name: str, extra_info: dict) -> list[str]:
+    """Validate a ``saturation`` curve when present: a non-empty list
+    of stage points with complete non-negative measurements, offered
+    load strictly increasing, achieved ≤ offered, ordered latency
+    quantiles, and hit ratio / balance within [0, 1]."""
+    curve = extra_info.get("saturation")
+    if curve is None:
+        return []
+    if not isinstance(curve, list) or not curve:
+        return [f"{name}: saturation is not a non-empty list"]
+    problems: list[str] = []
+    for index, point in enumerate(curve):
+        if not isinstance(point, dict):
+            problems.append(f"{name}: saturation[{index}] is not an "
+                            "object")
+            continue
+        missing = [f for f in SATURATION_FIELDS if f not in point]
+        if missing:
+            problems.append(f"{name}: saturation[{index}] missing "
+                            f"{', '.join(missing)}")
+            continue
+        for field in SATURATION_FIELDS:
+            value = point[field]
+            if (isinstance(value, bool)
+                    or not isinstance(value, (int, float))
+                    or value < 0):
+                problems.append(
+                    f"{name}: saturation[{index}].{field} is "
+                    f"{value!r}, expected a non-negative number")
+        if problems:
+            continue
+        if not (point["p50_ms"] <= point["p95_ms"]
+                <= point["p99_ms"]):
+            problems.append(
+                f"{name}: saturation[{index}] latency quantiles are "
+                f"not ordered: p50={point['p50_ms']} "
+                f"p95={point['p95_ms']} p99={point['p99_ms']}")
+        if point["achieved_qps"] > point["offered_qps"] * 1.01:
+            problems.append(
+                f"{name}: saturation[{index}] achieved_qps="
+                f"{point['achieved_qps']} exceeds offered_qps="
+                f"{point['offered_qps']}")
+        for ratio in ("hit_ratio", "worker_balance"):
+            if point[ratio] > 1.0:
+                problems.append(
+                    f"{name}: saturation[{index}].{ratio}="
+                    f"{point[ratio]} exceeds 1.0")
+    if not problems:
+        offered = [point["offered_qps"] for point in curve]
+        if any(a >= b for a, b in zip(offered, offered[1:])):
+            problems.append(f"{name}: saturation offered_qps is not "
+                            "strictly increasing")
+    return problems
 
 
 def check(data: dict) -> list[str]:
@@ -267,6 +340,8 @@ def check(data: dict) -> list[str]:
     for bench in benchmarks:
         name = bench.get("fullname", bench.get("name", "?"))
         problems.extend(check_speedup_field(
+            name, bench.get("extra_info", {})))
+        problems.extend(check_saturation_block(
             name, bench.get("extra_info", {})))
         stats = bench.get("extra_info", {}).get("eval_stats")
         if stats is None:

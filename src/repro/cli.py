@@ -41,13 +41,16 @@ Commands
 ``repl FILE``
     Interactive query loop; ``:period``, ``:spec``, ``:classify``,
     ``:quit`` are built in.
-``serve [--port N] [--cache FILE] [--deadline S] [--access-log FILE]
-[--slow-ms MS]``
+``serve [--port N] [--workers N] [--cache FILE] [--deadline S]
+[--access-log FILE] [--slow-ms MS]``
     HTTP query service (JSON protocol) answering batches of ask /
     answers requests from cached relational specifications, with
     request-level telemetry: trace ids, ``GET /metrics`` (Prometheus
     text format), a structured JSON access log, and a slow-query
     span-tree log.  ``--trace FILE`` exports per-request spans.
+    ``--workers N`` runs a multi-process tier: a front-end that
+    consistent-hash routes on the program key to N supervised worker
+    processes (crashed workers are respawned; their requests retried).
 ``top [--url URL] [--interval S]``
     Live terminal dashboard polling a running server's ``/stats``:
     QPS, cache hit ratio, latency percentiles, degraded count.
@@ -437,6 +440,8 @@ def cmd_whynot(args, out: TextIO) -> int:
 
 
 def cmd_serve(args, out: TextIO) -> int:
+    if getattr(args, "workers", 0):
+        return _cmd_serve_tier(args, out)
     from .obs import Telemetry
     from .serve import AccessLog, QueryService, SpecCache, make_server
     cache = SpecCache(args.cache) if args.cache else SpecCache()
@@ -488,6 +493,83 @@ def cmd_serve(args, out: TextIO) -> int:
             access_log.close()
         if stats is not None:
             service.attach_stats(stats)
+    return 0
+
+
+def _cmd_serve_tier(args, out: TextIO) -> int:
+    """``repro serve --workers N``: the multi-process tier.
+
+    Spawns N supervised worker processes, each a full single-process
+    server on a loopback port, and binds the consistent-hash routing
+    front-end over them.  ``--cache FILE`` is what makes the tier
+    share work: every worker opens the same SQLite spec cache, so a
+    spec computed by one worker is a disk hit for its successor after
+    a crash.  Without it each worker keeps a private in-memory cache —
+    still correct (routing pins each program to one worker), just no
+    cross-process fallback.
+    """
+    from .obs import Telemetry
+    from .serve import (AccessLog, WorkerConfig, WorkerError,
+                        WorkerPool, make_frontend)
+    if args.workers < 1:
+        print(f"error: --workers must be positive, got {args.workers}",
+              file=sys.stderr)
+        return 2
+    stats, tracer = getattr(args, "_obs", (None, None))
+    access_log = None
+    if args.access_log:
+        try:
+            access_log = AccessLog(args.access_log)
+        except OSError as exc:
+            print(f"error: cannot open access log: {exc}",
+                  file=sys.stderr)
+            return 2
+    config = WorkerConfig(cache=args.cache, engine=args.engine,
+                          deadline=args.deadline,
+                          max_predicted_cost=args.max_predicted_cost)
+    pool = WorkerPool(args.workers, config)
+    try:
+        pool.start()
+    except WorkerError as exc:
+        print(f"error: cannot start workers: {exc}", file=sys.stderr)
+        if access_log is not None:
+            access_log.close()
+        return 2
+    try:
+        frontend = make_frontend(pool, host=args.host, port=args.port,
+                                 quiet=not args.verbose,
+                                 access_log=access_log,
+                                 slow_ms=args.slow_ms,
+                                 telemetry=Telemetry(tracer))
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        pool.close()
+        if access_log is not None:
+            access_log.close()
+        return 2
+    if tracer is not None and tracer.enabled:
+        tracer.emit_run_start("serve")
+    host, port = frontend.server_address[:2]
+    where = args.cache if args.cache else "(per-worker memory)"
+    print(f"serving on http://{host}:{port}  "
+          f"workers: {args.workers}  cache: {where}",
+          file=out, flush=True)
+    print("POST /query   GET /stats /metrics /healthz   "
+          "— Ctrl-C stops", file=out, flush=True)
+    try:
+        frontend.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        frontend.server_close()
+        # Stats aggregation polls the workers, so it must run before
+        # the pool goes down.
+        if stats is not None:
+            frontend.attach_stats(stats)
+        pool.close()
+        if access_log is not None:
+            access_log.close()
     return 0
 
 
@@ -801,6 +883,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="HTTP query service over cached specifications")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8765)
+    serve.add_argument("--workers", type=int, default=0, metavar="N",
+                       help="multi-process tier: consistent-hash "
+                            "route on the program key to N worker "
+                            "processes (default 0 = serve in-process);"
+                            " combine with --cache to share specs "
+                            "across workers")
     serve.add_argument("--cache", metavar="FILE", default=None,
                        help="persistent spec cache (SQLite); default "
                             "is in-memory only")

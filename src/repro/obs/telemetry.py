@@ -286,6 +286,33 @@ class LatencyHistogram:
                 return lower + (upper - lower) * min(1.0, fraction)
         return self.bounds[-1]  # pragma: no cover - rank <= total
 
+    @classmethod
+    def from_dicts(cls, payloads: Sequence[dict]) -> "LatencyHistogram":
+        """Rebuild one histogram from :meth:`to_dict` payloads, summed.
+
+        The multi-process front-end merges per-worker ``latency``
+        blocks with this: bucket counts, totals and sums add, and the
+        quantile estimator then runs on the merged counts.  All
+        payloads must share one bucket layout (they do — every worker
+        uses :data:`DEFAULT_LATENCY_BUCKETS_MS`); an empty sequence
+        yields an empty default histogram.
+        """
+        merged: Union[LatencyHistogram, None] = None
+        for payload in payloads:
+            buckets = payload["buckets"]
+            bounds = tuple(float(bound) for bound, _ in buckets[:-1])
+            if merged is None:
+                merged = cls(bounds)
+            elif bounds != merged.bounds:
+                raise ValueError(
+                    "cannot merge histograms with different buckets: "
+                    f"{bounds} vs {merged.bounds}")
+            for index, (_, count) in enumerate(buckets):
+                merged._counts[index] += count
+            merged._sum_ms += float(payload["sum_ms"])
+            merged._count += int(payload["count"])
+        return merged if merged is not None else cls()
+
     def to_dict(self) -> dict:
         """The ``latency`` block of ``/stats``: per-bucket counts
         (``"inf"`` last), total count, sum, and p50/p95/p99."""

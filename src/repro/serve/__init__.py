@@ -14,22 +14,33 @@ specification once, then answer every query against it:
   telemetry: per-request root spans (``X-Repro-Trace-Id`` honored and
   echoed), a Prometheus-format ``GET /metrics`` endpoint, a
   structured JSON access log, and a slow-query span-tree log;
+* :mod:`repro.serve.workers` — supervised worker processes for the
+  multi-process tier (``repro serve --workers N``): spawn, READY
+  handshake, crash detection and respawn;
+* :mod:`repro.serve.router` — the consistent-hash routing front-end
+  of the tier: one process owning the listening socket, forwarding
+  sub-batches to workers by content-addressed program key, retrying
+  around worker crashes, and aggregating ``/stats`` and ``/metrics``;
 * :mod:`repro.serve.top` — the ``repro top`` live dashboard polling
   ``GET /stats``.
 """
 
 from .cache import (DISK, MEMORY, SpecCache, normalized_program,
                     program_key, tdd_key)
+from .router import FrontEnd, HashRing, make_frontend
 from .server import (MAX_BODY_BYTES, AccessLog, SpecServer,
                      make_server)
 from .service import (COMPUTED, DeadlineExceeded, QueryRequest,
-                      QueryResponse, QueryService)
+                      QueryResponse, QueryService, render_prometheus)
 from .top import TopError, fetch_stats, run_top
+from .workers import WorkerConfig, WorkerError, WorkerPool, worker_main
 
 __all__ = [
     "SpecCache", "program_key", "tdd_key", "normalized_program",
     "QueryService", "QueryRequest", "QueryResponse", "DeadlineExceeded",
     "SpecServer", "make_server", "AccessLog", "MAX_BODY_BYTES",
+    "FrontEnd", "HashRing", "make_frontend", "render_prometheus",
+    "WorkerPool", "WorkerConfig", "WorkerError", "worker_main",
     "TopError", "fetch_stats", "run_top",
     "MEMORY", "DISK", "COMPUTED",
 ]

@@ -61,7 +61,18 @@ CREATE TABLE IF NOT EXISTS specs (
     created REAL NOT NULL,
     payload TEXT NOT NULL
 );
+CREATE TABLE IF NOT EXISTS flights (
+    key TEXT PRIMARY KEY,
+    owner TEXT NOT NULL,
+    expires REAL NOT NULL
+);
 """
+
+#: Default lifetime of a cross-process flight lease (seconds).  Long
+#: enough for any sane spec computation; short enough that a worker
+#: SIGKILLed mid-compute only stalls its peers briefly before one of
+#: them takes the claim over.
+FLIGHT_TTL = 30.0
 
 
 def normalized_program(rules: Iterable[Rule], facts: Iterable[Fact],
@@ -113,6 +124,8 @@ class SpecCache:
         self.evictions = 0
         self.invalidations = 0
         self.corrupt = 0
+        self.flights_claimed = 0
+        self.flights_rejected = 0
 
     # -- SQLite layer ----------------------------------------------------
 
@@ -246,6 +259,73 @@ class SpecCache:
             self._remember(key, spec)
             self._disk_put(key, spec)
 
+    # -- cross-process single-flight leases ------------------------------
+
+    def try_claim(self, key: str, owner: str,
+                  ttl: float = FLIGHT_TTL) -> bool:
+        """Claim the cross-process flight lease for ``key``.
+
+        Returns True when this ``owner`` now holds (or already held)
+        the lease — the caller should compute the spec and
+        :meth:`release_claim` afterwards.  False means another live
+        process owns an unexpired lease: the caller should poll
+        :meth:`get` for that process's result instead of duplicating
+        the BT run.
+
+        The lease is advisory and *fail-open*: a memory-only cache, a
+        broken cache file, or any SQLite error grants the claim — at
+        worst two processes compute the same spec and the
+        ``INSERT OR REPLACE`` of :meth:`put` converges them to one
+        row.  Correctness never depends on the lease; only duplicate
+        work does.
+        """
+        if self.path is None:
+            return True
+        now = time.time()
+        try:
+            connection = self._connect()
+        except sqlite3.Error:
+            return True
+        try:
+            connection.execute("BEGIN IMMEDIATE")
+            row = connection.execute(
+                "SELECT owner, expires FROM flights WHERE key = ?",
+                (key,)).fetchone()
+            if row is not None and row[0] != owner and row[1] > now:
+                connection.rollback()
+                with self._lock:
+                    self.flights_rejected += 1
+                return False
+            connection.execute(
+                "INSERT OR REPLACE INTO flights (key, owner, expires) "
+                "VALUES (?, ?, ?)", (key, owner, now + ttl))
+            connection.commit()
+            with self._lock:
+                self.flights_claimed += 1
+            return True
+        except sqlite3.Error:
+            return True
+        finally:
+            connection.close()
+
+    def release_claim(self, key: str, owner: str) -> None:
+        """Drop ``owner``'s flight lease on ``key`` (idempotent)."""
+        if self.path is None:
+            return
+        try:
+            connection = self._connect()
+        except sqlite3.Error:
+            return
+        try:
+            connection.execute(
+                "DELETE FROM flights WHERE key = ? AND owner = ?",
+                (key, owner))
+            connection.commit()
+        except sqlite3.Error:
+            pass
+        finally:
+            connection.close()
+
     def invalidate(self, key: str) -> bool:
         """Drop one entry from both layers; True when anything was
         present."""
@@ -312,6 +392,8 @@ class SpecCache:
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
                 "corrupt": self.corrupt,
+                "flights_claimed": self.flights_claimed,
+                "flights_rejected": self.flights_rejected,
                 "memory_entries": len(self._memory),
             }
 

@@ -101,13 +101,35 @@ class SpecServer(ThreadingHTTPServer):
                  quiet: bool = True,
                  access_log: Union[AccessLog, None] = None,
                  slow_ms: Union[float, None] = None,
-                 max_body_bytes: int = MAX_BODY_BYTES):
+                 max_body_bytes: int = MAX_BODY_BYTES,
+                 worker_id: Union[int, None] = None):
         self.service = service
+        self.telemetry = service.telemetry
         self.quiet = quiet
         self.access_log = access_log
         self.slow_ms = slow_ms
         self.max_body_bytes = max_body_bytes
+        #: Set when this server is one worker of a multi-process tier
+        #: (``repro serve --workers N``); surfaces in ``/healthz``.
+        self.worker_id = worker_id
         super().__init__(address, _Handler)
+
+    # -- endpoint payloads (overridden by the front-end) -----------------
+
+    def health_payload(self) -> dict:
+        from .. import __version__
+        from ..obs.trace import TRACE_SCHEMA
+        payload = {"ok": True, "version": __version__,
+                   "trace_schema": TRACE_SCHEMA}
+        if self.worker_id is not None:
+            payload["worker"] = self.worker_id
+        return payload
+
+    def stats_dict(self) -> dict:
+        return self.service.stats_dict()
+
+    def prometheus_text(self) -> str:
+        return self.service.prometheus_text()
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -149,7 +171,7 @@ class _Handler(BaseHTTPRequestHandler):
     # -- request lifecycle (span + access log + slow log) ----------------
 
     def _observed(self, method: str) -> None:
-        telemetry = self.server.service.telemetry
+        telemetry = self.server.telemetry
         root = telemetry.root(
             "http.request",
             trace_id=self.headers.get("X-Repro-Trace-Id"),
@@ -207,24 +229,25 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _route_get(self, root) -> int:
         if self.path == "/healthz":
-            from .. import __version__
-            from ..obs.trace import TRACE_SCHEMA
-            return self._reply(200, {"ok": True,
-                                     "version": __version__,
-                                     "trace_schema": TRACE_SCHEMA})
+            return self._reply(200, self.server.health_payload())
         if self.path == "/stats":
-            return self._reply(200, self.server.service.stats_dict())
+            return self._reply(200, self.server.stats_dict())
         if self.path == "/metrics":
             return self._reply_text(
-                200, self.server.service.prometheus_text(),
+                200, self.server.prometheus_text(),
                 "text/plain; version=0.0.4; charset=utf-8")
         return self._reply(404,
                            {"error": f"unknown path {self.path!r}"})
 
-    def _route_post(self, root) -> int:
-        if self.path not in ("/query", "/"):
-            return self._reply(
-                404, {"error": f"unknown path {self.path!r}"})
+    def _read_batch(self):
+        """Read and validate a ``/query`` body.
+
+        Returns ``(raw_items, requests)`` on success, or the int
+        status of the error reply already sent.  ``raw_items`` are the
+        verbatim request dictionaries (the front-end forwards those to
+        workers unchanged); ``requests`` the validated
+        :class:`QueryRequest` objects in the same order.
+        """
         try:
             length = int(self.headers.get("Content-Length", 0) or 0)
         except ValueError:
@@ -253,6 +276,19 @@ class _Handler(BaseHTTPRequestHandler):
             requests = [QueryRequest.from_dict(item) for item in raw]
         except (ValueError, TypeError) as exc:
             return self._reply(400, {"error": str(exc)})
+        return raw, requests
+
+    def _route_post(self, root) -> int:
+        if self.path not in ("/query", "/"):
+            return self._reply(
+                404, {"error": f"unknown path {self.path!r}"})
+        parsed = self._read_batch()
+        if isinstance(parsed, int):
+            return parsed
+        raw, requests = parsed
+        return self._handle_batch(raw, requests, root)
+
+    def _handle_batch(self, raw: list, requests, root) -> int:
         responses = self.server.service.serve_batch(requests,
                                                     parent=root)
         self._log_extra = _summarize(responses)
@@ -286,8 +322,10 @@ def make_server(service: QueryService, host: str = "127.0.0.1",
                 port: int = 0, quiet: bool = True,
                 access_log: Union[AccessLog, None] = None,
                 slow_ms: Union[float, None] = None,
-                max_body_bytes: int = MAX_BODY_BYTES) -> SpecServer:
+                max_body_bytes: int = MAX_BODY_BYTES,
+                worker_id: Union[int, None] = None) -> SpecServer:
     """Bind (but do not run) a server; ``port=0`` picks a free port."""
     return SpecServer((host, port), service, quiet=quiet,
                       access_log=access_log, slow_ms=slow_ms,
-                      max_body_bytes=max_body_bytes)
+                      max_body_bytes=max_body_bytes,
+                      worker_id=worker_id)

@@ -42,6 +42,7 @@ static-analysis work once per program, not per request.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import OrderedDict
@@ -64,6 +65,11 @@ COMPUTED = "computed"
 
 #: Default horizon of the degraded (windowed) evaluation path.
 DEGRADED_WINDOW = 64
+
+#: Longest a thread will poll a *peer process's* in-flight spec
+#: computation (seconds) before failing open and computing itself.
+#: Bounded so a SIGKILLed peer can only stall, never wedge, a request.
+PEER_WAIT_LIMIT = 10.0
 
 #: Parsed programs memoised per service (keyed by raw request text).
 #: Parsing + content-hashing a large program dwarfs a warm query, so a
@@ -245,6 +251,8 @@ class QueryService:
         self._computes: dict[str, int] = {}
         self._parse_lock = threading.Lock()
         self._parse_memo: OrderedDict[str, tuple[TDD, str]] = OrderedDict()
+        #: Identity this process stamps on cross-process flight leases.
+        self._flight_owner = f"{os.getpid()}-{id(self):x}"
         self._cost_lock = threading.Lock()
         self._cost_memo: dict[str, float] = {}
 
@@ -373,23 +381,51 @@ class QueryService:
                 with self._counters_lock:
                     self._counters.singleflight_waits += 1
                 return spec, source
-            with self._flight_lock:
-                self._computes[key] = self._computes.get(key, 0) + 1
-            with self._counters_lock:
-                self._counters.spec_computes += 1
-            span = (None if parent is None
-                    else parent.child("spec.compute", key=key[:12]))
+            # Cross-process single-flight: with a disk-backed cache,
+            # claim the key's flight lease before computing.  A denied
+            # claim means a peer process is already running BT for
+            # this key — poll for its stored result instead of
+            # duplicating the work, but only for a bounded window
+            # (fail open and compute if the peer dies or stalls).
+            claimed = self.cache.try_claim(key, self._flight_owner)
+            if not claimed:
+                wait_limit = PEER_WAIT_LIMIT
+                if deadline is not None:
+                    wait_limit = min(wait_limit, deadline)
+                wait_deadline = time.monotonic() + wait_limit
+                while not claimed:
+                    spec, source = self.cache.get_with_source(
+                        key, parent=parent)
+                    if spec is not None:
+                        with self._counters_lock:
+                            self._counters.singleflight_waits += 1
+                        return spec, source
+                    if time.monotonic() >= wait_deadline:
+                        break
+                    time.sleep(0.05)
+                    claimed = self.cache.try_claim(key,
+                                                   self._flight_owner)
             try:
-                spec = self._compute(tdd, deadline, engine=engine)
-            except (DeadlineExceeded, EvaluationError) as exc:
-                if span is not None:
-                    span.set_attribute("error", str(exc))
-                raise
+                with self._flight_lock:
+                    self._computes[key] = self._computes.get(key, 0) + 1
+                with self._counters_lock:
+                    self._counters.spec_computes += 1
+                span = (None if parent is None
+                        else parent.child("spec.compute", key=key[:12]))
+                try:
+                    spec = self._compute(tdd, deadline, engine=engine)
+                except (DeadlineExceeded, EvaluationError) as exc:
+                    if span is not None:
+                        span.set_attribute("error", str(exc))
+                    raise
+                finally:
+                    if span is not None:
+                        span.end()
+                self.cache.put(key, spec)
+                return spec, COMPUTED
             finally:
-                if span is not None:
-                    span.end()
-            self.cache.put(key, spec)
-            return spec, COMPUTED
+                if claimed:
+                    self.cache.release_claim(key, self._flight_owner)
         finally:
             lock.release()
 
@@ -668,67 +704,81 @@ class QueryService:
         the number of served requests — the reconciliation the CI
         smoke job and the telemetry concurrency test assert.
         """
-        from .. import __version__
-        from ..obs.trace import TRACE_SCHEMA
-        serve = self.counters()
-        cache = self.cache.counters()
-        lines = [
-            "# HELP repro_info Build information.",
-            "# TYPE repro_info gauge",
-            f'repro_info{{version="{__version__}",'
-            f'trace_schema="{TRACE_SCHEMA}"}} 1',
-        ]
+        return render_prometheus(self.counters(),
+                                 self.cache.counters(),
+                                 self.latency)
 
-        def counter(name: str, help_text: str, value: int,
-                    labels: str = "") -> None:
-            lines.append(f"# HELP {name} {help_text}")
-            lines.append(f"# TYPE {name} counter")
-            lines.append(f"{name}{labels} {value}")
 
-        counter("repro_requests_total",
-                "Query requests received.", serve["requests"])
-        counter("repro_batches_total",
-                "Request batches served.", serve["batches"])
-        counter("repro_degraded_total",
-                "Responses answered by the windowed fallback.",
-                serve["degraded"])
-        counter("repro_refused_total",
-                "Requests refused by cost-based admission control.",
-                serve["refused"])
-        counter("repro_errors_total",
-                "Requests that failed (parse/kind/query errors).",
-                serve["errors"])
-        counter("repro_spec_computes_total",
-                "Full BT specification computations.",
-                serve["spec_computes"])
-        counter("repro_singleflight_waits_total",
-                "Requests that waited on an in-flight computation.",
-                serve["singleflight_waits"])
-        counter("repro_explained_total",
-                "Responses carrying a recorded proof DAG "
-                "(explain: true).", serve["explained"])
-        counter("repro_cache_lookups_total",
-                "Spec cache lookups.", cache["lookups"])
-        lines.append("# HELP repro_cache_hits_total "
-                     "Spec cache hits by layer.")
-        lines.append("# TYPE repro_cache_hits_total counter")
-        lines.append('repro_cache_hits_total{layer="memory"} '
-                     f'{cache["mem_hits"]}')
-        lines.append('repro_cache_hits_total{layer="disk"} '
-                     f'{cache["disk_hits"]}')
-        counter("repro_cache_misses_total",
-                "Spec cache misses.", cache["misses"])
-        counter("repro_cache_corrupt_total",
-                "Corrupt/version-skewed cache rows discarded.",
-                cache["corrupt"])
-        counter("repro_cache_evictions_total",
-                "LRU evictions from the in-memory layer.",
-                cache["evictions"])
-        lines.append("# HELP repro_cache_memory_entries "
-                     "Entries currently in the in-memory LRU.")
-        lines.append("# TYPE repro_cache_memory_entries gauge")
-        lines.append("repro_cache_memory_entries "
-                     f'{cache["memory_entries"]}')
-        lines.extend(self.latency.prometheus_lines(
-            "repro_request_duration_seconds"))
-        return "\n".join(lines) + "\n"
+def render_prometheus(serve: dict, cache: dict, latency,
+                      extra_lines: Sequence[str] = ()) -> str:
+    """Prometheus text exposition from counter snapshots.
+
+    Shared by the single-process server (one service's counters) and
+    the multi-process front-end (the same counters aggregated across
+    workers, plus ``repro_worker_*`` lines via ``extra_lines``).
+    ``latency`` is anything with ``prometheus_lines(name)`` — a
+    :class:`~repro.obs.telemetry.LatencyHistogram`, merged or not.
+    """
+    from .. import __version__
+    from ..obs.trace import TRACE_SCHEMA
+    lines = [
+        "# HELP repro_info Build information.",
+        "# TYPE repro_info gauge",
+        f'repro_info{{version="{__version__}",'
+        f'trace_schema="{TRACE_SCHEMA}"}} 1',
+    ]
+
+    def counter(name: str, help_text: str, value: int,
+                labels: str = "") -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name}{labels} {value}")
+
+    counter("repro_requests_total",
+            "Query requests received.", serve["requests"])
+    counter("repro_batches_total",
+            "Request batches served.", serve["batches"])
+    counter("repro_degraded_total",
+            "Responses answered by the windowed fallback.",
+            serve["degraded"])
+    counter("repro_refused_total",
+            "Requests refused by cost-based admission control.",
+            serve["refused"])
+    counter("repro_errors_total",
+            "Requests that failed (parse/kind/query errors).",
+            serve["errors"])
+    counter("repro_spec_computes_total",
+            "Full BT specification computations.",
+            serve["spec_computes"])
+    counter("repro_singleflight_waits_total",
+            "Requests that waited on an in-flight computation.",
+            serve["singleflight_waits"])
+    counter("repro_explained_total",
+            "Responses carrying a recorded proof DAG "
+            "(explain: true).", serve["explained"])
+    counter("repro_cache_lookups_total",
+            "Spec cache lookups.", cache["lookups"])
+    lines.append("# HELP repro_cache_hits_total "
+                 "Spec cache hits by layer.")
+    lines.append("# TYPE repro_cache_hits_total counter")
+    lines.append('repro_cache_hits_total{layer="memory"} '
+                 f'{cache["mem_hits"]}')
+    lines.append('repro_cache_hits_total{layer="disk"} '
+                 f'{cache["disk_hits"]}')
+    counter("repro_cache_misses_total",
+            "Spec cache misses.", cache["misses"])
+    counter("repro_cache_corrupt_total",
+            "Corrupt/version-skewed cache rows discarded.",
+            cache["corrupt"])
+    counter("repro_cache_evictions_total",
+            "LRU evictions from the in-memory layer.",
+            cache["evictions"])
+    lines.append("# HELP repro_cache_memory_entries "
+                 "Entries currently in the in-memory LRU.")
+    lines.append("# TYPE repro_cache_memory_entries gauge")
+    lines.append("repro_cache_memory_entries "
+                 f'{cache["memory_entries"]}')
+    lines.extend(latency.prometheus_lines(
+        "repro_request_duration_seconds"))
+    lines.extend(extra_lines)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,406 @@
+"""Worker processes for the multi-process serving tier.
+
+``repro serve --workers N`` splits serving across processes so the warm
+query path scales with cores instead of being capped by one
+interpreter's GIL: a front-end (:mod:`repro.serve.router`) owns the
+listening socket and consistent-hash routes each request's program key
+to one of N *worker* processes, each running the ordinary
+single-process :class:`~repro.serve.server.SpecServer` on a private
+loopback port.
+
+This module is both the supervisor half (:class:`WorkerPool`, which
+spawns, watches, and respawns the children) and the child entry point
+(``python -m repro.serve.workers``, :func:`worker_main`).
+
+Lifecycle
+---------
+
+* **Spawn** — the pool launches ``sys.executable -m repro.serve.workers
+  --worker-id I ...`` with the repro package directory forced onto
+  ``PYTHONPATH``.  The child binds port 0, prints one
+  ``REPRO-WORKER-READY port=P pid=Q`` line on stdout, and serves; the
+  parent parses that line for the port.  Ports are never configured,
+  so two tiers (or a respawn racing an old socket) cannot collide.
+* **Supervise** — a daemon thread polls every worker: an exited
+  process, or one the front-end reported unreachable, is killed (if
+  needed) and respawned under the *same worker id* — the hash ring is
+  keyed by id, so a respawned worker takes back exactly its old key
+  range.  Respawns increment per-worker and pool ``restarts`` counters
+  (surfaced in ``/stats`` and as ``repro_worker_restarts_total``).
+  A reported-down worker that still answers ``/healthz`` is marked
+  back up without a restart — a slow response must not trigger a
+  bounce loop.
+* **Die with the parent** — each child runs a watchdog thread that
+  exits the process the moment ``os.getppid()`` changes, so a killed
+  front-end can never leak a worker tier.
+"""
+
+from __future__ import annotations
+
+import http.client
+import os
+import select
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Union
+
+#: Handshake line prefix a worker prints once its server is bound.
+READY_PREFIX = "REPRO-WORKER-READY"
+
+#: Longest the pool waits for a spawned worker's handshake (seconds).
+SPAWN_TIMEOUT = 60.0
+
+#: Supervisor poll interval (seconds).  Failure reports from the
+#: front-end wake the supervisor immediately; this is only the cadence
+#: at which silent crashes are noticed.
+SUPERVISE_INTERVAL = 0.25
+
+
+class WorkerError(RuntimeError):
+    """A worker process could not be spawned or handshaken."""
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Service knobs every worker of a tier shares.
+
+    ``cache`` is the path of the *shared* SQLite spec cache — the
+    cross-process layer that makes any worker able to answer any key
+    (after rerouting) without recomputing what another worker already
+    stored.  ``None`` leaves each worker with a private in-memory
+    cache: still correct, but a respawned worker starts cold.
+    """
+
+    cache: Union[str, None] = None
+    engine: str = "bt"
+    deadline: Union[float, None] = None
+    max_predicted_cost: Union[float, None] = None
+
+
+def _worker_command(worker_id: int, config: WorkerConfig) -> list:
+    # -c rather than -m: runpy would import the repro.serve package
+    # first and then warn about re-executing this module inside it.
+    entry = ("from repro.serve.workers import worker_main; "
+             "raise SystemExit(worker_main())")
+    command = [sys.executable, "-c", entry,
+               "--worker-id", str(worker_id),
+               "--engine", config.engine]
+    if config.cache:
+        command += ["--cache", str(config.cache)]
+    if config.deadline is not None:
+        command += ["--deadline", str(config.deadline)]
+    if config.max_predicted_cost is not None:
+        command += ["--max-predicted-cost",
+                    str(config.max_predicted_cost)]
+    return command
+
+
+def _worker_env() -> dict:
+    """The child's environment: inherit, plus the package on the path.
+
+    The parent may have imported ``repro`` via a relative
+    ``PYTHONPATH=src`` or an installed copy — the child must resolve
+    the same package regardless of its working directory, so the
+    package's parent directory is prepended explicitly.
+    """
+    env = os.environ.copy()
+    package_parent = str(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH", "")
+    if package_parent not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (package_parent + os.pathsep + existing
+                             if existing else package_parent)
+    return env
+
+
+class WorkerProcess:
+    """One supervised child: its process handle, port, and counters."""
+
+    def __init__(self, worker_id: int, config: WorkerConfig):
+        self.id = worker_id
+        self.config = config
+        self.proc: Union[subprocess.Popen, None] = None
+        self.port: Union[int, None] = None
+        #: Bumped on every (re)spawn; failure reports carry the
+        #: generation they saw, so a report about a worker that was
+        #: already respawned is ignored as stale.
+        self.generation = 0
+        self.restarts = 0
+        #: Set by the front-end when a forward to this worker failed;
+        #: cleared on respawn (or by a passing health check).
+        self.down = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def spawn(self) -> None:
+        """Start the child and wait for its READY handshake."""
+        self._close_pipe()
+        self.proc = subprocess.Popen(
+            _worker_command(self.id, self.config),
+            stdout=subprocess.PIPE, text=True, env=_worker_env())
+        deadline = time.monotonic() + SPAWN_TIMEOUT
+        line = ""
+        while time.monotonic() < deadline:
+            if self.proc.poll() is not None:
+                raise WorkerError(
+                    f"worker {self.id} exited with status "
+                    f"{self.proc.returncode} before its handshake")
+            ready, _, _ = select.select([self.proc.stdout], [], [], 0.1)
+            if ready:
+                line = self.proc.stdout.readline()
+                break
+        fields = dict(part.split("=", 1)
+                      for part in line.split()[1:]) \
+            if line.startswith(READY_PREFIX) else None
+        if not fields or "port" not in fields:
+            self.kill()
+            raise WorkerError(
+                f"worker {self.id} printed {line!r} instead of a "
+                f"'{READY_PREFIX} port=...' handshake")
+        self.port = int(fields["port"])
+        self.generation += 1
+        self.down = False
+
+    def _close_pipe(self) -> None:
+        if self.proc is not None and self.proc.stdout is not None:
+            self.proc.stdout.close()
+
+    def kill(self) -> None:
+        """Stop the child (TERM, then KILL); reap it."""
+        if self.proc is None:
+            return
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait()
+        self._close_pipe()
+
+    # -- state -----------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        """Routable: handshaken and not known-down.
+
+        Deliberately *not* a ``proc.poll()`` check: routability flips
+        only through the supervisor (which does poll, and respawns)
+        or a failure report.  The front-end therefore keeps routing
+        to a silently crashed worker until a forward actually fails —
+        making the failure path (one retried request) the single,
+        deterministic degradation mode instead of a race between
+        poll timing and request timing.
+        """
+        return (self.proc is not None and self.port is not None
+                and not self.down)
+
+    @property
+    def pid(self) -> Union[int, None]:
+        return None if self.proc is None else self.proc.pid
+
+    def healthy(self, timeout: float = 2.0) -> bool:
+        """One ``/healthz`` probe against the worker's current port."""
+        if (self.proc is None or self.proc.poll() is not None
+                or self.port is None):
+            return False
+        connection = http.client.HTTPConnection("127.0.0.1", self.port,
+                                                timeout=timeout)
+        try:
+            connection.request("GET", "/healthz")
+            return connection.getresponse().status == 200
+        except OSError:
+            return False
+        finally:
+            connection.close()
+
+    def describe(self) -> dict:
+        """The worker's row in the front-end's ``/stats``."""
+        return {"id": self.id, "port": self.port, "pid": self.pid,
+                "up": self.alive, "generation": self.generation,
+                "restarts": self.restarts}
+
+
+class WorkerPool:
+    """N supervised workers plus the respawn loop.
+
+    Thread-safe: the front-end's handler threads call
+    :meth:`alive_ids`, :meth:`snapshot` and :meth:`report_failure`
+    concurrently with the supervisor thread's respawns.
+    """
+
+    def __init__(self, size: int,
+                 config: Union[WorkerConfig, None] = None,
+                 supervise_interval: float = SUPERVISE_INTERVAL):
+        if size < 1:
+            raise ValueError("a worker pool needs at least 1 worker")
+        self.config = config if config is not None else WorkerConfig()
+        self.workers = [WorkerProcess(i, self.config)
+                        for i in range(size)]
+        self.supervise_interval = supervise_interval
+        self.restarts = 0
+        self._lock = threading.RLock()
+        self._wake = threading.Event()
+        self._closed = False
+        self._thread: Union[threading.Thread, None] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "WorkerPool":
+        """Spawn every worker, then start the supervisor thread."""
+        try:
+            for worker in self.workers:
+                worker.spawn()
+        except WorkerError:
+            self.close()
+            raise
+        self._thread = threading.Thread(target=self._supervise,
+                                        name="repro-worker-supervisor",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop supervision and terminate every worker."""
+        self._closed = True
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        with self._lock:
+            for worker in self.workers:
+                worker.kill()
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- supervision -----------------------------------------------------
+
+    def _supervise(self) -> None:
+        while not self._closed:
+            self._wake.wait(self.supervise_interval)
+            self._wake.clear()
+            if self._closed:
+                return
+            with self._lock:
+                for worker in self.workers:
+                    if self._closed:
+                        return
+                    dead = (worker.proc is None
+                            or worker.proc.poll() is not None)
+                    if not dead and not worker.down:
+                        continue
+                    if not dead and worker.healthy():
+                        # Reported down but answering: a transient
+                        # failure, not a crash — no bounce.
+                        worker.down = False
+                        continue
+                    worker.kill()
+                    try:
+                        worker.spawn()
+                    except WorkerError:
+                        # Spawn failed (e.g. fork pressure): leave the
+                        # worker down; the next tick retries.
+                        worker.down = True
+                        continue
+                    worker.restarts += 1
+                    self.restarts += 1
+
+    def report_failure(self, worker_id: int, generation: int) -> None:
+        """The front-end saw a connection failure to this worker.
+
+        ``generation`` is the spawn generation the failing connection
+        targeted; a report about an earlier generation is stale (the
+        worker was already respawned) and ignored.  Fresh reports mark
+        the worker un-routable and wake the supervisor immediately, so
+        a crashed worker's respawn starts now, not a poll tick later.
+        """
+        with self._lock:
+            worker = self.workers[worker_id]
+            if worker.generation != generation:
+                return
+            worker.down = True
+        self._wake.set()
+
+    # -- routing views ---------------------------------------------------
+
+    def alive_ids(self) -> list:
+        with self._lock:
+            return [w.id for w in self.workers if w.alive]
+
+    def snapshot(self, worker_id: int) -> tuple:
+        """(port, generation, alive) of one worker, atomically."""
+        with self._lock:
+            worker = self.workers[worker_id]
+            return worker.port, worker.generation, worker.alive
+
+    def describe(self) -> list:
+        with self._lock:
+            return [w.describe() for w in self.workers]
+
+
+# ---------------------------------------------------------------------------
+# The child entry point
+# ---------------------------------------------------------------------------
+
+def _watch_parent(parent_pid: int) -> None:
+    """Exit the worker as soon as its spawning parent is gone."""
+    while True:
+        time.sleep(0.5)
+        if os.getppid() != parent_pid:
+            os._exit(3)
+
+
+def worker_main(argv=None) -> int:
+    """``python -m repro.serve.workers`` — run one tier worker.
+
+    Binds the standard :class:`SpecServer` on a fresh loopback port,
+    prints the ``REPRO-WORKER-READY`` handshake, and serves until
+    killed (or until the parent process disappears).
+    """
+    import argparse
+
+    from ..obs import Telemetry
+    from .server import make_server
+    from .service import QueryService
+    from .cache import SpecCache
+
+    parser = argparse.ArgumentParser(
+        prog="repro.serve.workers",
+        description="internal: one worker of `repro serve --workers N`")
+    parser.add_argument("--worker-id", type=int, required=True)
+    parser.add_argument("--cache", default=None)
+    parser.add_argument("--engine", default="bt")
+    parser.add_argument("--deadline", type=float, default=None)
+    parser.add_argument("--max-predicted-cost", type=float,
+                        default=None)
+    args = parser.parse_args(argv)
+
+    cache = SpecCache(args.cache) if args.cache else SpecCache()
+    service = QueryService(cache=cache,
+                           default_deadline=args.deadline,
+                           telemetry=Telemetry(),
+                           engine=args.engine,
+                           max_predicted_cost=args.max_predicted_cost)
+    server = make_server(service, host="127.0.0.1", port=0,
+                         quiet=True, worker_id=args.worker_id)
+    port = server.server_address[1]
+    print(f"{READY_PREFIX} port={port} pid={os.getpid()}", flush=True)
+    threading.Thread(target=_watch_parent, args=(os.getppid(),),
+                     daemon=True).start()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(worker_main())

@@ -1,8 +1,21 @@
-"""Shared fixtures: the paper's worked examples and test strategies."""
+"""Shared fixtures: the paper's worked examples, plus the serve-tier
+harness (live servers on OS-assigned ports, HTTP clients, wait
+helpers) used by every ``test_serve_*`` module.
+
+Servers always bind port 0 and read the assigned port back — never a
+fixed port, so parallel test runs (or a developer's own ``repro
+serve``) cannot collide.
+"""
 
 from __future__ import annotations
 
+import http.client
+import io
+import json
+import threading
+import time
 from pathlib import Path
+from typing import Union
 
 import pytest
 
@@ -75,3 +88,173 @@ def travel_db(travel_program):
 @pytest.fixture()
 def path_db(path_program):
     return TemporalDatabase(path_program.facts)
+
+
+# -- serve-tier harness ----------------------------------------------------
+
+
+def wait_until(predicate, timeout: float = 10.0,
+               message: str = "condition not reached before timeout"):
+    """Poll until ``predicate()`` holds.
+
+    Access-log lines and root spans are written *after* the response
+    bytes go out, so observers must wait for the handler's finally
+    block rather than race it.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.01)
+    assert predicate(), message
+
+
+class ServeClient:
+    """A plain ``http.client`` front for one loopback server port."""
+
+    def __init__(self, port: int):
+        self.port = port
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+    def request(self, method: str, path: str, body=None,
+                headers: Union[dict, None] = None, timeout: float = 30):
+        """One HTTP exchange; returns ``(response, raw_bytes)``."""
+        connection = http.client.HTTPConnection("127.0.0.1",
+                                                self.port,
+                                                timeout=timeout)
+        try:
+            payload = (json.dumps(body) if isinstance(body, dict)
+                       else body)
+            connection.request(method, path, payload, headers or {})
+            response = connection.getresponse()
+            raw = response.read()
+            return response, raw
+        finally:
+            connection.close()
+
+    def get_json(self, path: str):
+        """``GET path``; returns ``(status, parsed_json)``."""
+        response, raw = self.request("GET", path)
+        return response.status, json.loads(raw)
+
+    def post_json(self, payload, path: str = "/query"):
+        """``POST path``; returns ``(status, parsed_json)``."""
+        response, raw = self.request("POST", path, payload)
+        return response.status, json.loads(raw)
+
+    def post_query(self, body, headers: Union[dict, None] = None):
+        """``POST /query``; returns ``(response, parsed_json)``."""
+        response, raw = self.request("POST", "/query", body, headers)
+        return response, json.loads(raw)
+
+
+class ServeEndpoint(ServeClient):
+    """A live server plus handles on its observability surfaces.
+
+    ``server`` is the bound HTTP server (in-process ``SpecServer`` or
+    tier ``FrontEnd``); ``service``/``sink`` are only set for the
+    in-process shape, ``pool`` only for the tier.
+    """
+
+    def __init__(self, server, service=None, sink=None,
+                 log_stream=None, access_log=None, pool=None):
+        super().__init__(server.server_address[1])
+        self.server = server
+        self.service = service
+        self.sink = sink
+        self.log_stream = log_stream
+        self.access_log = access_log
+        self.pool = pool
+
+    def log_records(self) -> list[dict]:
+        return [json.loads(line)
+                for line in self.log_stream.getvalue().splitlines()]
+
+
+def _serve_in_thread(server) -> None:
+    thread = threading.Thread(target=server.serve_forever,
+                              daemon=True)
+    thread.start()
+
+
+@pytest.fixture()
+def serve_endpoint():
+    """Factory for live in-process servers on OS-assigned ports.
+
+    ``serve_endpoint(**server_kwargs)`` starts a fresh
+    ``QueryService`` (in-memory cache, span-collecting telemetry, an
+    in-memory JSON access log) behind ``make_server(port=0, ...)``
+    and returns a :class:`ServeEndpoint`.  Pass ``cache=`` to share a
+    ``SpecCache``; other keywords reach ``make_server``.
+    """
+    from repro.obs import ListSink, Telemetry, Tracer
+    from repro.serve import (AccessLog, QueryService, SpecCache,
+                             make_server)
+
+    started: list = []
+
+    def start(cache=None, **server_kwargs):
+        sink = ListSink()
+        service = QueryService(
+            cache=cache if cache is not None else SpecCache(),
+            telemetry=Telemetry(Tracer(sink)))
+        log_stream = io.StringIO()
+        access_log = AccessLog(log_stream)
+        server = make_server(service, port=0, access_log=access_log,
+                             **server_kwargs)
+        _serve_in_thread(server)
+        started.append(server)
+        return ServeEndpoint(server, service=service, sink=sink,
+                             log_stream=log_stream,
+                             access_log=access_log)
+
+    yield start
+    for server in started:
+        server.shutdown()
+        server.server_close()
+
+
+@pytest.fixture()
+def tier():
+    """Factory for live multi-process tiers (front-end + N workers).
+
+    ``tier(workers=2, **frontend_kwargs)`` spawns a supervised
+    ``WorkerPool``, binds a routing ``FrontEnd`` on port 0 with an
+    in-memory access log, and returns a :class:`ServeEndpoint` whose
+    ``pool`` attribute exposes the workers (for fault injection).
+    ``config=`` forwards a ``WorkerConfig`` (shared cache file,
+    engine, deadline); ``supervise_interval=`` tunes the supervisor
+    poll cadence.
+    """
+    from repro.serve import AccessLog, WorkerPool, make_frontend
+
+    cleanups: list = []
+
+    def start(workers: int = 2, config=None,
+              supervise_interval: Union[float, None] = None,
+              **frontend_kwargs):
+        pool_kwargs = {}
+        if supervise_interval is not None:
+            pool_kwargs["supervise_interval"] = supervise_interval
+        pool = WorkerPool(workers, config, **pool_kwargs)
+        pool.start()
+        cleanups.append(("pool", pool))
+        log_stream = io.StringIO()
+        access_log = AccessLog(log_stream)
+        frontend = make_frontend(pool, access_log=access_log,
+                                 **frontend_kwargs)
+        _serve_in_thread(frontend)
+        cleanups.append(("frontend", frontend))
+        return ServeEndpoint(frontend, log_stream=log_stream,
+                             access_log=access_log, pool=pool)
+
+    yield start
+    for kind, item in reversed(cleanups):
+        if kind == "frontend":
+            item.shutdown()
+            item.server_close()
+        else:
+            item.close()

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import io
 import json
+import multiprocessing
 import sqlite3
+import time
 
 import pytest
 
@@ -22,6 +24,11 @@ from repro.serve import DISK, MEMORY, SpecCache, tdd_key
 
 EVEN = "even(T+2) :- even(T).\neven(0).\n"
 ODD = "odd(T+2) :- odd(T).\nodd(1).\n"
+
+# fork, explicitly: the workers below are plain closures over the
+# parent's state, and every child builds its own SQLite connections
+# (SpecCache opens one per operation, so none cross the fork).
+_MP = multiprocessing.get_context("fork")
 
 
 @pytest.fixture()
@@ -179,6 +186,149 @@ class TestCorruption:
         assert response.ok and response.answer is True
         assert response.source == "computed"
         assert service.compute_count(key) == 1
+
+
+def _racing_put(path: str, barrier, results) -> None:
+    """Child: compute the EVEN spec independently and hammer put()."""
+    tdd = TDD.from_text(EVEN)
+    key = tdd_key(tdd)
+    spec = compute_specification(tdd.rules, tdd.database)
+    cache = SpecCache(path)
+    barrier.wait(timeout=30)
+    for _ in range(5):
+        cache.put(key, spec)
+    results.put(key)
+
+
+def _racing_claim(path: str, key: str, index: int, barrier,
+                  results) -> None:
+    """Child: race one try_claim against the sibling processes."""
+    cache = SpecCache(path)
+    owner = f"proc-{index}"
+    barrier.wait(timeout=30)
+    won = cache.try_claim(key, owner)
+    results.put((index, won))
+    if won:
+        # Hold the lease until the losers have reported, then free it.
+        time.sleep(0.5)
+        cache.release_claim(key, owner)
+
+
+def _racing_serve(path: str, barrier, results) -> None:
+    """Child: answer the same query through a private QueryService."""
+    from repro.serve import QueryRequest, QueryService
+    service = QueryService(cache=SpecCache(path))
+    barrier.wait(timeout=30)
+    response = service.serve(
+        QueryRequest(program=EVEN, query="even(8)"))
+    results.put((response.ok, response.answer,
+                 service.cache.counters()["flights_claimed"]))
+
+
+class TestMultiProcessWriters:
+    """Two (or more) worker processes sharing one cache file: racing
+    writers converge to a single clean row, and the cross-process
+    single-flight lease admits exactly one computer at a time."""
+
+    WRITERS = 4
+
+    def _run(self, target, args_for) -> None:
+        processes = [_MP.Process(target=target, args=args_for(i))
+                     for i in range(self.WRITERS)]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=60)
+        assert all(p.exitcode == 0 for p in processes), \
+            [p.exitcode for p in processes]
+
+    def test_racing_writers_converge_to_one_clean_row(
+            self, cache_path, even_spec):
+        key, spec = even_spec
+        barrier = _MP.Barrier(self.WRITERS)
+        results = _MP.Queue()
+        self._run(_racing_put,
+                  lambda i: (str(cache_path), barrier, results))
+        keys = {results.get(timeout=10)
+                for _ in range(self.WRITERS)}
+        assert keys == {key}, "every process derived the same key"
+        connection = sqlite3.connect(str(cache_path))
+        try:
+            (rows,) = connection.execute(
+                "SELECT COUNT(*) FROM specs WHERE key = ?",
+                (key,)).fetchone()
+        finally:
+            connection.close()
+        assert rows == 1
+        # the surviving row is intact, not an interleaved mess
+        fresh = SpecCache(cache_path)
+        got, source = fresh.get_with_source(key)
+        assert source == DISK
+        assert spec_to_dict(got) == spec_to_dict(spec)
+        assert fresh.counters()["corrupt"] == 0
+
+    def test_claim_race_has_exactly_one_winner(self, cache_path):
+        # materialize the cache file (and the flights table) first
+        SpecCache(cache_path)._connect().close()
+        barrier = _MP.Barrier(self.WRITERS)
+        results = _MP.Queue()
+        self._run(_racing_claim,
+                  lambda i: (str(cache_path), "race-key", i,
+                             barrier, results))
+        outcomes = [results.get(timeout=10)
+                    for _ in range(self.WRITERS)]
+        winners = [index for index, won in outcomes if won]
+        assert len(winners) == 1, outcomes
+        # the winner released on exit: the key is claimable again
+        cache = SpecCache(cache_path)
+        assert cache.try_claim("race-key", "parent")
+        cache.release_claim("race-key", "parent")
+
+    def test_expired_lease_is_reclaimable(self, cache_path):
+        cache = SpecCache(cache_path)
+        assert cache.try_claim("k", "first", ttl=0.05)
+        other = SpecCache(cache_path)
+        assert not other.try_claim("k", "second")
+        assert other.counters()["flights_rejected"] == 1
+        time.sleep(0.1)
+        # "first" died without releasing: the TTL frees the key
+        assert other.try_claim("k", "second")
+        other.release_claim("k", "second")
+
+    def test_release_is_owner_scoped_and_idempotent(self, cache_path):
+        cache = SpecCache(cache_path)
+        assert cache.try_claim("k", "mine")
+        cache.release_claim("k", "theirs")  # no-op: wrong owner
+        assert not SpecCache(cache_path).try_claim("k", "other")
+        cache.release_claim("k", "mine")
+        cache.release_claim("k", "mine")  # idempotent
+        assert SpecCache(cache_path).try_claim("k", "other")
+
+    def test_memory_only_cache_always_grants(self, even_spec):
+        cache = SpecCache()
+        assert cache.try_claim("k", "a")
+        assert cache.try_claim("k", "b"), \
+            "no shared file, no cross-process race to arbitrate"
+
+    def test_racing_services_agree_and_share_the_row(self,
+                                                     cache_path):
+        key = tdd_key(TDD.from_text(EVEN))
+        barrier = _MP.Barrier(self.WRITERS)
+        results = _MP.Queue()
+        self._run(_racing_serve,
+                  lambda i: (str(cache_path), barrier, results))
+        outcomes = [results.get(timeout=10)
+                    for _ in range(self.WRITERS)]
+        assert all(ok and answer is True
+                   for ok, answer, _ in outcomes), outcomes
+        connection = sqlite3.connect(str(cache_path))
+        try:
+            (rows,) = connection.execute(
+                "SELECT COUNT(*) FROM specs WHERE key = ?",
+                (key,)).fetchone()
+        finally:
+            connection.close()
+        assert rows == 1
 
 
 class TestCacheCLI:

@@ -1,0 +1,208 @@
+"""Fault injection: a dying worker degrades to a retried request.
+
+The tier's failure contract, exercised with real SIGKILLs:
+
+* a request routed to a killed worker is transparently retried on a
+  survivor — the client sees a correct ``ok: true`` response marked
+  ``"retried": true``, never an error or a dropped connection;
+* the supervisor respawns the worker (same id, same key range) and
+  traffic returns to it;
+* the books balance: the front-end's ``retries`` /
+  ``retried_requests`` counters, the per-worker ``restarts``
+  counters, and the ``retries`` fields of the access log all
+  reconcile.
+
+The deterministic tests pin the supervisor to a long poll interval so
+the *only* respawn trigger is the front-end's failure report — the
+kill → failed forward → reroute → respawn chain is then a guaranteed
+sequence, not a race.  The mid-load test layers the same contract
+under 8 client threads with a kill landing while requests are in
+flight.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+
+from conftest import wait_until
+
+PROGRAM = "tick(T+2) :- tick(T).\ntick(0).\n"
+OTHER = "tock(T+3) :- tock(T).\ntock(1).\n"
+
+
+def _owner_of(point, program: str) -> int:
+    """Which worker serves ``program`` (by posting one request)."""
+    status, data = point.post_json(
+        {"program": program, "query": "tick(0)"})
+    assert status == 200
+    return data["responses"][0]["worker"]
+
+
+class TestDeterministicFailover:
+    def test_kill_reroute_respawn_return(self, tier):
+        # Supervisor wakes only on the front-end's failure report:
+        # the failover sequence below is fully ordered.
+        point = tier(workers=2, supervise_interval=30.0)
+        victim_id = _owner_of(point, PROGRAM)
+        victim = point.pool.workers[victim_id]
+        first_generation = victim.generation
+
+        os.kill(victim.pid, signal.SIGKILL)
+
+        # The next request for the victim's key range: the forward
+        # fails and the request is retried — on the survivor, or on
+        # the respawned victim if the supervisor wins the race.
+        # Either way the client gets the right answer.
+        status, data = point.post_json(
+            {"program": PROGRAM, "query": "tick(4)"})
+        assert status == 200
+        response = data["responses"][0]
+        assert response["ok"] and response["answer"] is True
+        assert response["retried"] is True
+        assert response["worker"] in (0, 1)
+
+        # The failure report woke the supervisor: same id respawned.
+        wait_until(lambda: victim.generation > first_generation
+                   and victim.alive, timeout=30)
+        assert point.pool.restarts == 1
+
+        # Traffic returns to the respawned worker — same key range —
+        # and the shared spec cache makes its answers identical.
+        wait_until(lambda: victim_id in point.pool.alive_ids(),
+                   timeout=30)
+        status, data = point.post_json(
+            {"program": PROGRAM, "query": "tick(6)"})
+        response = data["responses"][0]
+        assert response["ok"] and response["answer"] is True
+        assert response["worker"] == victim_id
+        assert "retried" not in response
+
+    def test_stats_counters_reconcile_with_access_log(self, tier):
+        point = tier(workers=2, supervise_interval=30.0)
+        victim_id = _owner_of(point, PROGRAM)
+        os.kill(point.pool.workers[victim_id].pid, signal.SIGKILL)
+        status, data = point.post_json({"requests": [
+            {"program": PROGRAM, "query": "tick(2)"},
+            {"program": PROGRAM, "query": "tick(3)"},
+        ]})
+        assert status == 200
+        assert all(r["ok"] for r in data["responses"])
+        assert all(r["retried"] for r in data["responses"])
+
+        wait_until(lambda: len(point.pool.alive_ids()) == 2,
+                   timeout=30)
+        status, stats = point.get_json("/stats")
+        assert status == 200
+        frontend = stats["frontend"]
+        # one failed forward of the two-request batch
+        assert frontend["retries"] >= 1
+        assert frontend["retried_requests"] == 2
+        assert frontend["unrouted"] == 0
+        assert frontend["worker_restarts"] == 1
+        restarts = {row["id"]: row["restarts"]
+                    for row in stats["workers"]}
+        assert restarts[victim_id] == 1
+        assert sum(restarts.values()) == 1
+
+        # access log: the retries recorded per batch sum to the
+        # front-end counter (the /stats scrape logs no retries)
+        wait_until(lambda: len(
+            [r for r in point.log_records()
+             if r["path"] == "/query"]) == 2)
+        logged = sum(r.get("retries", 0)
+                     for r in point.log_records())
+        assert logged == frontend["retries"]
+
+    def test_killing_one_worker_leaves_the_other_range_alone(
+            self, tier):
+        point = tier(workers=2, supervise_interval=30.0)
+        owners = {}
+        for program in (PROGRAM, OTHER):
+            status, data = point.post_json(
+                {"program": program, "query": "tick(0)"})
+            owners[program] = data["responses"][0]["worker"]
+        if len(set(owners.values())) < 2:
+            # Both programs hash to one worker — the disjoint-range
+            # half of the property is vacuous here; the deterministic
+            # failover test still covers the kill path.
+            return
+        victim_program = PROGRAM
+        survivor_program = OTHER
+        os.kill(point.pool.workers[owners[victim_program]].pid,
+                signal.SIGKILL)
+        status, data = point.post_json(
+            {"program": survivor_program, "query": "tock(1)"})
+        response = data["responses"][0]
+        # the survivor's range never noticed the crash
+        assert response["ok"] and response["answer"] is True
+        assert "retried" not in response
+        assert response["worker"] == owners[survivor_program]
+
+
+class TestFaultUnderLoad:
+    THREADS = 8
+    PER_THREAD = 12
+
+    def test_sigkill_mid_load_loses_nothing(self, tier):
+        """8 threads stream queries over 4 distinct programs while a
+        worker is SIGKILLed mid-flight: every request gets a correct
+        answer (retried where needed), the worker respawns, and the
+        front-end accounted for every single request."""
+        point = tier(workers=2)
+        programs = [
+            (f"p{i}(T+2) :- p{i}(T).\np{i}(0).\n", f"p{i}", i)
+            for i in range(4)
+        ]
+        # Warm each program once so the kill lands on warm traffic.
+        for text, pred, _ in programs:
+            status, data = point.post_json(
+                {"program": text, "query": f"{pred}(0)"})
+            assert data["responses"][0]["answer"] is True
+
+        kill_at = threading.Barrier(self.THREADS + 1)
+        failures: list = []
+
+        def client(seed: int) -> None:
+            try:
+                for i in range(self.PER_THREAD):
+                    if i == self.PER_THREAD // 2:
+                        kill_at.wait(timeout=60)
+                    text, pred, _ = programs[(seed + i)
+                                             % len(programs)]
+                    t = 2 * ((seed + i) % 5)
+                    status, data = point.post_json(
+                        {"program": text, "query": f"{pred}({t})"})
+                    assert status == 200
+                    response = data["responses"][0]
+                    assert response["ok"], response["error"]
+                    assert response["answer"] is True, response
+            except BaseException as exc:  # pragma: no cover
+                failures.append(exc)
+                kill_at.abort()
+
+        threads = [threading.Thread(target=client, args=(seed,))
+                   for seed in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        kill_at.wait(timeout=60)
+        os.kill(point.pool.workers[0].pid, signal.SIGKILL)
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not failures, failures
+
+        wait_until(lambda: len(point.pool.alive_ids()) == 2,
+                   timeout=30)
+        assert point.pool.restarts >= 1
+
+        expected = self.THREADS * self.PER_THREAD + len(programs)
+        status, stats = point.get_json("/stats")
+        frontend = stats["frontend"]
+        assert frontend["requests"] == expected
+        assert frontend["unrouted"] == 0
+        assert sum(frontend["routed"].values()) == expected
+        # every batch produced exactly one access-log line
+        wait_until(lambda: len(
+            [r for r in point.log_records()
+             if r["path"] == "/query"]) == expected)

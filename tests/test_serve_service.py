@@ -8,15 +8,10 @@ degradation, stats threading, and the JSON-over-HTTP protocol.
 
 from __future__ import annotations
 
-import http.client
-import json
-import threading
-
 import pytest
 
 from repro.obs import EvalStats
-from repro.serve import (QueryRequest, QueryService, SpecCache,
-                         make_server)
+from repro.serve import QueryRequest, QueryService, SpecCache
 
 EVEN = "even(T+2) :- even(T).\neven(0).\n"
 TRAVEL = """
@@ -213,37 +208,14 @@ class TestEngineSelection:
 
 class TestHTTPServer:
     @pytest.fixture()
-    def endpoint(self):
-        service = QueryService(cache=SpecCache())
-        server = make_server(service, port=0)
-        thread = threading.Thread(target=server.serve_forever,
-                                  daemon=True)
-        thread.start()
-        yield server.server_address[1]
-        server.shutdown()
-        server.server_close()
+    def endpoint(self, serve_endpoint):
+        return serve_endpoint()
 
-    def _post(self, port, payload, path="/query"):
-        connection = http.client.HTTPConnection("127.0.0.1", port,
-                                                timeout=30)
-        try:
-            body = (payload if isinstance(payload, str)
-                    else json.dumps(payload))
-            connection.request("POST", path, body)
-            response = connection.getresponse()
-            return response.status, json.loads(response.read())
-        finally:
-            connection.close()
+    def _post(self, point, payload, path="/query"):
+        return point.post_json(payload, path=path)
 
-    def _get(self, port, path):
-        connection = http.client.HTTPConnection("127.0.0.1", port,
-                                                timeout=30)
-        try:
-            connection.request("GET", path)
-            response = connection.getresponse()
-            return response.status, json.loads(response.read())
-        finally:
-            connection.close()
+    def _get(self, point, path):
+        return point.get_json(path)
 
     def test_query_batch_round_trip(self, endpoint):
         status, data = self._post(endpoint, {"requests": [

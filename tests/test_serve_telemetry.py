@@ -14,100 +14,25 @@ import json
 import re
 import socket
 import threading
-import time
 
 import pytest
 
 from repro import __version__
 from repro.cli import main
 from repro.obs import TRACE_SCHEMA, ListSink, Telemetry, Tracer
-from repro.serve import (AccessLog, QueryService, SpecCache,
-                        make_server)
+from repro.serve import AccessLog
+
+from conftest import wait_until
 
 EVEN = "even(T+2) :- even(T).\neven(0).\n"
 THREADS = 16
 PER_THREAD = 4
 
 
-def _wait_until(predicate, timeout=10.0):
-    """Access-log lines and the root span are written *after* the
-    response bytes go out, so observers must wait for the handler's
-    finally block rather than race it."""
-    deadline = time.monotonic() + timeout
-    while time.monotonic() < deadline:
-        if predicate():
-            return
-        time.sleep(0.01)
-    assert predicate(), "condition not reached before timeout"
-
-
-class _Endpoint:
-    """A live server plus handles on its sink, log, and service."""
-
-    def __init__(self, server, service, sink, log_stream, access_log):
-        self.port = server.server_address[1]
-        self.server = server
-        self.service = service
-        self.sink = sink
-        self.log_stream = log_stream
-        self.access_log = access_log
-
-    @property
-    def url(self) -> str:
-        return f"http://127.0.0.1:{self.port}"
-
-    def log_records(self) -> list[dict]:
-        return [json.loads(line)
-                for line in self.log_stream.getvalue().splitlines()]
-
-
-@pytest.fixture()
-def endpoint():
-    def start(**server_kwargs):
-        sink = ListSink()
-        service = QueryService(cache=SpecCache(),
-                               telemetry=Telemetry(Tracer(sink)))
-        log_stream = io.StringIO()
-        access_log = AccessLog(log_stream)
-        server = make_server(service, port=0, access_log=access_log,
-                             **server_kwargs)
-        thread = threading.Thread(target=server.serve_forever,
-                                  daemon=True)
-        thread.start()
-        started.append(server)
-        return _Endpoint(server, service, sink, log_stream,
-                         access_log)
-
-    started: list = []
-    yield start
-    for server in started:
-        server.shutdown()
-        server.server_close()
-
-
-def _request(port, method, path, body=None, headers=None):
-    connection = http.client.HTTPConnection("127.0.0.1", port,
-                                            timeout=30)
-    try:
-        payload = (json.dumps(body) if isinstance(body, dict)
-                   else body)
-        connection.request(method, path, payload, headers or {})
-        response = connection.getresponse()
-        raw = response.read()
-        return response, raw
-    finally:
-        connection.close()
-
-
-def _post_query(port, body, headers=None):
-    response, raw = _request(port, "POST", "/query", body, headers)
-    return response, json.loads(raw)
-
-
 class TestHealthz:
-    def test_reports_version_and_trace_schema(self, endpoint):
-        point = endpoint()
-        response, raw = _request(point.port, "GET", "/healthz")
+    def test_reports_version_and_trace_schema(self, serve_endpoint):
+        point = serve_endpoint()
+        response, raw = point.request("GET", "/healthz")
         assert response.status == 200
         data = json.loads(raw)
         assert data == {"ok": True, "version": __version__,
@@ -116,11 +41,10 @@ class TestHealthz:
 
 
 class TestErrorBodies:
-    def test_oversized_body_is_413_with_json_and_length(self,
-                                                        endpoint):
-        point = endpoint(max_body_bytes=1024)
+    def test_oversized_body_is_413_with_json_and_length(self, serve_endpoint):
+        point = serve_endpoint(max_body_bytes=1024)
         big = json.dumps({"program": "x" * 2048, "query": "q"})
-        response, raw = _request(point.port, "POST", "/query", big)
+        response, raw = point.request("POST", "/query", big)
         assert response.status == 413
         data = json.loads(raw)
         assert "exceeds" in data["error"]
@@ -129,12 +53,11 @@ class TestErrorBodies:
             == "application/json"
         assert response.getheader("Connection") == "close"
 
-    def test_default_limit_rejects_over_max_body_bytes(self,
-                                                       endpoint):
+    def test_default_limit_rejects_over_max_body_bytes(self, serve_endpoint):
         """The refusal happens on Content-Length alone — the server
         answers 413 before the oversized body is even sent."""
         from repro.serve import MAX_BODY_BYTES
-        point = endpoint()
+        point = serve_endpoint()
         with socket.create_connection(("127.0.0.1", point.port),
                                       timeout=30) as sock:
             sock.sendall((
@@ -149,38 +72,37 @@ class TestErrorBodies:
         assert "error" in json.loads(raw)
         assert response.getheader("Connection") == "close"
 
-    def test_400_has_json_body_and_length(self, endpoint):
-        point = endpoint()
-        response, raw = _request(point.port, "POST", "/query",
+    def test_400_has_json_body_and_length(self, serve_endpoint):
+        point = serve_endpoint()
+        response, raw = point.request("POST", "/query",
                                  "{not json")
         assert response.status == 400
         assert "error" in json.loads(raw)
         assert int(response.getheader("Content-Length")) == len(raw)
 
-    def test_transport_errors_still_logged_with_trace_id(self,
-                                                         endpoint):
-        point = endpoint(max_body_bytes=64)
-        _request(point.port, "POST", "/query", "y" * 100)
-        _wait_until(lambda: len(point.log_records()) == 1)
+    def test_transport_errors_still_logged_with_trace_id(self, serve_endpoint):
+        point = serve_endpoint(max_body_bytes=64)
+        point.request("POST", "/query", "y" * 100)
+        wait_until(lambda: len(point.log_records()) == 1)
         (record,) = point.log_records()
         assert record["status"] == 413
         assert re.fullmatch(r"[0-9a-f]{32}", record["trace_id"])
 
 
 class TestTracePropagation:
-    def test_client_trace_id_reaches_response_log_and_spans(self,
-                                                            endpoint):
-        point = endpoint()
+    def test_client_trace_id_reaches_response_log_and_spans(
+            self, serve_endpoint):
+        point = serve_endpoint()
         supplied = "feedface00112233feedface00112233"
-        response, data = _post_query(
-            point.port, {"program": EVEN, "query": "even(4)"},
+        response, data = point.post_query(
+            {"program": EVEN, "query": "even(4)"},
             headers={"X-Repro-Trace-Id": supplied})
         assert response.status == 200
         # 1. echoed on the response headers and in the JSON body
         assert response.getheader("X-Repro-Trace-Id") == supplied
         assert data["responses"][0]["trace_id"] == supplied
         # 2. in the access-log line of the same request
-        _wait_until(lambda: len(point.log_records()) == 1)
+        wait_until(lambda: len(point.log_records()) == 1)
         (record,) = point.log_records()
         assert record["trace_id"] == supplied
         assert record["path"] == "/query"
@@ -200,24 +122,24 @@ class TestTracePropagation:
         assert [r["name"] for r in roots] == ["http.request"]
         assert roots[0]["attrs"]["status"] == 200
 
-    def test_fresh_trace_id_minted_when_absent_or_invalid(self,
-                                                          endpoint):
-        point = endpoint()
-        response, data = _post_query(
-            point.port, {"program": EVEN, "query": "even(0)"},
+    def test_fresh_trace_id_minted_when_absent_or_invalid(
+            self, serve_endpoint):
+        point = serve_endpoint()
+        response, data = point.post_query(
+            {"program": EVEN, "query": "even(0)"},
             headers={"X-Repro-Trace-Id": "utter junk"})
         echoed = response.getheader("X-Repro-Trace-Id")
         assert re.fullmatch(r"[0-9a-f]{32}", echoed)
         assert data["responses"][0]["trace_id"] == echoed
 
-    def test_batch_log_line_uses_lists(self, endpoint):
-        point = endpoint()
-        _post_query(point.port, {"requests": [
+    def test_batch_log_line_uses_lists(self, serve_endpoint):
+        point = serve_endpoint()
+        point.post_query({"requests": [
             {"program": EVEN, "query": "even(0)"},
             {"program": EVEN, "query": "even(X)",
              "kind": "answers"},
         ]})
-        _wait_until(lambda: len(point.log_records()) == 1)
+        wait_until(lambda: len(point.log_records()) == 1)
         (record,) = point.log_records()
         assert record["n"] == 2
         assert record["kind"] == ["ask", "answers"]
@@ -228,18 +150,17 @@ class TestMetricsEndpoint:
     SAMPLE = re.compile(
         r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [0-9.eE+-]+$")
 
-    def _scrape(self, port):
-        response, raw = _request(port, "GET", "/metrics")
+    def _scrape(self, point):
+        response, raw = point.request("GET", "/metrics")
         assert response.status == 200
         assert response.getheader("Content-Type").startswith(
             "text/plain")
         return raw.decode("utf-8")
 
-    def test_valid_prometheus_text_format(self, endpoint):
-        point = endpoint()
-        _post_query(point.port,
-                    {"program": EVEN, "query": "even(2)"})
-        text = self._scrape(point.port)
+    def test_valid_prometheus_text_format(self, serve_endpoint):
+        point = serve_endpoint()
+        point.post_query({"program": EVEN, "query": "even(2)"})
+        text = self._scrape(point)
         assert text.endswith("\n")
         for line in text.splitlines():
             if not line.startswith("#"):
@@ -254,13 +175,12 @@ class TestMetricsEndpoint:
                  if line.startswith("# TYPE ")}
         assert names <= typed
 
-    def test_metrics_reconcile_with_stats(self, endpoint):
-        point = endpoint()
+    def test_metrics_reconcile_with_stats(self, serve_endpoint):
+        point = serve_endpoint()
         for t in (0, 3, 8):
-            _post_query(point.port,
-                        {"program": EVEN, "query": f"even({t})"})
-        text = self._scrape(point.port)
-        _, raw = _request(point.port, "GET", "/stats")
+            point.post_query({"program": EVEN, "query": f"even({t})"})
+        text = self._scrape(point)
+        _, raw = point.request("GET", "/stats")
         stats = json.loads(raw)
 
         def value(name):
@@ -279,11 +199,10 @@ class TestMetricsEndpoint:
 
 
 class TestSlowQueryLog:
-    def test_slow_request_dumps_span_tree(self, endpoint):
-        point = endpoint(slow_ms=0.0)  # everything is "slow"
-        _, data = _post_query(point.port,
-                              {"program": EVEN, "query": "even(6)"})
-        _wait_until(lambda: len(point.log_records()) == 2)
+    def test_slow_request_dumps_span_tree(self, serve_endpoint):
+        point = serve_endpoint(slow_ms=0.0)  # everything is "slow"
+        _, data = point.post_query({"program": EVEN, "query": "even(6)"})
+        wait_until(lambda: len(point.log_records()) == 2)
         records = point.log_records()
         slow = [r for r in records if r.get("slow_query")]
         assert len(slow) == 1
@@ -295,22 +214,21 @@ class TestSlowQueryLog:
         assert {"parse", "answer"} <= child_names
         assert tree["duration_ms"] >= 0.0
 
-    def test_fast_threshold_suppresses_dump(self, endpoint):
-        point = endpoint(slow_ms=60000.0)
-        _post_query(point.port,
-                    {"program": EVEN, "query": "even(0)"})
-        _wait_until(lambda: len(point.log_records()) >= 1)
+    def test_fast_threshold_suppresses_dump(self, serve_endpoint):
+        point = serve_endpoint(slow_ms=60000.0)
+        point.post_query({"program": EVEN, "query": "even(0)"})
+        wait_until(lambda: len(point.log_records()) >= 1)
         assert not [r for r in point.log_records()
                     if r.get("slow_query")]
 
 
 class TestConcurrentReconciliation:
-    def test_metrics_stats_and_access_log_agree(self, endpoint):
+    def test_metrics_stats_and_access_log_agree(self, serve_endpoint):
         """The acceptance invariant: after 16 threads x 4 singleton
         requests, the Prometheus request counter, the histogram
         count, ``/stats``, and the number of ``/query`` access-log
         lines are all exactly THREADS * PER_THREAD."""
-        point = endpoint()
+        point = serve_endpoint()
         barrier = threading.Barrier(THREADS)
         errors: list[BaseException] = []
 
@@ -318,7 +236,7 @@ class TestConcurrentReconciliation:
             try:
                 barrier.wait()
                 for i in range(PER_THREAD):
-                    response, data = _post_query(point.port, {
+                    response, data = point.post_query({
                         "program": EVEN,
                         "query": f"even({worker + i})"})
                     assert response.status == 200
@@ -335,12 +253,12 @@ class TestConcurrentReconciliation:
         assert not errors, errors
 
         expected = THREADS * PER_THREAD
-        _wait_until(lambda: len(
+        wait_until(lambda: len(
             [r for r in point.log_records()
              if r["path"] == "/query"]) == expected)
-        _, raw = _request(point.port, "GET", "/stats")
+        _, raw = point.request("GET", "/stats")
         stats = json.loads(raw)
-        response, raw = _request(point.port, "GET", "/metrics")
+        response, raw = point.request("GET", "/metrics")
         text = raw.decode("utf-8")
 
         def value(name):
@@ -460,9 +378,9 @@ class TestStatsJsonGate:
 
 
 class TestTopCommand:
-    def test_renders_dashboard_frames(self, endpoint):
-        point = endpoint()
-        _post_query(point.port, {"program": EVEN, "query": "even(0)"})
+    def test_renders_dashboard_frames(self, serve_endpoint):
+        point = serve_endpoint()
+        point.post_query({"program": EVEN, "query": "even(0)"})
         out = io.StringIO()
         code = main(["top", "--url", point.url, "--iterations", "2",
                      "--interval", "0.01"], out=out)
@@ -482,8 +400,8 @@ class TestTopCommand:
                      "--iterations", "1"], out=out)
         assert code == 2
 
-    def test_host_port_flags_build_url(self, endpoint):
-        point = endpoint()
+    def test_host_port_flags_build_url(self, serve_endpoint):
+        point = serve_endpoint()
         out = io.StringIO()
         code = main(["top", "--host", "127.0.0.1",
                      "--port", str(point.port),
