@@ -22,6 +22,13 @@ closed-loop load generator and records:
    and on hosts with fewer than 4 cores (process parallelism cannot
    beat the GIL without hardware to run on — the host core count is
    recorded as ``cores``); at full size on real hardware it is 2.
+3. **Collection overhead** — the same warm workload with the
+   cross-process observability collector armed vs without it.  The
+   measured ``collector_overhead_ratio`` (off-QPS ÷ on-QPS) is
+   recorded next to ``collector_overhead_limit`` and must stay under
+   it: shipping spans, sampled derives, and windowed rule metrics to
+   the front-end may never cost more than a quarter of the tier's
+   throughput at full size.
 
 Traffic is mixed warm/cold: most requests hit the spec cache of the
 worker that owns their program's key range; every ``COLD_EVERY``-th
@@ -78,6 +85,13 @@ WORKERS_MANY = 4
 #: stats gate.  0 in smoke mode and on hosts that cannot physically
 #: run 4 workers in parallel; 2 at full size on ≥4 cores.
 SPEEDUP_FLOOR = 0 if (SMOKE or CORES < 4) else 2.0
+
+#: The collection-overhead ceiling asserted at run time and
+#: re-checked by the stats gate: sustained warm QPS with collection
+#: *off* may be at most this multiple of QPS with collection *on*.
+#: Relaxed under BENCH_SMOKE, where sub-second stages make single
+#: scheduler hiccups dominate the ratio.
+OVERHEAD_LIMIT = 2.5 if SMOKE else 1.25
 
 
 def _warm_program(index: int) -> str:
@@ -177,10 +191,24 @@ def _fetch_stats(port: int) -> dict:
 
 
 @contextmanager
-def _tier(workers: int, cache_path):
-    pool = WorkerPool(workers, WorkerConfig(cache=str(cache_path)))
-    pool.start()
-    frontend = make_frontend(pool)
+def _tier(workers: int, cache_path, collect: bool = False):
+    config = WorkerConfig(cache=str(cache_path))
+    if collect:
+        # Flush fast enough that even the smoke-length stages ship at
+        # least one envelope per worker.
+        config = WorkerConfig(cache=str(cache_path),
+                              collect_interval=0.2)
+    pool = WorkerPool(workers, config)
+    if collect:
+        from repro.serve import Collector
+        # Front-end binds before the pool starts so the workers spawn
+        # with the /ingest shipping path armed (the collect URL needs
+        # the bound port).
+        frontend = make_frontend(pool, collector=Collector())
+        pool.start()
+    else:
+        pool.start()
+        frontend = make_frontend(pool)
     threading.Thread(target=frontend.serve_forever,
                      daemon=True).start()
     try:
@@ -373,3 +401,77 @@ def test_worker_scaling(benchmark, tmp_path):
         f"4-worker tier only {speedup:.2f}x the single-worker tier "
         f"({many_qps:.0f} vs {single_qps:.0f} qps) — floor "
         f"{SPEEDUP_FLOOR}")
+
+
+def test_collector_overhead(benchmark, tmp_path):
+    """The observability tax: the same sustained warm workload through
+    a 2-worker tier with cross-process collection armed (span
+    shipping, sampled derives, windowed rule metrics, calibration) vs
+    the identical tier without a collector.  Records
+    ``collector_overhead_ratio`` (off-QPS ÷ on-QPS; 1.0 = free) and
+    asserts it stays under ``collector_overhead_limit`` — collection
+    must never cost more than a quarter of the tier's throughput."""
+    clients = max(STAGES)
+    cold_counter = [0, threading.Lock()]
+
+    def sustained(collect: bool, cache_path) -> tuple:
+        with _tier(2, cache_path, collect=collect) as port:
+            _warm_tier(port)
+            _run_stage(port, clients, STAGE_SECONDS / 4,
+                       cold_counter)
+            stage = _run_stage(port, clients, STAGE_SECONDS,
+                               cold_counter)
+            aggregated = _fetch_stats(port)
+            if collect:
+                # Collection is asynchronous (bounded flush cadence);
+                # give the in-flight envelopes a moment to land.
+                deadline = time.monotonic() + 5.0
+                while (aggregated["collector"]["ingests"] == 0
+                       and time.monotonic() < deadline):
+                    time.sleep(0.05)
+                    aggregated = _fetch_stats(port)
+        return stage["achieved_qps"], aggregated
+
+    on_qps, on_stats = sustained(True, tmp_path / "on.sqlite")
+    off_qps, _ = sustained(False, tmp_path / "off.sqlite")
+    overhead = off_qps / on_qps if on_qps else 0.0
+
+    # Collection actually happened during the measured run.
+    collector = on_stats["collector"]
+    assert collector["ingests"] > 0, "no worker envelope arrived"
+    assert collector["spans"] > 0
+
+    # The timed record: one steady-state batch with collection on.
+    with _tier(2, tmp_path / "on.sqlite", collect=True) as port:
+        _warm_tier(port)
+        connection = http.client.HTTPConnection("127.0.0.1", port,
+                                                timeout=120)
+        body = json.dumps({"requests": [
+            _warm_item(index % WARM_PROGRAMS, index)
+            for index in range(CLIENT_BATCH)]}).encode()
+
+        def one_batch():
+            connection.request(
+                "POST", "/query", body,
+                {"Content-Type": "application/json"})
+            return json.loads(connection.getresponse().read())
+
+        payload = benchmark(one_batch)
+        connection.close()
+        assert all(r["ok"] for r in payload["responses"])
+        stats = _tier_eval_stats(port)
+        stats.extra["collector"] = _fetch_stats(port)["collector"]
+
+    record(benchmark, workers=2, clients=clients, batch=CLIENT_BATCH,
+           cores=CORES,
+           collect_on_qps=round(on_qps, 1),
+           collect_off_qps=round(off_qps, 1),
+           collector_overhead_ratio=round(overhead, 3),
+           collector_overhead_limit=OVERHEAD_LIMIT,
+           collector_ingests=collector["ingests"],
+           collector_spans=collector["spans"])
+    record_stats(benchmark, stats)
+    assert overhead <= OVERHEAD_LIMIT, (
+        f"collection costs {overhead:.2f}x of tier throughput "
+        f"({off_qps:.0f} qps off vs {on_qps:.0f} qps on) — limit "
+        f"{OVERHEAD_LIMIT}")

@@ -269,6 +269,35 @@ def check_speedup_field(name: str, extra_info: dict) -> list[str]:
     return problems
 
 
+def check_collector_overhead(name: str, extra_info: dict) -> list[str]:
+    """Validate the E17 collection-overhead measurement when present:
+    ``collector_overhead_ratio`` (QPS with collection off ÷ QPS with
+    it on) must be a positive number and must not exceed the
+    ``collector_overhead_limit`` the bench recorded (1.25 at full
+    size) — so a dump produced with the run-time assertion stripped
+    still fails the build when observability gets expensive."""
+    if "collector_overhead_ratio" not in extra_info:
+        return []
+    ratio = extra_info["collector_overhead_ratio"]
+    if (isinstance(ratio, bool)
+            or not isinstance(ratio, (int, float)) or ratio <= 0):
+        return [f"{name}: collector_overhead_ratio is {ratio!r}, "
+                "expected a positive number"]
+    if "collector_overhead_limit" not in extra_info:
+        return [f"{name}: collector_overhead_ratio recorded without "
+                "collector_overhead_limit"]
+    limit = extra_info["collector_overhead_limit"]
+    if (isinstance(limit, bool)
+            or not isinstance(limit, (int, float)) or limit <= 0):
+        return [f"{name}: collector_overhead_limit is {limit!r}, "
+                "expected a positive number"]
+    if ratio > limit:
+        return [f"{name}: collector_overhead_ratio={ratio:.3f} "
+                f"exceeds the recorded limit {limit:g} — collection "
+                "is eating tier throughput"]
+    return []
+
+
 #: Keys every point of a ``saturation`` curve must carry (see
 #: benchmarks/bench_e17_load.py).
 SATURATION_FIELDS = ("clients", "offered_qps", "achieved_qps",
@@ -342,6 +371,8 @@ def check(data: dict) -> list[str]:
         problems.extend(check_speedup_field(
             name, bench.get("extra_info", {})))
         problems.extend(check_saturation_block(
+            name, bench.get("extra_info", {})))
+        problems.extend(check_collector_overhead(
             name, bench.get("extra_info", {})))
         stats = bench.get("extra_info", {}).get("eval_stats")
         if stats is None:

@@ -53,7 +53,13 @@ Commands
     processes (crashed workers are respawned; their requests retried).
 ``top [--url URL] [--interval S]``
     Live terminal dashboard polling a running server's ``/stats``:
-    QPS, cache hit ratio, latency percentiles, degraded count.
+    QPS, cache hit ratio, latency percentiles, degraded count, and —
+    for a tier — the per-worker balance table.
+``trace {ls,show} [--url URL]``
+    Inspect the assembled request traces a collection-enabled server
+    retains: ``ls`` lists recent trace ids, ``show ID`` prints one
+    cross-process span tree (front-end *and* worker spans stitched
+    through the propagated trace id).
 ``cache {ls,rm,stats} CACHE.sqlite``
     Inspect or prune a persistent spec cache file.
 
@@ -443,17 +449,21 @@ def cmd_serve(args, out: TextIO) -> int:
     if getattr(args, "workers", 0):
         return _cmd_serve_tier(args, out)
     from .obs import Telemetry
-    from .serve import AccessLog, QueryService, SpecCache, make_server
+    from .serve import (AccessLog, Collector, QueryService, SpecCache,
+                        make_server)
     cache = SpecCache(args.cache) if args.cache else SpecCache()
     stats, tracer = getattr(args, "_obs", (None, None))
+    collector = None if args.no_collect else Collector()
     # `--trace FILE` on serve exports schema-3 span events: one
     # `span` line per request phase, same sink machinery as engine
     # traces.
     service = QueryService(cache=cache,
                            default_deadline=args.deadline,
-                           telemetry=Telemetry(tracer),
+                           telemetry=Telemetry(tracer,
+                                               collector=collector),
                            engine=args.engine,
-                           max_predicted_cost=args.max_predicted_cost)
+                           max_predicted_cost=args.max_predicted_cost,
+                           collect=collector)
     if tracer is not None and tracer.enabled:
         # A self-describing trace: the header ties the span stream to
         # the tool version and schema before the first request.
@@ -470,7 +480,8 @@ def cmd_serve(args, out: TextIO) -> int:
         server = make_server(service, host=args.host, port=args.port,
                              quiet=not args.verbose,
                              access_log=access_log,
-                             slow_ms=args.slow_ms)
+                             slow_ms=args.slow_ms,
+                             collector=collector)
     except OSError as exc:
         print(f"error: cannot bind {args.host}:{args.port}: {exc}",
               file=sys.stderr)
@@ -481,7 +492,8 @@ def cmd_serve(args, out: TextIO) -> int:
     where = args.cache if args.cache else "(in-memory)"
     print(f"serving on http://{host}:{port}  cache: {where}",
           file=out, flush=True)
-    print("POST /query   GET /stats /metrics /healthz   "
+    extra = "" if args.no_collect else " /trace/<id> /profile"
+    print(f"POST /query   GET /stats /metrics /healthz{extra}   "
           "— Ctrl-C stops", file=out, flush=True)
     try:
         server.serve_forever()
@@ -509,8 +521,8 @@ def _cmd_serve_tier(args, out: TextIO) -> int:
     cross-process fallback.
     """
     from .obs import Telemetry
-    from .serve import (AccessLog, WorkerConfig, WorkerError,
-                        WorkerPool, make_frontend)
+    from .serve import (AccessLog, Collector, WorkerConfig,
+                        WorkerError, WorkerPool, make_frontend)
     if args.workers < 1:
         print(f"error: --workers must be positive, got {args.workers}",
               file=sys.stderr)
@@ -527,24 +539,29 @@ def _cmd_serve_tier(args, out: TextIO) -> int:
     config = WorkerConfig(cache=args.cache, engine=args.engine,
                           deadline=args.deadline,
                           max_predicted_cost=args.max_predicted_cost)
+    collector = None if args.no_collect else Collector()
+    # Bind the front-end *before* starting the pool: the front-end's
+    # port is what arms every worker's collect URL, and workers only
+    # read their config at spawn time.
     pool = WorkerPool(args.workers, config)
-    try:
-        pool.start()
-    except WorkerError as exc:
-        print(f"error: cannot start workers: {exc}", file=sys.stderr)
-        if access_log is not None:
-            access_log.close()
-        return 2
     try:
         frontend = make_frontend(pool, host=args.host, port=args.port,
                                  quiet=not args.verbose,
                                  access_log=access_log,
                                  slow_ms=args.slow_ms,
-                                 telemetry=Telemetry(tracer))
+                                 telemetry=Telemetry(tracer),
+                                 collector=collector)
     except OSError as exc:
         print(f"error: cannot bind {args.host}:{args.port}: {exc}",
               file=sys.stderr)
-        pool.close()
+        if access_log is not None:
+            access_log.close()
+        return 2
+    try:
+        pool.start()
+    except WorkerError as exc:
+        print(f"error: cannot start workers: {exc}", file=sys.stderr)
+        frontend.server_close()
         if access_log is not None:
             access_log.close()
         return 2
@@ -555,7 +572,8 @@ def _cmd_serve_tier(args, out: TextIO) -> int:
     print(f"serving on http://{host}:{port}  "
           f"workers: {args.workers}  cache: {where}",
           file=out, flush=True)
-    print("POST /query   GET /stats /metrics /healthz   "
+    extra = "" if args.no_collect else " /trace/<id> /profile"
+    print(f"POST /query   GET /stats /metrics /healthz{extra}   "
           "— Ctrl-C stops", file=out, flush=True)
     try:
         frontend.serve_forever()
@@ -582,6 +600,60 @@ def cmd_top(args, out: TextIO) -> int:
                        iterations=args.iterations)
     except TopError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _fetch_json(url: str, path: str, timeout: float = 5.0) -> dict:
+    """GET one JSON endpoint of a running server."""
+    import json as _json
+    import urllib.request
+    with urllib.request.urlopen(url + path, timeout=timeout) as reply:
+        return _json.loads(reply.read())
+
+
+def cmd_trace(args, out: TextIO) -> int:
+    """``repro trace ls|show``: the server-side trace store."""
+    import urllib.error
+    url = args.url if args.url else f"http://{args.host}:{args.port}"
+    url = url.rstrip("/")
+    try:
+        if args.trace_command == "ls":
+            payload = _fetch_json(url, "/trace")
+            rows = payload.get("traces", [])
+            if not rows:
+                print("(no retained traces)", file=out)
+                return 0
+            print(f"{'trace id':<32} {'root':<14} {'ms':>9} "
+                  f"{'spans':>5} {'derives':>7} workers", file=out)
+            for row in rows:
+                duration = row.get("duration_ms")
+                shown = "-" if duration is None else f"{duration:.1f}"
+                workers = ",".join(str(w) for w in row.get("workers", []))
+                print(f"{row['trace_id'][:32]:<32} "
+                      f"{(row.get('root') or '-')[:14]:<14} "
+                      f"{shown:>9} {row['spans']:>5} "
+                      f"{row['derives']:>7} {workers or '-'}", file=out)
+            return 0
+        # show
+        payload = _fetch_json(url, f"/trace/{args.trace_id}")
+        if args.format == "json":
+            import json as _json
+            print(_json.dumps(payload, indent=2, sort_keys=True),
+                  file=out)
+        else:
+            from .obs.collector import render_trace_tree
+            print(render_trace_tree(payload), file=out)
+        return 0
+    except urllib.error.HTTPError as exc:
+        try:
+            import json as _json
+            detail = _json.loads(exc.read()).get("error", str(exc))
+        except ValueError:
+            detail = str(exc)
+        print(f"error: {detail}", file=sys.stderr)
+        return 1
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot reach {url}: {exc}", file=sys.stderr)
         return 2
 
 
@@ -918,6 +990,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="dump the full span tree of any request "
                             "slower than MS milliseconds (to the "
                             "access log, else stderr)")
+    serve.add_argument("--no-collect", action="store_true",
+                       help="disable the trace/profile collector "
+                            "(GET /trace/<id>, GET /profile, the "
+                            "cost-calibration metrics and, under "
+                            "--workers, the POST /ingest shipping "
+                            "path)")
     serve.set_defaults(func=cmd_serve)
 
     top = sub.add_parser(
@@ -953,6 +1031,29 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="entry count and payload bytes")
     cache_stats.add_argument("cache_file", metavar="CACHE.sqlite")
     cache.set_defaults(func=cmd_cache)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="inspect the trace store of a running `repro serve`")
+    trace_sub = trace_p.add_subparsers(dest="trace_command",
+                                       required=True)
+    trace_ls = trace_sub.add_parser(
+        "ls", help="list retained traces (most recent first)")
+    trace_show = trace_sub.add_parser(
+        "show", help="render one assembled cross-process span tree")
+    trace_show.add_argument("trace_id", metavar="TRACE_ID",
+                            help="trace id (from `repro trace ls`, "
+                                 "the X-Repro-Trace-Id response "
+                                 "header, or the access log)")
+    trace_show.add_argument("--format", choices=("text", "json"),
+                            default="text")
+    for trace_cmd in (trace_ls, trace_show):
+        trace_cmd.add_argument("--url", default=None, metavar="URL",
+                               help="server base URL (default: "
+                                    "http://HOST:PORT)")
+        trace_cmd.add_argument("--host", default="127.0.0.1")
+        trace_cmd.add_argument("--port", type=int, default=8765)
+    trace_p.set_defaults(func=cmd_trace)
 
     return parser
 

@@ -145,7 +145,9 @@ def compute_specification(rules: Sequence[Rule],
                           window: Union[int, None] = None,
                           range_bound: Union[int, None] = None,
                           max_window: int = 1 << 20,
-                          engine: str = "seminaive") -> RelationalSpec:
+                          engine: str = "seminaive",
+                          stats=None, tracer=None, metrics=None,
+                          provenance=None) -> RelationalSpec:
     """Compute the relational specification ``S(Z∧D)``.
 
     Runs algorithm BT (semi-naive, with period detection) and packages
@@ -155,8 +157,16 @@ def compute_specification(rules: Sequence[Rule],
     polynomial size.  ``engine`` selects the window engine BT runs on
     (see :mod:`repro.engines`); the specification is the same either
     way — only the time to build it differs.
+
+    ``stats`` / ``tracer`` / ``metrics`` / ``provenance`` are the
+    standard engine instruments (all default to ``None`` and cost
+    nothing absent) — the serving tier passes a fresh
+    :class:`~repro.obs.metrics.MetricsRegistry` and a sampled
+    :class:`~repro.obs.provenance.ProvenanceStore` here so every spec
+    computation feeds the continuous per-rule profile.
     """
     result = bt_evaluate(rules, database, window=window,
                          range_bound=range_bound, max_window=max_window,
-                         engine=engine)
+                         engine=engine, stats=stats, tracer=tracer,
+                         metrics=metrics, provenance=provenance)
     return spec_from_result(result)

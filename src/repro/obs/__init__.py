@@ -33,13 +33,15 @@ interned proof DAG — and powers ``repro why`` / ``repro whynot``, the
 ``derive`` trace events.
 """
 
+from .collector import (CostCalibration, RuleWindowAggregator,
+                        TraceStore, calibration_rows, render_trace_tree)
 from .metrics import Histogram, MetricsRegistry, RuleMetrics
 from .provenance import (FailedFiring, ProvenanceStore, WhyNotReport,
                          render_proof, why_not)
 from .stats import EvalStats
 from .telemetry import (DEFAULT_LATENCY_BUCKETS_MS, LatencyHistogram,
                         Span, SpanContext, Telemetry, new_span_id,
-                        new_trace_id, valid_trace_id)
+                        new_trace_id, valid_span_id, valid_trace_id)
 from .timing import Stopwatch, phase_timer
 from .trace import TRACE_SCHEMA, JsonLinesSink, ListSink, Tracer
 
@@ -49,8 +51,10 @@ __all__ = [
     "MetricsRegistry", "RuleMetrics", "Histogram",
     "Stopwatch", "phase_timer",
     "Telemetry", "Span", "SpanContext", "LatencyHistogram",
-    "new_trace_id", "new_span_id", "valid_trace_id",
+    "new_trace_id", "new_span_id", "valid_trace_id", "valid_span_id",
     "DEFAULT_LATENCY_BUCKETS_MS",
     "ProvenanceStore", "FailedFiring", "WhyNotReport",
     "render_proof", "why_not",
+    "TraceStore", "RuleWindowAggregator", "CostCalibration",
+    "calibration_rows", "render_trace_tree",
 ]

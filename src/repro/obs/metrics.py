@@ -192,6 +192,16 @@ class MetricsRegistry:
     def records(self) -> list[RuleMetrics]:
         return list(self._records.values())
 
+    def items(self) -> list:
+        """``(rule, record)`` pairs in registration order.
+
+        The cost-calibration path needs the rule *objects* back (to
+        re-derive each rule's planned ``est_rows``), not just the
+        serialized records; ``_rules`` and ``_records`` insert in
+        lockstep, so a positional zip is exact.
+        """
+        return list(zip(self._rules, self._records.values()))
+
     def hot(self, key: str = "seconds") -> list[RuleMetrics]:
         """Records sorted by the named attribute, hottest first."""
         return sorted(self._records.values(),

@@ -42,6 +42,12 @@ from .trace import Tracer
 #: label its request but cannot inject arbitrary bytes into logs.
 _TRACE_ID = re.compile(r"^[0-9a-f]{8,64}$")
 
+#: Span ids accepted from the wire (``X-Repro-Parent-Span``): exactly
+#: 16 hex characters, the shape :func:`new_span_id` mints.  The tier's
+#: front-end sends its *forward* span's id with each sub-batch so the
+#: worker's root span nests under it in the assembled trace tree.
+_SPAN_ID = re.compile(r"^[0-9a-f]{16}$")
+
 #: Fixed latency bucket upper bounds, in milliseconds.  Chosen to span
 #: a warm cache hit (sub-millisecond) through a cold BT run (seconds);
 #: an implicit +Inf bucket always follows.
@@ -64,6 +70,11 @@ def new_span_id() -> str:
 def valid_trace_id(value) -> bool:
     """Whether a client-supplied trace id is safe to honor."""
     return isinstance(value, str) and _TRACE_ID.match(value) is not None
+
+
+def valid_span_id(value) -> bool:
+    """Whether a wire-supplied parent span id is safe to honor."""
+    return isinstance(value, str) and _SPAN_ID.match(value) is not None
 
 
 @dataclass(frozen=True)
@@ -157,25 +168,44 @@ class Telemetry:
     additionally emits one schema-3 ``span`` event per ended span
     through the tracer's sink, serialised by an internal lock so the
     stream stays line-atomic under concurrent requests.
+
+    ``collector`` is an optional second export target — anything with
+    a ``record_span(span)`` method (a
+    :class:`repro.serve.collect.Collector` locally, a
+    :class:`~repro.serve.collect.CollectorClient` inside a tier
+    worker).  It receives every ended span even when no tracer is
+    configured, which is what feeds the front-end's assembled
+    cross-process trace store.
     """
 
     def __init__(self, tracer: Union[Tracer, None] = None,
-                 clock=time.perf_counter):
+                 clock=time.perf_counter, collector=None):
         self.tracer = tracer
+        self.collector = collector
         self._clock = clock
         self._t0 = clock()
         self._lock = threading.Lock()
 
     def root(self, name: str, trace_id: Union[str, None] = None,
+             parent_id: Union[str, None] = None,
              **attributes) -> Span:
-        """Open a trace: a parentless span.  A valid client-supplied
-        ``trace_id`` (8-64 hex chars, case-insensitive) is honored;
-        anything else gets a fresh id."""
+        """Open a trace: a span with no local parent.  A valid
+        client-supplied ``trace_id`` (8-64 hex chars,
+        case-insensitive) is honored; anything else gets a fresh id.
+        ``parent_id`` (a 16-hex span id, from ``X-Repro-Parent-Span``)
+        names a *remote* parent: the span still roots this process's
+        tree, but the exported event links it under the sending
+        process's span so the collector can stitch the two trees."""
         if trace_id is not None:
             trace_id = str(trace_id).lower()
         if not valid_trace_id(trace_id):
             trace_id = new_trace_id()
-        context = SpanContext(trace_id=trace_id, span_id=new_span_id())
+        if parent_id is not None:
+            parent_id = str(parent_id).lower()
+            if not valid_span_id(parent_id):
+                parent_id = None
+        context = SpanContext(trace_id=trace_id, span_id=new_span_id(),
+                              parent_id=parent_id)
         return Span(name, context, self, attributes)
 
     def span(self, name: str, parent: Union[Span, None] = None,
@@ -191,6 +221,9 @@ class Telemetry:
         return span
 
     def _export(self, span: Span) -> None:
+        collector = self.collector
+        if collector is not None:
+            collector.record_span(span)
         if self.tracer is None or not self.tracer.enabled:
             return
         with self._lock:

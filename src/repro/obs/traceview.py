@@ -4,7 +4,10 @@
 usually opened for — how did the evaluation converge? — without the
 reader paging through per-fact events: a round-by-round table (delta
 sizes, derived counts, probes, store growth), the phase times, and the
-round after which the period was detected.
+round after which the period was detected.  Traces written by the
+serving path additionally carry schema-3 ``span`` and schema-4
+``derive`` events; those are counted into a telemetry footer rather
+than rendered per-event.
 
 Parsing is strict about *shape* but liberal about *content*: unknown
 event types and payload fields are ignored (the schema is append-only),
@@ -77,6 +80,8 @@ class TraceSummary:
     subgoals: int = 0
     inserts: int = 0
     deletes: int = 0
+    spans: int = 0          # schema-3 telemetry span events
+    derives: int = 0        # schema-4 sampled provenance events
 
 
 def summarize(events: list[dict]) -> TraceSummary:
@@ -129,6 +134,10 @@ def summarize(events: list[dict]) -> TraceSummary:
             summary.inserts += 1
         elif kind == "delete":
             summary.deletes += 1
+        elif kind == "span":
+            summary.spans += 1
+        elif kind == "derive":
+            summary.derives += 1
     return summary
 
 
@@ -213,4 +222,7 @@ def render_summary(summary: TraceSummary, path: str = "") -> str:
         extras.append(f"deletes: {summary.deletes}")
     if extras:
         lines.append("  ".join(extras))
+    if summary.spans or summary.derives:
+        lines.append(f"telemetry: {summary.spans} spans, "
+                     f"{summary.derives} derive events")
     return "\n".join(lines)

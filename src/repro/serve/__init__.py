@@ -21,12 +21,18 @@ specification once, then answer every query against it:
   of the tier: one process owning the listening socket, forwarding
   sub-batches to workers by content-addressed program key, retrying
   around worker crashes, and aggregating ``/stats`` and ``/metrics``;
+* :mod:`repro.serve.collect` — cross-process observability collection:
+  workers ship ended spans, sampled ``derive`` events, and windowed
+  per-rule metrics to the front-end's ``POST /ingest``; the front-end
+  assembles them into ``GET /trace/<id>`` trees, the ``GET /profile``
+  continuous profile, and the cost-calibration telemetry;
 * :mod:`repro.serve.top` — the ``repro top`` live dashboard polling
   ``GET /stats``.
 """
 
 from .cache import (DISK, MEMORY, SpecCache, normalized_program,
                     program_key, tdd_key)
+from .collect import Collector, CollectorClient
 from .router import FrontEnd, HashRing, make_frontend
 from .server import (MAX_BODY_BYTES, AccessLog, SpecServer,
                      make_server)
@@ -40,6 +46,7 @@ __all__ = [
     "QueryService", "QueryRequest", "QueryResponse", "DeadlineExceeded",
     "SpecServer", "make_server", "AccessLog", "MAX_BODY_BYTES",
     "FrontEnd", "HashRing", "make_frontend", "render_prometheus",
+    "Collector", "CollectorClient",
     "WorkerPool", "WorkerConfig", "WorkerError", "worker_main",
     "TopError", "fetch_stats", "run_top",
     "MEMORY", "DISK", "COMPUTED",

@@ -174,7 +174,8 @@ class FrontEnd(ThreadingHTTPServer):
                  max_body_bytes: int = MAX_BODY_BYTES,
                  retry_deadline: float = RETRY_DEADLINE,
                  worker_timeout: float = WORKER_TIMEOUT,
-                 replicas: int = RING_REPLICAS):
+                 replicas: int = RING_REPLICAS,
+                 collector=None):
         self.pool = pool
         self.ring = HashRing([w.id for w in pool.workers],
                              replicas=replicas)
@@ -196,6 +197,17 @@ class FrontEnd(ThreadingHTTPServer):
         self._route_order: list = []
         self._memo_lock = threading.Lock()
         super().__init__(address, _FrontEndHandler)
+        #: Optional :class:`repro.serve.collect.Collector` — the tier's
+        #: aggregation terminal.  Attached *after* the socket is bound
+        #: so the workers' collect URL can carry the real port: a pool
+        #: constructed (but not yet started) with this front-end will
+        #: spawn its workers pointing at ``/ingest`` here.
+        self.collector = collector
+        if collector is not None:
+            if self.telemetry.collector is None:
+                self.telemetry.collector = collector
+            port = self.server_address[1]
+            pool.set_collect_url(f"http://127.0.0.1:{port}/ingest")
 
     # -- routing ---------------------------------------------------------
 
@@ -295,7 +307,8 @@ class FrontEnd(ThreadingHTTPServer):
             {"requests": [entry["item"] for entry in group]}
         ).encode("utf-8")
         try:
-            data = self._post_worker(port, body, root.trace_id)
+            data = self._post_worker(port, body, root.trace_id,
+                                     span.context.span_id)
             responses = data["responses"]
             if len(responses) != len(group):
                 raise _ForwardFailed(
@@ -322,15 +335,19 @@ class FrontEnd(ThreadingHTTPServer):
                 self._counters.routed.get(worker_id, 0) + len(group))
         return delivered, []
 
-    def _post_worker(self, port: int, body: bytes,
-                     trace_id: str) -> dict:
+    def _post_worker(self, port: int, body: bytes, trace_id: str,
+                     parent_span: Union[str, None] = None) -> dict:
+        headers = {"Content-Type": "application/json",
+                   "X-Repro-Trace-Id": trace_id}
+        if parent_span is not None:
+            # The worker roots its http.request span under the
+            # forward span, so the collector can stitch the two
+            # processes' trees into one.
+            headers["X-Repro-Parent-Span"] = parent_span
         connection = http.client.HTTPConnection(
             "127.0.0.1", port, timeout=self.worker_timeout)
         try:
-            connection.request(
-                "POST", "/query", body,
-                {"Content-Type": "application/json",
-                 "X-Repro-Trace-Id": trace_id})
+            connection.request("POST", "/query", body, headers)
             response = connection.getresponse()
             payload = response.read()
             if response.status != 200:
@@ -433,9 +450,12 @@ class FrontEnd(ThreadingHTTPServer):
         serve, cache, latency = self._aggregate(rows)
         frontend = self.counters()
         frontend["latency"] = self.latency.to_dict()
-        return {"serve": serve, "cache": cache,
-                "latency": latency.to_dict(),
-                "frontend": frontend, "workers": rows}
+        stats = {"serve": serve, "cache": cache,
+                 "latency": latency.to_dict(),
+                 "frontend": frontend, "workers": rows}
+        if self.collector is not None:
+            stats["collector"] = self.collector.counters()
+        return stats
 
     def prometheus_text(self) -> str:
         rows = self._collect_workers()
@@ -482,6 +502,8 @@ class FrontEnd(ThreadingHTTPServer):
             lines.append(f"# TYPE repro_frontend_{name}_total counter")
             lines.append(f"repro_frontend_{name}_total "
                          f"{frontend[name]}")
+        if self.collector is not None:
+            lines.extend(self.collector.prometheus_lines())
         return render_prometheus(serve, cache, latency,
                                  extra_lines=lines)
 
@@ -517,6 +539,44 @@ def _sum_counters(blocks: Sequence[dict], zero: dict) -> dict:
 
 class _FrontEndHandler(_Handler):
     server: FrontEnd
+
+    def _route_post(self, root) -> int:
+        if self.path == "/ingest":
+            return self._handle_ingest()
+        return super()._route_post(root)
+
+    def _handle_ingest(self) -> int:
+        """``POST /ingest``: one worker collection envelope.
+
+        Internal to the tier (workers POST here over loopback); bodies
+        follow the envelope schema in :mod:`repro.serve.collect`.
+        Malformed envelopes get a 400 and are counted — never raised —
+        so a confused worker cannot take the front-end down.
+        """
+        collector = self.server.collector
+        if collector is None:
+            return self._reply(
+                404, {"error": "collection is disabled on this tier"})
+        try:
+            length = int(self.headers.get("Content-Length", 0) or 0)
+        except ValueError:
+            return self._reply(400,
+                               {"error": "unreadable Content-Length"})
+        if length < 0:
+            return self._reply(
+                400, {"error": f"negative Content-Length {length}"})
+        if length > self.server.max_body_bytes:
+            return self._reply(413, {
+                "error": f"ingest body of {length} bytes exceeds the "
+                         f"{self.server.max_body_bytes} byte limit"},
+                close=True)
+        try:
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            summary = collector.ingest(payload)
+        except (ValueError, TypeError) as exc:
+            collector.ingest_error()
+            return self._reply(400, {"error": str(exc)})
+        return self._reply(200, summary)
 
     def _handle_batch(self, raw: list, requests, root) -> int:
         frontend = self.server

@@ -15,6 +15,13 @@ JSON protocol (see docs/INTERNALS.md for the full schema):
 * ``GET /healthz`` — liveness probe with the package version and the
   trace schema version.
 
+With collection on (a :class:`repro.serve.collect.Collector` attached):
+
+* ``GET /trace`` — listing of retained traces; ``GET /trace/<id>`` —
+  the assembled (cross-process, for a tier) span tree of one request.
+* ``GET /profile`` — sliding-window per-rule profile plus the cost
+  calibration table.
+
 Malformed bodies get a 400, oversized bodies a 413 — both with a JSON
 ``{"error": ...}`` body and a correct ``Content-Length``; per-request
 failures (parse errors, unknown kinds) are *not* transport errors —
@@ -102,7 +109,8 @@ class SpecServer(ThreadingHTTPServer):
                  access_log: Union[AccessLog, None] = None,
                  slow_ms: Union[float, None] = None,
                  max_body_bytes: int = MAX_BODY_BYTES,
-                 worker_id: Union[int, None] = None):
+                 worker_id: Union[int, None] = None,
+                 collector=None):
         self.service = service
         self.telemetry = service.telemetry
         self.quiet = quiet
@@ -112,6 +120,10 @@ class SpecServer(ThreadingHTTPServer):
         #: Set when this server is one worker of a multi-process tier
         #: (``repro serve --workers N``); surfaces in ``/healthz``.
         self.worker_id = worker_id
+        #: Optional :class:`repro.serve.collect.Collector`.  When set,
+        #: ``GET /trace/<id>`` and ``GET /profile`` are served, and the
+        #: collector's block/series join ``/stats`` and ``/metrics``.
+        self.collector = collector
         super().__init__(address, _Handler)
 
     # -- endpoint payloads (overridden by the front-end) -----------------
@@ -126,10 +138,19 @@ class SpecServer(ThreadingHTTPServer):
         return payload
 
     def stats_dict(self) -> dict:
-        return self.service.stats_dict()
+        stats = self.service.stats_dict()
+        if self.collector is not None:
+            stats["collector"] = self.collector.counters()
+        return stats
 
     def prometheus_text(self) -> str:
-        return self.service.prometheus_text()
+        from .service import render_prometheus
+        extra = ([] if self.collector is None
+                 else self.collector.prometheus_lines())
+        return render_prometheus(self.service.counters(),
+                                 self.service.cache.counters(),
+                                 self.service.latency,
+                                 extra_lines=extra)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -175,6 +196,7 @@ class _Handler(BaseHTTPRequestHandler):
         root = telemetry.root(
             "http.request",
             trace_id=self.headers.get("X-Repro-Trace-Id"),
+            parent_id=self.headers.get("X-Repro-Parent-Span"),
             method=method, path=self.path)
         self._trace_id = root.trace_id
         self._log_extra: dict = {}
@@ -236,8 +258,30 @@ class _Handler(BaseHTTPRequestHandler):
             return self._reply_text(
                 200, self.server.prometheus_text(),
                 "text/plain; version=0.0.4; charset=utf-8")
+        collector = getattr(self.server, "collector", None)
+        if collector is not None:
+            if self.path == "/profile":
+                return self._reply(200, collector.profile_payload())
+            if self.path == "/trace":
+                return self._reply(200, collector.traces_payload())
+            if self.path.startswith("/trace/"):
+                return self._route_trace(collector,
+                                         self.path[len("/trace/"):])
         return self._reply(404,
                            {"error": f"unknown path {self.path!r}"})
+
+    def _route_trace(self, collector, trace_id: str) -> int:
+        from ..obs.telemetry import valid_trace_id
+        trace_id = trace_id.lower()
+        if not valid_trace_id(trace_id):
+            return self._reply(
+                400, {"error": "a trace id is 8-64 hex characters"})
+        tree = collector.trace_payload(trace_id)
+        if tree is None:
+            return self._reply(
+                404, {"error": f"no retained trace {trace_id!r} "
+                               "(the store is a bounded ring)"})
+        return self._reply(200, tree)
 
     def _read_batch(self):
         """Read and validate a ``/query`` body.
@@ -323,9 +367,10 @@ def make_server(service: QueryService, host: str = "127.0.0.1",
                 access_log: Union[AccessLog, None] = None,
                 slow_ms: Union[float, None] = None,
                 max_body_bytes: int = MAX_BODY_BYTES,
-                worker_id: Union[int, None] = None) -> SpecServer:
+                worker_id: Union[int, None] = None,
+                collector=None) -> SpecServer:
     """Bind (but do not run) a server; ``port=0`` picks a free port."""
     return SpecServer((host, port), service, quiet=quiet,
                       access_log=access_log, slow_ms=slow_ms,
                       max_body_bytes=max_body_bytes,
-                      worker_id=worker_id)
+                      worker_id=worker_id, collector=collector)

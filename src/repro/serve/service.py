@@ -225,11 +225,20 @@ class QueryService:
                  degraded_window: int = DEGRADED_WINDOW,
                  telemetry: Union[Telemetry, None] = None,
                  engine: str = "bt",
-                 max_predicted_cost: Union[float, None] = None):
+                 max_predicted_cost: Union[float, None] = None,
+                 collect=None):
         self.cache = cache if cache is not None else SpecCache()
         self.default_deadline = default_deadline
         self.max_window = max_window
         self.degraded_window = degraded_window
+        #: Optional collection target (:class:`repro.serve.collect.
+        #: Collector` locally, :class:`~repro.serve.collect.
+        #: CollectorClient` inside a tier worker).  When set, every
+        #: spec computation runs with a fresh per-rule
+        #: :class:`~repro.obs.metrics.MetricsRegistry` and sampled
+        #: provenance recording, and the resulting rule/calibration
+        #: deltas (plus sampled ``derive`` events) flow to it.
+        self.collect = collect
         #: Admission-control knob: programs whose static budget estimate
         #: (:func:`repro.analysis.static.predicted_cost`) exceeds this
         #: are refused without any spec work.  None disables the gate.
@@ -318,27 +327,75 @@ class QueryService:
             return canonical_window_engine(request.engine)
         return self.engine
 
+    def _instruments(self, trace_id: Union[str, None]) -> tuple:
+        """(metrics, provenance) for one instrumented evaluation.
+
+        Both ``None`` when no collection target is configured — the
+        engines then skip every instrumentation call site, so serving
+        without collection costs exactly what it did before.  The
+        provenance store samples every ``derive_sample``-th support
+        edge into the request's trace (and only when there *is* a
+        request trace to attach them to).
+        """
+        collect = self.collect
+        if collect is None:
+            return None, None
+        from ..obs.metrics import MetricsRegistry
+        metrics = MetricsRegistry()
+        provenance = None
+        sink = collect.derive_sink(trace_id)
+        if sink is not None:
+            from ..obs.provenance import ProvenanceStore
+            from ..obs.trace import Tracer
+            provenance = ProvenanceStore(
+                tracer=Tracer(sink), sample=collect.derive_sample)
+        return metrics, provenance
+
+    def _observe_compute(self, metrics) -> None:
+        """Flush one computation's per-rule deltas to the collector."""
+        if metrics is None or self.collect is None:
+            return
+        records = metrics.to_dict()
+        if not records:
+            return
+        from ..obs.collector import calibration_rows
+        self.collect.observe_rules(records)
+        rows = calibration_rows(metrics)
+        if rows:
+            self.collect.observe_calibration(rows)
+
     def _compute(self, tdd: TDD, deadline: Union[float, None],
-                 engine: Union[str, None] = None) -> RelationalSpec:
+                 engine: Union[str, None] = None,
+                 trace_id: Union[str, None] = None) -> RelationalSpec:
         engine = engine if engine is not None else self.engine
-        if deadline is None:
-            return compute_specification(tdd.rules, tdd.database,
-                                         max_window=self.max_window,
-                                         engine=engine)
-        start = time.monotonic()
-        window_cap = max(64, 4 * (tdd.database.c + 1))
-        while True:
-            if time.monotonic() - start >= deadline:
-                raise DeadlineExceeded(
-                    f"spec computation exceeded the {deadline}s budget")
-            try:
+        metrics, provenance = self._instruments(trace_id)
+        try:
+            if deadline is None:
                 return compute_specification(tdd.rules, tdd.database,
-                                             max_window=window_cap,
-                                             engine=engine)
-            except EvaluationError:
-                if window_cap >= self.max_window:
-                    raise
-                window_cap = min(window_cap * 4, self.max_window)
+                                             max_window=self.max_window,
+                                             engine=engine,
+                                             metrics=metrics,
+                                             provenance=provenance)
+            start = time.monotonic()
+            window_cap = max(64, 4 * (tdd.database.c + 1))
+            while True:
+                if time.monotonic() - start >= deadline:
+                    raise DeadlineExceeded(
+                        f"spec computation exceeded the {deadline}s "
+                        "budget")
+                try:
+                    return compute_specification(
+                        tdd.rules, tdd.database, max_window=window_cap,
+                        engine=engine, metrics=metrics,
+                        provenance=provenance)
+                except EvaluationError:
+                    if window_cap >= self.max_window:
+                        raise
+                    window_cap = min(window_cap * 4, self.max_window)
+        finally:
+            # The registry accumulated across deepening retries; one
+            # flush files everything the computation actually did.
+            self._observe_compute(metrics)
 
     def specification(self, tdd: TDD,
                       deadline: Union[float, None] = None,
@@ -413,7 +470,10 @@ class QueryService:
                 span = (None if parent is None
                         else parent.child("spec.compute", key=key[:12]))
                 try:
-                    spec = self._compute(tdd, deadline, engine=engine)
+                    spec = self._compute(
+                        tdd, deadline, engine=engine,
+                        trace_id=(None if parent is None
+                                  else parent.trace_id))
                 except (DeadlineExceeded, EvaluationError) as exc:
                     if span is not None:
                         span.set_attribute("error", str(exc))
@@ -432,11 +492,18 @@ class QueryService:
     # -- degraded (windowed) evaluation ----------------------------------
 
     def _degraded_answer(self, tdd: TDD, query: Query,
-                         request: QueryRequest) -> Union[bool, dict]:
+                         request: QueryRequest,
+                         trace_id: Union[str, None] = None
+                         ) -> Union[bool, dict]:
         bound = max(self.degraded_window, max_ground_time(query),
                     tdd.database.c)
-        result = bt_evaluate(tdd.rules, tdd.database, window=bound,
-                             engine=self._request_engine(request))
+        metrics, provenance = self._instruments(trace_id)
+        try:
+            result = bt_evaluate(tdd.rules, tdd.database, window=bound,
+                                 engine=self._request_engine(request),
+                                 metrics=metrics, provenance=provenance)
+        finally:
+            self._observe_compute(metrics)
         if request.kind == "ask":
             return evaluate_on_model(query, result)
         concrete = answers_on_model(query, result, time_bound=bound)
@@ -529,7 +596,8 @@ class QueryService:
                                   (DeadlineExceeded, EvaluationError)):
                     raise spec_error  # pragma: no cover - defensive
                 degraded = True
-                answer = self._degraded_answer(tdd, query, request)
+                answer = self._degraded_answer(tdd, query, request,
+                                               trace_id=span.trace_id)
             elif request.kind == "ask":
                 answer = evaluate(query, spec)
             else:

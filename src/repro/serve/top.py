@@ -3,7 +3,10 @@
 Polls ``GET /stats`` on an interval and renders the numbers an
 operator watches during load: request rate (QPS, from consecutive
 counter deltas), cache hit ratio, latency percentiles from the
-fixed-bucket histogram, and the degraded/error counts.  Stdlib only
+fixed-bucket histogram, and the degraded/error counts.  Against a
+multi-process tier the frame grows a per-worker balance table (routed
+share of the ring, per-worker QPS, hit ratio, restarts) plus the
+front-end routing and collector summary lines.  Stdlib only
 (``urllib``); a dead or restarted server shows up as a status line,
 not a traceback.
 """
@@ -37,6 +40,67 @@ def fetch_stats(url: str, timeout: float = 5.0) -> dict:
 
 def _ratio(part: int, whole: int) -> str:
     return "-" if whole == 0 else f"{100.0 * part / whole:.1f}%"
+
+
+def _workers_table(current: dict,
+                   previous: Union[dict, None],
+                   dt: Union[float, None]) -> list:
+    """Per-worker rows of a tier's ``/stats`` (empty list when the
+    server is single-process): routed share, per-worker QPS from the
+    worker's own request-counter delta, and cache hit ratio —
+    the balance view of the consistent-hash ring."""
+    rows = current.get("workers")
+    if not rows:
+        return []
+    before = {}
+    if previous is not None:
+        for row in previous.get("workers", []):
+            before[row.get("id")] = row
+    total_routed = sum(row.get("routed", 0) for row in rows) or 1
+    lines = [
+        "",
+        f"{'worker':>6} {'state':<5} {'pid':>7} {'routed':>8} "
+        f"{'share':>6} {'qps':>6} {'hit':>6} {'restarts':>8}",
+    ]
+    for row in rows:
+        stats = row.get("stats") or {}
+        serve = stats.get("serve", {})
+        cache = stats.get("cache", {})
+        qps = "-"
+        prior = before.get(row.get("id"))
+        if (prior is not None and dt and dt > 0
+                and "stats" in prior):
+            delta = (serve.get("requests", 0)
+                     - prior["stats"].get("serve", {})
+                            .get("requests", 0))
+            qps = f"{delta / dt:.1f}"
+        hits = (cache.get("mem_hits", 0)
+                + cache.get("disk_hits", 0))
+        hit = _ratio(hits, cache.get("lookups", 0))
+        share = _ratio(row.get("routed", 0), total_routed)
+        lines.append(
+            f"{row.get('id', '?'):>6} "
+            f"{'up' if row.get('up') else 'DOWN':<5} "
+            f"{row.get('pid') or '-':>7} "
+            f"{row.get('routed', 0):>8} {share:>6} {qps:>6} "
+            f"{hit:>6} {row.get('restarts', 0):>8}")
+    frontend = current.get("frontend", {})
+    lines.append(
+        f"frontend   forwards {frontend.get('forwards', 0)} | "
+        f"retries {frontend.get('retries', 0)} | "
+        f"unrouted {frontend.get('unrouted', 0)} | "
+        f"workers up {frontend.get('workers_up', 0)}"
+        f"/{frontend.get('workers', 0)}")
+    collector = current.get("collector")
+    if collector:
+        lines.append(
+            f"collector  traces {collector.get('traces', 0)} | "
+            f"spans {collector.get('spans', 0)} | "
+            f"ingests {collector.get('ingests', 0)} "
+            f"(errors {collector.get('ingest_errors', 0)}) | "
+            f"calibration "
+            f"{collector.get('calibration_ratio', 0.0):.2f}x")
+    return lines
 
 
 def render(url: str, current: dict,
@@ -79,6 +143,7 @@ def render(url: str, current: dict,
         f"spec computes {serve.get('spec_computes', 0)} | "
         f"singleflight waits {serve.get('singleflight_waits', 0)}",
     ]
+    lines.extend(_workers_table(current, previous, dt))
     return "\n".join(lines)
 
 

@@ -79,6 +79,14 @@ class WorkerConfig:
     engine: str = "bt"
     deadline: Union[float, None] = None
     max_predicted_cost: Union[float, None] = None
+    #: URL of the front-end's ``POST /ingest`` endpoint.  When set the
+    #: worker runs a :class:`~repro.serve.collect.CollectorClient`
+    #: shipping spans, sampled derive events, and per-rule metric
+    #: windows there every ``collect_interval`` seconds.  Set via
+    #: :meth:`WorkerPool.set_collect_url` once the front-end knows its
+    #: port (the front-end binds before the pool starts).
+    collect_url: Union[str, None] = None
+    collect_interval: float = 1.0
 
 
 def _worker_command(worker_id: int, config: WorkerConfig) -> list:
@@ -96,6 +104,9 @@ def _worker_command(worker_id: int, config: WorkerConfig) -> list:
     if config.max_predicted_cost is not None:
         command += ["--max-predicted-cost",
                     str(config.max_predicted_cost)]
+    if config.collect_url:
+        command += ["--collect-url", config.collect_url,
+                    "--collect-interval", str(config.collect_interval)]
     return command
 
 
@@ -263,6 +274,25 @@ class WorkerPool:
         self._thread.start()
         return self
 
+    def set_collect_url(self, url: Union[str, None],
+                        interval: Union[float, None] = None) -> None:
+        """Point every worker's collection client at ``url``.
+
+        Call *before* :meth:`start`: the URL lands in the spawn command
+        line, and respawned workers inherit it automatically (each
+        :class:`WorkerProcess` keeps its own config).  On an
+        already-started pool only future respawns pick it up.
+        """
+        import dataclasses
+        changes: dict = {"collect_url": url}
+        if interval is not None:
+            changes["collect_interval"] = interval
+        with self._lock:
+            self.config = dataclasses.replace(self.config, **changes)
+            for worker in self.workers:
+                worker.config = dataclasses.replace(worker.config,
+                                                    **changes)
+
     def close(self) -> None:
         """Stop supervision and terminate every worker."""
         self._closed = True
@@ -379,14 +409,23 @@ def worker_main(argv=None) -> int:
     parser.add_argument("--deadline", type=float, default=None)
     parser.add_argument("--max-predicted-cost", type=float,
                         default=None)
+    parser.add_argument("--collect-url", default=None)
+    parser.add_argument("--collect-interval", type=float, default=1.0)
     args = parser.parse_args(argv)
 
+    client = None
+    if args.collect_url:
+        from .collect import CollectorClient
+        client = CollectorClient(args.collect_url,
+                                 worker_id=args.worker_id,
+                                 interval=args.collect_interval)
     cache = SpecCache(args.cache) if args.cache else SpecCache()
     service = QueryService(cache=cache,
                            default_deadline=args.deadline,
-                           telemetry=Telemetry(),
+                           telemetry=Telemetry(collector=client),
                            engine=args.engine,
-                           max_predicted_cost=args.max_predicted_cost)
+                           max_predicted_cost=args.max_predicted_cost,
+                           collect=client)
     server = make_server(service, host="127.0.0.1", port=0,
                          quiet=True, worker_id=args.worker_id)
     port = server.server_address[1]
@@ -399,6 +438,8 @@ def worker_main(argv=None) -> int:
         pass
     finally:
         server.server_close()
+        if client is not None:
+            client.close()
     return 0
 
 

@@ -188,28 +188,35 @@ def serve_endpoint():
     ``QueryService`` (in-memory cache, span-collecting telemetry, an
     in-memory JSON access log) behind ``make_server(port=0, ...)``
     and returns a :class:`ServeEndpoint`.  Pass ``cache=`` to share a
-    ``SpecCache``; other keywords reach ``make_server``.
+    ``SpecCache``, ``collect=True`` to attach a
+    :class:`~repro.serve.collect.Collector` (served at ``/trace`` and
+    ``/profile``, reachable afterwards as ``endpoint.collector``);
+    other keywords reach ``make_server``.
     """
     from repro.obs import ListSink, Telemetry, Tracer
-    from repro.serve import (AccessLog, QueryService, SpecCache,
-                             make_server)
+    from repro.serve import (AccessLog, Collector, QueryService,
+                             SpecCache, make_server)
 
     started: list = []
 
-    def start(cache=None, **server_kwargs):
+    def start(cache=None, collect: bool = False, **server_kwargs):
         sink = ListSink()
+        collector = Collector() if collect else None
         service = QueryService(
             cache=cache if cache is not None else SpecCache(),
-            telemetry=Telemetry(Tracer(sink)))
+            telemetry=Telemetry(Tracer(sink), collector=collector),
+            collect=collector)
         log_stream = io.StringIO()
         access_log = AccessLog(log_stream)
         server = make_server(service, port=0, access_log=access_log,
-                             **server_kwargs)
+                             collector=collector, **server_kwargs)
         _serve_in_thread(server)
         started.append(server)
-        return ServeEndpoint(server, service=service, sink=sink,
-                             log_stream=log_stream,
-                             access_log=access_log)
+        endpoint = ServeEndpoint(server, service=service, sink=sink,
+                                 log_stream=log_stream,
+                                 access_log=access_log)
+        endpoint.collector = collector
+        return endpoint
 
     yield start
     for server in started:
@@ -227,29 +234,46 @@ def tier():
     ``pool`` attribute exposes the workers (for fault injection).
     ``config=`` forwards a ``WorkerConfig`` (shared cache file,
     engine, deadline); ``supervise_interval=`` tunes the supervisor
-    poll cadence.
+    poll cadence; ``collect=True`` attaches a
+    :class:`~repro.serve.collect.Collector` to the front-end *before*
+    the pool starts, so every worker spawns with the ``/ingest``
+    shipping path armed.
     """
-    from repro.serve import AccessLog, WorkerPool, make_frontend
+    from repro.serve import (AccessLog, Collector, WorkerPool,
+                             make_frontend)
 
     cleanups: list = []
 
     def start(workers: int = 2, config=None,
               supervise_interval: Union[float, None] = None,
-              **frontend_kwargs):
+              collect: bool = False, **frontend_kwargs):
         pool_kwargs = {}
         if supervise_interval is not None:
             pool_kwargs["supervise_interval"] = supervise_interval
         pool = WorkerPool(workers, config, **pool_kwargs)
-        pool.start()
-        cleanups.append(("pool", pool))
         log_stream = io.StringIO()
         access_log = AccessLog(log_stream)
+        collector = Collector() if collect else None
+        # The front-end binds first: its __init__ stamps the workers'
+        # collect URL (with the real bound port) into the pool config,
+        # which workers read at spawn time.
         frontend = make_frontend(pool, access_log=access_log,
+                                 collector=collector,
                                  **frontend_kwargs)
-        _serve_in_thread(frontend)
+        try:
+            pool.start()
+        except Exception:
+            frontend.server_close()
+            raise
+        # Reversed at teardown: the front-end shuts down before its
+        # pool is torn out from under it.
+        cleanups.append(("pool", pool))
         cleanups.append(("frontend", frontend))
-        return ServeEndpoint(frontend, log_stream=log_stream,
-                             access_log=access_log, pool=pool)
+        _serve_in_thread(frontend)
+        endpoint = ServeEndpoint(frontend, log_stream=log_stream,
+                                 access_log=access_log, pool=pool)
+        endpoint.collector = collector
+        return endpoint
 
     yield start
     for kind, item in reversed(cleanups):

@@ -1,0 +1,104 @@
+"""Property tests for :meth:`LatencyHistogram.from_dicts` merging.
+
+The multi-process front-end aggregates per-worker ``latency`` blocks
+by merging ``to_dict`` payloads; ``repro top`` and the CI stats
+reconciliation both read the result.  The merge has to behave like
+the sum of the underlying observation multisets: order-independent,
+grouping-independent, count/sum-preserving, and with merged quantile
+estimates bracketed by the per-worker extremes.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.obs.telemetry import LatencyHistogram
+
+SETTINGS = settings(max_examples=60, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+#: One worker's worth of latency observations, in milliseconds.
+#: Spans the bucket range (default bounds top out at 10s) plus the
+#: +Inf overflow bucket.
+observations = st.lists(
+    st.floats(min_value=0.0, max_value=30000.0,
+              allow_nan=False, allow_infinity=False),
+    max_size=40)
+
+
+def _histogram(samples) -> LatencyHistogram:
+    histogram = LatencyHistogram()
+    for ms in samples:
+        histogram.observe(ms)
+    return histogram
+
+
+def _payloads(worker_samples) -> list:
+    return [_histogram(samples).to_dict()
+            for samples in worker_samples]
+
+
+def _shape(histogram: LatencyHistogram) -> tuple:
+    """Everything observation-derived: bucket counts, count, sum."""
+    counts, sum_ms, count = histogram._snapshot()
+    return tuple(counts), round(sum_ms, 6), count
+
+
+@given(st.lists(observations, max_size=4))
+@SETTINGS
+def test_merge_is_commutative(worker_samples):
+    payloads = _payloads(worker_samples)
+    forward = LatencyHistogram.from_dicts(payloads)
+    backward = LatencyHistogram.from_dicts(list(reversed(payloads)))
+    assert _shape(forward) == _shape(backward)
+
+
+@given(observations, observations, observations)
+@SETTINGS
+def test_merge_is_associative(a, b, c):
+    pa, pb, pc = _payloads([a, b, c])
+    left = LatencyHistogram.from_dicts(
+        [LatencyHistogram.from_dicts([pa, pb]).to_dict(), pc])
+    right = LatencyHistogram.from_dicts(
+        [pa, LatencyHistogram.from_dicts([pb, pc]).to_dict()])
+    flat = LatencyHistogram.from_dicts([pa, pb, pc])
+    assert _shape(left) == _shape(right) == _shape(flat)
+
+
+@given(st.lists(observations, max_size=4))
+@SETTINGS
+def test_merge_preserves_count_and_sum(worker_samples):
+    merged = LatencyHistogram.from_dicts(_payloads(worker_samples))
+    total = sum(len(samples) for samples in worker_samples)
+    assert merged.count == total
+    expected_sum = sum(max(0.0, ms) for samples in worker_samples
+                       for ms in samples)
+    assert abs(merged.sum_ms - expected_sum) < 1e-2
+    counts, _, count = merged._snapshot()
+    assert sum(counts) == count  # the /stats invariant CI gates on
+
+
+@given(st.lists(observations.filter(lambda s: len(s) > 0),
+                min_size=1, max_size=4),
+       st.sampled_from([0.5, 0.9, 0.95, 0.99]))
+@SETTINGS
+def test_merged_quantile_bounded_by_worker_quantiles(worker_samples,
+                                                     q):
+    """A merged quantile can never leave the envelope of the
+    per-worker quantiles: the merged distribution is a mixture, so
+    its q-quantile lies within [min, max] of the parts' q-quantiles
+    (all histograms share one bucket layout, which makes the bucket
+    interpolation monotone in the mixture weights)."""
+    histograms = [_histogram(samples) for samples in worker_samples]
+    merged = LatencyHistogram.from_dicts(
+        [h.to_dict() for h in histograms])
+    quantiles = [h.quantile(q) for h in histograms]
+    assert min(quantiles) - 1e-9 <= merged.quantile(q) \
+        <= max(quantiles) + 1e-9
+
+
+def test_merge_of_nothing_is_empty():
+    merged = LatencyHistogram.from_dicts([])
+    assert merged.count == 0
+    assert merged.quantile(0.99) == 0.0
